@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Stationary robotic arm planning with RRT (paper §5.5).
+//!
+//! The paper's proof-of-concept for CODAcc beyond mobile robots: a 5-DoF
+//! LoCoBot arm, bounded per link by OBBs, planned by RRT in joint space in
+//! a 3D voxel environment. RASExp is neither applicable nor needed for RRT
+//! (the tree is the path), but multiple CODAccs parallelize the per-*link*
+//! collision checks of every sampled configuration.
+//!
+//! * [`model`] — the 5-DoF serial kinematic chain and its forward
+//!   kinematics producing one OBB per link;
+//! * [`rrt`] — the RRT planner with goal bias and step-size steering;
+//! * [`timing`] — the cycle model pricing RRT runs on the software baseline
+//!   and on 1–4 CODAcc units (Fig 6).
+//!
+//! # Example
+//!
+//! ```
+//! use racod_arm::{ArmModel, JointConfig};
+//!
+//! let arm = ArmModel::locobot();
+//! let links = arm.link_obbs(&JointConfig::home());
+//! assert_eq!(links.len(), 5);
+//! ```
+
+pub mod model;
+pub mod rrt;
+pub mod timing;
+
+pub use model::{ArmModel, JointConfig};
+pub use rrt::{rrt_plan, RrtConfig, RrtResult};
+pub use timing::{arm_environment, time_rrt_run, ArmPlatform, ArmTiming};

@@ -1,0 +1,352 @@
+//! The 5-DoF arm model and its forward kinematics.
+//!
+//! A serial chain modeled after a LoCoBot-class manipulator: base yaw,
+//! shoulder pitch, elbow pitch, wrist pitch, wrist roll. Forward kinematics
+//! chains link frames and emits one OBB per link — the bounding volumes the
+//! paper shows in Fig 6 (middle). All lengths are in voxel units of the
+//! planning grid.
+
+use racod_geom::{Obb3, Rotation3, Vec3};
+
+/// A joint configuration: five angles in radians.
+///
+/// # Example
+///
+/// ```
+/// use racod_arm::JointConfig;
+/// let q = JointConfig::new([0.0, 0.5, -0.5, 0.0, 0.0]);
+/// assert!((q.angles()[1] - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JointConfig {
+    angles: [f32; 5],
+}
+
+impl JointConfig {
+    /// Number of degrees of freedom.
+    pub const DOF: usize = 5;
+
+    /// Creates a configuration from five joint angles (radians).
+    pub fn new(angles: [f32; 5]) -> Self {
+        JointConfig { angles }
+    }
+
+    /// Creates a configuration from five joint angles in degrees (the
+    /// paper quotes §5.5's endpoints in degrees).
+    pub fn from_degrees(deg: [f32; 5]) -> Self {
+        JointConfig { angles: deg.map(|d| d.to_radians()) }
+    }
+
+    /// The all-zero home pose.
+    pub fn home() -> Self {
+        JointConfig { angles: [0.0; 5] }
+    }
+
+    /// The paper's start configuration `(-80°, 0°, 0°, 0°, 0°)`.
+    pub fn paper_start() -> Self {
+        JointConfig::from_degrees([-80.0, 0.0, 0.0, 0.0, 0.0])
+    }
+
+    /// The paper's goal configuration `(0°, 60°, -75°, -75°, 0°)`.
+    pub fn paper_goal() -> Self {
+        JointConfig::from_degrees([0.0, 60.0, -75.0, -75.0, 0.0])
+    }
+
+    /// The joint angles in radians.
+    pub fn angles(&self) -> [f32; 5] {
+        self.angles
+    }
+
+    /// Euclidean distance in joint space.
+    pub fn distance(&self, other: &JointConfig) -> f32 {
+        self.angles
+            .iter()
+            .zip(&other.angles)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Moves from `self` toward `to` by at most `step` (joint-space norm).
+    pub fn step_toward(&self, to: &JointConfig, step: f32) -> JointConfig {
+        let d = self.distance(to);
+        if d <= step || d <= f32::EPSILON {
+            return *to;
+        }
+        let t = step / d;
+        let mut a = [0.0f32; 5];
+        for i in 0..5 {
+            a[i] = self.angles[i] + (to.angles[i] - self.angles[i]) * t;
+        }
+        JointConfig { angles: a }
+    }
+
+    /// Linear interpolation: `t = 0` is `self`, `t = 1` is `to`.
+    pub fn lerp(&self, to: &JointConfig, t: f32) -> JointConfig {
+        let mut a = [0.0f32; 5];
+        for i in 0..5 {
+            a[i] = self.angles[i] + (to.angles[i] - self.angles[i]) * t;
+        }
+        JointConfig { angles: a }
+    }
+}
+
+/// One link of the chain: its joint axis, length along the link, and the
+/// cross-section of its bounding OBB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinkSpec {
+    /// Link length along its local x-axis (voxels).
+    length: f32,
+    /// OBB width (voxels).
+    width: f32,
+    /// OBB height (voxels).
+    height: f32,
+}
+
+/// Which axis a joint rotates about, in the parent frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JointAxis {
+    /// Yaw about the world-up axis.
+    Z,
+    /// Pitch about the local y-axis.
+    Y,
+    /// Roll about the local x-axis.
+    X,
+}
+
+/// The 5-DoF arm: base position plus five links.
+///
+/// # Example
+///
+/// ```
+/// use racod_arm::{ArmModel, JointConfig};
+/// let arm = ArmModel::locobot();
+/// let obbs = arm.link_obbs(&JointConfig::paper_start());
+/// assert_eq!(obbs.len(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmModel {
+    base: Vec3,
+    links: [LinkSpec; 5],
+    axes: [JointAxis; 5],
+    limits: [(f32, f32); 5],
+}
+
+impl ArmModel {
+    /// A LoCoBot-class arm: ~0.55 m reach mapped to voxel units at 2 cm
+    /// resolution, mounted on a pedestal at the workspace center (high
+    /// enough that the paper's goal pose, which pitches the arm 60° down,
+    /// clears the table surface).
+    pub fn locobot() -> Self {
+        ArmModel::with_base(Vec3::new(32.0, 32.0, 14.0))
+    }
+
+    /// The LoCoBot-class arm anchored at an explicit base position.
+    pub fn with_base(base: Vec3) -> Self {
+        ArmModel {
+            base,
+            links: [
+                LinkSpec { length: 4.0, width: 4.0, height: 4.0 },  // base column
+                LinkSpec { length: 10.0, width: 3.0, height: 3.0 }, // upper arm
+                LinkSpec { length: 10.0, width: 3.0, height: 3.0 }, // forearm
+                LinkSpec { length: 5.0, width: 2.5, height: 2.5 },  // wrist
+                LinkSpec { length: 4.0, width: 3.0, height: 2.0 },  // gripper
+            ],
+            axes: [JointAxis::Z, JointAxis::Y, JointAxis::Y, JointAxis::Y, JointAxis::X],
+            limits: [
+                (-std::f32::consts::PI, std::f32::consts::PI),
+                (-1.9, 1.9),
+                (-2.2, 2.2),
+                (-1.8, 1.8),
+                (-std::f32::consts::PI, std::f32::consts::PI),
+            ],
+        }
+    }
+
+    /// The base anchor position.
+    pub fn base(&self) -> Vec3 {
+        self.base
+    }
+
+    /// Joint limits (radians), per joint.
+    pub fn limits(&self) -> [(f32, f32); 5] {
+        self.limits
+    }
+
+    /// Whether every joint angle is within its limits.
+    pub fn within_limits(&self, q: &JointConfig) -> bool {
+        q.angles()
+            .iter()
+            .zip(&self.limits)
+            .all(|(a, (lo, hi))| a >= lo && a <= hi)
+    }
+
+    /// Clamps a configuration into the joint limits.
+    pub fn clamp(&self, q: &JointConfig) -> JointConfig {
+        let mut a = q.angles();
+        for i in 0..5 {
+            a[i] = a[i].clamp(self.limits[i].0, self.limits[i].1);
+        }
+        JointConfig::new(a)
+    }
+
+    /// Forward kinematics: the OBB of every link at configuration `q`.
+    ///
+    /// Each link extends along its frame's x-axis from the current joint
+    /// origin; the next joint sits at its tip. The base column extends
+    /// along +z regardless of yaw.
+    pub fn link_obbs(&self, q: &JointConfig) -> Vec<Obb3> {
+        let mut obbs = Vec::with_capacity(5);
+        let mut origin = self.base;
+        let mut frame = Rotation3::identity();
+        for (i, link) in self.links.iter().enumerate() {
+            let joint = match self.axes[i] {
+                JointAxis::Z => Rotation3::from_rpy(0.0, 0.0, q.angles[i]),
+                JointAxis::Y => Rotation3::from_rpy(0.0, q.angles[i], 0.0),
+                JointAxis::X => Rotation3::from_rpy(q.angles[i], 0.0, 0.0),
+            };
+            frame = frame.compose(&joint);
+            // The base column points up; later links point along local x.
+            let link_dir = if i == 0 {
+                // Column: a pitch of -90° maps local x onto world z.
+                frame.compose(&Rotation3::from_rpy(0.0, -std::f32::consts::FRAC_PI_2, 0.0))
+            } else {
+                frame
+            };
+            let half = link_dir.apply(Vec3::new(0.0, link.width / 2.0, link.height / 2.0));
+            let obb = Obb3::new(
+                origin - half,
+                link.length,
+                link.width,
+                link.height,
+                link_dir,
+            );
+            obbs.push(obb);
+            origin = origin + link_dir.axis_x() * link.length;
+        }
+        obbs
+    }
+
+    /// The end-effector tip position at configuration `q`.
+    pub fn end_effector(&self, q: &JointConfig) -> Vec3 {
+        let obbs = self.link_obbs(q);
+        let last = obbs.last().expect("five links");
+        last.origin()
+            + last.rotation().axis_x() * last.length()
+            + last.rotation().apply(Vec3::new(0.0, last.width() / 2.0, last.height() / 2.0))
+    }
+
+    /// Total number of body OBBs (one per link).
+    pub fn obb_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_pose_is_upright_then_forward() {
+        let arm = ArmModel::locobot();
+        let obbs = arm.link_obbs(&JointConfig::home());
+        // Base column points up.
+        assert!(obbs[0].rotation().axis_x().z > 0.99);
+        // Upper arm points along +x at home.
+        assert!(obbs[1].rotation().axis_x().x > 0.99);
+    }
+
+    #[test]
+    fn links_are_connected() {
+        let arm = ArmModel::locobot();
+        for q in [
+            JointConfig::home(),
+            JointConfig::paper_start(),
+            JointConfig::paper_goal(),
+            JointConfig::new([0.4, 0.7, -0.9, 0.3, 1.0]),
+        ] {
+            let obbs = arm.link_obbs(&q);
+            for w in obbs.windows(2) {
+                let tip = w[0].origin() + w[0].rotation().axis_x() * w[0].length();
+                // The next link's frame origin equals the previous tip up to
+                // the half-cross-section offset of each box.
+                let next_origin = w[1].origin()
+                    + w[1]
+                        .rotation()
+                        .apply(Vec3::new(0.0, w[1].width() / 2.0, w[1].height() / 2.0));
+                let prev_tip_center = tip
+                    + w[0]
+                        .rotation()
+                        .apply(Vec3::new(0.0, w[0].width() / 2.0, w[0].height() / 2.0))
+                    - w[0]
+                        .rotation()
+                        .apply(Vec3::new(0.0, w[0].width() / 2.0, w[0].height() / 2.0));
+                assert!(
+                    (next_origin - prev_tip_center).norm() < 4.0,
+                    "links disconnected at {q:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_yaw_spins_the_arm() {
+        let arm = ArmModel::locobot();
+        let left = arm.end_effector(&JointConfig::new([1.0, 0.5, 0.0, 0.0, 0.0]));
+        let right = arm.end_effector(&JointConfig::new([-1.0, 0.5, 0.0, 0.0, 0.0]));
+        assert!((left - right).norm() > 1.0, "yaw must move the end effector");
+        // Yaw preserves height.
+        assert!((left.z - right.z).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shoulder_pitch_changes_height() {
+        let arm = ArmModel::locobot();
+        let flat = arm.end_effector(&JointConfig::new([0.0, 0.0, 0.0, 0.0, 0.0]));
+        let raised = arm.end_effector(&JointConfig::new([0.0, -0.8, 0.0, 0.0, 0.0]));
+        assert!(raised.z > flat.z + 1.0, "negative pitch should raise the arm");
+    }
+
+    #[test]
+    fn joint_space_distance_and_steering() {
+        let a = JointConfig::home();
+        let b = JointConfig::new([3.0, 4.0, 0.0, 0.0, 0.0]);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-6);
+        let mid = a.step_toward(&b, 2.5);
+        assert!((a.distance(&mid) - 2.5).abs() < 1e-5);
+        // Stepping past the target lands exactly on it.
+        assert_eq!(a.step_toward(&b, 10.0), b);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = JointConfig::paper_start();
+        let b = JointConfig::paper_goal();
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn limits_checking() {
+        let arm = ArmModel::locobot();
+        assert!(arm.within_limits(&JointConfig::home()));
+        assert!(arm.within_limits(&JointConfig::paper_start()));
+        assert!(arm.within_limits(&JointConfig::paper_goal()));
+        let bad = JointConfig::new([0.0, 5.0, 0.0, 0.0, 0.0]);
+        assert!(!arm.within_limits(&bad));
+        assert!(arm.within_limits(&arm.clamp(&bad)));
+    }
+
+    #[test]
+    fn degrees_conversion() {
+        let q = JointConfig::from_degrees([90.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!((q.angles()[0] - std::f32::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fk_is_deterministic() {
+        let arm = ArmModel::locobot();
+        let q = JointConfig::new([0.3, 0.5, -0.6, 0.2, 0.9]);
+        assert_eq!(arm.link_obbs(&q), arm.link_obbs(&q));
+    }
+}

@@ -1,0 +1,275 @@
+//! RRT: Rapidly-exploring Random Trees in joint space (LaValle 1998).
+//!
+//! The planner of paper §5.5: RRT extends a *tree* (not a graph) from the
+//! start configuration by drawing random samples, steering the nearest tree
+//! node toward each sample by a bounded step, and keeping the new node if
+//! its arm configuration is collision-free. The path is extracted by
+//! walking parent pointers — no graph search, hence no RASExp.
+
+use crate::model::{ArmModel, JointConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// RRT parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RrtConfig {
+    /// Maximum joint-space step per extension (radians).
+    pub step: f32,
+    /// Probability of sampling the goal instead of a random point.
+    pub goal_bias: f64,
+    /// Joint-space distance at which the goal counts as reached.
+    pub goal_tolerance: f32,
+    /// Maximum number of extensions before giving up.
+    pub max_iterations: usize,
+    /// RNG seed (RRT is randomized; runs are reproducible per seed).
+    pub seed: u64,
+}
+
+impl Default for RrtConfig {
+    fn default() -> Self {
+        RrtConfig { step: 0.15, goal_bias: 0.1, goal_tolerance: 0.2, max_iterations: 20_000, seed: 7 }
+    }
+}
+
+/// Counters describing the work an RRT run performed — the inputs to the
+/// Fig 6 timing model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RrtWork {
+    /// Random samples drawn.
+    pub samples: u64,
+    /// Nearest-neighbor scans performed (each scans the whole tree).
+    pub nn_scans: u64,
+    /// Total tree nodes compared during nearest-neighbor scans.
+    pub nn_comparisons: u64,
+    /// Full-arm collision checks (each checks every link).
+    pub config_checks: u64,
+    /// Per-link OBB checks.
+    pub link_checks: u64,
+}
+
+/// The outcome of an RRT run.
+#[derive(Debug, Clone)]
+pub struct RrtResult {
+    /// The joint-space path from start to goal, if found.
+    pub path: Option<Vec<JointConfig>>,
+    /// Number of nodes in the final tree.
+    pub tree_size: usize,
+    /// Work counters.
+    pub work: RrtWork,
+}
+
+impl RrtResult {
+    /// Whether a path was found.
+    pub fn found(&self) -> bool {
+        self.path.is_some()
+    }
+}
+
+/// Plans a path from `start` to `goal` with RRT.
+///
+/// `is_free` is the full-configuration collision checker: it must return
+/// `true` when every link of the arm at that configuration is collision
+/// free. Its per-call link count is `arm.obb_count()`; the run's work
+/// profile counts calls so the timing model can price software vs CODAcc
+/// execution.
+///
+/// # Example
+///
+/// ```
+/// use racod_arm::{rrt_plan, ArmModel, JointConfig, RrtConfig};
+///
+/// let arm = ArmModel::locobot();
+/// let r = rrt_plan(&arm, JointConfig::paper_start(), JointConfig::paper_goal(),
+///                  &RrtConfig::default(), |_q| true);
+/// assert!(r.found());
+/// ```
+pub fn rrt_plan<F: FnMut(&JointConfig) -> bool>(
+    arm: &ArmModel,
+    start: JointConfig,
+    goal: JointConfig,
+    config: &RrtConfig,
+    mut is_free: F,
+) -> RrtResult {
+    assert!(config.step > 0.0, "step must be positive");
+    let mut work = RrtWork::default();
+    let links = arm.obb_count() as u64;
+
+    let mut check = |q: &JointConfig, work: &mut RrtWork| {
+        work.config_checks += 1;
+        work.link_checks += links;
+        is_free(q)
+    };
+
+    if !check(&start, &mut work) {
+        return RrtResult { path: None, tree_size: 0, work };
+    }
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let limits = arm.limits();
+    let mut nodes: Vec<JointConfig> = vec![start];
+    let mut parents: Vec<usize> = vec![0];
+
+    for _ in 0..config.max_iterations {
+        // Sample.
+        work.samples += 1;
+        let target = if rng.gen_bool(config.goal_bias) {
+            goal
+        } else {
+            let mut a = [0.0f32; 5];
+            for (i, slot) in a.iter_mut().enumerate() {
+                *slot = rng.gen_range(limits[i].0..=limits[i].1);
+            }
+            JointConfig::new(a)
+        };
+
+        // Nearest neighbor (linear scan, as in the reference algorithm).
+        work.nn_scans += 1;
+        work.nn_comparisons += nodes.len() as u64;
+        let (nearest, _) = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, n.distance(&target)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("tree is never empty");
+
+        // Steer and validate.
+        let new = nodes[nearest].step_toward(&target, config.step);
+        if !arm.within_limits(&new) {
+            continue;
+        }
+        if !check(&new, &mut work) {
+            continue;
+        }
+        nodes.push(new);
+        parents.push(nearest);
+
+        // Goal check.
+        if new.distance(&goal) <= config.goal_tolerance {
+            // Try to connect exactly.
+            let reached = if check(&goal, &mut work) {
+                nodes.push(goal);
+                parents.push(nodes.len() - 2);
+                nodes.len() - 1
+            } else {
+                nodes.len() - 1
+            };
+            let mut path = Vec::new();
+            let mut cur = reached;
+            loop {
+                path.push(nodes[cur]);
+                if cur == 0 {
+                    break;
+                }
+                cur = parents[cur];
+            }
+            path.reverse();
+            let tree_size = nodes.len();
+            return RrtResult { path: Some(path), tree_size, work };
+        }
+    }
+    RrtResult { path: None, tree_size: nodes.len(), work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_path_in_free_space() {
+        let arm = ArmModel::locobot();
+        let r = rrt_plan(
+            &arm,
+            JointConfig::paper_start(),
+            JointConfig::paper_goal(),
+            &RrtConfig::default(),
+            |_| true,
+        );
+        assert!(r.found());
+        let path = r.path.unwrap();
+        assert_eq!(path[0], JointConfig::paper_start());
+        assert!(path.last().unwrap().distance(&JointConfig::paper_goal()) <= 0.2 + 1e-6);
+    }
+
+    #[test]
+    fn path_steps_respect_step_size() {
+        let arm = ArmModel::locobot();
+        let cfg = RrtConfig { step: 0.1, ..Default::default() };
+        let r = rrt_plan(&arm, JointConfig::home(), JointConfig::paper_goal(), &cfg, |_| true);
+        let path = r.path.unwrap();
+        for w in path.windows(2) {
+            assert!(w[0].distance(&w[1]) <= 0.25 + 1e-5, "oversized step");
+        }
+    }
+
+    #[test]
+    fn blocked_start_fails_immediately() {
+        let arm = ArmModel::locobot();
+        let r = rrt_plan(
+            &arm,
+            JointConfig::home(),
+            JointConfig::paper_goal(),
+            &RrtConfig::default(),
+            |_| false,
+        );
+        assert!(!r.found());
+        assert_eq!(r.work.config_checks, 1);
+    }
+
+    #[test]
+    fn collision_constraint_is_respected() {
+        // Block one half-space of joint 0; the path must stay within it.
+        let arm = ArmModel::locobot();
+        let cfg = RrtConfig { seed: 11, ..Default::default() };
+        let r = rrt_plan(
+            &arm,
+            JointConfig::new([0.5, 0.0, 0.0, 0.0, 0.0]),
+            JointConfig::new([1.5, 0.5, -0.5, 0.0, 0.0]),
+            &cfg,
+            |q| q.angles()[0] > 0.0,
+        );
+        if let Some(path) = r.path {
+            for q in path {
+                assert!(q.angles()[0] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let arm = ArmModel::locobot();
+        let cfg = RrtConfig { seed: 42, ..Default::default() };
+        let run = || {
+            rrt_plan(&arm, JointConfig::paper_start(), JointConfig::paper_goal(), &cfg, |_| true)
+                .work
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn work_counters_are_consistent() {
+        let arm = ArmModel::locobot();
+        let r = rrt_plan(
+            &arm,
+            JointConfig::paper_start(),
+            JointConfig::paper_goal(),
+            &RrtConfig::default(),
+            |_| true,
+        );
+        assert_eq!(r.work.link_checks, r.work.config_checks * 5);
+        assert!(r.work.nn_comparisons >= r.work.nn_scans);
+        assert!(r.tree_size >= 2);
+    }
+
+    #[test]
+    fn unreachable_gives_up_at_iteration_bound() {
+        let arm = ArmModel::locobot();
+        let cfg = RrtConfig { max_iterations: 200, ..Default::default() };
+        let start = JointConfig::new([0.5, 0.0, 0.0, 0.0, 0.0]);
+        let r = rrt_plan(&arm, start, JointConfig::new([-2.0, 0.0, 0.0, 0.0, 0.0]), &cfg, |q| {
+            // Free only very near the start: goal unreachable.
+            q.distance(&start) < 0.3
+        });
+        assert!(!r.found());
+        assert!(r.work.samples <= 200);
+    }
+}

@@ -1,0 +1,233 @@
+//! Timing model for RRT arm planning on software vs CODAcc (Fig 6).
+//!
+//! The Fig 6 experiment re-runs one RRT planning problem and prices it on
+//! two platforms: a software baseline (all link checks serial on the core)
+//! and a CODAcc-equipped core with 1–4 units, where the per-*link* checks
+//! of a configuration run in parallel across units. The paper reports that
+//! the baseline spends 80.5 % of planning time in collision detection, one
+//! CODAcc yields 3.4x, and four yield up to 3.8x.
+
+use crate::model::{ArmModel, JointConfig};
+use crate::rrt::{rrt_plan, RrtConfig, RrtResult};
+use racod_codacc::{software_check_3d, CodaccPool, CodaccTiming};
+use racod_grid::BitGrid3;
+use racod_mem::{CacheConfig, LatencyModel};
+
+/// Which platform executes the collision checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArmPlatform {
+    /// All link checks serial in software on the core.
+    Software,
+    /// Link checks parallel across `units` CODAcc accelerators.
+    Codacc {
+        /// Number of accelerator units (paper: 1–4).
+        units: usize,
+        /// One-way core↔accelerator communication latency in cycles
+        /// (1 tightly integrated; 10 SoC; 100 off-chip — the §5.6 sweep).
+        comm_latency: u64,
+    },
+}
+
+impl ArmPlatform {
+    /// A tightly-integrated CODAcc pool (1-cycle communication).
+    pub fn codacc(units: usize) -> Self {
+        ArmPlatform::Codacc { units, comm_latency: 1 }
+    }
+}
+
+/// Cycle costs of the RRT outer loop (sampling, nearest-neighbor scans,
+/// steering) plus the priced planning run.
+#[derive(Debug, Clone)]
+pub struct ArmTiming {
+    /// The functional RRT result.
+    pub result: RrtResult,
+    /// Total modeled cycles.
+    pub cycles: u64,
+    /// Cycles attributed to collision detection.
+    pub collision_cycles: u64,
+    /// Fraction of time in collision detection.
+    pub collision_share: f64,
+}
+
+/// Cycles per random sample drawn.
+const SAMPLE_CYCLES: u64 = 40;
+/// Cycles per tree node visited during a nearest-neighbor scan.
+const NN_PER_NODE_CYCLES: u64 = 6;
+/// Cycles to steer and insert a node.
+const STEER_CYCLES: u64 = 30;
+/// Software cycles per link-OBB cell inspected (oriented 3D checks).
+const SW_PER_CELL: f64 = 4.0;
+/// Fixed software cost per link check.
+const SW_LINK_OVERHEAD: u64 = 40;
+/// Core-side cost to dispatch one `check_coll` and gather its result.
+const HW_DISPATCH: u64 = 12;
+
+/// Builds the §5.5 tabletop environment: a 64 x 64 x 32 voxel workspace
+/// with a table surface, a shelf beside the arm, and scattered objects.
+pub fn arm_environment(seed: u64) -> BitGrid3 {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = BitGrid3::new(64, 64, 32);
+    // Table surface under the arm base (base sits at z = 8).
+    g.fill_box(0, 0, 0, 63, 63, 6, true);
+    // A shelf wall to one side.
+    g.fill_box(54, 0, 7, 58, 63, 28, true);
+    // Scattered objects on the table.
+    for _ in 0..6 {
+        let x = rng.gen_range(4..50);
+        let y = rng.gen_range(4..60);
+        let w = rng.gen_range(2..5);
+        let h = rng.gen_range(2..8);
+        g.fill_box(x, y, 7, x + w, y + w, 6 + h, true);
+    }
+    g
+}
+
+/// Runs the paper's §5.5 planning problem (LoCoBot arm, `paper_start` →
+/// `paper_goal`) in `grid` and prices it on `platform`.
+///
+/// The same RRT seed is used for every platform so the work profile is
+/// identical and the comparison isolates collision-check execution.
+pub fn time_rrt_run(
+    arm: &ArmModel,
+    grid: &BitGrid3,
+    rrt: &RrtConfig,
+    platform: ArmPlatform,
+) -> ArmTiming {
+    // Functional run: real collision checks against the voxel grid.
+    let mut cells_inspected: u64 = 0;
+    let mut link_count: u64 = 0;
+    let result = rrt_plan(arm, JointConfig::paper_start(), JointConfig::paper_goal(), rrt, |q| {
+        let mut free = true;
+        for obb in arm.link_obbs(q) {
+            let out = software_check_3d(grid, &obb);
+            cells_inspected += out.cells_checked as u64;
+            link_count += 1;
+            if !out.verdict.is_free() {
+                free = false;
+                break;
+            }
+        }
+        free
+    });
+
+    // Outer-loop (non-collision) cycles: identical on every platform.
+    let outer = result.work.samples * SAMPLE_CYCLES
+        + result.work.nn_comparisons * NN_PER_NODE_CYCLES
+        + result.work.config_checks * STEER_CYCLES;
+
+    // Collision cycles per platform.
+    let collision_cycles = match platform {
+        ArmPlatform::Software => {
+            link_count * SW_LINK_OVERHEAD + (cells_inspected as f64 * SW_PER_CELL).round() as u64
+        }
+        ArmPlatform::Codacc { units, comm_latency } => {
+            assert!(units >= 1, "at least one CODAcc");
+            // Replay the same checks on a CODAcc pool: links of one
+            // configuration run in parallel across units (waves), dispatch
+            // is serial on the core.
+            let mut pool = CodaccPool::with_config(
+                units,
+                CodaccTiming::default(),
+                CacheConfig::l0_default(),
+                CacheConfig::l1_default(),
+                LatencyModel::default(),
+            );
+            let mut total = 0u64;
+            let _ = rrt_plan(
+                arm,
+                JointConfig::paper_start(),
+                JointConfig::paper_goal(),
+                rrt,
+                |q| {
+                    let obbs = arm.link_obbs(q);
+                    let mut free = true;
+                    let mut wave_max = vec![0u64; obbs.len().div_ceil(units)];
+                    for (i, obb) in obbs.iter().enumerate() {
+                        let out = pool.check_3d(i % units, grid, obb);
+                        let wave = i / units;
+                        wave_max[wave] = wave_max[wave].max(out.cycles + 2 * comm_latency);
+                        total += HW_DISPATCH;
+                        if !out.verdict.is_free() {
+                            free = false;
+                            break;
+                        }
+                    }
+                    total += wave_max.iter().sum::<u64>();
+                    free
+                },
+            );
+            total
+        }
+    };
+    let cycles = outer + collision_cycles;
+    ArmTiming {
+        result,
+        cycles,
+        collision_cycles,
+        collision_share: collision_cycles as f64 / cycles as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ArmModel, BitGrid3, RrtConfig) {
+        (ArmModel::locobot(), arm_environment(0), RrtConfig { seed: 5, ..Default::default() })
+    }
+
+    #[test]
+    fn software_baseline_is_collision_dominated() {
+        let (arm, grid, rrt) = setup();
+        let t = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::Software);
+        assert!(t.result.found(), "RRT must solve the paper scenario");
+        assert!(
+            t.collision_share > 0.6,
+            "collision share too low: {:.2}",
+            t.collision_share
+        );
+    }
+
+    #[test]
+    fn one_codacc_speeds_up_planning() {
+        let (arm, grid, rrt) = setup();
+        let sw = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::Software);
+        let hw = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::codacc(1));
+        let speedup = sw.cycles as f64 / hw.cycles as f64;
+        assert!(speedup > 1.5, "1 CODAcc speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn more_units_help_up_to_link_count() {
+        let (arm, grid, rrt) = setup();
+        let sw = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::Software).cycles as f64;
+        let mut prev = f64::INFINITY;
+        for units in [1usize, 2, 4] {
+            let hw = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::codacc(units)).cycles as f64;
+            let speedup = sw / hw;
+            assert!(hw <= prev * 1.02, "units {units} regressed: {hw} vs {prev}");
+            assert!(speedup > 1.0);
+            prev = hw;
+        }
+    }
+
+    #[test]
+    fn same_functional_result_across_platforms() {
+        let (arm, grid, rrt) = setup();
+        let sw = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::Software);
+        let hw = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::codacc(4));
+        assert_eq!(sw.result.found(), hw.result.found());
+        assert_eq!(sw.result.work, hw.result.work, "identical work profile");
+    }
+
+    #[test]
+    fn environment_is_deterministic_and_cluttered() {
+        let a = arm_environment(9);
+        let b = arm_environment(9);
+        assert_eq!(a, b);
+        assert!(a.occupancy_ratio() > 0.05, "needs obstacles");
+        assert!(a.occupancy_ratio() < 0.8, "needs free space");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the arm's forward kinematics.
+
+use proptest::prelude::*;
+use racod_arm::{ArmModel, JointConfig};
+
+fn arb_config() -> impl Strategy<Value = JointConfig> {
+    (
+        -3.0f32..3.0,
+        -1.8f32..1.8,
+        -2.1f32..2.1,
+        -1.7f32..1.7,
+        -3.0f32..3.0,
+    )
+        .prop_map(|(a, b, c, d, e)| JointConfig::new([a, b, c, d, e]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FK always yields one OBB per link, every link has its specified
+    /// positive volume, and the chain stays within the arm's reach.
+    #[test]
+    fn fk_structure_invariants(q in arb_config()) {
+        let arm = ArmModel::locobot();
+        let obbs = arm.link_obbs(&q);
+        prop_assert_eq!(obbs.len(), arm.obb_count());
+        let mut reach = 0.0f32;
+        for o in &obbs {
+            prop_assert!(o.length() > 0.0 && o.width() > 0.0 && o.height() > 0.0);
+            reach += o.length();
+        }
+        let ee = arm.end_effector(&q);
+        let dist = (ee - arm.base()).norm();
+        prop_assert!(
+            dist <= reach + 4.0,
+            "end effector {dist} beyond total reach {reach}"
+        );
+    }
+
+    /// Consecutive links stay connected: the gap between one link's tip
+    /// and the next link's joint origin is bounded by the cross-sections.
+    #[test]
+    fn fk_links_connected(q in arb_config()) {
+        let arm = ArmModel::locobot();
+        let obbs = arm.link_obbs(&q);
+        for w in obbs.windows(2) {
+            let tip_center = w[0].center()
+                + w[0].rotation().axis_x() * (w[0].length() / 2.0);
+            let next_start = w[1].center()
+                - w[1].rotation().axis_x() * (w[1].length() / 2.0);
+            let gap = (tip_center - next_start).norm();
+            prop_assert!(gap < 5.0, "links disconnected by {gap}");
+        }
+    }
+
+    /// Base yaw spins the whole chain about the vertical axis: end-effector
+    /// height is invariant under yaw.
+    #[test]
+    fn yaw_preserves_height(q in arb_config(), yaw in -3.0f32..3.0) {
+        let arm = ArmModel::locobot();
+        let mut a = q.angles();
+        a[0] = 0.0;
+        let mut b = a;
+        b[0] = yaw;
+        let za = arm.end_effector(&JointConfig::new(a)).z;
+        let zb = arm.end_effector(&JointConfig::new(b)).z;
+        prop_assert!((za - zb).abs() < 1e-2, "yaw changed height: {za} vs {zb}");
+    }
+
+    /// Clamping is idempotent and always lands within limits.
+    #[test]
+    fn clamp_idempotent(
+        a in -10.0f32..10.0, b in -10.0f32..10.0, c in -10.0f32..10.0,
+        d in -10.0f32..10.0, e in -10.0f32..10.0,
+    ) {
+        let arm = ArmModel::locobot();
+        let q = JointConfig::new([a, b, c, d, e]);
+        let clamped = arm.clamp(&q);
+        prop_assert!(arm.within_limits(&clamped));
+        prop_assert_eq!(arm.clamp(&clamped), clamped);
+    }
+
+    /// Joint-space steering never overshoots and reduces distance.
+    #[test]
+    fn steering_contracts(q1 in arb_config(), q2 in arb_config(), step in 0.01f32..2.0) {
+        let d0 = q1.distance(&q2);
+        let stepped = q1.step_toward(&q2, step);
+        let d1 = stepped.distance(&q2);
+        prop_assert!(d1 <= d0 + 1e-5);
+        prop_assert!(q1.distance(&stepped) <= step + 1e-4);
+    }
+}

@@ -1,0 +1,54 @@
+//! Ablation bench: the design choices DESIGN.md calls out — scheduler tile
+//! order, predictor sophistication, and footprint checking vs obstacle
+//! inflation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use racod::grid::inflate::inflate_chebyshev;
+use racod::prelude::*;
+use racod::rasexp::{LastDirectionPredictor, PatternPredictor};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    // Predictor cost: simple vs pattern (the paper argues simple is enough
+    // for its workloads; the pattern predictor costs a table walk).
+    let mut group = c.benchmark_group("ablation_predictors");
+    group.bench_function("last_direction", |b| {
+        let p = LastDirectionPredictor::new(8);
+        b.iter(|| black_box(p.predict(Cell2::new(50, 50), Some(Cell2::new(49, 50)))))
+    });
+    group.bench_function("pattern", |b| {
+        let mut p = PatternPredictor::new(8);
+        for i in 0..32i64 {
+            p.observe(Cell2::new(i, 0), Cell2::new(i + 1, 0));
+        }
+        b.iter(|| black_box(p.predict(Cell2::new(50, 50), Some(Cell2::new(49, 50)))))
+    });
+    group.finish();
+
+    // Footprint checking vs inflate-then-point-check: the classical
+    // trade-off CODAcc addresses.
+    let grid = city_map(CityName::Boston, 256, 256);
+    let mut group = c.benchmark_group("ablation_checking_strategy");
+    group.bench_function("oriented_footprint_check", |b| {
+        let fp = Footprint2::car();
+        let obb = fp.obb_at(Cell2::new(80, 80), Cell2::new(200, 200));
+        b.iter(|| black_box(software_check_2d(&grid, black_box(&obb)).verdict))
+    });
+    group.bench_function("inflate_grid_once", |b| {
+        b.iter(|| black_box(inflate_chebyshev(&grid, 8).count_occupied()))
+    });
+    group.bench_function("point_check_on_inflated", |b| {
+        let fat = inflate_chebyshev(&grid, 8);
+        b.iter(|| black_box(fat.get(black_box(Cell2::new(80, 80)))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_ablation
+}
+criterion_main!(benches);

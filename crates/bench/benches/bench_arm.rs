@@ -1,0 +1,36 @@
+//! Figure 6 bench: the arm RRT planning problem per platform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use racod::arm::{arm_environment, time_rrt_run, RrtConfig};
+use racod::prelude::*;
+use std::hint::black_box;
+
+fn bench_arm(c: &mut Criterion) {
+    let arm = ArmModel::locobot();
+    let grid = arm_environment(0);
+    let rrt = RrtConfig { seed: 5, ..Default::default() };
+
+    let mut group = c.benchmark_group("fig6_arm_rrt");
+    group.bench_function("software", |b| {
+        b.iter(|| black_box(time_rrt_run(&arm, &grid, &rrt, ArmPlatform::Software).cycles))
+    });
+    group.bench_function("codacc_4", |b| {
+        b.iter(|| black_box(time_rrt_run(&arm, &grid, &rrt, ArmPlatform::codacc(4)).cycles))
+    });
+    group.finish();
+
+    // Forward kinematics alone (the per-check setup cost).
+    c.bench_function("arm_forward_kinematics", |b| {
+        let q = JointConfig::paper_goal();
+        b.iter(|| black_box(arm.link_obbs(black_box(&q))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_arm
+}
+criterion_main!(benches);

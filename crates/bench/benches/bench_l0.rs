@@ -1,0 +1,43 @@
+//! Figure 11 bench: cache-model throughput at each L0 size, on the real
+//! address stream of a planning run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use racod::mem::{CacheConfig, SetAssocCache};
+use std::hint::black_box;
+
+fn bench_l0(c: &mut Criterion) {
+    // A representative address stream: footprint rows with spatial reuse.
+    let stream: Vec<u64> = (0..4096u64)
+        .map(|i| {
+            let check = i / 16; // 16 accesses per check
+            let row = i % 8;
+            0x1000_0000 + check * 8 + row * 256
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fig11_l0_sizes");
+    for &bytes in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            b.iter(|| {
+                let mut l0 = SetAssocCache::new(CacheConfig::l0_sized(bytes));
+                let mut hits = 0u64;
+                for &a in &stream {
+                    if l0.access(black_box(a)).is_hit() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_l0
+}
+criterion_main!(benches);

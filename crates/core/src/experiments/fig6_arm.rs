@@ -1,0 +1,84 @@
+//! Figure 6: stationary robotic arm planned by RRT — speedup with 1–4
+//! CODAccs over the software baseline.
+//!
+//! The paper models a 5-DoF LoCoBot traversing from
+//! `(-80°, 0°, 0°, 0°, 0°)` to `(0°, 60°, -75°, -75°, 0°)`, reports an
+//! 80.5% baseline collision share, and speedups of 3.4x (1 unit) rising
+//! slightly to 3.8x (4 units, one per concurrently-checkable OBB wave).
+
+use super::Scale;
+use racod_arm::{arm_environment, time_rrt_run, ArmModel, ArmPlatform, RrtConfig};
+use std::fmt;
+
+/// Figure 6 data.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// `(units, speedup)` for 1–4 CODAccs.
+    pub speedups: Vec<(usize, f64)>,
+    /// Baseline collision share.
+    pub baseline_collision_share: f64,
+    /// Whether the RRT solved the paper scenario.
+    pub solved: bool,
+    /// RRT tree size of the run.
+    pub tree_size: usize,
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6: robotic arm (RRT) speedup with 1-4 CODAccs")?;
+        for &(u, s) in &self.speedups {
+            writeln!(f, "  {u} CODAcc(s): {s:.2}x")?;
+        }
+        writeln!(
+            f,
+            "  baseline collision share: {:.1}%  (paper: 80.5%; speedups 3.4x-3.8x)",
+            self.baseline_collision_share * 100.0
+        )
+    }
+}
+
+/// Runs the Figure 6 experiment.
+pub fn fig6(scale: Scale) -> Fig6 {
+    let arm = ArmModel::locobot();
+    let grid = arm_environment(0);
+    let rrt = RrtConfig {
+        seed: 5,
+        max_iterations: match scale {
+            Scale::Quick => 20_000,
+            Scale::Full => 60_000,
+        },
+        ..Default::default()
+    };
+    let sw = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::Software);
+    let mut speedups = Vec::new();
+    for units in 1..=4usize {
+        let hw = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::codacc(units));
+        speedups.push((units, sw.cycles as f64 / hw.cycles.max(1) as f64));
+    }
+    Fig6 {
+        speedups,
+        baseline_collision_share: sw.collision_share,
+        solved: sw.result.found(),
+        tree_size: sw.result.tree_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_quick_shape() {
+        let data = fig6(Scale::Quick);
+        assert!(data.solved, "RRT must solve the paper scenario");
+        assert!(data.baseline_collision_share > 0.6);
+        let one = data.speedups[0].1;
+        let four = data.speedups[3].1;
+        assert!(one > 1.5, "1 CODAcc speedup {one:.2}");
+        assert!(four >= one * 0.98, "more units must not regress: {one:.2} -> {four:.2}");
+        // The gain from extra units is modest (links per wave), as in the
+        // paper's 3.4x -> 3.8x.
+        assert!(four < one * 3.0, "gain should be sub-linear: {one:.2} -> {four:.2}");
+        assert!(format!("{data}").contains("Figure 6"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Experiment runners regenerating every table and figure of the paper's
+//! evaluation (§5–§6).
+//!
+//! Each submodule corresponds to one table/figure, returns a plain data
+//! struct, and can render itself as an aligned text table — the same rows
+//! and series the paper plots. The `figures` binary in `racod-bench` calls
+//! these; the integration tests assert their qualitative shapes.
+//!
+//! All experiments accept a [`Scale`]: `Quick` shrinks maps and pair counts
+//! for CI, `Full` approaches the paper's workload sizes.
+
+pub mod ablations;
+pub mod fig10_heuristics;
+pub mod fig11_l0;
+pub mod fig12_throttle;
+pub mod fig13_platforms;
+pub mod fig3_city;
+pub mod fig4_footprint;
+pub mod fig5_drone;
+pub mod fig6_arm;
+pub mod fig7_comm;
+pub mod fig8_prediction;
+pub mod fig9_labor;
+pub mod table2_codacc;
+
+pub use ablations::{ablations, Ablations};
+pub use fig10_heuristics::{fig10, Fig10};
+pub use fig11_l0::{fig11, Fig11};
+pub use fig12_throttle::{fig12, Fig12};
+pub use fig13_platforms::{fig13, Fig13};
+pub use fig3_city::{fig3, Fig3};
+pub use fig4_footprint::{fig4, Fig4};
+pub use fig5_drone::{fig5, Fig5};
+pub use fig6_arm::{fig6, Fig6};
+pub use fig7_comm::{fig7, Fig7};
+pub use fig8_prediction::{fig8, Fig8};
+pub use fig9_labor::{fig9, Fig9};
+pub use table2_codacc::table2;
+
+use racod_geom::Cell2;
+use racod_grid::gen::random_free_cell;
+use racod_grid::{BitGrid2, Occupancy2};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small maps and few endpoint pairs — seconds per figure, used by the
+    /// integration tests.
+    Quick,
+    /// Paper-approaching workloads — used by the `figures` binary and the
+    /// Criterion benches.
+    Full,
+}
+
+impl Scale {
+    /// 2D map edge length in cells.
+    pub fn map_size(self) -> u32 {
+        match self {
+            Scale::Quick => 256,
+            Scale::Full => 512,
+        }
+    }
+
+    /// Number of random start/goal pairs per 2D map (the paper uses 100).
+    pub fn pairs_2d(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Number of random pairs in 3D (the paper uses 10).
+    pub fn pairs_3d(self) -> usize {
+        match self {
+            Scale::Quick => 1,
+            Scale::Full => 5,
+        }
+    }
+
+    /// 3D map dimensions.
+    pub fn map_size_3d(self) -> (u32, u32, u32) {
+        match self {
+            Scale::Quick => (64, 64, 24),
+            Scale::Full => (128, 128, 32),
+        }
+    }
+
+    /// Accelerator counts swept in the unit-scaling figures.
+    pub fn unit_sweep(self) -> &'static [usize] {
+        match self {
+            Scale::Quick => &[1, 4, 32],
+            Scale::Full => &[1, 2, 4, 8, 16, 32],
+        }
+    }
+}
+
+/// Geometric mean of a non-empty slice (speedups are always aggregated
+/// geometrically).
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Draws `n` random start/goal pairs of free cells at least a quarter of
+/// the map apart, deterministically per seed.
+pub fn random_pairs(grid: &BitGrid2, n: usize, seed: u64) -> Vec<(Cell2, Cell2)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let min_dist = (Occupancy2::width(grid).min(Occupancy2::height(grid)) / 4) as f64;
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < 10_000 {
+        guard += 1;
+        let (Some(a), Some(b)) =
+            (random_free_cell(grid, &mut rng), random_free_cell(grid, &mut rng))
+        else {
+            break;
+        };
+        if a.euclidean(b) >= min_dist {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_grid::gen::{city_map, CityName};
+
+    #[test]
+    fn geomean_of_uniform_is_value() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_mixes_multiplicatively() {
+        assert!((geomean(&[1.0, 16.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_pairs_are_free_and_far() {
+        let grid = city_map(CityName::Boston, 256, 256);
+        let pairs = random_pairs(&grid, 5, 3);
+        assert_eq!(pairs.len(), 5);
+        for (a, b) in pairs {
+            assert!(a.euclidean(b) >= 64.0);
+        }
+    }
+
+    #[test]
+    fn random_pairs_deterministic() {
+        let grid = city_map(CityName::Paris, 256, 256);
+        assert_eq!(random_pairs(&grid, 3, 9), random_pairs(&grid, 3, 9));
+    }
+
+    #[test]
+    fn scale_parameters() {
+        assert!(Scale::Full.map_size() > Scale::Quick.map_size());
+        assert!(Scale::Full.pairs_2d() > Scale::Quick.pairs_2d());
+        assert!(Scale::Quick.unit_sweep().contains(&32));
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 2: CODAcc design parameters, regenerated from the analytic
+//! area/power model, plus the §5.1 system-level overhead comparisons.
+
+use racod_codacc::AreaPowerModel;
+
+/// Renders Table 2 plus the §5.1 overhead lines.
+pub fn table2() -> String {
+    let m = AreaPowerModel::default();
+    let mut out = String::new();
+    out.push_str("Table 2: design parameters of CODAcc (45 nm)\n");
+    out.push_str(&m.table2());
+    out.push_str(&format!(
+        "\n32 CODAccs + cache extension: {:.2} mm2 ({:.1}% of a core, {:.2}% of the die)\n",
+        m.system_area_mm2(32),
+        m.core_area_overhead(32) * 100.0,
+        m.die_area_overhead(32) * 100.0,
+    ));
+    out.push_str(&format!(
+        "32 CODAccs at full load: {:.0} mW ({:.1}% of a core, {:.2}% of chip power)\n",
+        m.system_power_mw(32),
+        m.core_power_overhead(32) * 100.0,
+        m.chip_power_overhead(32) * 100.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table2_renders_paper_values() {
+        let t = super::table2();
+        assert!(t.contains("Logic+Registers"));
+        assert!(t.contains("0.023"), "total area missing: {t}");
+        assert!(t.contains("12.2"), "total power missing: {t}");
+        assert!(t.contains("32 CODAccs"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Axis-aligned bounding boxes.
+
+use crate::cell::{Cell2, Cell3};
+use crate::vec::{Vec2, Vec3};
+use std::fmt;
+
+/// An axis-aligned 2D box given by inclusive min/max corners.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::{Aabb2, Vec2};
+/// let b = Aabb2::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 1.0));
+/// assert!(b.contains(Vec2::new(1.0, 0.5)));
+/// assert!(!b.contains(Vec2::new(3.0, 0.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Aabb2 {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+impl Aabb2 {
+    /// Creates a box from corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any `min` component exceeds `max`.
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "inverted AABB");
+        Aabb2 { min, max }
+    }
+
+    /// The smallest box containing all given points.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec2>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = Aabb2 { min: first, max: first };
+        for p in it {
+            b.min = b.min.min(p);
+            b.max = b.max.max(p);
+        }
+        Some(b)
+    }
+
+    /// Whether the point is inside (inclusive of the boundary).
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether two boxes overlap (touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb2) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Width x height.
+    #[inline]
+    pub fn size(&self) -> Vec2 {
+        self.max - self.min
+    }
+
+    /// Area of the box.
+    #[inline]
+    pub fn area(&self) -> f32 {
+        let s = self.size();
+        s.x * s.y
+    }
+
+    /// The range of grid cells overlapped by the box, as inclusive corners.
+    pub fn cell_range(&self) -> (Cell2, Cell2) {
+        (Cell2::from_point(self.min), Cell2::from_point(self.max))
+    }
+}
+
+impl fmt::Display for Aabb2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+/// An axis-aligned 3D box given by inclusive min/max corners.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::{Aabb3, Vec3};
+/// let b = Aabb3::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+/// assert_eq!(b.volume(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Aabb3 {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb3 {
+    /// Creates a box from corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any `min` component exceeds `max`.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        debug_assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "inverted AABB"
+        );
+        Aabb3 { min, max }
+    }
+
+    /// The smallest box containing all given points.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_points<I: IntoIterator<Item = Vec3>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = Aabb3 { min: first, max: first };
+        for p in it {
+            b.min = b.min.min(p);
+            b.max = b.max.max(p);
+        }
+        Some(b)
+    }
+
+    /// Whether the point is inside (inclusive of the boundary).
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Whether two boxes overlap (touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb3) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Size in each dimension.
+    #[inline]
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Volume of the box.
+    #[inline]
+    pub fn volume(&self) -> f32 {
+        let s = self.size();
+        s.x * s.y * s.z
+    }
+
+    /// The range of grid cells overlapped by the box, as inclusive corners.
+    pub fn cell_range(&self) -> (Cell3, Cell3) {
+        (Cell3::from_point(self.min), Cell3::from_point(self.max))
+    }
+}
+
+impl fmt::Display for Aabb3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_bounds_everything() {
+        let pts = [Vec2::new(1.0, 5.0), Vec2::new(-2.0, 3.0), Vec2::new(0.0, 7.0)];
+        let b = Aabb2::from_points(pts).unwrap();
+        assert_eq!(b.min, Vec2::new(-2.0, 3.0));
+        assert_eq!(b.max, Vec2::new(1.0, 7.0));
+        for p in pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb2::from_points(std::iter::empty()).is_none());
+        assert!(Aabb3::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn intersection_2d() {
+        let a = Aabb2::new(Vec2::ZERO, Vec2::new(2.0, 2.0));
+        let b = Aabb2::new(Vec2::new(1.0, 1.0), Vec2::new(3.0, 3.0));
+        let c = Aabb2::new(Vec2::new(2.5, 0.0), Vec2::new(4.0, 0.5));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting.
+        let d = Aabb2::new(Vec2::new(2.0, 0.0), Vec2::new(3.0, 1.0));
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn intersection_3d() {
+        let a = Aabb3::new(Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0));
+        let b = Aabb3::new(Vec3::new(0.5, 0.5, 0.5), Vec3::new(2.0, 2.0, 2.0));
+        let c = Aabb3::new(Vec3::new(0.0, 0.0, 1.5), Vec3::new(1.0, 1.0, 2.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn geometry_measures() {
+        let a = Aabb2::new(Vec2::ZERO, Vec2::new(3.0, 2.0));
+        assert_eq!(a.area(), 6.0);
+        let b = Aabb3::new(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.volume(), 24.0);
+    }
+
+    #[test]
+    fn cell_ranges() {
+        let a = Aabb2::new(Vec2::new(0.2, 0.8), Vec2::new(2.9, 1.1));
+        let (lo, hi) = a.cell_range();
+        assert_eq!(lo, Cell2::new(0, 0));
+        assert_eq!(hi, Cell2::new(2, 1));
+
+        let b = Aabb3::new(Vec3::new(-0.5, 0.0, 0.0), Vec3::new(0.5, 0.5, 2.5));
+        let (lo, hi) = b.cell_range();
+        assert_eq!(lo, Cell3::new(-1, 0, 0));
+        assert_eq!(hi, Cell3::new(0, 0, 2));
+    }
+}

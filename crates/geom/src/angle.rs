@@ -1,0 +1,404 @@
+//! Rotations in 2D and 3D.
+//!
+//! The CODAcc configuration interface (paper Table 1) transmits rotations as
+//! precomputed sine/cosine pairs so the accelerator needs no trigonometric
+//! circuitry. [`Rotation2`] and [`Rotation3`] mirror that encoding: they store
+//! only sines and cosines and can be constructed either from angles (host
+//! side) or directly from sine/cosine pairs (accelerator side).
+
+use crate::vec::{Vec2, Vec3};
+use std::fmt;
+
+/// A 2D rotation stored as a (sin θ, cos θ) pair.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::{Rotation2, Vec2};
+/// let r = Rotation2::from_angle(std::f32::consts::FRAC_PI_2);
+/// let v = r.apply(Vec2::new(1.0, 0.0));
+/// assert!((v.x - 0.0).abs() < 1e-6 && (v.y - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rotation2 {
+    sin: f32,
+    cos: f32,
+}
+
+impl Rotation2 {
+    /// The identity rotation (θ = 0).
+    pub const IDENTITY: Rotation2 = Rotation2 { sin: 0.0, cos: 1.0 };
+
+    /// Creates a rotation from an angle in radians.
+    pub fn from_angle(theta: f32) -> Self {
+        Rotation2 { sin: theta.sin(), cos: theta.cos() }
+    }
+
+    /// Creates a rotation directly from a (sin, cos) pair, as received over
+    /// the accelerator configuration interface.
+    ///
+    /// The pair is used as-is; callers are responsible for it being a valid
+    /// point on the unit circle (use [`Rotation2::from_angle`] on the host
+    /// side).
+    pub const fn from_sin_cos(sin: f32, cos: f32) -> Self {
+        Rotation2 { sin, cos }
+    }
+
+    /// sin θ.
+    #[inline]
+    pub fn sin(&self) -> f32 {
+        self.sin
+    }
+
+    /// cos θ.
+    #[inline]
+    pub fn cos(&self) -> f32 {
+        self.cos
+    }
+
+    /// The rotation angle in radians, in `(-π, π]`.
+    pub fn angle(&self) -> f32 {
+        self.sin.atan2(self.cos)
+    }
+
+    /// Rotates a vector.
+    #[inline]
+    pub fn apply(&self, v: Vec2) -> Vec2 {
+        Vec2::new(self.cos * v.x - self.sin * v.y, self.sin * v.x + self.cos * v.y)
+    }
+
+    /// The inverse rotation.
+    #[inline]
+    pub fn inverse(&self) -> Rotation2 {
+        Rotation2 { sin: -self.sin, cos: self.cos }
+    }
+
+    /// Composition: `self` applied after `other`.
+    pub fn compose(&self, other: &Rotation2) -> Rotation2 {
+        Rotation2 {
+            sin: self.sin * other.cos + self.cos * other.sin,
+            cos: self.cos * other.cos - self.sin * other.sin,
+        }
+    }
+
+    /// The rotated x-axis unit vector (the OBB "length" direction).
+    #[inline]
+    pub fn axis_x(&self) -> Vec2 {
+        Vec2::new(self.cos, self.sin)
+    }
+
+    /// The rotated y-axis unit vector (the OBB "width" direction).
+    #[inline]
+    pub fn axis_y(&self) -> Vec2 {
+        Vec2::new(-self.sin, self.cos)
+    }
+}
+
+impl Default for Rotation2 {
+    fn default() -> Self {
+        Rotation2::IDENTITY
+    }
+}
+
+impl fmt::Display for Rotation2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rotation2({:.4} rad)", self.angle())
+    }
+}
+
+/// A 3D rotation given by roll–pitch–yaw angles (α, β, γ), stored as
+/// sine/cosine pairs as per the accelerator interface (paper Table 1).
+///
+/// The convention is extrinsic X-Y-Z: `R = Rz(γ) · Ry(β) · Rx(α)` — roll α
+/// about x, then pitch β about y, then yaw γ about z.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::{Rotation3, Vec3};
+/// let r = Rotation3::from_rpy(0.0, 0.0, std::f32::consts::FRAC_PI_2);
+/// let v = r.apply(Vec3::new(1.0, 0.0, 0.0));
+/// assert!((v.y - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rotation3 {
+    /// Row-major 3x3 rotation matrix, built once from the six sin/cos values.
+    m: [[f32; 3]; 3],
+    sin_cos: [f32; 6],
+}
+
+impl Rotation3 {
+    /// The identity rotation.
+    pub fn identity() -> Self {
+        Rotation3::from_rpy(0.0, 0.0, 0.0)
+    }
+
+    /// Creates a rotation from roll–pitch–yaw angles in radians.
+    pub fn from_rpy(roll: f32, pitch: f32, yaw: f32) -> Self {
+        Rotation3::from_sin_cos(
+            roll.sin(),
+            roll.cos(),
+            pitch.sin(),
+            pitch.cos(),
+            yaw.sin(),
+            yaw.cos(),
+        )
+    }
+
+    /// Creates a rotation from the six sine/cosine values transmitted to the
+    /// accelerator: `(sin α, cos α, sin β, cos β, sin γ, cos γ)`.
+    pub fn from_sin_cos(sa: f32, ca: f32, sb: f32, cb: f32, sg: f32, cg: f32) -> Self {
+        // R = Rz(γ) · Ry(β) · Rx(α), row-major.
+        let m = [
+            [cg * cb, cg * sb * sa - sg * ca, cg * sb * ca + sg * sa],
+            [sg * cb, sg * sb * sa + cg * ca, sg * sb * ca - cg * sa],
+            [-sb, cb * sa, cb * ca],
+        ];
+        Rotation3 { m, sin_cos: [sa, ca, sb, cb, sg, cg] }
+    }
+
+    /// The six sine/cosine values `(sin α, cos α, sin β, cos β, sin γ, cos γ)`
+    /// in wire order.
+    pub fn sin_cos(&self) -> [f32; 6] {
+        self.sin_cos
+    }
+
+    /// Composition: `self` applied after `other` (matrix product
+    /// `self · other`). Used by forward kinematics to chain link frames.
+    pub fn compose(&self, other: &Rotation3) -> Rotation3 {
+        let a = &self.m;
+        let b = &other.m;
+        let mut m = [[0.0f32; 3]; 3];
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j] + a[i][2] * b[2][j];
+            }
+        }
+        Rotation3::from_matrix(m)
+    }
+
+    /// Builds a rotation from a row-major matrix by extracting
+    /// roll–pitch–yaw (standard ZYX Euler extraction; the gimbal-lock
+    /// meridian maps to a consistent convention).
+    pub fn from_matrix(m: [[f32; 3]; 3]) -> Rotation3 {
+        let beta = (-m[2][0]).clamp(-1.0, 1.0).asin();
+        let alpha = m[2][1].atan2(m[2][2]);
+        let gamma = m[1][0].atan2(m[0][0]);
+        Rotation3::from_rpy(alpha, beta, gamma)
+    }
+
+    /// Rotates a vector.
+    #[inline]
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Applies the inverse (transpose) rotation.
+    #[inline]
+    pub fn apply_inverse(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[1][0] * v.y + self.m[2][0] * v.z,
+            self.m[0][1] * v.x + self.m[1][1] * v.y + self.m[2][1] * v.z,
+            self.m[0][2] * v.x + self.m[1][2] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// The rotated x-axis (OBB length direction).
+    #[inline]
+    pub fn axis_x(&self) -> Vec3 {
+        Vec3::new(self.m[0][0], self.m[1][0], self.m[2][0])
+    }
+
+    /// The rotated y-axis (OBB width direction).
+    #[inline]
+    pub fn axis_y(&self) -> Vec3 {
+        Vec3::new(self.m[0][1], self.m[1][1], self.m[2][1])
+    }
+
+    /// The rotated z-axis (OBB height direction).
+    #[inline]
+    pub fn axis_z(&self) -> Vec3 {
+        Vec3::new(self.m[0][2], self.m[1][2], self.m[2][2])
+    }
+}
+
+impl Default for Rotation3 {
+    fn default() -> Self {
+        Rotation3::identity()
+    }
+}
+
+impl fmt::Display for Rotation3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [sa, ca, sb, cb, sg, cg] = self.sin_cos;
+        write!(
+            f,
+            "Rotation3(rpy = {:.4}, {:.4}, {:.4})",
+            sa.atan2(ca),
+            sb.atan2(cb),
+            sg.atan2(cg)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    fn approx2(a: Vec2, b: Vec2) -> bool {
+        (a - b).norm() < 1e-5
+    }
+
+    fn approx3(a: Vec3, b: Vec3) -> bool {
+        (a - b).norm() < 1e-5
+    }
+
+    #[test]
+    fn rotation2_identity_is_noop() {
+        let v = Vec2::new(3.0, -2.0);
+        assert_eq!(Rotation2::IDENTITY.apply(v), v);
+        assert_eq!(Rotation2::default(), Rotation2::IDENTITY);
+    }
+
+    #[test]
+    fn rotation2_quarter_turn() {
+        let r = Rotation2::from_angle(FRAC_PI_2);
+        assert!(approx2(r.apply(Vec2::new(1.0, 0.0)), Vec2::new(0.0, 1.0)));
+        assert!(approx2(r.apply(Vec2::new(0.0, 1.0)), Vec2::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn rotation2_inverse_roundtrip() {
+        let r = Rotation2::from_angle(0.7);
+        let v = Vec2::new(2.0, 5.0);
+        assert!(approx2(r.inverse().apply(r.apply(v)), v));
+    }
+
+    #[test]
+    fn rotation2_compose_adds_angles() {
+        let a = Rotation2::from_angle(0.3);
+        let b = Rotation2::from_angle(0.4);
+        let c = a.compose(&b);
+        assert!((c.angle() - 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotation2_angle_recovery() {
+        for &t in &[0.0, 0.5, -1.2, PI - 0.01, -PI + 0.01] {
+            let r = Rotation2::from_angle(t);
+            assert!((r.angle() - t).abs() < 1e-5, "angle {t}");
+        }
+    }
+
+    #[test]
+    fn rotation2_axes_are_orthonormal() {
+        let r = Rotation2::from_angle(1.1);
+        assert!((r.axis_x().norm() - 1.0).abs() < 1e-6);
+        assert!((r.axis_y().norm() - 1.0).abs() < 1e-6);
+        assert!(r.axis_x().dot(r.axis_y()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation2_preserves_length() {
+        let r = Rotation2::from_angle(2.2);
+        let v = Vec2::new(3.0, 4.0);
+        assert!((r.apply(v).norm() - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rotation3_identity_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(approx3(Rotation3::identity().apply(v), v));
+    }
+
+    #[test]
+    fn rotation3_yaw_only_matches_2d() {
+        let r3 = Rotation3::from_rpy(0.0, 0.0, 0.9);
+        let r2 = Rotation2::from_angle(0.9);
+        let v = Vec2::new(2.0, -1.0);
+        let out3 = r3.apply(Vec3::from_vec2(v));
+        assert!(approx2(out3.xy(), r2.apply(v)));
+        assert!(out3.z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotation3_roll_about_x() {
+        let r = Rotation3::from_rpy(FRAC_PI_2, 0.0, 0.0);
+        assert!(approx3(r.apply(Vec3::new(0.0, 1.0, 0.0)), Vec3::new(0.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn rotation3_pitch_about_y() {
+        let r = Rotation3::from_rpy(0.0, FRAC_PI_2, 0.0);
+        assert!(approx3(r.apply(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(0.0, 0.0, -1.0)));
+    }
+
+    #[test]
+    fn rotation3_inverse_roundtrip() {
+        let r = Rotation3::from_rpy(0.3, -0.8, 1.7);
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert!(approx3(r.apply_inverse(r.apply(v)), v));
+    }
+
+    #[test]
+    fn rotation3_axes_orthonormal() {
+        let r = Rotation3::from_rpy(0.4, 0.5, 0.6);
+        let (x, y, z) = (r.axis_x(), r.axis_y(), r.axis_z());
+        assert!((x.norm() - 1.0).abs() < 1e-5);
+        assert!((y.norm() - 1.0).abs() < 1e-5);
+        assert!((z.norm() - 1.0).abs() < 1e-5);
+        assert!(x.dot(y).abs() < 1e-5);
+        assert!(y.dot(z).abs() < 1e-5);
+        assert!(approx3(x.cross(y), z));
+    }
+
+    #[test]
+    fn rotation3_sin_cos_wire_roundtrip() {
+        let r = Rotation3::from_rpy(0.2, 0.3, 0.4);
+        let sc = r.sin_cos();
+        let r2 = Rotation3::from_sin_cos(sc[0], sc[1], sc[2], sc[3], sc[4], sc[5]);
+        let v = Vec3::new(5.0, 6.0, 7.0);
+        assert!(approx3(r.apply(v), r2.apply(v)));
+    }
+
+    #[test]
+    fn rotation3_preserves_length() {
+        let r = Rotation3::from_rpy(1.0, 0.7, -0.4);
+        let v = Vec3::new(2.0, 3.0, 6.0);
+        assert!((r.apply(v).norm() - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rotation3_compose_matches_sequential_application() {
+        let a = Rotation3::from_rpy(0.3, -0.2, 0.8);
+        let b = Rotation3::from_rpy(-0.5, 0.4, 0.1);
+        let c = a.compose(&b);
+        let v = Vec3::new(1.0, -2.0, 0.7);
+        assert!(approx3(c.apply(v), a.apply(b.apply(v))));
+    }
+
+    #[test]
+    fn rotation3_compose_with_identity() {
+        let a = Rotation3::from_rpy(0.3, 0.2, 0.1);
+        let v = Vec3::new(3.0, 1.0, 2.0);
+        assert!(approx3(a.compose(&Rotation3::identity()).apply(v), a.apply(v)));
+        assert!(approx3(Rotation3::identity().compose(&a).apply(v), a.apply(v)));
+    }
+
+    #[test]
+    fn rotation3_from_matrix_roundtrip() {
+        let a = Rotation3::from_rpy(0.4, 0.5, -1.1);
+        let b = Rotation3::from_matrix([
+            [a.axis_x().x, a.axis_y().x, a.axis_z().x],
+            [a.axis_x().y, a.axis_y().y, a.axis_z().y],
+            [a.axis_x().z, a.axis_y().z, a.axis_z().z],
+        ]);
+        let v = Vec3::new(0.5, 2.0, -1.0);
+        assert!(approx3(a.apply(v), b.apply(v)));
+    }
+}

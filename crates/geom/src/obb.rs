@@ -1,0 +1,566 @@
+//! Oriented bounded boxes (OBBs).
+//!
+//! An OBB bounds the robot's body with an oriented rectangle (2D) or cuboid
+//! (3D). Per the paper's convention (Table 1), an OBB is described by an
+//! `origin` corner, a `size` in box-local axes, and an orientation expressed
+//! as sine/cosine pairs. The box occupies the region
+//! `origin + a·axis_x + b·axis_y (+ c·axis_z)` for `a ∈ [0, l]`,
+//! `b ∈ [0, w]` (`c ∈ [0, h]`).
+
+use crate::aabb::{Aabb2, Aabb3};
+use crate::angle::{Rotation2, Rotation3};
+use crate::cell::{Cell2, Cell3};
+use crate::raster;
+use crate::vec::{Vec2, Vec3};
+use std::fmt;
+
+/// An oriented rectangle in 2D.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::{Obb2, Rotation2, Vec2};
+/// let obb = Obb2::new(Vec2::ZERO, 4.0, 2.0, Rotation2::IDENTITY);
+/// let corners = obb.corners();
+/// assert_eq!(corners[2], Vec2::new(4.0, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obb2 {
+    origin: Vec2,
+    length: f32,
+    width: f32,
+    rotation: Rotation2,
+}
+
+impl Obb2 {
+    /// Creates an OBB from its origin corner, size, and rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or `width` is negative or non-finite.
+    pub fn new(origin: Vec2, length: f32, width: f32, rotation: Rotation2) -> Self {
+        assert!(
+            length >= 0.0 && width >= 0.0 && length.is_finite() && width.is_finite(),
+            "OBB size must be finite and non-negative"
+        );
+        Obb2 { origin, length, width, rotation }
+    }
+
+    /// Creates an axis-aligned OBB (θ = 0).
+    pub fn axis_aligned(origin: Vec2, length: f32, width: f32) -> Self {
+        Obb2::new(origin, length, width, Rotation2::IDENTITY)
+    }
+
+    /// Creates an OBB centered at `center` (rather than anchored at the
+    /// origin corner), which is the natural form for a robot pose.
+    pub fn centered(center: Vec2, length: f32, width: f32, rotation: Rotation2) -> Self {
+        let half = rotation.apply(Vec2::new(length / 2.0, width / 2.0));
+        Obb2::new(center - half, length, width, rotation)
+    }
+
+    /// The origin corner.
+    #[inline]
+    pub fn origin(&self) -> Vec2 {
+        self.origin
+    }
+
+    /// Length (extent along the rotated x-axis).
+    #[inline]
+    pub fn length(&self) -> f32 {
+        self.length
+    }
+
+    /// Width (extent along the rotated y-axis).
+    #[inline]
+    pub fn width(&self) -> f32 {
+        self.width
+    }
+
+    /// The orientation.
+    #[inline]
+    pub fn rotation(&self) -> Rotation2 {
+        self.rotation
+    }
+
+    /// The geometric center of the box.
+    pub fn center(&self) -> Vec2 {
+        self.origin + self.rotation.apply(Vec2::new(self.length / 2.0, self.width / 2.0))
+    }
+
+    /// The four corners: origin, origin + l·x̂, origin + l·x̂ + w·ŷ,
+    /// origin + w·ŷ (counter-clockwise for positive sizes).
+    pub fn corners(&self) -> [Vec2; 4] {
+        let lx = self.rotation.axis_x() * self.length;
+        let wy = self.rotation.axis_y() * self.width;
+        [
+            self.origin,
+            self.origin + lx,
+            self.origin + lx + wy,
+            self.origin + wy,
+        ]
+    }
+
+    /// The tightest axis-aligned bounding box.
+    pub fn aabb(&self) -> Aabb2 {
+        Aabb2::from_points(self.corners()).expect("four corners are never empty")
+    }
+
+    /// Whether the point lies inside the box (inclusive boundary, with a
+    /// tolerance proportional to the coordinate magnitude — `f32` rotation
+    /// round-trips are not exact).
+    pub fn contains(&self, p: Vec2) -> bool {
+        let local = self.rotation.inverse().apply(p - self.origin);
+        let eps = 1e-5 * (1.0 + p.x.abs().max(p.y.abs()));
+        local.x >= -eps
+            && local.x <= self.length + eps
+            && local.y >= -eps
+            && local.y <= self.width + eps
+    }
+
+    /// Enumerates the grid cells of the box body on a unit sample lattice.
+    ///
+    /// This is exactly the cell set the CODAcc hardware registers correspond
+    /// to (paper §3.1.2): the box body sampled at unit steps along its own
+    /// axes, `⌈l⌉+1` x `⌈w⌉+1` samples, each mapped to the containing grid
+    /// cell. Duplicate cells are removed; the order is deterministic
+    /// (row-major in box-local coordinates).
+    pub fn sample_cells(&self) -> Vec<Cell2> {
+        raster::sample_obb2(self)
+    }
+
+    /// Enumerates every grid cell whose area intersects the box (exact
+    /// conservative rasterization). A superset of [`Obb2::sample_cells`] for
+    /// thin boxes.
+    pub fn cover_cells(&self) -> Vec<Cell2> {
+        raster::cover_obb2(self)
+    }
+
+    /// Lifts the box into 3D at `z ∈ [0, height]` with yaw-only rotation.
+    pub fn to_obb3(&self, z: f32, height: f32) -> Obb3 {
+        let ang = self.rotation.angle();
+        Obb3::new(
+            Vec3::new(self.origin.x, self.origin.y, z),
+            self.length,
+            self.width,
+            height,
+            Rotation3::from_rpy(0.0, 0.0, ang),
+        )
+    }
+}
+
+impl fmt::Display for Obb2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Obb2(origin={}, l={}, w={}, θ={:.4})",
+            self.origin,
+            self.length,
+            self.width,
+            self.rotation.angle()
+        )
+    }
+}
+
+/// An oriented cuboid in 3D.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::{Obb3, Rotation3, Vec3};
+/// let obb = Obb3::new(Vec3::ZERO, 2.0, 1.0, 1.0, Rotation3::identity());
+/// assert!(obb.contains(Vec3::new(1.0, 0.5, 0.5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obb3 {
+    origin: Vec3,
+    length: f32,
+    width: f32,
+    height: f32,
+    rotation: Rotation3,
+}
+
+impl Obb3 {
+    /// Creates an OBB from its origin corner, size, and rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is negative or non-finite.
+    pub fn new(origin: Vec3, length: f32, width: f32, height: f32, rotation: Rotation3) -> Self {
+        assert!(
+            length >= 0.0
+                && width >= 0.0
+                && height >= 0.0
+                && length.is_finite()
+                && width.is_finite()
+                && height.is_finite(),
+            "OBB size must be finite and non-negative"
+        );
+        Obb3 { origin, length, width, height, rotation }
+    }
+
+    /// Creates an axis-aligned OBB.
+    pub fn axis_aligned(origin: Vec3, length: f32, width: f32, height: f32) -> Self {
+        Obb3::new(origin, length, width, height, Rotation3::identity())
+    }
+
+    /// Creates an OBB centered at `center`.
+    pub fn centered(center: Vec3, length: f32, width: f32, height: f32, rotation: Rotation3) -> Self {
+        let half = rotation.apply(Vec3::new(length / 2.0, width / 2.0, height / 2.0));
+        Obb3::new(center - half, length, width, height, rotation)
+    }
+
+    /// The origin corner.
+    #[inline]
+    pub fn origin(&self) -> Vec3 {
+        self.origin
+    }
+
+    /// Length (extent along the rotated x-axis).
+    #[inline]
+    pub fn length(&self) -> f32 {
+        self.length
+    }
+
+    /// Width (extent along the rotated y-axis).
+    #[inline]
+    pub fn width(&self) -> f32 {
+        self.width
+    }
+
+    /// Height (extent along the rotated z-axis).
+    #[inline]
+    pub fn height(&self) -> f32 {
+        self.height
+    }
+
+    /// The orientation.
+    #[inline]
+    pub fn rotation(&self) -> Rotation3 {
+        self.rotation
+    }
+
+    /// The geometric center of the box.
+    pub fn center(&self) -> Vec3 {
+        self.origin
+            + self
+                .rotation
+                .apply(Vec3::new(self.length / 2.0, self.width / 2.0, self.height / 2.0))
+    }
+
+    /// The eight corners of the box.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let lx = self.rotation.axis_x() * self.length;
+        let wy = self.rotation.axis_y() * self.width;
+        let hz = self.rotation.axis_z() * self.height;
+        let o = self.origin;
+        [
+            o,
+            o + lx,
+            o + lx + wy,
+            o + wy,
+            o + hz,
+            o + lx + hz,
+            o + lx + wy + hz,
+            o + wy + hz,
+        ]
+    }
+
+    /// The tightest axis-aligned bounding box.
+    pub fn aabb(&self) -> Aabb3 {
+        Aabb3::from_points(self.corners()).expect("eight corners are never empty")
+    }
+
+    /// Whether the point lies inside the box (inclusive boundary, with a
+    /// tolerance proportional to the coordinate magnitude).
+    pub fn contains(&self, p: Vec3) -> bool {
+        let local = self.rotation.apply_inverse(p - self.origin);
+        let eps = 1e-5 * (1.0 + p.x.abs().max(p.y.abs()).max(p.z.abs()));
+        local.x >= -eps
+            && local.x <= self.length + eps
+            && local.y >= -eps
+            && local.y <= self.width + eps
+            && local.z >= -eps
+            && local.z <= self.height + eps
+    }
+
+    /// Enumerates the grid cells of the box body on a unit sample lattice
+    /// (see [`Obb2::sample_cells`]).
+    pub fn sample_cells(&self) -> Vec<Cell3> {
+        raster::sample_obb3(self)
+    }
+}
+
+impl fmt::Display for Obb3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Obb3(origin={}, l={}, w={}, h={})",
+            self.origin, self.length, self.width, self.height
+        )
+    }
+}
+
+/// The cacheline-aligned OBB configuration structure passed to the
+/// accelerator by the `check_coll <dim>, <cfg>, <res>` instruction
+/// (paper Table 1).
+///
+/// All fields are 32-bit floats in wire order. A 2D configuration carries
+/// `origin (x, y)`, `size (l, w)` and `(sin θ, cos θ)`; a 3D configuration
+/// carries `origin (x, y, z)`, `size (l, w, h)` and the six sine/cosine
+/// values of roll–pitch–yaw.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObbConfig {
+    /// Two-dimensional configuration (`dim = 0`).
+    Dim2 {
+        /// Origin corner `(x_o, y_o)`.
+        origin: [f32; 2],
+        /// Size `(l, w)`.
+        size: [f32; 2],
+        /// `(sin θ, cos θ)`.
+        orientation: [f32; 2],
+    },
+    /// Three-dimensional configuration (`dim = 1`).
+    Dim3 {
+        /// Origin corner `(x_o, y_o, z_o)`.
+        origin: [f32; 3],
+        /// Size `(l, w, h)`.
+        size: [f32; 3],
+        /// `(sin α, cos α, sin β, cos β, sin γ, cos γ)`.
+        orientation: [f32; 6],
+    },
+}
+
+impl ObbConfig {
+    /// Whether this is a 3D configuration (the `dim` immediate bit).
+    pub fn is_3d(&self) -> bool {
+        matches!(self, ObbConfig::Dim3 { .. })
+    }
+
+    /// Serializes to the wire layout: a sequence of `f32` words, padded to a
+    /// 64-byte cache line (16 words).
+    ///
+    /// 2D uses 6 words + 10 padding; 3D uses 12 words + 4 padding.
+    pub fn to_words(&self) -> [f32; 16] {
+        let mut words = [0.0f32; 16];
+        match *self {
+            ObbConfig::Dim2 { origin, size, orientation } => {
+                words[0..2].copy_from_slice(&origin);
+                words[2..4].copy_from_slice(&size);
+                words[4..6].copy_from_slice(&orientation);
+            }
+            ObbConfig::Dim3 { origin, size, orientation } => {
+                words[0..3].copy_from_slice(&origin);
+                words[3..6].copy_from_slice(&size);
+                words[6..12].copy_from_slice(&orientation);
+            }
+        }
+        words
+    }
+
+    /// Deserializes from the wire layout.
+    pub fn from_words(dim_3d: bool, words: &[f32; 16]) -> Self {
+        if dim_3d {
+            ObbConfig::Dim3 {
+                origin: [words[0], words[1], words[2]],
+                size: [words[3], words[4], words[5]],
+                orientation: [words[6], words[7], words[8], words[9], words[10], words[11]],
+            }
+        } else {
+            ObbConfig::Dim2 {
+                origin: [words[0], words[1]],
+                size: [words[2], words[3]],
+                orientation: [words[4], words[5]],
+            }
+        }
+    }
+}
+
+impl From<&Obb2> for ObbConfig {
+    fn from(obb: &Obb2) -> Self {
+        ObbConfig::Dim2 {
+            origin: [obb.origin().x, obb.origin().y],
+            size: [obb.length(), obb.width()],
+            orientation: [obb.rotation().sin(), obb.rotation().cos()],
+        }
+    }
+}
+
+impl From<&Obb3> for ObbConfig {
+    fn from(obb: &Obb3) -> Self {
+        ObbConfig::Dim3 {
+            origin: [obb.origin().x, obb.origin().y, obb.origin().z],
+            size: [obb.length(), obb.width(), obb.height()],
+            orientation: obb.rotation().sin_cos(),
+        }
+    }
+}
+
+impl From<&ObbConfig> for Obb2 {
+    /// Reconstructs the 2D box from a wire configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is 3D.
+    fn from(cfg: &ObbConfig) -> Self {
+        match *cfg {
+            ObbConfig::Dim2 { origin, size, orientation } => Obb2::new(
+                Vec2::new(origin[0], origin[1]),
+                size[0],
+                size[1],
+                Rotation2::from_sin_cos(orientation[0], orientation[1]),
+            ),
+            ObbConfig::Dim3 { .. } => panic!("3D configuration cannot become Obb2"),
+        }
+    }
+}
+
+impl From<&ObbConfig> for Obb3 {
+    /// Reconstructs a 3D box from a wire configuration; 2D configurations
+    /// are lifted to height 0 at `z = 0`.
+    fn from(cfg: &ObbConfig) -> Self {
+        match *cfg {
+            ObbConfig::Dim3 { origin, size, orientation: o } => Obb3::new(
+                Vec3::new(origin[0], origin[1], origin[2]),
+                size[0],
+                size[1],
+                size[2],
+                Rotation3::from_sin_cos(o[0], o[1], o[2], o[3], o[4], o[5]),
+            ),
+            ObbConfig::Dim2 { .. } => {
+                let obb2 = Obb2::from(cfg);
+                obb2.to_obb3(0.0, 0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    #[test]
+    fn axis_aligned_corners() {
+        let obb = Obb2::axis_aligned(Vec2::new(1.0, 2.0), 3.0, 1.0);
+        let c = obb.corners();
+        assert_eq!(c[0], Vec2::new(1.0, 2.0));
+        assert_eq!(c[1], Vec2::new(4.0, 2.0));
+        assert_eq!(c[2], Vec2::new(4.0, 3.0));
+        assert_eq!(c[3], Vec2::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn centered_obb_has_expected_center() {
+        let c = Vec2::new(10.0, 20.0);
+        let obb = Obb2::centered(c, 4.0, 2.0, Rotation2::from_angle(0.6));
+        assert!((obb.center() - c).norm() < 1e-5);
+    }
+
+    #[test]
+    fn rotated_obb_contains_center() {
+        let obb = Obb2::new(Vec2::new(5.0, 5.0), 4.0, 2.0, Rotation2::from_angle(0.8));
+        assert!(obb.contains(obb.center()));
+        assert!(!obb.contains(Vec2::new(100.0, 100.0)));
+    }
+
+    #[test]
+    fn quarter_turn_swaps_extents() {
+        let obb = Obb2::new(Vec2::ZERO, 4.0, 2.0, Rotation2::from_angle(FRAC_PI_2));
+        let bb = obb.aabb();
+        assert!((bb.size().x - 2.0).abs() < 1e-5);
+        assert!((bb.size().y - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn aabb_contains_all_corners() {
+        let obb = Obb2::new(Vec2::new(3.0, -1.0), 5.0, 3.0, Rotation2::from_angle(1.2));
+        let bb = obb.aabb();
+        for c in obb.corners() {
+            assert!(bb.contains(c));
+        }
+    }
+
+    #[test]
+    fn obb3_axis_aligned_contains() {
+        let obb = Obb3::axis_aligned(Vec3::ZERO, 2.0, 3.0, 4.0);
+        assert!(obb.contains(Vec3::new(1.0, 1.5, 2.0)));
+        assert!(!obb.contains(Vec3::new(2.5, 1.5, 2.0)));
+    }
+
+    #[test]
+    fn obb3_centered_center() {
+        let c = Vec3::new(1.0, 2.0, 3.0);
+        let obb = Obb3::centered(c, 2.0, 2.0, 2.0, Rotation3::from_rpy(0.1, 0.2, 0.3));
+        assert!((obb.center() - c).norm() < 1e-5);
+    }
+
+    #[test]
+    fn obb3_aabb_contains_corners() {
+        let obb = Obb3::new(
+            Vec3::new(1.0, 1.0, 1.0),
+            3.0,
+            2.0,
+            1.0,
+            Rotation3::from_rpy(0.5, 0.3, 0.9),
+        );
+        let bb = obb.aabb();
+        for c in obb.corners() {
+            assert!(bb.contains(c));
+        }
+    }
+
+    #[test]
+    fn config_roundtrip_2d() {
+        let obb = Obb2::new(Vec2::new(7.0, 8.0), 3.0, 2.0, Rotation2::from_angle(0.4));
+        let cfg = ObbConfig::from(&obb);
+        assert!(!cfg.is_3d());
+        let words = cfg.to_words();
+        let cfg2 = ObbConfig::from_words(false, &words);
+        let back = Obb2::from(&cfg2);
+        assert!((back.origin() - obb.origin()).norm() < 1e-6);
+        assert_eq!(back.length(), obb.length());
+        assert_eq!(back.width(), obb.width());
+        assert!((back.rotation().angle() - obb.rotation().angle()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn config_roundtrip_3d() {
+        let obb = Obb3::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            4.0,
+            5.0,
+            6.0,
+            Rotation3::from_rpy(0.1, 0.2, 0.3),
+        );
+        let cfg = ObbConfig::from(&obb);
+        assert!(cfg.is_3d());
+        let cfg2 = ObbConfig::from_words(true, &cfg.to_words());
+        let back = Obb3::from(&cfg2);
+        assert!((back.origin() - obb.origin()).norm() < 1e-6);
+        assert_eq!(
+            (back.length(), back.width(), back.height()),
+            (obb.length(), obb.width(), obb.height())
+        );
+    }
+
+    #[test]
+    fn lifting_2d_to_3d() {
+        let obb = Obb2::new(Vec2::new(1.0, 2.0), 3.0, 2.0, Rotation2::from_angle(0.25));
+        let obb3 = obb.to_obb3(5.0, 1.5);
+        assert_eq!(obb3.origin().z, 5.0);
+        assert_eq!(obb3.height(), 1.5);
+        // The 3D box footprint matches the 2D box in xy.
+        for c2 in obb.corners() {
+            assert!(obb3
+                .corners()
+                .iter()
+                .any(|c3| (c3.xy() - c2).norm() < 1e-4));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_size_panics() {
+        let _ = Obb2::new(Vec2::ZERO, -1.0, 1.0, Rotation2::IDENTITY);
+    }
+}

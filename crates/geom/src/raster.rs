@@ -1,0 +1,292 @@
+//! Footprint rasterization: OBB → grid cells.
+//!
+//! Two rasterizers are provided:
+//!
+//! * [`sample_obb2`] / [`sample_obb3`] — the *hardware* model. The CODAcc
+//!   HOBB has one register per body sample on a unit lattice aligned with the
+//!   box axes (paper §3.1.2). A box of length `l` and width `w` yields
+//!   `(⌊l⌋+1) x (⌊w⌋+1)` samples: positions `origin + i·x̂ + j·ŷ` for
+//!   integer `i ≤ l`, `j ≤ w`, plus the fractional end row/column so that the
+//!   far edge of the body is always sampled. Every sample maps to its
+//!   containing cell; duplicates are removed preserving first-seen order.
+//! * [`cover_obb2`] — exact conservative coverage: every cell whose unit
+//!   square intersects the oriented rectangle. Used by tests as ground truth
+//!   and by callers that must not miss thin-diagonal corner cases.
+//!
+//! Both the software reference collision checker and the accelerator model
+//! consume `sample_*` so their verdicts agree bit-for-bit.
+
+use crate::cell::{Cell2, Cell3};
+use crate::obb::{Obb2, Obb3};
+use crate::vec::Vec2;
+
+/// Sample offsets along one axis of extent `len`: `0, 1, …, ⌊len⌋`, plus
+/// `len` itself if it is not an integer (so the far edge is sampled).
+///
+/// This is the lattice the CODAcc HOBB registers are mapped onto; it is
+/// public so the accelerator model's greedy scheduler can partition exactly
+/// the same sample set.
+pub fn axis_samples(len: f32) -> Vec<f32> {
+    debug_assert!(len >= 0.0);
+    let whole = len.floor() as i64;
+    let mut out: Vec<f32> = (0..=whole).map(|i| i as f32).collect();
+    if (len - whole as f32) > 1e-6 {
+        out.push(len);
+    }
+    out
+}
+
+/// Enumerates the cells sampled by the HOBB register lattice for a 2D box.
+///
+/// Deterministic order: row-major over (width, length) in box-local
+/// coordinates, duplicates removed.
+pub fn sample_obb2(obb: &Obb2) -> Vec<Cell2> {
+    let xs = axis_samples(obb.length());
+    let ys = axis_samples(obb.width());
+    let ax = obb.rotation().axis_x();
+    let ay = obb.rotation().axis_y();
+    let mut seen = std::collections::HashSet::with_capacity(xs.len() * ys.len());
+    let mut cells = Vec::with_capacity(xs.len() * ys.len());
+    for &j in &ys {
+        for &i in &xs {
+            let p = obb.origin() + ax * i + ay * j;
+            let c = Cell2::from_point(p);
+            if seen.insert(c) {
+                cells.push(c);
+            }
+        }
+    }
+    cells
+}
+
+/// Enumerates the cells sampled by the HOBB register lattice for a 3D box.
+pub fn sample_obb3(obb: &Obb3) -> Vec<Cell3> {
+    let xs = axis_samples(obb.length());
+    let ys = axis_samples(obb.width());
+    let zs = axis_samples(obb.height());
+    let ax = obb.rotation().axis_x();
+    let ay = obb.rotation().axis_y();
+    let az = obb.rotation().axis_z();
+    let mut seen = std::collections::HashSet::with_capacity(xs.len() * ys.len() * zs.len());
+    let mut cells = Vec::with_capacity(xs.len() * ys.len() * zs.len());
+    for &k in &zs {
+        for &j in &ys {
+            for &i in &xs {
+                let p = obb.origin() + ax * i + ay * j + az * k;
+                let c = Cell3::from_point(p);
+                if seen.insert(c) {
+                    cells.push(c);
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Whether a unit cell square intersects the oriented rectangle.
+///
+/// Separating-axis test specialised for rectangle vs axis-aligned unit
+/// square.
+fn cell_intersects_obb2(cell: Cell2, obb: &Obb2) -> bool {
+    // Square corners.
+    let sq = [
+        Vec2::new(cell.x as f32, cell.y as f32),
+        Vec2::new(cell.x as f32 + 1.0, cell.y as f32),
+        Vec2::new(cell.x as f32 + 1.0, cell.y as f32 + 1.0),
+        Vec2::new(cell.x as f32, cell.y as f32 + 1.0),
+    ];
+    let ob = obb.corners();
+    // Axes to test: square axes (x, y) and OBB axes.
+    let axes = [
+        Vec2::new(1.0, 0.0),
+        Vec2::new(0.0, 1.0),
+        obb.rotation().axis_x(),
+        obb.rotation().axis_y(),
+    ];
+    for axis in axes {
+        let (mut amin, mut amax) = (f32::INFINITY, f32::NEG_INFINITY);
+        for p in sq {
+            let d = p.dot(axis);
+            amin = amin.min(d);
+            amax = amax.max(d);
+        }
+        let (mut bmin, mut bmax) = (f32::INFINITY, f32::NEG_INFINITY);
+        for p in ob {
+            let d = p.dot(axis);
+            bmin = bmin.min(d);
+            bmax = bmax.max(d);
+        }
+        if amax < bmin - 1e-6 || bmax < amin - 1e-6 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates every cell whose unit square intersects the oriented
+/// rectangle (exact conservative rasterization).
+///
+/// Order is row-major over the box's AABB.
+pub fn cover_obb2(obb: &Obb2) -> Vec<Cell2> {
+    let (lo, hi) = obb.aabb().cell_range();
+    let mut cells = Vec::new();
+    for y in lo.y..=hi.y {
+        for x in lo.x..=hi.x {
+            let c = Cell2::new(x, y);
+            if cell_intersects_obb2(c, obb) {
+                cells.push(c);
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::{Rotation2, Rotation3};
+    use crate::vec::Vec3;
+    use std::collections::HashSet;
+    use std::f32::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn axis_samples_integer_extent() {
+        assert_eq!(axis_samples(3.0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axis_samples_fractional_extent() {
+        assert_eq!(axis_samples(2.5), vec![0.0, 1.0, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn axis_samples_zero_extent() {
+        assert_eq!(axis_samples(0.0), vec![0.0]);
+    }
+
+    #[test]
+    fn axis_aligned_box_samples_full_rectangle() {
+        // A 3x2 box anchored at (0.5, 0.5) covers cells x ∈ {0..3}, y ∈ {0..2}.
+        let obb = Obb2::axis_aligned(Vec2::new(0.5, 0.5), 3.0, 2.0);
+        let cells: HashSet<Cell2> = sample_obb2(&obb).into_iter().collect();
+        let mut expected = HashSet::new();
+        for y in 0..=2 {
+            for x in 0..=3 {
+                expected.insert(Cell2::new(x, y));
+            }
+        }
+        assert_eq!(cells, expected);
+    }
+
+    #[test]
+    fn paper_circle_example_cell_count() {
+        // Paper §2.1: r = 10 cm at 1 cm resolution → 384 cells. An OBB
+        // bounding that circle is a 20x20 square: 21x21 = 441 samples; the
+        // figure the paper quotes is for the inscribed disc, so we check the
+        // OBB bound brackets it.
+        let obb = Obb2::axis_aligned(Vec2::new(0.1, 0.1), 20.0, 20.0);
+        let n = sample_obb2(&obb).len();
+        assert!(n >= 384, "OBB must cover at least the disc cells, got {n}");
+        assert!(n <= 441, "at most the sample lattice size, got {n}");
+    }
+
+    #[test]
+    fn rotation_by_zero_matches_axis_aligned() {
+        let a = Obb2::axis_aligned(Vec2::new(2.3, 4.1), 5.0, 3.0);
+        let b = Obb2::new(Vec2::new(2.3, 4.1), 5.0, 3.0, Rotation2::from_angle(0.0));
+        assert_eq!(sample_obb2(&a), sample_obb2(&b));
+    }
+
+    #[test]
+    fn half_turn_preserves_cell_set_about_center() {
+        // Rotating 180° about the box center maps the body onto itself, so
+        // the covered cells must be identical (up to sampling the same set).
+        let center = Vec2::new(10.25, 7.75);
+        let a = Obb2::centered(center, 6.0, 4.0, Rotation2::from_angle(0.3));
+        let b = Obb2::centered(center, 6.0, 4.0, Rotation2::from_angle(0.3 + PI));
+        let sa: HashSet<Cell2> = cover_obb2(&a).into_iter().collect();
+        let sb: HashSet<Cell2> = cover_obb2(&b).into_iter().collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn quarter_turn_swaps_dimensions() {
+        let a = Obb2::axis_aligned(Vec2::new(0.5, 0.5), 4.0, 1.0);
+        let b = Obb2::new(Vec2::new(0.5, 0.5), 4.0, 1.0, Rotation2::from_angle(FRAC_PI_2));
+        let sa: HashSet<Cell2> = sample_obb2(&a).into_iter().collect();
+        let sb: HashSet<Cell2> = sample_obb2(&b).into_iter().collect();
+        assert_eq!(sa.len(), sb.len());
+        // Quarter-turned cells are the transpose (about the origin corner).
+        for c in &sb {
+            assert!(
+                sa.contains(&Cell2::new(c.y, -c.x)) || sa.contains(&Cell2::new(c.y, -c.x - 1)),
+                "unexpected cell {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_inside_cover() {
+        let obb = Obb2::new(Vec2::new(3.2, 1.7), 7.0, 3.0, Rotation2::from_angle(0.7));
+        let cover: HashSet<Cell2> = cover_obb2(&obb).into_iter().collect();
+        for c in sample_obb2(&obb) {
+            assert!(cover.contains(&c), "sampled cell {c} not in cover set");
+        }
+    }
+
+    #[test]
+    fn cover_cells_all_intersect() {
+        let obb = Obb2::new(Vec2::new(0.0, 0.0), 5.0, 2.0, Rotation2::from_angle(1.1));
+        for c in cover_obb2(&obb) {
+            assert!(cell_intersects_obb2(c, &obb));
+        }
+    }
+
+    #[test]
+    fn degenerate_point_box() {
+        let obb = Obb2::axis_aligned(Vec2::new(3.5, 4.5), 0.0, 0.0);
+        assert_eq!(sample_obb2(&obb), vec![Cell2::new(3, 4)]);
+    }
+
+    #[test]
+    fn sample_obb3_axis_aligned_volume() {
+        let obb = Obb3::axis_aligned(Vec3::new(0.5, 0.5, 0.5), 2.0, 1.0, 1.0);
+        let cells: HashSet<Cell3> = sample_obb3(&obb).into_iter().collect();
+        assert_eq!(cells.len(), 3 * 2 * 2);
+    }
+
+    #[test]
+    fn sample_obb3_yaw_matches_2d_footprint() {
+        let obb2 = Obb2::new(Vec2::new(5.0, 5.0), 4.0, 2.0, Rotation2::from_angle(0.5));
+        let obb3 = obb2.to_obb3(0.0, 0.0);
+        let c2: HashSet<Cell2> = sample_obb2(&obb2).into_iter().collect();
+        let c3: HashSet<Cell2> = sample_obb3(&obb3).into_iter().map(|c| c.xy()).collect();
+        assert_eq!(c2, c3);
+    }
+
+    #[test]
+    fn sample_obb3_full_rotation() {
+        let obb = Obb3::new(
+            Vec3::new(10.0, 10.0, 10.0),
+            4.0,
+            3.0,
+            2.0,
+            Rotation3::from_rpy(0.4, 0.6, 1.0),
+        );
+        let cells = sample_obb3(&obb);
+        assert!(!cells.is_empty());
+        // All sampled cells lie within the AABB's cell range.
+        let (lo, hi) = obb.aabb().cell_range();
+        for c in cells {
+            assert!(c.x >= lo.x && c.x <= hi.x);
+            assert!(c.y >= lo.y && c.y <= hi.y);
+            assert!(c.z >= lo.z && c.z <= hi.z);
+        }
+    }
+
+    #[test]
+    fn sample_order_is_deterministic() {
+        let obb = Obb2::new(Vec2::new(1.1, 2.2), 6.0, 3.0, Rotation2::from_angle(0.9));
+        assert_eq!(sample_obb2(&obb), sample_obb2(&obb));
+    }
+}

@@ -1,0 +1,446 @@
+//! 2D and 3D vectors over `f32`.
+//!
+//! The accelerator interface in the paper uses 32-bit floating point for all
+//! OBB configuration fields (§3.1.1), so `f32` is the native scalar type of
+//! this reproduction.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2D vector (or point) with `f32` components.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::Vec2;
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec2) -> f32 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// 2D cross product (z component of the 3D cross product).
+    #[inline]
+    pub fn cross(self, rhs: Vec2) -> f32 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (no square root).
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, rhs: Vec2) -> f32 {
+        (self - rhs).norm()
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns `None` for (near-)zero vectors, for which no direction exists.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= f32::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The vector rotated 90 degrees counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x.min(rhs.x), self.y.min(rhs.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x.max(rhs.x), self.y.max(rhs.y))
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f32 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f32> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f32, f32)> for Vec2 {
+    fn from((x, y): (f32, f32)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+/// A 3D vector (or point) with `f32` components.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::Vec3;
+/// let v = Vec3::new(1.0, 2.0, 2.0);
+/// assert_eq!(v.norm(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (no square root).
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, rhs: Vec3) -> f32 {
+        (self - rhs).norm()
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns `None` for (near-)zero vectors, for which no direction exists.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= f32::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Embeds a 2D vector at `z = 0`.
+    #[inline]
+    pub fn from_vec2(v: Vec2) -> Vec3 {
+        Vec3::new(v.x, v.y, 0.0)
+    }
+
+    /// Drops the z component.
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl From<(f32, f32, f32)> for Vec3 {
+    fn from((x, y, z): (f32, f32, f32)) -> Self {
+        Vec3::new(x, y, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn vec2_dot_cross() {
+        let a = Vec2::new(1.0, 0.0);
+        let b = Vec2::new(0.0, 1.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn vec2_norm_and_distance() {
+        assert_eq!(Vec2::new(3.0, 4.0).norm(), 5.0);
+        assert_eq!(Vec2::new(3.0, 4.0).norm_sq(), 25.0);
+        assert_eq!(Vec2::ZERO.distance(Vec2::new(0.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn vec2_normalized() {
+        let v = Vec2::new(0.0, 5.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        assert!(Vec2::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn vec2_perp_is_ccw() {
+        let v = Vec2::new(1.0, 0.0);
+        assert_eq!(v.perp(), Vec2::new(0.0, 1.0));
+        // perp of perp is -v
+        assert_eq!(v.perp().perp(), -v);
+    }
+
+    #[test]
+    fn vec2_min_max() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(2.0, 3.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, 3.0));
+        assert_eq!(a.max(b), Vec2::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn vec3_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn vec3_cross_follows_right_hand_rule() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+    }
+
+    #[test]
+    fn vec3_norm() {
+        assert_eq!(Vec3::new(2.0, 3.0, 6.0).norm(), 7.0);
+    }
+
+    #[test]
+    fn vec3_embedding_roundtrip() {
+        let v = Vec2::new(4.0, -2.0);
+        assert_eq!(Vec3::from_vec2(v).xy(), v);
+    }
+
+    #[test]
+    fn conversions_from_tuples() {
+        let v2: Vec2 = (1.0, 2.0).into();
+        assert_eq!(v2, Vec2::new(1.0, 2.0));
+        let v3: Vec3 = (1.0, 2.0, 3.0).into();
+        assert_eq!(v3, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Vec2::new(1.0, 2.0)), "(1, 2)");
+        assert_eq!(format!("{}", Vec3::ZERO), "(0, 0, 0)");
+    }
+}

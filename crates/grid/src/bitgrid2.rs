@@ -1,0 +1,314 @@
+//! Bit-packed 2D occupancy grid.
+
+use crate::Occupancy2;
+use racod_geom::Cell2;
+use std::fmt;
+
+/// Default virtual base address for a grid's bit array.
+///
+/// An arbitrary page-aligned address; the cache models only care about
+/// relative block structure.
+pub const DEFAULT_BASE_ADDR: u64 = 0x1000_0000;
+
+/// A 2D occupancy grid packed one bit per cell into `u32` words, row-major.
+///
+/// This mirrors the memory-layout optimization of paper §3.1.2: packing
+/// eight-fold more cells per cache block than a byte map, at the cost of bit
+/// masking. The grid carries a virtual *base address* so cell lookups can be
+/// mapped to byte addresses, which the cache models and the CODAcc reduction
+/// unit consume.
+///
+/// # Example
+///
+/// ```
+/// use racod_grid::{BitGrid2, Occupancy2};
+/// use racod_geom::Cell2;
+///
+/// let mut g = BitGrid2::new(100, 50);
+/// assert_eq!(g.occupied(Cell2::new(10, 10)), Some(false));
+/// g.set(Cell2::new(10, 10), true);
+/// assert_eq!(g.occupied(Cell2::new(10, 10)), Some(true));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitGrid2 {
+    width: u32,
+    height: u32,
+    /// Number of `u32` words per row (rows are word-aligned so that row
+    /// addressing is a simple multiply).
+    row_words: u32,
+    words: Vec<u32>,
+    base_addr: u64,
+}
+
+impl BitGrid2 {
+    /// Creates an all-free grid of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        let row_words = width.div_ceil(32);
+        BitGrid2 {
+            width,
+            height,
+            row_words,
+            words: vec![0; (row_words as usize) * (height as usize)],
+            base_addr: DEFAULT_BASE_ADDR,
+        }
+    }
+
+    /// Creates an all-occupied grid.
+    pub fn filled(width: u32, height: u32) -> Self {
+        let mut g = BitGrid2::new(width, height);
+        for w in &mut g.words {
+            *w = u32::MAX;
+        }
+        g
+    }
+
+    /// Sets the virtual base address used for [`BitGrid2::cell_addr`].
+    pub fn set_base_addr(&mut self, addr: u64) {
+        self.base_addr = addr;
+    }
+
+    /// The virtual base address of the bit array.
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Word/bit position of a cell. `None` if out of bounds.
+    #[inline]
+    fn locate(&self, cell: Cell2) -> Option<(usize, u32)> {
+        if !self.in_bounds(cell) {
+            return None;
+        }
+        let (x, y) = (cell.x as u32, cell.y as u32);
+        let word = (y as usize) * (self.row_words as usize) + (x / 32) as usize;
+        Some((word, x % 32))
+    }
+
+    /// Occupancy of a cell; `None` out of bounds.
+    #[inline]
+    pub fn get(&self, cell: Cell2) -> Option<bool> {
+        let (w, b) = self.locate(cell)?;
+        Some((self.words[w] >> b) & 1 == 1)
+    }
+
+    /// Sets the occupancy of a cell. Out-of-bounds writes are ignored and
+    /// reported as `false`.
+    pub fn set(&mut self, cell: Cell2, occupied: bool) -> bool {
+        match self.locate(cell) {
+            Some((w, b)) => {
+                if occupied {
+                    self.words[w] |= 1 << b;
+                } else {
+                    self.words[w] &= !(1 << b);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills the axis-aligned rectangle `[x0, x1] x [y0, y1]` (inclusive,
+    /// clamped to the grid) with the given occupancy.
+    pub fn fill_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, occupied: bool) {
+        let x0 = x0.max(0);
+        let y0 = y0.max(0);
+        let x1 = x1.min(self.width as i64 - 1);
+        let y1 = y1.min(self.height as i64 - 1);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                self.set(Cell2::new(x, y), occupied);
+            }
+        }
+    }
+
+    /// The byte address of the `u32` word holding a cell's bit, or `None`
+    /// out of bounds.
+    ///
+    /// Address = base + 4·word_index; all bits of one word share an address,
+    /// which is what gives the accelerator its coalescing opportunities.
+    pub fn cell_addr(&self, cell: Cell2) -> Option<u64> {
+        let (w, _) = self.locate(cell)?;
+        Some(self.base_addr + 4 * w as u64)
+    }
+
+    /// Total number of occupied cells.
+    pub fn count_occupied(&self) -> u64 {
+        // Row padding bits are never set (set() masks by bounds), so a plain
+        // popcount over words is exact.
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Fraction of occupied cells in `[0, 1]`.
+    pub fn occupancy_ratio(&self) -> f64 {
+        self.count_occupied() as f64 / (self.width as f64 * self.height as f64)
+    }
+
+    /// Iterates over all cells, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (Cell2, bool)> + '_ {
+        (0..self.height as i64).flat_map(move |y| {
+            (0..self.width as i64).map(move |x| {
+                let c = Cell2::new(x, y);
+                (c, self.get(c).expect("in bounds by construction"))
+            })
+        })
+    }
+
+    /// Size of the backing bit array in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+}
+
+impl Occupancy2 for BitGrid2 {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn occupied(&self, cell: Cell2) -> Option<bool> {
+        self.get(cell)
+    }
+}
+
+impl fmt::Display for BitGrid2 {
+    /// Renders the grid as `.` (free) / `#` (occupied) rows, top row first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for y in (0..self.height as i64).rev() {
+            for x in 0..self.width as i64 {
+                let ch = if self.get(Cell2::new(x, y)).unwrap_or(true) { '#' } else { '.' };
+                write!(f, "{ch}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_grid_is_free() {
+        let g = BitGrid2::new(40, 30);
+        assert_eq!(g.count_occupied(), 0);
+        assert_eq!(g.get(Cell2::new(0, 0)), Some(false));
+        assert_eq!(g.get(Cell2::new(39, 29)), Some(false));
+    }
+
+    #[test]
+    fn filled_grid_is_occupied() {
+        let g = BitGrid2::filled(33, 3);
+        assert_eq!(g.get(Cell2::new(32, 2)), Some(true));
+        // Note: `filled` sets padding bits too, so count via iter.
+        assert!(g.iter().all(|(_, o)| o));
+    }
+
+    #[test]
+    fn out_of_bounds_is_none() {
+        let g = BitGrid2::new(10, 10);
+        assert_eq!(g.get(Cell2::new(-1, 0)), None);
+        assert_eq!(g.get(Cell2::new(0, -1)), None);
+        assert_eq!(g.get(Cell2::new(10, 0)), None);
+        assert_eq!(g.get(Cell2::new(0, 10)), None);
+    }
+
+    #[test]
+    fn set_and_clear_roundtrip() {
+        let mut g = BitGrid2::new(70, 5);
+        let c = Cell2::new(65, 4); // crosses a word boundary within the row
+        assert!(g.set(c, true));
+        assert_eq!(g.get(c), Some(true));
+        assert!(g.set(c, false));
+        assert_eq!(g.get(c), Some(false));
+    }
+
+    #[test]
+    fn set_out_of_bounds_returns_false() {
+        let mut g = BitGrid2::new(4, 4);
+        assert!(!g.set(Cell2::new(4, 0), true));
+        assert_eq!(g.count_occupied(), 0);
+    }
+
+    #[test]
+    fn neighbors_do_not_interfere() {
+        let mut g = BitGrid2::new(64, 2);
+        g.set(Cell2::new(31, 0), true);
+        assert_eq!(g.get(Cell2::new(30, 0)), Some(false));
+        assert_eq!(g.get(Cell2::new(32, 0)), Some(false));
+        assert_eq!(g.get(Cell2::new(31, 1)), Some(false));
+    }
+
+    #[test]
+    fn fill_rect_clamps() {
+        let mut g = BitGrid2::new(10, 10);
+        g.fill_rect(-5, -5, 2, 2, true);
+        assert_eq!(g.count_occupied(), 9);
+        g.fill_rect(8, 8, 20, 20, true);
+        assert_eq!(g.count_occupied(), 9 + 4);
+    }
+
+    #[test]
+    fn addresses_are_word_granular() {
+        let g = BitGrid2::new(64, 4);
+        let a0 = g.cell_addr(Cell2::new(0, 0)).unwrap();
+        let a31 = g.cell_addr(Cell2::new(31, 0)).unwrap();
+        let a32 = g.cell_addr(Cell2::new(32, 0)).unwrap();
+        assert_eq!(a0, a31, "cells in the same word share an address");
+        assert_eq!(a32, a0 + 4, "next word is 4 bytes on");
+        assert_eq!(g.cell_addr(Cell2::new(64, 0)), None);
+    }
+
+    #[test]
+    fn row_addressing_is_word_aligned() {
+        // width 40 → 2 words per row.
+        let g = BitGrid2::new(40, 3);
+        let row0 = g.cell_addr(Cell2::new(0, 0)).unwrap();
+        let row1 = g.cell_addr(Cell2::new(0, 1)).unwrap();
+        assert_eq!(row1 - row0, 8);
+        assert_eq!(g.storage_bytes(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn base_addr_is_settable() {
+        let mut g = BitGrid2::new(8, 8);
+        g.set_base_addr(0x4000);
+        assert_eq!(g.base_addr(), 0x4000);
+        assert_eq!(g.cell_addr(Cell2::new(0, 0)), Some(0x4000));
+    }
+
+    #[test]
+    fn occupancy_ratio() {
+        let mut g = BitGrid2::new(10, 10);
+        g.fill_rect(0, 0, 4, 9, true); // 50 cells
+        assert!((g.occupancy_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_covers_all_cells() {
+        let g = BitGrid2::new(7, 3);
+        assert_eq!(g.iter().count(), 21);
+    }
+
+    #[test]
+    fn display_dimensions() {
+        let g = BitGrid2::new(5, 2);
+        let s = format!("{g}");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.len() == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = BitGrid2::new(0, 5);
+    }
+}

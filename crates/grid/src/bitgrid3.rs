@@ -1,0 +1,251 @@
+//! Bit-packed 3D occupancy grid (voxel map).
+
+use crate::bitgrid2::DEFAULT_BASE_ADDR;
+use crate::Occupancy3;
+use racod_geom::Cell3;
+use std::fmt;
+
+/// A 3D occupancy grid packed one bit per voxel into `u32` words.
+///
+/// Layout is row-major with x fastest, then y, then z — the natural layout
+/// the paper's greedy scheduler exploits when prioritizing the x dimension
+/// (§3.1.2). Rows (x extents) are word-aligned.
+///
+/// # Example
+///
+/// ```
+/// use racod_grid::{BitGrid3, Occupancy3};
+/// use racod_geom::Cell3;
+///
+/// let mut g = BitGrid3::new(32, 32, 16);
+/// g.set(Cell3::new(1, 2, 3), true);
+/// assert_eq!(g.occupied(Cell3::new(1, 2, 3)), Some(true));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitGrid3 {
+    size_x: u32,
+    size_y: u32,
+    size_z: u32,
+    row_words: u32,
+    words: Vec<u32>,
+    base_addr: u64,
+}
+
+impl BitGrid3 {
+    /// Creates an all-free voxel grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(size_x: u32, size_y: u32, size_z: u32) -> Self {
+        assert!(
+            size_x > 0 && size_y > 0 && size_z > 0,
+            "grid dimensions must be positive"
+        );
+        let row_words = size_x.div_ceil(32);
+        let words = vec![0u32; row_words as usize * size_y as usize * size_z as usize];
+        BitGrid3 { size_x, size_y, size_z, row_words, words, base_addr: DEFAULT_BASE_ADDR }
+    }
+
+    /// Sets the virtual base address used for [`BitGrid3::cell_addr`].
+    pub fn set_base_addr(&mut self, addr: u64) {
+        self.base_addr = addr;
+    }
+
+    /// The virtual base address of the bit array.
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    #[inline]
+    fn locate(&self, cell: Cell3) -> Option<(usize, u32)> {
+        if !self.in_bounds(cell) {
+            return None;
+        }
+        let (x, y, z) = (cell.x as u32, cell.y as u32, cell.z as u32);
+        let row = z as usize * self.size_y as usize + y as usize;
+        let word = row * self.row_words as usize + (x / 32) as usize;
+        Some((word, x % 32))
+    }
+
+    /// Occupancy of a voxel; `None` out of bounds.
+    #[inline]
+    pub fn get(&self, cell: Cell3) -> Option<bool> {
+        let (w, b) = self.locate(cell)?;
+        Some((self.words[w] >> b) & 1 == 1)
+    }
+
+    /// Sets the occupancy of a voxel. Returns `false` (and does nothing) out
+    /// of bounds.
+    pub fn set(&mut self, cell: Cell3, occupied: bool) -> bool {
+        match self.locate(cell) {
+            Some((w, b)) => {
+                if occupied {
+                    self.words[w] |= 1 << b;
+                } else {
+                    self.words[w] &= !(1 << b);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills an axis-aligned box (inclusive corners, clamped to the grid).
+    pub fn fill_box(
+        &mut self,
+        x0: i64,
+        y0: i64,
+        z0: i64,
+        x1: i64,
+        y1: i64,
+        z1: i64,
+        occupied: bool,
+    ) {
+        let x0 = x0.max(0);
+        let y0 = y0.max(0);
+        let z0 = z0.max(0);
+        let x1 = x1.min(self.size_x as i64 - 1);
+        let y1 = y1.min(self.size_y as i64 - 1);
+        let z1 = z1.min(self.size_z as i64 - 1);
+        for z in z0..=z1 {
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    self.set(Cell3::new(x, y, z), occupied);
+                }
+            }
+        }
+    }
+
+    /// The byte address of the `u32` word holding a voxel's bit, or `None`
+    /// out of bounds.
+    pub fn cell_addr(&self, cell: Cell3) -> Option<u64> {
+        let (w, _) = self.locate(cell)?;
+        Some(self.base_addr + 4 * w as u64)
+    }
+
+    /// Total number of occupied voxels.
+    pub fn count_occupied(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Fraction of occupied voxels in `[0, 1]`.
+    pub fn occupancy_ratio(&self) -> f64 {
+        self.count_occupied() as f64
+            / (self.size_x as f64 * self.size_y as f64 * self.size_z as f64)
+    }
+
+    /// Size of the backing bit array in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+}
+
+impl Occupancy3 for BitGrid3 {
+    fn size_x(&self) -> u32 {
+        self.size_x
+    }
+
+    fn size_y(&self) -> u32 {
+        self.size_y
+    }
+
+    fn size_z(&self) -> u32 {
+        self.size_z
+    }
+
+    fn occupied(&self, cell: Cell3) -> Option<bool> {
+        self.get(cell)
+    }
+}
+
+impl fmt::Display for BitGrid3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BitGrid3({} x {} x {}, {:.1}% occupied)",
+            self.size_x,
+            self.size_y,
+            self.size_z,
+            self.occupancy_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_grid_is_free() {
+        let g = BitGrid3::new(10, 11, 12);
+        assert_eq!(g.count_occupied(), 0);
+        assert_eq!(g.get(Cell3::new(9, 10, 11)), Some(false));
+    }
+
+    #[test]
+    fn out_of_bounds_is_none() {
+        let g = BitGrid3::new(4, 4, 4);
+        assert_eq!(g.get(Cell3::new(4, 0, 0)), None);
+        assert_eq!(g.get(Cell3::new(0, 4, 0)), None);
+        assert_eq!(g.get(Cell3::new(0, 0, 4)), None);
+        assert_eq!(g.get(Cell3::new(-1, 0, 0)), None);
+    }
+
+    #[test]
+    fn set_roundtrip_across_words() {
+        let mut g = BitGrid3::new(70, 3, 3);
+        for c in [Cell3::new(0, 0, 0), Cell3::new(33, 1, 1), Cell3::new(69, 2, 2)] {
+            assert!(g.set(c, true));
+            assert_eq!(g.get(c), Some(true));
+        }
+        assert_eq!(g.count_occupied(), 3);
+    }
+
+    #[test]
+    fn fill_box_counts() {
+        let mut g = BitGrid3::new(8, 8, 8);
+        g.fill_box(1, 1, 1, 3, 3, 3, true);
+        assert_eq!(g.count_occupied(), 27);
+        g.fill_box(2, 2, 2, 2, 2, 2, false);
+        assert_eq!(g.count_occupied(), 26);
+    }
+
+    #[test]
+    fn fill_box_clamps() {
+        let mut g = BitGrid3::new(4, 4, 4);
+        g.fill_box(-10, -10, -10, 100, 100, 0, true);
+        assert_eq!(g.count_occupied(), 16); // one full z layer
+    }
+
+    #[test]
+    fn addresses_increase_with_z_then_y() {
+        let g = BitGrid3::new(32, 4, 4);
+        let a = g.cell_addr(Cell3::new(0, 0, 0)).unwrap();
+        let ay = g.cell_addr(Cell3::new(0, 1, 0)).unwrap();
+        let az = g.cell_addr(Cell3::new(0, 0, 1)).unwrap();
+        assert_eq!(ay - a, 4); // one row = one word for x=32
+        assert_eq!(az - a, 16); // one layer = 4 rows
+    }
+
+    #[test]
+    fn x_neighbors_share_word_address() {
+        let g = BitGrid3::new(64, 2, 2);
+        let a = g.cell_addr(Cell3::new(3, 1, 1)).unwrap();
+        let b = g.cell_addr(Cell3::new(4, 1, 1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupancy_ratio_works() {
+        let mut g = BitGrid3::new(4, 4, 4);
+        g.fill_box(0, 0, 0, 3, 3, 1, true);
+        assert!((g.occupancy_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = BitGrid3::new(3, 0, 3);
+    }
+}

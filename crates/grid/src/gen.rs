@@ -1,0 +1,517 @@
+//! Deterministic synthetic environment generators.
+//!
+//! These replace the datasets the paper evaluates on (Moving AI city
+//! snapshots, OctoMap Freiburg campus scan) with seeded generators that
+//! preserve the structural properties the RACOD results depend on:
+//!
+//! * **City maps** — straight streets bounded by building blocks, plus
+//!   diagonal arterials and open plazas. This is exactly the "regular
+//!   organization and structure of real-world environments" of paper §2.2.2
+//!   that makes path exploration cone-like.
+//! * **Random-obstacle maps** — the §5.11 synthetic stress environments, an
+//!   initially free space with i.i.d. random obstacles at a given density.
+//! * **Room maps** — indoor layouts with doorways, for additional variety in
+//!   tests.
+//! * **3D campus** — buildings, trees and an occupied ground layer, an
+//!   outdoor UAV environment like the Freiburg snapshot (§5.4).
+
+use crate::{BitGrid2, BitGrid3};
+use racod_geom::Cell2;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The four city benchmarks of paper §5.2, realized as seeded styles of the
+/// [`city`] generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CityName {
+    /// Dense downtown with narrow streets (Boston-like).
+    Boston,
+    /// Wide boulevards and large blocks (Berlin-like).
+    Berlin,
+    /// Radial arterials and plazas (Paris-like).
+    Paris,
+    /// Very dense, fine-grained blocks (Shanghai-like).
+    Shanghai,
+}
+
+impl CityName {
+    /// All four benchmark cities in paper order.
+    pub const ALL: [CityName; 4] = [
+        CityName::Boston,
+        CityName::Berlin,
+        CityName::Paris,
+        CityName::Shanghai,
+    ];
+
+    /// A stable seed per city so every run sees the same map.
+    fn seed(self) -> u64 {
+        match self {
+            CityName::Boston => 0xB057_0001,
+            CityName::Berlin => 0xBE71_0002,
+            CityName::Paris => 0x9A41_0003,
+            CityName::Shanghai => 0x54A1_0004,
+        }
+    }
+
+    /// (block size, street width, plaza count) style parameters.
+    ///
+    /// Streets are at least 18 cells wide so that the default car footprint
+    /// (16 x 8 cells, diagonal AABB span ≈ 17) passes at any orientation —
+    /// the equivalent of planning a 4 m vehicle at 0.25 m resolution on
+    /// real city maps.
+    fn style(self) -> (u32, u32, u32) {
+        match self {
+            CityName::Boston => (60, 18, 3),
+            CityName::Berlin => (90, 26, 2),
+            CityName::Paris => (72, 20, 5),
+            CityName::Shanghai => (44, 18, 2),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CityName::Boston => "boston",
+            CityName::Berlin => "berlin",
+            CityName::Paris => "paris",
+            CityName::Shanghai => "shanghai",
+        }
+    }
+}
+
+impl std::fmt::Display for CityName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Generates one of the four named city benchmark maps at the given size.
+///
+/// # Example
+///
+/// ```
+/// use racod_grid::gen::{city_map, CityName};
+/// let g = city_map(CityName::Boston, 256, 256);
+/// // Cities are mostly buildings with connected streets.
+/// assert!(g.occupancy_ratio() > 0.3 && g.occupancy_ratio() < 0.9);
+/// ```
+pub fn city_map(name: CityName, width: u32, height: u32) -> BitGrid2 {
+    let (block, street, plazas) = name.style();
+    city(name.seed(), width, height, block, street, plazas)
+}
+
+/// Generates a Manhattan-style city: building blocks separated by a street
+/// grid, cut by two diagonal arterials, with a few open plazas.
+///
+/// Deterministic in `seed`. Streets are guaranteed connected (they form a
+/// grid).
+pub fn city(seed: u64, width: u32, height: u32, block: u32, street: u32, plazas: u32) -> BitGrid2 {
+    assert!(block >= 2 && street >= 1, "degenerate city parameters");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = BitGrid2::new(width, height);
+    let period = (block + street) as i64;
+
+    // Buildings everywhere, then carve streets.
+    for y in 0..height as i64 {
+        for x in 0..width as i64 {
+            let in_street_x = x % period >= block as i64;
+            let in_street_y = y % period >= block as i64;
+            if !(in_street_x || in_street_y) {
+                g.set(Cell2::new(x, y), true);
+            }
+        }
+    }
+
+    // Irregularity: shave a thin strip off some buildings (yards). Strips
+    // are at most 2 cells so no robot-sized free pocket disconnected from
+    // the street network can form.
+    let blocks_x = (width as i64 + period - 1) / period;
+    let blocks_y = (height as i64 + period - 1) / period;
+    for by in 0..blocks_y {
+        for bx in 0..blocks_x {
+            if rng.gen_bool(0.25) {
+                let x0 = bx * period;
+                let y0 = by * period;
+                let shrink = rng.gen_range(1..=2);
+                g.fill_rect(x0, y0, x0 + block as i64 - 1, y0 + shrink - 1, false);
+            }
+        }
+    }
+
+    // Two diagonal arterials (as in real cities such as Broadway), carved as
+    // free corridors — these induce the diagonal travel patterns of §2.2.2.
+    // 1.5x the street width so a street-sized vehicle also fits along the
+    // diagonal (perpendicular clearance ≈ width/√2).
+    let arterial_w = (street as i64 * 3) / 2;
+    for d in 0..(width as i64 + height as i64) {
+        for t in 0..arterial_w {
+            // NE-going arterial.
+            let x = d;
+            let y = d + t - (width as i64) / 4;
+            g.set(Cell2::new(x, y), false);
+            // NW-going arterial.
+            let x2 = width as i64 - 1 - d;
+            let y2 = d + t - (height as i64) / 3;
+            g.set(Cell2::new(x2, y2), false);
+        }
+    }
+
+    // Plazas: open squares spanning at least one street period in each
+    // dimension, so every plaza connects to the street network.
+    for _ in 0..plazas {
+        let pw = rng.gen_range(period..=period + block as i64);
+        let x0 = rng.gen_range(0..width.max(2) as i64 - 1);
+        let y0 = rng.gen_range(0..height.max(2) as i64 - 1);
+        g.fill_rect(x0, y0, x0 + pw, y0 + pw, false);
+    }
+
+    // Border walls so planners cannot leave the map interior accidentally.
+    g.fill_rect(0, 0, width as i64 - 1, 0, true);
+    g.fill_rect(0, height as i64 - 1, width as i64 - 1, height as i64 - 1, true);
+    g.fill_rect(0, 0, 0, height as i64 - 1, true);
+    g.fill_rect(width as i64 - 1, 0, width as i64 - 1, height as i64 - 1, true);
+    g
+}
+
+/// Generates the §5.11 stress environment: free space with i.i.d. random
+/// obstacles at `density ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `density` is not within `[0, 1]`.
+pub fn random_map(seed: u64, width: u32, height: u32, density: f64) -> BitGrid2 {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = BitGrid2::new(width, height);
+    for y in 0..height as i64 {
+        for x in 0..width as i64 {
+            if rng.gen_bool(density) {
+                g.set(Cell2::new(x, y), true);
+            }
+        }
+    }
+    g
+}
+
+/// Generates an indoor layout: a grid of rooms with doorway gaps in the
+/// walls.
+pub fn rooms_map(seed: u64, width: u32, height: u32, room: u32) -> BitGrid2 {
+    assert!(room >= 4, "rooms must be at least 4 cells across");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = BitGrid2::new(width, height);
+    let r = room as i64;
+    // Vertical walls with doors.
+    let mut x = r;
+    while x < width as i64 {
+        g.fill_rect(x, 0, x, height as i64 - 1, true);
+        let mut y = 0;
+        while y < height as i64 {
+            let door = y + rng.gen_range(1..r - 1);
+            g.set(Cell2::new(x, door.min(height as i64 - 1)), false);
+            y += r;
+        }
+        x += r;
+    }
+    // Horizontal walls with doors.
+    let mut y = r;
+    while y < height as i64 {
+        g.fill_rect(0, y, width as i64 - 1, y, true);
+        let mut x = 0;
+        while x < width as i64 {
+            let door = x + rng.gen_range(1..r - 1);
+            g.set(Cell2::new(door.min(width as i64 - 1), y), false);
+            x += r;
+        }
+        y += r;
+    }
+    g
+}
+
+/// Generates a 3D outdoor campus: occupied ground plane, cuboid buildings of
+/// varying heights, and trees (trunk columns with canopy blobs).
+///
+/// A substitute for the OctoMap Freiburg campus scan of paper §5.4: it
+/// preserves free-sky corridors above clutter and dense near-ground
+/// obstacles.
+pub fn campus_3d(seed: u64, size_x: u32, size_y: u32, size_z: u32) -> BitGrid3 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = BitGrid3::new(size_x, size_y, size_z);
+
+    // Ground layer.
+    g.fill_box(0, 0, 0, size_x as i64 - 1, size_y as i64 - 1, 0, true);
+
+    // Buildings: boxes on a loose grid.
+    let n_buildings = ((size_x as u64 * size_y as u64) / 900).max(4);
+    for _ in 0..n_buildings {
+        let bw = rng.gen_range(8..24).min(size_x as i64 / 2);
+        let bd = rng.gen_range(8..24).min(size_y as i64 / 2);
+        let bh = rng.gen_range(size_z / 4..(size_z * 3 / 4).max(size_z / 4 + 1)) as i64;
+        let x0 = rng.gen_range(0..(size_x as i64 - bw).max(1));
+        let y0 = rng.gen_range(0..(size_y as i64 - bd).max(1));
+        g.fill_box(x0, y0, 1, x0 + bw - 1, y0 + bd - 1, bh, true);
+    }
+
+    // Trees: thin trunks with canopy blobs.
+    let n_trees = ((size_x as u64 * size_y as u64) / 400).max(8);
+    for _ in 0..n_trees {
+        let x = rng.gen_range(0..size_x as i64);
+        let y = rng.gen_range(0..size_y as i64);
+        let trunk_h = rng.gen_range(2..(size_z as i64 / 3).max(3));
+        g.fill_box(x, y, 1, x, y, trunk_h, true);
+        let canopy = rng.gen_range(1..3);
+        g.fill_box(
+            x - canopy,
+            y - canopy,
+            trunk_h,
+            x + canopy,
+            y + canopy,
+            trunk_h + canopy,
+            true,
+        );
+    }
+    g
+}
+
+/// Picks a uniformly random *free* cell.
+///
+/// Returns `None` if no free cell is found after a bounded number of draws
+/// (pathological all-occupied grids).
+pub fn random_free_cell<R: Rng>(grid: &BitGrid2, rng: &mut R) -> Option<Cell2> {
+    use crate::Occupancy2;
+    for _ in 0..100_000 {
+        let c = Cell2::new(
+            rng.gen_range(0..grid.width() as i64),
+            rng.gen_range(0..grid.height() as i64),
+        );
+        if grid.occupied(c) == Some(false) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Occupancy2, Occupancy3};
+    use racod_geom::Cell3;
+
+    #[test]
+    fn city_is_deterministic() {
+        let a = city(42, 128, 128, 16, 4, 2);
+        let b = city(42, 128, 128, 16, 4, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = city(1, 128, 128, 16, 4, 2);
+        let b = city(2, 128, 128, 16, 4, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn city_has_streets_and_buildings() {
+        let g = city_map(CityName::Boston, 200, 200);
+        let ratio = g.occupancy_ratio();
+        assert!(ratio > 0.2, "too sparse: {ratio}");
+        assert!(ratio < 0.95, "too dense: {ratio}");
+    }
+
+    #[test]
+    fn city_border_is_walled() {
+        let g = city_map(CityName::Berlin, 100, 100);
+        for x in 0..100 {
+            assert_eq!(g.get(Cell2::new(x, 0)), Some(true));
+            assert_eq!(g.get(Cell2::new(x, 99)), Some(true));
+        }
+        for y in 0..100 {
+            assert_eq!(g.get(Cell2::new(0, y)), Some(true));
+            assert_eq!(g.get(Cell2::new(99, y)), Some(true));
+        }
+    }
+
+    #[test]
+    fn all_cities_generate() {
+        for name in CityName::ALL {
+            let g = city_map(name, 96, 96);
+            assert_eq!((g.width(), g.height()), (96, 96));
+            assert!(g.occupancy_ratio() > 0.0);
+        }
+    }
+
+    #[test]
+    fn city_names_are_distinct_maps() {
+        let a = city_map(CityName::Paris, 128, 128);
+        let b = city_map(CityName::Shanghai, 128, 128);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn random_map_density_tracks_parameter() {
+        for &d in &[0.1, 0.4, 0.7] {
+            let g = random_map(7, 200, 200, d);
+            let ratio = g.occupancy_ratio();
+            assert!((ratio - d).abs() < 0.02, "density {d} gave ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn random_map_extremes() {
+        assert_eq!(random_map(1, 20, 20, 0.0).count_occupied(), 0);
+        assert_eq!(random_map(1, 20, 20, 1.0).count_occupied(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn random_map_rejects_bad_density() {
+        let _ = random_map(1, 10, 10, 1.5);
+    }
+
+    #[test]
+    fn rooms_have_doorways() {
+        let g = rooms_map(3, 64, 64, 8);
+        // Walls exist...
+        assert!(g.count_occupied() > 0);
+        // ...but each vertical wall segment has at least one opening.
+        for wall_x in (8..64).step_by(8) {
+            let openings = (0..64)
+                .filter(|&y| g.get(Cell2::new(wall_x as i64, y)) == Some(false))
+                .count();
+            assert!(openings > 0, "wall at x={wall_x} has no door");
+        }
+    }
+
+    #[test]
+    fn campus_has_ground_and_sky() {
+        let g = campus_3d(11, 96, 96, 32);
+        // Ground layer fully occupied.
+        assert_eq!(g.get(Cell3::new(50, 50, 0)), Some(true));
+        // Top layer mostly free (sky).
+        let top_occ = (0..96)
+            .flat_map(|x| (0..96).map(move |y| Cell3::new(x, y, 31)))
+            .filter(|&c| g.get(c) == Some(true))
+            .count();
+        assert!(top_occ < 96 * 96 / 10, "sky too cluttered: {top_occ}");
+        // But some obstacles exist above ground.
+        let mid_occ = (0..96)
+            .flat_map(|x| (0..96).map(move |y| Cell3::new(x, y, 8)))
+            .filter(|&c| g.get(c) == Some(true))
+            .count();
+        assert!(mid_occ > 0, "no obstacles at altitude");
+    }
+
+    #[test]
+    fn campus_is_deterministic() {
+        assert_eq!(campus_3d(5, 48, 48, 16), campus_3d(5, 48, 48, 16));
+    }
+
+    #[test]
+    fn random_free_cell_is_free() {
+        use rand::SeedableRng;
+        let g = city_map(CityName::Boston, 128, 128);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..32 {
+            let c = random_free_cell(&g, &mut rng).unwrap();
+            assert_eq!(g.occupied(c), Some(false));
+        }
+    }
+
+    #[test]
+    fn random_free_cell_none_when_full() {
+        use rand::SeedableRng;
+        let g = BitGrid2::filled(8, 8);
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(random_free_cell(&g, &mut rng).is_none());
+    }
+
+    #[test]
+    fn city_name_display() {
+        assert_eq!(CityName::Boston.to_string(), "boston");
+        assert_eq!(CityName::ALL.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod connectivity_tests {
+    use super::*;
+    use crate::Occupancy2;
+    use racod_geom::Cell2;
+
+    /// Flood-fills free space from `start` (4-connected) and returns the
+    /// number of reached cells.
+    fn flood_count(grid: &BitGrid2, start: Cell2) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![start];
+        while let Some(c) = stack.pop() {
+            if grid.occupied(c) != Some(false) || !seen.insert(c) {
+                continue;
+            }
+            stack.push(c.offset(1, 0));
+            stack.push(c.offset(-1, 0));
+            stack.push(c.offset(0, 1));
+            stack.push(c.offset(0, -1));
+        }
+        seen.len()
+    }
+
+    #[test]
+    fn city_free_space_is_dominated_by_one_component() {
+        // The benchmark's validity rests on the street network being
+        // connected: random start/goal pairs must usually be mutually
+        // reachable. Assert the largest free component holds at least 95%
+        // of free space in every city.
+        for name in CityName::ALL {
+            let g = city_map(name, 256, 256);
+            let total_free = (256u64 * 256 - g.count_occupied()) as usize;
+            // Start the flood from a street cell: scan for the first free
+            // cell with free neighbors on both axes (not a 1-wide yard).
+            let mut best = 0;
+            'scan: for y in 1..255i64 {
+                for x in 1..255i64 {
+                    let c = Cell2::new(x, y);
+                    if g.occupied(c) == Some(false)
+                        && g.occupied(c.offset(1, 0)) == Some(false)
+                        && g.occupied(c.offset(0, 1)) == Some(false)
+                    {
+                        best = flood_count(&g, c);
+                        break 'scan;
+                    }
+                }
+            }
+            assert!(
+                best as f64 >= total_free as f64 * 0.95,
+                "{name}: largest component {best} of {total_free} free cells"
+            );
+        }
+    }
+
+    #[test]
+    fn campus_sky_is_connected() {
+        // Drones must be able to fly across: the top half of the campus
+        // volume must be one connected free region (checked on one layer).
+        let g = campus_3d(0xD20_5, 64, 64, 24);
+        use racod_geom::Cell3;
+        let z = 18i64;
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![Cell3::new(1, 1, z)];
+        while let Some(c) = stack.pop() {
+            if g.get(c) != Some(false) || c.z != z || !seen.insert(c) {
+                continue;
+            }
+            stack.push(c.offset(1, 0, 0));
+            stack.push(c.offset(-1, 0, 0));
+            stack.push(c.offset(0, 1, 0));
+            stack.push(c.offset(0, -1, 0));
+        }
+        let free_on_layer = (0..64i64)
+            .flat_map(|x| (0..64i64).map(move |y| Cell3::new(x, y, z)))
+            .filter(|&c| g.get(c) == Some(false))
+            .count();
+        assert!(
+            seen.len() as f64 >= free_on_layer as f64 * 0.9,
+            "sky layer fragmented: {} of {free_on_layer}",
+            seen.len()
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Obstacle inflation (configuration-space expansion).
+//!
+//! The classical alternative to per-state footprint checks: inflate every
+//! obstacle by the robot's radius and plan the robot as a point. This
+//! trades fidelity (a disc over-approximates an oriented box) for check
+//! cost — exactly the trade-off that makes CODAcc-style acceleration of
+//! *exact* footprint checks attractive. Provided both as a user-facing
+//! utility and as the comparison point for tests.
+
+use crate::{BitGrid2, Occupancy2};
+use racod_geom::Cell2;
+
+/// Returns a copy of `grid` with every obstacle inflated by `radius`
+/// cells (Chebyshev metric — a square structuring element, matching an
+/// 8-connected robot of that half-width).
+///
+/// Cost is `O(cells x radius)` via two 1D dilation passes.
+///
+/// # Example
+///
+/// ```
+/// use racod_grid::{BitGrid2, inflate::inflate_chebyshev};
+/// use racod_geom::Cell2;
+///
+/// let mut g = BitGrid2::new(8, 8);
+/// g.set(Cell2::new(4, 4), true);
+/// let fat = inflate_chebyshev(&g, 1);
+/// assert_eq!(fat.get(Cell2::new(3, 3)), Some(true));
+/// assert_eq!(fat.get(Cell2::new(4, 6)), Some(false));
+/// ```
+pub fn inflate_chebyshev(grid: &BitGrid2, radius: u32) -> BitGrid2 {
+    let (w, h) = (grid.width() as i64, grid.height() as i64);
+    let r = radius as i64;
+    // Horizontal dilation.
+    let mut horiz = BitGrid2::new(grid.width(), grid.height());
+    for y in 0..h {
+        let mut until: i64 = -1; // occupied up to this x
+        for x in 0..w {
+            if grid.get(Cell2::new(x, y)) == Some(true) {
+                until = until.max(x + r);
+                // Backfill the left side once per obstacle run start.
+                for bx in (x - r).max(0)..x {
+                    horiz.set(Cell2::new(bx, y), true);
+                }
+            }
+            if x <= until {
+                horiz.set(Cell2::new(x, y), true);
+            }
+        }
+    }
+    // Vertical dilation of the horizontal result.
+    let mut out = BitGrid2::new(grid.width(), grid.height());
+    for x in 0..w {
+        let mut until: i64 = -1;
+        for y in 0..h {
+            if horiz.get(Cell2::new(x, y)) == Some(true) {
+                until = until.max(y + r);
+                for by in (y - r).max(0)..y {
+                    out.set(Cell2::new(x, by), true);
+                }
+            }
+            if y <= until {
+                out.set(Cell2::new(x, y), true);
+            }
+        }
+    }
+    out
+}
+
+/// Returns a copy of `grid` with every obstacle inflated by `radius`
+/// cells in the Euclidean metric (a disc structuring element), the
+/// standard costmap inflation of navigation stacks.
+pub fn inflate_euclidean(grid: &BitGrid2, radius: u32) -> BitGrid2 {
+    let (w, h) = (grid.width() as i64, grid.height() as i64);
+    let r = radius as i64;
+    let r2 = (radius as i64) * (radius as i64);
+    // Precompute the disc offsets once.
+    let mut disc = Vec::new();
+    for dy in -r..=r {
+        for dx in -r..=r {
+            if dx * dx + dy * dy <= r2 {
+                disc.push((dx, dy));
+            }
+        }
+    }
+    let mut out = BitGrid2::new(grid.width(), grid.height());
+    for y in 0..h {
+        for x in 0..w {
+            if grid.get(Cell2::new(x, y)) == Some(true) {
+                for &(dx, dy) in &disc {
+                    out.set(Cell2::new(x + dx, y + dy), true);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_radius_is_identity() {
+        let mut g = BitGrid2::new(10, 10);
+        g.fill_rect(2, 2, 4, 4, true);
+        assert_eq!(inflate_chebyshev(&g, 0), g);
+        assert_eq!(inflate_euclidean(&g, 0), g);
+    }
+
+    #[test]
+    fn chebyshev_inflation_is_square() {
+        let mut g = BitGrid2::new(11, 11);
+        g.set(Cell2::new(5, 5), true);
+        let fat = inflate_chebyshev(&g, 2);
+        // 5x5 square around the obstacle.
+        assert_eq!(fat.count_occupied(), 25);
+        assert_eq!(fat.get(Cell2::new(3, 3)), Some(true));
+        assert_eq!(fat.get(Cell2::new(7, 7)), Some(true));
+        assert_eq!(fat.get(Cell2::new(2, 5)), Some(false));
+    }
+
+    #[test]
+    fn euclidean_inflation_is_disc() {
+        let mut g = BitGrid2::new(11, 11);
+        g.set(Cell2::new(5, 5), true);
+        let fat = inflate_euclidean(&g, 2);
+        // Disc of radius 2: 13 cells.
+        assert_eq!(fat.count_occupied(), 13);
+        assert_eq!(fat.get(Cell2::new(3, 5)), Some(true));
+        assert_eq!(fat.get(Cell2::new(3, 3)), Some(false), "corner outside the disc");
+    }
+
+    #[test]
+    fn euclidean_is_subset_of_chebyshev() {
+        let mut g = BitGrid2::new(32, 32);
+        g.fill_rect(10, 10, 12, 14, true);
+        g.set(Cell2::new(25, 5), true);
+        let e = inflate_euclidean(&g, 3);
+        let c = inflate_chebyshev(&g, 3);
+        for (cell, occ) in e.iter() {
+            if occ {
+                assert_eq!(c.get(cell), Some(true), "euclidean exceeded chebyshev at {cell}");
+            }
+        }
+        assert!(c.count_occupied() >= e.count_occupied());
+    }
+
+    #[test]
+    fn inflation_clamps_at_borders() {
+        let mut g = BitGrid2::new(6, 6);
+        g.set(Cell2::new(0, 0), true);
+        let fat = inflate_chebyshev(&g, 3);
+        assert_eq!(fat.get(Cell2::new(3, 3)), Some(true));
+        assert_eq!(fat.count_occupied(), 16);
+    }
+
+    #[test]
+    fn inflated_plan_is_conservative() {
+        // A point-robot plan on the inflated grid never moves the robot
+        // center closer than `radius` (Chebyshev) to an original obstacle.
+        use racod_geom::Cell2;
+        let mut g = BitGrid2::new(24, 24);
+        g.fill_rect(10, 0, 12, 18, true);
+        let fat = inflate_chebyshev(&g, 2);
+        for (cell, occ) in fat.iter() {
+            if !occ {
+                // Every free cell of the inflated grid is >= 3 away from
+                // the original wall.
+                for y in 0..24 {
+                    for x in 10..=12i64 {
+                        if y <= 18 {
+                            assert!(cell.chebyshev(Cell2::new(x, y)) > 2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

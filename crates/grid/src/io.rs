@@ -1,0 +1,398 @@
+//! Moving AI `.map` format I/O.
+//!
+//! The paper's 2D workloads use city snapshots from the Moving AI grid
+//! benchmark collection (Sturtevant 2012). This module implements the text
+//! format so real maps can be loaded when available; the synthetic city
+//! generator in [`crate::gen`] is used when they are not.
+//!
+//! Format:
+//!
+//! ```text
+//! type octile
+//! height <H>
+//! width <W>
+//! map
+//! <H lines of W characters>
+//! ```
+//!
+//! Passable characters: `.`, `G`, `S`. Obstacles: `@`, `O`, `T`, `W`.
+
+use crate::BitGrid2;
+use racod_geom::Cell2;
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a Moving AI `.map` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseMapError {
+    /// A required header line was missing or malformed.
+    Header(String),
+    /// The map body had the wrong number of rows or columns.
+    Dimensions {
+        /// Dimensions declared in the header (width, height).
+        expected: (u32, u32),
+        /// Dimensions found in the body.
+        found: (u32, u32),
+    },
+    /// An unknown terrain character was encountered.
+    UnknownTerrain(char),
+}
+
+impl fmt::Display for ParseMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseMapError::Header(line) => write!(f, "malformed header line: {line:?}"),
+            ParseMapError::Dimensions { expected, found } => write!(
+                f,
+                "map body is {}x{} but header declared {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            ParseMapError::UnknownTerrain(c) => write!(f, "unknown terrain character {c:?}"),
+        }
+    }
+}
+
+impl Error for ParseMapError {}
+
+/// Whether a terrain character is passable, or `None` if unknown.
+fn passable(c: char) -> Option<bool> {
+    match c {
+        '.' | 'G' | 'S' => Some(true),
+        '@' | 'O' | 'T' | 'W' => Some(false),
+        _ => None,
+    }
+}
+
+/// Parses a Moving AI `.map` document into a grid.
+///
+/// The first text row of the file is stored at the *top* of the map, i.e. at
+/// `y = height - 1`, so that y grows "north" as in the rest of this
+/// reproduction.
+///
+/// # Errors
+///
+/// Returns [`ParseMapError`] if the header is malformed, dimensions
+/// mismatch, or a terrain character is unknown.
+///
+/// # Example
+///
+/// ```
+/// use racod_grid::io::parse_map;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "type octile\nheight 2\nwidth 3\nmap\n.@.\n...\n";
+/// let grid = parse_map(text)?;
+/// assert_eq!(grid.count_occupied(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_map(text: &str) -> Result<BitGrid2, ParseMapError> {
+    let mut lines = text.lines();
+    let mut height: Option<u32> = None;
+    let mut width: Option<u32> = None;
+
+    // Header: read until the `map` sentinel.
+    loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| ParseMapError::Header("<eof before map>".into()))?
+            .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "map" {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().unwrap_or_default();
+        match key {
+            "type" => {} // octile/tile — ignored
+            "height" => {
+                height = Some(
+                    parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ParseMapError::Header(line.into()))?,
+                );
+            }
+            "width" => {
+                width = Some(
+                    parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| ParseMapError::Header(line.into()))?,
+                );
+            }
+            _ => return Err(ParseMapError::Header(line.into())),
+        }
+    }
+
+    let height = height.ok_or_else(|| ParseMapError::Header("missing height".into()))?;
+    let width = width.ok_or_else(|| ParseMapError::Header("missing width".into()))?;
+    if height == 0 || width == 0 {
+        return Err(ParseMapError::Header("zero dimension".into()));
+    }
+
+    let mut grid = BitGrid2::new(width, height);
+    let mut rows = 0u32;
+    for line in lines {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if rows >= height {
+            return Err(ParseMapError::Dimensions {
+                expected: (width, height),
+                found: (width, rows + 1),
+            });
+        }
+        let y = (height - 1 - rows) as i64;
+        let mut cols = 0u32;
+        for ch in line.chars() {
+            let p = passable(ch).ok_or(ParseMapError::UnknownTerrain(ch))?;
+            if cols >= width {
+                return Err(ParseMapError::Dimensions {
+                    expected: (width, height),
+                    found: (cols + 1, height),
+                });
+            }
+            grid.set(Cell2::new(cols as i64, y), !p);
+            cols += 1;
+        }
+        if cols != width {
+            return Err(ParseMapError::Dimensions {
+                expected: (width, height),
+                found: (cols, height),
+            });
+        }
+        rows += 1;
+    }
+    if rows != height {
+        return Err(ParseMapError::Dimensions { expected: (width, height), found: (width, rows) });
+    }
+    Ok(grid)
+}
+
+/// Serializes a grid to the Moving AI `.map` text format.
+///
+/// Inverse of [`parse_map`]: occupied cells become `@`, free cells `.`, and
+/// the top text row corresponds to `y = height - 1`.
+pub fn write_map(grid: &BitGrid2) -> String {
+    use crate::Occupancy2;
+    let (w, h) = (grid.width(), grid.height());
+    let mut out = String::with_capacity((w as usize + 1) * h as usize + 64);
+    out.push_str("type octile\n");
+    out.push_str(&format!("height {h}\n"));
+    out.push_str(&format!("width {w}\n"));
+    out.push_str("map\n");
+    for row in 0..h {
+        let y = (h - 1 - row) as i64;
+        for x in 0..w as i64 {
+            out.push(if grid.get(Cell2::new(x, y)).unwrap_or(true) { '@' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Occupancy2;
+
+    const SAMPLE: &str = "type octile\nheight 3\nwidth 4\nmap\n@...\n.T..\n....\n";
+
+    #[test]
+    fn parses_dimensions_and_terrain() {
+        let g = parse_map(SAMPLE).unwrap();
+        assert_eq!((g.width(), g.height()), (4, 3));
+        // Top text row is y=2.
+        assert_eq!(g.get(Cell2::new(0, 2)), Some(true));
+        assert_eq!(g.get(Cell2::new(1, 1)), Some(true));
+        assert_eq!(g.get(Cell2::new(0, 0)), Some(false));
+        assert_eq!(g.count_occupied(), 2);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let g = parse_map(SAMPLE).unwrap();
+        let text = write_map(&g);
+        let g2 = parse_map(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn all_passable_terrain_chars() {
+        let text = "type octile\nheight 1\nwidth 3\nmap\n.GS\n";
+        let g = parse_map(text).unwrap();
+        assert_eq!(g.count_occupied(), 0);
+    }
+
+    #[test]
+    fn all_obstacle_terrain_chars() {
+        let text = "type octile\nheight 1\nwidth 4\nmap\n@OTW\n";
+        let g = parse_map(text).unwrap();
+        assert_eq!(g.count_occupied(), 4);
+    }
+
+    #[test]
+    fn unknown_terrain_is_error() {
+        let text = "type octile\nheight 1\nwidth 1\nmap\nX\n";
+        assert_eq!(parse_map(text), Err(ParseMapError::UnknownTerrain('X')));
+    }
+
+    #[test]
+    fn missing_header_is_error() {
+        let text = "type octile\nwidth 3\nmap\n...\n";
+        assert!(matches!(parse_map(text), Err(ParseMapError::Header(_))));
+    }
+
+    #[test]
+    fn short_body_is_error() {
+        let text = "type octile\nheight 3\nwidth 3\nmap\n...\n...\n";
+        assert!(matches!(parse_map(text), Err(ParseMapError::Dimensions { .. })));
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        let text = "type octile\nheight 2\nwidth 3\nmap\n...\n..\n";
+        assert!(matches!(parse_map(text), Err(ParseMapError::Dimensions { .. })));
+    }
+
+    #[test]
+    fn long_row_is_error() {
+        let text = "type octile\nheight 2\nwidth 3\nmap\n....\n...\n";
+        assert!(matches!(parse_map(text), Err(ParseMapError::Dimensions { .. })));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ParseMapError::UnknownTerrain('x');
+        assert!(format!("{e}").contains('x'));
+        let e = ParseMapError::Dimensions { expected: (3, 3), found: (2, 3) };
+        assert!(format!("{e}").contains('3'));
+    }
+}
+
+/// One entry of a Moving AI `.scen` scenario file: a start/goal pair with
+/// the known optimal path length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Difficulty bucket (column 1 of the file).
+    pub bucket: u32,
+    /// Map file name this scenario refers to.
+    pub map_name: String,
+    /// Declared map width/height.
+    pub map_size: (u32, u32),
+    /// Start cell (in this crate's y-up convention).
+    pub start: Cell2,
+    /// Goal cell.
+    pub goal: Cell2,
+    /// The benchmark's optimal octile path length.
+    pub optimal_length: f64,
+}
+
+/// Parses a Moving AI `.scen` scenario file.
+///
+/// Format: an optional `version x` header, then one scenario per line with
+/// nine whitespace-separated fields:
+/// `bucket map width height sx sy gx gy optimal`.
+///
+/// Scenario y coordinates count down from the top of the map (as in the
+/// file format); they are flipped into this crate's y-up convention using
+/// the per-line map height.
+///
+/// # Errors
+///
+/// Returns [`ParseMapError::Header`] describing the offending line when a
+/// line has the wrong number of fields or an unparsable number.
+///
+/// # Example
+///
+/// ```
+/// use racod_grid::io::parse_scen;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "version 1\n0\tcity.map\t4\t4\t0\t0\t3\t3\t4.24264\n";
+/// let scens = parse_scen(text)?;
+/// assert_eq!(scens.len(), 1);
+/// assert_eq!(scens[0].map_name, "city.map");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_scen(text: &str) -> Result<Vec<Scenario>, ParseMapError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("version") {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 9 {
+            return Err(ParseMapError::Header(line.into()));
+        }
+        let num = |i: usize| -> Result<i64, ParseMapError> {
+            fields[i].parse().map_err(|_| ParseMapError::Header(line.into()))
+        };
+        let fnum = |i: usize| -> Result<f64, ParseMapError> {
+            fields[i].parse().map_err(|_| ParseMapError::Header(line.into()))
+        };
+        let (w, h) = (num(2)? as u32, num(3)? as u32);
+        let flip = |y: i64| h as i64 - 1 - y;
+        out.push(Scenario {
+            bucket: num(0)? as u32,
+            map_name: fields[1].to_string(),
+            map_size: (w, h),
+            start: Cell2::new(num(4)?, flip(num(5)?)),
+            goal: Cell2::new(num(6)?, flip(num(7)?)),
+            optimal_length: fnum(8)?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod scen_tests {
+    use super::*;
+
+    const SAMPLE: &str = "version 1\n\
+        0\tBoston_0_256.map\t256\t256\t3\t5\t10\t12\t11.0\n\
+        1\tBoston_0_256.map\t256\t256\t0\t0\t255\t255\t399.5\n";
+
+    #[test]
+    fn parses_entries_with_y_flip() {
+        let s = parse_scen(SAMPLE).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].bucket, 0);
+        assert_eq!(s[0].map_name, "Boston_0_256.map");
+        // y=5 from the top of a 256-high map is y=250 in y-up coords.
+        assert_eq!(s[0].start, Cell2::new(3, 250));
+        assert_eq!(s[0].goal, Cell2::new(10, 243));
+        assert!((s[1].optimal_length - 399.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_version_and_blank_lines() {
+        let s = parse_scen("version 1\n\n").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn wrong_field_count_is_error() {
+        assert!(parse_scen("0 map.map 4 4 0 0 3 3").is_err());
+    }
+
+    #[test]
+    fn unparsable_number_is_error() {
+        assert!(parse_scen("0 map.map 4 4 0 zero 3 3 4.2").is_err());
+    }
+
+    #[test]
+    fn scenario_against_generated_map_is_plannable() {
+        // A scenario that refers to endpoints on a generated map should
+        // produce in-bounds cells.
+        let s = parse_scen("0 x.map 64 64 1 1 62 62 86.2\n").unwrap();
+        let g = crate::BitGrid2::new(64, 64);
+        use crate::Occupancy2;
+        assert!(g.in_bounds(s[0].start));
+        assert!(g.in_bounds(s[0].goal));
+    }
+}

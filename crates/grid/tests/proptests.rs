@@ -1,0 +1,82 @@
+//! Property-based tests of the grid invariants.
+
+use proptest::prelude::*;
+use racod_geom::Cell2;
+use racod_grid::io::{parse_map, write_map};
+use racod_grid::{BitGrid2, BitGrid3, Occupancy2};
+
+proptest! {
+    #[test]
+    fn set_get_roundtrip(
+        w in 1u32..100, h in 1u32..100,
+        cells in prop::collection::vec((0u32..100, 0u32..100, any::<bool>()), 0..50),
+    ) {
+        let mut g = BitGrid2::new(w, h);
+        let mut expected = std::collections::HashMap::new();
+        for (x, y, v) in cells {
+            let c = Cell2::new(x as i64 % w as i64, y as i64 % h as i64);
+            g.set(c, v);
+            expected.insert(c, v);
+        }
+        for (c, v) in expected {
+            prop_assert_eq!(g.get(c), Some(v));
+        }
+    }
+
+    #[test]
+    fn count_matches_iteration(
+        w in 1u32..64, h in 1u32..64,
+        cells in prop::collection::vec((0u32..64, 0u32..64), 0..80),
+    ) {
+        let mut g = BitGrid2::new(w, h);
+        for (x, y) in cells {
+            g.set(Cell2::new(x as i64 % w as i64, y as i64 % h as i64), true);
+        }
+        let by_iter = g.iter().filter(|&(_, o)| o).count() as u64;
+        prop_assert_eq!(g.count_occupied(), by_iter);
+    }
+
+    #[test]
+    fn moving_ai_roundtrip(
+        w in 1u32..40, h in 1u32..40,
+        cells in prop::collection::vec((0u32..40, 0u32..40), 0..60),
+    ) {
+        let mut g = BitGrid2::new(w, h);
+        for (x, y) in cells {
+            g.set(Cell2::new(x as i64 % w as i64, y as i64 % h as i64), true);
+        }
+        let text = write_map(&g);
+        let back = parse_map(&text).unwrap();
+        prop_assert_eq!(g, back);
+    }
+
+    #[test]
+    fn word_addresses_are_aligned_and_in_range(
+        w in 1u32..200, h in 1u32..200, x in 0u32..200, y in 0u32..200,
+    ) {
+        let g = BitGrid2::new(w, h);
+        let c = Cell2::new(x as i64, y as i64);
+        match g.cell_addr(c) {
+            Some(addr) => {
+                prop_assert!(g.in_bounds(c));
+                prop_assert_eq!(addr % 4, 0, "word aligned");
+                prop_assert!(addr >= g.base_addr());
+                prop_assert!(addr < g.base_addr() + g.storage_bytes() as u64);
+            }
+            None => prop_assert!(!g.in_bounds(c)),
+        }
+    }
+
+    #[test]
+    fn grid3_fill_box_count(
+        x0 in 0i64..8, y0 in 0i64..8, z0 in 0i64..8,
+        dx in 0i64..8, dy in 0i64..8, dz in 0i64..8,
+    ) {
+        let mut g = BitGrid3::new(16, 16, 16);
+        g.fill_box(x0, y0, z0, x0 + dx, y0 + dy, z0 + dz, true);
+        prop_assert_eq!(
+            g.count_occupied(),
+            ((dx + 1) * (dy + 1) * (dz + 1)) as u64
+        );
+    }
+}

@@ -1,0 +1,404 @@
+//! Generic set-associative cache with LRU replacement.
+
+use crate::BlockAddr;
+use std::fmt;
+
+/// Cache block size in bytes (512 bits, as in the paper's arithmetic).
+pub const BLOCK_SIZE: usize = 64;
+
+/// Static cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be a positive multiple of
+    /// `BLOCK_SIZE * associativity`.
+    pub size_bytes: usize,
+    /// Number of ways per set. `0` is invalid; use `blocks()` for fully
+    /// associative.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// The paper's default L0: 256 bytes, fully associative (4 blocks).
+    pub fn l0_default() -> Self {
+        CacheConfig { size_bytes: 256, associativity: 4 }
+    }
+
+    /// A model of the Core i3-8109U's 32 KiB 8-way L1 data cache.
+    pub fn l1_default() -> Self {
+        CacheConfig { size_bytes: 32 * 1024, associativity: 8 }
+    }
+
+    /// An L0 of the given size (fully associative), for the Fig 11 sweep.
+    pub fn l0_sized(size_bytes: usize) -> Self {
+        CacheConfig { size_bytes, associativity: (size_bytes / BLOCK_SIZE).max(1) }
+    }
+
+    /// Total number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.size_bytes / BLOCK_SIZE
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.blocks() / self.associativity
+    }
+
+    fn validate(&self) {
+        assert!(self.size_bytes >= BLOCK_SIZE, "cache smaller than one block");
+        assert!(self.associativity >= 1, "associativity must be at least 1");
+        assert_eq!(
+            self.size_bytes % (BLOCK_SIZE * self.associativity),
+            0,
+            "size must be a multiple of block size x associativity"
+        );
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two for index hashing"
+        );
+    }
+}
+
+/// The outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The block was present.
+    Hit,
+    /// The block was filled; the victim block (if any) was evicted.
+    Miss {
+        /// The evicted block, if a valid block was displaced.
+        evicted: Option<BlockAddr>,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit)
+    }
+}
+
+/// Running hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+    /// Number of invalidations received.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total number of accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; `0` when no accesses have occurred.
+    pub fn hit_ratio(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit ratio)",
+            self.hits,
+            self.misses,
+            self.hit_ratio() * 100.0
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Monotonic timestamp of last use, for LRU.
+    lru: u64,
+}
+
+/// A set-associative cache over block addresses, with LRU replacement.
+///
+/// Purely a presence/absence model: no data is stored, because occupancy
+/// data lives in the [`racod_grid`](https://docs.rs) grids; the cache model
+/// only decides hit-or-miss and tracks statistics.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see [`CacheConfig`]).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        SetAssocCache {
+            config,
+            lines: vec![Line { tag: 0, valid: false, lru: 0 }; config.blocks()],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_range(&self, block: BlockAddr) -> (usize, usize, u64) {
+        let sets = self.config.sets();
+        let set = (block.0 as usize) & (sets - 1);
+        let ways = self.config.associativity;
+        let start = set * ways;
+        (start, start + ways, block.0 >> sets.trailing_zeros())
+    }
+
+    /// Accesses the block containing `addr`, updating LRU state and
+    /// statistics. On a miss the block is filled, evicting the set's LRU
+    /// victim.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.access_block(BlockAddr::containing(addr))
+    }
+
+    /// Accesses a block address directly (see [`SetAssocCache::access`]).
+    pub fn access_block(&mut self, block: BlockAddr) -> AccessOutcome {
+        self.clock += 1;
+        let (start, end, tag) = self.set_range(block);
+        // Hit?
+        for line in &mut self.lines[start..end] {
+            if line.valid && line.tag == tag {
+                line.lru = self.clock;
+                self.stats.hits += 1;
+                return AccessOutcome::Hit;
+            }
+        }
+        // Miss: fill, preferring an invalid way, else the LRU way.
+        self.stats.misses += 1;
+        let sets = self.config.sets();
+        let set_bits = sets.trailing_zeros();
+        let set = (block.0 as usize) & (sets - 1);
+        let victim_idx = {
+            let slice = &self.lines[start..end];
+            match slice.iter().position(|l| !l.valid) {
+                Some(i) => start + i,
+                None => {
+                    let (i, _) = slice
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.lru)
+                        .expect("associativity >= 1");
+                    start + i
+                }
+            }
+        };
+        let victim = &mut self.lines[victim_idx];
+        let evicted = if victim.valid {
+            Some(BlockAddr(((victim.tag << set_bits) as u64) | set as u64))
+        } else {
+            None
+        };
+        *victim = Line { tag, valid: true, lru: self.clock };
+        AccessOutcome::Miss { evicted }
+    }
+
+    /// Whether the block containing `addr` is present (no state change).
+    pub fn contains(&self, addr: u64) -> bool {
+        let block = BlockAddr::containing(addr);
+        let (start, end, tag) = self.set_range(block);
+        self.lines[start..end].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates a block if present; returns whether it was present.
+    ///
+    /// Used by the coherence mechanism of §3.1.4: L1 evictions, writes, or
+    /// external invalidations must drop the block from every L0.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        let (start, end, tag) = self.set_range(block);
+        for line in &mut self.lines[start..end] {
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                self.stats.invalidations += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates everything (e.g. when the occupancy grid is replaced by a
+    /// new perception snapshot).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+        }
+    }
+
+    /// Number of currently valid blocks.
+    pub fn valid_blocks(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(CacheConfig::l0_default());
+        assert!(!c.access(0x100).is_hit());
+        assert!(c.access(0x100).is_hit());
+        assert!(c.access(0x13f).is_hit(), "same block");
+        assert!(!c.access(0x140).is_hit(), "next block");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn stats_sum_to_accesses() {
+        let mut c = SetAssocCache::new(CacheConfig::l0_default());
+        for i in 0..100u64 {
+            c.access(i * 32);
+        }
+        assert_eq!(c.stats().accesses(), 100);
+        assert_eq!(c.stats().hits + c.stats().misses, 100);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Fully associative 4-block cache.
+        let mut c = SetAssocCache::new(CacheConfig { size_bytes: 256, associativity: 4 });
+        for b in 0..4u64 {
+            c.access(b * 64);
+        }
+        // Touch blocks 1..3 so block 0 is LRU.
+        for b in 1..4u64 {
+            c.access(b * 64);
+        }
+        let out = c.access(4 * 64);
+        assert_eq!(out, AccessOutcome::Miss { evicted: Some(BlockAddr(0)) });
+        assert!(!c.contains(0));
+        assert!(c.contains(4 * 64));
+    }
+
+    #[test]
+    fn lru_never_evicts_most_recent() {
+        let mut c = SetAssocCache::new(CacheConfig { size_bytes: 256, associativity: 4 });
+        for b in 0..64u64 {
+            let mru_before = b.saturating_sub(1) * 64;
+            let out = c.access_block(BlockAddr(b));
+            if let AccessOutcome::Miss { evicted: Some(e) } = out {
+                assert_ne!(e.base(), mru_before, "evicted the MRU block");
+            }
+        }
+    }
+
+    #[test]
+    fn set_mapping_separates_conflicting_blocks() {
+        // 2 sets x 1 way: blocks 0 and 2 map to set 0; block 1 to set 1.
+        let mut c = SetAssocCache::new(CacheConfig { size_bytes: 128, associativity: 1 });
+        assert_eq!(c.config().sets(), 2);
+        c.access_block(BlockAddr(0));
+        c.access_block(BlockAddr(1));
+        let out = c.access_block(BlockAddr(2));
+        assert_eq!(out, AccessOutcome::Miss { evicted: Some(BlockAddr(0)) });
+        assert!(c.contains(BlockAddr(1).base()), "other set untouched");
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = SetAssocCache::new(CacheConfig::l0_default());
+        c.access(0x40);
+        assert!(c.invalidate(BlockAddr::containing(0x40)));
+        assert!(!c.contains(0x40));
+        assert!(!c.invalidate(BlockAddr::containing(0x40)), "already gone");
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = SetAssocCache::new(CacheConfig::l1_default());
+        for i in 0..32u64 {
+            c.access(i * 64);
+        }
+        assert!(c.valid_blocks() > 0);
+        c.flush();
+        assert_eq!(c.valid_blocks(), 0);
+    }
+
+    #[test]
+    fn eviction_reconstructs_correct_block_address() {
+        let cfg = CacheConfig { size_bytes: 512, associativity: 2 }; // 4 sets
+        let mut c = SetAssocCache::new(cfg);
+        // Fill set 1 with blocks 1 and 5 (1 mod 4 == 5 mod 4 == 1).
+        c.access_block(BlockAddr(1));
+        c.access_block(BlockAddr(5));
+        // Next conflicting block evicts block 1 (LRU).
+        let out = c.access_block(BlockAddr(9));
+        assert_eq!(out, AccessOutcome::Miss { evicted: Some(BlockAddr(1)) });
+    }
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let mut c = SetAssocCache::new(CacheConfig::l0_default());
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l0_sized_configs() {
+        for sz in [64usize, 128, 256, 512, 1024] {
+            let c = SetAssocCache::new(CacheConfig::l0_sized(sz));
+            assert_eq!(c.config().blocks(), sz / BLOCK_SIZE);
+        }
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = SetAssocCache::new(CacheConfig::l0_default());
+        c.access(0x80);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.contains(0x80));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_geometry_panics() {
+        let _ = SetAssocCache::new(CacheConfig { size_bytes: 96, associativity: 1 });
+    }
+
+    #[test]
+    fn display_stats() {
+        let mut c = SetAssocCache::new(CacheConfig::l0_default());
+        c.access(0);
+        let s = format!("{}", c.stats());
+        assert!(s.contains("miss"));
+    }
+}

@@ -1,0 +1,316 @@
+//! The L0 → L1 hierarchy shared by a pool of CODAcc units.
+
+use crate::cache::{CacheConfig, CacheStats, SetAssocCache};
+use crate::BlockAddr;
+use std::fmt;
+
+/// Access latencies in core cycles.
+///
+/// Defaults follow the paper's framing: L0 answers in a single cycle
+/// (Table 2), L1 "latency is not high" (§5.10), and misses beyond L1 go to
+/// the rest of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// L0 hit latency.
+    pub l0_hit: u64,
+    /// L1 hit latency (seen by an L0 miss).
+    pub l1_hit: u64,
+    /// Latency of an access missing both L0 and L1 (served by L2/LLC/DRAM,
+    /// folded into one number).
+    pub l1_miss: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel { l0_hit: 1, l1_hit: 4, l1_miss: 30 }
+    }
+}
+
+/// A pool of per-accelerator L0 caches backed by one shared L1.
+///
+/// Implements the system-integration rules of paper §3.1.4:
+///
+/// * every CODAcc unit has its own L0;
+/// * all L0s are backed by the core's L1;
+/// * blocks cached in an L0 are *marked* in L1 (1-bit extension), and
+///   whenever a marked block is evicted from L1, written, or invalidated,
+///   it is invalidated in every L0 (inclusion).
+///
+/// # Example
+///
+/// ```
+/// use racod_mem::MemSystem;
+///
+/// let mut mem = MemSystem::with_defaults(2);
+/// let cold = mem.access(0, 0x1000);
+/// let warm = mem.access(0, 0x1000);
+/// assert!(warm < cold);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    l0s: Vec<SetAssocCache>,
+    l1: SetAssocCache,
+    latency: LatencyModel,
+}
+
+impl MemSystem {
+    /// Creates a hierarchy with `units` L0 caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` or a cache geometry is invalid.
+    pub fn new(
+        units: usize,
+        l0_config: CacheConfig,
+        l1_config: CacheConfig,
+        latency: LatencyModel,
+    ) -> Self {
+        assert!(units > 0, "at least one accelerator unit required");
+        MemSystem {
+            l0s: (0..units).map(|_| SetAssocCache::new(l0_config)).collect(),
+            l1: SetAssocCache::new(l1_config),
+            latency,
+        }
+    }
+
+    /// Convenience constructor with default geometries.
+    pub fn with_defaults(units: usize) -> Self {
+        MemSystem::new(
+            units,
+            CacheConfig::l0_default(),
+            CacheConfig::l1_default(),
+            LatencyModel::default(),
+        )
+    }
+
+    /// Number of L0 caches (accelerator units).
+    pub fn units(&self) -> usize {
+        self.l0s.len()
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Performs a read by accelerator `unit` at byte address `addr` and
+    /// returns its latency in cycles.
+    ///
+    /// On an L1 eviction, the victim block is invalidated in every L0
+    /// (the §3.1.4 marking scheme; we conservatively treat every block as
+    /// potentially marked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn access(&mut self, unit: usize, addr: u64) -> u64 {
+        let block = BlockAddr::containing(addr);
+        if self.l0s[unit].access_block(block).is_hit() {
+            return self.latency.l0_hit;
+        }
+        // L0 miss → forwarded to L1.
+        let l1_out = self.l1.access_block(block);
+        let latency = if l1_out.is_hit() {
+            self.latency.l0_hit + self.latency.l1_hit
+        } else {
+            self.latency.l0_hit + self.latency.l1_miss
+        };
+        if let crate::cache::AccessOutcome::Miss { evicted: Some(victim) } = l1_out {
+            // Inclusion: a block leaving L1 may not linger in any L0.
+            for l0 in &mut self.l0s {
+                l0.invalidate(victim);
+            }
+        }
+        latency
+    }
+
+    /// A write to `addr` by the core (e.g. the perception unit updating the
+    /// grid between planning episodes): invalidates the block in every L0.
+    pub fn write_invalidate(&mut self, addr: u64) {
+        let block = BlockAddr::containing(addr);
+        for l0 in &mut self.l0s {
+            l0.invalidate(block);
+        }
+    }
+
+    /// Statistics of one L0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn l0_stats(&self, unit: usize) -> CacheStats {
+        self.l0s[unit].stats()
+    }
+
+    /// Aggregate statistics across all L0s.
+    pub fn l0_stats_total(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for l0 in &self.l0s {
+            let s = l0.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.invalidations += s.invalidations;
+        }
+        total
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// Bytes of block traffic the L1 served to the L0s (64 B per L0 miss).
+    ///
+    /// The L0's purpose is lifting *bandwidth* pressure from the core's L1
+    /// (paper §5.10); this counter quantifies the residual.
+    pub fn l1_bytes_served(&self) -> u64 {
+        self.l1.stats().accesses() * crate::cache::BLOCK_SIZE as u64
+    }
+
+    /// Fraction of L0 request traffic filtered before reaching the L1
+    /// (`1 − L1 accesses / L0 accesses`); `0` with no traffic.
+    pub fn bandwidth_filter_ratio(&self) -> f64 {
+        let l0 = self.l0_stats_total().accesses();
+        if l0 == 0 {
+            0.0
+        } else {
+            1.0 - self.l1_stats().accesses() as f64 / l0 as f64
+        }
+    }
+
+    /// Clears all statistics, keeping cache contents.
+    pub fn reset_stats(&mut self) {
+        for l0 in &mut self.l0s {
+            l0.reset_stats();
+        }
+        self.l1.reset_stats();
+    }
+
+    /// Flushes every cache (new occupancy-grid snapshot).
+    pub fn flush(&mut self) {
+        for l0 in &mut self.l0s {
+            l0.flush();
+        }
+        self.l1.flush();
+    }
+}
+
+impl fmt::Display for MemSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MemSystem({} L0s: {}; L1: {})",
+            self.l0s.len(),
+            self.l0_stats_total(),
+            self.l1.stats()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system(units: usize) -> MemSystem {
+        MemSystem::with_defaults(units)
+    }
+
+    #[test]
+    fn cold_warm_latencies() {
+        let mut m = small_system(1);
+        let lat = LatencyModel::default();
+        assert_eq!(m.access(0, 0x1000), lat.l0_hit + lat.l1_miss);
+        assert_eq!(m.access(0, 0x1000), lat.l0_hit);
+    }
+
+    #[test]
+    fn l1_serves_other_units_l0_misses() {
+        let mut m = small_system(2);
+        let lat = LatencyModel::default();
+        m.access(0, 0x2000); // fills L1 (and unit 0's L0)
+        assert_eq!(m.access(1, 0x2000), lat.l0_hit + lat.l1_hit);
+    }
+
+    #[test]
+    fn write_invalidate_hits_all_l0s() {
+        let mut m = small_system(3);
+        for u in 0..3 {
+            m.access(u, 0x3000);
+        }
+        m.write_invalidate(0x3000);
+        let lat = LatencyModel::default();
+        // All L0s must re-fetch; L1 still has it.
+        for u in 0..3 {
+            assert_eq!(m.access(u, 0x3000), lat.l0_hit + lat.l1_hit, "unit {u}");
+        }
+    }
+
+    #[test]
+    fn l1_eviction_invalidates_l0_inclusion() {
+        // Tiny L1 (2 blocks, direct-mapped x2 ways... use 1-way 2-set) to
+        // force evictions quickly.
+        let l1 = CacheConfig { size_bytes: 128, associativity: 1 }; // 2 sets
+        let l0 = CacheConfig::l0_default();
+        let mut m = MemSystem::new(1, l0, l1, LatencyModel::default());
+        m.access(0, 0); // block 0 → L0 and L1 set 0
+        m.access(0, 128); // block 2 → L1 set 0, evicts block 0 from L1
+        // Inclusion: block 0 must be gone from L0 too → full miss again.
+        let lat = LatencyModel::default();
+        assert_eq!(m.access(0, 0), lat.l0_hit + lat.l1_miss);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut m = small_system(2);
+        m.access(0, 0);
+        m.access(0, 0);
+        m.access(1, 64);
+        let total = m.l0_stats_total();
+        assert_eq!(total.accesses(), 3);
+        assert_eq!(total.hits, 1);
+        assert_eq!(m.l1_stats().accesses(), 2, "only L0 misses reach L1");
+    }
+
+    #[test]
+    fn bandwidth_accounting() {
+        let mut m = small_system(1);
+        m.access(0, 0); // L0 miss -> L1 access (64 B)
+        m.access(0, 4); // L0 hit -> filtered
+        m.access(0, 8); // L0 hit -> filtered
+        assert_eq!(m.l1_bytes_served(), 64);
+        assert!((m.bandwidth_filter_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_forces_cold_misses() {
+        let mut m = small_system(1);
+        m.access(0, 0x100);
+        m.flush();
+        let lat = LatencyModel::default();
+        assert_eq!(m.access(0, 0x100), lat.l0_hit + lat.l1_miss);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut m = small_system(1);
+        m.access(0, 0x100);
+        m.reset_stats();
+        assert_eq!(m.l0_stats(0).accesses(), 0);
+        let lat = LatencyModel::default();
+        assert_eq!(m.access(0, 0x100), lat.l0_hit, "content survived reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_units_panics() {
+        let _ = MemSystem::with_defaults(0);
+    }
+
+    #[test]
+    fn display_mentions_caches() {
+        let m = small_system(2);
+        let s = format!("{m}");
+        assert!(s.contains("L0"));
+        assert!(s.contains("L1"));
+    }
+}

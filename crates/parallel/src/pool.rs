@@ -1,0 +1,333 @@
+//! The worker pool and the threaded planner.
+
+use crate::status::StatusTable;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use racod_rasexp::{DirectedState, LastDirectionPredictor};
+use racod_search::{
+    astar, AstarConfig, CollisionOracle, ExpansionContext, SearchResult, SearchSpace,
+};
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Threaded-planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// Runahead depth; `0` disables speculation (baseline multithreading).
+    pub runahead: usize,
+}
+
+impl ParallelConfig {
+    /// Baseline multithreading: demand checks fan out, no speculation.
+    pub fn baseline(threads: usize) -> Self {
+        ParallelConfig { threads, runahead: 0 }
+    }
+
+    /// Software RASExp with the given runahead depth.
+    pub fn rasexp(threads: usize, runahead: usize) -> Self {
+        ParallelConfig { threads, runahead }
+    }
+}
+
+/// A completed threaded planning run.
+#[derive(Debug, Clone)]
+pub struct ParallelRun<S> {
+    /// The search result (identical to a single-threaded run).
+    pub result: SearchResult<S>,
+    /// Wall-clock duration of the planning call.
+    pub elapsed: Duration,
+    /// Checks computed by workers on demand batches.
+    pub demand_checks: u64,
+    /// Speculative checks computed by workers.
+    pub speculative_checks: u64,
+    /// Demand requests served from the memo table.
+    pub memo_hits: u64,
+}
+
+enum Job<S> {
+    Check(S, usize),
+    Shutdown,
+}
+
+/// A planner that executes collision checks on a real thread pool, generic
+/// over the search space (2D cities, 3D campuses, anything implementing
+/// [`SearchSpace`] with [`DirectedState`] states).
+///
+/// The checker function is shared by every worker, so it must be
+/// `Fn + Send + Sync` (typically a closure over an `Arc<BitGrid2>`).
+pub struct ParallelPlanner<S, F> {
+    config: ParallelConfig,
+    check: Arc<F>,
+    _state: PhantomData<fn(S)>,
+}
+
+impl<S, F> ParallelPlanner<S, F>
+where
+    S: DirectedState + Send + 'static,
+    F: Fn(S) -> bool + Send + Sync + 'static,
+{
+    /// Creates a planner with the given configuration and checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads == 0`.
+    pub fn new(config: ParallelConfig, check: F) -> Self {
+        assert!(config.threads > 0, "at least one worker thread");
+        ParallelPlanner { config, check: Arc::new(check), _state: PhantomData }
+    }
+
+    /// Plans from `start` to `goal` over `space`.
+    ///
+    /// Workers are spawned per call and joined before returning, so the
+    /// reported wall time covers the full planning episode including pool
+    /// start-up — matching how the paper measures end-to-end planning time.
+    pub fn plan<Sp>(&self, space: &Sp, start: S, goal: S) -> ParallelRun<S>
+    where
+        Sp: SearchSpace<State = S>,
+    {
+        let table = Arc::new(StatusTable::new(space.state_count()));
+        let (tx, rx) = unbounded::<Job<S>>();
+
+        let workers: Vec<JoinHandle<()>> = (0..self.config.threads)
+            .map(|_| {
+                let rx: Receiver<Job<S>> = rx.clone();
+                let table = table.clone();
+                let check = self.check.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        match job {
+                            Job::Check(state, idx) => {
+                                let free = (check)(state);
+                                table.publish(idx, free);
+                            }
+                            Job::Shutdown => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let begin = Instant::now();
+        let mut oracle = PoolOracle {
+            space,
+            table: &table,
+            tx: tx.clone(),
+            predictor: LastDirectionPredictor::new(self.config.runahead.max(1)),
+            runahead: self.config.runahead,
+            threads: self.config.threads,
+            demand_checks: 0,
+            speculative_checks: 0,
+            memo_hits: 0,
+        };
+        let result = astar(space, start, goal, &AstarConfig::default(), &mut oracle);
+        let elapsed = begin.elapsed();
+        let (demand_checks, speculative_checks, memo_hits) =
+            (oracle.demand_checks, oracle.speculative_checks, oracle.memo_hits);
+
+        for _ in &workers {
+            let _ = tx.send(Job::Shutdown);
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        ParallelRun { result, elapsed, demand_checks, speculative_checks, memo_hits }
+    }
+}
+
+/// The oracle run by the planner thread: demand batches join; speculative
+/// jobs are fire-and-forget.
+struct PoolOracle<'a, Sp: SearchSpace> {
+    space: &'a Sp,
+    table: &'a Arc<StatusTable>,
+    tx: Sender<Job<Sp::State>>,
+    predictor: LastDirectionPredictor,
+    runahead: usize,
+    threads: usize,
+    demand_checks: u64,
+    speculative_checks: u64,
+    memo_hits: u64,
+}
+
+impl<'a, Sp> CollisionOracle<Sp> for PoolOracle<'a, Sp>
+where
+    Sp: SearchSpace,
+    Sp::State: DirectedState,
+{
+    fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        // Issue demand jobs for unresolved states.
+        let mut waits: Vec<usize> = Vec::with_capacity(demand.len());
+        let mut resolved: Vec<Option<bool>> = Vec::with_capacity(demand.len());
+        let mut outstanding = 0usize;
+        for &s in demand {
+            match self.space.index(s) {
+                None => resolved.push(Some(false)),
+                Some(idx) => {
+                    if let Some(v) = self.table.get(idx) {
+                        self.memo_hits += 1;
+                        resolved.push(Some(v));
+                    } else if self.table.try_claim(idx) {
+                        self.demand_checks += 1;
+                        outstanding += 1;
+                        self.tx.send(Job::Check(s, idx)).expect("workers alive");
+                        waits.push(idx);
+                        resolved.push(None);
+                    } else {
+                        // Another (speculative) claim is in flight: wait for
+                        // it below — the PENDING overlap of Algorithm 1.
+                        self.memo_hits += 1;
+                        waits.push(idx);
+                        resolved.push(None);
+                    }
+                }
+            }
+        }
+
+        // Runahead while demand checks are outstanding.
+        if self.runahead > 0 && outstanding > 0 && ctx.parent.is_some() {
+            let mut budget = self.threads.saturating_sub(outstanding);
+            let chain = self.predictor.predict(ctx.expanded, ctx.parent);
+            let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
+            'runahead: for pred in chain {
+                neigh.clear();
+                self.space.neighbors(pred, &mut neigh);
+                for &(nb, _) in &neigh {
+                    if budget == 0 {
+                        break 'runahead;
+                    }
+                    let Some(idx) = self.space.index(nb) else { continue };
+                    if self.table.get(idx).is_some() || self.table.is_pending(idx) {
+                        continue;
+                    }
+                    if self.table.try_claim(idx) {
+                        self.speculative_checks += 1;
+                        self.tx.send(Job::Check(nb, idx)).expect("workers alive");
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+
+        // Join demand results (Algorithm 1 line 18).
+        let mut out = Vec::with_capacity(demand.len());
+        let mut wait_iter = waits.into_iter();
+        for r in resolved {
+            match r {
+                Some(v) => out.push(v),
+                None => {
+                    let idx = wait_iter.next().expect("one wait per unresolved state");
+                    out.push(self.table.wait(idx));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_geom::{Cell2, Cell3};
+    use racod_grid::gen::{campus_3d, random_map};
+    use racod_grid::{BitGrid2, Occupancy2, Occupancy3};
+    use racod_search::{FnOracle, GridSpace2, GridSpace3};
+
+    fn reference_plan(grid: &BitGrid2, start: Cell2, goal: Cell2) -> SearchResult<Cell2> {
+        let space = GridSpace2::eight_connected(grid.width(), grid.height());
+        let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        astar(&space, start, goal, &AstarConfig::default(), &mut oracle)
+    }
+
+    #[test]
+    fn threaded_baseline_matches_reference() {
+        let grid = Arc::new(random_map(3, 48, 48, 0.25));
+        let reference = reference_plan(&grid, Cell2::new(1, 1), Cell2::new(46, 46));
+        let g = grid.clone();
+        let planner = ParallelPlanner::new(ParallelConfig::baseline(4), move |c: Cell2| {
+            g.get(c) == Some(false)
+        });
+        let space = GridSpace2::eight_connected(48, 48);
+        let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(46, 46));
+        assert_eq!(run.result.path, reference.path);
+        assert_eq!(run.result.cost.to_bits(), reference.cost.to_bits());
+        assert_eq!(run.speculative_checks, 0);
+    }
+
+    #[test]
+    fn threaded_rasexp_matches_reference() {
+        for seed in [5u64, 9, 13] {
+            let grid = Arc::new(random_map(seed, 48, 48, 0.2));
+            let reference = reference_plan(&grid, Cell2::new(1, 1), Cell2::new(46, 46));
+            let g = grid.clone();
+            let planner = ParallelPlanner::new(ParallelConfig::rasexp(4, 8), move |c: Cell2| {
+                g.get(c) == Some(false)
+            });
+            let space = GridSpace2::eight_connected(48, 48);
+            let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(46, 46));
+            assert_eq!(run.result.path, reference.path, "seed {seed}");
+            assert_eq!(run.result.stats.expansions, reference.stats.expansions);
+        }
+    }
+
+    #[test]
+    fn rasexp_actually_speculates() {
+        let grid = Arc::new(BitGrid2::new(96, 96));
+        let g = grid.clone();
+        let planner = ParallelPlanner::new(ParallelConfig::rasexp(8, 16), move |c: Cell2| {
+            g.get(c) == Some(false)
+        });
+        let space = GridSpace2::eight_connected(96, 96);
+        let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(94, 94));
+        assert!(run.result.found());
+        assert!(run.speculative_checks > 0, "speculation must happen");
+        assert!(run.memo_hits > 0, "speculation must pay off");
+    }
+
+    #[test]
+    fn each_state_checked_at_most_once() {
+        let grid = Arc::new(random_map(1, 64, 64, 0.2));
+        let g = grid.clone();
+        let planner = ParallelPlanner::new(ParallelConfig::rasexp(8, 16), move |c: Cell2| {
+            g.get(c) == Some(false)
+        });
+        let space = GridSpace2::eight_connected(64, 64);
+        let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(62, 62));
+        let total = run.demand_checks + run.speculative_checks;
+        assert!(
+            total <= (64 * 64) as u64,
+            "checks {total} exceed state count — double computation"
+        );
+    }
+
+    #[test]
+    fn threaded_planner_works_in_3d() {
+        let grid = Arc::new(campus_3d(7, 48, 48, 24));
+        let space = GridSpace3::twenty_six_connected(48, 48, 24);
+        let (s, g3) = (Cell3::new(3, 3, 12), Cell3::new(44, 44, 12));
+
+        let mut reference_oracle =
+            FnOracle::new(|c: Cell3| grid.occupied(c) == Some(false));
+        let reference = astar(&space, s, g3, &AstarConfig::default(), &mut reference_oracle);
+
+        let g = grid.clone();
+        let planner = ParallelPlanner::new(ParallelConfig::rasexp(4, 8), move |c: Cell3| {
+            g.occupied(c) == Some(false)
+        });
+        let run = planner.plan(&space, s, g3);
+        assert_eq!(run.result.path, reference.path, "3D threaded run diverged");
+    }
+
+    #[test]
+    fn elapsed_is_measured() {
+        let grid = Arc::new(BitGrid2::new(32, 32));
+        let g = grid.clone();
+        let planner = ParallelPlanner::new(ParallelConfig::baseline(2), move |c: Cell2| {
+            g.get(c) == Some(false)
+        });
+        let space = GridSpace2::eight_connected(32, 32);
+        let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(30, 30));
+        assert!(run.elapsed > Duration::ZERO);
+    }
+}

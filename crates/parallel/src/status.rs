@@ -1,0 +1,151 @@
+//! A lock-free collision-status table shared between the planner thread
+//! and the worker pool.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Per-state status values.
+const UNKNOWN: u8 = 0;
+const PENDING: u8 = 1;
+const FREE: u8 = 2;
+const BLOCKED: u8 = 3;
+
+/// A dense atomic status table: one byte per state, transitioned with
+/// compare-and-swap so that exactly one thread computes each state.
+///
+/// # Example
+///
+/// ```
+/// use racod_parallel::StatusTable;
+/// let t = StatusTable::new(10);
+/// assert!(t.try_claim(3));          // first claimer wins
+/// assert!(!t.try_claim(3));         // second does not
+/// t.publish(3, true);
+/// assert_eq!(t.get(3), Some(true));
+/// ```
+#[derive(Debug)]
+pub struct StatusTable {
+    slots: Vec<AtomicU8>,
+}
+
+impl StatusTable {
+    /// Creates a table of `capacity` unknown states.
+    pub fn new(capacity: usize) -> Self {
+        StatusTable { slots: (0..capacity).map(|_| AtomicU8::new(UNKNOWN)).collect() }
+    }
+
+    /// Number of representable states.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Attempts to claim a state for computation: succeeds exactly once per
+    /// state, transitioning `UNKNOWN → PENDING`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn try_claim(&self, index: usize) -> bool {
+        self.slots[index]
+            .compare_exchange(UNKNOWN, PENDING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Publishes the verdict of a claimed state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn publish(&self, index: usize, free: bool) {
+        self.slots[index].store(if free { FREE } else { BLOCKED }, Ordering::Release);
+    }
+
+    /// Reads a resolved verdict, or `None` while unknown/pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        match self.slots[index].load(Ordering::Acquire) {
+            FREE => Some(true),
+            BLOCKED => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Whether a check for the state is currently in flight.
+    pub fn is_pending(&self, index: usize) -> bool {
+        self.slots[index].load(Ordering::Acquire) == PENDING
+    }
+
+    /// Blocks (spinning with yields) until the state resolves, returning
+    /// the verdict. Must only be called for claimed states, otherwise it
+    /// may spin forever.
+    pub fn wait(&self, index: usize) -> bool {
+        loop {
+            if let Some(v) = self.get(index) {
+                return v;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn claim_is_exclusive() {
+        let t = StatusTable::new(4);
+        assert!(t.try_claim(0));
+        assert!(!t.try_claim(0));
+    }
+
+    #[test]
+    fn publish_resolves() {
+        let t = StatusTable::new(4);
+        assert_eq!(t.get(1), None);
+        t.try_claim(1);
+        assert!(t.is_pending(1));
+        t.publish(1, false);
+        assert_eq!(t.get(1), Some(false));
+        assert!(!t.is_pending(1));
+    }
+
+    #[test]
+    fn wait_sees_concurrent_publish() {
+        let t = Arc::new(StatusTable::new(2));
+        assert!(t.try_claim(0));
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            t2.publish(0, true);
+        });
+        assert!(t.wait(0));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_claims_are_unique() {
+        let t = Arc::new(StatusTable::new(1000));
+        let mut handles = Vec::new();
+        let wins = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        for _ in 0..8 {
+            let t = t.clone();
+            let wins = wins.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    if t.try_claim(i) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                        t.publish(i, true);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), 1000, "each state claimed exactly once");
+    }
+}

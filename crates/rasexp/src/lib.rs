@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! RASExp: Run-Ahead State Exploration (paper §3.2).
+//!
+//! RASExp increases the parallelism of A*-family planning without changing
+//! the expansion order: at every expansion it predicts likely-to-be-explored
+//! future states, speculatively performs their collision checks in parallel
+//! with the current (demand) checks, and memoizes the collision status for
+//! later use. The key insight is that path exploration exhibits *cone-like*
+//! patterns (paper §2.2.2), so a trivial semantic predictor — "the growing
+//! tree keeps growing in its last direction" — is highly accurate.
+//!
+//! Crate layout:
+//!
+//! * [`table`] — the collision-status memo table
+//!   (Unknown/Pending/Free/Blocked) with provenance tracking so prediction
+//!   accuracy and coverage can be measured exactly;
+//! * [`predictor`] — the last-direction predictor with the §5.11 stability
+//!   throttle;
+//! * [`runahead`] — [`RunaheadOracle`], a [`racod_search::CollisionOracle`]
+//!   implementing Algorithm 1 lines 07–17 (runahead issue, livelock
+//!   counter, context budget);
+//! * [`vldp`] — a repurposed VLDP-style hardware delta-pattern predictor for
+//!   the Fig 8 semantic-vs-hardware comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use racod_rasexp::{RunaheadConfig, RunaheadOracle};
+//! use racod_search::{astar, AstarConfig, GridSpace2};
+//! use racod_grid::BitGrid2;
+//! use racod_geom::Cell2;
+//!
+//! let grid = BitGrid2::new(32, 32);
+//! let space = GridSpace2::eight_connected(32, 32);
+//! let mut oracle = RunaheadOracle::new(&space, RunaheadConfig::default(),
+//!     |c: Cell2| grid.get(c) == Some(false));
+//! let r = astar(&space, Cell2::new(1, 1), Cell2::new(30, 30),
+//!               &AstarConfig::default(), &mut oracle);
+//! assert!(r.found());
+//! let stats = oracle.stats();
+//! assert!(stats.spec_issued > 0);
+//! ```
+
+pub mod pattern;
+pub mod predictor;
+pub mod runahead;
+pub mod table;
+pub mod vldp;
+
+pub use pattern::PatternPredictor;
+pub use predictor::{DirectedState, LastDirectionPredictor, StabilityTracker};
+pub use runahead::{RasexpStats, RunaheadConfig, RunaheadOracle};
+pub use table::{CollisionStatus, CollisionTable, Provenance};
+pub use vldp::{VldpPredictor, VldpStats};

@@ -1,0 +1,218 @@
+//! The last-direction semantic predictor and the stability throttle.
+//!
+//! RASExp's prediction mechanism is intentionally simple (paper §3.2.1):
+//! whenever a node is expanded, the direction that led to its expansion is
+//! extracted, and the path is predicted to keep growing in that direction.
+//! §5.11 adds a throttle for irregular environments: the predictor triggers
+//! only if the path leading to the expanded node was *stable* (same
+//! direction) for at least `s` steps.
+
+use racod_geom::{Cell2, Cell3};
+use racod_search::Direction;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// States that can express movement directions — the link between the grid
+/// geometry and the predictor.
+pub trait DirectedState: Copy + Eq + Hash + std::fmt::Debug {
+    /// Direction of the step `parent → child`.
+    fn direction_from(parent: Self, child: Self) -> Direction;
+    /// The state one step along `dir`.
+    fn step(self, dir: Direction) -> Self;
+}
+
+impl DirectedState for Cell2 {
+    fn direction_from(parent: Self, child: Self) -> Direction {
+        Direction::between_2d(parent, child)
+    }
+
+    fn step(self, dir: Direction) -> Self {
+        dir.step_2d(self)
+    }
+}
+
+impl DirectedState for Cell3 {
+    fn direction_from(parent: Self, child: Self) -> Direction {
+        Direction::between_3d(parent, child)
+    }
+
+    fn step(self, dir: Direction) -> Self {
+        dir.step_3d(self)
+    }
+}
+
+/// The last-direction predictor: given an expansion and its parent, emits
+/// the chain of predicted future states `exp + d, exp + 2d, …`.
+///
+/// # Example
+///
+/// ```
+/// use racod_rasexp::LastDirectionPredictor;
+/// use racod_geom::Cell2;
+///
+/// let pred = LastDirectionPredictor::new(3);
+/// let chain = pred.predict(Cell2::new(4, 4), Some(Cell2::new(3, 4)));
+/// assert_eq!(chain, vec![Cell2::new(5, 4), Cell2::new(6, 4), Cell2::new(7, 4)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LastDirectionPredictor {
+    /// Maximum number of vertices to run ahead (MAX_DEPTH, default 8).
+    max_depth: usize,
+}
+
+impl LastDirectionPredictor {
+    /// Creates a predictor with the given livelock bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth == 0`.
+    pub fn new(max_depth: usize) -> Self {
+        assert!(max_depth > 0, "runahead depth must be positive");
+        LastDirectionPredictor { max_depth }
+    }
+
+    /// The livelock bound.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Predicts up to `max_depth` future states along the last direction.
+    /// Returns an empty chain when there is no parent (the start node) or
+    /// the direction is degenerate.
+    pub fn predict<S: DirectedState>(&self, expanded: S, parent: Option<S>) -> Vec<S> {
+        let Some(p) = parent else {
+            return Vec::new();
+        };
+        let dir = S::direction_from(p, expanded);
+        if dir.is_zero() {
+            return Vec::new();
+        }
+        let mut chain = Vec::with_capacity(self.max_depth);
+        let mut cur = expanded;
+        for _ in 0..self.max_depth {
+            cur = cur.step(dir);
+            chain.push(cur);
+        }
+        chain
+    }
+}
+
+/// Tracks, per expanded state, how long the incoming direction has been
+/// stable — the trigger condition of the §5.11 throttle.
+///
+/// When node `n` is expanded with parent `p`, the stability of `n` is
+/// `stability(p) + 1` if `dir(p→n)` equals the direction that led to `p`,
+/// else `1`.
+#[derive(Debug, Clone, Default)]
+pub struct StabilityTracker<S: DirectedState> {
+    records: HashMap<S, (Direction, u32)>,
+}
+
+impl<S: DirectedState> StabilityTracker<S> {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        StabilityTracker { records: HashMap::new() }
+    }
+
+    /// Records the expansion of `child` from `parent` and returns the
+    /// resulting stability count (1 for a fresh direction; the start node
+    /// with no parent yields 0).
+    pub fn on_expand(&mut self, child: S, parent: Option<S>) -> u32 {
+        let Some(p) = parent else {
+            return 0;
+        };
+        let dir = S::direction_from(p, child);
+        if dir.is_zero() {
+            return 0;
+        }
+        let stability = match self.records.get(&p) {
+            Some(&(pdir, pstab)) if pdir == dir => pstab + 1,
+            _ => 1,
+        };
+        self.records.insert(child, (dir, stability));
+        stability
+    }
+
+    /// The recorded stability of a state, if it has been expanded.
+    pub fn stability(&self, s: &S) -> Option<u32> {
+        self.records.get(s).map(|&(_, n)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_chain_prediction() {
+        let pred = LastDirectionPredictor::new(8);
+        let chain = pred.predict(Cell2::new(0, 0), Some(Cell2::new(-1, -1)));
+        assert_eq!(chain.len(), 8);
+        assert_eq!(chain[0], Cell2::new(1, 1));
+        assert_eq!(chain[7], Cell2::new(8, 8));
+    }
+
+    #[test]
+    fn no_parent_no_prediction() {
+        let pred = LastDirectionPredictor::new(8);
+        assert!(pred.predict(Cell2::new(0, 0), None).is_empty());
+    }
+
+    #[test]
+    fn degenerate_direction_no_prediction() {
+        let pred = LastDirectionPredictor::new(8);
+        assert!(pred.predict(Cell2::new(3, 3), Some(Cell2::new(3, 3))).is_empty());
+    }
+
+    #[test]
+    fn prediction_3d() {
+        let pred = LastDirectionPredictor::new(2);
+        let chain = pred.predict(Cell3::new(5, 5, 5), Some(Cell3::new(5, 5, 4)));
+        assert_eq!(chain, vec![Cell3::new(5, 5, 6), Cell3::new(5, 5, 7)]);
+    }
+
+    #[test]
+    fn stability_accumulates_on_straight_paths() {
+        let mut t: StabilityTracker<Cell2> = StabilityTracker::new();
+        assert_eq!(t.on_expand(Cell2::new(0, 0), None), 0);
+        assert_eq!(t.on_expand(Cell2::new(1, 0), Some(Cell2::new(0, 0))), 1);
+        assert_eq!(t.on_expand(Cell2::new(2, 0), Some(Cell2::new(1, 0))), 2);
+        assert_eq!(t.on_expand(Cell2::new(3, 0), Some(Cell2::new(2, 0))), 3);
+    }
+
+    #[test]
+    fn stability_resets_on_turns() {
+        let mut t: StabilityTracker<Cell2> = StabilityTracker::new();
+        t.on_expand(Cell2::new(1, 0), Some(Cell2::new(0, 0)));
+        t.on_expand(Cell2::new(2, 0), Some(Cell2::new(1, 0)));
+        // Turn north.
+        assert_eq!(t.on_expand(Cell2::new(2, 1), Some(Cell2::new(2, 0))), 1);
+        // Continue north.
+        assert_eq!(t.on_expand(Cell2::new(2, 2), Some(Cell2::new(2, 1))), 2);
+    }
+
+    #[test]
+    fn stability_lookup() {
+        let mut t: StabilityTracker<Cell2> = StabilityTracker::new();
+        t.on_expand(Cell2::new(1, 1), Some(Cell2::new(0, 0)));
+        assert_eq!(t.stability(&Cell2::new(1, 1)), Some(1));
+        assert_eq!(t.stability(&Cell2::new(9, 9)), None);
+    }
+
+    #[test]
+    fn interleaved_growing_trees_do_not_interfere() {
+        // Two GTs growing in different directions, interleaved in time —
+        // the per-parent tracking keeps them separate (paper §2.2.2).
+        let mut t: StabilityTracker<Cell2> = StabilityTracker::new();
+        t.on_expand(Cell2::new(1, 0), Some(Cell2::new(0, 0))); // GT A: east
+        t.on_expand(Cell2::new(0, 1), Some(Cell2::new(0, 0))); // GT B: north
+        assert_eq!(t.on_expand(Cell2::new(2, 0), Some(Cell2::new(1, 0))), 2);
+        assert_eq!(t.on_expand(Cell2::new(0, 2), Some(Cell2::new(0, 1))), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_panics() {
+        let _ = LastDirectionPredictor::new(0);
+    }
+}

@@ -1,0 +1,485 @@
+//! The runahead collision oracle — Algorithm 1, lines 03–18.
+//!
+//! [`RunaheadOracle`] wraps a plain per-state collision checker and
+//! implements the full RASExp extension:
+//!
+//! 1. demand states are served from the memo table when possible;
+//! 2. remaining demand states are checked, consuming execution contexts
+//!    (threads or CODAcc units);
+//! 3. if any check was outstanding, the predictor runs ahead along the last
+//!    direction and issues speculative checks for the *neighbors* of the
+//!    predicted chain onto the remaining free contexts, bounded by the
+//!    livelock counter (MAX_DEPTH) and the §5.11 stability throttle.
+//!
+//! The oracle is purely functional: it performs real checks and keeps real
+//! statistics; the timing simulator in `racod-sim` replays the same logic
+//! with cycle accounting.
+
+use crate::predictor::{DirectedState, LastDirectionPredictor, StabilityTracker};
+use crate::table::{CollisionTable, Provenance};
+use racod_search::{CollisionOracle, ExpansionContext, SearchSpace};
+
+/// RASExp knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunaheadConfig {
+    /// Maximum runahead depth in vertices (MAX_DEPTH; paper default 8,
+    /// up to 32 with 32 accelerators, 64 on GPUs).
+    pub max_depth: usize,
+    /// Number of execution contexts (threads or CODAcc units) available per
+    /// expansion, shared by demand and speculative checks.
+    pub contexts: usize,
+    /// Stability threshold `s` of the §5.11 throttle: predict only if the
+    /// path into the expanded node kept its direction for at least `s`
+    /// steps. `1` means always predict (the default, most aggressive).
+    pub stability_threshold: u32,
+}
+
+impl Default for RunaheadConfig {
+    fn default() -> Self {
+        RunaheadConfig { max_depth: 8, contexts: 8, stability_threshold: 1 }
+    }
+}
+
+impl RunaheadConfig {
+    /// The configuration used in most paper experiments: runahead R with R
+    /// contexts (one per accelerator).
+    pub fn with_runahead(r: usize) -> Self {
+        RunaheadConfig { max_depth: r, contexts: r, stability_threshold: 1 }
+    }
+}
+
+/// Aggregate RASExp statistics (feeds Figs 8, 9, 12).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RasexpStats {
+    /// Checks computed on demand (speculation misses).
+    pub demand_computed: u64,
+    /// Demand requests served from memoized speculative results.
+    pub spec_hits: u64,
+    /// Speculative checks issued.
+    pub spec_issued: u64,
+    /// Speculative checks whose result was eventually used.
+    pub spec_used: u64,
+    /// Expansions in which the predictor was triggered.
+    pub predictor_triggers: u64,
+    /// Expansions in which the predictor was suppressed by the throttle.
+    pub throttled: u64,
+    /// Per-expansion `(demand_computed, spec_issued)` profile, recorded for
+    /// the division-of-labor figure.
+    pub per_expansion: Vec<(u32, u32)>,
+}
+
+impl RasexpStats {
+    /// Prediction accuracy (paper §5.7.1): used / issued.
+    pub fn accuracy(&self) -> f64 {
+        if self.spec_issued == 0 {
+            0.0
+        } else {
+            self.spec_used as f64 / self.spec_issued as f64
+        }
+    }
+
+    /// Prediction coverage (paper §5.7.1): speculated / needed.
+    pub fn coverage(&self) -> f64 {
+        let needed = self.spec_hits + self.demand_computed;
+        if needed == 0 {
+            0.0
+        } else {
+            self.spec_hits as f64 / needed as f64
+        }
+    }
+
+    /// Average context utilization over non-idle expansions, for a machine
+    /// with `contexts` execution contexts (Fig 9 dots).
+    pub fn utilization(&self, contexts: usize) -> f64 {
+        let mut used = 0u64;
+        let mut non_idle = 0u64;
+        for &(d, s) in &self.per_expansion {
+            let total = d as u64 + s as u64;
+            if total > 0 {
+                used += total.min(contexts as u64);
+                non_idle += 1;
+            }
+        }
+        if non_idle == 0 {
+            0.0
+        } else {
+            used as f64 / (non_idle * contexts as u64) as f64
+        }
+    }
+
+    /// Average `(demand, speculative-used)` checks per expansion (Fig 9
+    /// bars). Speculative work is attributed per expansion as memo hits.
+    pub fn avg_division_of_labor(&self) -> (f64, f64) {
+        let n = self.per_expansion.len().max(1) as f64;
+        (self.demand_computed as f64 / n, self.spec_hits as f64 / n)
+    }
+}
+
+/// The RASExp oracle: a drop-in [`CollisionOracle`] that accelerates any
+/// search without changing its results.
+///
+/// See the crate-level example.
+pub struct RunaheadOracle<'a, Sp: SearchSpace, F>
+where
+    Sp::State: DirectedState,
+{
+    space: &'a Sp,
+    config: RunaheadConfig,
+    predictor: LastDirectionPredictor,
+    table: CollisionTable,
+    stability: StabilityTracker<Sp::State>,
+    check: F,
+    stats: RasexpStats,
+}
+
+impl<'a, Sp, F> RunaheadOracle<'a, Sp, F>
+where
+    Sp: SearchSpace,
+    Sp::State: DirectedState,
+    F: FnMut(Sp::State) -> bool,
+{
+    /// Creates an oracle over `space`, using `check` as the underlying
+    /// collision checker (`true` = free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.contexts == 0` or `config.max_depth == 0`.
+    pub fn new(space: &'a Sp, config: RunaheadConfig, check: F) -> Self {
+        assert!(config.contexts > 0, "at least one execution context");
+        RunaheadOracle {
+            space,
+            config,
+            predictor: LastDirectionPredictor::new(config.max_depth),
+            table: CollisionTable::new(space.state_count()),
+            stability: StabilityTracker::new(),
+            check,
+            stats: RasexpStats::default(),
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &RasexpStats {
+        &self.stats
+    }
+
+    /// The memo table (e.g. for inspecting status distributions).
+    pub fn table(&self) -> &CollisionTable {
+        &self.table
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> RunaheadConfig {
+        self.config
+    }
+
+    fn check_state(&mut self, s: Sp::State, provenance: Provenance) -> bool {
+        let free = (self.check)(s);
+        if let Some(i) = self.space.index(s) {
+            self.table.record(i, free, provenance);
+        }
+        free
+    }
+}
+
+impl<'a, Sp, F> CollisionOracle<Sp> for RunaheadOracle<'a, Sp, F>
+where
+    Sp: SearchSpace,
+    Sp::State: DirectedState,
+    F: FnMut(Sp::State) -> bool,
+{
+    fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        // Track path stability for the throttle.
+        let stability = self.stability.on_expand(ctx.expanded, ctx.parent);
+
+        // Lines 03–06: serve demand states, memo first.
+        let mut results = Vec::with_capacity(demand.len());
+        let mut outstanding = 0usize;
+        for &s in demand {
+            let memo = self.space.index(s).and_then(|i| self.table.lookup_demand(i));
+            match memo {
+                Some(free) => {
+                    self.stats.spec_hits += 1;
+                    results.push(free);
+                }
+                None => {
+                    outstanding += 1;
+                    let free = self.check_state(s, Provenance::Demand);
+                    self.stats.demand_computed += 1;
+                    results.push(free);
+                }
+            }
+        }
+
+        // Lines 07–17: runahead, only when demand checks are outstanding
+        // (never stall the main thread for speculation) and the throttle
+        // allows it.
+        let mut spec_issued_now = 0u32;
+        if outstanding > 0 && ctx.parent.is_some() {
+            if stability >= self.config.stability_threshold {
+                let mut free_contexts = self.config.contexts.saturating_sub(outstanding);
+                if free_contexts > 0 {
+                    self.stats.predictor_triggers += 1;
+                    let chain = self.predictor.predict(ctx.expanded, ctx.parent);
+                    let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
+                    'runahead: for pred_n in chain {
+                        neigh.clear();
+                        self.space.neighbors(pred_n, &mut neigh);
+                        for &(nb, _) in &neigh {
+                            let Some(i) = self.space.index(nb) else { continue };
+                            if self.table.status(i).is_known() {
+                                continue;
+                            }
+                            self.check_state(nb, Provenance::Speculative);
+                            self.stats.spec_issued += 1;
+                            spec_issued_now += 1;
+                            free_contexts -= 1;
+                            if free_contexts == 0 {
+                                break 'runahead;
+                            }
+                        }
+                    }
+                }
+            } else {
+                self.stats.throttled += 1;
+            }
+        }
+        self.stats.per_expansion.push((outstanding as u32, spec_issued_now));
+        self.stats.spec_used = self.table.spec_used();
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_geom::Cell2;
+    use racod_grid::gen::{city_map, random_map, CityName};
+    use racod_grid::{BitGrid2, Occupancy2};
+    use racod_search::{astar, AstarConfig, FnOracle, GridSpace2};
+
+    /// Finds the free cell nearest to `(x, y)` by spiraling outwards —
+    /// city generators put buildings anywhere, so fixed test coordinates
+    /// must be snapped to free space.
+    fn free_near(grid: &BitGrid2, x: i64, y: i64) -> Cell2 {
+        for radius in 0..grid.width().max(grid.height()) as i64 {
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    if dx.abs().max(dy.abs()) != radius {
+                        continue;
+                    }
+                    let c = Cell2::new(x + dx, y + dy);
+                    if grid.occupied(c) == Some(false) {
+                        return c;
+                    }
+                }
+            }
+        }
+        panic!("no free cell anywhere near ({x}, {y})");
+    }
+
+    fn plan_with_rasexp(
+        grid: &BitGrid2,
+        r: usize,
+        s: Cell2,
+        t: Cell2,
+    ) -> (racod_search::SearchResult<Cell2>, RasexpStats) {
+        let space = GridSpace2::eight_connected(grid.width(), grid.height());
+        let mut oracle =
+            RunaheadOracle::new(&space, RunaheadConfig::with_runahead(r), |c: Cell2| {
+                grid.occupied(c) == Some(false)
+            });
+        let cfg = AstarConfig { record_expansions: true, ..Default::default() };
+        let res = astar(&space, s, t, &cfg, &mut oracle);
+        let stats = oracle.stats().clone();
+        (res, stats)
+    }
+
+    #[test]
+    fn equivalence_with_baseline_astar() {
+        // THE core invariant: RASExp never changes the search behaviour —
+        // same path, same cost, same expansion order.
+        for seed in 0..6u64 {
+            let grid = random_map(seed + 21, 48, 48, 0.25);
+            let space = GridSpace2::eight_connected(48, 48);
+            let cfg = AstarConfig { record_expansions: true, ..Default::default() };
+            let (s, t) = (Cell2::new(1, 1), Cell2::new(46, 46));
+
+            let mut base = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+            let rb = astar(&space, s, t, &cfg, &mut base);
+
+            let (rr, _) = plan_with_rasexp(&grid, 8, s, t);
+
+            assert_eq!(rb.path, rr.path, "seed {seed}");
+            assert_eq!(rb.cost.to_bits(), rr.cost.to_bits(), "seed {seed}");
+            assert_eq!(rb.expansion_order, rr.expansion_order, "seed {seed}");
+            assert_eq!(rb.stats.expansions, rr.stats.expansions, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn speculation_happens_and_is_mostly_accurate_on_city() {
+        let grid = city_map(CityName::Boston, 160, 160);
+        let (s, t) = (free_near(&grid, 5, 5), free_near(&grid, 150, 150));
+        let (res, stats) = plan_with_rasexp(&grid, 8, s, t);
+        assert!(res.found());
+        assert!(stats.spec_issued > 0);
+        assert!(
+            stats.accuracy() > 0.5,
+            "city accuracy too low: {:.2}",
+            stats.accuracy()
+        );
+        assert!(stats.coverage() > 0.2, "coverage too low: {:.2}", stats.coverage());
+    }
+
+    #[test]
+    fn coverage_grows_with_runahead() {
+        let grid = city_map(CityName::Berlin, 160, 160);
+        let (a, b) = (free_near(&grid, 5, 5), free_near(&grid, 150, 150));
+        let (_, s2) = plan_with_rasexp(&grid, 2, a, b);
+        let (_, s32) = plan_with_rasexp(&grid, 32, a, b);
+        assert!(
+            s32.coverage() > s2.coverage(),
+            "coverage: R=2 {:.2} vs R=32 {:.2}",
+            s2.coverage(),
+            s32.coverage()
+        );
+    }
+
+    #[test]
+    fn accuracy_declines_slightly_with_runahead() {
+        let grid = city_map(CityName::Paris, 160, 160);
+        let (a, b) = (free_near(&grid, 5, 5), free_near(&grid, 150, 150));
+        let (_, s2) = plan_with_rasexp(&grid, 2, a, b);
+        let (_, s32) = plan_with_rasexp(&grid, 32, a, b);
+        assert!(
+            s32.accuracy() <= s2.accuracy() + 0.05,
+            "accuracy should not rise with aggressiveness: R=2 {:.2}, R=32 {:.2}",
+            s2.accuracy(),
+            s32.accuracy()
+        );
+    }
+
+    #[test]
+    fn throttle_reduces_speculation_on_random_maps() {
+        let grid = random_map(77, 96, 96, 0.4);
+        let space = GridSpace2::eight_connected(96, 96);
+        let run = |thresh: u32| {
+            let cfg = RunaheadConfig {
+                max_depth: 32,
+                contexts: 32,
+                stability_threshold: thresh,
+            };
+            let mut oracle =
+                RunaheadOracle::new(&space, cfg, |c: Cell2| grid.occupied(c) == Some(false));
+            let _ = astar(
+                &space,
+                Cell2::new(1, 1),
+                Cell2::new(90, 90),
+                &AstarConfig::default(),
+                &mut oracle,
+            );
+            oracle.stats().clone()
+        };
+        let aggressive = run(1);
+        let throttled = run(4);
+        assert!(throttled.spec_issued < aggressive.spec_issued);
+        assert!(throttled.coverage() <= aggressive.coverage() + 1e-9);
+        assert!(throttled.throttled > 0);
+    }
+
+    #[test]
+    fn throttle_improves_accuracy_in_dense_random() {
+        let grid = random_map(5, 128, 128, 0.4);
+        let space = GridSpace2::eight_connected(128, 128);
+        let run = |thresh: u32| {
+            let cfg =
+                RunaheadConfig { max_depth: 32, contexts: 32, stability_threshold: thresh };
+            let mut oracle =
+                RunaheadOracle::new(&space, cfg, |c: Cell2| grid.occupied(c) == Some(false));
+            let _ = astar(
+                &space,
+                Cell2::new(1, 1),
+                Cell2::new(120, 120),
+                &AstarConfig::default(),
+                &mut oracle,
+            );
+            oracle.stats().clone()
+        };
+        let s1 = run(1);
+        let s4 = run(4);
+        if s1.spec_issued > 100 && s4.spec_issued > 20 {
+            assert!(
+                s4.accuracy() >= s1.accuracy() - 0.02,
+                "throttling should not hurt accuracy: s=1 {:.2}, s=4 {:.2}",
+                s1.accuracy(),
+                s4.accuracy()
+            );
+        }
+    }
+
+    #[test]
+    fn no_speculation_without_free_contexts() {
+        let grid = BitGrid2::new(32, 32);
+        let space = GridSpace2::eight_connected(32, 32);
+        // 1 context: demand checks occupy it fully.
+        let cfg = RunaheadConfig { max_depth: 8, contexts: 1, stability_threshold: 1 };
+        let mut oracle =
+            RunaheadOracle::new(&space, cfg, |c: Cell2| grid.occupied(c) == Some(false));
+        let _ = astar(
+            &space,
+            Cell2::new(1, 1),
+            Cell2::new(30, 30),
+            &AstarConfig::default(),
+            &mut oracle,
+        );
+        assert_eq!(oracle.stats().spec_issued, 0);
+    }
+
+    #[test]
+    fn division_of_labor_shifts_with_runahead() {
+        let grid = city_map(CityName::Shanghai, 128, 128);
+        let (a, b) = (free_near(&grid, 5, 5), free_near(&grid, 120, 120));
+        let (_, s2) = plan_with_rasexp(&grid, 2, a, b);
+        let (_, s16) = plan_with_rasexp(&grid, 16, a, b);
+        let (d2, sp2) = s2.avg_division_of_labor();
+        let (d16, sp16) = s16.avg_division_of_labor();
+        assert!(sp16 > sp2, "more speculative contribution with more runahead");
+        assert!(d16 < d2, "less demand work with more runahead");
+    }
+
+    #[test]
+    fn utilization_declines_with_many_contexts() {
+        let grid = city_map(CityName::Boston, 128, 128);
+        let space = GridSpace2::eight_connected(128, 128);
+        let run = |r: usize| {
+            let mut oracle = RunaheadOracle::new(
+                &space,
+                RunaheadConfig::with_runahead(r),
+                |c: Cell2| grid.occupied(c) == Some(false),
+            );
+            let s = free_near(&grid, 5, 5);
+            let t = free_near(&grid, 120, 120);
+            let _ = astar(&space, s, t, &AstarConfig::default(), &mut oracle);
+            oracle.stats().utilization(r)
+        };
+        let u4 = run(4);
+        let u32 = run(32);
+        assert!(u4 > u32, "utilization at 4 units {u4:.2} should exceed 32 units {u32:.2}");
+        assert!(u4 > 0.8, "few units should be nearly saturated: {u4:.2}");
+    }
+
+    #[test]
+    fn stats_internal_consistency() {
+        let grid = city_map(CityName::Berlin, 96, 96);
+        let (a, b) = (free_near(&grid, 5, 5), free_near(&grid, 90, 90));
+        let (_, stats) = plan_with_rasexp(&grid, 8, a, b);
+        assert!(stats.spec_used <= stats.spec_issued);
+        assert!(stats.spec_hits >= stats.spec_used, "every use is a hit");
+        let per_exp_demand: u64 =
+            stats.per_expansion.iter().map(|&(d, _)| d as u64).sum();
+        // The start-state check is demand-computed but precedes expansions.
+        assert!(per_exp_demand <= stats.demand_computed);
+        let per_exp_spec: u64 = stats.per_expansion.iter().map(|&(_, s)| s as u64).sum();
+        assert_eq!(per_exp_spec, stats.spec_issued);
+    }
+}

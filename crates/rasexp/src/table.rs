@@ -1,0 +1,287 @@
+//! The collision-status memo table.
+//!
+//! RASExp memoizes speculative collision results so that when the search
+//! algorithm later demands them, they are served instantly (Algorithm 1's
+//! `collision_status[]` array). The table also records *provenance* — was
+//! an entry computed on demand or speculatively? — which is what lets us
+//! measure the paper's prediction accuracy (speculative results eventually
+//! used) and coverage (demand requests served by speculation) exactly.
+
+use std::fmt;
+
+/// The lifecycle of a state's collision status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CollisionStatus {
+    /// Never checked.
+    #[default]
+    Unknown,
+    /// A check is in flight (used by the timing simulator to overlap an
+    /// in-flight speculative check with a demand request for it).
+    Pending,
+    /// Checked: the state is collision-free.
+    Free,
+    /// Checked: the state collides (or is out of the environment).
+    Blocked,
+}
+
+impl CollisionStatus {
+    /// Whether the status is resolved (`Free` or `Blocked`).
+    pub fn is_known(self) -> bool {
+        matches!(self, CollisionStatus::Free | CollisionStatus::Blocked)
+    }
+}
+
+impl fmt::Display for CollisionStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CollisionStatus::Unknown => "unknown",
+            CollisionStatus::Pending => "pending",
+            CollisionStatus::Free => "free",
+            CollisionStatus::Blocked => "blocked",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Who computed an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// Computed by the baseline algorithm at expansion time.
+    Demand,
+    /// Computed ahead of time by RASExp.
+    Speculative,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    status: CollisionStatus,
+    speculative: bool,
+    /// A speculative result that was later served to a demand request.
+    used: bool,
+}
+
+/// A dense collision-status table over state indices.
+///
+/// # Example
+///
+/// ```
+/// use racod_rasexp::{CollisionTable, CollisionStatus, Provenance};
+///
+/// let mut t = CollisionTable::new(100);
+/// t.record(7, true, Provenance::Speculative);
+/// assert_eq!(t.status(7), CollisionStatus::Free);
+/// assert!(t.lookup_demand(7).is_some()); // marks the speculation as used
+/// assert_eq!(t.spec_used(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CollisionTable {
+    entries: Vec<Entry>,
+    spec_issued: u64,
+    spec_used: u64,
+    demand_computed: u64,
+}
+
+impl CollisionTable {
+    /// Creates a table for `capacity` states, all `Unknown`.
+    pub fn new(capacity: usize) -> Self {
+        CollisionTable {
+            entries: vec![Entry::default(); capacity],
+            spec_issued: 0,
+            spec_used: 0,
+            demand_computed: 0,
+        }
+    }
+
+    /// Number of representable states.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current status of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn status(&self, index: usize) -> CollisionStatus {
+        self.entries[index].status
+    }
+
+    /// Marks a state as pending (a check in flight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the state is already resolved.
+    pub fn mark_pending(&mut self, index: usize) {
+        let e = &mut self.entries[index];
+        assert!(!e.status.is_known(), "state {index} already resolved");
+        e.status = CollisionStatus::Pending;
+    }
+
+    /// Records a resolved check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn record(&mut self, index: usize, free: bool, provenance: Provenance) {
+        let e = &mut self.entries[index];
+        e.status = if free { CollisionStatus::Free } else { CollisionStatus::Blocked };
+        match provenance {
+            Provenance::Demand => self.demand_computed += 1,
+            Provenance::Speculative => {
+                e.speculative = true;
+                self.spec_issued += 1;
+            }
+        }
+    }
+
+    /// A demand request for a state: returns the memoized verdict if known
+    /// (`Some(free)`), else `None`. A hit on a speculative entry marks it
+    /// *used* (the paper's accuracy numerator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn lookup_demand(&mut self, index: usize) -> Option<bool> {
+        let e = &mut self.entries[index];
+        match e.status {
+            CollisionStatus::Free | CollisionStatus::Blocked => {
+                if e.speculative && !e.used {
+                    e.used = true;
+                    self.spec_used += 1;
+                }
+                Some(e.status == CollisionStatus::Free)
+            }
+            _ => None,
+        }
+    }
+
+    /// Total speculative checks issued.
+    pub fn spec_issued(&self) -> u64 {
+        self.spec_issued
+    }
+
+    /// Speculative checks whose result was later demanded.
+    pub fn spec_used(&self) -> u64 {
+        self.spec_used
+    }
+
+    /// Checks computed on demand (speculation misses).
+    pub fn demand_computed(&self) -> u64 {
+        self.demand_computed
+    }
+
+    /// Prediction accuracy: fraction of speculative checks eventually used
+    /// (paper §5.7.1). `0` when nothing was speculated.
+    pub fn accuracy(&self) -> f64 {
+        if self.spec_issued == 0 {
+            0.0
+        } else {
+            self.spec_used as f64 / self.spec_issued as f64
+        }
+    }
+
+    /// Classification of one resolved entry for visualization: the
+    /// provenance plus whether a speculative result was eventually used.
+    /// `None` for unresolved states.
+    pub fn classify(&self, index: usize) -> Option<(Provenance, bool)> {
+        let e = &self.entries[index];
+        if !e.status.is_known() {
+            return None;
+        }
+        if e.speculative {
+            Some((Provenance::Speculative, e.used))
+        } else {
+            Some((Provenance::Demand, true))
+        }
+    }
+
+    /// Prediction coverage: fraction of needed collision checks that were
+    /// already speculated (paper §5.7.1). `0` when nothing was needed.
+    pub fn coverage(&self) -> f64 {
+        let needed = self.spec_used + self.demand_computed;
+        if needed == 0 {
+            0.0
+        } else {
+            self.spec_used as f64 / needed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = CollisionTable::new(10);
+        assert_eq!(t.status(3), CollisionStatus::Unknown);
+        t.mark_pending(3);
+        assert_eq!(t.status(3), CollisionStatus::Pending);
+        t.record(3, true, Provenance::Demand);
+        assert_eq!(t.status(3), CollisionStatus::Free);
+        assert!(t.status(3).is_known());
+    }
+
+    #[test]
+    fn demand_lookup_unknown_is_none() {
+        let mut t = CollisionTable::new(4);
+        assert_eq!(t.lookup_demand(0), None);
+        t.mark_pending(0);
+        assert_eq!(t.lookup_demand(0), None, "pending is not a memo hit");
+    }
+
+    #[test]
+    fn speculative_use_counted_once() {
+        let mut t = CollisionTable::new(4);
+        t.record(1, false, Provenance::Speculative);
+        assert_eq!(t.lookup_demand(1), Some(false));
+        assert_eq!(t.lookup_demand(1), Some(false));
+        assert_eq!(t.spec_used(), 1, "double lookup counts once");
+    }
+
+    #[test]
+    fn accuracy_and_coverage() {
+        let mut t = CollisionTable::new(10);
+        // 4 speculative, 2 later used; 3 demand-computed.
+        for i in 0..4 {
+            t.record(i, true, Provenance::Speculative);
+        }
+        t.lookup_demand(0);
+        t.lookup_demand(1);
+        for i in 4..7 {
+            t.record(i, true, Provenance::Demand);
+        }
+        assert!((t.accuracy() - 0.5).abs() < 1e-12);
+        assert!((t.coverage() - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_ratios_are_zero() {
+        let t = CollisionTable::new(5);
+        assert_eq!(t.accuracy(), 0.0);
+        assert_eq!(t.coverage(), 0.0);
+    }
+
+    #[test]
+    fn demand_provenance_not_speculative() {
+        let mut t = CollisionTable::new(5);
+        t.record(2, true, Provenance::Demand);
+        t.lookup_demand(2);
+        assert_eq!(t.spec_used(), 0);
+        assert_eq!(t.demand_computed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resolved")]
+    fn pending_after_resolution_panics() {
+        let mut t = CollisionTable::new(3);
+        t.record(0, true, Provenance::Demand);
+        t.mark_pending(0);
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(CollisionStatus::Free.to_string(), "free");
+        assert_eq!(CollisionStatus::Unknown.to_string(), "unknown");
+    }
+}

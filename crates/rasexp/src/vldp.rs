@@ -1,0 +1,268 @@
+//! A repurposed VLDP-style hardware delta-pattern predictor (Fig 8 bottom).
+//!
+//! Paper §5.7.2 studies whether a state-of-the-art hardware prefetcher
+//! (VLDP — Variable Length Delta Prefetcher, Shevgoor et al. MICRO 2015)
+//! could replace the semantic predictor. Since child–parent relations are
+//! invisible in hardware, VLDP observes only the *address stream* of
+//! collision-detection accesses and learns variable-length delta histories.
+//! Per the paper, all modeling choices favor the hardware predictor:
+//! infinite metadata tables, collision-only trigger, virtual addresses, and
+//! an infinite prediction buffer.
+//!
+//! The predictor consumes state indices (the planner's collision-check
+//! targets in issue order) and is scored with the same accuracy/coverage
+//! definitions as RASExp.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Maximum delta-history length (VLDP uses multiple delta history tables of
+/// increasing depth; we model depths 1..=3).
+const MAX_HISTORY: usize = 3;
+
+/// Minimum lead time, in accesses, for a prediction to count as covering a
+/// demand: a prediction issued on the immediately preceding access cannot
+/// hide a collision check's latency (RASExp's memo hits are by construction
+/// at least one expansion — several accesses — ahead).
+const MIN_LEAD: u64 = 4;
+
+/// Accuracy/coverage scoring of a predictor run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VldpStats {
+    /// Predictions issued into the (infinite) prediction buffer.
+    pub predictions: u64,
+    /// Predictions later matched by a real access.
+    pub useful: u64,
+    /// Real accesses that were found in the prediction buffer.
+    pub covered: u64,
+    /// Total real accesses observed.
+    pub accesses: u64,
+}
+
+impl VldpStats {
+    /// Fraction of predictions that were eventually used.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.predictions as f64
+        }
+    }
+
+    /// Fraction of accesses served by a prior prediction.
+    pub fn coverage(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The delta-pattern predictor.
+///
+/// # Example
+///
+/// ```
+/// use racod_rasexp::VldpPredictor;
+///
+/// let mut v = VldpPredictor::new(8);
+/// // A perfectly regular stream is predicted well.
+/// for i in 0..200u64 {
+///     v.access(i * 8);
+/// }
+/// assert!(v.stats().coverage() > 0.8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VldpPredictor {
+    /// Delta history tables: history (up to MAX_HISTORY deltas) → next
+    /// delta. Infinite capacity per the paper's generosity.
+    dht: HashMap<Vec<i64>, i64>,
+    /// Recent deltas.
+    history: VecDeque<i64>,
+    last_addr: Option<u64>,
+    /// Infinite prediction buffer: address → ordinal of the access that
+    /// issued the prediction (for lead-time accounting).
+    buffer: HashMap<u64, u64>,
+    /// Prediction degree: how many future addresses to predict per access.
+    degree: usize,
+    stats: VldpStats,
+}
+
+impl VldpPredictor {
+    /// Creates a predictor issuing up to `degree` predictions per access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "prediction degree must be positive");
+        VldpPredictor {
+            dht: HashMap::new(),
+            history: VecDeque::with_capacity(MAX_HISTORY),
+            last_addr: None,
+            buffer: HashMap::new(),
+            degree,
+            stats: VldpStats::default(),
+        }
+    }
+
+    /// Observes one collision-check access and issues predictions.
+    pub fn access(&mut self, addr: u64) {
+        self.stats.accesses += 1;
+        if let Some(issued_at) = self.buffer.remove(&addr) {
+            // A prediction only covers the access if it led it by enough to
+            // overlap a collision check.
+            if self.stats.accesses > issued_at + MIN_LEAD {
+                self.stats.covered += 1;
+            }
+            self.stats.useful += 1;
+        }
+
+        if let Some(last) = self.last_addr {
+            let delta = addr as i64 - last as i64;
+            // Train every history depth.
+            for depth in 1..=self.history.len().min(MAX_HISTORY) {
+                let key: Vec<i64> =
+                    self.history.iter().rev().take(depth).rev().copied().collect();
+                self.dht.insert(key, delta);
+            }
+            self.history.push_back(delta);
+            if self.history.len() > MAX_HISTORY {
+                self.history.pop_front();
+            }
+        }
+        self.last_addr = Some(addr);
+
+        // Predict: walk forward `degree` steps using the deepest matching
+        // history each time.
+        let mut sim_history: Vec<i64> = self.history.iter().copied().collect();
+        let mut cur = addr as i64;
+        for _ in 0..self.degree {
+            let mut predicted = None;
+            for depth in (1..=sim_history.len().min(MAX_HISTORY)).rev() {
+                let key: Vec<i64> =
+                    sim_history[sim_history.len() - depth..].to_vec();
+                if let Some(&d) = self.dht.get(&key) {
+                    predicted = Some(d);
+                    break;
+                }
+            }
+            let Some(d) = predicted else { break };
+            cur += d;
+            if cur < 0 {
+                break;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                self.buffer.entry(cur as u64)
+            {
+                e.insert(self.stats.accesses);
+                self.stats.predictions += 1;
+            }
+            sim_history.push(d);
+            if sim_history.len() > MAX_HISTORY {
+                sim_history.remove(0);
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> VldpStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stride_is_learned() {
+        // Degree 8 gives enough lead time for a constant stride.
+        let mut v = VldpPredictor::new(8);
+        for i in 0..100u64 {
+            v.access(i * 4);
+        }
+        assert!(v.stats().coverage() > 0.8, "coverage {}", v.stats().coverage());
+        assert!(v.stats().accuracy() > 0.9, "accuracy {}", v.stats().accuracy());
+    }
+
+    #[test]
+    fn short_lead_predictions_do_not_cover() {
+        // Degree 1: every prediction is issued one access ahead — useful
+        // for accuracy but too late to hide a check.
+        let mut v = VldpPredictor::new(1);
+        for i in 0..100u64 {
+            v.access(i * 4);
+        }
+        assert!(v.stats().coverage() < 0.1, "coverage {}", v.stats().coverage());
+        assert!(v.stats().accuracy() > 0.9, "accuracy {}", v.stats().accuracy());
+    }
+
+    #[test]
+    fn alternating_pattern_is_learned_via_history() {
+        // Deltas alternate +1, +3: depth-1 history is ambiguous but depth-2
+        // disambiguates.
+        let mut v = VldpPredictor::new(8);
+        let mut addr = 100u64;
+        for i in 0..200 {
+            v.access(addr);
+            addr += if i % 2 == 0 { 1 } else { 3 };
+        }
+        assert!(v.stats().coverage() > 0.5, "coverage {}", v.stats().coverage());
+    }
+
+    #[test]
+    fn random_stream_defeats_the_predictor() {
+        // A multiplicative-congruential scramble has no delta structure.
+        let mut v = VldpPredictor::new(4);
+        let mut x = 12345u64;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            v.access(x % 100_000);
+        }
+        assert!(v.stats().coverage() < 0.2, "coverage {}", v.stats().coverage());
+    }
+
+    #[test]
+    fn interleaved_streams_confuse_hardware() {
+        // Two regular streams interleaved — the situation the paper says
+        // bewilders hardware predictors (multiple growing trees).
+        let mut interleaved = VldpPredictor::new(8);
+        let mut a = 0u64;
+        let mut b = 50_000u64;
+        for i in 0..300 {
+            if i % 2 == 0 {
+                interleaved.access(a);
+                a += 4;
+            } else {
+                interleaved.access(b);
+                b += 12;
+            }
+        }
+        let mut clean = VldpPredictor::new(8);
+        let mut c = 0u64;
+        for _ in 0..300 {
+            clean.access(c);
+            c += 4;
+        }
+        assert!(
+            interleaved.stats().coverage() < clean.stats().coverage(),
+            "interleaving must hurt: {} vs {}",
+            interleaved.stats().coverage(),
+            clean.stats().coverage()
+        );
+    }
+
+    #[test]
+    fn empty_stats() {
+        let v = VldpPredictor::new(1);
+        assert_eq!(v.stats().accuracy(), 0.0);
+        assert_eq!(v.stats().coverage(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_degree_panics() {
+        let _ = VldpPredictor::new(0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based test of THE RASExp invariant: speculation never changes
+//! the search result — any runahead depth, any context count, any throttle.
+
+use proptest::prelude::*;
+use racod_geom::Cell2;
+use racod_grid::gen::random_map;
+use racod_grid::Occupancy2;
+use racod_rasexp::{RunaheadConfig, RunaheadOracle};
+use racod_search::{astar, AstarConfig, FnOracle, GridSpace2};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rasexp_is_transparent(
+        seed in 0u64..5000,
+        density in 0.0f64..0.4,
+        depth in 1usize..40,
+        contexts in 1usize..40,
+        threshold in 1u32..5,
+    ) {
+        let grid = random_map(seed, 28, 28, density);
+        let space = GridSpace2::eight_connected(28, 28);
+        let (s, g) = (Cell2::new(0, 0), Cell2::new(27, 27));
+        let cfg = AstarConfig { record_expansions: true, ..Default::default() };
+
+        let mut base = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let reference = astar(&space, s, g, &cfg, &mut base);
+
+        let rconfig = RunaheadConfig {
+            max_depth: depth,
+            contexts,
+            stability_threshold: threshold,
+        };
+        let mut oracle = RunaheadOracle::new(&space, rconfig, |c: Cell2| {
+            grid.occupied(c) == Some(false)
+        });
+        let speculative = astar(&space, s, g, &cfg, &mut oracle);
+
+        prop_assert_eq!(&reference.path, &speculative.path);
+        prop_assert_eq!(reference.cost.to_bits(), speculative.cost.to_bits());
+        prop_assert_eq!(&reference.expansion_order, &speculative.expansion_order);
+        prop_assert_eq!(reference.stats.expansions, speculative.stats.expansions);
+    }
+
+    /// The work RASExp performs is bounded: each state is checked at most
+    /// once, so issued checks never exceed the state count.
+    #[test]
+    fn rasexp_never_duplicates_checks(seed in 0u64..5000, depth in 1usize..40) {
+        let grid = random_map(seed, 24, 24, 0.2);
+        let space = GridSpace2::eight_connected(24, 24);
+        let mut checked = std::collections::HashSet::new();
+        let mut duplicates = 0u32;
+        {
+            let mut oracle = RunaheadOracle::new(
+                &space,
+                RunaheadConfig::with_runahead(depth),
+                |c: Cell2| {
+                    if !checked.insert(c) {
+                        duplicates += 1;
+                    }
+                    grid.occupied(c) == Some(false)
+                },
+            );
+            let _ = astar(
+                &space,
+                Cell2::new(0, 0),
+                Cell2::new(23, 23),
+                &AstarConfig::default(),
+                &mut oracle,
+            );
+        }
+        prop_assert_eq!(duplicates, 0, "a state was collision-checked twice");
+    }
+}

@@ -1,0 +1,262 @@
+//! Single-source distance fields (Dijkstra over the whole free space).
+//!
+//! A distance field from the goal gives the *perfect heuristic*: A* guided
+//! by it expands only the optimal path's states. This is the logical
+//! endpoint of the paper's §5.9 heuristic comparison and is used by tests
+//! to sandwich every admissible heuristic between zero (Dijkstra) and
+//! perfect information.
+
+use crate::space::SearchSpace;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A dense map of optimal costs from a source state to every reachable
+/// state.
+///
+/// # Example
+///
+/// ```
+/// use racod_search::{DistanceField, GridSpace2};
+/// use racod_geom::Cell2;
+///
+/// let space = GridSpace2::eight_connected(8, 8);
+/// let field = DistanceField::compute(&space, Cell2::new(0, 0), |_| true);
+/// assert_eq!(field.distance(Cell2::new(3, 0)), Some(3.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceField<S> {
+    distances: Vec<f64>,
+    source: S,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    index: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<S: Copy> DistanceField<S> {
+    /// Runs Dijkstra from `source`, visiting every state for which
+    /// `is_free` holds. Unreachable (or occupied) states get infinity.
+    pub fn compute<Sp, F>(space: &Sp, source: Sp::State, mut is_free: F) -> DistanceField<Sp::State>
+    where
+        Sp: SearchSpace<State = S>,
+        F: FnMut(Sp::State) -> bool,
+    {
+        let n = space.state_count();
+        let mut distances = vec![f64::INFINITY; n];
+        let mut heap = BinaryHeap::new();
+        if let Some(si) = space.index(source) {
+            if is_free(source) {
+                distances[si] = 0.0;
+                heap.push(HeapEntry { dist: 0.0, index: si });
+            }
+        }
+        // Reverse map built lazily alongside the relaxation.
+        let mut state_of: Vec<Option<Sp::State>> = vec![None; n];
+        if let Some(si) = space.index(source) {
+            state_of[si] = Some(source);
+        }
+        let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
+        while let Some(HeapEntry { dist, index }) = heap.pop() {
+            if dist > distances[index] {
+                continue; // stale
+            }
+            let s = state_of[index].expect("queued states are recorded");
+            neigh.clear();
+            space.neighbors(s, &mut neigh);
+            for &(ns, cost) in &neigh {
+                let Some(ni) = space.index(ns) else { continue };
+                let nd = dist + cost;
+                if nd + 1e-12 < distances[ni] && is_free(ns) {
+                    distances[ni] = nd;
+                    state_of[ni] = Some(ns);
+                    heap.push(HeapEntry { dist: nd, index: ni });
+                }
+            }
+        }
+        DistanceField { distances, source }
+    }
+
+    /// The optimal cost from the source to `state`, or `None` when
+    /// unreachable.
+    pub fn distance_by_index(&self, index: usize) -> Option<f64> {
+        let d = *self.distances.get(index)?;
+        if d.is_finite() {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// The source state the field was computed from.
+    pub fn source(&self) -> S {
+        self.source
+    }
+
+    /// Number of reachable states.
+    pub fn reachable_count(&self) -> usize {
+        self.distances.iter().filter(|d| d.is_finite()).count()
+    }
+}
+
+impl DistanceField<racod_geom::Cell2> {
+    /// Convenience lookup by cell for 2D grid fields.
+    pub fn distance(&self, cell: racod_geom::Cell2) -> Option<f64> {
+        // The field stores dense indices; recompute the index the same way
+        // GridSpace2 does (row-major). Width is recovered from the source
+        // field length only when square — callers needing exact lookup on
+        // non-square grids should go through `distance_by_index`.
+        let n = self.distances.len();
+        let width = (n as f64).sqrt() as usize;
+        if width * width != n {
+            return None;
+        }
+        if cell.x < 0 || cell.y < 0 || cell.x >= width as i64 || cell.y >= width as i64 {
+            return None;
+        }
+        self.distance_by_index(cell.y as usize * width + cell.x as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::{astar, AstarConfig};
+    use crate::oracle::FnOracle;
+    use crate::space::{GridSpace2, SearchSpace};
+    use racod_geom::Cell2;
+    use racod_grid::gen::random_map;
+    use racod_grid::Occupancy2;
+
+    #[test]
+    fn straight_and_diagonal_distances() {
+        let space = GridSpace2::eight_connected(8, 8);
+        let f = DistanceField::compute(&space, Cell2::new(0, 0), |_| true);
+        assert_eq!(f.distance(Cell2::new(5, 0)), Some(5.0));
+        let d = f.distance(Cell2::new(3, 3)).unwrap();
+        assert!((d - 3.0 * std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_source_reaches_nothing() {
+        let space = GridSpace2::eight_connected(8, 8);
+        let f = DistanceField::compute(&space, Cell2::new(0, 0), |_| false);
+        assert_eq!(f.reachable_count(), 0);
+        assert_eq!(f.distance(Cell2::new(1, 1)), None);
+    }
+
+    #[test]
+    fn walls_shape_the_field() {
+        let mut grid = racod_grid::BitGrid2::new(16, 16);
+        grid.fill_rect(8, 0, 8, 14, true);
+        let space = GridSpace2::eight_connected(16, 16);
+        let f = DistanceField::compute(&space, Cell2::new(0, 0), |c| {
+            grid.occupied(c) == Some(false)
+        });
+        // The far side is reachable only around the top of the wall.
+        let d = f.distance(Cell2::new(15, 0)).unwrap();
+        assert!(d > 20.0, "must detour over the wall: {d}");
+        assert_eq!(f.distance(Cell2::new(8, 3)), None, "wall cells unreachable");
+    }
+
+    #[test]
+    fn field_matches_astar_costs() {
+        for seed in 0..4u64 {
+            let grid = random_map(seed + 500, 24, 24, 0.2);
+            let space = GridSpace2::eight_connected(24, 24);
+            let goal = Cell2::new(23, 23);
+            let f = DistanceField::compute(&space, goal, |c| grid.occupied(c) == Some(false));
+            for start in [Cell2::new(0, 0), Cell2::new(12, 3), Cell2::new(5, 20)] {
+                let mut oracle =
+                    FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+                let r = astar(&space, start, goal, &AstarConfig::default(), &mut oracle);
+                match (r.path.is_some(), f.distance(start)) {
+                    (true, Some(d)) => {
+                        assert!((d - r.cost).abs() < 1e-6, "seed {seed}: {d} vs {}", r.cost)
+                    }
+                    (false, None) => {}
+                    (found, field) => {
+                        panic!("seed {seed}: reachability disagreement {found} vs {field:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_heuristic_expands_only_the_corridor() {
+        // A* guided by the true remaining distance expands (close to) only
+        // the optimal path — the heuristic-quality limit of §5.9.
+        let grid = random_map(9, 32, 32, 0.15);
+        let space = GridSpace2::eight_connected(32, 32);
+        let goal = Cell2::new(30, 30);
+        let start = Cell2::new(1, 1);
+        let field = DistanceField::compute(&space, goal, |c| grid.occupied(c) == Some(false));
+        if field.distance(start).is_none() {
+            return; // unlucky map
+        }
+
+        // Baseline A* with Euclidean.
+        let mut o1 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let euclid = astar(&space, start, goal, &AstarConfig::default(), &mut o1);
+
+        // "Perfect heuristic" via a custom search space wrapper.
+        struct Perfect<'a> {
+            inner: GridSpace2,
+            field: &'a DistanceField<Cell2>,
+        }
+        impl<'a> SearchSpace for Perfect<'a> {
+            type State = Cell2;
+            fn neighbors(&self, s: Cell2, out: &mut Vec<(Cell2, f64)>) {
+                self.inner.neighbors(s, out);
+            }
+            fn heuristic(&self, s: Cell2, _goal: Cell2) -> f64 {
+                self.field.distance(s).unwrap_or(f64::INFINITY)
+            }
+            fn pair_heuristic(&self, a: Cell2, b: Cell2) -> f64 {
+                self.inner.pair_heuristic(a, b)
+            }
+            fn index(&self, s: Cell2) -> Option<usize> {
+                self.inner.index(s)
+            }
+            fn state_count(&self) -> usize {
+                self.inner.state_count()
+            }
+        }
+        let pspace = Perfect { inner: space, field: &field };
+        let mut o2 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let perfect = astar(&pspace, start, goal, &AstarConfig::default(), &mut o2);
+
+        assert!(perfect.found());
+        assert!((perfect.cost - euclid.cost).abs() < 1e-6, "both optimal");
+        assert!(
+            perfect.stats.expansions <= euclid.stats.expansions,
+            "perfect heuristic must not expand more: {} vs {}",
+            perfect.stats.expansions,
+            euclid.stats.expansions
+        );
+        // And it is close to the lower bound (path length).
+        let path_len = perfect.path.unwrap().len() as u64;
+        assert!(
+            perfect.stats.expansions <= path_len * 2,
+            "perfect heuristic expanded {} for a {}-state path",
+            perfect.stats.expansions,
+            path_len
+        );
+    }
+}

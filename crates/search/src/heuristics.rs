@@ -1,0 +1,200 @@
+//! Heuristic functions for grid search.
+//!
+//! The paper's default heuristic is Euclidean distance; §5.9 re-evaluates
+//! with Manhattan and the non-uniform diagonal distance of Behnke (2003),
+//! plus Dijkstra (no heuristic).
+
+use racod_geom::{Cell2, Cell3};
+
+/// √2, the diagonal step cost on an 8-connected grid.
+pub const SQRT2: f64 = std::f64::consts::SQRT_2;
+/// √3, the full-diagonal step cost on a 26-connected grid.
+pub const SQRT3: f64 = 1.732_050_807_568_877_2;
+
+/// 2D heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic2 {
+    /// Straight-line distance (admissible on 4- and 8-connected grids).
+    Euclidean,
+    /// L1 distance (admissible on 4-connected grids only).
+    Manhattan,
+    /// Octile distance: exact for an obstacle-free 8-connected grid.
+    Diagonal,
+    /// Non-uniform diagonal (Behnke 2003): octile structure with a slightly
+    /// inflated diagonal term, trading admissibility for goal-directedness.
+    NonUniformDiagonal,
+    /// Always zero: turns A* into Dijkstra.
+    Zero,
+}
+
+impl Heuristic2 {
+    /// Heuristic estimate of the cost from `a` to `b` in cell units.
+    pub fn estimate(self, a: Cell2, b: Cell2) -> f64 {
+        let dx = (a.x - b.x).abs() as f64;
+        let dy = (a.y - b.y).abs() as f64;
+        match self {
+            Heuristic2::Euclidean => (dx * dx + dy * dy).sqrt(),
+            Heuristic2::Manhattan => dx + dy,
+            Heuristic2::Diagonal => {
+                let (lo, hi) = if dx < dy { (dx, dy) } else { (dy, dx) };
+                SQRT2 * lo + (hi - lo)
+            }
+            Heuristic2::NonUniformDiagonal => {
+                let (lo, hi) = if dx < dy { (dx, dy) } else { (dy, dx) };
+                1.6 * lo + (hi - lo)
+            }
+            Heuristic2::Zero => 0.0,
+        }
+    }
+
+    /// Whether the heuristic is admissible on an 8-connected grid (never
+    /// overestimates the true cost).
+    pub fn admissible_octile(self) -> bool {
+        matches!(self, Heuristic2::Euclidean | Heuristic2::Diagonal | Heuristic2::Zero)
+    }
+
+    /// All heuristics evaluated in §5.9 (plus `Zero` for Dijkstra).
+    pub const ALL: [Heuristic2; 5] = [
+        Heuristic2::Euclidean,
+        Heuristic2::Manhattan,
+        Heuristic2::Diagonal,
+        Heuristic2::NonUniformDiagonal,
+        Heuristic2::Zero,
+    ];
+
+    /// Short display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Heuristic2::Euclidean => "euclidean",
+            Heuristic2::Manhattan => "manhattan",
+            Heuristic2::Diagonal => "diagonal",
+            Heuristic2::NonUniformDiagonal => "nonuniform-diagonal",
+            Heuristic2::Zero => "zero",
+        }
+    }
+}
+
+impl std::fmt::Display for Heuristic2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// 3D heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic3 {
+    /// Straight-line distance (admissible everywhere).
+    Euclidean,
+    /// L1 distance (admissible on 6-connected grids only).
+    Manhattan,
+    /// Always zero: Dijkstra.
+    Zero,
+}
+
+impl Heuristic3 {
+    /// Heuristic estimate of the cost from `a` to `b` in cell units.
+    pub fn estimate(self, a: Cell3, b: Cell3) -> f64 {
+        match self {
+            Heuristic3::Euclidean => a.euclidean(b),
+            Heuristic3::Manhattan => a.manhattan(b) as f64,
+            Heuristic3::Zero => 0.0,
+        }
+    }
+
+    /// Short display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Heuristic3::Euclidean => "euclidean",
+            Heuristic3::Manhattan => "manhattan",
+            Heuristic3::Zero => "zero",
+        }
+    }
+}
+
+impl std::fmt::Display for Heuristic3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_is_pythagorean() {
+        let h = Heuristic2::Euclidean.estimate(Cell2::new(0, 0), Cell2::new(3, 4));
+        assert!((h - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_sums_axes() {
+        let h = Heuristic2::Manhattan.estimate(Cell2::new(1, 1), Cell2::new(4, -3));
+        assert_eq!(h, 7.0);
+    }
+
+    #[test]
+    fn diagonal_exact_on_free_grid() {
+        // From (0,0) to (5,2): 2 diagonal + 3 straight steps.
+        let h = Heuristic2::Diagonal.estimate(Cell2::new(0, 0), Cell2::new(5, 2));
+        assert!((h - (2.0 * SQRT2 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonuniform_inflates_diagonal() {
+        let a = Cell2::new(0, 0);
+        let b = Cell2::new(4, 4);
+        let oct = Heuristic2::Diagonal.estimate(a, b);
+        let non = Heuristic2::NonUniformDiagonal.estimate(a, b);
+        assert!(non > oct);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert_eq!(Heuristic2::Zero.estimate(Cell2::new(0, 0), Cell2::new(9, 9)), 0.0);
+        assert_eq!(Heuristic3::Zero.estimate(Cell3::new(0, 0, 0), Cell3::new(9, 9, 9)), 0.0);
+    }
+
+    #[test]
+    fn heuristics_vanish_at_goal() {
+        let g = Cell2::new(7, -2);
+        for h in Heuristic2::ALL {
+            assert_eq!(h.estimate(g, g), 0.0, "{h}");
+        }
+    }
+
+    #[test]
+    fn euclidean_lower_bounds_others_admissible() {
+        // Octile >= Euclidean always, and both are admissible on octile
+        // grids; Euclidean <= Diagonal <= Manhattan.
+        for (dx, dy) in [(3i64, 4i64), (10, 1), (5, 5), (0, 8)] {
+            let a = Cell2::new(0, 0);
+            let b = Cell2::new(dx, dy);
+            let e = Heuristic2::Euclidean.estimate(a, b);
+            let d = Heuristic2::Diagonal.estimate(a, b);
+            let m = Heuristic2::Manhattan.estimate(a, b);
+            assert!(e <= d + 1e-12);
+            assert!(d <= m + 1e-12);
+        }
+    }
+
+    #[test]
+    fn admissibility_classification() {
+        assert!(Heuristic2::Euclidean.admissible_octile());
+        assert!(Heuristic2::Diagonal.admissible_octile());
+        assert!(!Heuristic2::Manhattan.admissible_octile());
+        assert!(!Heuristic2::NonUniformDiagonal.admissible_octile());
+    }
+
+    #[test]
+    fn heuristic3_euclidean() {
+        let h = Heuristic3::Euclidean.estimate(Cell3::new(0, 0, 0), Cell3::new(2, 3, 6));
+        assert!((h - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Heuristic2::Euclidean.to_string(), "euclidean");
+        assert_eq!(Heuristic3::Manhattan.to_string(), "manhattan");
+    }
+}

@@ -1,0 +1,176 @@
+//! The OPEN list: a binary min-heap over `f` with deterministic
+//! tie-breaking and lazy deletion.
+//!
+//! A* maintains an OPEN list and at every iteration expands the node with
+//! the lowest `f` value (paper §2.2.1). Ties are broken by *higher* `g`
+//! (deeper nodes first, the standard convention that speeds up goal
+//! expansion), then by insertion sequence so the expansion order is fully
+//! deterministic — a requirement for asserting the RASExp equivalence
+//! invariant exactly.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One heap entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    f: f64,
+    g: f64,
+    seq: u64,
+    index: usize,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse f so the smallest f pops first.
+        // Tie-break: larger g first, then smaller sequence number.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.g.partial_cmp(&other.g).unwrap_or(Ordering::Equal))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A lazy-deletion open list keyed by dense state indices.
+///
+/// Decrease-key is implemented by pushing a fresh entry; stale entries are
+/// discarded on pop by comparing against the caller-maintained best-`g`
+/// array.
+///
+/// # Example
+///
+/// ```
+/// use racod_search::open_list::OpenList;
+/// let mut open = OpenList::new();
+/// open.push(3, 10.0, 2.0);
+/// open.push(7, 9.0, 1.0);
+/// assert_eq!(open.pop(|_| true), Some((7, 9.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OpenList {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl OpenList {
+    /// Creates an empty open list.
+    pub fn new() -> Self {
+        OpenList::default()
+    }
+
+    /// Pushes (or re-pushes with a better key) a state.
+    pub fn push(&mut self, index: usize, f: f64, g: f64) {
+        self.seq += 1;
+        self.heap.push(Entry { f, g, seq: self.seq, index });
+    }
+
+    /// Pops the best non-stale entry. `fresh(index)` must return whether the
+    /// caller still considers an entry for `index` with the popped `g`
+    /// current; the caller typically compares against its best-known `g`.
+    ///
+    /// Returns `(index, f, g)` or `None` when the list is exhausted.
+    pub fn pop<F: FnMut(&(usize, f64, f64)) -> bool>(
+        &mut self,
+        mut fresh: F,
+    ) -> Option<(usize, f64, f64)> {
+        while let Some(e) = self.heap.pop() {
+            let item = (e.index, e.f, e.g);
+            if fresh(&item) {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Peeks at the best entry's `f` value without validating freshness.
+    pub fn peek_f(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.f)
+    }
+
+    /// Whether no entries remain (including stale ones).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of entries (including stale ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_f_order() {
+        let mut open = OpenList::new();
+        open.push(1, 5.0, 1.0);
+        open.push(2, 3.0, 1.0);
+        open.push(3, 4.0, 1.0);
+        let order: Vec<usize> = std::iter::from_fn(|| open.pop(|_| true)).map(|(i, _, _)| i).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ties_prefer_larger_g() {
+        let mut open = OpenList::new();
+        open.push(1, 5.0, 1.0);
+        open.push(2, 5.0, 4.0);
+        assert_eq!(open.pop(|_| true).unwrap().0, 2);
+    }
+
+    #[test]
+    fn full_ties_prefer_earlier_insertion() {
+        let mut open = OpenList::new();
+        open.push(1, 5.0, 2.0);
+        open.push(2, 5.0, 2.0);
+        assert_eq!(open.pop(|_| true).unwrap().0, 1);
+    }
+
+    #[test]
+    fn lazy_deletion_skips_stale() {
+        let mut open = OpenList::new();
+        open.push(1, 9.0, 3.0); // stale after improvement
+        open.push(1, 7.0, 5.0);
+        let best_g = 5.0;
+        let popped = open.pop(|&(_, _, g)| (g - best_g).abs() < 1e-12).unwrap();
+        assert_eq!(popped, (1, 7.0, 5.0));
+        assert!(open.pop(|&(_, _, g)| (g - best_g).abs() < 1e-12).is_none());
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut open = OpenList::new();
+        assert!(open.is_empty());
+        open.push(1, 1.0, 0.0);
+        assert_eq!(open.len(), 1);
+        assert_eq!(open.peek_f(), Some(1.0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut open = OpenList::new();
+            for i in 0..100usize {
+                open.push(i, (i % 10) as f64, (i % 7) as f64);
+            }
+            let mut order = Vec::new();
+            while let Some((i, _, _)) = open.pop(|_| true) {
+                order.push(i);
+            }
+            order
+        };
+        assert_eq!(build(), build());
+    }
+}

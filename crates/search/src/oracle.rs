@@ -1,0 +1,175 @@
+//! The collision-oracle seam between the search engine and collision
+//! detection.
+//!
+//! Per Algorithm 1 of the paper, on every expansion the planner collects
+//! the expanded node's unvisited, status-unknown neighbors (the *demand*
+//! set), has their collision status computed — possibly in parallel, and
+//! possibly alongside *speculative* runahead checks — and then joins before
+//! evaluating the free neighbors. [`CollisionOracle::resolve`] is exactly
+//! that issue/overlap/join region: the baseline oracle checks each demand
+//! state; the RASExp oracle (in `racod-rasexp`) additionally predicts and
+//! memoizes future states; timing wrappers (in `racod-sim`) attribute
+//! cycles to it.
+
+use crate::space::SearchSpace;
+use racod_geom::{Cell2, Cell3};
+
+/// A movement direction extracted from a parent→child step, used by the
+/// RASExp predictor ("the path will grow in the same direction as it grew in
+/// the last step", §3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Direction {
+    /// Step in x, in `{-1, 0, 1}` for grid spaces.
+    pub dx: i64,
+    /// Step in y.
+    pub dy: i64,
+    /// Step in z (0 in 2D).
+    pub dz: i64,
+}
+
+impl Direction {
+    /// The zero direction (no movement information).
+    pub const ZERO: Direction = Direction { dx: 0, dy: 0, dz: 0 };
+
+    /// Direction of the step `from → to` in 2D, with each component clamped
+    /// to `{-1, 0, 1}`.
+    pub fn between_2d(from: Cell2, to: Cell2) -> Direction {
+        Direction { dx: (to.x - from.x).signum(), dy: (to.y - from.y).signum(), dz: 0 }
+    }
+
+    /// Direction of the step `from → to` in 3D, clamped per component.
+    pub fn between_3d(from: Cell3, to: Cell3) -> Direction {
+        Direction {
+            dx: (to.x - from.x).signum(),
+            dy: (to.y - from.y).signum(),
+            dz: (to.z - from.z).signum(),
+        }
+    }
+
+    /// Whether the direction carries any movement.
+    pub fn is_zero(&self) -> bool {
+        self.dx == 0 && self.dy == 0 && self.dz == 0
+    }
+
+    /// Applies the direction to a 2D cell.
+    pub fn step_2d(&self, c: Cell2) -> Cell2 {
+        c.offset(self.dx, self.dy)
+    }
+
+    /// Applies the direction to a 3D cell.
+    pub fn step_3d(&self, c: Cell3) -> Cell3 {
+        c.offset(self.dx, self.dy, self.dz)
+    }
+}
+
+/// Context handed to the oracle at each expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpansionContext<S> {
+    /// The node being expanded.
+    pub expanded: S,
+    /// Its parent in the growing tree, if any (the start has none).
+    pub parent: Option<S>,
+    /// The expansion ordinal (0-based).
+    pub expansion: u64,
+}
+
+/// Collision detection as seen by the search engine.
+///
+/// `resolve` receives the demand set of one expansion and returns, for each
+/// demand state in order, whether it is *free* (collision-free and inside
+/// the environment). Implementations may compute extra states speculatively
+/// and memoize them for later calls.
+pub trait CollisionOracle<Sp: SearchSpace> {
+    /// Resolves the collision status of `demand` states for the expansion
+    /// described by `ctx`. Must return one entry per demand state, in order.
+    fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool>;
+}
+
+/// A baseline oracle wrapping a plain function of one state.
+///
+/// # Example
+///
+/// ```
+/// use racod_search::{FnOracle, CollisionOracle, ExpansionContext, GridSpace2};
+/// use racod_geom::Cell2;
+///
+/// let mut oracle = FnOracle::new(|c: Cell2| c.x >= 0);
+/// let ctx = ExpansionContext { expanded: Cell2::new(0, 0), parent: None, expansion: 0 };
+/// let out = <FnOracle<_> as CollisionOracle<GridSpace2>>::resolve(
+///     &mut oracle, &ctx, &[Cell2::new(1, 0), Cell2::new(-1, 0)]);
+/// assert_eq!(out, vec![true, false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FnOracle<F> {
+    f: F,
+    checks: u64,
+}
+
+impl<F> FnOracle<F> {
+    /// Wraps a predicate returning `true` for free states.
+    pub fn new(f: F) -> Self {
+        FnOracle { f, checks: 0 }
+    }
+
+    /// Number of individual checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+}
+
+impl<Sp, F> CollisionOracle<Sp> for FnOracle<F>
+where
+    Sp: SearchSpace,
+    F: FnMut(Sp::State) -> bool,
+{
+    fn resolve(&mut self, _ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        self.checks += demand.len() as u64;
+        demand.iter().map(|&s| (self.f)(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::GridSpace2;
+
+    #[test]
+    fn direction_extraction_2d() {
+        let d = Direction::between_2d(Cell2::new(3, 3), Cell2::new(4, 2));
+        assert_eq!(d, Direction { dx: 1, dy: -1, dz: 0 });
+        assert_eq!(d.step_2d(Cell2::new(4, 2)), Cell2::new(5, 1));
+    }
+
+    #[test]
+    fn direction_extraction_3d() {
+        let d = Direction::between_3d(Cell3::new(0, 0, 0), Cell3::new(0, 1, 1));
+        assert_eq!(d, Direction { dx: 0, dy: 1, dz: 1 });
+        assert_eq!(d.step_3d(Cell3::new(0, 1, 1)), Cell3::new(0, 2, 2));
+    }
+
+    #[test]
+    fn direction_clamps_long_steps() {
+        let d = Direction::between_2d(Cell2::new(0, 0), Cell2::new(5, -7));
+        assert_eq!(d, Direction { dx: 1, dy: -1, dz: 0 });
+    }
+
+    #[test]
+    fn zero_direction() {
+        let d = Direction::between_2d(Cell2::new(2, 2), Cell2::new(2, 2));
+        assert!(d.is_zero());
+        assert!(!Direction { dx: 1, dy: 0, dz: 0 }.is_zero());
+    }
+
+    #[test]
+    fn fn_oracle_counts_checks() {
+        let mut oracle = FnOracle::new(|c: Cell2| c.x % 2 == 0);
+        let ctx = ExpansionContext { expanded: Cell2::new(0, 0), parent: None, expansion: 0 };
+        let out = <FnOracle<_> as CollisionOracle<GridSpace2>>::resolve(
+            &mut oracle,
+            &ctx,
+            &[Cell2::new(2, 0), Cell2::new(3, 0)],
+        );
+        assert_eq!(out, vec![true, false]);
+        assert_eq!(oracle.checks(), 2);
+    }
+}

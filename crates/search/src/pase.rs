@@ -1,0 +1,335 @@
+//! PA*SE: Parallel A* for Slow Expansions (Phillips, Likhachev, Koenig
+//! 2014) — the prior-work parallelization baseline of paper §6.
+//!
+//! PA*SE parallelizes *expansions* of independent states: state `s` may be
+//! expanded alongside (or before) state `s'` when the expansion of `s'`
+//! cannot lead to a shorter path to `s`, i.e. when
+//! `g(s) ≤ g(s') + ε · h(s', s)` for every `s'` currently eligible with a
+//! smaller key. This functional implementation expands independent states in
+//! waves and reports, per wave, the number of independent states found (the
+//! available parallelism) and the number of pairwise independence tests
+//! performed (the overhead both the paper and the original authors call
+//! out). The Fig 13 platform models consume these profiles.
+
+use crate::oracle::{CollisionOracle, ExpansionContext};
+use crate::space::SearchSpace;
+use crate::stats::SearchStats;
+use std::collections::HashMap;
+
+/// PA*SE configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaseConfig {
+    /// Heuristic inflation ε ≥ 1.
+    pub weight: f64,
+    /// Number of worker threads being modeled: at most this many
+    /// independent states are claimed per wave.
+    pub threads: usize,
+    /// How many of the lowest-key OPEN states are scanned for independence
+    /// per wave (the original implementation bounds this window).
+    pub window: usize,
+    /// Abort after this many expansions.
+    pub max_expansions: u64,
+}
+
+impl Default for PaseConfig {
+    fn default() -> Self {
+        PaseConfig { weight: 1.0, threads: 8, window: 64, max_expansions: u64::MAX }
+    }
+}
+
+/// The outcome of a PA*SE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaseResult<S> {
+    /// The path from start to goal inclusive, or `None` if unreachable.
+    pub path: Option<Vec<S>>,
+    /// Cost of the returned path (ε-suboptimal).
+    pub cost: f64,
+    /// Search statistics.
+    pub stats: SearchStats,
+    /// Number of states expanded in each wave (the realized parallelism).
+    pub wave_sizes: Vec<u32>,
+    /// Total pairwise independence tests performed.
+    pub independence_tests: u64,
+}
+
+impl<S> PaseResult<S> {
+    /// Whether a path was found.
+    pub fn found(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Average number of states expanded per wave.
+    pub fn avg_parallelism(&self) -> f64 {
+        if self.wave_sizes.is_empty() {
+            0.0
+        } else {
+            self.wave_sizes.iter().map(|&n| n as f64).sum::<f64>() / self.wave_sizes.len() as f64
+        }
+    }
+}
+
+/// Runs PA*SE from `start` to `goal`.
+///
+/// Functionally this returns an ε-admissible path like Weighted A*; its
+/// purpose here is to profile the *available* safe parallelism and the
+/// independence-check overhead on real workloads.
+pub fn pase<Sp, O>(
+    space: &Sp,
+    start: Sp::State,
+    goal: Sp::State,
+    config: &PaseConfig,
+    oracle: &mut O,
+) -> PaseResult<Sp::State>
+where
+    Sp: SearchSpace,
+    O: CollisionOracle<Sp>,
+{
+    assert!(config.weight >= 1.0, "heuristic weight must be >= 1");
+    assert!(config.threads >= 1, "at least one thread");
+    let n = space.state_count();
+    let mut g = vec![f64::INFINITY; n];
+    let mut visited = vec![false; n];
+    let mut parent: Vec<Option<Sp::State>> = vec![None; n];
+    let mut stats = SearchStats::default();
+    let mut wave_sizes = Vec::new();
+    let mut independence_tests = 0u64;
+
+    let unreachable = |stats: SearchStats, waves: Vec<u32>, tests: u64| PaseResult {
+        path: None,
+        cost: f64::INFINITY,
+        stats,
+        wave_sizes: waves,
+        independence_tests: tests,
+    };
+
+    let (Some(start_idx), Some(goal_idx)) = (space.index(start), space.index(goal)) else {
+        return unreachable(stats, wave_sizes, independence_tests);
+    };
+    let ctx0 = ExpansionContext { expanded: start, parent: None, expansion: 0 };
+    stats.demand_checks += 1;
+    if !oracle.resolve(&ctx0, &[start])[0] {
+        return unreachable(stats, wave_sizes, independence_tests);
+    }
+
+    // OPEN as a map idx → (f, g, state); rebuilt-scan per wave. This is a
+    // functional model, not a performance-tuned implementation.
+    let mut open: HashMap<usize, (f64, f64, Sp::State)> = HashMap::new();
+    g[start_idx] = 0.0;
+    open.insert(start_idx, (config.weight * space.heuristic(start, goal), 0.0, start));
+    stats.open_pushes += 1;
+
+    let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
+    while !open.is_empty() {
+        // Collect the window of lowest-f candidates.
+        let mut candidates: Vec<(usize, f64, f64, Sp::State)> =
+            open.iter().map(|(&i, &(f, gv, s))| (i, f, gv, s)).collect();
+        candidates.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        candidates.truncate(config.window);
+
+        // Claim independent states: s is safe if, for every candidate s'
+        // ahead of it (smaller key), g(s) ≤ g(s') + ε·h(s', s).
+        let mut wave: Vec<(usize, f64, Sp::State)> = Vec::new();
+        for (pos, &(i, _f, gv, s)) in candidates.iter().enumerate() {
+            if wave.len() >= config.threads {
+                break;
+            }
+            let mut independent = true;
+            for &(j, _, gj, sj) in &candidates[..pos] {
+                if j == i {
+                    continue;
+                }
+                independence_tests += 1;
+                if gv > gj + config.weight * space.pair_heuristic(sj, s) + 1e-12 {
+                    independent = false;
+                    break;
+                }
+            }
+            if independent {
+                wave.push((i, gv, s));
+            }
+        }
+        if wave.is_empty() {
+            // The head of OPEN is always independent of itself.
+            let &(i, _f, gv, s) = candidates.first().expect("open non-empty");
+            wave.push((i, gv, s));
+        }
+        wave_sizes.push(wave.len() as u32);
+
+        // Expand the wave.
+        for &(idx, gv, s) in &wave {
+            open.remove(&idx);
+            if visited[idx] {
+                continue;
+            }
+            visited[idx] = true;
+            stats.expansions += 1;
+            if idx == goal_idx {
+                let mut path = vec![s];
+                let mut cur = idx;
+                while let Some(p) = parent[cur] {
+                    path.push(p);
+                    cur = space.index(p).expect("parents are in-space");
+                }
+                path.reverse();
+                return PaseResult {
+                    path: Some(path),
+                    cost: gv,
+                    stats,
+                    wave_sizes,
+                    independence_tests,
+                };
+            }
+            if stats.expansions >= config.max_expansions {
+                return unreachable(stats, wave_sizes, independence_tests);
+            }
+
+            neigh.clear();
+            space.neighbors(s, &mut neigh);
+            let mut demand: Vec<Sp::State> = Vec::new();
+            let mut edges: Vec<f64> = Vec::new();
+            for &(ns, cost) in &neigh {
+                if let Some(ni) = space.index(ns) {
+                    if !visited[ni] {
+                        demand.push(ns);
+                        edges.push(cost);
+                    }
+                }
+            }
+            let ctx = ExpansionContext {
+                expanded: s,
+                parent: parent[idx],
+                expansion: stats.expansions - 1,
+            };
+            let free =
+                if demand.is_empty() { Vec::new() } else { oracle.resolve(&ctx, &demand) };
+            stats.demand_checks += demand.len() as u64;
+            for ((ns, edge), ok) in demand.iter().zip(&edges).zip(&free) {
+                if !ok {
+                    continue;
+                }
+                let ni = space.index(*ns).expect("demand states are in-space");
+                let ng = gv + edge;
+                if ng + 1e-12 < g[ni] {
+                    g[ni] = ng;
+                    parent[ni] = Some(s);
+                    open.insert(
+                        ni,
+                        (ng + config.weight * space.heuristic(*ns, goal), ng, *ns),
+                    );
+                    stats.open_pushes += 1;
+                }
+            }
+        }
+    }
+    unreachable(stats, wave_sizes, independence_tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar::{astar, AstarConfig};
+    use crate::oracle::FnOracle;
+    use crate::space::GridSpace2;
+    use racod_geom::Cell2;
+    use racod_grid::gen::random_map;
+    use racod_grid::{BitGrid2, Occupancy2};
+
+    fn grid_oracle(grid: &BitGrid2) -> FnOracle<impl FnMut(Cell2) -> bool + '_> {
+        FnOracle::new(move |c: Cell2| grid.occupied(c) == Some(false))
+    }
+
+    #[test]
+    fn pase_finds_optimal_with_weight_one() {
+        for seed in 0..4u64 {
+            let grid = random_map(seed + 50, 30, 30, 0.2);
+            let space = GridSpace2::eight_connected(30, 30);
+            let (s, t) = (Cell2::new(1, 1), Cell2::new(28, 28));
+            let mut o1 = grid_oracle(&grid);
+            let mut o2 = grid_oracle(&grid);
+            let a = astar(&space, s, t, &AstarConfig::default(), &mut o1);
+            let p = pase(&space, s, t, &PaseConfig::default(), &mut o2);
+            assert_eq!(a.found(), p.found(), "seed {seed}");
+            if a.found() {
+                assert!(
+                    (a.cost - p.cost).abs() < 1e-6,
+                    "seed {seed}: astar {} vs pase {}",
+                    a.cost,
+                    p.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pase_respects_epsilon_bound() {
+        let grid = random_map(9, 30, 30, 0.25);
+        let space = GridSpace2::eight_connected(30, 30);
+        let (s, t) = (Cell2::new(1, 1), Cell2::new(28, 28));
+        let mut o1 = grid_oracle(&grid);
+        let opt = astar(&space, s, t, &AstarConfig::default(), &mut o1);
+        if !opt.found() {
+            return;
+        }
+        let mut o2 = grid_oracle(&grid);
+        let cfg = PaseConfig { weight: 2.0, ..Default::default() };
+        let p = pase(&space, s, t, &cfg, &mut o2);
+        assert!(p.found());
+        assert!(p.cost <= 2.0 * opt.cost + 1e-6);
+    }
+
+    #[test]
+    fn wave_sizes_bounded_by_threads() {
+        let grid = BitGrid2::new(40, 40);
+        let space = GridSpace2::eight_connected(40, 40);
+        let mut o = grid_oracle(&grid);
+        let cfg = PaseConfig { threads: 4, ..Default::default() };
+        let p = pase(&space, Cell2::new(1, 1), Cell2::new(38, 38), &cfg, &mut o);
+        assert!(p.found());
+        assert!(p.wave_sizes.iter().all(|&w| w as usize <= 4));
+        assert!(p.avg_parallelism() >= 1.0);
+    }
+
+    #[test]
+    fn independence_tests_are_counted() {
+        let grid = BitGrid2::new(30, 30);
+        let space = GridSpace2::eight_connected(30, 30);
+        let mut o = grid_oracle(&grid);
+        let p = pase(&space, Cell2::new(1, 1), Cell2::new(25, 25), &PaseConfig::default(), &mut o);
+        assert!(p.independence_tests > 0, "free space still scans the window");
+    }
+
+    #[test]
+    fn parallelism_is_limited_in_practice() {
+        // The paper's observation: there are not enough independent states
+        // to use many cores. On a corridor map the wave sizes stay small.
+        let mut grid = BitGrid2::new(40, 8);
+        grid.fill_rect(0, 3, 39, 4, false);
+        for y in [0i64, 1, 6, 7] {
+            grid.fill_rect(0, y, 39, y, true);
+        }
+        let space = GridSpace2::eight_connected(40, 8);
+        let mut o = grid_oracle(&grid);
+        let cfg = PaseConfig { threads: 32, ..Default::default() };
+        let p = pase(&space, Cell2::new(1, 3), Cell2::new(38, 3), &cfg, &mut o);
+        assert!(p.found());
+        assert!(
+            p.avg_parallelism() < 16.0,
+            "corridor should not admit 32-wide waves: {}",
+            p.avg_parallelism()
+        );
+    }
+
+    #[test]
+    fn unreachable_is_reported() {
+        let mut grid = BitGrid2::new(20, 20);
+        grid.fill_rect(10, 0, 10, 19, true);
+        let space = GridSpace2::eight_connected(20, 20);
+        let mut o = grid_oracle(&grid);
+        let p = pase(&space, Cell2::new(1, 1), Cell2::new(18, 18), &PaseConfig::default(), &mut o);
+        assert!(!p.found());
+    }
+}

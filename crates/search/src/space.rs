@@ -1,0 +1,404 @@
+//! Search spaces: grid graphs in 2D and 3D.
+
+use crate::heuristics::{Heuristic2, Heuristic3, SQRT2, SQRT3};
+use racod_geom::{Cell2, Cell3};
+use std::hash::Hash;
+
+/// A graph of states with edge costs, a goal heuristic, and a dense state
+/// index — everything the A* engine and PA*SE need.
+pub trait SearchSpace {
+    /// The state (node) type.
+    type State: Copy + Eq + Hash + std::fmt::Debug;
+
+    /// Appends `(neighbor, edge_cost)` pairs of `s` to `out` in a fixed,
+    /// deterministic order. Neighbors may be outside the environment; the
+    /// collision oracle rejects those.
+    fn neighbors(&self, s: Self::State, out: &mut Vec<(Self::State, f64)>);
+
+    /// Heuristic estimate from `s` to `goal`.
+    fn heuristic(&self, s: Self::State, goal: Self::State) -> f64;
+
+    /// Heuristic estimate between two arbitrary states (for PA*SE's
+    /// independence test).
+    fn pair_heuristic(&self, a: Self::State, b: Self::State) -> f64;
+
+    /// Dense index of a state in `0..state_count()`, or `None` if the state
+    /// lies outside the space.
+    fn index(&self, s: Self::State) -> Option<usize>;
+
+    /// Total number of representable states.
+    fn state_count(&self) -> usize;
+}
+
+/// Grid connectivity in 2D (paper §2.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Connectivity2 {
+    /// N, E, S, W.
+    Four,
+    /// N, NE, E, SE, S, SW, W, NW (the paper's mobile-robot benchmarks).
+    Eight,
+}
+
+/// The 2D grid search space.
+///
+/// # Example
+///
+/// ```
+/// use racod_search::{GridSpace2, SearchSpace};
+/// use racod_geom::Cell2;
+///
+/// let space = GridSpace2::eight_connected(10, 10);
+/// let mut out = Vec::new();
+/// space.neighbors(Cell2::new(5, 5), &mut out);
+/// assert_eq!(out.len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpace2 {
+    width: u32,
+    height: u32,
+    connectivity: Connectivity2,
+    heuristic: Heuristic2,
+}
+
+impl GridSpace2 {
+    /// Creates a space with explicit connectivity and heuristic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32, connectivity: Connectivity2, heuristic: Heuristic2) -> Self {
+        assert!(width > 0 && height > 0, "space dimensions must be positive");
+        GridSpace2 { width, height, connectivity, heuristic }
+    }
+
+    /// 8-connected space with the paper's default Euclidean heuristic.
+    pub fn eight_connected(width: u32, height: u32) -> Self {
+        GridSpace2::new(width, height, Connectivity2::Eight, Heuristic2::Euclidean)
+    }
+
+    /// 4-connected space with the Manhattan heuristic.
+    pub fn four_connected(width: u32, height: u32) -> Self {
+        GridSpace2::new(width, height, Connectivity2::Four, Heuristic2::Manhattan)
+    }
+
+    /// Returns a copy using a different heuristic (for the §5.9 sweep).
+    pub fn with_heuristic(mut self, heuristic: Heuristic2) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The heuristic in use.
+    pub fn heuristic_kind(&self) -> Heuristic2 {
+        self.heuristic
+    }
+
+    /// The connectivity in use.
+    pub fn connectivity(&self) -> Connectivity2 {
+        self.connectivity
+    }
+}
+
+/// The eight neighbor offsets in deterministic order (E, NE, N, NW, W, SW,
+/// S, SE).
+pub const OFFSETS_8: [(i64, i64); 8] = [
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+];
+
+impl SearchSpace for GridSpace2 {
+    type State = Cell2;
+
+    fn neighbors(&self, s: Cell2, out: &mut Vec<(Cell2, f64)>) {
+        match self.connectivity {
+            Connectivity2::Four => {
+                for &(dx, dy) in &[(1i64, 0i64), (0, 1), (-1, 0), (0, -1)] {
+                    out.push((s.offset(dx, dy), 1.0));
+                }
+            }
+            Connectivity2::Eight => {
+                for &(dx, dy) in &OFFSETS_8 {
+                    let cost = if dx != 0 && dy != 0 { SQRT2 } else { 1.0 };
+                    out.push((s.offset(dx, dy), cost));
+                }
+            }
+        }
+    }
+
+    fn heuristic(&self, s: Cell2, goal: Cell2) -> f64 {
+        self.heuristic.estimate(s, goal)
+    }
+
+    fn pair_heuristic(&self, a: Cell2, b: Cell2) -> f64 {
+        // PA*SE needs an admissible pairwise estimate; Euclidean always is.
+        Heuristic2::Euclidean.estimate(a, b)
+    }
+
+    fn index(&self, s: Cell2) -> Option<usize> {
+        if s.x < 0 || s.y < 0 || s.x >= self.width as i64 || s.y >= self.height as i64 {
+            None
+        } else {
+            Some(s.y as usize * self.width as usize + s.x as usize)
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+}
+
+/// Grid connectivity in 3D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Connectivity3 {
+    /// The six face neighbors.
+    Six,
+    /// All 26 surrounding voxels (the UAV benchmark: "back and forth in all
+    /// three dimensions").
+    TwentySix,
+}
+
+/// The 3D grid search space.
+///
+/// # Example
+///
+/// ```
+/// use racod_search::{GridSpace3, SearchSpace};
+/// use racod_geom::Cell3;
+///
+/// let space = GridSpace3::twenty_six_connected(8, 8, 8);
+/// let mut out = Vec::new();
+/// space.neighbors(Cell3::new(4, 4, 4), &mut out);
+/// assert_eq!(out.len(), 26);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpace3 {
+    size_x: u32,
+    size_y: u32,
+    size_z: u32,
+    connectivity: Connectivity3,
+    heuristic: Heuristic3,
+}
+
+impl GridSpace3 {
+    /// Creates a space with explicit connectivity and heuristic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        size_x: u32,
+        size_y: u32,
+        size_z: u32,
+        connectivity: Connectivity3,
+        heuristic: Heuristic3,
+    ) -> Self {
+        assert!(size_x > 0 && size_y > 0 && size_z > 0, "space dimensions must be positive");
+        GridSpace3 { size_x, size_y, size_z, connectivity, heuristic }
+    }
+
+    /// 26-connected space with the Euclidean heuristic (the UAV benchmark).
+    pub fn twenty_six_connected(size_x: u32, size_y: u32, size_z: u32) -> Self {
+        GridSpace3::new(size_x, size_y, size_z, Connectivity3::TwentySix, Heuristic3::Euclidean)
+    }
+
+    /// 6-connected space with the Manhattan heuristic.
+    pub fn six_connected(size_x: u32, size_y: u32, size_z: u32) -> Self {
+        GridSpace3::new(size_x, size_y, size_z, Connectivity3::Six, Heuristic3::Manhattan)
+    }
+
+    /// Grid extent in x.
+    pub fn size_x(&self) -> u32 {
+        self.size_x
+    }
+
+    /// Grid extent in y.
+    pub fn size_y(&self) -> u32 {
+        self.size_y
+    }
+
+    /// Grid extent in z.
+    pub fn size_z(&self) -> u32 {
+        self.size_z
+    }
+}
+
+impl SearchSpace for GridSpace3 {
+    type State = Cell3;
+
+    fn neighbors(&self, s: Cell3, out: &mut Vec<(Cell3, f64)>) {
+        match self.connectivity {
+            Connectivity3::Six => {
+                for &(dx, dy, dz) in
+                    &[(1i64, 0i64, 0i64), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
+                {
+                    out.push((s.offset(dx, dy, dz), 1.0));
+                }
+            }
+            Connectivity3::TwentySix => {
+                for dz in -1..=1i64 {
+                    for dy in -1..=1i64 {
+                        for dx in -1..=1i64 {
+                            if dx == 0 && dy == 0 && dz == 0 {
+                                continue;
+                            }
+                            let nd = (dx.abs() + dy.abs() + dz.abs()) as usize;
+                            let cost = match nd {
+                                1 => 1.0,
+                                2 => SQRT2,
+                                _ => SQRT3,
+                            };
+                            out.push((s.offset(dx, dy, dz), cost));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn heuristic(&self, s: Cell3, goal: Cell3) -> f64 {
+        self.heuristic.estimate(s, goal)
+    }
+
+    fn pair_heuristic(&self, a: Cell3, b: Cell3) -> f64 {
+        Heuristic3::Euclidean.estimate(a, b)
+    }
+
+    fn index(&self, s: Cell3) -> Option<usize> {
+        if s.x < 0
+            || s.y < 0
+            || s.z < 0
+            || s.x >= self.size_x as i64
+            || s.y >= self.size_y as i64
+            || s.z >= self.size_z as i64
+        {
+            None
+        } else {
+            Some(
+                (s.z as usize * self.size_y as usize + s.y as usize) * self.size_x as usize
+                    + s.x as usize,
+            )
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        self.size_x as usize * self.size_y as usize * self.size_z as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_connected_neighbor_costs() {
+        let sp = GridSpace2::eight_connected(10, 10);
+        let mut out = Vec::new();
+        sp.neighbors(Cell2::new(5, 5), &mut out);
+        assert_eq!(out.len(), 8);
+        let diagonals = out.iter().filter(|(_, c)| (*c - SQRT2).abs() < 1e-12).count();
+        assert_eq!(diagonals, 4);
+    }
+
+    #[test]
+    fn four_connected_neighbor_costs() {
+        let sp = GridSpace2::four_connected(10, 10);
+        let mut out = Vec::new();
+        sp.neighbors(Cell2::new(5, 5), &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|(_, c)| *c == 1.0));
+    }
+
+    #[test]
+    fn neighbors_may_leave_grid() {
+        // The space does not filter; the oracle rejects out-of-grid states.
+        let sp = GridSpace2::eight_connected(4, 4);
+        let mut out = Vec::new();
+        sp.neighbors(Cell2::new(0, 0), &mut out);
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().any(|(c, _)| sp.index(*c).is_none()));
+    }
+
+    #[test]
+    fn index_is_dense_and_unique() {
+        let sp = GridSpace2::eight_connected(7, 5);
+        let mut seen = vec![false; sp.state_count()];
+        for y in 0..5 {
+            for x in 0..7 {
+                let i = sp.index(Cell2::new(x, y)).unwrap();
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+        assert_eq!(sp.index(Cell2::new(7, 0)), None);
+        assert_eq!(sp.index(Cell2::new(0, 5)), None);
+    }
+
+    #[test]
+    fn space3_neighbor_counts() {
+        let sp6 = GridSpace3::six_connected(5, 5, 5);
+        let mut out = Vec::new();
+        sp6.neighbors(Cell3::new(2, 2, 2), &mut out);
+        assert_eq!(out.len(), 6);
+
+        let sp26 = GridSpace3::twenty_six_connected(5, 5, 5);
+        out.clear();
+        sp26.neighbors(Cell3::new(2, 2, 2), &mut out);
+        assert_eq!(out.len(), 26);
+        let full_diag = out.iter().filter(|(_, c)| (*c - SQRT3).abs() < 1e-9).count();
+        assert_eq!(full_diag, 8);
+    }
+
+    #[test]
+    fn space3_index_unique() {
+        let sp = GridSpace3::twenty_six_connected(3, 4, 5);
+        assert_eq!(sp.state_count(), 60);
+        let mut seen = vec![false; 60];
+        for z in 0..5 {
+            for y in 0..4 {
+                for x in 0..3 {
+                    let i = sp.index(Cell3::new(x, y, z)).unwrap();
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn with_heuristic_swaps() {
+        let sp = GridSpace2::eight_connected(4, 4).with_heuristic(Heuristic2::Manhattan);
+        assert_eq!(sp.heuristic_kind(), Heuristic2::Manhattan);
+        assert_eq!(sp.heuristic(Cell2::new(0, 0), Cell2::new(2, 2)), 4.0);
+    }
+
+    #[test]
+    fn pair_heuristic_is_symmetric() {
+        let sp = GridSpace2::eight_connected(10, 10);
+        let a = Cell2::new(1, 2);
+        let b = Cell2::new(7, 5);
+        assert_eq!(sp.pair_heuristic(a, b), sp.pair_heuristic(b, a));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        let _ = GridSpace2::eight_connected(0, 4);
+    }
+}

@@ -1,0 +1,81 @@
+//! Search statistics collected during planning.
+
+use std::fmt;
+
+/// Counters produced by one search run.
+///
+/// `demand_checks_per_expansion` feeds the division-of-labor analysis
+/// (paper Fig 9) and the timing simulator: each entry is the number of
+/// collision checks the baseline algorithm had to issue at that expansion.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchStats {
+    /// Number of node expansions performed.
+    pub expansions: u64,
+    /// Number of demand collision checks issued via the oracle.
+    pub demand_checks: u64,
+    /// Number of nodes pushed to the OPEN list (including re-pushes).
+    pub open_pushes: u64,
+    /// Nodes popped from OPEN but skipped as stale/visited.
+    pub stale_pops: u64,
+    /// Per-expansion demand check counts, recorded when enabled.
+    pub demand_checks_per_expansion: Vec<u32>,
+}
+
+impl SearchStats {
+    /// Average demand checks per expansion, or 0 with no expansions.
+    pub fn avg_demand_checks(&self) -> f64 {
+        if self.expansions == 0 {
+            0.0
+        } else {
+            self.demand_checks as f64 / self.expansions as f64
+        }
+    }
+
+    /// Number of expansions that issued at least one collision check
+    /// ("non-idle expansions" in the paper's Fig 9 terminology).
+    pub fn non_idle_expansions(&self) -> u64 {
+        self.demand_checks_per_expansion.iter().filter(|&&n| n > 0).count() as u64
+    }
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} expansions, {} demand checks ({:.2}/expansion)",
+            self.expansions,
+            self.demand_checks,
+            self.avg_demand_checks()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages() {
+        let s = SearchStats {
+            expansions: 4,
+            demand_checks: 10,
+            demand_checks_per_expansion: vec![3, 0, 4, 3],
+            ..Default::default()
+        };
+        assert!((s.avg_demand_checks() - 2.5).abs() < 1e-12);
+        assert_eq!(s.non_idle_expansions(), 3);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = SearchStats::default();
+        assert_eq!(s.avg_demand_checks(), 0.0);
+        assert_eq!(s.non_idle_expansions(), 0);
+    }
+
+    #[test]
+    fn display_mentions_expansions() {
+        let s = SearchStats { expansions: 2, demand_checks: 3, ..Default::default() };
+        assert!(format!("{s}").contains("2 expansions"));
+    }
+}

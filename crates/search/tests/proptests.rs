@@ -1,0 +1,86 @@
+//! Property-based tests of the search invariants.
+
+use proptest::prelude::*;
+use racod_geom::Cell2;
+use racod_grid::gen::random_map;
+use racod_grid::Occupancy2;
+use racod_search::{
+    astar, pase, AstarConfig, FnOracle, GridSpace2, Heuristic2, PaseConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A* with the (admissible) Euclidean heuristic returns Dijkstra's
+    /// optimal cost on random maps.
+    #[test]
+    fn astar_is_optimal(seed in 0u64..5000, density in 0.0f64..0.35) {
+        let grid = random_map(seed, 24, 24, density);
+        let space = GridSpace2::eight_connected(24, 24);
+        let dspace = space.with_heuristic(Heuristic2::Zero);
+        let (s, g) = (Cell2::new(0, 0), Cell2::new(23, 23));
+        let mut o1 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let mut o2 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let a = astar(&space, s, g, &AstarConfig::default(), &mut o1);
+        let d = astar(&dspace, s, g, &AstarConfig::default(), &mut o2);
+        prop_assert_eq!(a.found(), d.found());
+        if a.found() {
+            prop_assert!((a.cost - d.cost).abs() < 1e-6, "A* {} vs Dijkstra {}", a.cost, d.cost);
+        }
+    }
+
+    /// Weighted A* respects the ε-suboptimality bound.
+    #[test]
+    fn weighted_astar_bound(seed in 0u64..5000, eps in 1.0f64..4.0) {
+        let grid = random_map(seed, 24, 24, 0.2);
+        let space = GridSpace2::eight_connected(24, 24);
+        let (s, g) = (Cell2::new(0, 0), Cell2::new(23, 23));
+        let mut o1 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let opt = astar(&space, s, g, &AstarConfig::default(), &mut o1);
+        prop_assume!(opt.found());
+        let mut o2 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let w = astar(&space, s, g, &AstarConfig::weighted(eps), &mut o2);
+        prop_assert!(w.found());
+        prop_assert!(w.cost <= eps * opt.cost + 1e-6);
+    }
+
+    /// Paths are connected, obstacle-free, and have matching step costs.
+    #[test]
+    fn paths_are_valid(seed in 0u64..5000) {
+        let grid = random_map(seed, 24, 24, 0.25);
+        let space = GridSpace2::eight_connected(24, 24);
+        let (s, g) = (Cell2::new(0, 0), Cell2::new(23, 23));
+        let mut o = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let r = astar(&space, s, g, &AstarConfig::default(), &mut o);
+        if let Some(path) = r.path {
+            let mut cost = 0.0f64;
+            for w in path.windows(2) {
+                prop_assert_eq!(w[0].chebyshev(w[1]), 1);
+                prop_assert_eq!(grid.occupied(w[1]), Some(false));
+                cost += if w[0].manhattan(w[1]) == 2 {
+                    std::f64::consts::SQRT_2
+                } else {
+                    1.0
+                };
+            }
+            prop_assert!((cost - r.cost).abs() < 1e-6);
+        }
+    }
+
+    /// PA*SE at ε = 1 matches A*'s optimal cost.
+    #[test]
+    fn pase_matches_astar(seed in 0u64..5000, threads in 1usize..16) {
+        let grid = random_map(seed, 20, 20, 0.2);
+        let space = GridSpace2::eight_connected(20, 20);
+        let (s, g) = (Cell2::new(0, 0), Cell2::new(19, 19));
+        let mut o1 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let a = astar(&space, s, g, &AstarConfig::default(), &mut o1);
+        let mut o2 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let cfg = PaseConfig { threads, ..Default::default() };
+        let p = pase(&space, s, g, &cfg, &mut o2);
+        prop_assert_eq!(a.found(), p.found());
+        if a.found() {
+            prop_assert!((a.cost - p.cost).abs() < 1e-6);
+        }
+    }
+}

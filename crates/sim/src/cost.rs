@@ -1,0 +1,158 @@
+//! The cycle cost model.
+//!
+//! All constants are in core cycles. The defaults are calibrated (see
+//! DESIGN.md "Calibration note" and EXPERIMENTS.md) so that the emergent
+//! end-to-end numbers land in the paper's bands: a software collision check
+//! over a bit-packed grid is fast per cell (word loads cover 32 cells), so
+//! a single CODAcc yields only a modest per-check win, while the large
+//! RACOD speedups come from RASExp overlapping checks across expansions.
+
+/// Cycle costs charged by the timing simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Serial A* bookkeeping per expansion (OPEN pop, visited marking).
+    pub bookkeeping: u64,
+    /// Serial cost per free neighbor evaluated and pushed to OPEN.
+    pub neighbor_eval: u64,
+    /// Serial cost of a memo-table lookup that hits.
+    pub memo_lookup: u64,
+    /// Serial cost to issue one speculative check (Algorithm 1 lines
+    /// 11–17: pointer chase + status test + dispatch).
+    pub spec_issue: u64,
+    /// Serial cost to dispatch one demand check: thread hand-off on
+    /// software platforms, `check_coll` issue + result gather on RACOD.
+    pub dispatch_serial: u64,
+    /// One-way core↔context communication latency (1 tightly integrated;
+    /// 10 SoC co-processor; 100 off-chip — the §5.6 sweep).
+    pub comm_latency: u64,
+    /// Fixed software collision-check overhead (function call, OBB→cell
+    /// setup). Only used by software checkers.
+    pub sw_check_overhead: u64,
+    /// Software cycles per footprint cell inspected (word loads amortize
+    /// this heavily on packed grids). Only used by software checkers.
+    pub sw_per_cell: f64,
+}
+
+impl CostModel {
+    /// The low-end robotic processor (Intel Core i3-8109U) running
+    /// software-only planning — the baseline of Figs 3, 5 and 13(c).
+    pub fn i3_software() -> Self {
+        CostModel {
+            bookkeeping: 15,
+            neighbor_eval: 2,
+            memo_lookup: 2,
+            spec_issue: 4,
+            dispatch_serial: 40, // thread hand-off
+            comm_latency: 0,
+            sw_check_overhead: 40,
+            // Oriented footprints defeat word-wise vectorization (paper
+            // §2.1): every cell costs rotated-coordinate arithmetic plus a
+            // bit-masked load.
+            sw_per_cell: 4.0,
+        }
+    }
+
+    /// The 32-core Xeon E5-2670 used for the software-only RASExp
+    /// evaluation (§6). Slightly better single-thread IPC and cheaper
+    /// thread hand-off through a warmed pool.
+    pub fn xeon_software() -> Self {
+        CostModel {
+            bookkeeping: 12,
+            neighbor_eval: 2,
+            memo_lookup: 2,
+            spec_issue: 3,
+            dispatch_serial: 30,
+            comm_latency: 0,
+            sw_check_overhead: 32,
+            sw_per_cell: 3.2,
+        }
+    }
+
+    /// The GTX 1060 GPU platform (§6): the serial portion of the algorithm
+    /// is strongly GPU-averse (giga-scale structures, pointer chasing), and
+    /// collision kernels suffer branch divergence; thread hand-off within a
+    /// resident kernel is cheap.
+    pub fn gpu() -> Self {
+        CostModel {
+            bookkeeping: 120,
+            neighbor_eval: 16,
+            memo_lookup: 8,
+            spec_issue: 6,
+            dispatch_serial: 10,
+            comm_latency: 0,
+            sw_check_overhead: 60,
+            sw_per_cell: 12.0, // divergence: threads walk different cells
+        }
+    }
+
+    /// The RACOD platform: checks dispatch as single `check_coll`
+    /// instructions (issue + result gather), tightly integrated. Memo
+    /// lookups and speculative issues are single instructions on the OoO
+    /// core.
+    pub fn racod() -> Self {
+        CostModel {
+            bookkeeping: 15,
+            neighbor_eval: 2,
+            memo_lookup: 1,
+            spec_issue: 1,
+            dispatch_serial: 12, // check_coll issue + result load
+            comm_latency: 1,
+            sw_check_overhead: 0,
+            sw_per_cell: 0.0,
+        }
+    }
+
+    /// This model with a different communication latency (the §5.6 sweep).
+    pub fn with_comm_latency(mut self, cycles: u64) -> Self {
+        self.comm_latency = cycles;
+        self
+    }
+
+    /// Cycles of one software collision check that inspected `cells` cells.
+    pub fn sw_check_cycles(&self, cells: usize) -> u64 {
+        self.sw_check_overhead + (cells as f64 * self.sw_per_cell).round() as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::racod()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sw_check_cost_scales_with_cells() {
+        let m = CostModel::i3_software();
+        assert_eq!(m.sw_check_cycles(0), 40);
+        assert_eq!(m.sw_check_cycles(100), 40 + 400);
+        assert!(m.sw_check_cycles(500) > m.sw_check_cycles(100));
+    }
+
+    #[test]
+    fn presets_are_distinct() {
+        assert_ne!(CostModel::i3_software(), CostModel::xeon_software());
+        assert_ne!(CostModel::i3_software(), CostModel::gpu());
+        assert_ne!(CostModel::racod(), CostModel::i3_software());
+    }
+
+    #[test]
+    fn gpu_serial_penalty() {
+        assert!(CostModel::gpu().bookkeeping > 4 * CostModel::xeon_software().bookkeeping);
+    }
+
+    #[test]
+    fn comm_latency_override() {
+        let m = CostModel::racod().with_comm_latency(100);
+        assert_eq!(m.comm_latency, 100);
+        assert_eq!(CostModel::racod().comm_latency, 1);
+    }
+
+    #[test]
+    fn default_is_racod() {
+        assert_eq!(CostModel::default(), CostModel::racod());
+    }
+}

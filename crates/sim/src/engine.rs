@@ -1,0 +1,185 @@
+//! The execution-context pool: busy-until bookkeeping for threads or
+//! CODAcc units.
+
+/// A pool of execution contexts (threads or accelerator units) tracked by
+/// busy-until timestamps, with aggregate busy-cycle accounting for
+/// utilization statistics.
+///
+/// # Example
+///
+/// ```
+/// use racod_sim::UnitPool;
+/// let mut pool = UnitPool::new(2);
+/// let (u0, s0, f0) = pool.dispatch(100, 50);
+/// assert_eq!((s0, f0), (100, 150));
+/// let (u1, _, _) = pool.dispatch(100, 50);
+/// assert_ne!(u0, u1, "second dispatch picks the other free unit");
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnitPool {
+    busy_until: Vec<u64>,
+    busy_cycles: u64,
+    dispatches: u64,
+}
+
+impl UnitPool {
+    /// Creates a pool of `units` idle contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0`.
+    pub fn new(units: usize) -> Self {
+        assert!(units > 0, "at least one execution context required");
+        UnitPool { busy_until: vec![0; units], busy_cycles: 0, dispatches: 0 }
+    }
+
+    /// Number of contexts.
+    pub fn units(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Number of contexts idle at time `now`.
+    pub fn free_at(&self, now: u64) -> usize {
+        self.busy_until.iter().filter(|&&b| b <= now).count()
+    }
+
+    /// Dispatches a job of `duration` cycles at time `now` to the context
+    /// that frees earliest. Returns `(unit, start, finish)`; `start` is
+    /// `max(now, unit's busy_until)`.
+    pub fn dispatch(&mut self, now: u64, duration: u64) -> (usize, u64, u64) {
+        let (unit, &busy) = self
+            .busy_until
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &b)| b)
+            .expect("pool is non-empty");
+        let start = now.max(busy);
+        let finish = start + duration;
+        self.busy_until[unit] = finish;
+        self.busy_cycles += duration;
+        self.dispatches += 1;
+        (unit, start, finish)
+    }
+
+    /// Like [`UnitPool::dispatch`] but only if a context is idle at `now`
+    /// (speculative checks never queue behind busy contexts — "as long as a
+    /// free context exists").
+    pub fn dispatch_if_free(&mut self, now: u64, duration: u64) -> Option<(usize, u64, u64)> {
+        let unit = self.busy_until.iter().position(|&b| b <= now)?;
+        let finish = now + duration;
+        self.busy_until[unit] = finish;
+        self.busy_cycles += duration;
+        self.dispatches += 1;
+        Some((unit, now, finish))
+    }
+
+    /// Extends a unit's busy window (used when a job's duration is known
+    /// only after dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of range.
+    pub fn extend(&mut self, unit: usize, new_finish: u64) {
+        let prev = self.busy_until[unit];
+        if new_finish > prev {
+            self.busy_cycles += new_finish - prev;
+            self.busy_until[unit] = new_finish;
+        }
+    }
+
+    /// Total cycles of work dispatched.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Total dispatches.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Aggregate utilization over a run that lasted `total_cycles`.
+    pub fn utilization(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / (total_cycles as f64 * self.units() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_picks_earliest_free() {
+        let mut p = UnitPool::new(2);
+        p.dispatch(0, 100); // unit A busy till 100
+        p.dispatch(0, 10); // unit B busy till 10
+        // Next job at t=20 should go to B (free) not A.
+        let (_, start, finish) = p.dispatch(20, 5);
+        assert_eq!(start, 20);
+        assert_eq!(finish, 25);
+    }
+
+    #[test]
+    fn dispatch_queues_when_all_busy() {
+        let mut p = UnitPool::new(1);
+        p.dispatch(0, 100);
+        let (_, start, finish) = p.dispatch(50, 10);
+        assert_eq!(start, 100, "must wait for the unit");
+        assert_eq!(finish, 110);
+    }
+
+    #[test]
+    fn dispatch_if_free_refuses_when_busy() {
+        let mut p = UnitPool::new(1);
+        p.dispatch(0, 100);
+        assert!(p.dispatch_if_free(50, 10).is_none());
+        assert!(p.dispatch_if_free(100, 10).is_some());
+    }
+
+    #[test]
+    fn free_at_counts() {
+        let mut p = UnitPool::new(3);
+        p.dispatch(0, 50);
+        p.dispatch(0, 100);
+        assert_eq!(p.free_at(0), 1);
+        assert_eq!(p.free_at(60), 2);
+        assert_eq!(p.free_at(100), 3);
+    }
+
+    #[test]
+    fn busy_accounting_and_utilization() {
+        let mut p = UnitPool::new(2);
+        p.dispatch(0, 100);
+        p.dispatch(0, 100);
+        assert_eq!(p.busy_cycles(), 200);
+        assert!((p.utilization(100) - 1.0).abs() < 1e-12);
+        assert!((p.utilization(200) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_adds_busy_time() {
+        let mut p = UnitPool::new(1);
+        let (u, _, f) = p.dispatch(0, 10);
+        p.extend(u, f + 5);
+        assert_eq!(p.busy_cycles(), 15);
+        // Extending backwards is a no-op.
+        p.extend(u, 3);
+        assert_eq!(p.busy_cycles(), 15);
+    }
+
+    #[test]
+    fn utilization_zero_cases() {
+        let p = UnitPool::new(4);
+        assert_eq!(p.utilization(0), 0.0);
+        assert_eq!(p.utilization(100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_units_panics() {
+        let _ = UnitPool::new(0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Robot footprint models: planning state → OBB.
+//!
+//! A mobile robot's collision check tests its body's OBB at a candidate
+//! state. Memoization requires the OBB to be a *pure function of the state*,
+//! so the orientation policy must not depend on how the search reached the
+//! state; the default policy orients the box toward the goal, which gives
+//! realistic oriented (non-axis-aligned) footprints while staying
+//! deterministic.
+
+use racod_geom::{Cell2, Cell3, Obb2, Obb3, Rotation2, Rotation3, Vec2};
+
+/// Orientation policy of a footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrientationPolicy {
+    /// The box is axis-aligned everywhere.
+    AxisAligned,
+    /// The box's length axis points from the state toward the goal — a
+    /// deterministic stand-in for heading along the travel direction.
+    TowardGoal,
+}
+
+/// A rectangular robot footprint in 2D, in grid-cell units.
+///
+/// # Example
+///
+/// ```
+/// use racod_sim::Footprint2;
+/// use racod_geom::Cell2;
+///
+/// let fp = Footprint2::car();
+/// let obb = fp.obb_at(Cell2::new(50, 50), Cell2::new(90, 50));
+/// assert!(obb.length() > obb.width());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Footprint2 {
+    /// Body length in cells.
+    pub length: f32,
+    /// Body width in cells.
+    pub width: f32,
+    /// Orientation policy.
+    pub policy: OrientationPolicy,
+}
+
+impl Footprint2 {
+    /// A self-driving-car footprint: 4 m x 2 m at 0.25 m resolution
+    /// (16 x 8 cells, 153 sample lattice points), oriented toward the goal.
+    pub fn car() -> Self {
+        Footprint2 { length: 16.0, width: 8.0, policy: OrientationPolicy::TowardGoal }
+    }
+
+    /// A small differential-drive robot: 3 x 3 cells, axis-aligned.
+    pub fn small_robot() -> Self {
+        Footprint2 { length: 3.0, width: 3.0, policy: OrientationPolicy::AxisAligned }
+    }
+
+    /// A point robot occupying a single cell.
+    pub fn point() -> Self {
+        Footprint2 { length: 0.0, width: 0.0, policy: OrientationPolicy::AxisAligned }
+    }
+
+    /// The OBB of the robot body centered on `state`, oriented per policy
+    /// with respect to `goal`.
+    pub fn obb_at(&self, state: Cell2, goal: Cell2) -> Obb2 {
+        let center = state.center();
+        let rot = match self.policy {
+            OrientationPolicy::AxisAligned => Rotation2::IDENTITY,
+            OrientationPolicy::TowardGoal => {
+                let d = Vec2::new((goal.x - state.x) as f32, (goal.y - state.y) as f32);
+                match d.normalized() {
+                    Some(u) => Rotation2::from_sin_cos(u.y, u.x),
+                    None => Rotation2::IDENTITY,
+                }
+            }
+        };
+        Obb2::centered(center, self.length, self.width, rot)
+    }
+}
+
+/// A cuboid robot footprint in 3D, in voxel units.
+///
+/// # Example
+///
+/// ```
+/// use racod_sim::Footprint3;
+/// use racod_geom::Cell3;
+///
+/// let fp = Footprint3::drone();
+/// let obb = fp.obb_at(Cell3::new(10, 10, 10), Cell3::new(40, 10, 10));
+/// assert!(obb.height() < obb.length());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Footprint3 {
+    /// Body length in voxels.
+    pub length: f32,
+    /// Body width in voxels.
+    pub width: f32,
+    /// Body height in voxels.
+    pub height: f32,
+    /// Orientation policy (yaw only; drones stay level).
+    pub policy: OrientationPolicy,
+}
+
+impl Footprint3 {
+    /// A quadrotor footprint: ≈0.8 m x 0.8 m x 0.4 m at 0.2 m resolution
+    /// (4 x 4 x 2 voxels), yawed toward the goal.
+    pub fn drone() -> Self {
+        Footprint3 { length: 4.0, width: 4.0, height: 2.0, policy: OrientationPolicy::TowardGoal }
+    }
+
+    /// A single-voxel point robot.
+    pub fn point() -> Self {
+        Footprint3 { length: 0.0, width: 0.0, height: 0.0, policy: OrientationPolicy::AxisAligned }
+    }
+
+    /// The OBB of the robot body centered on `state`, yawed per policy
+    /// toward `goal`.
+    pub fn obb_at(&self, state: Cell3, goal: Cell3) -> Obb3 {
+        let center = state.center();
+        let rot = match self.policy {
+            OrientationPolicy::AxisAligned => Rotation3::identity(),
+            OrientationPolicy::TowardGoal => {
+                let dx = (goal.x - state.x) as f32;
+                let dy = (goal.y - state.y) as f32;
+                let n = (dx * dx + dy * dy).sqrt();
+                if n <= f32::EPSILON {
+                    Rotation3::identity()
+                } else {
+                    Rotation3::from_sin_cos(0.0, 1.0, 0.0, 1.0, dy / n, dx / n)
+                }
+            }
+        };
+        Obb3::centered(center, self.length, self.width, self.height, rot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_is_centered_on_state() {
+        let fp = Footprint2::car();
+        let s = Cell2::new(30, 40);
+        let obb = fp.obb_at(s, Cell2::new(90, 40));
+        assert!((obb.center() - s.center()).norm() < 1e-4);
+    }
+
+    #[test]
+    fn orientation_points_toward_goal() {
+        let fp = Footprint2::car();
+        let obb = fp.obb_at(Cell2::new(10, 10), Cell2::new(10, 50));
+        // Goal is due north → length axis along +y.
+        let ax = obb.rotation().axis_x();
+        assert!(ax.y > 0.99, "axis {ax:?}");
+    }
+
+    #[test]
+    fn axis_aligned_ignores_goal() {
+        let fp = Footprint2::small_robot();
+        let a = fp.obb_at(Cell2::new(5, 5), Cell2::new(50, 5));
+        let b = fp.obb_at(Cell2::new(5, 5), Cell2::new(5, 50));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_at_goal_degenerates_gracefully() {
+        let fp = Footprint2::car();
+        let obb = fp.obb_at(Cell2::new(7, 7), Cell2::new(7, 7));
+        assert_eq!(obb.rotation(), Rotation2::IDENTITY);
+    }
+
+    #[test]
+    fn footprint_is_pure_in_state() {
+        let fp = Footprint2::car();
+        let g = Cell2::new(100, 80);
+        let a = fp.obb_at(Cell2::new(20, 20), g);
+        let b = fp.obb_at(Cell2::new(20, 20), g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn point_footprint_is_one_cell() {
+        let fp = Footprint2::point();
+        let obb = fp.obb_at(Cell2::new(3, 4), Cell2::new(9, 9));
+        assert_eq!(obb.sample_cells(), vec![Cell2::new(3, 4)]);
+    }
+
+    #[test]
+    fn drone_yaw_toward_goal() {
+        let fp = Footprint3::drone();
+        let obb = fp.obb_at(Cell3::new(10, 10, 5), Cell3::new(10, 40, 5));
+        let ax = obb.rotation().axis_x();
+        assert!(ax.y > 0.99, "axis {ax:?}");
+        // Drone stays level: z axis unchanged.
+        assert!(obb.rotation().axis_z().z > 0.99);
+    }
+
+    #[test]
+    fn drone_centered_on_state() {
+        let fp = Footprint3::drone();
+        let s = Cell3::new(12, 13, 6);
+        let obb = fp.obb_at(s, Cell3::new(40, 13, 6));
+        assert!((obb.center() - s.center()).norm() < 1e-4);
+    }
+}

@@ -1,0 +1,431 @@
+//! The timed collision oracle: Algorithm 1 with cycle accounting.
+//!
+//! [`TimedOracle`] is a [`racod_search::CollisionOracle`] that replays the
+//! RASExp logic (memo lookups, demand barrier, runahead issue) while
+//! charging cycles to a serial core timeline and dispatching check compute
+//! onto a [`UnitPool`]. One implementation serves every platform: the
+//! backend [`TimedChecker`] decides what a check costs (software loop vs
+//! CODAcc datapath), and the [`CostModel`] decides what the core-side
+//! overheads cost.
+
+use crate::cost::CostModel;
+use crate::engine::UnitPool;
+use racod_rasexp::{
+    CollisionTable, DirectedState, LastDirectionPredictor, Provenance, RasexpStats,
+    StabilityTracker,
+};
+use racod_search::{CollisionOracle, ExpansionContext, SearchSpace};
+
+/// A collision-check backend: computes the verdict and the compute cycles
+/// of one check on one execution context.
+pub trait TimedChecker<S> {
+    /// Checks state `s` on context `unit`; returns `(free, cycles)`.
+    fn check(&mut self, unit: usize, s: S) -> (bool, u64);
+}
+
+/// Configuration of a timed planning run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedOracleConfig {
+    /// Number of execution contexts (threads or CODAcc units).
+    pub contexts: usize,
+    /// Enable RASExp runahead.
+    pub runahead: bool,
+    /// Maximum runahead depth (MAX_DEPTH).
+    pub max_depth: usize,
+    /// Stability threshold of the §5.11 throttle (1 = always predict).
+    pub stability_threshold: u32,
+}
+
+impl TimedOracleConfig {
+    /// Baseline multithreading: no runahead, `contexts` threads.
+    pub fn baseline(contexts: usize) -> Self {
+        TimedOracleConfig { contexts, runahead: false, max_depth: 1, stability_threshold: 1 }
+    }
+
+    /// RACOD/RASExp: runahead depth = context count (the paper's usual
+    /// configuration).
+    pub fn runahead(contexts: usize) -> Self {
+        TimedOracleConfig {
+            contexts,
+            runahead: true,
+            max_depth: contexts.max(1),
+            stability_threshold: 1,
+        }
+    }
+
+    /// RASExp with an explicit runahead depth.
+    pub fn runahead_depth(contexts: usize, max_depth: usize) -> Self {
+        TimedOracleConfig { contexts, runahead: true, max_depth, stability_threshold: 1 }
+    }
+}
+
+/// Timing results of one planning run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanTiming {
+    /// Total wall-clock cycles of the planning episode.
+    pub cycles: u64,
+    /// Cycles the core spent stalled on demand-check barriers.
+    pub stall_cycles: u64,
+    /// Total check-compute cycles dispatched to contexts.
+    pub busy_cycles: u64,
+    /// Aggregate context utilization (busy / (contexts x wall)).
+    pub unit_utilization: f64,
+}
+
+/// The timed oracle. See the module docs.
+pub struct TimedOracle<'a, Sp: SearchSpace, C>
+where
+    Sp::State: DirectedState,
+{
+    space: &'a Sp,
+    checker: C,
+    cost: CostModel,
+    config: TimedOracleConfig,
+    units: UnitPool,
+    table: CollisionTable,
+    finish_time: Vec<u64>,
+    predictor: LastDirectionPredictor,
+    stability: StabilityTracker<Sp::State>,
+    clock: u64,
+    stall_cycles: u64,
+    stats: RasexpStats,
+}
+
+impl<'a, Sp, C> TimedOracle<'a, Sp, C>
+where
+    Sp: SearchSpace,
+    Sp::State: DirectedState,
+    C: TimedChecker<Sp::State>,
+{
+    /// Creates a timed oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.contexts == 0` or `config.max_depth == 0`.
+    pub fn new(space: &'a Sp, checker: C, cost: CostModel, config: TimedOracleConfig) -> Self {
+        TimedOracle {
+            space,
+            checker,
+            cost,
+            config,
+            units: UnitPool::new(config.contexts),
+            table: CollisionTable::new(space.state_count()),
+            finish_time: vec![0; space.state_count()],
+            predictor: LastDirectionPredictor::new(config.max_depth.max(1)),
+            stability: StabilityTracker::new(),
+            clock: 0,
+            stall_cycles: 0,
+            stats: RasexpStats::default(),
+        }
+    }
+
+    /// The core clock after the run so far.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// RASExp statistics (accuracy, coverage, division of labor).
+    pub fn stats(&self) -> &RasexpStats {
+        &self.stats
+    }
+
+    /// The checker backend (e.g. to read cache statistics).
+    pub fn checker(&self) -> &C {
+        &self.checker
+    }
+
+    /// Finalizes and returns the timing summary.
+    pub fn timing(&self) -> PlanTiming {
+        PlanTiming {
+            cycles: self.clock,
+            stall_cycles: self.stall_cycles,
+            busy_cycles: self.units.busy_cycles(),
+            unit_utilization: self.units.utilization(self.clock),
+        }
+    }
+
+    /// Dispatches one check at core time `now`, returning
+    /// `(free, finish_time_incl_return)`.
+    fn dispatch_check(&mut self, s: Sp::State, now: u64, queue: bool) -> Option<(bool, u64)> {
+        let arrive = now + self.cost.comm_latency;
+        // The duration depends on the unit's cache state, which depends on
+        // which unit runs it — pick the unit first with a zero-duration
+        // reservation, then extend it by the computed check cycles.
+        let (unit, start, _) = if queue {
+            self.units.dispatch(arrive, 0)
+        } else {
+            self.units.dispatch_if_free(arrive, 0)?
+        };
+        let (free, cycles) = self.checker.check(unit, s);
+        self.units.extend(unit, start + cycles);
+        Some((free, start + cycles + self.cost.comm_latency))
+    }
+}
+
+impl<'a, Sp, C> CollisionOracle<Sp> for TimedOracle<'a, Sp, C>
+where
+    Sp: SearchSpace,
+    Sp::State: DirectedState,
+    C: TimedChecker<Sp::State>,
+{
+    fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        let stability = self.stability.on_expand(ctx.expanded, ctx.parent);
+        self.clock += self.cost.bookkeeping;
+        let mut now = self.clock;
+        let mut barrier = now;
+
+        // Demand states: memo first, then dispatch (lines 03–06).
+        let mut results = Vec::with_capacity(demand.len());
+        let mut outstanding = 0usize;
+        for &s in demand {
+            let idx = self.space.index(s);
+            let memo = idx.and_then(|i| self.table.lookup_demand(i));
+            match memo {
+                Some(free) => {
+                    now += self.cost.memo_lookup;
+                    // PENDING case: a speculated check still in flight only
+                    // costs its residual.
+                    if let Some(i) = idx {
+                        barrier = barrier.max(self.finish_time[i]);
+                    }
+                    self.stats.spec_hits += 1;
+                    results.push(free);
+                }
+                None => {
+                    now += self.cost.dispatch_serial;
+                    let (free, finish) = self
+                        .dispatch_check(s, now, true)
+                        .expect("queued dispatch always succeeds");
+                    if let Some(i) = idx {
+                        self.table.record(i, free, Provenance::Demand);
+                        self.finish_time[i] = finish;
+                    }
+                    barrier = barrier.max(finish);
+                    outstanding += 1;
+                    self.stats.demand_computed += 1;
+                    results.push(free);
+                }
+            }
+        }
+
+        // Runahead (lines 07–17): only with outstanding demand work, a
+        // known direction, and the throttle's consent.
+        let mut spec_issued_now = 0u32;
+        if self.config.runahead && outstanding > 0 && ctx.parent.is_some() {
+            if stability >= self.config.stability_threshold {
+                self.stats.predictor_triggers += 1;
+                let chain = self.predictor.predict(ctx.expanded, ctx.parent);
+                let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
+                'runahead: for pred_n in chain {
+                    neigh.clear();
+                    self.space.neighbors(pred_n, &mut neigh);
+                    for &(nb, _) in &neigh {
+                        let Some(i) = self.space.index(nb) else { continue };
+                        if self.table.status(i).is_known() {
+                            continue;
+                        }
+                        now += self.cost.spec_issue;
+                        // "while freeContexts > 0": speculation only uses
+                        // idle contexts; it never queues.
+                        let Some((free, finish)) = self.dispatch_check(nb, now, false) else {
+                            break 'runahead;
+                        };
+                        self.table.record(i, free, Provenance::Speculative);
+                        self.finish_time[i] = finish;
+                        self.stats.spec_issued += 1;
+                        spec_issued_now += 1;
+                    }
+                }
+            } else {
+                self.stats.throttled += 1;
+            }
+        }
+
+        // Join (line 18): the expansion completes when the core has issued
+        // everything and all demand results have returned.
+        let joined = now.max(barrier);
+        self.stall_cycles += barrier.saturating_sub(now);
+        // Per-neighbor evaluation of free results (lines 19–21).
+        let eval = self.cost.neighbor_eval * results.iter().filter(|&&f| f).count() as u64;
+        self.clock = joined + eval;
+
+        self.stats.per_expansion.push((outstanding as u32, spec_issued_now));
+        self.stats.spec_used = self.table.spec_used();
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_geom::Cell2;
+    use racod_grid::{BitGrid2, Occupancy2};
+    use racod_search::{astar, AstarConfig, GridSpace2};
+
+    /// A checker with a fixed cost, free everywhere inside the grid.
+    struct FixedCostChecker<'g> {
+        grid: &'g BitGrid2,
+        cycles: u64,
+    }
+
+    impl<'g> TimedChecker<Cell2> for FixedCostChecker<'g> {
+        fn check(&mut self, _unit: usize, s: Cell2) -> (bool, u64) {
+            (self.grid.occupied(s) == Some(false), self.cycles)
+        }
+    }
+
+    fn run(grid: &BitGrid2, cfg: TimedOracleConfig, check_cycles: u64) -> (bool, PlanTiming, RasexpStats) {
+        let space = GridSpace2::eight_connected(grid.width(), grid.height());
+        let mut oracle = TimedOracle::new(
+            &space,
+            FixedCostChecker { grid, cycles: check_cycles },
+            CostModel::racod(),
+            cfg,
+        );
+        let r = astar(
+            &space,
+            Cell2::new(1, 1),
+            Cell2::new((grid.width() - 2) as i64, (grid.height() - 2) as i64),
+            &AstarConfig::default(),
+            &mut oracle,
+        );
+        (r.found(), oracle.timing(), oracle.stats().clone())
+    }
+
+    #[test]
+    fn runahead_beats_baseline_wall_clock() {
+        let grid = BitGrid2::new(64, 64);
+        let (f1, base, _) = run(&grid, TimedOracleConfig::baseline(1), 200);
+        let (f2, rac, stats) = run(&grid, TimedOracleConfig::runahead(8), 200);
+        assert!(f1 && f2);
+        assert!(
+            rac.cycles < base.cycles / 2,
+            "runahead {} vs baseline {}",
+            rac.cycles,
+            base.cycles
+        );
+        assert!(stats.spec_issued > 0);
+    }
+
+    #[test]
+    fn more_units_reduce_time() {
+        let grid = BitGrid2::new(96, 96);
+        let mut prev = u64::MAX;
+        for units in [1usize, 4, 16] {
+            let (_, t, _) = run(&grid, TimedOracleConfig::runahead(units), 300);
+            assert!(t.cycles <= prev, "units {units}: {} > {}", t.cycles, prev);
+            prev = t.cycles;
+        }
+    }
+
+    #[test]
+    fn stalls_shrink_with_runahead() {
+        let grid = BitGrid2::new(64, 64);
+        let (_, base, _) = run(&grid, TimedOracleConfig::baseline(8), 400);
+        let (_, rac, _) = run(&grid, TimedOracleConfig::runahead(8), 400);
+        assert!(rac.stall_cycles < base.stall_cycles);
+    }
+
+    #[test]
+    fn expensive_checks_increase_time() {
+        let grid = BitGrid2::new(48, 48);
+        let (_, cheap, _) = run(&grid, TimedOracleConfig::baseline(1), 10);
+        let (_, dear, _) = run(&grid, TimedOracleConfig::baseline(1), 1000);
+        assert!(dear.cycles > cheap.cycles * 2);
+    }
+
+    #[test]
+    fn verdicts_match_functional_oracle() {
+        // Timing must never change results.
+        let mut grid = BitGrid2::new(48, 48);
+        grid.fill_rect(20, 0, 22, 40, true);
+        let space = GridSpace2::eight_connected(48, 48);
+        let cfg = AstarConfig { record_expansions: true, ..Default::default() };
+
+        let mut plain = racod_search::FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let rb = astar(&space, Cell2::new(1, 1), Cell2::new(46, 46), &cfg, &mut plain);
+
+        let mut timed = TimedOracle::new(
+            &space,
+            FixedCostChecker { grid: &grid, cycles: 123 },
+            CostModel::racod(),
+            TimedOracleConfig::runahead(16),
+        );
+        let rt = astar(&space, Cell2::new(1, 1), Cell2::new(46, 46), &cfg, &mut timed);
+
+        assert_eq!(rb.path, rt.path);
+        assert_eq!(rb.expansion_order, rt.expansion_order);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let grid = BitGrid2::new(64, 64);
+        let (_, t, _) = run(&grid, TimedOracleConfig::runahead(8), 300);
+        assert!(t.unit_utilization > 0.0 && t.unit_utilization <= 1.0);
+    }
+
+    #[test]
+    fn timing_fields_are_consistent() {
+        let grid = BitGrid2::new(64, 64);
+        let (_, t, _) = run(&grid, TimedOracleConfig::runahead(4), 250);
+        assert!(t.cycles > 0);
+        assert!(t.busy_cycles > 0);
+        let max_busy = t.cycles * 4;
+        assert!(t.busy_cycles <= max_busy, "busy {} > wall x units {}", t.busy_cycles, max_busy);
+    }
+}
+
+#[cfg(test)]
+mod pending_tests {
+    use super::*;
+    use racod_geom::Cell2;
+    use racod_grid::{BitGrid2, Occupancy2};
+    use racod_search::{astar, AstarConfig, GridSpace2};
+
+    /// A checker whose per-check cost is large, to make in-flight
+    /// speculative checks observable at demand time (the PENDING case).
+    struct SlowChecker<'g> {
+        grid: &'g BitGrid2,
+    }
+
+    impl<'g> TimedChecker<Cell2> for SlowChecker<'g> {
+        fn check(&mut self, _unit: usize, s: Cell2) -> (bool, u64) {
+            (self.grid.occupied(s) == Some(false), 5_000)
+        }
+    }
+
+    #[test]
+    fn pending_speculation_overlaps_partially() {
+        // With very slow checks and deep runahead, demand requests often
+        // land on speculative checks still in flight. The PENDING path must
+        // charge only the residual wait, so total time sits strictly
+        // between "all stalls hidden" (perfect coverage) and "no overlap at
+        // all" (baseline).
+        let grid = BitGrid2::new(96, 96);
+        let space = GridSpace2::eight_connected(96, 96);
+        let run = |cfg: TimedOracleConfig| {
+            let mut oracle =
+                TimedOracle::new(&space, SlowChecker { grid: &grid }, CostModel::racod(), cfg);
+            let r = astar(
+                &space,
+                Cell2::new(1, 1),
+                Cell2::new(94, 94),
+                &AstarConfig::default(),
+                &mut oracle,
+            );
+            assert!(r.found());
+            oracle.timing()
+        };
+        let baseline = run(TimedOracleConfig::baseline(8));
+        let runahead = run(TimedOracleConfig::runahead(8));
+        assert!(
+            runahead.cycles < baseline.cycles,
+            "overlap must help: {} vs {}",
+            runahead.cycles,
+            baseline.cycles
+        );
+        // But slow checks cannot be fully hidden: stalls remain non-zero
+        // (the residual waits of the PENDING path).
+        assert!(runahead.stall_cycles > 0, "5k-cycle checks cannot vanish");
+    }
+}

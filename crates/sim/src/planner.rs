@@ -1,0 +1,590 @@
+//! One-call planning entry points per platform.
+//!
+//! Each function runs a *real* search over a real grid and returns both the
+//! functional result and the simulated timing, so experiment harnesses can
+//! compute speedups as ratios of cycle counts.
+
+use crate::cost::CostModel;
+use crate::footprint::{Footprint2, Footprint3};
+use crate::oracle::{PlanTiming, TimedChecker, TimedOracle, TimedOracleConfig};
+use racod_codacc::{software_check_2d, software_check_3d, CodaccPool, CodaccTiming};
+use racod_geom::{Cell2, Cell3};
+use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
+use racod_mem::{CacheConfig, CacheStats, LatencyModel};
+use racod_rasexp::RasexpStats;
+use racod_search::{astar, AstarConfig, GridSpace2, GridSpace3, SearchResult};
+
+/// A 2D planning scenario: grid + footprint + endpoints + search config.
+#[derive(Debug, Clone)]
+pub struct Scenario2<'g> {
+    /// The environment.
+    pub grid: &'g BitGrid2,
+    /// The robot footprint.
+    pub footprint: Footprint2,
+    /// Start state.
+    pub start: Cell2,
+    /// Goal state.
+    pub goal: Cell2,
+    /// The search space (connectivity + heuristic).
+    pub space: GridSpace2,
+    /// Search configuration (weight, recording).
+    pub astar: AstarConfig,
+}
+
+impl<'g> Scenario2<'g> {
+    /// Creates a scenario with the car footprint, 8-connectivity, Euclidean
+    /// heuristic, and endpoints at opposite corners (snapped to free space
+    /// via [`Scenario2::with_free_endpoints`] if needed).
+    pub fn new(grid: &'g BitGrid2) -> Self {
+        Scenario2 {
+            grid,
+            footprint: Footprint2::car(),
+            start: Cell2::new(1, 1),
+            goal: Cell2::new(grid.width() as i64 - 2, grid.height() as i64 - 2),
+            space: GridSpace2::eight_connected(grid.width(), grid.height()),
+            astar: AstarConfig::default(),
+        }
+    }
+
+    /// Sets start/goal to the nearest cells where the *robot footprint*
+    /// (not just the cell) is collision-free, so the search never starts
+    /// inside a wall or squeezed against one.
+    pub fn with_free_endpoints(mut self, sx: i64, sy: i64, gx: i64, gy: i64) -> Self {
+        // Snap with provisional orientations, then re-verify: orientation
+        // depends on the goal, so a second pass settles both.
+        let mut goal = free_near_footprint_2d(self.grid, &self.footprint, gx, gy, Cell2::new(sx, sy));
+        let mut start = free_near_footprint_2d(self.grid, &self.footprint, sx, sy, goal);
+        for _ in 0..3 {
+            let g2 = free_near_footprint_2d(self.grid, &self.footprint, gx, gy, start);
+            let s2 = free_near_footprint_2d(self.grid, &self.footprint, sx, sy, g2);
+            if g2 == goal && s2 == start {
+                break;
+            }
+            goal = g2;
+            start = s2;
+        }
+        self.start = start;
+        self.goal = goal;
+        self
+    }
+
+    /// Replaces the footprint.
+    pub fn with_footprint(mut self, footprint: Footprint2) -> Self {
+        self.footprint = footprint;
+        self
+    }
+
+    /// Replaces the search space.
+    pub fn with_space(mut self, space: GridSpace2) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Replaces the search configuration.
+    pub fn with_astar(mut self, astar: AstarConfig) -> Self {
+        self.astar = astar;
+        self
+    }
+}
+
+/// Finds the cell nearest `(x, y)` at which the robot footprint (oriented
+/// toward `toward`) is collision-free.
+///
+/// # Panics
+///
+/// Panics if no such cell exists anywhere on the grid.
+pub fn free_near_footprint_2d(
+    grid: &BitGrid2,
+    footprint: &Footprint2,
+    x: i64,
+    y: i64,
+    toward: Cell2,
+) -> Cell2 {
+    for radius in 0..grid.width().max(grid.height()) as i64 {
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                if dx.abs().max(dy.abs()) != radius {
+                    continue;
+                }
+                let c = Cell2::new(x + dx, y + dy);
+                let obb = footprint.obb_at(c, toward);
+                if software_check_2d(grid, &obb).verdict.is_free() {
+                    return c;
+                }
+            }
+        }
+    }
+    panic!("grid has no footprint-free cell near ({x}, {y})");
+}
+
+/// Finds the free cell nearest `(x, y)` by an expanding ring scan.
+///
+/// # Panics
+///
+/// Panics if the grid has no free cell at all.
+pub fn free_near_2d(grid: &BitGrid2, x: i64, y: i64) -> Cell2 {
+    for radius in 0..grid.width().max(grid.height()) as i64 {
+        for dy in -radius..=radius {
+            for dx in -radius..=radius {
+                if dx.abs().max(dy.abs()) != radius {
+                    continue;
+                }
+                let c = Cell2::new(x + dx, y + dy);
+                if grid.occupied(c) == Some(false) {
+                    return c;
+                }
+            }
+        }
+    }
+    panic!("grid has no free cell near ({x}, {y})");
+}
+
+/// Finds the voxel nearest `(x, y, z)` at which the 3D robot footprint
+/// (yawed toward `toward`) is collision-free.
+///
+/// # Panics
+///
+/// Panics if no such voxel exists anywhere on the grid.
+pub fn free_near_footprint_3d(
+    grid: &BitGrid3,
+    footprint: &Footprint3,
+    at: (i64, i64, i64),
+    toward: Cell3,
+) -> Cell3 {
+    let (x, y, z) = at;
+    let max_r = grid.size_x().max(grid.size_y()).max(grid.size_z()) as i64;
+    for radius in 0..max_r {
+        for dz in -radius..=radius {
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    if dx.abs().max(dy.abs()).max(dz.abs()) != radius {
+                        continue;
+                    }
+                    let c = Cell3::new(x + dx, y + dy, z + dz);
+                    let obb = footprint.obb_at(c, toward);
+                    if software_check_3d(grid, &obb).verdict.is_free() {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+    panic!("grid has no footprint-free voxel near ({x}, {y}, {z})");
+}
+
+/// Finds the free voxel nearest `(x, y, z)` by an expanding shell scan.
+///
+/// # Panics
+///
+/// Panics if the grid has no free voxel at all.
+pub fn free_near_3d(grid: &BitGrid3, x: i64, y: i64, z: i64) -> Cell3 {
+    let max_r = grid.size_x().max(grid.size_y()).max(grid.size_z()) as i64;
+    for radius in 0..max_r {
+        for dz in -radius..=radius {
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    if dx.abs().max(dy.abs()).max(dz.abs()) != radius {
+                        continue;
+                    }
+                    let c = Cell3::new(x + dx, y + dy, z + dz);
+                    if grid.occupied(c) == Some(false) {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+    panic!("grid has no free voxel near ({x}, {y}, {z})");
+}
+
+/// A 3D planning scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario3<'g> {
+    /// The environment.
+    pub grid: &'g BitGrid3,
+    /// The robot footprint.
+    pub footprint: Footprint3,
+    /// Start state.
+    pub start: Cell3,
+    /// Goal state.
+    pub goal: Cell3,
+    /// The search space.
+    pub space: GridSpace3,
+    /// Search configuration.
+    pub astar: AstarConfig,
+}
+
+impl<'g> Scenario3<'g> {
+    /// Creates a drone scenario with 26-connectivity and Euclidean
+    /// heuristic.
+    pub fn new(grid: &'g BitGrid3) -> Self {
+        Scenario3 {
+            grid,
+            footprint: Footprint3::drone(),
+            start: Cell3::new(2, 2, 2),
+            goal: Cell3::new(
+                grid.size_x() as i64 - 3,
+                grid.size_y() as i64 - 3,
+                grid.size_z() as i64 / 2,
+            ),
+            space: GridSpace3::twenty_six_connected(grid.size_x(), grid.size_y(), grid.size_z()),
+            astar: AstarConfig::default(),
+        }
+    }
+
+    /// Sets start/goal to the nearest voxels where the robot footprint is
+    /// collision-free.
+    pub fn with_free_endpoints(
+        mut self,
+        s: (i64, i64, i64),
+        g: (i64, i64, i64),
+    ) -> Self {
+        let mut goal =
+            free_near_footprint_3d(self.grid, &self.footprint, g, Cell3::new(s.0, s.1, s.2));
+        let mut start = free_near_footprint_3d(self.grid, &self.footprint, s, goal);
+        for _ in 0..3 {
+            let g2 = free_near_footprint_3d(self.grid, &self.footprint, g, start);
+            let s2 = free_near_footprint_3d(self.grid, &self.footprint, s, g2);
+            if g2 == goal && s2 == start {
+                break;
+            }
+            goal = g2;
+            start = s2;
+        }
+        self.start = start;
+        self.goal = goal;
+        self
+    }
+}
+
+/// The result of one timed planning run.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome<S> {
+    /// The functional search result.
+    pub result: SearchResult<S>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Detailed timing.
+    pub timing: PlanTiming,
+    /// RASExp statistics (zeroed fields for non-runahead runs).
+    pub stats: RasexpStats,
+    /// Aggregate L0 statistics (RACOD runs only).
+    pub l0_stats: Option<CacheStats>,
+}
+
+/// Software checker over a 2D grid (one thread's work per check).
+struct SwChecker2<'g> {
+    grid: &'g BitGrid2,
+    footprint: Footprint2,
+    goal: Cell2,
+    cost: CostModel,
+}
+
+impl<'g> TimedChecker<Cell2> for SwChecker2<'g> {
+    fn check(&mut self, _unit: usize, s: Cell2) -> (bool, u64) {
+        let obb = self.footprint.obb_at(s, self.goal);
+        let out = software_check_2d(self.grid, &obb);
+        (out.verdict.is_free(), self.cost.sw_check_cycles(out.cells_checked))
+    }
+}
+
+/// Software checker over a 3D grid.
+struct SwChecker3<'g> {
+    grid: &'g BitGrid3,
+    footprint: Footprint3,
+    goal: Cell3,
+    cost: CostModel,
+}
+
+impl<'g> TimedChecker<Cell3> for SwChecker3<'g> {
+    fn check(&mut self, _unit: usize, s: Cell3) -> (bool, u64) {
+        let obb = self.footprint.obb_at(s, self.goal);
+        let out = software_check_3d(self.grid, &obb);
+        (out.verdict.is_free(), self.cost.sw_check_cycles(out.cells_checked))
+    }
+}
+
+/// CODAcc checker over a 2D grid (per-unit L0 state lives in the pool).
+struct HwChecker2<'g> {
+    grid: &'g BitGrid2,
+    footprint: Footprint2,
+    goal: Cell2,
+    pool: CodaccPool,
+}
+
+impl<'g> TimedChecker<Cell2> for HwChecker2<'g> {
+    fn check(&mut self, unit: usize, s: Cell2) -> (bool, u64) {
+        let obb = self.footprint.obb_at(s, self.goal);
+        let out = self.pool.check_2d(unit, self.grid, &obb);
+        (out.verdict.is_free(), out.cycles)
+    }
+}
+
+/// CODAcc checker over a 3D grid.
+struct HwChecker3<'g> {
+    grid: &'g BitGrid3,
+    footprint: Footprint3,
+    goal: Cell3,
+    pool: CodaccPool,
+}
+
+impl<'g> TimedChecker<Cell3> for HwChecker3<'g> {
+    fn check(&mut self, unit: usize, s: Cell3) -> (bool, u64) {
+        let obb = self.footprint.obb_at(s, self.goal);
+        let out = self.pool.check_3d(unit, self.grid, &obb);
+        (out.verdict.is_free(), out.cycles)
+    }
+}
+
+/// Plans on the software platform: `threads` contexts, optional RASExp.
+///
+/// `runahead = None` is baseline multithreading (BM); `Some(depth)` enables
+/// RASExp with the given MAX_DEPTH.
+pub fn plan_software_2d(
+    sc: &Scenario2<'_>,
+    threads: usize,
+    runahead: Option<usize>,
+    cost: &CostModel,
+) -> PlanOutcome<Cell2> {
+    let checker = SwChecker2 { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, cost: *cost };
+    let config = match runahead {
+        None => TimedOracleConfig::baseline(threads),
+        Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
+    };
+    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    PlanOutcome {
+        result,
+        cycles: oracle.clock(),
+        timing: oracle.timing(),
+        stats: oracle.stats().clone(),
+        l0_stats: None,
+    }
+}
+
+/// Plans on the RACOD platform: `units` CODAcc accelerators with RASExp
+/// (runahead depth = unit count, as in the paper's sweeps).
+pub fn plan_racod_2d(sc: &Scenario2<'_>, units: usize, cost: &CostModel) -> PlanOutcome<Cell2> {
+    plan_racod_2d_ext(sc, units, cost, LatencyModel::default(), CacheConfig::l0_default(), true)
+}
+
+/// [`plan_racod_2d`] with explicit memory latencies, L0 geometry, and a
+/// runahead toggle (for the §5.2 "one CODAcc, no RASExp" point and the
+/// Fig 7/11 sweeps).
+pub fn plan_racod_2d_ext(
+    sc: &Scenario2<'_>,
+    units: usize,
+    cost: &CostModel,
+    latency: LatencyModel,
+    l0: CacheConfig,
+    runahead: bool,
+) -> PlanOutcome<Cell2> {
+    let pool = CodaccPool::with_config(
+        units,
+        CodaccTiming { dispatch_cycles: 0, ..Default::default() },
+        l0,
+        CacheConfig::l1_default(),
+        latency,
+    );
+    let checker = HwChecker2 { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, pool };
+    let config = if runahead {
+        TimedOracleConfig::runahead(units)
+    } else {
+        TimedOracleConfig::baseline(units)
+    };
+    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
+    PlanOutcome {
+        result,
+        cycles: oracle.clock(),
+        timing: oracle.timing(),
+        stats: oracle.stats().clone(),
+        l0_stats,
+    }
+}
+
+/// Plans on the software platform in 3D.
+pub fn plan_software_3d(
+    sc: &Scenario3<'_>,
+    threads: usize,
+    runahead: Option<usize>,
+    cost: &CostModel,
+) -> PlanOutcome<Cell3> {
+    let checker = SwChecker3 { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, cost: *cost };
+    let config = match runahead {
+        None => TimedOracleConfig::baseline(threads),
+        Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
+    };
+    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    PlanOutcome {
+        result,
+        cycles: oracle.clock(),
+        timing: oracle.timing(),
+        stats: oracle.stats().clone(),
+        l0_stats: None,
+    }
+}
+
+/// Plans on the RACOD platform in 3D.
+pub fn plan_racod_3d(sc: &Scenario3<'_>, units: usize, cost: &CostModel) -> PlanOutcome<Cell3> {
+    plan_racod_3d_ext(sc, units, cost, LatencyModel::default(), true)
+}
+
+/// [`plan_racod_3d`] with a runahead toggle.
+pub fn plan_racod_3d_ext(
+    sc: &Scenario3<'_>,
+    units: usize,
+    cost: &CostModel,
+    latency: LatencyModel,
+    runahead: bool,
+) -> PlanOutcome<Cell3> {
+    let pool = CodaccPool::with_config(
+        units,
+        CodaccTiming { dispatch_cycles: 0, ..Default::default() },
+        CacheConfig::l0_default(),
+        CacheConfig::l1_default(),
+        latency,
+    );
+    let checker = HwChecker3 { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, pool };
+    let config = if runahead {
+        TimedOracleConfig::runahead(units)
+    } else {
+        TimedOracleConfig::baseline(units)
+    };
+    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
+    PlanOutcome {
+        result,
+        cycles: oracle.clock(),
+        timing: oracle.timing(),
+        stats: oracle.stats().clone(),
+        l0_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_grid::gen::{campus_3d, city_map, CityName};
+
+    #[test]
+    fn racod_beats_software_baseline_2d() {
+        let grid = city_map(CityName::Boston, 256, 256);
+        let sc = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
+        let base = plan_software_2d(&sc, 4, None, &CostModel::i3_software());
+        let racod = plan_racod_2d(&sc, 8, &CostModel::racod());
+        assert!(base.result.found());
+        assert!(racod.result.found());
+        assert_eq!(base.result.path, racod.result.path, "same functional answer");
+        assert!(racod.cycles < base.cycles);
+    }
+
+    #[test]
+    fn speedup_scales_with_units_2d() {
+        let grid = city_map(CityName::Berlin, 256, 256);
+        let sc = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
+        let cost = CostModel::racod();
+        let t1 = plan_racod_2d(&sc, 1, &cost).cycles;
+        let t8 = plan_racod_2d(&sc, 8, &cost).cycles;
+        let t32 = plan_racod_2d(&sc, 32, &cost).cycles;
+        assert!(t8 < t1);
+        // Gains flatten at the tail (Fig 3's curve is concave); allow a
+        // small regression from deeper-runahead issue overhead.
+        assert!(t32 as f64 <= t8 as f64 * 1.10, "t32 {t32} vs t8 {t8}");
+    }
+
+    #[test]
+    fn no_runahead_single_unit_still_helps() {
+        let grid = city_map(CityName::Paris, 256, 256);
+        let sc = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
+        let base = plan_software_2d(&sc, 4, None, &CostModel::i3_software());
+        let one = plan_racod_2d_ext(
+            &sc,
+            1,
+            &CostModel::racod(),
+            LatencyModel::default(),
+            CacheConfig::l0_default(),
+            false,
+        );
+        assert!(one.result.found());
+        assert!(
+            one.cycles < base.cycles,
+            "1 CODAcc (no RASExp) {} vs baseline {}",
+            one.cycles,
+            base.cycles
+        );
+        assert_eq!(one.stats.spec_issued, 0, "runahead disabled");
+    }
+
+    #[test]
+    fn l0_stats_present_only_for_racod() {
+        let grid = city_map(CityName::Boston, 256, 256);
+        let sc = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
+        assert!(plan_software_2d(&sc, 2, None, &CostModel::i3_software()).l0_stats.is_none());
+        let racod = plan_racod_2d(&sc, 2, &CostModel::racod());
+        let l0 = racod.l0_stats.unwrap();
+        assert!(l0.accesses() > 0);
+        // Within a check the reduction unit already dedups blocks, so L0
+        // hits come only from between-check footprint overlap.
+        assert!(l0.hit_ratio() > 0.05, "L0 should filter some share: {}", l0.hit_ratio());
+    }
+
+    #[test]
+    fn communication_latency_hurts_more_with_one_unit() {
+        let grid = city_map(CityName::Shanghai, 256, 256);
+        let sc = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
+        let speedup = |units: usize, comm: u64| {
+            let base = plan_software_2d(&sc, 4, None, &CostModel::i3_software()).cycles as f64;
+            let t = plan_racod_2d(&sc, units, &CostModel::racod().with_comm_latency(comm)).cycles
+                as f64;
+            base / t
+        };
+        let one_tight = speedup(1, 1);
+        let one_far = speedup(1, 100);
+        let many_tight = speedup(32, 1);
+        let many_far = speedup(32, 100);
+        assert!(one_far < one_tight);
+        assert!(
+            many_far / many_tight > one_far / one_tight,
+            "many units amortize communication better"
+        );
+    }
+
+    #[test]
+    fn racod_3d_works_and_wins() {
+        let grid = campus_3d(3, 48, 48, 24);
+        let sc = Scenario3::new(&grid).with_free_endpoints((3, 3, 6), (44, 44, 10));
+        let base = plan_software_3d(&sc, 4, None, &CostModel::i3_software());
+        let racod = plan_racod_3d(&sc, 8, &CostModel::racod());
+        assert!(base.result.found(), "baseline plan failed");
+        assert_eq!(base.result.path, racod.result.path);
+        assert!(racod.cycles < base.cycles);
+    }
+
+    #[test]
+    fn free_near_snaps_to_free() {
+        let mut grid = BitGrid2::new(16, 16);
+        grid.fill_rect(0, 0, 15, 15, true);
+        grid.set(Cell2::new(9, 9), false);
+        assert_eq!(free_near_2d(&grid, 0, 0), Cell2::new(9, 9));
+    }
+
+    #[test]
+    fn software_runahead_helps_on_threads() {
+        let grid = city_map(CityName::Boston, 256, 256);
+        let sc = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
+        let cost = CostModel::xeon_software();
+        let bm = plan_software_2d(&sc, 32, None, &cost);
+        let ras = plan_software_2d(&sc, 32, Some(32), &cost);
+        assert_eq!(bm.result.path, ras.result.path);
+        assert!(
+            ras.cycles < bm.cycles,
+            "software RASExp {} vs BM {}",
+            ras.cycles,
+            bm.cycles
+        );
+    }
+}

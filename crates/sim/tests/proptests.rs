@@ -1,0 +1,126 @@
+//! Property-based tests of the timing simulator: timing must never change
+//! functional results, and the cycle accounting must respect basic sanity
+//! bounds under arbitrary configurations.
+
+use proptest::prelude::*;
+use racod_geom::Cell2;
+use racod_grid::gen::random_map;
+use racod_grid::{BitGrid2, Occupancy2};
+use racod_search::{astar, AstarConfig, FnOracle, GridSpace2};
+use racod_sim::{CostModel, TimedChecker, TimedOracle, TimedOracleConfig};
+
+struct FixedChecker<'g> {
+    grid: &'g BitGrid2,
+    cycles: u64,
+}
+
+impl<'g> TimedChecker<Cell2> for FixedChecker<'g> {
+    fn check(&mut self, _unit: usize, s: Cell2) -> (bool, u64) {
+        (self.grid.occupied(s) == Some(false), self.cycles)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The timed oracle returns exactly the baseline search result for any
+    /// context count, runahead depth, check cost, and map.
+    #[test]
+    fn timing_is_functionally_transparent(
+        seed in 0u64..5000,
+        density in 0.0f64..0.35,
+        contexts in 1usize..40,
+        depth in 1usize..40,
+        check_cycles in 1u64..5000,
+        runahead in any::<bool>(),
+    ) {
+        let grid = random_map(seed, 24, 24, density);
+        let space = GridSpace2::eight_connected(24, 24);
+        let cfg = AstarConfig { record_expansions: true, ..Default::default() };
+        let (s, g) = (Cell2::new(0, 0), Cell2::new(23, 23));
+
+        let mut plain = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let reference = astar(&space, s, g, &cfg, &mut plain);
+
+        let oconfig = TimedOracleConfig {
+            contexts,
+            runahead,
+            max_depth: depth,
+            stability_threshold: 1,
+        };
+        let mut timed = TimedOracle::new(
+            &space,
+            FixedChecker { grid: &grid, cycles: check_cycles },
+            CostModel::racod(),
+            oconfig,
+        );
+        let result = astar(&space, s, g, &cfg, &mut timed);
+
+        prop_assert_eq!(&reference.path, &result.path);
+        prop_assert_eq!(&reference.expansion_order, &result.expansion_order);
+        prop_assert!(timed.clock() > 0);
+    }
+
+    /// Cycle accounting sanity: wall clock is at least the serial
+    /// bookkeeping, busy cycles never exceed wall x contexts, and stalls
+    /// never exceed the wall clock.
+    #[test]
+    fn timing_bounds_hold(
+        seed in 0u64..5000,
+        contexts in 1usize..16,
+        check_cycles in 1u64..2000,
+    ) {
+        let grid = random_map(seed, 20, 20, 0.15);
+        let space = GridSpace2::eight_connected(20, 20);
+        let mut timed = TimedOracle::new(
+            &space,
+            FixedChecker { grid: &grid, cycles: check_cycles },
+            CostModel::racod(),
+            TimedOracleConfig::runahead(contexts),
+        );
+        let r = astar(
+            &space,
+            Cell2::new(0, 0),
+            Cell2::new(19, 19),
+            &AstarConfig::default(),
+            &mut timed,
+        );
+        let t = timed.timing();
+        prop_assume!(r.stats.expansions > 1);
+        let min_serial = r.stats.expansions * CostModel::racod().bookkeeping;
+        prop_assert!(t.cycles >= min_serial, "wall {} < serial floor {}", t.cycles, min_serial);
+        prop_assert!(t.busy_cycles <= t.cycles * contexts as u64);
+        prop_assert!(t.stall_cycles <= t.cycles);
+        prop_assert!(t.unit_utilization >= 0.0 && t.unit_utilization <= 1.0);
+    }
+
+    /// More contexts never make planning slower than one context (with
+    /// runahead disabled, so the comparison isolates demand parallelism).
+    #[test]
+    fn demand_parallelism_is_monotone(
+        seed in 0u64..2000,
+        check_cycles in 50u64..2000,
+    ) {
+        let grid = random_map(seed, 20, 20, 0.1);
+        let space = GridSpace2::eight_connected(20, 20);
+        let run = |contexts: usize| {
+            let mut timed = TimedOracle::new(
+                &space,
+                FixedChecker { grid: &grid, cycles: check_cycles },
+                CostModel::racod(),
+                TimedOracleConfig::baseline(contexts),
+            );
+            let _ = astar(
+                &space,
+                Cell2::new(0, 0),
+                Cell2::new(19, 19),
+                &AstarConfig::default(),
+                &mut timed,
+            );
+            timed.clock()
+        };
+        let one = run(1);
+        let eight = run(8);
+        prop_assert!(eight <= one, "8 contexts {eight} slower than 1 {one}");
+    }
+}

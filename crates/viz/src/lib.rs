@@ -1,0 +1,315 @@
+#![warn(missing_docs)]
+
+//! ASCII and PPM rendering of maps and exploration footprints.
+//!
+//! Regenerates the paper's Fig 4: the nodes explored during a search,
+//! classified by RASExp provenance — demand-computed (blue), accurate
+//! speculation (green), wasted speculation (red) — overlaid on the map.
+//! The cone-like exploration patterns of §2.2.2 are directly visible in
+//! the output.
+//!
+//! # Example
+//!
+//! ```
+//! use racod_viz::{render_ascii, CellClass};
+//! use racod_grid::BitGrid2;
+//!
+//! let grid = BitGrid2::new(8, 8);
+//! let art = render_ascii(&grid, |_c| CellClass::Unexplored);
+//! assert_eq!(art.lines().count(), 8);
+//! ```
+
+use racod_geom::Cell2;
+use racod_grid::{BitGrid2, Occupancy2};
+
+/// Classification of one cell for rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellClass {
+    /// Not touched by the search.
+    Unexplored,
+    /// Collision status computed on demand by the baseline algorithm.
+    Demand,
+    /// Speculated and later used (accurate prediction — green in Fig 4).
+    SpeculatedUsed,
+    /// Speculated but never used (misspeculation — red in Fig 4).
+    SpeculatedWasted,
+    /// On the final path.
+    Path,
+}
+
+impl CellClass {
+    /// The ASCII glyph for this class.
+    pub fn glyph(self) -> char {
+        match self {
+            CellClass::Unexplored => '.',
+            CellClass::Demand => 'o',
+            CellClass::SpeculatedUsed => '+',
+            CellClass::SpeculatedWasted => 'x',
+            CellClass::Path => '*',
+        }
+    }
+
+    /// The RGB color for this class in PPM output.
+    pub fn rgb(self) -> [u8; 3] {
+        match self {
+            CellClass::Unexplored => [235, 235, 235],
+            CellClass::Demand => [90, 120, 220],
+            CellClass::SpeculatedUsed => [60, 170, 60],
+            CellClass::SpeculatedWasted => [220, 70, 70],
+            CellClass::Path => [250, 200, 40],
+        }
+    }
+}
+
+/// Renders the grid as ASCII art, one character per cell, top row first.
+/// Occupied cells render as `#`; free cells take the glyph of their class.
+pub fn render_ascii<F: Fn(Cell2) -> CellClass>(grid: &BitGrid2, classify: F) -> String {
+    let (w, h) = (grid.width() as i64, grid.height() as i64);
+    let mut out = String::with_capacity(((w + 1) * h) as usize);
+    for y in (0..h).rev() {
+        for x in 0..w {
+            let c = Cell2::new(x, y);
+            let ch = if grid.occupied(c) == Some(true) {
+                '#'
+            } else {
+                classify(c).glyph()
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the grid as a binary PPM (P6) image, one pixel per cell.
+/// Occupied cells are dark; free cells take the color of their class.
+pub fn render_ppm<F: Fn(Cell2) -> CellClass>(grid: &BitGrid2, classify: F) -> Vec<u8> {
+    let (w, h) = (grid.width(), grid.height());
+    let mut out = Vec::with_capacity(64 + (w as usize) * (h as usize) * 3);
+    out.extend_from_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
+    for y in (0..h as i64).rev() {
+        for x in 0..w as i64 {
+            let c = Cell2::new(x, y);
+            let rgb = if grid.occupied(c) == Some(true) {
+                [40, 40, 40]
+            } else {
+                classify(c).rgb()
+            };
+            out.extend_from_slice(&rgb);
+        }
+    }
+    out
+}
+
+/// Counts how many cells of each class a classification assigns (used to
+/// summarize a footprint rendering in text).
+pub fn class_histogram<F: Fn(Cell2) -> CellClass>(
+    grid: &BitGrid2,
+    classify: F,
+) -> [(CellClass, u64); 5] {
+    let mut counts = [
+        (CellClass::Unexplored, 0u64),
+        (CellClass::Demand, 0),
+        (CellClass::SpeculatedUsed, 0),
+        (CellClass::SpeculatedWasted, 0),
+        (CellClass::Path, 0),
+    ];
+    for y in 0..grid.height() as i64 {
+        for x in 0..grid.width() as i64 {
+            let c = Cell2::new(x, y);
+            if grid.occupied(c) == Some(true) {
+                continue;
+            }
+            let class = classify(c);
+            for slot in &mut counts {
+                if slot.0 == class {
+                    slot.1 += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_dimensions_and_obstacles() {
+        let mut grid = BitGrid2::new(6, 4);
+        grid.set(Cell2::new(0, 3), true);
+        let art = render_ascii(&grid, |_| CellClass::Unexplored);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 6));
+        // Top-left of the rendering is (0, 3).
+        assert_eq!(lines[0].chars().next(), Some('#'));
+    }
+
+    #[test]
+    fn ascii_classes_render_distinct_glyphs() {
+        let grid = BitGrid2::new(5, 1);
+        let art = render_ascii(&grid, |c| match c.x {
+            0 => CellClass::Unexplored,
+            1 => CellClass::Demand,
+            2 => CellClass::SpeculatedUsed,
+            3 => CellClass::SpeculatedWasted,
+            _ => CellClass::Path,
+        });
+        assert_eq!(art.trim_end(), ".o+x*");
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let grid = BitGrid2::new(3, 2);
+        let ppm = render_ppm(&grid, |_| CellClass::Unexplored);
+        assert!(ppm.starts_with(b"P6\n3 2\n255\n"));
+        let header_len = b"P6\n3 2\n255\n".len();
+        assert_eq!(ppm.len(), header_len + 3 * 2 * 3);
+    }
+
+    #[test]
+    fn ppm_pixel_colors() {
+        let mut grid = BitGrid2::new(2, 1);
+        grid.set(Cell2::new(1, 0), true);
+        let ppm = render_ppm(&grid, |_| CellClass::Path);
+        let header_len = b"P6\n2 1\n255\n".len();
+        assert_eq!(&ppm[header_len..header_len + 3], &CellClass::Path.rgb());
+        assert_eq!(&ppm[header_len + 3..header_len + 6], &[40, 40, 40]);
+    }
+
+    #[test]
+    fn histogram_counts_free_cells_only() {
+        let mut grid = BitGrid2::new(4, 1);
+        grid.set(Cell2::new(3, 0), true);
+        let counts = class_histogram(&grid, |c| {
+            if c.x == 0 {
+                CellClass::Demand
+            } else {
+                CellClass::Unexplored
+            }
+        });
+        assert_eq!(counts[0], (CellClass::Unexplored, 2));
+        assert_eq!(counts[1], (CellClass::Demand, 1));
+        let total: u64 = counts.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 3, "occupied cell excluded");
+    }
+
+    #[test]
+    fn glyphs_are_unique() {
+        let glyphs = [
+            CellClass::Unexplored.glyph(),
+            CellClass::Demand.glyph(),
+            CellClass::SpeculatedUsed.glyph(),
+            CellClass::SpeculatedWasted.glyph(),
+            CellClass::Path.glyph(),
+        ];
+        let mut dedup = glyphs.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), glyphs.len());
+    }
+}
+
+/// Renders one z-layer of a 3D voxel grid as ASCII (`#` occupied, `.`
+/// free), top row first — useful for inspecting the campus environments
+/// and drone flight corridors layer by layer.
+///
+/// # Panics
+///
+/// Panics if `z` is outside the grid.
+pub fn render_slice_ascii(grid: &racod_grid::BitGrid3, z: i64) -> String {
+    use racod_grid::Occupancy3;
+    assert!(
+        z >= 0 && (z as u64) < grid.size_z() as u64,
+        "z-layer {z} outside grid of depth {}",
+        grid.size_z()
+    );
+    let (w, h) = (grid.size_x() as i64, grid.size_y() as i64);
+    let mut out = String::with_capacity(((w + 1) * h) as usize);
+    for y in (0..h).rev() {
+        for x in 0..w {
+            let occupied = grid
+                .occupied(racod_geom::Cell3::new(x, y, z))
+                .unwrap_or(true);
+            out.push(if occupied { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a vertical cross-section (fixed y) of a 3D voxel grid as ASCII,
+/// highest layer first — shows building skylines and flight clearances.
+///
+/// # Panics
+///
+/// Panics if `y` is outside the grid.
+pub fn render_elevation_ascii(grid: &racod_grid::BitGrid3, y: i64) -> String {
+    use racod_grid::Occupancy3;
+    assert!(
+        y >= 0 && (y as u64) < grid.size_y() as u64,
+        "y-row {y} outside grid of height {}",
+        grid.size_y()
+    );
+    let (w, d) = (grid.size_x() as i64, grid.size_z() as i64);
+    let mut out = String::with_capacity(((w + 1) * d) as usize);
+    for z in (0..d).rev() {
+        for x in 0..w {
+            let occupied = grid
+                .occupied(racod_geom::Cell3::new(x, y, z))
+                .unwrap_or(true);
+            out.push(if occupied { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod slice_tests {
+    use super::*;
+    use racod_geom::Cell3;
+    use racod_grid::BitGrid3;
+
+    #[test]
+    fn slice_renders_correct_layer() {
+        let mut g = BitGrid3::new(4, 3, 2);
+        g.set(Cell3::new(1, 0, 1), true);
+        let z0 = render_slice_ascii(&g, 0);
+        let z1 = render_slice_ascii(&g, 1);
+        assert!(!z0.contains('#'));
+        // (1, 0) is in the bottom text row of the rendering.
+        assert_eq!(z1.lines().last().unwrap().chars().nth(1), Some('#'));
+    }
+
+    #[test]
+    fn slice_dimensions() {
+        let g = BitGrid3::new(5, 4, 3);
+        let s = render_slice_ascii(&g, 2);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.lines().all(|l| l.len() == 5));
+    }
+
+    #[test]
+    fn elevation_shows_skyline() {
+        let mut g = BitGrid3::new(6, 3, 4);
+        // A building of height 3 at x=2.
+        g.fill_box(2, 1, 0, 2, 1, 2, true);
+        let e = render_elevation_ascii(&g, 1);
+        let lines: Vec<&str> = e.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Top layer (z=3) free; bottom three occupied at x=2.
+        assert_eq!(lines[0].chars().nth(2), Some('.'));
+        assert_eq!(lines[1].chars().nth(2), Some('#'));
+        assert_eq!(lines[3].chars().nth(2), Some('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn bad_layer_panics() {
+        let g = BitGrid3::new(2, 2, 2);
+        let _ = render_slice_ascii(&g, 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! Exploration-footprint visualization (paper Fig 4): run A* with RASExp
+//! on a city map and render which cells were demand-checked, speculated
+//! accurately, or misspeculated. Writes `footprint.ppm` and prints an
+//! ASCII crop.
+//!
+//! ```text
+//! cargo run --release --example footprint_viz
+//! ```
+
+use racod::experiments::{fig4, Scale};
+use racod::viz::CellClass;
+use std::fs;
+
+fn main() {
+    let data = fig4(Scale::Quick);
+    println!("{data}");
+
+    // Full-resolution image.
+    let ppm = data.ppm();
+    fs::write("footprint.ppm", &ppm).expect("write footprint.ppm");
+    println!("wrote footprint.ppm ({} bytes)", ppm.len());
+
+    // ASCII crop of the upper-left quadrant, downsampled 2x for terminals.
+    let ascii = data.ascii();
+    let lines: Vec<&str> = ascii.lines().collect();
+    println!("\nASCII crop (legend: # obstacle, o demand, + speculated-used, x wasted, * path):");
+    for line in lines.iter().step_by(2).take(40) {
+        let crop: String = line.chars().step_by(2).take(100).collect();
+        println!("{crop}");
+    }
+
+    // Summary counts.
+    for &(class, n) in &data.histogram {
+        if class != CellClass::Unexplored {
+            println!("{class:?}: {n} cells");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! End-to-end experiment smoke tests: every figure runner produces
+//! well-formed output at quick scale, and the headline qualitative claims
+//! of the paper hold.
+//!
+//! The per-figure *shape* assertions live next to the runners in
+//! `racod::experiments`; here we check cross-figure consistency.
+
+use racod::experiments::{self as exp, Scale};
+
+#[test]
+fn table2_and_fig6_are_cheap_and_render() {
+    let t2 = exp::table2();
+    assert!(t2.contains("Total"));
+
+    let f6 = exp::fig6(Scale::Quick);
+    assert!(f6.solved);
+    assert!(!f6.to_string().is_empty());
+}
+
+#[test]
+fn headline_chain_racod_beats_everything() {
+    // One shared quick-scale story: CODAcc alone helps, RASExp multiplies
+    // it, and the full RACOD stack beats the strongest software platform.
+    let f13 = exp::fig13(Scale::Quick);
+    let cross: std::collections::HashMap<&str, f64> = f13.cross.iter().cloned().collect();
+    let racod = cross["RACOD (32 CODAccs)"];
+    let xeon = cross["xeon 32t + RASExp"];
+    assert!(racod > xeon && xeon > 1.0, "ordering violated: racod {racod:.1}, xeon {xeon:.1}");
+}
+
+#[test]
+fn prediction_and_throttle_figures_are_consistent() {
+    // Fig 8's semantic accuracy on a structured city should exceed Fig 12's
+    // accuracy on 70% random clutter at the same aggressiveness — the
+    // "real environments are not so irregular" takeaway of §5.11.
+    let f8 = exp::fig8(Scale::Quick);
+    let city_acc_r32 = f8.series[0].semantic.last().unwrap().1;
+
+    let f12 = exp::fig12(Scale::Quick);
+    let clutter_acc = f12.cell(0.70, 1).unwrap().accuracy;
+    assert!(
+        city_acc_r32 > clutter_acc,
+        "city {city_acc_r32:.2} must beat 70% clutter {clutter_acc:.2}"
+    );
+}
+
+#[test]
+fn fig4_renders_to_disk_formats() {
+    let f4 = exp::fig4(Scale::Quick);
+    let ppm = f4.ppm();
+    assert!(ppm.starts_with(b"P6"));
+    // PPM payload is 3 bytes/pixel over the full map.
+    let ascii = f4.ascii();
+    assert!(ascii.lines().count() >= 128);
+}
