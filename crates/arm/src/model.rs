@@ -59,12 +59,7 @@ impl JointConfig {
 
     /// Euclidean distance in joint space.
     pub fn distance(&self, other: &JointConfig) -> f32 {
-        self.angles
-            .iter()
-            .zip(&other.angles)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f32>()
-            .sqrt()
+        self.angles.iter().zip(&other.angles).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt()
     }
 
     /// Moves from `self` toward `to` by at most `step` (joint-space norm).
@@ -146,11 +141,11 @@ impl ArmModel {
         ArmModel {
             base,
             links: [
-                LinkSpec { length: 4.0, width: 4.0, height: 4.0 },  // base column
+                LinkSpec { length: 4.0, width: 4.0, height: 4.0 }, // base column
                 LinkSpec { length: 10.0, width: 3.0, height: 3.0 }, // upper arm
                 LinkSpec { length: 10.0, width: 3.0, height: 3.0 }, // forearm
-                LinkSpec { length: 5.0, width: 2.5, height: 2.5 },  // wrist
-                LinkSpec { length: 4.0, width: 3.0, height: 2.0 },  // gripper
+                LinkSpec { length: 5.0, width: 2.5, height: 2.5 }, // wrist
+                LinkSpec { length: 4.0, width: 3.0, height: 2.0 }, // gripper
             ],
             axes: [JointAxis::Z, JointAxis::Y, JointAxis::Y, JointAxis::Y, JointAxis::X],
             limits: [
@@ -175,10 +170,7 @@ impl ArmModel {
 
     /// Whether every joint angle is within its limits.
     pub fn within_limits(&self, q: &JointConfig) -> bool {
-        q.angles()
-            .iter()
-            .zip(&self.limits)
-            .all(|(a, (lo, hi))| a >= lo && a <= hi)
+        q.angles().iter().zip(&self.limits).all(|(a, (lo, hi))| a >= lo && a <= hi)
     }
 
     /// Clamps a configuration into the joint limits.
@@ -214,13 +206,7 @@ impl ArmModel {
                 frame
             };
             let half = link_dir.apply(Vec3::new(0.0, link.width / 2.0, link.height / 2.0));
-            let obb = Obb3::new(
-                origin - half,
-                link.length,
-                link.width,
-                link.height,
-                link_dir,
-            );
+            let obb = Obb3::new(origin - half, link.length, link.width, link.height, link_dir);
             obbs.push(obb);
             origin = origin + link_dir.axis_x() * link.length;
         }
@@ -271,16 +257,21 @@ mod tests {
                 // The next link's frame origin equals the previous tip up to
                 // the half-cross-section offset of each box.
                 let next_origin = w[1].origin()
-                    + w[1]
-                        .rotation()
-                        .apply(Vec3::new(0.0, w[1].width() / 2.0, w[1].height() / 2.0));
-                let prev_tip_center = tip
-                    + w[0]
-                        .rotation()
-                        .apply(Vec3::new(0.0, w[0].width() / 2.0, w[0].height() / 2.0))
-                    - w[0]
-                        .rotation()
-                        .apply(Vec3::new(0.0, w[0].width() / 2.0, w[0].height() / 2.0));
+                    + w[1].rotation().apply(Vec3::new(
+                        0.0,
+                        w[1].width() / 2.0,
+                        w[1].height() / 2.0,
+                    ));
+                let prev_tip_center =
+                    tip + w[0].rotation().apply(Vec3::new(
+                        0.0,
+                        w[0].width() / 2.0,
+                        w[0].height() / 2.0,
+                    )) - w[0].rotation().apply(Vec3::new(
+                        0.0,
+                        w[0].width() / 2.0,
+                        w[0].height() / 2.0,
+                    ));
                 assert!(
                     (next_origin - prev_tip_center).norm() < 4.0,
                     "links disconnected at {q:?}"

@@ -27,7 +27,13 @@ pub struct RrtConfig {
 
 impl Default for RrtConfig {
     fn default() -> Self {
-        RrtConfig { step: 0.15, goal_bias: 0.1, goal_tolerance: 0.2, max_iterations: 20_000, seed: 7 }
+        RrtConfig {
+            step: 0.15,
+            goal_bias: 0.1,
+            goal_tolerance: 0.2,
+            max_iterations: 20_000,
+            seed: 7,
+        }
     }
 }
 

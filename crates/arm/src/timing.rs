@@ -135,12 +135,8 @@ pub fn time_rrt_run(
                 LatencyModel::default(),
             );
             let mut total = 0u64;
-            let _ = rrt_plan(
-                arm,
-                JointConfig::paper_start(),
-                JointConfig::paper_goal(),
-                rrt,
-                |q| {
+            let _ =
+                rrt_plan(arm, JointConfig::paper_start(), JointConfig::paper_goal(), rrt, |q| {
                     let obbs = arm.link_obbs(q);
                     let mut free = true;
                     let mut wave_max = vec![0u64; obbs.len().div_ceil(units)];
@@ -156,8 +152,7 @@ pub fn time_rrt_run(
                     }
                     total += wave_max.iter().sum::<u64>();
                     free
-                },
-            );
+                });
             total
         }
     };
@@ -183,11 +178,7 @@ mod tests {
         let (arm, grid, rrt) = setup();
         let t = time_rrt_run(&arm, &grid, &rrt, ArmPlatform::Software);
         assert!(t.result.found(), "RRT must solve the paper scenario");
-        assert!(
-            t.collision_share > 0.6,
-            "collision share too low: {:.2}",
-            t.collision_share
-        );
+        assert!(t.collision_share > 0.6, "collision share too low: {:.2}", t.collision_share);
     }
 
     #[test]

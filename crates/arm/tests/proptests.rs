@@ -4,13 +4,7 @@ use proptest::prelude::*;
 use racod_arm::{ArmModel, JointConfig};
 
 fn arb_config() -> impl Strategy<Value = JointConfig> {
-    (
-        -3.0f32..3.0,
-        -1.8f32..1.8,
-        -2.1f32..2.1,
-        -1.7f32..1.7,
-        -3.0f32..3.0,
-    )
+    (-3.0f32..3.0, -1.8f32..1.8, -2.1f32..2.1, -1.7f32..1.7, -3.0f32..3.0)
         .prop_map(|(a, b, c, d, e)| JointConfig::new([a, b, c, d, e]))
 }
 

@@ -9,17 +9,10 @@ fn bench_checks(c: &mut Criterion) {
     let grid = city_map(CityName::Boston, 512, 512);
     let mut group = c.benchmark_group("collision_check_2d");
     for &(l, w) in &[(4.0f32, 2.0f32), (16.0, 8.0), (45.0, 18.0)] {
-        let obb = Obb2::centered(
-            Vec2::new(200.0, 200.0),
-            l,
-            w,
-            Rotation2::from_angle(0.45),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("software", format!("{l}x{w}")),
-            &obb,
-            |b, obb| b.iter(|| black_box(software_check_2d(&grid, black_box(obb)))),
-        );
+        let obb = Obb2::centered(Vec2::new(200.0, 200.0), l, w, Rotation2::from_angle(0.45));
+        group.bench_with_input(BenchmarkId::new("software", format!("{l}x{w}")), &obb, |b, obb| {
+            b.iter(|| black_box(software_check_2d(&grid, black_box(obb))))
+        });
         group.bench_with_input(
             BenchmarkId::new("codacc_model", format!("{l}x{w}")),
             &obb,

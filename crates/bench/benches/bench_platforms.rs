@@ -36,17 +36,15 @@ fn bench_platforms(c: &mut Criterion) {
     let (s, g) = (sc.start, sc.goal);
     let mut group = c.benchmark_group("fig13_real_threads");
     group.sample_size(10);
-    for (name, cfg) in [
-        ("bm_8t", ParallelConfig::baseline(8)),
-        ("rasexp_8t_r16", ParallelConfig::rasexp(8, 16)),
-    ] {
+    for (name, cfg) in
+        [("bm_8t", ParallelConfig::baseline(8)), ("rasexp_8t_r16", ParallelConfig::rasexp(8, 16))]
+    {
         let gridref = shared.clone();
         group.bench_function(name, move |b| {
             let gridref = gridref.clone();
             b.iter(|| {
                 let g2 = gridref.clone();
-                let planner =
-                    ParallelPlanner::new(cfg, move |c: Cell2| g2.get(c) == Some(false));
+                let planner = ParallelPlanner::new(cfg, move |c: Cell2| g2.get(c) == Some(false));
                 let space = GridSpace2::eight_connected(256, 256);
                 black_box(planner.plan(&space, s, g).result.cost)
             })

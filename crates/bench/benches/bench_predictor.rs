@@ -31,11 +31,10 @@ fn bench_predictor(c: &mut Criterion) {
         let start = racod::sim::planner::free_near_2d(&grid, 8, 8);
         let goal = racod::sim::planner::free_near_2d(&grid, 248, 248);
         b.iter(|| {
-            let mut oracle = RunaheadOracle::new(
-                &space,
-                RunaheadConfig::with_runahead(32),
-                |c: Cell2| grid.get(c) == Some(false),
-            );
+            let mut oracle =
+                RunaheadOracle::new(&space, RunaheadConfig::with_runahead(32), |c: Cell2| {
+                    grid.get(c) == Some(false)
+                });
             black_box(astar(&space, start, goal, &AstarConfig::default(), &mut oracle).cost)
         })
     });

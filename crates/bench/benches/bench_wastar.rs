@@ -23,11 +23,9 @@ fn bench_wastar(c: &mut Criterion) {
                 .with_free_endpoints(10, 10, 245, 245)
                 .with_space(GridSpace2::eight_connected(256, 256).with_heuristic(h))
                 .with_astar(AstarConfig { weight: eps, ..Default::default() });
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("eps{eps}")),
-                &sc,
-                |b, sc| b.iter(|| black_box(plan_software_2d(sc, 4, None, &base_cost).cycles)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("eps{eps}")), &sc, |b, sc| {
+                b.iter(|| black_box(plan_software_2d(sc, 4, None, &base_cost).cycles))
+            });
         }
     }
     group.finish();

@@ -13,11 +13,8 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = racod_bench::scale_from_args(args.iter().cloned());
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     let all = selected.is_empty() || selected.contains(&"all");
     let want = |name: &str| all || selected.contains(&name);
 

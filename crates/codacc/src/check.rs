@@ -149,13 +149,7 @@ mod tests {
     #[test]
     fn check_3d_free_and_collision() {
         let mut grid = BitGrid3::new(16, 16, 16);
-        let obb = Obb3::new(
-            Vec3::new(4.0, 4.0, 4.0),
-            4.0,
-            2.0,
-            2.0,
-            Rotation3::identity(),
-        );
+        let obb = Obb3::new(Vec3::new(4.0, 4.0, 4.0), 4.0, 2.0, 2.0, Rotation3::identity());
         assert_eq!(software_check_3d(&grid, &obb).verdict, Verdict::Free);
         grid.set(Cell3::new(5, 5, 5), true);
         assert_eq!(software_check_3d(&grid, &obb).verdict, Verdict::Collision);

@@ -40,10 +40,10 @@ impl Default for AreaPowerModel {
     /// logic+registers 0.019 mm² / 12.1 mW, L0 0.004 mm² / 0.17 mW.
     fn default() -> Self {
         AreaPowerModel {
-            register_area_mm2: 0.000_1,          // 90 regs → 0.009 mm²
-            logic_area_mm2: 0.010,               // AGU + RU + scheduler + OR
+            register_area_mm2: 0.000_1, // 90 regs → 0.009 mm²
+            logic_area_mm2: 0.010,      // AGU + RU + scheduler + OR
             sram_area_per_bit_mm2: 0.004 / 2048.0,
-            register_power_mw: 0.09,             // 90 regs → 8.1 mW
+            register_power_mw: 0.09, // 90 regs → 8.1 mW
             logic_power_mw: 4.0,
             sram_power_per_bit_mw: 0.17 / 2048.0,
             registers: crate::hobb::HOBB_REGISTERS,
@@ -131,12 +131,7 @@ impl AreaPowerModel {
 
 impl fmt::Display for AreaPowerModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "CODAcc 45nm: {:.3} mm2, {:.2} mW",
-            self.total_area_mm2(),
-            self.total_power_mw()
-        )
+        write!(f, "CODAcc 45nm: {:.3} mm2, {:.2} mW", self.total_area_mm2(), self.total_power_mw())
     }
 }
 

@@ -179,10 +179,7 @@ mod tests {
         assert!(blocks.len() <= addrs.len());
         // And every address's block is in the output exactly once.
         for &a in &addrs {
-            assert_eq!(
-                blocks.iter().filter(|b| **b == BlockAddr::containing(a)).count(),
-                1
-            );
+            assert_eq!(blocks.iter().filter(|b| **b == BlockAddr::containing(a)).count(), 1);
         }
     }
 

@@ -487,13 +487,8 @@ mod tests {
         .iter()
         .enumerate()
         {
-            let obb = Obb3::new(
-                Vec3::new(x, y, z),
-                6.0,
-                3.0,
-                2.0,
-                Rotation3::from_rpy(0.0, 0.0, yaw),
-            );
+            let obb =
+                Obb3::new(Vec3::new(x, y, z), 6.0, 3.0, 2.0, Rotation3::from_rpy(0.0, 0.0, yaw));
             let hw = pool.check_3d(i % 2, &grid, &obb);
             let sw = software_check_3d(&grid, &obb);
             assert_eq!(hw.verdict, sw.verdict, "box {i}");

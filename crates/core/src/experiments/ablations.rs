@@ -71,11 +71,7 @@ impl fmt::Display for Ablations {
 
 /// A custom check loop that replays an OBB sequence through a one-unit
 /// pool with the given tile order, returning (avg cycles, L0 hit ratio).
-fn replay_checks(
-    grid: &racod_grid::BitGrid2,
-    obbs: &[Obb2],
-    order: PartitionOrder,
-) -> (f64, f64) {
+fn replay_checks(grid: &racod_grid::BitGrid2, obbs: &[Obb2], order: PartitionOrder) -> (f64, f64) {
     // The pool's check path uses the default x-first order internally, so
     // for the ablation we drive the datapath tile-by-tile ourselves.
     use racod_geom::raster::axis_samples;
@@ -91,8 +87,7 @@ fn replay_checks(
     for obb in obbs {
         let xs = axis_samples(obb.length());
         let ys = axis_samples(obb.width());
-        let tiles =
-            racod_codacc::partition_tiles_ordered(xs.len(), ys.len(), 1, true, order);
+        let tiles = racod_codacc::partition_tiles_ordered(xs.len(), ys.len(), 1, true, order);
         let ax = obb.rotation().axis_x();
         let ay = obb.rotation().axis_y();
         let mut cycles = 1u64; // dispatch
@@ -129,8 +124,7 @@ fn score_predictors(path: &[Cell2]) -> (usize, usize) {
     let mut pattern = PatternPredictor::new(4);
     let (mut s_score, mut p_score) = (0usize, 0usize);
     for i in 1..path.len().saturating_sub(4) {
-        let truth: std::collections::HashSet<Cell2> =
-            path[i + 1..i + 5].iter().copied().collect();
+        let truth: std::collections::HashSet<Cell2> = path[i + 1..i + 5].iter().copied().collect();
         let sc = simple.predict(path[i], Some(path[i - 1]));
         let pc = pattern.predict(path[i], Some(path[i - 1]));
         s_score += sc.iter().filter(|c| truth.contains(c)).count();
@@ -149,12 +143,7 @@ pub fn ablations(scale: Scale) -> Ablations {
     let grid = city_map(CityName::Berlin, size, size);
     let obbs: Vec<Obb2> = (0..120)
         .map(|i| {
-            Obb2::centered(
-                Vec2::new(40.0 + i as f32, 40.0),
-                24.0,
-                10.0,
-                Rotation2::from_angle(0.1),
-            )
+            Obb2::centered(Vec2::new(40.0 + i as f32, 40.0), 24.0, 10.0, Rotation2::from_angle(0.1))
         })
         .collect();
     let (x_cycles, x_l0) = replay_checks(&grid, &obbs, PartitionOrder::XFirst);
@@ -180,8 +169,7 @@ pub fn ablations(scale: Scale) -> Ablations {
     // CODAcc). Power fraction = wasted energy / (chip power x run time).
     let wasted = out.stats.spec_issued.saturating_sub(out.stats.spec_used) as f64;
     let avg_check_cycles = if out.stats.spec_issued + out.stats.demand_computed > 0 {
-        out.timing.busy_cycles as f64
-            / (out.stats.spec_issued + out.stats.demand_computed) as f64
+        out.timing.busy_cycles as f64 / (out.stats.spec_issued + out.stats.demand_computed) as f64
     } else {
         0.0
     };

@@ -107,8 +107,7 @@ pub fn fig10(scale: Scale) -> Fig10 {
             let sc = Scenario2::new(&grid)
                 .with_free_endpoints(s.x, s.y, g.x, g.y)
                 .with_space(
-                    racod_search::GridSpace2::eight_connected(size, size)
-                        .with_heuristic(heuristic),
+                    racod_search::GridSpace2::eight_connected(size, size).with_heuristic(heuristic),
                 )
                 .with_astar(AstarConfig { weight, ..Default::default() });
             let base = plan_software_2d(&sc, 4, None, &base_cost);
@@ -156,9 +155,7 @@ mod tests {
         }
         // Coverage declines as weight grows (fewer expansions → fewer
         // prediction opportunities), per the paper.
-        let cov = |label: &str| {
-            data.rows.iter().find(|r| r.label == label).map(|r| r.coverage)
-        };
+        let cov = |label: &str| data.rows.iter().find(|r| r.label == label).map(|r| r.coverage);
         if let (Some(c1), Some(c4)) = (cov("euclidean eps=1"), cov("euclidean eps=4")) {
             assert!(c4 <= c1 + 0.1, "coverage should not rise with eps: {c1:.2} -> {c4:.2}");
         }

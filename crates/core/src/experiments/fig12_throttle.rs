@@ -43,9 +43,7 @@ pub struct Fig12 {
 impl Fig12 {
     /// The cell for a given density/threshold.
     pub fn cell(&self, density: f64, threshold: u32) -> Option<&ThrottleCell> {
-        self.cells
-            .iter()
-            .find(|c| (c.density - density).abs() < 1e-9 && c.threshold == threshold)
+        self.cells.iter().find(|c| (c.density - density).abs() < 1e-9 && c.threshold == threshold)
     }
 }
 
@@ -80,14 +78,10 @@ pub fn fig12(scale: Scale) -> Fig12 {
         let start = free_near_2d(&grid, 2, 2);
         let goal = free_near_2d(&grid, size as i64 - 3, size as i64 - 3);
         for &threshold in &THRESHOLDS {
-            let cfg = RunaheadConfig {
-                max_depth: 32,
-                contexts: 32,
-                stability_threshold: threshold,
-            };
-            let mut oracle = RunaheadOracle::new(&space, cfg, |c: Cell2| {
-                grid.occupied(c) == Some(false)
-            });
+            let cfg =
+                RunaheadConfig { max_depth: 32, contexts: 32, stability_threshold: threshold };
+            let mut oracle =
+                RunaheadOracle::new(&space, cfg, |c: Cell2| grid.occupied(c) == Some(false));
             let _ = astar(&space, start, goal, &AstarConfig::default(), &mut oracle);
             cells.push(ThrottleCell {
                 density,
@@ -123,10 +117,7 @@ mod tests {
         // Denser random environments hurt accuracy at s=1.
         let sparse = data.cell(0.10, 1).unwrap().accuracy;
         let dense = data.cell(0.70, 1).unwrap().accuracy;
-        assert!(
-            dense < sparse,
-            "accuracy must degrade with density: {sparse:.2} -> {dense:.2}"
-        );
+        assert!(dense < sparse, "accuracy must degrade with density: {sparse:.2} -> {dense:.2}");
         assert!(format!("{data}").contains("Figure 12"));
     }
 }

@@ -98,9 +98,8 @@ pub fn fig13(scale: Scale) -> Fig13 {
                     bm[i].push(base / plan_software_2d(&sc, t, None, cost).cycles.max(1) as f64);
                     pase[i].push(base / plan_pase_2d(&sc, t, cost).cycles.max(1) as f64);
                     ras[i].push(
-                        base / plan_software_2d(&sc, t, Some(rasexp_depth(t)), cost)
-                            .cycles
-                            .max(1) as f64,
+                        base / plan_software_2d(&sc, t, Some(rasexp_depth(t)), cost).cycles.max(1)
+                            as f64,
                     );
                 }
             }
@@ -114,8 +113,7 @@ pub fn fig13(scale: Scale) -> Fig13 {
         }
     };
 
-    let cpu_threads: &[usize] =
-        if scale == Scale::Quick { &[4, 32] } else { &[2, 4, 8, 16, 32] };
+    let cpu_threads: &[usize] = if scale == Scale::Quick { &[4, 32] } else { &[2, 4, 8, 16, 32] };
     let cpu = sweep_platform("xeon-cpu", &CostModel::xeon_software(), cpu_threads, |t| t);
 
     let gpu_threads: &[usize] =
@@ -138,9 +136,8 @@ pub fn fig13(scale: Scale) -> Fig13 {
             let b = base.cycles as f64;
             i3_base.push(1.0);
             xeon_ras.push(
-                b / plan_software_2d(&sc, 32, Some(32), &CostModel::xeon_software())
-                    .cycles
-                    .max(1) as f64,
+                b / plan_software_2d(&sc, 32, Some(32), &CostModel::xeon_software()).cycles.max(1)
+                    as f64,
             );
             gpu_ras.push(
                 b / plan_software_2d(&sc, 128, Some(64), &CostModel::gpu()).cycles.max(1) as f64,

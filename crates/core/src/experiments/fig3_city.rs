@@ -41,11 +41,8 @@ pub struct Fig3 {
 impl Fig3 {
     /// Geometric-mean speedup across cities at the largest unit count.
     pub fn headline_speedup(&self) -> f64 {
-        let v: Vec<f64> = self
-            .cities
-            .iter()
-            .filter_map(|c| c.speedups.last().map(|&(_, s)| s))
-            .collect();
+        let v: Vec<f64> =
+            self.cities.iter().filter_map(|c| c.speedups.last().map(|&(_, s)| s)).collect();
         geomean(&v)
     }
 }

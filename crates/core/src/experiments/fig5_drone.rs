@@ -82,19 +82,13 @@ pub fn fig5(scale: Scale) -> Fig5 {
             debug_assert_eq!(racod.result.path, base.result.path);
             per_unit[i].push(base.cycles as f64 / racod.cycles.max(1) as f64);
         }
-        let one =
-            plan_racod_3d_ext(&sc, 1, &racod_cost, Default::default(), false);
+        let one = plan_racod_3d_ext(&sc, 1, &racod_cost, Default::default(), false);
         no_ras.push(base.cycles as f64 / one.cycles.max(1) as f64);
     }
 
     assert!(solved > 0, "no 3D scenario was solvable — campus generator broken?");
     Fig5 {
-        speedups: scale
-            .unit_sweep()
-            .iter()
-            .zip(&per_unit)
-            .map(|(&u, v)| (u, geomean(v)))
-            .collect(),
+        speedups: scale.unit_sweep().iter().zip(&per_unit).map(|(&u, v)| (u, geomean(v))).collect(),
         one_unit_no_rasexp: geomean(&no_ras),
         baseline_collision_share: shares.iter().sum::<f64>() / shares.len() as f64,
         pairs: solved,

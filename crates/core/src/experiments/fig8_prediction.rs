@@ -68,7 +68,12 @@ impl fmt::Display for Fig8 {
         for s in &self.series {
             writeln!(f, "  [{}] semantic:", s.label)?;
             for &(r, a, c) in &s.semantic {
-                writeln!(f, "    R={r:<3} accuracy {:>5.1}%  coverage {:>5.1}%", a * 100.0, c * 100.0)?;
+                writeln!(
+                    f,
+                    "    R={r:<3} accuracy {:>5.1}%  coverage {:>5.1}%",
+                    a * 100.0,
+                    c * 100.0
+                )?;
             }
             writeln!(
                 f,

@@ -106,9 +106,15 @@ pub fn geomean(values: &[f64]) -> f64 {
 
 /// Draws `n` random start/goal pairs of free cells at least a quarter of
 /// the map apart, deterministically per seed.
+///
+/// Pairs are restricted to the same 8-connected free component, so a
+/// generated map with isolated free pockets (e.g. a plaza fully enclosed by
+/// a building block) never yields a trivially unsolvable episode.
 pub fn random_pairs(grid: &BitGrid2, n: usize, seed: u64) -> Vec<(Cell2, Cell2)> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let min_dist = (Occupancy2::width(grid).min(Occupancy2::height(grid)) / 4) as f64;
+    let labels = free_component_labels(grid);
+    let label = |c: Cell2| labels[c.y as usize * Occupancy2::width(grid) as usize + c.x as usize];
     let mut out = Vec::with_capacity(n);
     let mut guard = 0;
     while out.len() < n && guard < 10_000 {
@@ -118,11 +124,47 @@ pub fn random_pairs(grid: &BitGrid2, n: usize, seed: u64) -> Vec<(Cell2, Cell2)>
         else {
             break;
         };
-        if a.euclidean(b) >= min_dist {
+        if a.euclidean(b) >= min_dist && label(a) == label(b) {
             out.push((a, b));
         }
     }
     out
+}
+
+/// Labels each free cell with its 8-connected component id (occupied cells
+/// get `u32::MAX`).
+fn free_component_labels(grid: &BitGrid2) -> Vec<u32> {
+    let (w, h) = (Occupancy2::width(grid) as i64, Occupancy2::height(grid) as i64);
+    let mut labels = vec![u32::MAX; (w * h) as usize];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let idx = (y * w + x) as usize;
+            if labels[idx] != u32::MAX || grid.get(Cell2::new(x, y)) != Some(false) {
+                continue;
+            }
+            labels[idx] = next;
+            stack.push((x, y));
+            while let Some((cx, cy)) = stack.pop() {
+                for dy in -1..=1i64 {
+                    for dx in -1..=1i64 {
+                        let (nx, ny) = (cx + dx, cy + dy);
+                        if nx < 0 || ny < 0 || nx >= w || ny >= h {
+                            continue;
+                        }
+                        let nidx = (ny * w + nx) as usize;
+                        if labels[nidx] == u32::MAX && grid.get(Cell2::new(nx, ny)) == Some(false) {
+                            labels[nidx] = next;
+                            stack.push((nx, ny));
+                        }
+                    }
+                }
+            }
+            next += 1;
+        }
+    }
+    labels
 }
 
 #[cfg(test)]

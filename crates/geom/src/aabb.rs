@@ -111,10 +111,7 @@ impl Aabb3 {
     ///
     /// Panics in debug builds if any `min` component exceeds `max`.
     pub fn new(min: Vec3, max: Vec3) -> Self {
-        debug_assert!(
-            min.x <= max.x && min.y <= max.y && min.z <= max.z,
-            "inverted AABB"
-        );
+        debug_assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z, "inverted AABB");
         Aabb3 { min, max }
     }
 

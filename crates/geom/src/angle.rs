@@ -235,13 +235,7 @@ impl Default for Rotation3 {
 impl fmt::Display for Rotation3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let [sa, ca, sb, cb, sg, cg] = self.sin_cos;
-        write!(
-            f,
-            "Rotation3(rpy = {:.4}, {:.4}, {:.4})",
-            sa.atan2(ca),
-            sb.atan2(cb),
-            sg.atan2(cg)
-        )
+        write!(f, "Rotation3(rpy = {:.4}, {:.4}, {:.4})", sa.atan2(ca), sb.atan2(cb), sg.atan2(cg))
     }
 }
 

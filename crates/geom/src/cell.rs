@@ -130,10 +130,7 @@ impl Cell3 {
     /// Chebyshev (L∞) distance to another cell.
     #[inline]
     pub fn chebyshev(self, other: Cell3) -> i64 {
-        (self.x - other.x)
-            .abs()
-            .max((self.y - other.y).abs())
-            .max((self.z - other.z).abs())
+        (self.x - other.x).abs().max((self.y - other.y).abs()).max((self.z - other.z).abs())
     }
 
     /// Manhattan (L1) distance to another cell.
@@ -184,10 +181,7 @@ mod tests {
     fn from_point_floors_negatives() {
         assert_eq!(Cell2::from_point(Vec2::new(-0.1, 0.0)), Cell2::new(-1, 0));
         assert_eq!(Cell2::from_point(Vec2::new(2.999, 3.0)), Cell2::new(2, 3));
-        assert_eq!(
-            Cell3::from_point(Vec3::new(-1.5, 0.5, 2.0)),
-            Cell3::new(-2, 0, 2)
-        );
+        assert_eq!(Cell3::from_point(Vec3::new(-1.5, 0.5, 2.0)), Cell3::new(-2, 0, 2));
     }
 
     #[test]

@@ -92,12 +92,7 @@ impl Obb2 {
     pub fn corners(&self) -> [Vec2; 4] {
         let lx = self.rotation.axis_x() * self.length;
         let wy = self.rotation.axis_y() * self.width;
-        [
-            self.origin,
-            self.origin + lx,
-            self.origin + lx + wy,
-            self.origin + wy,
-        ]
+        [self.origin, self.origin + lx, self.origin + lx + wy, self.origin + wy]
     }
 
     /// The tightest axis-aligned bounding box.
@@ -204,7 +199,13 @@ impl Obb3 {
     }
 
     /// Creates an OBB centered at `center`.
-    pub fn centered(center: Vec3, length: f32, width: f32, height: f32, rotation: Rotation3) -> Self {
+    pub fn centered(
+        center: Vec3,
+        length: f32,
+        width: f32,
+        height: f32,
+        rotation: Rotation3,
+    ) -> Self {
         let half = rotation.apply(Vec3::new(length / 2.0, width / 2.0, height / 2.0));
         Obb3::new(center - half, length, width, height, rotation)
     }
@@ -242,9 +243,7 @@ impl Obb3 {
     /// The geometric center of the box.
     pub fn center(&self) -> Vec3 {
         self.origin
-            + self
-                .rotation
-                .apply(Vec3::new(self.length / 2.0, self.width / 2.0, self.height / 2.0))
+            + self.rotation.apply(Vec3::new(self.length / 2.0, self.width / 2.0, self.height / 2.0))
     }
 
     /// The eight corners of the box.
@@ -253,16 +252,7 @@ impl Obb3 {
         let wy = self.rotation.axis_y() * self.width;
         let hz = self.rotation.axis_z() * self.height;
         let o = self.origin;
-        [
-            o,
-            o + lx,
-            o + lx + wy,
-            o + wy,
-            o + hz,
-            o + lx + hz,
-            o + lx + wy + hz,
-            o + wy + hz,
-        ]
+        [o, o + lx, o + lx + wy, o + wy, o + hz, o + lx + hz, o + lx + wy + hz, o + wy + hz]
     }
 
     /// The tightest axis-aligned bounding box.
@@ -496,13 +486,8 @@ mod tests {
 
     #[test]
     fn obb3_aabb_contains_corners() {
-        let obb = Obb3::new(
-            Vec3::new(1.0, 1.0, 1.0),
-            3.0,
-            2.0,
-            1.0,
-            Rotation3::from_rpy(0.5, 0.3, 0.9),
-        );
+        let obb =
+            Obb3::new(Vec3::new(1.0, 1.0, 1.0), 3.0, 2.0, 1.0, Rotation3::from_rpy(0.5, 0.3, 0.9));
         let bb = obb.aabb();
         for c in obb.corners() {
             assert!(bb.contains(c));
@@ -525,13 +510,8 @@ mod tests {
 
     #[test]
     fn config_roundtrip_3d() {
-        let obb = Obb3::new(
-            Vec3::new(1.0, 2.0, 3.0),
-            4.0,
-            5.0,
-            6.0,
-            Rotation3::from_rpy(0.1, 0.2, 0.3),
-        );
+        let obb =
+            Obb3::new(Vec3::new(1.0, 2.0, 3.0), 4.0, 5.0, 6.0, Rotation3::from_rpy(0.1, 0.2, 0.3));
         let cfg = ObbConfig::from(&obb);
         assert!(cfg.is_3d());
         let cfg2 = ObbConfig::from_words(true, &cfg.to_words());
@@ -551,10 +531,7 @@ mod tests {
         assert_eq!(obb3.height(), 1.5);
         // The 3D box footprint matches the 2D box in xy.
         for c2 in obb.corners() {
-            assert!(obb3
-                .corners()
-                .iter()
-                .any(|c3| (c3.xy() - c2).norm() < 1e-4));
+            assert!(obb3.corners().iter().any(|c3| (c3.xy() - c2).norm() < 1e-4));
         }
     }
 

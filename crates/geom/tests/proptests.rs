@@ -6,16 +6,9 @@ use racod_geom::{Cell2, Obb2, Rotation2, Rotation3, Vec2, Vec3};
 use std::collections::HashSet;
 
 fn arb_obb2() -> impl Strategy<Value = Obb2> {
-    (
-        -50.0f32..50.0,
-        -50.0f32..50.0,
-        0.0f32..20.0,
-        0.0f32..10.0,
-        -3.2f32..3.2,
+    (-50.0f32..50.0, -50.0f32..50.0, 0.0f32..20.0, 0.0f32..10.0, -3.2f32..3.2).prop_map(
+        |(x, y, l, w, theta)| Obb2::new(Vec2::new(x, y), l, w, Rotation2::from_angle(theta)),
     )
-        .prop_map(|(x, y, l, w, theta)| {
-            Obb2::new(Vec2::new(x, y), l, w, Rotation2::from_angle(theta))
-        })
 }
 
 proptest! {

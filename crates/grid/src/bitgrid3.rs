@@ -38,10 +38,7 @@ impl BitGrid3 {
     ///
     /// Panics if any dimension is zero.
     pub fn new(size_x: u32, size_y: u32, size_z: u32) -> Self {
-        assert!(
-            size_x > 0 && size_y > 0 && size_z > 0,
-            "grid dimensions must be positive"
-        );
+        assert!(size_x > 0 && size_y > 0 && size_z > 0, "grid dimensions must be positive");
         let row_words = size_x.div_ceil(32);
         let words = vec![0u32; row_words as usize * size_y as usize * size_z as usize];
         BitGrid3 { size_x, size_y, size_z, row_words, words, base_addr: DEFAULT_BASE_ADDR }

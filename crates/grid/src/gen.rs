@@ -36,12 +36,8 @@ pub enum CityName {
 
 impl CityName {
     /// All four benchmark cities in paper order.
-    pub const ALL: [CityName; 4] = [
-        CityName::Boston,
-        CityName::Berlin,
-        CityName::Paris,
-        CityName::Shanghai,
-    ];
+    pub const ALL: [CityName; 4] =
+        [CityName::Boston, CityName::Berlin, CityName::Paris, CityName::Shanghai];
 
     /// A stable seed per city so every run sees the same map.
     fn seed(self) -> u64 {
@@ -259,15 +255,7 @@ pub fn campus_3d(seed: u64, size_x: u32, size_y: u32, size_z: u32) -> BitGrid3 {
         let trunk_h = rng.gen_range(2..(size_z as i64 / 3).max(3));
         g.fill_box(x, y, 1, x, y, trunk_h, true);
         let canopy = rng.gen_range(1..3);
-        g.fill_box(
-            x - canopy,
-            y - canopy,
-            trunk_h,
-            x + canopy,
-            y + canopy,
-            trunk_h + canopy,
-            true,
-        );
+        g.fill_box(x - canopy, y - canopy, trunk_h, x + canopy, y + canopy, trunk_h + canopy, true);
     }
     g
 }
@@ -375,9 +363,8 @@ mod tests {
         assert!(g.count_occupied() > 0);
         // ...but each vertical wall segment has at least one opening.
         for wall_x in (8..64).step_by(8) {
-            let openings = (0..64)
-                .filter(|&y| g.get(Cell2::new(wall_x as i64, y)) == Some(false))
-                .count();
+            let openings =
+                (0..64).filter(|&y| g.get(Cell2::new(wall_x as i64, y)) == Some(false)).count();
             assert!(openings > 0, "wall at x={wall_x} has no door");
         }
     }

@@ -92,10 +92,8 @@ pub fn parse_map(text: &str) -> Result<BitGrid2, ParseMapError> {
 
     // Header: read until the `map` sentinel.
     loop {
-        let line = lines
-            .next()
-            .ok_or_else(|| ParseMapError::Header("<eof before map>".into()))?
-            .trim();
+        let line =
+            lines.next().ok_or_else(|| ParseMapError::Header("<eof before map>".into()))?.trim();
         if line.is_empty() {
             continue;
         }

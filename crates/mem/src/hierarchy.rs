@@ -254,7 +254,7 @@ mod tests {
         let mut m = MemSystem::new(1, l0, l1, LatencyModel::default());
         m.access(0, 0); // block 0 → L0 and L1 set 0
         m.access(0, 128); // block 2 → L1 set 0, evicts block 0 from L1
-        // Inclusion: block 0 must be gone from L0 too → full miss again.
+                          // Inclusion: block 0 must be gone from L0 too → full miss again.
         let lat = LatencyModel::default();
         assert_eq!(m.access(0, 0), lat.l0_hit + lat.l1_miss);
     }

@@ -307,8 +307,7 @@ mod tests {
         let space = GridSpace3::twenty_six_connected(48, 48, 24);
         let (s, g3) = (Cell3::new(3, 3, 12), Cell3::new(44, 44, 12));
 
-        let mut reference_oracle =
-            FnOracle::new(|c: Cell3| grid.occupied(c) == Some(false));
+        let mut reference_oracle = FnOracle::new(|c: Cell3| grid.occupied(c) == Some(false));
         let reference = astar(&space, s, g3, &AstarConfig::default(), &mut reference_oracle);
 
         let g = grid.clone();

@@ -130,11 +130,8 @@ impl PatternPredictor {
         if last.is_zero() {
             return Vec::new();
         }
-        let mut hist = self
-            .history
-            .get(&Self::state_key(expanded))
-            .cloned()
-            .unwrap_or_else(|| vec![last]);
+        let mut hist =
+            self.history.get(&Self::state_key(expanded)).cloned().unwrap_or_else(|| vec![last]);
         let mut chain = Vec::with_capacity(self.max_depth);
         let mut cur = expanded;
         for _ in 0..self.max_depth {

@@ -323,11 +323,7 @@ mod tests {
         let (res, stats) = plan_with_rasexp(&grid, 8, s, t);
         assert!(res.found());
         assert!(stats.spec_issued > 0);
-        assert!(
-            stats.accuracy() > 0.5,
-            "city accuracy too low: {:.2}",
-            stats.accuracy()
-        );
+        assert!(stats.accuracy() > 0.5, "city accuracy too low: {:.2}", stats.accuracy());
         assert!(stats.coverage() > 0.2, "coverage too low: {:.2}", stats.coverage());
     }
 
@@ -364,11 +360,7 @@ mod tests {
         let grid = random_map(77, 96, 96, 0.4);
         let space = GridSpace2::eight_connected(96, 96);
         let run = |thresh: u32| {
-            let cfg = RunaheadConfig {
-                max_depth: 32,
-                contexts: 32,
-                stability_threshold: thresh,
-            };
+            let cfg = RunaheadConfig { max_depth: 32, contexts: 32, stability_threshold: thresh };
             let mut oracle =
                 RunaheadOracle::new(&space, cfg, |c: Cell2| grid.occupied(c) == Some(false));
             let _ = astar(
@@ -392,8 +384,7 @@ mod tests {
         let grid = random_map(5, 128, 128, 0.4);
         let space = GridSpace2::eight_connected(128, 128);
         let run = |thresh: u32| {
-            let cfg =
-                RunaheadConfig { max_depth: 32, contexts: 32, stability_threshold: thresh };
+            let cfg = RunaheadConfig { max_depth: 32, contexts: 32, stability_threshold: thresh };
             let mut oracle =
                 RunaheadOracle::new(&space, cfg, |c: Cell2| grid.occupied(c) == Some(false));
             let _ = astar(
@@ -452,11 +443,10 @@ mod tests {
         let grid = city_map(CityName::Boston, 128, 128);
         let space = GridSpace2::eight_connected(128, 128);
         let run = |r: usize| {
-            let mut oracle = RunaheadOracle::new(
-                &space,
-                RunaheadConfig::with_runahead(r),
-                |c: Cell2| grid.occupied(c) == Some(false),
-            );
+            let mut oracle =
+                RunaheadOracle::new(&space, RunaheadConfig::with_runahead(r), |c: Cell2| {
+                    grid.occupied(c) == Some(false)
+                });
             let s = free_near(&grid, 5, 5);
             let t = free_near(&grid, 120, 120);
             let _ = astar(&space, s, t, &AstarConfig::default(), &mut oracle);
@@ -475,8 +465,7 @@ mod tests {
         let (_, stats) = plan_with_rasexp(&grid, 8, a, b);
         assert!(stats.spec_used <= stats.spec_issued);
         assert!(stats.spec_hits >= stats.spec_used, "every use is a hit");
-        let per_exp_demand: u64 =
-            stats.per_expansion.iter().map(|&(d, _)| d as u64).sum();
+        let per_exp_demand: u64 = stats.per_expansion.iter().map(|&(d, _)| d as u64).sum();
         // The start-state check is demand-computed but precedes expansions.
         assert!(per_exp_demand <= stats.demand_computed);
         let per_exp_spec: u64 = stats.per_expansion.iter().map(|&(_, s)| s as u64).sum();

@@ -122,8 +122,7 @@ impl VldpPredictor {
             let delta = addr as i64 - last as i64;
             // Train every history depth.
             for depth in 1..=self.history.len().min(MAX_HISTORY) {
-                let key: Vec<i64> =
-                    self.history.iter().rev().take(depth).rev().copied().collect();
+                let key: Vec<i64> = self.history.iter().rev().take(depth).rev().copied().collect();
                 self.dht.insert(key, delta);
             }
             self.history.push_back(delta);
@@ -140,8 +139,7 @@ impl VldpPredictor {
         for _ in 0..self.degree {
             let mut predicted = None;
             for depth in (1..=sim_history.len().min(MAX_HISTORY)).rev() {
-                let key: Vec<i64> =
-                    sim_history[sim_history.len() - depth..].to_vec();
+                let key: Vec<i64> = sim_history[sim_history.len() - depth..].to_vec();
                 if let Some(&d) = self.dht.get(&key) {
                     predicted = Some(d);
                     break;
@@ -152,9 +150,7 @@ impl VldpPredictor {
             if cur < 0 {
                 break;
             }
-            if let std::collections::hash_map::Entry::Vacant(e) =
-                self.buffer.entry(cur as u64)
-            {
+            if let std::collections::hash_map::Entry::Vacant(e) = self.buffer.entry(cur as u64) {
                 e.insert(self.stats.accesses);
                 self.stats.predictions += 1;
             }

@@ -178,7 +178,8 @@ where
 
         // Issue demand collision checks (the oracle may overlap speculative
         // work here — Algorithm 1 lines 03–18).
-        let ctx = ExpansionContext { expanded: s, parent: parent[idx], expansion: stats.expansions - 1 };
+        let ctx =
+            ExpansionContext { expanded: s, parent: parent[idx], expansion: stats.expansions - 1 };
         let free = if demand.is_empty() { Vec::new() } else { oracle.resolve(&ctx, &demand) };
         debug_assert_eq!(free.len(), demand.len(), "oracle must answer every demand state");
         stats.demand_checks += demand.len() as u64;
@@ -224,7 +225,13 @@ mod tests {
         let grid = BitGrid2::new(20, 20);
         let space = GridSpace2::eight_connected(20, 20);
         let mut oracle = grid_oracle(&grid);
-        let r = astar(&space, Cell2::new(2, 2), Cell2::new(12, 2), &AstarConfig::default(), &mut oracle);
+        let r = astar(
+            &space,
+            Cell2::new(2, 2),
+            Cell2::new(12, 2),
+            &AstarConfig::default(),
+            &mut oracle,
+        );
         assert!(r.found());
         assert!((r.cost - 10.0).abs() < 1e-9);
         assert_eq!(r.path.as_ref().unwrap().len(), 11);
@@ -235,7 +242,8 @@ mod tests {
         let grid = BitGrid2::new(20, 20);
         let space = GridSpace2::eight_connected(20, 20);
         let mut oracle = grid_oracle(&grid);
-        let r = astar(&space, Cell2::new(1, 1), Cell2::new(8, 8), &AstarConfig::default(), &mut oracle);
+        let r =
+            astar(&space, Cell2::new(1, 1), Cell2::new(8, 8), &AstarConfig::default(), &mut oracle);
         assert!((r.cost - 7.0 * std::f64::consts::SQRT_2).abs() < 1e-9);
     }
 
@@ -245,7 +253,13 @@ mod tests {
         grid.fill_rect(10, 0, 10, 18, true); // wall with a gap at the top
         let space = GridSpace2::eight_connected(20, 20);
         let mut oracle = grid_oracle(&grid);
-        let r = astar(&space, Cell2::new(2, 2), Cell2::new(18, 2), &AstarConfig::default(), &mut oracle);
+        let r = astar(
+            &space,
+            Cell2::new(2, 2),
+            Cell2::new(18, 2),
+            &AstarConfig::default(),
+            &mut oracle,
+        );
         assert!(r.found());
         assert!(r.cost > 16.0 + 1.0, "must detour around the wall");
         // Path never touches an occupied cell.
@@ -260,7 +274,8 @@ mod tests {
         grid.fill_rect(5, 0, 5, 9, true); // full wall
         let space = GridSpace2::eight_connected(10, 10);
         let mut oracle = grid_oracle(&grid);
-        let r = astar(&space, Cell2::new(1, 1), Cell2::new(8, 8), &AstarConfig::default(), &mut oracle);
+        let r =
+            astar(&space, Cell2::new(1, 1), Cell2::new(8, 8), &AstarConfig::default(), &mut oracle);
         assert!(!r.found());
         assert_eq!(r.cost, f64::INFINITY);
     }
@@ -272,9 +287,23 @@ mod tests {
         grid.set(Cell2::new(8, 8), true);
         let space = GridSpace2::eight_connected(10, 10);
         let mut oracle = grid_oracle(&grid);
-        assert!(!astar(&space, Cell2::new(1, 1), Cell2::new(5, 5), &AstarConfig::default(), &mut oracle).found());
+        assert!(!astar(
+            &space,
+            Cell2::new(1, 1),
+            Cell2::new(5, 5),
+            &AstarConfig::default(),
+            &mut oracle
+        )
+        .found());
         let mut oracle = grid_oracle(&grid);
-        assert!(!astar(&space, Cell2::new(2, 2), Cell2::new(8, 8), &AstarConfig::default(), &mut oracle).found());
+        assert!(!astar(
+            &space,
+            Cell2::new(2, 2),
+            Cell2::new(8, 8),
+            &AstarConfig::default(),
+            &mut oracle
+        )
+        .found());
     }
 
     #[test]
@@ -282,7 +311,8 @@ mod tests {
         let grid = BitGrid2::new(10, 10);
         let space = GridSpace2::eight_connected(10, 10);
         let mut oracle = grid_oracle(&grid);
-        let r = astar(&space, Cell2::new(3, 3), Cell2::new(3, 3), &AstarConfig::default(), &mut oracle);
+        let r =
+            astar(&space, Cell2::new(3, 3), Cell2::new(3, 3), &AstarConfig::default(), &mut oracle);
         assert!(r.found());
         assert_eq!(r.cost, 0.0);
         assert_eq!(r.path.unwrap(), vec![Cell2::new(3, 3)]);
@@ -364,7 +394,8 @@ mod tests {
         let grid = BitGrid2::new(12, 12);
         let space = GridSpace2::four_connected(12, 12);
         let mut oracle = grid_oracle(&grid);
-        let r = astar(&space, Cell2::new(0, 0), Cell2::new(5, 5), &AstarConfig::default(), &mut oracle);
+        let r =
+            astar(&space, Cell2::new(0, 0), Cell2::new(5, 5), &AstarConfig::default(), &mut oracle);
         assert!((r.cost - 10.0).abs() < 1e-9);
     }
 
@@ -409,7 +440,13 @@ mod tests {
         let mut oracle = FnOracle::new(|c: Cell3| {
             (0..10).contains(&c.x) && (0..10).contains(&c.y) && (0..10).contains(&c.z)
         });
-        let r = astar(&space, Cell3::new(1, 1, 1), Cell3::new(1, 1, 8), &AstarConfig::default(), &mut oracle);
+        let r = astar(
+            &space,
+            Cell3::new(1, 1, 1),
+            Cell3::new(1, 1, 8),
+            &AstarConfig::default(),
+            &mut oracle,
+        );
         assert!((r.cost - 7.0).abs() < 1e-9);
     }
 
@@ -419,7 +456,13 @@ mod tests {
         let mut oracle = FnOracle::new(|c: Cell3| {
             (0..10).contains(&c.x) && (0..10).contains(&c.y) && (0..10).contains(&c.z)
         });
-        let r = astar(&space, Cell3::new(0, 0, 0), Cell3::new(5, 5, 5), &AstarConfig::default(), &mut oracle);
+        let r = astar(
+            &space,
+            Cell3::new(0, 0, 0),
+            Cell3::new(5, 5, 5),
+            &AstarConfig::default(),
+            &mut oracle,
+        );
         assert!((r.cost - 5.0 * crate::heuristics::SQRT3).abs() < 1e-6);
     }
 
@@ -440,7 +483,13 @@ mod tests {
         let grid = random_map(11, 30, 30, 0.2);
         let space = GridSpace2::new(30, 30, Connectivity2::Eight, Heuristic2::Euclidean);
         let mut oracle = grid_oracle(&grid);
-        let r = astar(&space, Cell2::new(1, 1), Cell2::new(27, 25), &AstarConfig::default(), &mut oracle);
+        let r = astar(
+            &space,
+            Cell2::new(1, 1),
+            Cell2::new(27, 25),
+            &AstarConfig::default(),
+            &mut oracle,
+        );
         if let Some(path) = r.path {
             assert_eq!(path[0], Cell2::new(1, 1));
             assert_eq!(*path.last().unwrap(), Cell2::new(27, 25));

@@ -165,9 +165,8 @@ mod tests {
         let mut grid = racod_grid::BitGrid2::new(16, 16);
         grid.fill_rect(8, 0, 8, 14, true);
         let space = GridSpace2::eight_connected(16, 16);
-        let f = DistanceField::compute(&space, Cell2::new(0, 0), |c| {
-            grid.occupied(c) == Some(false)
-        });
+        let f =
+            DistanceField::compute(&space, Cell2::new(0, 0), |c| grid.occupied(c) == Some(false));
         // The far side is reachable only around the top of the wall.
         let d = f.distance(Cell2::new(15, 0)).unwrap();
         assert!(d > 20.0, "must detour over the wall: {d}");
@@ -182,8 +181,7 @@ mod tests {
             let goal = Cell2::new(23, 23);
             let f = DistanceField::compute(&space, goal, |c| grid.occupied(c) == Some(false));
             for start in [Cell2::new(0, 0), Cell2::new(12, 3), Cell2::new(5, 20)] {
-                let mut oracle =
-                    FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+                let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
                 let r = astar(&space, start, goal, &AstarConfig::default(), &mut oracle);
                 match (r.path.is_some(), f.distance(start)) {
                     (true, Some(d)) => {

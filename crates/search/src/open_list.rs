@@ -118,7 +118,8 @@ mod tests {
         open.push(1, 5.0, 1.0);
         open.push(2, 3.0, 1.0);
         open.push(3, 4.0, 1.0);
-        let order: Vec<usize> = std::iter::from_fn(|| open.pop(|_| true)).map(|(i, _, _)| i).collect();
+        let order: Vec<usize> =
+            std::iter::from_fn(|| open.pop(|_| true)).map(|(i, _, _)| i).collect();
         assert_eq!(order, vec![2, 3, 1]);
     }
 

@@ -124,9 +124,7 @@ where
         let mut candidates: Vec<(usize, f64, f64, Sp::State)> =
             open.iter().map(|(&i, &(f, gv, s))| (i, f, gv, s)).collect();
         candidates.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         candidates.truncate(config.window);
 
@@ -204,8 +202,7 @@ where
                 parent: parent[idx],
                 expansion: stats.expansions - 1,
             };
-            let free =
-                if demand.is_empty() { Vec::new() } else { oracle.resolve(&ctx, &demand) };
+            let free = if demand.is_empty() { Vec::new() } else { oracle.resolve(&ctx, &demand) };
             stats.demand_checks += demand.len() as u64;
             for ((ns, edge), ok) in demand.iter().zip(&edges).zip(&free) {
                 if !ok {
@@ -216,10 +213,7 @@ where
                 if ng + 1e-12 < g[ni] {
                     g[ni] = ng;
                     parent[ni] = Some(s);
-                    open.insert(
-                        ni,
-                        (ng + config.weight * space.heuristic(*ns, goal), ng, *ns),
-                    );
+                    open.insert(ni, (ng + config.weight * space.heuristic(*ns, goal), ng, *ns));
                     stats.open_pushes += 1;
                 }
             }

@@ -126,10 +126,7 @@ mod tests {
             Cell2::new(2, 1),
             Cell2::new(2, 2),
         ];
-        assert_eq!(
-            decimate(&path),
-            vec![Cell2::new(0, 0), Cell2::new(2, 0), Cell2::new(2, 2)]
-        );
+        assert_eq!(decimate(&path), vec![Cell2::new(0, 0), Cell2::new(2, 0), Cell2::new(2, 2)]);
     }
 
     #[test]
@@ -170,7 +167,7 @@ mod tests {
     fn smooth_respects_obstacles() {
         let mut grid = BitGrid2::new(16, 16);
         grid.fill_rect(4, 0, 4, 6, true); // wall below a gap at y=7
-        // Path that goes up and over the wall.
+                                          // Path that goes up and over the wall.
         let mut path: Vec<Cell2> = (0..8).map(|j| Cell2::new(0, j)).collect();
         path.extend((1..9).map(|i| Cell2::new(i, 7)));
         path.extend((0..7).rev().map(|j| Cell2::new(8, j)));

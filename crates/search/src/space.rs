@@ -66,7 +66,12 @@ impl GridSpace2 {
     /// # Panics
     ///
     /// Panics if either dimension is zero.
-    pub fn new(width: u32, height: u32, connectivity: Connectivity2, heuristic: Heuristic2) -> Self {
+    pub fn new(
+        width: u32,
+        height: u32,
+        connectivity: Connectivity2,
+        heuristic: Heuristic2,
+    ) -> Self {
         assert!(width > 0 && height > 0, "space dimensions must be positive");
         GridSpace2 { width, height, connectivity, heuristic }
     }
@@ -110,16 +115,8 @@ impl GridSpace2 {
 
 /// The eight neighbor offsets in deterministic order (E, NE, N, NW, W, SW,
 /// S, SE).
-pub const OFFSETS_8: [(i64, i64); 8] = [
-    (1, 0),
-    (1, 1),
-    (0, 1),
-    (-1, 1),
-    (-1, 0),
-    (-1, -1),
-    (0, -1),
-    (1, -1),
-];
+pub const OFFSETS_8: [(i64, i64); 8] =
+    [(1, 0), (1, 1), (0, 1), (-1, 1), (-1, 0), (-1, -1), (0, -1), (1, -1)];
 
 impl SearchSpace for GridSpace2 {
     type State = Cell2;

@@ -4,9 +4,7 @@ use proptest::prelude::*;
 use racod_geom::Cell2;
 use racod_grid::gen::random_map;
 use racod_grid::Occupancy2;
-use racod_search::{
-    astar, pase, AstarConfig, FnOracle, GridSpace2, Heuristic2, PaseConfig,
-};
+use racod_search::{astar, pase, AstarConfig, FnOracle, GridSpace2, Heuristic2, PaseConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

@@ -1,0 +1,396 @@
+//! Load generator for `racod-server`.
+//!
+//! Drives a mixed-map workload (four 2D city maps, a random-obstacle map, a
+//! rooms map, and a 3D campus) against an in-process [`PlanServer`] and
+//! prints a throughput/latency report. Two modes:
+//!
+//! * **closed-loop** (default): `--clients N` submitter threads, each
+//!   keeping one request in flight — measures capacity.
+//! * **open-loop**: `--rate R` requests/second from a single arrival clock
+//!   with per-request deadlines — measures behavior under overload, where
+//!   admission control and deadline expiry must shed load.
+//!
+//! Usage: `cargo run --release -p racod-server --bin loadgen -- [--requests N]
+//! [--clients N | --rate R] [--workers N] [--queue N] [--units N] [--seed S]`
+
+use racod_geom::{Cell2, Cell3};
+use racod_grid::gen::{campus_3d, city_map, random_map, rooms_map, CityName};
+use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
+use racod_server::{
+    MapRegistry, Outcome, PlanRequest, PlanServer, Platform, Priority, Rejected, ServerConfig,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Options {
+    requests: usize,
+    clients: usize,
+    rate: Option<f64>,
+    workers: usize,
+    queue: usize,
+    units: usize,
+    seed: u64,
+    map_size: u32,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            requests: 1000,
+            clients: 8,
+            rate: None,
+            workers: 4,
+            queue: 256,
+            units: 8,
+            seed: 7,
+            map_size: 128,
+        }
+    }
+}
+
+fn parsed<T: std::str::FromStr>(name: &str, v: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {name}: {v}");
+        std::process::exit(2);
+    })
+}
+
+fn parse_args() -> Options {
+    let mut o = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |name: &str| -> Option<String> {
+            if args[i] == name {
+                let v = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                });
+                Some(v.clone())
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--requests") {
+            o.requests = parsed("--requests", &v);
+            i += 2;
+        } else if let Some(v) = take("--clients") {
+            o.clients = parsed("--clients", &v);
+            i += 2;
+        } else if let Some(v) = take("--rate") {
+            o.rate = Some(parsed("--rate", &v));
+            i += 2;
+        } else if let Some(v) = take("--workers") {
+            o.workers = parsed("--workers", &v);
+            i += 2;
+        } else if let Some(v) = take("--queue") {
+            o.queue = parsed("--queue", &v);
+            i += 2;
+        } else if let Some(v) = take("--units") {
+            o.units = parsed("--units", &v);
+            i += 2;
+        } else if let Some(v) = take("--seed") {
+            o.seed = parsed("--seed", &v);
+            i += 2;
+        } else if let Some(v) = take("--map-size") {
+            o.map_size = parsed("--map-size", &v);
+            i += 2;
+        } else {
+            eprintln!("unknown argument {}", args[i]);
+            std::process::exit(2);
+        }
+    }
+    if o.workers == 0 {
+        // Zero workers is a valid server config for tests, but a load run
+        // against it would wait on tickets that can never resolve.
+        eprintln!("--workers must be >= 1");
+        std::process::exit(2);
+    }
+    o
+}
+
+/// A workload endpoint pool: free cells snapped per map at startup so the
+/// load phase submits raw, valid coordinates (the server never snaps).
+enum MapPool {
+    D2 { name: &'static str, cells: Vec<Cell2> },
+    D3 { name: &'static str, cells: Vec<Cell3> },
+}
+
+fn free_cells_2d(grid: &BitGrid2, n: usize, rng: &mut SmallRng) -> Vec<Cell2> {
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < 200_000 {
+        guard += 1;
+        let c = Cell2::new(
+            rng.gen_range(1..grid.width() as i64 - 1),
+            rng.gen_range(1..grid.height() as i64 - 1),
+        );
+        if grid.occupied(c) == Some(false) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn free_cells_3d(grid: &BitGrid3, n: usize, rng: &mut SmallRng) -> Vec<Cell3> {
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < 200_000 {
+        guard += 1;
+        let c = Cell3::new(
+            rng.gen_range(1..grid.size_x() as i64 - 1),
+            rng.gen_range(1..grid.size_y() as i64 - 1),
+            rng.gen_range(grid.size_z() as i64 / 2..grid.size_z() as i64 - 1),
+        );
+        if grid.occupied(c) == Some(false) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn build_world(o: &Options) -> (Arc<MapRegistry>, Vec<MapPool>) {
+    let mut rng = SmallRng::seed_from_u64(o.seed);
+    let reg = MapRegistry::new();
+    let mut pools = Vec::new();
+    let s = o.map_size;
+    for name in CityName::ALL {
+        let grid = city_map(name, s, s);
+        let cells = free_cells_2d(&grid, 64, &mut rng);
+        reg.insert_grid2(name.as_str(), grid);
+        pools.push(MapPool::D2 { name: name.as_str(), cells });
+    }
+    let rnd = random_map(o.seed ^ 0xA5A5, s, s, 0.15);
+    let cells = free_cells_2d(&rnd, 64, &mut rng);
+    reg.insert_grid2("random", rnd);
+    pools.push(MapPool::D2 { name: "random", cells });
+
+    let rooms = rooms_map(o.seed ^ 0x33, s, s, 16);
+    let cells = free_cells_2d(&rooms, 64, &mut rng);
+    reg.insert_grid2("rooms", rooms);
+    pools.push(MapPool::D2 { name: "rooms", cells });
+
+    let campus = campus_3d(o.seed ^ 0xC3, 48, 48, 24);
+    let cells = free_cells_3d(&campus, 64, &mut rng);
+    reg.insert_grid3("campus", campus);
+    pools.push(MapPool::D3 { name: "campus", cells });
+
+    (Arc::new(reg), pools)
+}
+
+fn make_request(pools: &[MapPool], units: usize, rng: &mut SmallRng) -> PlanRequest {
+    let pool = &pools[rng.gen_range(0..pools.len())];
+    let priority = match rng.gen_range(0..10) {
+        0 => Priority::High,
+        1..=7 => Priority::Normal,
+        _ => Priority::Low,
+    };
+    let req = match pool {
+        MapPool::D2 { name, cells } => {
+            let a = cells[rng.gen_range(0..cells.len())];
+            let b = cells[rng.gen_range(0..cells.len())];
+            PlanRequest::plan2(*name, a, b).with_footprint2(racod_sim::Footprint2::point())
+        }
+        MapPool::D3 { name, cells } => {
+            let a = cells[rng.gen_range(0..cells.len())];
+            let b = cells[rng.gen_range(0..cells.len())];
+            PlanRequest::plan3(*name, a, b)
+        }
+    };
+    req.with_platform(Platform::Racod { units }).with_priority(priority)
+}
+
+#[derive(Default)]
+struct Tally {
+    planned: AtomicU64,
+    found: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
+    panicked: AtomicU64,
+    lost: AtomicU64,
+    rejected: AtomicU64,
+    warm: AtomicU64,
+}
+
+impl Tally {
+    fn absorb(&self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Planned(p) => {
+                self.planned.fetch_add(1, Ordering::Relaxed);
+                if p.path.found() {
+                    self.found.fetch_add(1, Ordering::Relaxed);
+                }
+                if p.warm_start {
+                    self.warm.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Outcome::TimedOut { .. } => {
+                self.timed_out.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Cancelled => {
+                self.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Panicked { .. } => {
+                self.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Lost => {
+                self.lost.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &Tally) {
+    std::thread::scope(|scope| {
+        let per_client = o.requests / o.clients.max(1);
+        let remainder = o.requests - per_client * o.clients.max(1);
+        for client in 0..o.clients.max(1) {
+            let n = per_client + usize::from(client < remainder);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(o.seed ^ (client as u64) << 17);
+                let mut sent = 0;
+                while sent < n {
+                    let req = make_request(pools, o.units, &mut rng);
+                    match server.submit(req) {
+                        Ok(ticket) => {
+                            sent += 1;
+                            tally.absorb(&ticket.wait().outcome);
+                        }
+                        Err(Rejected::QueueFull) => {
+                            tally.rejected.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(e) => panic!("unexpected rejection: {e}"),
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn run_open_loop(server: &PlanServer, pools: &[MapPool], o: &Options, rate: f64, tally: &Tally) {
+    let interval = Duration::from_secs_f64(1.0 / rate.max(1e-6));
+    std::thread::scope(|scope| {
+        let mut rng = SmallRng::seed_from_u64(o.seed);
+        let start = Instant::now();
+        for k in 0..o.requests {
+            let due = start + interval.mul_sec(k);
+            if let Some(sleep) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(sleep);
+            }
+            let req =
+                make_request(pools, o.units, &mut rng).with_deadline(Duration::from_millis(250));
+            match server.submit(req) {
+                Ok(ticket) => {
+                    scope.spawn(move || tally.absorb(&ticket.wait().outcome));
+                }
+                Err(Rejected::QueueFull) => {
+                    tally.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+    });
+}
+
+/// `Duration * k` without floating-point drift.
+trait MulSec {
+    fn mul_sec(self, k: usize) -> Duration;
+}
+impl MulSec for Duration {
+    fn mul_sec(self, k: usize) -> Duration {
+        Duration::from_nanos((self.as_nanos() as u64).saturating_mul(k as u64))
+    }
+}
+
+fn main() {
+    let o = parse_args();
+    let (registry, pools) = build_world(&o);
+    println!(
+        "racod-server loadgen: {} requests, {} maps, {} workers, queue {}, {} CODAcc units",
+        o.requests,
+        registry.len(),
+        o.workers,
+        o.queue,
+        o.units
+    );
+
+    let server = PlanServer::start(
+        ServerConfig { workers: o.workers, queue_capacity: o.queue, ..Default::default() },
+        registry,
+    );
+
+    let tally = Tally::default();
+    let begin = Instant::now();
+    match o.rate {
+        None => {
+            println!("mode: closed-loop, {} clients", o.clients);
+            run_closed_loop(&server, &pools, &o, &tally);
+        }
+        Some(rate) => {
+            println!("mode: open-loop, {rate} req/s, 250ms deadline");
+            run_open_loop(&server, &pools, &o, rate, &tally);
+        }
+    }
+    let elapsed = begin.elapsed();
+
+    let m = server.metrics();
+    let (qw50, qw95, qw99) = m.queue_wait.percentiles();
+    let (sv50, sv95, sv99) = m.service.percentiles();
+    let (to50, to95, to99) = m.total.percentiles();
+    let n = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+    println!();
+    println!("== loadgen report ==");
+    println!("elapsed            {:.2}s", elapsed.as_secs_f64());
+    println!(
+        "throughput         {:.1} plans/s",
+        n(&tally.planned) as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!("planned            {}", n(&tally.planned));
+    println!("  paths found      {}", n(&tally.found));
+    println!("  warm starts      {}", n(&tally.warm));
+    println!("timed out          {}", n(&tally.timed_out));
+    println!("cancelled          {}", n(&tally.cancelled));
+    println!("panicked           {}", n(&tally.panicked));
+    println!("lost               {}", n(&tally.lost));
+    println!("queue-full rejects {}", n(&tally.rejected));
+    println!(
+        "affinity hit rate  {:.1}% over {} dispatches",
+        m.affinity_hit_rate() * 100.0,
+        m.affinity_hits.load(Ordering::Relaxed) + m.affinity_misses.load(Ordering::Relaxed)
+    );
+    println!();
+    println!("latency (µs)        p50      p95      p99");
+    println!(
+        "  queue wait   {:>8} {:>8} {:>8}",
+        qw50.as_micros(),
+        qw95.as_micros(),
+        qw99.as_micros()
+    );
+    println!(
+        "  service      {:>8} {:>8} {:>8}",
+        sv50.as_micros(),
+        sv95.as_micros(),
+        sv99.as_micros()
+    );
+    println!(
+        "  total        {:>8} {:>8} {:>8}",
+        to50.as_micros(),
+        to95.as_micros(),
+        to99.as_micros()
+    );
+    println!();
+    println!("-- metrics page --");
+    print!("{}", server.render_metrics());
+
+    let panics = n(&tally.panicked) + m.worker_respawns.load(Ordering::Relaxed);
+    drop(server);
+    if panics > 0 {
+        eprintln!("FAIL: {panics} panics/respawns during run");
+        std::process::exit(1);
+    }
+}

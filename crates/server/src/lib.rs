@@ -1,0 +1,387 @@
+//! racod-server: a multi-tenant planning service over the RACOD stack.
+//!
+//! The service turns the repository's planners ([`racod_sim::planner`],
+//! [`racod_parallel`]) into a long-running, shared facility:
+//!
+//! * **Admission control** — a bounded ingress queue; submissions beyond
+//!   capacity are rejected with [`Rejected::QueueFull`] instead of blocking
+//!   the caller ([`PlanServer::submit`] never waits).
+//! * **Deadline-aware scheduling** — queued requests are ordered by
+//!   (priority, deadline, arrival); requests that expire while queued are
+//!   answered [`Outcome::TimedOut`] without wasting planner time.
+//! * **Map-affinity batching** — the dispatcher prefers handing a worker
+//!   requests for the map it served last, so the worker's warm per-map
+//!   [`racod_codacc::CodaccPool`] (the simulated CODAcc L0/L1 caches) is
+//!   reused — the serving-layer analogue of the paper's observation that
+//!   consecutive checks against one map exhibit high spatial locality.
+//! * **Fault isolation** — each request executes under `catch_unwind`; a
+//!   panicking request is answered [`Outcome::Panicked`] and the worker
+//!   survives. A panic that kills a worker loop triggers a supervisor
+//!   respawn and the affected requests resolve to [`Outcome::Lost`].
+//! * **Latency metrics** — lock-free counters and log2-bucket histograms
+//!   (p50/p95/p99 of queue wait, service, and total latency).
+//!
+//! Determinism is preserved end to end: the server never mutates a request
+//! (no endpoint snapping, no config rewriting), so a path computed through
+//! the service is bit-identical to the same scenario planned by calling the
+//! planner directly — the workspace test `determinism.rs` proves it.
+
+pub mod metrics;
+pub mod registry;
+pub mod request;
+pub mod scheduler;
+pub mod worker;
+
+pub use metrics::{LatencyHistogram, ServerMetrics};
+pub use registry::{Artifacts2, MapData, MapEntry, MapRegistry};
+pub use request::{
+    MapId, Outcome, PlanRequest, PlanResponse, Planned, PlannedPath, Platform, Priority, Rejected,
+    RequestId, Workload,
+};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use scheduler::{urgency_key, Admitted, PendingQueue, ReplySlot};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use worker::Batch;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker thread count. Zero is allowed (nothing executes — useful for
+    /// testing pure admission behavior).
+    pub workers: usize,
+    /// Maximum number of admitted-but-unfinished requests. Submissions
+    /// beyond this are rejected with [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Maximum requests per dispatched batch.
+    pub batch_max: usize,
+    /// How far (in deadline microseconds, within the same priority class) a
+    /// worker's warm-map request may trail the globally most urgent request
+    /// and still be chosen first.
+    pub affinity_slack: Duration,
+    /// Dispatcher wake-up period for deadline expiry sweeps when idle.
+    pub tick: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 256,
+            batch_max: 8,
+            affinity_slack: Duration::from_millis(5),
+            tick: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A claim ticket for one admitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    /// The request id the response will carry.
+    pub id: RequestId,
+    rx: Receiver<PlanResponse>,
+    cancel: Arc<AtomicBool>,
+}
+
+impl Ticket {
+    /// Blocks until the terminal response.
+    pub fn wait(self) -> PlanResponse {
+        match self.rx.recv() {
+            Ok(resp) => resp,
+            // Channel torn down without a response (should not happen: the
+            // reply slot's drop guard always sends) — report Lost.
+            Err(_) => PlanResponse { id: self.id, outcome: Outcome::Lost, worker: usize::MAX },
+        }
+    }
+
+    /// Waits up to `timeout`; `None` if no response arrived in time (the
+    /// request keeps running — call `wait` again or drop the ticket).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<PlanResponse> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Requests cooperative cancellation: a request still queued (or not
+    /// yet started on a worker) resolves to [`Outcome::Cancelled`]; one
+    /// already executing runs to completion.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The planning service. Create with [`PlanServer::start`]; dropping the
+/// server shuts it down (pending requests resolve as cancelled).
+pub struct PlanServer {
+    registry: Arc<MapRegistry>,
+    metrics: Arc<ServerMetrics>,
+    cfg: ServerConfig,
+    ingress_tx: Option<Sender<Admitted>>,
+    shutdown: Arc<AtomicBool>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    epoch: Instant,
+}
+
+impl PlanServer {
+    /// Starts the dispatcher and worker threads.
+    pub fn start(cfg: ServerConfig, registry: Arc<MapRegistry>) -> Self {
+        let metrics = Arc::new(ServerMetrics::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        // Ingress capacity matches the admission limit so `try_send` after
+        // an admission win can only fail on disconnect, never on capacity.
+        let (ingress_tx, ingress_rx) = bounded::<Admitted>(cfg.queue_capacity.max(1));
+
+        let mut worker_txs = Vec::with_capacity(cfg.workers);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            // Capacity-1 batch channels double as idleness signals: a full
+            // channel means the worker still has undispatched work.
+            let (tx, rx) = bounded::<Batch>(1);
+            worker_txs.push(tx);
+            workers.push(worker::spawn_worker(i, rx, metrics.clone(), shutdown.clone()));
+        }
+
+        let dispatcher = {
+            let metrics = metrics.clone();
+            let cfg2 = cfg.clone();
+            std::thread::Builder::new()
+                .name("racod-dispatcher".into())
+                .spawn(move || dispatch_loop(ingress_rx, worker_txs, cfg2, metrics))
+                .expect("spawn dispatcher")
+        };
+
+        PlanServer {
+            registry,
+            metrics,
+            cfg,
+            ingress_tx: Some(ingress_tx),
+            shutdown,
+            dispatcher: Some(dispatcher),
+            workers,
+            next_id: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Service metrics (shared; live).
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// The map registry backing this server.
+    pub fn registry(&self) -> &Arc<MapRegistry> {
+        &self.registry
+    }
+
+    /// Submits a request. Never blocks: over-capacity submissions return
+    /// [`Rejected::QueueFull`] immediately.
+    pub fn submit(&self, req: PlanRequest) -> Result<Ticket, Rejected> {
+        let m = &self.metrics;
+        m.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(Rejected::ShuttingDown);
+        }
+        let Some(entry) = self.registry.get(&req.map) else {
+            m.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::UnknownMap(req.map));
+        };
+        let dim_ok = match req.workload {
+            Workload::Plan2 { .. } => entry.data.is_2d(),
+            Workload::Plan3 { .. } => !entry.data.is_2d(),
+            Workload::Poison | Workload::PoisonWorker => true,
+        };
+        if !dim_ok {
+            m.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::DimensionMismatch);
+        }
+
+        // Admission: atomically claim a slot below capacity.
+        let cap = self.cfg.queue_capacity as u64;
+        if m.in_system
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| (n < cap).then_some(n + 1))
+            .is_err()
+        {
+            m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::QueueFull);
+        }
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let submitted_at = Instant::now();
+        let deadline_at = req.deadline.map(|d| submitted_at + d);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = bounded::<PlanResponse>(1);
+        let admitted = Admitted {
+            id,
+            key: urgency_key(req.priority, self.epoch, deadline_at, seq),
+            req,
+            entry,
+            submitted_at,
+            deadline_at,
+            cancel: cancel.clone(),
+            reply: ReplySlot::new(id, tx, m.clone()),
+        };
+        let Some(ingress) = &self.ingress_tx else {
+            return Err(Rejected::ShuttingDown); // slot released by ReplySlot drop
+        };
+        if ingress.try_send(admitted).is_err() {
+            // Disconnected (shutdown race) — the dropped Admitted's reply
+            // slot released the admission slot.
+            return Err(Rejected::ShuttingDown);
+        }
+        m.accepted.fetch_add(1, Ordering::Relaxed);
+        Ok(Ticket { id, rx, cancel })
+    }
+
+    /// Plain-text metrics page.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.render_text()
+    }
+}
+
+impl Drop for PlanServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Closing ingress wakes the dispatcher; it drains pending requests
+        // (answering Cancelled), drops the worker channels, and exits;
+        // workers then see disconnect and exit.
+        self.ingress_tx.take();
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn dispatch_loop(
+    ingress: Receiver<Admitted>,
+    worker_txs: Vec<Sender<Batch>>,
+    cfg: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+) {
+    let mut pending = PendingQueue::new();
+    let mut last_map: Vec<Option<MapId>> = vec![None; worker_txs.len()];
+    let slack_us = cfg.affinity_slack.as_micros().min(u64::MAX as u128) as u64;
+    'main: loop {
+        // Block briefly for new work, then drain whatever arrived.
+        match ingress.recv_timeout(cfg.tick) {
+            Ok(item) => pending.push(item),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break 'main,
+        }
+        while let Ok(item) = ingress.try_recv() {
+            pending.push(item);
+        }
+
+        // Expiry and cancellation sweep: answer without dispatching.
+        let now = Instant::now();
+        for item in pending.drain_where(|i| i.cancelled() || i.expired(now)) {
+            let outcome = if item.cancelled() {
+                Outcome::Cancelled
+            } else {
+                Outcome::TimedOut { queued_for: now.duration_since(item.submitted_at) }
+            };
+            item.reply.finish(outcome, usize::MAX);
+        }
+
+        // Hand batches to idle workers, preferring each worker's warm map.
+        for (wi, tx) in worker_txs.iter().enumerate() {
+            if pending.is_empty() {
+                break;
+            }
+            if tx.is_empty() {
+                let batch = pending.take_batch(cfg.batch_max, last_map[wi].as_ref(), slack_us);
+                if batch.is_empty() {
+                    continue;
+                }
+                let map = batch[0].req.map.clone();
+                let hit = last_map[wi].as_ref() == Some(&map);
+                if hit {
+                    metrics.affinity_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    metrics.affinity_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                last_map[wi] = Some(map);
+                if let Err(e) = tx.try_send(batch) {
+                    // Worker raced to busy or died; requeue the batch.
+                    let batch = match e {
+                        crossbeam::channel::TrySendError::Full(b) => b,
+                        crossbeam::channel::TrySendError::Disconnected(b) => b,
+                    };
+                    for item in batch {
+                        pending.push(item);
+                    }
+                }
+            }
+        }
+    }
+    // Shutdown: answer everything still queued.
+    while let Ok(item) = ingress.try_recv() {
+        pending.push(item);
+    }
+    for item in pending.drain_all() {
+        item.reply.finish(Outcome::Cancelled, usize::MAX);
+    }
+    // Dropping worker_txs disconnects the workers.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_geom::Cell2;
+    use racod_grid::gen::{city_map, CityName};
+
+    fn small_registry() -> Arc<MapRegistry> {
+        let reg = MapRegistry::new();
+        reg.insert_grid2("boston", city_map(CityName::Boston, 96, 96));
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn submit_unknown_map_rejected() {
+        let server =
+            PlanServer::start(ServerConfig { workers: 0, ..Default::default() }, small_registry());
+        let err = server
+            .submit(PlanRequest::plan2("nowhere", Cell2::new(1, 1), Cell2::new(2, 2)))
+            .unwrap_err();
+        assert!(matches!(err, Rejected::UnknownMap(_)));
+    }
+
+    #[test]
+    fn submit_dimension_mismatch_rejected() {
+        let server =
+            PlanServer::start(ServerConfig { workers: 0, ..Default::default() }, small_registry());
+        let err = server
+            .submit(PlanRequest::plan3(
+                "boston",
+                racod_geom::Cell3::new(0, 0, 0),
+                racod_geom::Cell3::new(1, 1, 1),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, Rejected::DimensionMismatch));
+    }
+
+    #[test]
+    fn ticket_cancel_resolves() {
+        // No workers: the dispatcher answers the cancellation sweep.
+        let server = PlanServer::start(
+            ServerConfig { workers: 0, queue_capacity: 8, ..Default::default() },
+            small_registry(),
+        );
+        let ticket = server
+            .submit(PlanRequest::plan2("boston", Cell2::new(20, 20), Cell2::new(70, 70)))
+            .unwrap();
+        ticket.cancel();
+        let resp = ticket.wait();
+        assert!(matches!(resp.outcome, Outcome::Cancelled));
+        assert_eq!(server.metrics().cancelled.load(Ordering::Relaxed), 1);
+    }
+}

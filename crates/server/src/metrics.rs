@@ -1,0 +1,259 @@
+//! Lock-free service metrics: atomic counters plus fixed-bucket latency
+//! histograms with approximate quantiles.
+//!
+//! Everything here is wait-free on the record path (a handful of relaxed
+//! atomic adds), so workers never serialize on telemetry. Readers take
+//! consistent-enough snapshots; the service never pauses for scraping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of latency buckets: bucket `i` holds samples whose microsecond
+/// value has bit length `i` (i.e. `[2^(i-1), 2^i)`; bucket 0 holds exactly
+/// 0 µs), with the last bucket open-ended (≥ ~4.5 minutes).
+const BUCKETS: usize = 30;
+
+/// A fixed-bucket (log2 of microseconds) latency histogram.
+///
+/// Recording is one relaxed `fetch_add`; quantiles are reconstructed from
+/// bucket counts with upper-bound rounding, so a reported p99 is an upper
+/// bound within one power of two of the true value.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_us.load(Ordering::Relaxed) / n)
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper edge of the bucket
+    /// containing it; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper edge of bucket i (bit length i) is 2^i µs.
+                let edge_us = 1u64 << (i as u32).min(62);
+                return Some(Duration::from_micros(
+                    edge_us.min(self.max_us.load(Ordering::Relaxed).max(1)),
+                ));
+            }
+        }
+        Some(self.max())
+    }
+
+    /// (p50, p95, p99) in one call; zeros when empty.
+    pub fn percentiles(&self) -> (Duration, Duration, Duration) {
+        (
+            self.quantile(0.50).unwrap_or(Duration::ZERO),
+            self.quantile(0.95).unwrap_or(Duration::ZERO),
+            self.quantile(0.99).unwrap_or(Duration::ZERO),
+        )
+    }
+}
+
+/// Aggregated service metrics, shared by the scheduler, workers, and any
+/// scraper thread.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests presented to `submit` (admitted or not).
+    pub submitted: AtomicU64,
+    /// Requests admitted into the queue.
+    pub accepted: AtomicU64,
+    /// Rejections due to a full ingress queue.
+    pub rejected_queue_full: AtomicU64,
+    /// Rejections due to an unknown map id or dimension mismatch.
+    pub rejected_invalid: AtomicU64,
+    /// Requests completing with a planner result.
+    pub completed: AtomicU64,
+    /// Requests dropped at dequeue because their deadline had passed.
+    pub timed_out: AtomicU64,
+    /// Requests cancelled before execution.
+    pub cancelled: AtomicU64,
+    /// Requests whose execution panicked (isolated).
+    pub panicked: AtomicU64,
+    /// Requests lost to a worker death.
+    pub lost: AtomicU64,
+    /// Worker threads respawned by the supervisor after a panic escaped the
+    /// per-request boundary.
+    pub worker_respawns: AtomicU64,
+    /// Dispatches that reused the worker's warm per-map state.
+    pub affinity_hits: AtomicU64,
+    /// Dispatches that had to switch the worker to a different map.
+    pub affinity_misses: AtomicU64,
+    /// Current number of admitted-but-unfinished requests.
+    pub in_system: AtomicU64,
+    /// Time from submission to dispatch.
+    pub queue_wait: LatencyHistogram,
+    /// Time executing on a worker.
+    pub service: LatencyHistogram,
+    /// Time from submission to response.
+    pub total: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map-affinity hit rate over all dispatches (0 when none).
+    pub fn affinity_hit_rate(&self) -> f64 {
+        let h = self.affinity_hits.load(Ordering::Relaxed) as f64;
+        let m = self.affinity_misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Renders a plain-text metrics page (stable keys, one `key value` per
+    /// line — scrapeable and diffable).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let _ = writeln!(out, "racod_server_submitted {}", c(&self.submitted));
+        let _ = writeln!(out, "racod_server_accepted {}", c(&self.accepted));
+        let _ = writeln!(out, "racod_server_rejected_queue_full {}", c(&self.rejected_queue_full));
+        let _ = writeln!(out, "racod_server_rejected_invalid {}", c(&self.rejected_invalid));
+        let _ = writeln!(out, "racod_server_completed {}", c(&self.completed));
+        let _ = writeln!(out, "racod_server_timed_out {}", c(&self.timed_out));
+        let _ = writeln!(out, "racod_server_cancelled {}", c(&self.cancelled));
+        let _ = writeln!(out, "racod_server_panicked {}", c(&self.panicked));
+        let _ = writeln!(out, "racod_server_lost {}", c(&self.lost));
+        let _ = writeln!(out, "racod_server_worker_respawns {}", c(&self.worker_respawns));
+        let _ = writeln!(out, "racod_server_affinity_hits {}", c(&self.affinity_hits));
+        let _ = writeln!(out, "racod_server_affinity_misses {}", c(&self.affinity_misses));
+        let _ = writeln!(out, "racod_server_in_system {}", c(&self.in_system));
+        for (name, h) in
+            [("queue_wait", &self.queue_wait), ("service", &self.service), ("total", &self.total)]
+        {
+            let (p50, p95, p99) = h.percentiles();
+            let _ = writeln!(out, "racod_server_{name}_count {}", h.count());
+            let _ = writeln!(out, "racod_server_{name}_mean_us {}", h.mean().as_micros());
+            let _ = writeln!(out, "racod_server_{name}_p50_us {}", p50.as_micros());
+            let _ = writeln!(out, "racod_server_{name}_p95_us {}", p95.as_micros());
+            let _ = writeln!(out, "racod_server_{name}_p99_us {}", p99.as_micros());
+            let _ = writeln!(out, "racod_server_{name}_max_us {}", h.max().as_micros());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentiles(), (Duration::ZERO, Duration::ZERO, Duration::ZERO));
+    }
+
+    #[test]
+    fn quantiles_bound_true_values() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).unwrap().as_micros() as u64;
+        let p99 = h.quantile(0.99).unwrap().as_micros() as u64;
+        // Upper-edge reconstruction: true p50 = 500, p99 = 990; each must be
+        // bounded above by the reported value within one power of two.
+        assert!((500..=1024).contains(&p50), "p50 {p50}");
+        assert!((990..=1024).contains(&p99), "p99 {p99}");
+        assert_eq!(h.max(), Duration::from_micros(1000));
+        assert_eq!(h.mean(), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        let (p50, p95, p99) = h.percentiles();
+        assert_eq!(p50, p95);
+        assert_eq!(p95, p99);
+        assert!(p99.as_micros() >= 7);
+    }
+
+    #[test]
+    fn bucket_of_is_monotonic() {
+        let mut last = 0;
+        for us in [0u64, 1, 2, 3, 4, 100, 10_000, u64::MAX] {
+            let b = LatencyHistogram::bucket_of(us);
+            assert!(b >= last);
+            assert!(b < BUCKETS);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn render_text_has_stable_keys() {
+        let m = ServerMetrics::new();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.total.record(Duration::from_millis(2));
+        let text = m.render_text();
+        assert!(text.contains("racod_server_submitted 3"));
+        assert!(text.contains("racod_server_total_count 1"));
+        assert!(text.contains("racod_server_total_p99_us"));
+    }
+
+    #[test]
+    fn affinity_rate() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.affinity_hit_rate(), 0.0);
+        m.affinity_hits.fetch_add(3, Ordering::Relaxed);
+        m.affinity_misses.fetch_add(1, Ordering::Relaxed);
+        assert!((m.affinity_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,263 @@
+//! Map registry: immutable shared maps plus lazily built per-map artifacts.
+//!
+//! Maps are registered once and shared via `Arc` — workers never copy grid
+//! data. Derived artifacts (inflated occupancy, reachability distance field)
+//! are built on first use behind a [`OnceLock`] and cached for the lifetime
+//! of the entry, so the cost of preprocessing a map is paid once no matter
+//! how many requests hit it.
+
+use crate::request::MapId;
+use parking_lot::RwLock;
+use racod_geom::Cell2;
+use racod_grid::inflate::inflate_chebyshev;
+use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
+use racod_search::{DistanceField, GridSpace2};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The raw occupancy data of a registered map.
+#[derive(Debug, Clone)]
+pub enum MapData {
+    /// A 2D occupancy grid.
+    Grid2(Arc<BitGrid2>),
+    /// A 3D occupancy grid.
+    Grid3(Arc<BitGrid3>),
+}
+
+impl MapData {
+    /// Whether this is a 2D map.
+    pub fn is_2d(&self) -> bool {
+        matches!(self, MapData::Grid2(_))
+    }
+
+    /// Cell/voxel count.
+    pub fn cells(&self) -> u64 {
+        match self {
+            MapData::Grid2(g) => g.width() as u64 * g.height() as u64,
+            MapData::Grid3(g) => g.size_x() as u64 * g.size_y() as u64 * g.size_z() as u64,
+        }
+    }
+}
+
+/// Derived 2D artifacts, built lazily on first request against the map.
+#[derive(Debug)]
+pub struct Artifacts2 {
+    /// The grid inflated by the Chebyshev radius used for the reachability
+    /// prefilter (conservative point-robot clearance).
+    pub inflated: BitGrid2,
+    /// Cell-to-cell hop distance from a seed free cell on the raw grid —
+    /// reachable iff the cell is in the seed's free component.
+    pub reach: DistanceField<Cell2>,
+    /// The seed cell of the reachability field.
+    pub reach_seed: Cell2,
+    /// Grid dimensions, for row-major lookups into `reach` (the generic
+    /// `DistanceField::distance` helper only handles square grids).
+    pub dims: (u32, u32),
+}
+
+impl Artifacts2 {
+    fn build(grid: &BitGrid2) -> Option<Artifacts2> {
+        let seed = first_free_cell(grid)?;
+        let space = GridSpace2::eight_connected(grid.width(), grid.height());
+        let reach = DistanceField::compute(&space, seed, |c| grid.occupied(c) == Some(false));
+        Some(Artifacts2 {
+            inflated: inflate_chebyshev(grid, 1),
+            reach,
+            reach_seed: seed,
+            dims: (grid.width(), grid.height()),
+        })
+    }
+
+    /// Whether `c` is in the seed's free component.
+    pub fn reachable(&self, c: Cell2) -> bool {
+        let (w, h) = self.dims;
+        if c.x < 0 || c.y < 0 || c.x >= w as i64 || c.y >= h as i64 {
+            return false;
+        }
+        self.reach.distance_by_index(c.y as usize * w as usize + c.x as usize).is_some()
+    }
+
+    /// Whether both cells sit in the same free component as the seed — a
+    /// cheap *definite-infeasibility* prefilter: if exactly one endpoint is
+    /// reachable from the seed, no path can exist. (If neither is reachable
+    /// the test is inconclusive and planning proceeds.)
+    pub fn definitely_disconnected(&self, a: Cell2, b: Cell2) -> bool {
+        self.reachable(a) != self.reachable(b)
+    }
+}
+
+fn first_free_cell(grid: &BitGrid2) -> Option<Cell2> {
+    for y in 0..Occupancy2::height(grid) as i64 {
+        for x in 0..Occupancy2::width(grid) as i64 {
+            let c = Cell2::new(x, y);
+            if grid.occupied(c) == Some(false) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// One registered map with its lazily built artifact cache.
+#[derive(Debug)]
+pub struct MapEntry {
+    /// The map id.
+    pub id: MapId,
+    /// The shared occupancy data.
+    pub data: MapData,
+    artifacts2: OnceLock<Option<Arc<Artifacts2>>>,
+    artifact_builds: AtomicU64,
+}
+
+impl MapEntry {
+    fn new(id: MapId, data: MapData) -> Self {
+        MapEntry { id, data, artifacts2: OnceLock::new(), artifact_builds: AtomicU64::new(0) }
+    }
+
+    /// The 2D artifact bundle, built on first call and cached. Returns
+    /// `None` for 3D maps or maps with no free cell.
+    pub fn artifacts2(&self) -> Option<Arc<Artifacts2>> {
+        self.artifacts2
+            .get_or_init(|| {
+                let MapData::Grid2(grid) = &self.data else { return None };
+                self.artifact_builds.fetch_add(1, Ordering::Relaxed);
+                Artifacts2::build(grid).map(Arc::new)
+            })
+            .clone()
+    }
+
+    /// How many times the artifact bundle was (re)built — always 0 or 1;
+    /// exposed so tests can prove laziness and single-build semantics.
+    pub fn artifact_builds(&self) -> u64 {
+        self.artifact_builds.load(Ordering::Relaxed)
+    }
+
+    /// The 2D grid, if this is a 2D map.
+    pub fn grid2(&self) -> Option<&Arc<BitGrid2>> {
+        match &self.data {
+            MapData::Grid2(g) => Some(g),
+            MapData::Grid3(_) => None,
+        }
+    }
+
+    /// The 3D grid, if this is a 3D map.
+    pub fn grid3(&self) -> Option<&Arc<BitGrid3>> {
+        match &self.data {
+            MapData::Grid3(g) => Some(g),
+            MapData::Grid2(_) => None,
+        }
+    }
+}
+
+/// A concurrent registry of immutable maps keyed by [`MapId`].
+///
+/// Registration replaces any previous map under the same id (in-flight
+/// requests keep the `Arc` of the entry they resolved at admission, so a
+/// replacement never mutates data under a running plan).
+#[derive(Debug, Default)]
+pub struct MapRegistry {
+    maps: RwLock<HashMap<MapId, Arc<MapEntry>>>,
+}
+
+impl MapRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a 2D map, replacing any previous map under the id.
+    pub fn insert_grid2(&self, id: impl Into<MapId>, grid: BitGrid2) -> Arc<MapEntry> {
+        let id = id.into();
+        let entry = Arc::new(MapEntry::new(id.clone(), MapData::Grid2(Arc::new(grid))));
+        self.maps.write().insert(id, entry.clone());
+        entry
+    }
+
+    /// Registers a 3D map, replacing any previous map under the id.
+    pub fn insert_grid3(&self, id: impl Into<MapId>, grid: BitGrid3) -> Arc<MapEntry> {
+        let id = id.into();
+        let entry = Arc::new(MapEntry::new(id.clone(), MapData::Grid3(Arc::new(grid))));
+        self.maps.write().insert(id, entry.clone());
+        entry
+    }
+
+    /// Looks up a map.
+    pub fn get(&self, id: &MapId) -> Option<Arc<MapEntry>> {
+        self.maps.read().get(id).cloned()
+    }
+
+    /// Number of registered maps.
+    pub fn len(&self) -> usize {
+        self.maps.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.maps.read().is_empty()
+    }
+
+    /// All registered ids (unordered).
+    pub fn ids(&self) -> Vec<MapId> {
+        self.maps.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_grid::gen::{campus_3d, city_map, CityName};
+
+    #[test]
+    fn registry_roundtrip_and_replace() {
+        let reg = MapRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert_grid2("boston", city_map(CityName::Boston, 64, 64));
+        reg.insert_grid3("campus", campus_3d(1, 32, 32, 16));
+        assert_eq!(reg.len(), 2);
+        let boston = reg.get(&MapId::new("boston")).unwrap();
+        assert!(boston.data.is_2d());
+        assert!(reg.get(&MapId::new("campus")).unwrap().grid3().is_some());
+        assert!(reg.get(&MapId::new("nowhere")).is_none());
+        // Replacement swaps the entry without touching the old Arc.
+        let old = reg.get(&MapId::new("boston")).unwrap();
+        reg.insert_grid2("boston", city_map(CityName::Berlin, 64, 64));
+        let new = reg.get(&MapId::new("boston")).unwrap();
+        assert!(!Arc::ptr_eq(&old, &new));
+    }
+
+    #[test]
+    fn artifacts_are_lazy_and_built_once() {
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("m", city_map(CityName::Paris, 64, 64));
+        assert_eq!(entry.artifact_builds(), 0, "must be lazy");
+        let a = entry.artifacts2().expect("2d map has artifacts");
+        let b = entry.artifacts2().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cached, not rebuilt");
+        assert_eq!(entry.artifact_builds(), 1);
+        assert_eq!((Occupancy2::width(&a.inflated), Occupancy2::height(&a.inflated)), (64, 64));
+        assert!(a.reachable(a.reach_seed));
+    }
+
+    #[test]
+    fn artifacts_absent_for_3d() {
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid3("c", campus_3d(2, 24, 24, 12));
+        assert!(entry.artifacts2().is_none());
+    }
+
+    #[test]
+    fn disconnected_prefilter() {
+        // Two free pockets separated by a wall.
+        let mut g = BitGrid2::new(9, 3);
+        for y in 0..3 {
+            g.set(Cell2::new(4, y), true);
+        }
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("split", g);
+        let art = entry.artifacts2().unwrap();
+        // Seed is on the left; right pocket is unreachable.
+        assert!(art.definitely_disconnected(Cell2::new(1, 1), Cell2::new(7, 1)));
+        assert!(!art.definitely_disconnected(Cell2::new(1, 0), Cell2::new(3, 2)));
+    }
+}

@@ -1,0 +1,319 @@
+//! Request and response types of the planning service.
+
+use racod_geom::{Cell2, Cell3};
+use racod_search::AstarConfig;
+use racod_sim::{Footprint2, Footprint3};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies a registered map. Cheap to clone and hash (shared string).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MapId(Arc<str>);
+
+impl MapId {
+    /// Creates an id from any string-ish value.
+    pub fn new(id: impl AsRef<str>) -> Self {
+        MapId(Arc::from(id.as_ref()))
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for MapId {
+    fn from(s: &str) -> Self {
+        MapId::new(s)
+    }
+}
+
+impl From<String> for MapId {
+    fn from(s: String) -> Self {
+        MapId::new(s)
+    }
+}
+
+/// What a request asks the service to compute.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Plan on a registered 2D map.
+    Plan2 {
+        /// Start cell (must already be footprint-free; the server does not
+        /// snap endpoints, so results stay bit-identical to direct calls).
+        start: Cell2,
+        /// Goal cell.
+        goal: Cell2,
+        /// Robot footprint.
+        footprint: Footprint2,
+    },
+    /// Plan on a registered 3D map.
+    Plan3 {
+        /// Start voxel.
+        start: Cell3,
+        /// Goal voxel.
+        goal: Cell3,
+        /// Robot footprint.
+        footprint: Footprint3,
+    },
+    /// Chaos-testing payload: the executing worker panics *inside* the
+    /// per-request isolation boundary. The response reports
+    /// [`Outcome::Panicked`] and the worker keeps serving.
+    Poison,
+    /// Chaos-testing payload: the executing worker thread panics *outside*
+    /// the per-request boundary, killing the worker loop. The supervisor
+    /// respawns it; any requests sharing the batch are reported lost.
+    PoisonWorker,
+}
+
+/// Which execution backend serves the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Timed software model (`plan_software_*`): `threads` contexts,
+    /// optional RASExp runahead depth.
+    SimSoftware {
+        /// Execution contexts in the timing model.
+        threads: usize,
+        /// RASExp depth; `None` is baseline multithreading.
+        runahead: Option<usize>,
+    },
+    /// Timed RACOD model with a per-worker, per-map *warm* [`racod_codacc::CodaccPool`]
+    /// (map-affinity batching keeps its L0/L1 caches hot).
+    Racod {
+        /// CODAcc unit count.
+        units: usize,
+    },
+    /// Real OS threads via `racod-parallel` (wall-clock execution, no
+    /// simulated cycle attribution).
+    Threads {
+        /// Worker thread count.
+        threads: usize,
+        /// Runahead depth; `0` disables speculation.
+        runahead: usize,
+    },
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform::Racod { units: 8 }
+    }
+}
+
+/// Scheduling priority class; lower is more urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-critical traffic (e.g. an in-motion replan).
+    High,
+    /// Regular interactive traffic.
+    #[default]
+    Normal,
+    /// Batch / prefetch traffic.
+    Low,
+}
+
+/// One planning request.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// Which registered map to plan on.
+    pub map: MapId,
+    /// What to compute.
+    pub workload: Workload,
+    /// Search configuration (weight, recording).
+    pub astar: AstarConfig,
+    /// Execution backend.
+    pub platform: Platform,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Completion budget measured from submission. A request still queued
+    /// past its deadline is dropped ([`Outcome::TimedOut`]); one already
+    /// executing runs to completion (cooperative model — collision checks
+    /// are never aborted mid-flight, preserving determinism).
+    pub deadline: Option<Duration>,
+}
+
+impl PlanRequest {
+    /// A 2D request with default footprint (car), search config, platform,
+    /// and priority.
+    pub fn plan2(map: impl Into<MapId>, start: Cell2, goal: Cell2) -> Self {
+        PlanRequest {
+            map: map.into(),
+            workload: Workload::Plan2 { start, goal, footprint: Footprint2::car() },
+            astar: AstarConfig::default(),
+            platform: Platform::default(),
+            priority: Priority::default(),
+            deadline: None,
+        }
+    }
+
+    /// A 3D request with default footprint (drone).
+    pub fn plan3(map: impl Into<MapId>, start: Cell3, goal: Cell3) -> Self {
+        PlanRequest {
+            map: map.into(),
+            workload: Workload::Plan3 { start, goal, footprint: Footprint3::drone() },
+            astar: AstarConfig::default(),
+            platform: Platform::default(),
+            priority: Priority::default(),
+            deadline: None,
+        }
+    }
+
+    /// Replaces the footprint of a 2D/3D workload (no-op for poison
+    /// payloads).
+    pub fn with_footprint2(mut self, footprint: Footprint2) -> Self {
+        if let Workload::Plan2 { footprint: f, .. } = &mut self.workload {
+            *f = footprint;
+        }
+        self
+    }
+
+    /// Replaces the platform.
+    pub fn with_platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Replaces the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces the search configuration.
+    pub fn with_astar(mut self, astar: AstarConfig) -> Self {
+        self.astar = astar;
+        self
+    }
+}
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The ingress queue is at capacity; retry with backoff.
+    QueueFull,
+    /// No map registered under the request's id.
+    UnknownMap(MapId),
+    /// The workload dimensionality does not match the registered map
+    /// (e.g. a 3D plan against a 2D map).
+    DimensionMismatch,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "ingress queue full"),
+            Rejected::UnknownMap(id) => write!(f, "unknown map {id}"),
+            Rejected::DimensionMismatch => write!(f, "workload dimension != map dimension"),
+            Rejected::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// The path part of a completed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlannedPath {
+    /// 2D result (`None` = goal unreachable).
+    P2(Option<Vec<Cell2>>),
+    /// 3D result.
+    P3(Option<Vec<Cell3>>),
+}
+
+impl PlannedPath {
+    /// Whether a path was found.
+    pub fn found(&self) -> bool {
+        match self {
+            PlannedPath::P2(p) => p.is_some(),
+            PlannedPath::P3(p) => p.is_some(),
+        }
+    }
+
+    /// Path length in states (0 if unreachable).
+    pub fn len(&self) -> usize {
+        match self {
+            PlannedPath::P2(p) => p.as_ref().map_or(0, Vec::len),
+            PlannedPath::P3(p) => p.as_ref().map_or(0, Vec::len),
+        }
+    }
+
+    /// Whether no path was found.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A successfully executed plan.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    /// The computed path (bit-identical to a direct planner call with the
+    /// same scenario).
+    pub path: PlannedPath,
+    /// Path cost (`f64::INFINITY` if unreachable).
+    pub cost: f64,
+    /// A* expansions performed.
+    pub expansions: u64,
+    /// Simulated cycles (0 for [`Platform::Threads`], which is not a
+    /// timing model).
+    pub sim_cycles: u64,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Time spent executing on the worker.
+    pub service_time: Duration,
+    /// Whether the worker reused a warm per-map pool (map-affinity hit).
+    pub warm_start: bool,
+}
+
+/// Terminal status of an admitted request.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The plan ran; inspect [`Planned::path`] for reachability.
+    Planned(Planned),
+    /// Dropped: still queued when its deadline passed, or known-infeasible
+    /// from the map's cached reachability artifact.
+    TimedOut {
+        /// How long the request sat in the queue before being dropped.
+        queued_for: Duration,
+    },
+    /// The request was cancelled via [`crate::Ticket::cancel`] before
+    /// execution started.
+    Cancelled,
+    /// The worker panicked while executing this request (isolated; the
+    /// worker keeps serving).
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The executing worker died before producing a response (its
+    /// supervisor respawned it, but this request's state was lost).
+    Lost,
+}
+
+/// Unique per-server request id.
+pub type RequestId = u64;
+
+/// The server's answer to one admitted request.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// Id assigned at submission (matches [`crate::Ticket::id`]).
+    pub id: RequestId,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Index of the worker that produced the response (`usize::MAX` when
+    /// the scheduler answered without dispatching, e.g. queue-expiry).
+    pub worker: usize,
+}

@@ -1,0 +1,408 @@
+//! Admission control, deadline-aware ordering, and map-affinity batching.
+//!
+//! The scheduler has two halves:
+//!
+//! * a pure, unit-testable [`PendingQueue`] that orders admitted requests by
+//!   urgency (priority class, then absolute deadline, then submission order)
+//!   and carves *map-affine batches* out of that order, and
+//! * a dispatcher thread (see [`crate::PlanServer`]) that drains the bounded
+//!   ingress channel into the queue, expires requests whose deadline passed
+//!   while queued, and hands batches to idle workers — preferring the map a
+//!   worker served last, so its warm per-map accelerator state
+//!   ([`racod_codacc::CodaccPool`] caches) is reused instead of rebuilt.
+
+use crate::metrics::ServerMetrics;
+use crate::registry::MapEntry;
+use crate::request::{MapId, Outcome, PlanRequest, PlanResponse, RequestId};
+use crossbeam::channel::Sender;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Total order of queued requests: smaller = served sooner.
+///
+/// The triple is (priority class, absolute deadline in µs since the server
+/// epoch — `u64::MAX` when none, admission sequence number). Ordering a
+/// deadline ahead of an equal-priority no-deadline request implements
+/// earliest-deadline-first within each class; the sequence number makes the
+/// order total and FIFO among ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct UrgencyKey {
+    /// Priority class as a small integer (High = 0).
+    pub class: u8,
+    /// Absolute deadline in microseconds since the server epoch.
+    pub deadline_us: u64,
+    /// Admission sequence number.
+    pub seq: u64,
+}
+
+/// An admitted request travelling through the scheduler to a worker.
+#[derive(Debug)]
+pub struct Admitted {
+    /// Request id.
+    pub id: RequestId,
+    /// The original request.
+    pub req: PlanRequest,
+    /// The resolved registry entry (pinned at admission; a concurrent map
+    /// replacement does not affect this request).
+    pub entry: Arc<MapEntry>,
+    /// Submission instant.
+    pub submitted_at: Instant,
+    /// Absolute deadline, if any.
+    pub deadline_at: Option<Instant>,
+    /// Cooperative cancellation flag shared with the ticket.
+    pub cancel: Arc<AtomicBool>,
+    /// Urgency key assigned at admission.
+    pub key: UrgencyKey,
+    /// The reply slot (exactly one terminal response per request).
+    pub reply: ReplySlot,
+}
+
+impl Admitted {
+    /// Whether the ticket cancelled this request.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Whether the deadline passed as of `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline_at.is_some_and(|d| now >= d)
+    }
+}
+
+/// Owns the one-shot reply channel of a request and guarantees accounting:
+/// exactly one terminal response is delivered, and the in-system counter is
+/// decremented exactly once — even if the request is dropped mid-flight by
+/// a dying worker (the drop path reports [`Outcome::Lost`]).
+#[derive(Debug)]
+pub struct ReplySlot {
+    id: RequestId,
+    tx: Sender<PlanResponse>,
+    metrics: Arc<ServerMetrics>,
+    done: bool,
+}
+
+impl ReplySlot {
+    /// Creates a slot. `tx` must be a capacity-1 channel dedicated to this
+    /// request.
+    pub fn new(id: RequestId, tx: Sender<PlanResponse>, metrics: Arc<ServerMetrics>) -> Self {
+        ReplySlot { id, tx, metrics, done: false }
+    }
+
+    /// Sends the terminal response and settles the accounting.
+    pub fn finish(mut self, outcome: Outcome, worker: usize) {
+        self.done = true;
+        self.settle(&outcome);
+        // A dropped ticket just means nobody is listening; ignore.
+        let _ = self.tx.try_send(PlanResponse { id: self.id, outcome, worker });
+    }
+
+    fn settle(&self, outcome: &Outcome) {
+        let m = &self.metrics;
+        m.in_system.fetch_sub(1, Ordering::Relaxed);
+        match outcome {
+            Outcome::Planned(_) => m.completed.fetch_add(1, Ordering::Relaxed),
+            Outcome::TimedOut { .. } => m.timed_out.fetch_add(1, Ordering::Relaxed),
+            Outcome::Cancelled => m.cancelled.fetch_add(1, Ordering::Relaxed),
+            Outcome::Panicked { .. } => m.panicked.fetch_add(1, Ordering::Relaxed),
+            Outcome::Lost => m.lost.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+impl Drop for ReplySlot {
+    fn drop(&mut self) {
+        if !self.done {
+            self.settle(&Outcome::Lost);
+            let _ = self.tx.try_send(PlanResponse {
+                id: self.id,
+                outcome: Outcome::Lost,
+                worker: usize::MAX,
+            });
+        }
+    }
+}
+
+/// A deadline- and priority-ordered queue of admitted requests with
+/// map-affinity batch extraction. Pure data structure — no threads, no
+/// clocks — so its policy is directly unit-testable.
+#[derive(Debug, Default)]
+pub struct PendingQueue {
+    items: Vec<Admitted>,
+}
+
+impl PendingQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts an admitted request.
+    pub fn push(&mut self, item: Admitted) {
+        self.items.push(item);
+    }
+
+    /// Key of the most urgent request, if any.
+    pub fn min_key(&self) -> Option<UrgencyKey> {
+        self.items.iter().map(|i| i.key).min()
+    }
+
+    /// Removes and returns every request matching `pred` (used for expiry
+    /// and cancellation sweeps).
+    pub fn drain_where(&mut self, mut pred: impl FnMut(&Admitted) -> bool) -> Vec<Admitted> {
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < self.items.len() {
+            if pred(&self.items[i]) {
+                taken.push(self.items.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        taken.sort_by_key(|a| a.key);
+        taken
+    }
+
+    /// Drains everything in urgency order (shutdown path).
+    pub fn drain_all(&mut self) -> Vec<Admitted> {
+        self.drain_where(|_| true)
+    }
+
+    /// Extracts the next batch: up to `max` requests sharing one map, in
+    /// urgency order.
+    ///
+    /// The batch map is the most urgent request's map — unless `prefer`
+    /// (the worker's previously served map) has a request whose urgency is
+    /// within `slack_us` of the global minimum *at the same priority class*,
+    /// in which case the preferred map wins. That trade is what makes
+    /// affinity batching safe: a worker keeps its warm state only when doing
+    /// so delays the truly most-urgent request by a bounded, configured
+    /// amount.
+    pub fn take_batch(
+        &mut self,
+        max: usize,
+        prefer: Option<&MapId>,
+        slack_us: u64,
+    ) -> Vec<Admitted> {
+        let Some(global_min) = self.min_key() else { return Vec::new() };
+        let map = prefer
+            .and_then(|p| {
+                self.items
+                    .iter()
+                    .filter(|i| &i.req.map == p)
+                    .map(|i| i.key)
+                    .min()
+                    .filter(|k| {
+                        k.class == global_min.class
+                            && k.deadline_us.saturating_sub(global_min.deadline_us) <= slack_us
+                    })
+                    .map(|_| p.clone())
+            })
+            .unwrap_or_else(|| {
+                self.items
+                    .iter()
+                    .min_by_key(|i| i.key)
+                    .map(|i| i.req.map.clone())
+                    .expect("non-empty")
+            });
+        let mut batch = self.drain_where(|i| i.req.map == map);
+        if batch.len() > max {
+            // Return the overflow (least urgent first stays queued).
+            for extra in batch.split_off(max) {
+                self.items.push(extra);
+            }
+        }
+        batch
+    }
+}
+
+/// Duration → absolute µs since `epoch` for [`UrgencyKey::deadline_us`].
+pub fn deadline_us_since(epoch: Instant, deadline_at: Option<Instant>) -> u64 {
+    match deadline_at {
+        None => u64::MAX,
+        Some(d) => d.saturating_duration_since(epoch).as_micros().min(u64::MAX as u128) as u64,
+    }
+}
+
+/// Convenience constructor for an urgency key.
+pub fn urgency_key(
+    priority: crate::request::Priority,
+    epoch: Instant,
+    deadline_at: Option<Instant>,
+    seq: u64,
+) -> UrgencyKey {
+    UrgencyKey { class: priority as u8, deadline_us: deadline_us_since(epoch, deadline_at), seq }
+}
+
+/// Returns true when `deadline` elapsed relative to `submitted_at`.
+pub fn past_deadline(submitted_at: Instant, deadline: Option<Duration>, now: Instant) -> bool {
+    deadline.is_some_and(|d| now.duration_since(submitted_at) >= d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MapRegistry;
+    use crate::request::{PlanRequest, Priority};
+    use racod_geom::Cell2;
+    use racod_grid::BitGrid2;
+
+    fn mk(
+        seq: u64,
+        map: &str,
+        priority: Priority,
+        deadline_us: u64,
+        reg: &MapRegistry,
+        metrics: &Arc<ServerMetrics>,
+    ) -> (Admitted, crossbeam::channel::Receiver<PlanResponse>) {
+        let id = MapId::new(map);
+        let entry = match reg.get(&id) {
+            Some(e) => e,
+            None => reg.insert_grid2(map, BitGrid2::new(8, 8)),
+        };
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        metrics.in_system.fetch_add(1, Ordering::Relaxed);
+        let req =
+            PlanRequest::plan2(map, Cell2::new(0, 0), Cell2::new(1, 1)).with_priority(priority);
+        let admitted = Admitted {
+            id: seq,
+            req,
+            entry,
+            submitted_at: Instant::now(),
+            deadline_at: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+            key: UrgencyKey { class: priority as u8, deadline_us, seq },
+            reply: ReplySlot::new(seq, tx, metrics.clone()),
+        };
+        (admitted, rx)
+    }
+
+    #[test]
+    fn urgency_orders_priority_then_deadline_then_seq() {
+        let hi = UrgencyKey { class: 0, deadline_us: u64::MAX, seq: 9 };
+        let normal_tight = UrgencyKey { class: 1, deadline_us: 100, seq: 8 };
+        let normal_loose = UrgencyKey { class: 1, deadline_us: 200, seq: 1 };
+        let fifo_a = UrgencyKey { class: 1, deadline_us: 200, seq: 0 };
+        assert!(hi < normal_tight);
+        assert!(normal_tight < normal_loose);
+        assert!(fifo_a < normal_loose);
+    }
+
+    #[test]
+    fn batch_is_single_map_in_urgency_order() {
+        let reg = MapRegistry::new();
+        let metrics = Arc::new(ServerMetrics::new());
+        let mut q = PendingQueue::new();
+        let mut rxs = Vec::new();
+        for (seq, map) in [(0, "a"), (1, "b"), (2, "a"), (3, "a"), (4, "b")] {
+            let (it, rx) = mk(seq, map, Priority::Normal, u64::MAX, &reg, &metrics);
+            q.push(it);
+            rxs.push(rx);
+        }
+        let batch = q.take_batch(8, None, 0);
+        // Most urgent (seq 0) is on map "a"; all of "a" comes out, ordered.
+        assert_eq!(batch.iter().map(|i| i.id).collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(q.len(), 2);
+        for b in batch {
+            b.reply.finish(Outcome::Cancelled, 0);
+        }
+    }
+
+    #[test]
+    fn batch_respects_max_and_keeps_overflow() {
+        let reg = MapRegistry::new();
+        let metrics = Arc::new(ServerMetrics::new());
+        let mut q = PendingQueue::new();
+        let mut rxs = Vec::new();
+        for seq in 0..5 {
+            let (it, rx) = mk(seq, "m", Priority::Normal, u64::MAX, &reg, &metrics);
+            q.push(it);
+            rxs.push(rx);
+        }
+        let batch = q.take_batch(2, None, 0);
+        assert_eq!(batch.iter().map(|i| i.id).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(q.len(), 3);
+        let batch2 = q.take_batch(8, None, 0);
+        assert_eq!(batch2.iter().map(|i| i.id).collect::<Vec<_>>(), vec![2, 3, 4]);
+        for b in batch.into_iter().chain(batch2) {
+            b.reply.finish(Outcome::Cancelled, 0);
+        }
+    }
+
+    #[test]
+    fn affinity_prefers_warm_map_within_slack() {
+        let reg = MapRegistry::new();
+        let metrics = Arc::new(ServerMetrics::new());
+        let mut q = PendingQueue::new();
+        let mut rxs = Vec::new();
+        // "cold" is globally most urgent by deadline; "warm" trails by 50µs.
+        let (a, rx_a) = mk(0, "cold", Priority::Normal, 1000, &reg, &metrics);
+        let (b, rx_b) = mk(1, "warm", Priority::Normal, 1050, &reg, &metrics);
+        q.push(a);
+        q.push(b);
+        rxs.push(rx_a);
+        rxs.push(rx_b);
+        // Slack 100µs: warm map wins.
+        let warm = MapId::new("warm");
+        let batch = q.take_batch(8, Some(&warm), 100);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].req.map, warm);
+        batch.into_iter().next().unwrap().reply.finish(Outcome::Cancelled, 0);
+        // Slack 10µs: the deadline gap (50µs) exceeds it — cold map wins.
+        let (c, rx_c) = mk(2, "cold", Priority::Normal, 1000, &reg, &metrics);
+        q.push(c);
+        rxs.push(rx_c);
+        let batch = q.take_batch(8, Some(&warm), 10);
+        assert_eq!(batch[0].req.map, MapId::new("cold"));
+        batch.into_iter().next().unwrap().reply.finish(Outcome::Cancelled, 0);
+    }
+
+    #[test]
+    fn affinity_never_crosses_priority_classes() {
+        let reg = MapRegistry::new();
+        let metrics = Arc::new(ServerMetrics::new());
+        let mut q = PendingQueue::new();
+        let (a, _rx_a) = mk(0, "cold", Priority::High, u64::MAX, &reg, &metrics);
+        let (b, _rx_b) = mk(1, "warm", Priority::Normal, 0, &reg, &metrics);
+        q.push(a);
+        q.push(b);
+        let warm = MapId::new("warm");
+        // Even with unbounded slack, a lower class never preempts High.
+        let batch = q.take_batch(8, Some(&warm), u64::MAX);
+        assert_eq!(batch[0].req.map, MapId::new("cold"));
+        for b in batch.into_iter().chain(q.drain_all()) {
+            b.reply.finish(Outcome::Cancelled, 0);
+        }
+    }
+
+    #[test]
+    fn reply_slot_drop_reports_lost() {
+        let reg = MapRegistry::new();
+        let metrics = Arc::new(ServerMetrics::new());
+        let (item, rx) = mk(7, "m", Priority::Normal, u64::MAX, &reg, &metrics);
+        drop(item);
+        let resp = rx.try_recv().expect("drop must still produce a response");
+        assert!(matches!(resp.outcome, Outcome::Lost));
+        assert_eq!(metrics.lost.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.in_system.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn deadline_key_monotonic_in_time() {
+        let epoch = Instant::now();
+        let near = deadline_us_since(epoch, Some(epoch + Duration::from_millis(1)));
+        let far = deadline_us_since(epoch, Some(epoch + Duration::from_secs(1)));
+        assert!(near < far);
+        assert_eq!(deadline_us_since(epoch, None), u64::MAX);
+    }
+}

@@ -1,0 +1,305 @@
+//! The worker pool: executes map-affine batches with per-request panic
+//! isolation, warm per-map accelerator state, and supervisor respawn.
+//!
+//! Each worker slot is one OS thread running a supervisor loop. The
+//! supervisor wraps the serving loop in `catch_unwind`; if a panic ever
+//! escapes the per-request boundary (a bug, or the `PoisonWorker` chaos
+//! payload), the supervisor counts a respawn and re-enters the loop with
+//! fresh state — requests lost with the dying loop resolve to
+//! [`Outcome::Lost`] through their [`crate::scheduler::ReplySlot`] drop
+//! guards, so no ticket ever hangs.
+
+use crate::metrics::ServerMetrics;
+use crate::request::{MapId, Outcome, Planned, PlannedPath, Platform, Workload};
+use crate::scheduler::Admitted;
+use crossbeam::channel::Receiver;
+use racod_codacc::{software_check_2d, software_check_3d, CodaccPool};
+use racod_parallel::{ParallelConfig, ParallelPlanner};
+use racod_search::{GridSpace2, GridSpace3};
+use racod_sim::planner::{
+    plan_racod_2d_pooled, plan_racod_3d_pooled, plan_software_2d, plan_software_3d, Scenario2,
+    Scenario3,
+};
+use racod_sim::CostModel;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A batch of same-map requests handed to one worker.
+pub type Batch = Vec<Admitted>;
+
+/// Warm per-map execution state owned by one worker: the CODAcc pool whose
+/// L0/L1 caches hold lines of that map's grid. Keyed by `(map, units)` so a
+/// request asking for a different accelerator count gets a matching pool.
+struct WarmState {
+    pools: HashMap<(MapId, usize), CodaccPool>,
+}
+
+impl WarmState {
+    fn new() -> Self {
+        WarmState { pools: HashMap::new() }
+    }
+
+    /// Takes the pool for `(map, units)` out of the cache (re-inserted
+    /// after a successful run; kept out if the run panics, so a poisoned
+    /// pool never serves another request). Returns `(pool, was_warm)`.
+    fn take(&mut self, map: &MapId, units: usize) -> (CodaccPool, bool) {
+        match self.pools.remove(&(map.clone(), units)) {
+            Some(pool) => (pool, true),
+            None => (CodaccPool::new(units), false),
+        }
+    }
+
+    fn put_back(&mut self, map: &MapId, units: usize, pool: CodaccPool) {
+        self.pools.insert((map.clone(), units), pool);
+    }
+}
+
+/// Spawns one worker slot: a supervised thread consuming batches from `rx`.
+pub fn spawn_worker(
+    index: usize,
+    rx: Receiver<Batch>,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("racod-worker-{index}"))
+        .spawn(move || loop {
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                worker_loop(index, &rx, &metrics);
+            }));
+            match run {
+                Ok(()) => break, // channel disconnected: orderly shutdown
+                Err(_) => {
+                    metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    // Re-enter with fresh warm state.
+                }
+            }
+        })
+        .expect("spawn worker thread")
+}
+
+fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>) {
+    let mut warm = WarmState::new();
+    while let Ok(batch) = rx.recv() {
+        let mut batch_map: Option<MapId> = None;
+        for item in batch {
+            let now = Instant::now();
+            if item.cancelled() {
+                item.reply.finish(Outcome::Cancelled, index);
+                continue;
+            }
+            if item.expired(now) {
+                let queued_for = now.duration_since(item.submitted_at);
+                item.reply.finish(Outcome::TimedOut { queued_for }, index);
+                continue;
+            }
+            let queue_wait = now.duration_since(item.submitted_at);
+            metrics.queue_wait.record(queue_wait);
+            batch_map = Some(item.req.map.clone());
+
+            let Admitted { req, entry, reply, submitted_at, .. } = item;
+            let exec = catch_unwind(AssertUnwindSafe(|| {
+                execute(&req.workload, req.platform, &req.astar, &entry, &mut warm)
+            }));
+            let service_time = Instant::now().duration_since(now);
+            metrics.service.record(service_time);
+            let outcome = match exec {
+                Ok(mut planned) => {
+                    planned.queue_wait = queue_wait;
+                    planned.service_time = service_time;
+                    Outcome::Planned(planned)
+                }
+                Err(payload) => {
+                    if payload.is::<WorkerPoison>() {
+                        // Chaos payload: re-raise past the per-request
+                        // boundary so the supervisor observes a worker
+                        // death. The dropped reply resolves as Lost.
+                        drop(reply);
+                        std::panic::resume_unwind(payload);
+                    }
+                    // `as_ref` matters: `&payload` would coerce the *Box*
+                    // itself into `&dyn Any` and every downcast would miss.
+                    Outcome::Panicked { message: panic_message(payload.as_ref()) }
+                }
+            };
+            metrics.total.record(Instant::now().duration_since(submitted_at));
+            reply.finish(outcome, index);
+        }
+        let _ = batch_map;
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one request against its pinned map entry. Panics propagate to
+/// the per-request `catch_unwind` in [`worker_loop`] (which re-raises the
+/// [`WorkerPoison`] marker to kill the whole loop).
+fn execute(
+    workload: &Workload,
+    platform: Platform,
+    astar: &racod_search::AstarConfig,
+    entry: &crate::registry::MapEntry,
+    warm: &mut WarmState,
+) -> Planned {
+    match workload {
+        Workload::Poison => panic!("poison request"),
+        Workload::PoisonWorker => {
+            std::panic::resume_unwind(Box::new(WorkerPoison));
+        }
+        Workload::Plan2 { start, goal, footprint } => {
+            let grid = entry.grid2().expect("dimension checked at admission");
+            // Definite-infeasibility prefilter from the cached per-map
+            // reachability artifact: if exactly one endpoint is in the
+            // seed's free component no path can exist, and a direct planner
+            // call would also return an empty path — skip the search.
+            if let Some(art) = entry.artifacts2() {
+                if art.definitely_disconnected(*start, *goal) {
+                    return Planned {
+                        path: PlannedPath::P2(None),
+                        cost: f64::INFINITY,
+                        expansions: 0,
+                        sim_cycles: 0,
+                        queue_wait: Default::default(),
+                        service_time: Default::default(),
+                        warm_start: false,
+                    };
+                }
+            }
+            let mut sc = Scenario2::new(grid).with_astar(astar.clone());
+            sc.footprint = *footprint;
+            sc.start = *start;
+            sc.goal = *goal;
+            match platform {
+                Platform::SimSoftware { threads, runahead } => {
+                    let out = plan_software_2d(&sc, threads, runahead, &CostModel::i3_software());
+                    planned2(out, false)
+                }
+                Platform::Racod { units } => {
+                    let (mut pool, was_warm) = warm.take(&sc_map_id(entry), units);
+                    let out = plan_racod_2d_pooled(&sc, &mut pool, &CostModel::racod());
+                    warm.put_back(&sc_map_id(entry), units, pool);
+                    planned2(out, was_warm)
+                }
+                Platform::Threads { threads, runahead } => {
+                    let grid = grid.clone();
+                    let fp = *footprint;
+                    let goal_c = *goal;
+                    let planner =
+                        ParallelPlanner::new(ParallelConfig { threads, runahead }, move |s| {
+                            software_check_2d(grid.as_ref(), &fp.obb_at(s, goal_c))
+                                .verdict
+                                .is_free()
+                        });
+                    let space = GridSpace2::eight_connected(
+                        racod_grid::Occupancy2::width(sc.grid),
+                        racod_grid::Occupancy2::height(sc.grid),
+                    );
+                    let run = planner.plan(&space, *start, *goal);
+                    Planned {
+                        path: PlannedPath::P2(run.result.path),
+                        cost: run.result.cost,
+                        expansions: run.result.stats.expansions,
+                        sim_cycles: 0,
+                        queue_wait: Default::default(),
+                        service_time: Default::default(),
+                        warm_start: false,
+                    }
+                }
+            }
+        }
+        Workload::Plan3 { start, goal, footprint } => {
+            let grid = entry.grid3().expect("dimension checked at admission");
+            let mut sc = Scenario3::new(grid);
+            sc.astar = astar.clone();
+            sc.footprint = *footprint;
+            sc.start = *start;
+            sc.goal = *goal;
+            match platform {
+                Platform::SimSoftware { threads, runahead } => {
+                    let out = plan_software_3d(&sc, threads, runahead, &CostModel::i3_software());
+                    planned3(out, false)
+                }
+                Platform::Racod { units } => {
+                    let (mut pool, was_warm) = warm.take(&sc_map_id(entry), units);
+                    let out = plan_racod_3d_pooled(&sc, &mut pool, &CostModel::racod());
+                    warm.put_back(&sc_map_id(entry), units, pool);
+                    planned3(out, was_warm)
+                }
+                Platform::Threads { threads, runahead } => {
+                    let grid = grid.clone();
+                    let fp = *footprint;
+                    let goal_c = *goal;
+                    let planner =
+                        ParallelPlanner::new(ParallelConfig { threads, runahead }, move |s| {
+                            software_check_3d(grid.as_ref(), &fp.obb_at(s, goal_c))
+                                .verdict
+                                .is_free()
+                        });
+                    let space = GridSpace3::twenty_six_connected(
+                        racod_grid::Occupancy3::size_x(sc.grid),
+                        racod_grid::Occupancy3::size_y(sc.grid),
+                        racod_grid::Occupancy3::size_z(sc.grid),
+                    );
+                    let run = planner.plan(&space, *start, *goal);
+                    Planned {
+                        path: PlannedPath::P3(run.result.path),
+                        cost: run.result.cost,
+                        expansions: run.result.stats.expansions,
+                        sim_cycles: 0,
+                        queue_wait: Default::default(),
+                        service_time: Default::default(),
+                        warm_start: false,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Marker payload for the `PoisonWorker` chaos workload: the per-request
+/// catch re-raises it so the worker loop itself dies and the supervisor
+/// respawns the slot.
+pub struct WorkerPoison;
+
+fn sc_map_id(entry: &crate::registry::MapEntry) -> MapId {
+    entry.id.clone()
+}
+
+fn planned2(out: racod_sim::PlanOutcome<racod_geom::Cell2>, warm: bool) -> Planned {
+    Planned {
+        path: PlannedPath::P2(out.result.path),
+        cost: out.result.cost,
+        expansions: out.result.stats.expansions,
+        sim_cycles: out.cycles,
+        queue_wait: Default::default(),
+        service_time: Default::default(),
+        warm_start: warm,
+    }
+}
+
+fn planned3(out: racod_sim::PlanOutcome<racod_geom::Cell3>, warm: bool) -> Planned {
+    Planned {
+        path: PlannedPath::P3(out.result.path),
+        cost: out.result.cost,
+        expansions: out.result.stats.expansions,
+        sim_cycles: out.cycles,
+        queue_wait: Default::default(),
+        service_time: Default::default(),
+        warm_start: warm,
+    }
+}

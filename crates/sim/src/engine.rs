@@ -47,12 +47,8 @@ impl UnitPool {
     /// that frees earliest. Returns `(unit, start, finish)`; `start` is
     /// `max(now, unit's busy_until)`.
     pub fn dispatch(&mut self, now: u64, duration: u64) -> (usize, u64, u64) {
-        let (unit, &busy) = self
-            .busy_until
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &b)| b)
-            .expect("pool is non-empty");
+        let (unit, &busy) =
+            self.busy_until.iter().enumerate().min_by_key(|&(_, &b)| b).expect("pool is non-empty");
         let start = now.max(busy);
         let finish = start + duration;
         self.busy_until[unit] = finish;
@@ -116,7 +112,7 @@ mod tests {
         let mut p = UnitPool::new(2);
         p.dispatch(0, 100); // unit A busy till 100
         p.dispatch(0, 10); // unit B busy till 10
-        // Next job at t=20 should go to B (free) not A.
+                           // Next job at t=20 should go to B (free) not A.
         let (_, start, finish) = p.dispatch(20, 5);
         assert_eq!(start, 20);
         assert_eq!(finish, 25);

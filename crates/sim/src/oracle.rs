@@ -193,9 +193,8 @@ where
                 }
                 None => {
                     now += self.cost.dispatch_serial;
-                    let (free, finish) = self
-                        .dispatch_check(s, now, true)
-                        .expect("queued dispatch always succeeds");
+                    let (free, finish) =
+                        self.dispatch_check(s, now, true).expect("queued dispatch always succeeds");
                     if let Some(i) = idx {
                         self.table.record(i, free, Provenance::Demand);
                         self.finish_time[i] = finish;
@@ -274,7 +273,11 @@ mod tests {
         }
     }
 
-    fn run(grid: &BitGrid2, cfg: TimedOracleConfig, check_cycles: u64) -> (bool, PlanTiming, RasexpStats) {
+    fn run(
+        grid: &BitGrid2,
+        cfg: TimedOracleConfig,
+        check_cycles: u64,
+    ) -> (bool, PlanTiming, RasexpStats) {
         let space = GridSpace2::eight_connected(grid.width(), grid.height());
         let mut oracle = TimedOracle::new(
             &space,

@@ -100,12 +100,7 @@ mod tests {
         let pase_out = plan_pase_2d(&sc, 32, &cost);
         let ras = plan_software_2d(&sc, 32, Some(32), &cost);
         assert!(pase_out.result.found() && ras.result.found());
-        assert!(
-            ras.cycles < pase_out.cycles,
-            "RASExp {} vs PA*SE {}",
-            ras.cycles,
-            pase_out.cycles
-        );
+        assert!(ras.cycles < pase_out.cycles, "RASExp {} vs PA*SE {}", ras.cycles, pase_out.cycles);
     }
 
     #[test]

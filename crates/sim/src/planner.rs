@@ -52,7 +52,8 @@ impl<'g> Scenario2<'g> {
     pub fn with_free_endpoints(mut self, sx: i64, sy: i64, gx: i64, gy: i64) -> Self {
         // Snap with provisional orientations, then re-verify: orientation
         // depends on the goal, so a second pass settles both.
-        let mut goal = free_near_footprint_2d(self.grid, &self.footprint, gx, gy, Cell2::new(sx, sy));
+        let mut goal =
+            free_near_footprint_2d(self.grid, &self.footprint, gx, gy, Cell2::new(sx, sy));
         let mut start = free_near_footprint_2d(self.grid, &self.footprint, sx, sy, goal);
         for _ in 0..3 {
             let g2 = free_near_footprint_2d(self.grid, &self.footprint, gx, gy, start);
@@ -87,8 +88,13 @@ impl<'g> Scenario2<'g> {
     }
 }
 
-/// Finds the cell nearest `(x, y)` at which the robot footprint (oriented
-/// toward `toward`) is collision-free.
+/// Finds the cell nearest `(x, y)` at which the robot footprint is
+/// collision-free both oriented toward `toward` *and* at rest.
+///
+/// The at-rest check matters for goal cells: the search checker evaluates
+/// `obb_at(goal, goal)`, whose zero direction degenerates to the identity
+/// orientation, so a cell that is only free when oriented toward the start
+/// would make the goal state itself infeasible.
 ///
 /// # Panics
 ///
@@ -108,7 +114,10 @@ pub fn free_near_footprint_2d(
                 }
                 let c = Cell2::new(x + dx, y + dy);
                 let obb = footprint.obb_at(c, toward);
-                if software_check_2d(grid, &obb).verdict.is_free() {
+                let at_rest = footprint.obb_at(c, c);
+                if software_check_2d(grid, &obb).verdict.is_free()
+                    && software_check_2d(grid, &at_rest).verdict.is_free()
+                {
                     return c;
                 }
             }
@@ -139,8 +148,9 @@ pub fn free_near_2d(grid: &BitGrid2, x: i64, y: i64) -> Cell2 {
     panic!("grid has no free cell near ({x}, {y})");
 }
 
-/// Finds the voxel nearest `(x, y, z)` at which the 3D robot footprint
-/// (yawed toward `toward`) is collision-free.
+/// Finds the voxel nearest `(x, y, z)` at which the 3D robot footprint is
+/// collision-free both yawed toward `toward` *and* at rest (identity yaw,
+/// which is what the search checker tests at the goal voxel itself).
 ///
 /// # Panics
 ///
@@ -162,7 +172,10 @@ pub fn free_near_footprint_3d(
                     }
                     let c = Cell3::new(x + dx, y + dy, z + dz);
                     let obb = footprint.obb_at(c, toward);
-                    if software_check_3d(grid, &obb).verdict.is_free() {
+                    let at_rest = footprint.obb_at(c, c);
+                    if software_check_3d(grid, &obb).verdict.is_free()
+                        && software_check_3d(grid, &at_rest).verdict.is_free()
+                    {
                         return c;
                     }
                 }
@@ -234,11 +247,7 @@ impl<'g> Scenario3<'g> {
 
     /// Sets start/goal to the nearest voxels where the robot footprint is
     /// collision-free.
-    pub fn with_free_endpoints(
-        mut self,
-        s: (i64, i64, i64),
-        g: (i64, i64, i64),
-    ) -> Self {
+    pub fn with_free_endpoints(mut self, s: (i64, i64, i64), g: (i64, i64, i64)) -> Self {
         let mut goal =
             free_near_footprint_3d(self.grid, &self.footprint, g, Cell3::new(s.0, s.1, s.2));
         let mut start = free_near_footprint_3d(self.grid, &self.footprint, s, goal);
@@ -320,6 +329,39 @@ impl<'g> TimedChecker<Cell2> for HwChecker2<'g> {
     }
 }
 
+/// CODAcc checker over a 2D grid borrowing a caller-owned pool, so cache
+/// state survives across planning episodes (serving-layer map affinity).
+struct HwChecker2Pooled<'g, 'p> {
+    grid: &'g BitGrid2,
+    footprint: Footprint2,
+    goal: Cell2,
+    pool: &'p mut CodaccPool,
+}
+
+impl<'g, 'p> TimedChecker<Cell2> for HwChecker2Pooled<'g, 'p> {
+    fn check(&mut self, unit: usize, s: Cell2) -> (bool, u64) {
+        let obb = self.footprint.obb_at(s, self.goal);
+        let out = self.pool.check_2d(unit, self.grid, &obb);
+        (out.verdict.is_free(), out.cycles)
+    }
+}
+
+/// CODAcc checker over a 3D grid borrowing a caller-owned pool.
+struct HwChecker3Pooled<'g, 'p> {
+    grid: &'g BitGrid3,
+    footprint: Footprint3,
+    goal: Cell3,
+    pool: &'p mut CodaccPool,
+}
+
+impl<'g, 'p> TimedChecker<Cell3> for HwChecker3Pooled<'g, 'p> {
+    fn check(&mut self, unit: usize, s: Cell3) -> (bool, u64) {
+        let obb = self.footprint.obb_at(s, self.goal);
+        let out = self.pool.check_3d(unit, self.grid, &obb);
+        (out.verdict.is_free(), out.cycles)
+    }
+}
+
 /// CODAcc checker over a 3D grid.
 struct HwChecker3<'g> {
     grid: &'g BitGrid3,
@@ -393,6 +435,56 @@ pub fn plan_racod_2d_ext(
         TimedOracleConfig::baseline(units)
     };
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
+    PlanOutcome {
+        result,
+        cycles: oracle.clock(),
+        timing: oracle.timing(),
+        stats: oracle.stats().clone(),
+        l0_stats,
+    }
+}
+
+/// Plans on the RACOD platform reusing a caller-owned [`CodaccPool`].
+///
+/// Verdicts — and therefore the returned path — are bit-identical to
+/// [`plan_racod_2d`]; only the *cycle* attribution differs, because the
+/// pool's L0/L1 caches stay warm across calls. A serving layer that batches
+/// consecutive requests on the same map through one pool models exactly the
+/// paper's "shared environment state" amortization.
+pub fn plan_racod_2d_pooled(
+    sc: &Scenario2<'_>,
+    pool: &mut CodaccPool,
+    cost: &CostModel,
+) -> PlanOutcome<Cell2> {
+    let units = pool.units();
+    let checker = HwChecker2Pooled { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, pool };
+    let mut oracle =
+        TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units));
+    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
+    PlanOutcome {
+        result,
+        cycles: oracle.clock(),
+        timing: oracle.timing(),
+        stats: oracle.stats().clone(),
+        l0_stats,
+    }
+}
+
+/// Plans on the RACOD platform in 3D reusing a caller-owned [`CodaccPool`].
+///
+/// See [`plan_racod_2d_pooled`] for the warm-cache semantics.
+pub fn plan_racod_3d_pooled(
+    sc: &Scenario3<'_>,
+    pool: &mut CodaccPool,
+    cost: &CostModel,
+) -> PlanOutcome<Cell3> {
+    let units = pool.units();
+    let checker = HwChecker3Pooled { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, pool };
+    let mut oracle =
+        TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units));
     let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     PlanOutcome {
@@ -580,11 +672,6 @@ mod tests {
         let bm = plan_software_2d(&sc, 32, None, &cost);
         let ras = plan_software_2d(&sc, 32, Some(32), &cost);
         assert_eq!(bm.result.path, ras.result.path);
-        assert!(
-            ras.cycles < bm.cycles,
-            "software RASExp {} vs BM {}",
-            ras.cycles,
-            bm.cycles
-        );
+        assert!(ras.cycles < bm.cycles, "software RASExp {} vs BM {}", ras.cycles, bm.cycles);
     }
 }

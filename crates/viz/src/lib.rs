@@ -69,11 +69,7 @@ pub fn render_ascii<F: Fn(Cell2) -> CellClass>(grid: &BitGrid2, classify: F) -> 
     for y in (0..h).rev() {
         for x in 0..w {
             let c = Cell2::new(x, y);
-            let ch = if grid.occupied(c) == Some(true) {
-                '#'
-            } else {
-                classify(c).glyph()
-            };
+            let ch = if grid.occupied(c) == Some(true) { '#' } else { classify(c).glyph() };
             out.push(ch);
         }
         out.push('\n');
@@ -90,11 +86,7 @@ pub fn render_ppm<F: Fn(Cell2) -> CellClass>(grid: &BitGrid2, classify: F) -> Ve
     for y in (0..h as i64).rev() {
         for x in 0..w as i64 {
             let c = Cell2::new(x, y);
-            let rgb = if grid.occupied(c) == Some(true) {
-                [40, 40, 40]
-            } else {
-                classify(c).rgb()
-            };
+            let rgb = if grid.occupied(c) == Some(true) { [40, 40, 40] } else { classify(c).rgb() };
             out.extend_from_slice(&rgb);
         }
     }
@@ -230,9 +222,7 @@ pub fn render_slice_ascii(grid: &racod_grid::BitGrid3, z: i64) -> String {
     let mut out = String::with_capacity(((w + 1) * h) as usize);
     for y in (0..h).rev() {
         for x in 0..w {
-            let occupied = grid
-                .occupied(racod_geom::Cell3::new(x, y, z))
-                .unwrap_or(true);
+            let occupied = grid.occupied(racod_geom::Cell3::new(x, y, z)).unwrap_or(true);
             out.push(if occupied { '#' } else { '.' });
         }
         out.push('\n');
@@ -257,9 +247,7 @@ pub fn render_elevation_ascii(grid: &racod_grid::BitGrid3, y: i64) -> String {
     let mut out = String::with_capacity(((w + 1) * d) as usize);
     for z in (0..d).rev() {
         for x in 0..w {
-            let occupied = grid
-                .occupied(racod_geom::Cell3::new(x, y, z))
-                .unwrap_or(true);
+            let occupied = grid.occupied(racod_geom::Cell3::new(x, y, z)).unwrap_or(true);
             out.push(if occupied { '#' } else { '.' });
         }
         out.push('\n');

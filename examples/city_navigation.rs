@@ -39,8 +39,8 @@ fn main() {
     let s = free_near_footprint_2d(&grid, &fp, 10, 10, Cell2::new(245, 245));
     let g = free_near_footprint_2d(&grid, &fp, 245, 245, s);
     for eps in [1.0f64, 2.0, 4.0] {
-        let scenario = Scenario2::new(&grid)
-            .with_astar(AstarConfig { weight: eps, ..Default::default() });
+        let scenario =
+            Scenario2::new(&grid).with_astar(AstarConfig { weight: eps, ..Default::default() });
         let mut scenario = scenario;
         scenario.start = s;
         scenario.goal = g;

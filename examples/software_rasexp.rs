@@ -48,8 +48,7 @@ fn main() {
         ("RASExp x8, runahead 32", ParallelConfig::rasexp(8, 32)),
     ] {
         let shared = grid.clone();
-        let planner =
-            ParallelPlanner::new(cfg, move |c: Cell2| expensive_check(&shared, c));
+        let planner = ParallelPlanner::new(cfg, move |c: Cell2| expensive_check(&shared, c));
         let space = GridSpace2::eight_connected(256, 256);
         // Take the best of three runs (thread start-up noise).
         let mut best: Option<racod::parallel::ParallelRun<Cell2>> = None;

@@ -19,14 +19,11 @@ fn assert_all_strategies_agree(city: CityName, seed: u64) {
 
     // Functional RASExp oracle at several runahead depths.
     for depth in [2usize, 8, 32] {
-        let mut oracle = RunaheadOracle::new(
-            &sc.space,
-            RunaheadConfig::with_runahead(depth),
-            |c: Cell2| {
+        let mut oracle =
+            RunaheadOracle::new(&sc.space, RunaheadConfig::with_runahead(depth), |c: Cell2| {
                 let obb = sc.footprint.obb_at(c, sc.goal);
                 software_check_2d(&grid, &obb).verdict.is_free()
-            },
-        );
+            });
         let r = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
         assert_eq!(r.path, reference.result.path, "{city}: RASExp depth {depth} diverged");
         assert_eq!(

@@ -10,10 +10,8 @@ fn car_plans_through_every_city() {
         let grid = city_map(city, 256, 256);
         let sc = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
         let out = plan_software_2d(&sc, 1, None, &CostModel::i3_software());
-        let path = out
-            .result
-            .path
-            .unwrap_or_else(|| panic!("{city}: no route between snapped endpoints"));
+        let path =
+            out.result.path.unwrap_or_else(|| panic!("{city}: no route between snapped endpoints"));
         // Endpoints match the scenario.
         assert_eq!(path[0], sc.start, "{city}");
         assert_eq!(*path.last().unwrap(), sc.goal, "{city}");

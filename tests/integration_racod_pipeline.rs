@@ -55,26 +55,13 @@ fn l0_size_affects_planning_time() {
     let grid = city_map(CityName::Berlin, 256, 256);
     let sc = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
     let cost = CostModel::racod();
-    let tiny = plan_racod_2d_ext(
-        &sc,
-        8,
-        &cost,
-        Default::default(),
-        CacheConfig::l0_sized(64),
-        true,
-    );
-    let large = plan_racod_2d_ext(
-        &sc,
-        8,
-        &cost,
-        Default::default(),
-        CacheConfig::l0_sized(1024),
-        true,
-    );
+    let tiny =
+        plan_racod_2d_ext(&sc, 8, &cost, Default::default(), CacheConfig::l0_sized(64), true);
+    let large =
+        plan_racod_2d_ext(&sc, 8, &cost, Default::default(), CacheConfig::l0_sized(1024), true);
     assert!(tiny.result.found());
     assert_eq!(tiny.result.path, large.result.path, "cache size is invisible functionally");
-    let (t_hr, l_hr) =
-        (tiny.l0_stats.unwrap().hit_ratio(), large.l0_stats.unwrap().hit_ratio());
+    let (t_hr, l_hr) = (tiny.l0_stats.unwrap().hit_ratio(), large.l0_stats.unwrap().hit_ratio());
     assert!(l_hr >= t_hr, "hit ratio should grow with size: {t_hr:.2} -> {l_hr:.2}");
     assert!(large.cycles <= tiny.cycles, "better caching must not slow planning");
 }

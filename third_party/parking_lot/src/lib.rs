@@ -1,0 +1,201 @@
+//! Offline, API-compatible subset of the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s poison-free API
+//! (`lock()` returns the guard directly). Fairness and inline-futex
+//! performance characteristics of the real crate are not reproduced; for
+//! this workspace the locks guard coarse scheduler state, not hot paths.
+
+#![warn(missing_docs)]
+
+use std::sync::{self, Condvar as StdCondvar};
+use std::time::Duration;
+
+pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// A mutex that ignores poisoning, like `parking_lot::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock that ignores poisoning, like `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write lock.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Blocks until notified; the guard is reacquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // parking_lot waits in place on `&mut guard`; emulate by moving the
+        // guard through std's API via unsafe-free replace-with-wait.
+        take_and_wait(&self.0, guard, None);
+    }
+
+    /// Blocks until notified or `timeout` elapses; returns `true` on
+    /// timeout (matching `parking_lot::WaitTimeoutResult::timed_out`).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        take_and_wait(&self.0, guard, Some(timeout))
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+fn take_and_wait<T>(
+    cv: &StdCondvar,
+    guard: &mut MutexGuard<'_, T>,
+    timeout: Option<Duration>,
+) -> bool {
+    // std's Condvar consumes and returns the guard; we need in-place waiting
+    // over `&mut MutexGuard`. Rebuild the guard through a scoped swap: this
+    // is safe because the guard returned by `wait` locks the same mutex.
+    replace_with(guard, |g| match timeout {
+        None => (cv.wait(g).unwrap_or_else(sync::PoisonError::into_inner), false),
+        Some(t) => {
+            let (g, r) = cv.wait_timeout(g, t).unwrap_or_else(sync::PoisonError::into_inner);
+            (g, r.timed_out())
+        }
+    })
+}
+
+/// Replaces `*slot` with `f(old)`, returning `f`'s auxiliary output.
+///
+/// Aborts the process if `f` panics (std's condvar wait only panics on
+/// poison, which we already strip), so the temporary hole is never observed.
+fn replace_with<'a, T, R>(
+    slot: &mut MutexGuard<'a, T>,
+    f: impl FnOnce(MutexGuard<'a, T>) -> (MutexGuard<'a, T>, R),
+) -> R {
+    struct Abort;
+    impl Drop for Abort {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    unsafe {
+        let old = std::ptr::read(slot);
+        let bomb = Abort;
+        let (new, out) = f(old);
+        std::mem::forget(bomb);
+        std::ptr::write(slot, new);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Condvar, Mutex, RwLock};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(10)));
+    }
+}
