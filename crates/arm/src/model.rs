@@ -70,8 +70,8 @@ impl JointConfig {
         }
         let t = step / d;
         let mut a = [0.0f32; 5];
-        for i in 0..5 {
-            a[i] = self.angles[i] + (to.angles[i] - self.angles[i]) * t;
+        for (i, ai) in a.iter_mut().enumerate() {
+            *ai = self.angles[i] + (to.angles[i] - self.angles[i]) * t;
         }
         JointConfig { angles: a }
     }
@@ -79,8 +79,8 @@ impl JointConfig {
     /// Linear interpolation: `t = 0` is `self`, `t = 1` is `to`.
     pub fn lerp(&self, to: &JointConfig, t: f32) -> JointConfig {
         let mut a = [0.0f32; 5];
-        for i in 0..5 {
-            a[i] = self.angles[i] + (to.angles[i] - self.angles[i]) * t;
+        for (i, ai) in a.iter_mut().enumerate() {
+            *ai = self.angles[i] + (to.angles[i] - self.angles[i]) * t;
         }
         JointConfig { angles: a }
     }
@@ -176,8 +176,8 @@ impl ArmModel {
     /// Clamps a configuration into the joint limits.
     pub fn clamp(&self, q: &JointConfig) -> JointConfig {
         let mut a = q.angles();
-        for i in 0..5 {
-            a[i] = a[i].clamp(self.limits[i].0, self.limits[i].1);
+        for (ai, &(lo, hi)) in a.iter_mut().zip(self.limits.iter()) {
+            *ai = ai.clamp(lo, hi);
         }
         JointConfig::new(a)
     }
@@ -208,7 +208,7 @@ impl ArmModel {
             let half = link_dir.apply(Vec3::new(0.0, link.width / 2.0, link.height / 2.0));
             let obb = Obb3::new(origin - half, link.length, link.width, link.height, link_dir);
             obbs.push(obb);
-            origin = origin + link_dir.axis_x() * link.length;
+            origin += link_dir.axis_x() * link.length;
         }
         obbs
     }

@@ -1,7 +1,9 @@
 //! Table 2 companion bench: throughput of individual CODAcc checks vs the
-//! software reference checker, across OBB sizes and orientations.
+//! software reference checker, across OBB sizes and orientations — plus the
+//! warm-cache word-parallel template kernel that the planners check with.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use racod::geom::FootprintTemplate2;
 use racod::prelude::*;
 use std::hint::black_box;
 
@@ -20,6 +22,15 @@ fn bench_checks(c: &mut Criterion) {
                 let mut pool = CodaccPool::new(1);
                 b.iter(|| black_box(pool.check_2d(0, &grid, black_box(obb))))
             },
+        );
+        // The warm-cache fast path: template precompiled, per-check work is
+        // the masked-AND scan. Same state as the OBB above.
+        let tpl = FootprintTemplate2::for_box(l, w, Rotation2::from_angle(0.45));
+        let state = Cell2::new(200, 200);
+        group.bench_with_input(
+            BenchmarkId::new("template_kernel", format!("{l}x{w}")),
+            &tpl,
+            |b, tpl| b.iter(|| black_box(template_check_2d(&grid, black_box(state), tpl))),
         );
     }
     group.finish();

@@ -5,7 +5,7 @@ use racod::prelude::*;
 use std::hint::black_box;
 
 fn bench_fig5(c: &mut Criterion) {
-    let grid = campus_3d(0xD20_5, 64, 64, 24);
+    let grid = campus_3d(0xD205, 64, 64, 24);
     let sc = Scenario3::new(&grid).with_free_endpoints((3, 3, 12), (60, 60, 12));
     let base_cost = CostModel::i3_software();
     let racod_cost = CostModel::racod();

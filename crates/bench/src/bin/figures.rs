@@ -22,7 +22,7 @@ fn main() {
     let t0 = Instant::now();
 
     if want("table2") {
-        section("table2", || exp::table2());
+        section("table2", exp::table2);
     }
     if want("fig3") {
         section("fig3", || exp::fig3(scale).to_string());

@@ -17,7 +17,7 @@ pub const HOBB_H: usize = 3;
 pub const HOBB_REGISTERS: usize = HOBB_L * HOBB_W * HOBB_H;
 
 /// One HOBB register: cell address plus occupancy bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HobbRegister {
     /// Byte address of the `u32` word holding this cell's occupancy bit, or
     /// `None` when the address generation found the cell out of the grid —
@@ -27,12 +27,6 @@ pub struct HobbRegister {
     pub value: bool,
     /// Whether the value has been filled (pending tracking for the RU).
     pub filled: bool,
-}
-
-impl Default for HobbRegister {
-    fn default() -> Self {
-        HobbRegister { addr: None, value: false, filled: false }
-    }
 }
 
 /// The register lattice for one partition step.

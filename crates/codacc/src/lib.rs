@@ -44,6 +44,7 @@ pub mod hobb;
 pub mod power;
 pub mod reduce;
 pub mod sched;
+pub mod template;
 pub mod unit;
 
 pub use check::{software_check_2d, software_check_3d, SoftwareCheck};
@@ -51,4 +52,7 @@ pub use hobb::{Hobb, HOBB_H, HOBB_L, HOBB_REGISTERS, HOBB_W};
 pub use power::AreaPowerModel;
 pub use reduce::{LoadQueue, ReductionUnit, LOAD_QUEUE_ENTRIES};
 pub use sched::{partition_tiles, partition_tiles_ordered, PartitionOrder, Tile};
+pub use template::{
+    template_check_2d, template_check_2d_scalar, template_check_3d, template_check_3d_scalar,
+};
 pub use unit::{CheckOutcome, CodaccPool, CodaccTiming, Verdict};

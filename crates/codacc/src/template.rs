@@ -1,0 +1,327 @@
+//! Word-parallel collision checks against compiled footprint templates.
+//!
+//! The scalar checker ([`crate::software_check_2d`]) probes the bit-packed
+//! grid one cell at a time. For a footprint compiled into
+//! [`FootprintTemplate2`] mask rows, a whole row span can instead be tested
+//! with a handful of `u32` AND operations against the grid's backing words —
+//! up to 32 cells per probe — while producing a [`SoftwareCheck`] that is
+//! **bit-identical** to walking the template cells one by one:
+//!
+//! * Both scan the template in canonical grid order (ascending `(y, x)`).
+//! * A row whose first cell falls outside the grid yields `Invalid` with
+//!   `cells_checked` = cells of earlier rows + 1, exactly like the scalar
+//!   early exit (out-of-bounds cells of a row always sort after its
+//!   in-bounds cells, and rows reject on their leftmost cell first).
+//! * On a masked hit, the first set bit of `mask & grid_word` identifies the
+//!   lowest-`x` colliding cell; `cells_checked` is reconstructed as the
+//!   popcount of mask bits strictly below it, plus one, plus the prefix
+//!   count of earlier rows ([`TemplateRow2::cells_before`]).
+//!
+//! The scalar walks ([`template_check_2d_scalar`] /
+//! [`template_check_3d_scalar`]) are kept as the property-test oracle.
+
+use crate::check::SoftwareCheck;
+use crate::unit::Verdict;
+use racod_geom::{Cell2, Cell3, FootprintTemplate2, FootprintTemplate3};
+use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
+
+/// Set bits of `mask` strictly below relative bit `r`.
+#[inline]
+fn popcount_below(mask: &[u32], r: usize) -> usize {
+    let w = r >> 5;
+    let mut n = 0;
+    for &m in &mask[..w] {
+        n += m.count_ones() as usize;
+    }
+    n + (mask[w] & ((1u32 << (r & 31)) - 1)).count_ones() as usize
+}
+
+/// Word `i` of `mask`, with bits at relative positions `>= limit` cleared.
+#[inline]
+fn mask_word(mask: &[u32], i: usize, limit: Option<usize>) -> u32 {
+    if i >= mask.len() {
+        return 0;
+    }
+    let w = mask[i];
+    match limit {
+        Some(l) if i > (l >> 5) => 0,
+        Some(l) if i == (l >> 5) => w & ((1u32 << (l & 31)) - 1),
+        _ => w,
+    }
+}
+
+/// The template mask re-aligned to grid-word `k` of the span: relative bit
+/// `r` of the (trimmed) mask lands on bit `(r + shift) % 32` of aligned word
+/// `(r + shift) / 32`.
+#[inline]
+fn aligned_word(mask: &[u32], k: usize, shift: u32, limit: Option<usize>) -> u32 {
+    let hi = mask_word(mask, k, limit);
+    if shift == 0 {
+        return hi;
+    }
+    let lo = if k > 0 { mask_word(mask, k - 1, limit) >> (32 - shift) } else { 0 };
+    (hi << shift) | lo
+}
+
+#[inline]
+fn verdict_at(verdict: Verdict, cells_checked: usize, total: usize) -> SoftwareCheck {
+    SoftwareCheck { verdict, cells_checked, cells_total: total }
+}
+
+/// Evaluates one mask row against word-aligned grid storage.
+///
+/// `row_base` is the index of the row's first word in `words`; the row spans
+/// columns `[0, width)`. Returns the scalar-equivalent outcome of scanning
+/// this row's template cells in ascending `x`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn eval_row(
+    words: &[u32],
+    row_base: usize,
+    width: i64,
+    x0: i64,
+    mask: &[u32],
+    span: i64,
+    cells_before: usize,
+    total: usize,
+) -> Option<SoftwareCheck> {
+    let x_end = x0 + span;
+    let limit = if x_end > width { Some((width - x0) as usize) } else { None };
+    let span_eff = limit.map(|l| l as i64).unwrap_or(span);
+    let gw0 = (x0 >> 5) as usize;
+    let shift = (x0 & 31) as u32;
+    let n_gw = ((x0 + span_eff - 1) >> 5) as usize - gw0 + 1;
+    for k in 0..n_gw {
+        let m = aligned_word(mask, k, shift, limit);
+        if m == 0 {
+            continue;
+        }
+        let hit = m & words[row_base + gw0 + k];
+        if hit != 0 {
+            let b_abs = ((gw0 + k) as i64) * 32 + hit.trailing_zeros() as i64;
+            let r = (b_abs - x0) as usize;
+            let checked = cells_before + popcount_below(mask, r) + 1;
+            return Some(verdict_at(Verdict::Collision, checked, total));
+        }
+    }
+    limit.map(|l| {
+        // All in-bounds cells of the row were free; the next template cell
+        // in scan order overhangs the right edge.
+        verdict_at(Verdict::Invalid, cells_before + popcount_below(mask, l) + 1, total)
+    })
+}
+
+/// Checks a footprint template at `state` with word-parallel probes.
+///
+/// Bit-identical (verdict *and* `cells_checked`) to
+/// [`template_check_2d_scalar`] on the same grid, state, and template.
+///
+/// # Example
+///
+/// ```
+/// use racod_codacc::{template_check_2d, Verdict};
+/// use racod_geom::{Cell2, FootprintTemplate2, Rotation2};
+/// use racod_grid::BitGrid2;
+///
+/// let grid = BitGrid2::new(64, 64);
+/// let tpl = FootprintTemplate2::for_box(16.0, 8.0, Rotation2::from_angle(0.45));
+/// let out = template_check_2d(&grid, Cell2::new(30, 30), &tpl);
+/// assert_eq!(out.verdict, Verdict::Free);
+/// assert_eq!(out.cells_checked, tpl.cell_count());
+/// ```
+pub fn template_check_2d(grid: &BitGrid2, state: Cell2, tpl: &FootprintTemplate2) -> SoftwareCheck {
+    let total = tpl.cell_count();
+    let width = grid.width() as i64;
+    let height = grid.height() as i64;
+    let words = grid.words();
+    let row_words = grid.row_words() as usize;
+    for row in tpl.rows() {
+        let y = state.y + row.dy;
+        let x0 = state.x + row.dx0;
+        if y < 0 || y >= height || x0 < 0 || x0 >= width {
+            // The row's leftmost cell — checked first in canonical order —
+            // is outside the grid.
+            return verdict_at(Verdict::Invalid, row.cells_before + 1, total);
+        }
+        let span = row.dx_end() - row.dx0;
+        if let Some(out) = eval_row(
+            words,
+            (y as usize) * row_words,
+            width,
+            x0,
+            &row.mask,
+            span,
+            row.cells_before,
+            total,
+        ) {
+            return out;
+        }
+    }
+    verdict_at(Verdict::Free, total, total)
+}
+
+/// 3D counterpart of [`template_check_2d`]: word-parallel probes over the
+/// voxel grid's x-rows.
+pub fn template_check_3d(grid: &BitGrid3, state: Cell3, tpl: &FootprintTemplate3) -> SoftwareCheck {
+    let total = tpl.cell_count();
+    let (sx, sy, sz) = (grid.size_x() as i64, grid.size_y() as i64, grid.size_z() as i64);
+    let words = grid.words();
+    let row_words = grid.row_words() as usize;
+    for row in tpl.rows() {
+        let z = state.z + row.dz;
+        let y = state.y + row.dy;
+        let x0 = state.x + row.dx0;
+        if z < 0 || z >= sz || y < 0 || y >= sy || x0 < 0 || x0 >= sx {
+            return verdict_at(Verdict::Invalid, row.cells_before + 1, total);
+        }
+        let span = row.dx_end() - row.dx0;
+        let row_base = ((z * sy + y) as usize) * row_words;
+        if let Some(out) =
+            eval_row(words, row_base, sx, x0, &row.mask, span, row.cells_before, total)
+        {
+            return out;
+        }
+    }
+    verdict_at(Verdict::Free, total, total)
+}
+
+/// Scalar reference walk of a 2D template: checks `state + offset` cell by
+/// cell in canonical order, early-exiting exactly like
+/// [`crate::software_check_2d`] does over sampled cells.
+pub fn template_check_2d_scalar<G: Occupancy2>(
+    grid: &G,
+    state: Cell2,
+    tpl: &FootprintTemplate2,
+) -> SoftwareCheck {
+    let total = tpl.cell_count();
+    let mut checked = 0;
+    for o in tpl.offsets() {
+        checked += 1;
+        match grid.occupied(state.offset(o.x, o.y)) {
+            None => return verdict_at(Verdict::Invalid, checked, total),
+            Some(true) => return verdict_at(Verdict::Collision, checked, total),
+            Some(false) => {}
+        }
+    }
+    verdict_at(Verdict::Free, checked, total)
+}
+
+/// Scalar reference walk of a 3D template.
+pub fn template_check_3d_scalar<G: Occupancy3>(
+    grid: &G,
+    state: Cell3,
+    tpl: &FootprintTemplate3,
+) -> SoftwareCheck {
+    let total = tpl.cell_count();
+    let mut checked = 0;
+    for o in tpl.offsets() {
+        checked += 1;
+        match grid.occupied(state.offset(o.x, o.y, o.z)) {
+            None => return verdict_at(Verdict::Invalid, checked, total),
+            Some(true) => return verdict_at(Verdict::Collision, checked, total),
+            Some(false) => {}
+        }
+    }
+    verdict_at(Verdict::Free, checked, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_geom::Rotation2;
+
+    fn assert_identical(grid: &BitGrid2, state: Cell2, tpl: &FootprintTemplate2) {
+        let fast = template_check_2d(grid, state, tpl);
+        let slow = template_check_2d_scalar(grid, state, tpl);
+        assert_eq!(fast, slow, "state {state}");
+    }
+
+    #[test]
+    fn free_grid_checks_every_cell() {
+        let grid = BitGrid2::new(64, 64);
+        let tpl = FootprintTemplate2::for_box(16.0, 8.0, Rotation2::from_angle(0.45));
+        let out = template_check_2d(&grid, Cell2::new(30, 30), &tpl);
+        assert_eq!(out.verdict, Verdict::Free);
+        assert_eq!(out.cells_checked, out.cells_total);
+        assert_identical(&grid, Cell2::new(30, 30), &tpl);
+    }
+
+    #[test]
+    fn collision_reports_exact_early_exit() {
+        let mut grid = BitGrid2::new(64, 64);
+        let tpl = FootprintTemplate2::for_box(8.0, 3.0, Rotation2::from_angle(0.3));
+        // Occupy a cell in the middle of the footprint.
+        let s = Cell2::new(20, 20);
+        let cells = tpl.expand(s);
+        grid.set(cells[cells.len() / 2], true);
+        let out = template_check_2d(&grid, s, &tpl);
+        assert_eq!(out.verdict, Verdict::Collision);
+        assert_eq!(out.cells_checked, cells.len() / 2 + 1);
+        assert_identical(&grid, s, &tpl);
+    }
+
+    #[test]
+    fn out_of_bounds_matches_scalar_on_all_edges() {
+        let grid = BitGrid2::new(48, 48);
+        let tpl = FootprintTemplate2::for_box(9.0, 4.0, Rotation2::from_angle(1.1));
+        for s in [
+            Cell2::new(0, 0),
+            Cell2::new(47, 47),
+            Cell2::new(-3, 20),
+            Cell2::new(20, -3),
+            Cell2::new(46, 20),
+            Cell2::new(20, 46),
+            Cell2::new(200, 200),
+        ] {
+            assert_identical(&grid, s, &tpl);
+        }
+    }
+
+    #[test]
+    fn filled_padding_bits_do_not_leak() {
+        // width 33 → 31 padding bits in the second word of each row, set by
+        // `filled`. A footprint inside the grid must still see Collision
+        // with the exact scalar count, and one overhanging the right edge
+        // must see Invalid, not a phantom collision.
+        let grid = BitGrid2::filled(33, 8);
+        let tpl = FootprintTemplate2::for_box(3.0, 3.0, Rotation2::IDENTITY);
+        assert_identical(&grid, Cell2::new(30, 3), &tpl);
+        assert_identical(&grid, Cell2::new(31, 3), &tpl);
+        let free = BitGrid2::new(33, 8);
+        assert_identical(&free, Cell2::new(30, 3), &tpl);
+        assert_identical(&free, Cell2::new(31, 3), &tpl);
+    }
+
+    #[test]
+    fn unaligned_spans_cross_word_boundaries() {
+        let mut grid = BitGrid2::new(128, 16);
+        let tpl = FootprintTemplate2::for_box(40.0, 0.0, Rotation2::IDENTITY);
+        for x in [0i64, 1, 20, 29, 30, 31, 32, 33, 60, 87] {
+            let s = Cell2::new(x, 5);
+            assert_identical(&grid, s, &tpl);
+        }
+        grid.set(Cell2::new(64, 5), true);
+        for x in [20i64, 29, 31, 33, 60] {
+            assert_identical(&grid, Cell2::new(x, 5), &tpl);
+        }
+    }
+
+    #[test]
+    fn template3_kernel_matches_scalar() {
+        let mut grid = BitGrid3::new(48, 48, 24);
+        grid.fill_box(10, 10, 0, 20, 20, 10, true);
+        let rot = racod_geom::Rotation3::from_sin_cos(0.0, 1.0, 0.0, 1.0, 0.6, 0.8);
+        let tpl = FootprintTemplate3::for_box(4.0, 4.0, 2.0, rot);
+        for s in [
+            Cell3::new(5, 5, 5),
+            Cell3::new(12, 12, 5),
+            Cell3::new(46, 24, 12),
+            Cell3::new(-2, 4, 4),
+            Cell3::new(24, 24, 23),
+        ] {
+            let fast = template_check_3d(&grid, s, &tpl);
+            let slow = template_check_3d_scalar(&grid, s, &tpl);
+            assert_eq!(fast, slow, "state {s}");
+        }
+    }
+}

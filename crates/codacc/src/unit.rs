@@ -12,7 +12,7 @@
 //! [`crate::software_check_2d`] / [`crate::software_check_3d`]; cycles are
 //! accumulated from Table 2 latencies plus simulated cache behaviour.
 
-use crate::hobb::Hobb;
+use crate::hobb::{Hobb, HOBB_REGISTERS};
 use crate::reduce::{LoadQueue, ReductionUnit};
 use crate::sched::partition_tiles;
 use racod_geom::raster::axis_samples;
@@ -20,6 +20,21 @@ use racod_geom::{Cell2, Cell3, Obb2, Obb3};
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
 use racod_mem::{CacheConfig, LatencyModel, MemSystem};
 use std::fmt;
+
+/// Outcome of one HOBB tile's trip through the datapath.
+enum TileResult {
+    /// An out-of-range address short-circuited the step.
+    Invalid,
+    /// The OR output rose at the given pipeline finish cycle.
+    Collision(u64),
+    /// All blocks returned free; the step finished at the given cycle.
+    Free(u64),
+}
+
+struct TileOutcome {
+    result: TileResult,
+    blocks: usize,
+}
 
 /// The collision verdict of a check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -202,6 +217,54 @@ impl CodaccPool {
         self.lq_stalls
     }
 
+    /// Runs one HOBB tile through the datapath: load addresses, validate,
+    /// coalesce into blocks, stream through the load queue, and OR the
+    /// returning bits with early exit.
+    ///
+    /// `items` is one `(word address, occupied)` pair per HOBB register of
+    /// the tile; `None` addresses are out of range.
+    fn exec_tile(&mut self, unit: usize, items: &[(Option<u64>, bool)]) -> TileOutcome {
+        let addrs: Vec<Option<u64>> = items.iter().map(|&(a, _)| a).collect();
+        self.hobb.load(&addrs);
+        if self.hobb.has_out_of_range() {
+            // Short-circuit: invalid configuration, no memory traffic.
+            self.hobb.clear();
+            return TileOutcome { result: TileResult::Invalid, blocks: 0 };
+        }
+        let valid_addrs: Vec<u64> = addrs.iter().map(|a| a.expect("validated")).collect();
+        let blocks = self.ru.coalesce(&valid_addrs);
+        let mut lq = LoadQueue::new();
+        for &b in &blocks {
+            // LQ drains continuously; model its occupancy only.
+            if !lq.enqueue(b) {
+                lq.dequeue();
+                lq.enqueue(b);
+            }
+        }
+        self.lq_max_depth = self.lq_max_depth.max(lq.max_depth());
+        self.lq_stalls += lq.stalls();
+
+        // Pipelined load-to-OR: requests issue one per cycle; the step
+        // completes at the latest load's return unless the OR rises.
+        let mut finish_all = 0u64;
+        let mut blocks_done = 0;
+        for (i, &b) in blocks.iter().enumerate() {
+            blocks_done += 1;
+            let latency = self.mem.access(unit, b.base());
+            let finish = (i as u64 + 1) * self.timing.issue_per_block + latency;
+            finish_all = finish_all.max(finish);
+            let hit = items.iter().any(|&(a, occupied)| {
+                a.map(|a| a / 64 == b.base() / 64).unwrap_or(false) && occupied
+            });
+            if hit {
+                self.hobb.clear();
+                return TileOutcome { result: TileResult::Collision(finish), blocks: blocks_done };
+            }
+        }
+        self.hobb.clear();
+        TileOutcome { result: TileResult::Free(finish_all), blocks: blocks_done }
+    }
+
     /// Checks a 2D OBB on the given unit.
     ///
     /// # Panics
@@ -226,70 +289,38 @@ impl CodaccPool {
             steps += 1;
             cycles += self.timing.agu_cycles;
             // AGU: cell + word address per register of this tile.
-            let mut cells: Vec<(Cell2, Option<u64>)> =
+            let mut items: Vec<(Option<u64>, bool)> =
                 Vec::with_capacity((tile.x.1 - tile.x.0) * (tile.y.1 - tile.y.0));
-            for j in tile.y.0..tile.y.1 {
-                for i in tile.x.0..tile.x.1 {
-                    let p = obb.origin() + ax * xs[i] + ay * ys[j];
+            for &sy in &ys[tile.y.0..tile.y.1] {
+                for &sx in &xs[tile.x.0..tile.x.1] {
+                    let p = obb.origin() + ax * sx + ay * sy;
                     let c = Cell2::from_point(p);
-                    cells.push((c, grid.cell_addr(c)));
+                    items.push((grid.cell_addr(c), grid.occupied(c) == Some(true)));
                 }
             }
-            let addrs: Vec<Option<u64>> = cells.iter().map(|&(_, a)| a).collect();
-            self.hobb.load(&addrs);
-            if self.hobb.has_out_of_range() {
-                // Short-circuit: invalid configuration, no memory traffic.
-                self.hobb.clear();
-                return CheckOutcome {
-                    verdict: Verdict::Invalid,
-                    cycles: cycles + 1,
-                    steps,
-                    blocks_fetched: blocks_total,
-                    early_exit: true,
-                };
-            }
-            let valid_addrs: Vec<u64> = addrs.iter().map(|a| a.expect("validated")).collect();
-            let blocks = self.ru.coalesce(&valid_addrs);
-            let mut lq = LoadQueue::new();
-            for &b in &blocks {
-                // LQ drains continuously; model its occupancy only.
-                if !lq.enqueue(b) {
-                    lq.dequeue();
-                    lq.enqueue(b);
+            let out = self.exec_tile(unit, &items);
+            blocks_total += out.blocks;
+            match out.result {
+                TileResult::Invalid => {
+                    return CheckOutcome {
+                        verdict: Verdict::Invalid,
+                        cycles: cycles + 1,
+                        steps,
+                        blocks_fetched: blocks_total,
+                        early_exit: true,
+                    }
                 }
-            }
-            self.lq_max_depth = self.lq_max_depth.max(lq.max_depth());
-            self.lq_stalls += lq.stalls();
-
-            // Pipelined load-to-OR: requests issue one per cycle; the step
-            // completes at the latest load's return unless the OR rises.
-            let mut finish_all = 0u64;
-            let mut collided_at: Option<u64> = None;
-            for (i, &b) in blocks.iter().enumerate() {
-                blocks_total += 1;
-                let latency = self.mem.access(unit, b.base());
-                let finish = (i as u64 + 1) * self.timing.issue_per_block + latency;
-                finish_all = finish_all.max(finish);
-                let hit = cells.iter().any(|&(c, a)| {
-                    a.map(|a| a / 64 == b.base() / 64).unwrap_or(false)
-                        && grid.occupied(c) == Some(true)
-                });
-                if hit {
-                    collided_at = Some(finish);
-                    break;
+                TileResult::Collision(f) => {
+                    return CheckOutcome {
+                        verdict: Verdict::Collision,
+                        cycles: cycles + f,
+                        steps,
+                        blocks_fetched: blocks_total,
+                        early_exit: true,
+                    }
                 }
+                TileResult::Free(f) => cycles += f,
             }
-            self.hobb.clear();
-            if let Some(f) = collided_at {
-                return CheckOutcome {
-                    verdict: Verdict::Collision,
-                    cycles: cycles + f,
-                    steps,
-                    blocks_fetched: blocks_total,
-                    early_exit: true,
-                };
-            }
-            cycles += finish_all;
         }
         CheckOutcome {
             verdict: Verdict::Free,
@@ -322,67 +353,158 @@ impl CodaccPool {
         for tile in tiles {
             steps += 1;
             cycles += self.timing.agu_cycles;
-            let mut cells: Vec<(Cell3, Option<u64>)> = Vec::new();
-            for k in tile.z.0..tile.z.1 {
-                for j in tile.y.0..tile.y.1 {
-                    for i in tile.x.0..tile.x.1 {
-                        let p = obb.origin() + ax * xs[i] + ay * ys[j] + az * zs[k];
+            let mut items: Vec<(Option<u64>, bool)> = Vec::new();
+            for &sz in &zs[tile.z.0..tile.z.1] {
+                for &sy in &ys[tile.y.0..tile.y.1] {
+                    for &sx in &xs[tile.x.0..tile.x.1] {
+                        let p = obb.origin() + ax * sx + ay * sy + az * sz;
                         let c = Cell3::from_point(p);
-                        cells.push((c, grid.cell_addr(c)));
+                        items.push((grid.cell_addr(c), grid.occupied(c) == Some(true)));
                     }
                 }
             }
-            let addrs: Vec<Option<u64>> = cells.iter().map(|&(_, a)| a).collect();
-            self.hobb.load(&addrs);
-            if self.hobb.has_out_of_range() {
-                self.hobb.clear();
-                return CheckOutcome {
-                    verdict: Verdict::Invalid,
-                    cycles: cycles + 1,
-                    steps,
-                    blocks_fetched: blocks_total,
-                    early_exit: true,
-                };
-            }
-            let valid_addrs: Vec<u64> = addrs.iter().map(|a| a.expect("validated")).collect();
-            let blocks = self.ru.coalesce(&valid_addrs);
-            let mut lq = LoadQueue::new();
-            for &b in &blocks {
-                if !lq.enqueue(b) {
-                    lq.dequeue();
-                    lq.enqueue(b);
+            let out = self.exec_tile(unit, &items);
+            blocks_total += out.blocks;
+            match out.result {
+                TileResult::Invalid => {
+                    return CheckOutcome {
+                        verdict: Verdict::Invalid,
+                        cycles: cycles + 1,
+                        steps,
+                        blocks_fetched: blocks_total,
+                        early_exit: true,
+                    }
                 }
+                TileResult::Collision(f) => {
+                    return CheckOutcome {
+                        verdict: Verdict::Collision,
+                        cycles: cycles + f,
+                        steps,
+                        blocks_fetched: blocks_total,
+                        early_exit: true,
+                    }
+                }
+                TileResult::Free(f) => cycles += f,
             }
-            self.lq_max_depth = self.lq_max_depth.max(lq.max_depth());
-            self.lq_stalls += lq.stalls();
+        }
+        CheckOutcome {
+            verdict: Verdict::Free,
+            cycles,
+            steps,
+            blocks_fetched: blocks_total,
+            early_exit: false,
+        }
+    }
 
-            let mut finish_all = 0u64;
-            let mut collided_at: Option<u64> = None;
-            for (i, &b) in blocks.iter().enumerate() {
-                blocks_total += 1;
-                let latency = self.mem.access(unit, b.base());
-                let finish = (i as u64 + 1) * self.timing.issue_per_block + latency;
-                finish_all = finish_all.max(finish);
-                let hit = cells.iter().any(|&(c, a)| {
-                    a.map(|a| a / 64 == b.base() / 64).unwrap_or(false)
-                        && grid.occupied(c) == Some(true)
-                });
-                if hit {
-                    collided_at = Some(finish);
-                    break;
+    /// Checks an explicit cell list (e.g. a template expansion) on the given
+    /// unit, tiling it over the HOBB register file.
+    ///
+    /// The cells are treated exactly like AGU output: each occupies one HOBB
+    /// register, [`HOBB_REGISTERS`] per partition step, and out-of-range
+    /// cells short-circuit the check as `Invalid`. Because a template has
+    /// already deduplicated its cells, the register pressure (and hence the
+    /// step count) can be lower than the OBB path's sample lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit >= self.units()`.
+    pub fn check_cells_2d(
+        &mut self,
+        unit: usize,
+        grid: &BitGrid2,
+        cells: &[Cell2],
+    ) -> CheckOutcome {
+        assert!(unit < self.units(), "unit {unit} out of range");
+        self.checks += 1;
+        let mut cycles = self.timing.dispatch_cycles;
+        let mut steps = 0;
+        let mut blocks_total = 0;
+        for chunk in cells.chunks(HOBB_REGISTERS) {
+            steps += 1;
+            cycles += self.timing.agu_cycles;
+            let items: Vec<(Option<u64>, bool)> = chunk
+                .iter()
+                .map(|&c| (grid.cell_addr(c), grid.occupied(c) == Some(true)))
+                .collect();
+            let out = self.exec_tile(unit, &items);
+            blocks_total += out.blocks;
+            match out.result {
+                TileResult::Invalid => {
+                    return CheckOutcome {
+                        verdict: Verdict::Invalid,
+                        cycles: cycles + 1,
+                        steps,
+                        blocks_fetched: blocks_total,
+                        early_exit: true,
+                    }
                 }
+                TileResult::Collision(f) => {
+                    return CheckOutcome {
+                        verdict: Verdict::Collision,
+                        cycles: cycles + f,
+                        steps,
+                        blocks_fetched: blocks_total,
+                        early_exit: true,
+                    }
+                }
+                TileResult::Free(f) => cycles += f,
             }
-            self.hobb.clear();
-            if let Some(f) = collided_at {
-                return CheckOutcome {
-                    verdict: Verdict::Collision,
-                    cycles: cycles + f,
-                    steps,
-                    blocks_fetched: blocks_total,
-                    early_exit: true,
-                };
+        }
+        CheckOutcome {
+            verdict: Verdict::Free,
+            cycles,
+            steps,
+            blocks_fetched: blocks_total,
+            early_exit: false,
+        }
+    }
+
+    /// 3D counterpart of [`CodaccPool::check_cells_2d`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit >= self.units()`.
+    pub fn check_cells_3d(
+        &mut self,
+        unit: usize,
+        grid: &BitGrid3,
+        cells: &[Cell3],
+    ) -> CheckOutcome {
+        assert!(unit < self.units(), "unit {unit} out of range");
+        self.checks += 1;
+        let mut cycles = self.timing.dispatch_cycles;
+        let mut steps = 0;
+        let mut blocks_total = 0;
+        for chunk in cells.chunks(HOBB_REGISTERS) {
+            steps += 1;
+            cycles += self.timing.agu_cycles;
+            let items: Vec<(Option<u64>, bool)> = chunk
+                .iter()
+                .map(|&c| (grid.cell_addr(c), grid.occupied(c) == Some(true)))
+                .collect();
+            let out = self.exec_tile(unit, &items);
+            blocks_total += out.blocks;
+            match out.result {
+                TileResult::Invalid => {
+                    return CheckOutcome {
+                        verdict: Verdict::Invalid,
+                        cycles: cycles + 1,
+                        steps,
+                        blocks_fetched: blocks_total,
+                        early_exit: true,
+                    }
+                }
+                TileResult::Collision(f) => {
+                    return CheckOutcome {
+                        verdict: Verdict::Collision,
+                        cycles: cycles + f,
+                        steps,
+                        blocks_fetched: blocks_total,
+                        early_exit: true,
+                    }
+                }
+                TileResult::Free(f) => cycles += f,
             }
-            cycles += finish_all;
         }
         CheckOutcome {
             verdict: Verdict::Free,

@@ -4,9 +4,14 @@
 
 use proptest::prelude::*;
 use racod_codacc::{
-    partition_tiles, software_check_2d, software_check_3d, CodaccPool, ReductionUnit,
+    partition_tiles, software_check_2d, software_check_3d, template_check_2d,
+    template_check_2d_scalar, template_check_3d, template_check_3d_scalar, CodaccPool,
+    ReductionUnit,
 };
-use racod_geom::{Obb2, Obb3, Rotation2, Rotation3, Vec2, Vec3};
+use racod_geom::{
+    Cell2, Cell3, FootprintTemplate2, FootprintTemplate3, Obb2, Obb3, Rotation2, Rotation3, Vec2,
+    Vec3,
+};
 use racod_grid::{BitGrid2, BitGrid3};
 use racod_mem::BlockAddr;
 
@@ -97,5 +102,88 @@ proptest! {
         let tiles = partition_tiles(nx, ny, 1, true);
         let covered: usize = tiles.iter().map(|t| t.samples()).sum();
         prop_assert_eq!(covered, nx * ny);
+    }
+
+    /// The word-parallel kernel is bit-identical — verdict AND
+    /// `cells_checked` — to the scalar walk over the same template, across
+    /// random rotations, grid shapes, obstacle densities, and states
+    /// including far out-of-bounds placements.
+    #[test]
+    fn word_kernel_matches_scalar_walk_2d(
+        gw in 1u32..80, gh in 1u32..40,
+        l in 0.0f32..30.0, w in 0.0f32..15.0, theta in -3.2f32..3.2,
+        sx in -40i64..120, sy in -40i64..80,
+        obstacles in prop::collection::vec((0i64..80, 0i64..40), 0..60),
+    ) {
+        let mut grid = BitGrid2::new(gw, gh);
+        for (x, y) in obstacles {
+            grid.set(Cell2::new(x % gw as i64, y % gh as i64), true);
+        }
+        let tpl = FootprintTemplate2::for_box(l, w, Rotation2::from_angle(theta));
+        let s = Cell2::new(sx, sy);
+        let fast = template_check_2d(&grid, s, &tpl);
+        let slow = template_check_2d_scalar(&grid, s, &tpl);
+        prop_assert_eq!(fast, slow, "state {} on {}x{} grid", s, gw, gh);
+    }
+
+    /// Same bit-identity when every row is fully occupied — the case that
+    /// exercises mask trimming against the grid's padding bits (a filled
+    /// grid sets the storage bits past the row width too).
+    #[test]
+    fn word_kernel_matches_scalar_on_filled_grid(
+        gw in 1u32..80, gh in 1u32..20,
+        l in 0.0f32..30.0, w in 0.0f32..15.0, theta in -3.2f32..3.2,
+        sx in -8i64..88, sy in -8i64..28,
+    ) {
+        let grid = BitGrid2::filled(gw, gh);
+        let tpl = FootprintTemplate2::for_box(l, w, Rotation2::from_angle(theta));
+        let s = Cell2::new(sx, sy);
+        let fast = template_check_2d(&grid, s, &tpl);
+        let slow = template_check_2d_scalar(&grid, s, &tpl);
+        prop_assert_eq!(fast, slow, "state {} on filled {}x{}", s, gw, gh);
+        prop_assert!(!fast.verdict.is_free() || tpl.cell_count() == 0);
+    }
+
+    /// 3D kernel vs scalar walk, same exactness contract.
+    #[test]
+    fn word_kernel_matches_scalar_walk_3d(
+        gx in 1u32..40, gy in 1u32..24, gz in 1u32..12,
+        l in 0.0f32..12.0, w in 0.0f32..8.0, h in 0.0f32..6.0,
+        yaw in -3.2f32..3.2,
+        sx in -12i64..52, sy in -12i64..36, sz in -6i64..18,
+        boxes in prop::collection::vec((0i64..40, 0i64..24, 0i64..12), 0..12),
+    ) {
+        let mut grid = BitGrid3::new(gx, gy, gz);
+        for (x, y, z) in boxes {
+            let (x, y, z) = (x % gx as i64, y % gy as i64, z % gz as i64);
+            grid.fill_box(x, y, z, x + 1, y + 1, z + 1, true);
+        }
+        let tpl = FootprintTemplate3::for_box(l, w, h, Rotation3::from_rpy(0.0, 0.0, yaw));
+        let s = Cell3::new(sx, sy, sz);
+        let fast = template_check_3d(&grid, s, &tpl);
+        let slow = template_check_3d_scalar(&grid, s, &tpl);
+        prop_assert_eq!(fast, slow, "state {}", s);
+    }
+
+    /// At the reference placement (state (0, 0), body centered (0.5, 0.5))
+    /// the template cells ARE `sample_obb2`'s cells in the same order, so
+    /// the kernel's full `SoftwareCheck` — verdict and exact early-exit
+    /// count — equals the general-OBB software reference checker's.
+    #[test]
+    fn word_kernel_matches_obb_reference_at_reference_placement(
+        gw in 1u32..64, gh in 1u32..64,
+        l in 0.0f32..30.0, w in 0.0f32..15.0, theta in -3.2f32..3.2,
+        obstacles in prop::collection::vec((-20i64..44, -20i64..44), 0..40),
+    ) {
+        let mut grid = BitGrid2::new(gw, gh);
+        for (x, y) in obstacles {
+            grid.set(Cell2::new(x, y), true); // OOB sets are ignored by set()
+        }
+        let rot = Rotation2::from_angle(theta);
+        let tpl = FootprintTemplate2::for_box(l, w, rot);
+        let obb = Obb2::centered(Vec2::new(0.5, 0.5), l, w, rot);
+        let kernel = template_check_2d(&grid, Cell2::new(0, 0), &tpl);
+        let reference = software_check_2d(&grid, &obb);
+        prop_assert_eq!(kernel, reference);
     }
 }

@@ -94,9 +94,9 @@ fn replay_checks(grid: &racod_grid::BitGrid2, obbs: &[Obb2], order: PartitionOrd
         for tile in tiles {
             cycles += 5; // AGU
             let mut addrs = Vec::new();
-            for j in tile.y.0..tile.y.1 {
-                for i in tile.x.0..tile.x.1 {
-                    let c = Cell2::from_point(obb.origin() + ax * xs[i] + ay * ys[j]);
+            for &sy in &ys[tile.y.0..tile.y.1] {
+                for &sx in &xs[tile.x.0..tile.x.1] {
+                    let c = Cell2::from_point(obb.origin() + ax * sx + ay * sy);
                     if let Some(a) = grid.cell_addr(c) {
                         addrs.push(a);
                     }

@@ -79,7 +79,7 @@ impl fmt::Display for Fig10 {
 pub fn fig10(scale: Scale) -> Fig10 {
     let size = scale.map_size();
     let grid = city_map(CityName::Paris, size, size);
-    let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF16_10);
+    let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF1610);
     let base_cost = CostModel::i3_software();
     let racod_cost = CostModel::racod();
 

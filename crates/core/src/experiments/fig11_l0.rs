@@ -36,7 +36,7 @@ impl fmt::Display for Fig11 {
 pub fn fig11(scale: Scale) -> Fig11 {
     let size = scale.map_size();
     let grid = city_map(CityName::Shanghai, size, size);
-    let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF16_11);
+    let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF1611);
     let cost = CostModel::racod();
 
     let mut rows = Vec::new();

@@ -73,7 +73,7 @@ pub fn fig12(scale: Scale) -> Fig12 {
     };
     let mut cells = Vec::new();
     for &density in &DENSITIES {
-        let grid = random_map(0xF16_12 ^ (density * 100.0) as u64, size, size, density);
+        let grid = random_map(0xF1612 ^ (density * 100.0) as u64, size, size, density);
         let space = GridSpace2::eight_connected(size, size);
         let start = free_near_2d(&grid, 2, 2);
         let goal = free_near_2d(&grid, size as i64 - 3, size as i64 - 3);

@@ -73,7 +73,7 @@ pub fn fig13(scale: Scale) -> Fig13 {
     let mut scenarios = Vec::new();
     for &city in cities {
         let grid = city_map(city, size, size);
-        let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF16_13);
+        let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF1613);
         scenarios.push((grid, pairs));
     }
 

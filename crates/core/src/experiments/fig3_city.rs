@@ -87,7 +87,7 @@ pub fn fig3(scale: Scale) -> Fig3 {
 
     for city in CityName::ALL {
         let grid = city_map(city, size, size);
-        let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF16_3 ^ pair_seed(city));
+        let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF163 ^ pair_seed(city));
         let mut per_unit: Vec<Vec<f64>> = vec![Vec::new(); scale.unit_sweep().len()];
         let mut no_ras: Vec<f64> = Vec::new();
         let mut solved = 0usize;

@@ -45,10 +45,10 @@ impl fmt::Display for Fig5 {
 /// Runs the Figure 5 experiment.
 pub fn fig5(scale: Scale) -> Fig5 {
     let (sx, sy, sz) = scale.map_size_3d();
-    let grid = campus_3d(0xD20_5, sx, sy, sz);
+    let grid = campus_3d(0xD205, sx, sy, sz);
     let base_cost = CostModel::i3_software();
     let racod_cost = CostModel::racod();
-    let mut rng = SmallRng::seed_from_u64(0xF16_5);
+    let mut rng = SmallRng::seed_from_u64(0xF165);
 
     let mut per_unit: Vec<Vec<f64>> = vec![Vec::new(); scale.unit_sweep().len()];
     let mut no_ras = Vec::new();

@@ -59,7 +59,7 @@ pub fn fig7(scale: Scale) -> Fig7 {
     {
         let size = scale.map_size();
         let grid = city_map(CityName::Boston, size, size);
-        let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF16_7);
+        let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF167);
         let base_cost = CostModel::i3_software();
         let mut rows = Vec::new();
         for &units in &[1usize, 32] {
@@ -87,7 +87,7 @@ pub fn fig7(scale: Scale) -> Fig7 {
     // Mobile 3D.
     {
         let (sx, sy, sz) = scale.map_size_3d();
-        let grid = campus_3d(0xD20_5, sx, sy, sz);
+        let grid = campus_3d(0xD205, sx, sy, sz);
         let sc = Scenario3::new(&grid).with_free_endpoints(
             (3, 3, sz as i64 / 2),
             (sx as i64 - 4, sy as i64 - 4, sz as i64 / 2),

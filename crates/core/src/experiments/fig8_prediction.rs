@@ -137,7 +137,7 @@ pub fn fig8(scale: Scale) -> Fig8 {
     // --- 3D campus ---
     {
         let (sx, sy, sz) = scale.map_size_3d();
-        let grid = campus_3d(0xD20_5, sx, sy, sz);
+        let grid = campus_3d(0xD205, sx, sy, sz);
         let space = GridSpace3::twenty_six_connected(sx, sy, sz);
         let start = free_near_3d(&grid, 3, 3, sz as i64 / 2);
         let goal = free_near_3d(&grid, sx as i64 - 4, sy as i64 - 4, sz as i64 / 2);

@@ -59,7 +59,7 @@ impl fmt::Display for Fig9 {
 pub fn fig9(scale: Scale) -> Fig9 {
     let size = scale.map_size();
     let grid = city_map(CityName::Berlin, size, size);
-    let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF16_9);
+    let pairs = random_pairs(&grid, scale.pairs_2d(), 0xF169);
     let cost = CostModel::racod();
     let sweep: &[usize] = match scale {
         Scale::Quick => &[2, 8, 32],

@@ -67,7 +67,8 @@ pub use racod_viz as viz;
 pub mod prelude {
     pub use racod_arm::{rrt_plan, ArmModel, ArmPlatform, JointConfig, RrtConfig};
     pub use racod_codacc::{
-        software_check_2d, software_check_3d, AreaPowerModel, CodaccPool, Verdict,
+        software_check_2d, software_check_3d, template_check_2d, template_check_3d, AreaPowerModel,
+        CodaccPool, Verdict,
     };
     pub use racod_geom::{Cell2, Cell3, Obb2, Obb3, Rotation2, Rotation3, Vec2, Vec3};
     pub use racod_grid::gen::{campus_3d, city_map, random_map, CityName};
@@ -77,5 +78,8 @@ pub mod prelude {
     pub use racod_sim::planner::{
         plan_racod_2d, plan_racod_3d, plan_software_2d, plan_software_3d,
     };
-    pub use racod_sim::{CostModel, Footprint2, Footprint3, Scenario2, Scenario3};
+    pub use racod_sim::{
+        CostModel, Footprint2, Footprint3, RotKey, Scenario2, Scenario3, TemplateCache2,
+        TemplateCache3, TemplateChecker2, TemplateChecker3, TemplateStats,
+    };
 }

@@ -29,10 +29,12 @@ pub mod angle;
 pub mod cell;
 pub mod obb;
 pub mod raster;
+pub mod template;
 pub mod vec;
 
 pub use aabb::{Aabb2, Aabb3};
 pub use angle::{Rotation2, Rotation3};
 pub use cell::{Cell2, Cell3};
 pub use obb::{Obb2, Obb3, ObbConfig};
+pub use template::{FootprintTemplate2, FootprintTemplate3, TemplateRow2, TemplateRow3};
 pub use vec::{Vec2, Vec3};

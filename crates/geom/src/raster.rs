@@ -8,7 +8,11 @@
 //!   `(⌊l⌋+1) x (⌊w⌋+1)` samples: positions `origin + i·x̂ + j·ŷ` for
 //!   integer `i ≤ l`, `j ≤ w`, plus the fractional end row/column so that the
 //!   far edge of the body is always sampled. Every sample maps to its
-//!   containing cell; duplicates are removed preserving first-seen order.
+//!   containing cell; duplicates are removed and the result is returned in
+//!   canonical grid order (row-major: ascending `y`, then ascending `x`; in
+//!   3D ascending `z`, `y`, `x`). The canonical order is what makes the
+//!   word-parallel template kernel's early-exit statistics bit-identical to
+//!   the scalar walk: both scan the same sorted cell list.
 //! * [`cover_obb2`] — exact conservative coverage: every cell whose unit
 //!   square intersects the oriented rectangle. Used by tests as ground truth
 //!   and by callers that must not miss thin-diagonal corner cases.
@@ -38,28 +42,31 @@ pub fn axis_samples(len: f32) -> Vec<f32> {
 
 /// Enumerates the cells sampled by the HOBB register lattice for a 2D box.
 ///
-/// Deterministic order: row-major over (width, length) in box-local
-/// coordinates, duplicates removed.
+/// Canonical grid order: ascending `(y, x)`, duplicates removed. Sorting a
+/// short `Vec` and deduplicating adjacent entries beats the former
+/// per-call `HashSet` (no hashing, one allocation) and gives every
+/// consumer — the scalar checker, the template compiler, and the
+/// word-parallel kernel — the same scan order.
 pub fn sample_obb2(obb: &Obb2) -> Vec<Cell2> {
     let xs = axis_samples(obb.length());
     let ys = axis_samples(obb.width());
     let ax = obb.rotation().axis_x();
     let ay = obb.rotation().axis_y();
-    let mut seen = std::collections::HashSet::with_capacity(xs.len() * ys.len());
     let mut cells = Vec::with_capacity(xs.len() * ys.len());
     for &j in &ys {
         for &i in &xs {
             let p = obb.origin() + ax * i + ay * j;
-            let c = Cell2::from_point(p);
-            if seen.insert(c) {
-                cells.push(c);
-            }
+            cells.push(Cell2::from_point(p));
         }
     }
+    cells.sort_unstable_by_key(|c| (c.y, c.x));
+    cells.dedup();
     cells
 }
 
 /// Enumerates the cells sampled by the HOBB register lattice for a 3D box.
+///
+/// Canonical grid order: ascending `(z, y, x)`, duplicates removed.
 pub fn sample_obb3(obb: &Obb3) -> Vec<Cell3> {
     let xs = axis_samples(obb.length());
     let ys = axis_samples(obb.width());
@@ -67,19 +74,17 @@ pub fn sample_obb3(obb: &Obb3) -> Vec<Cell3> {
     let ax = obb.rotation().axis_x();
     let ay = obb.rotation().axis_y();
     let az = obb.rotation().axis_z();
-    let mut seen = std::collections::HashSet::with_capacity(xs.len() * ys.len() * zs.len());
     let mut cells = Vec::with_capacity(xs.len() * ys.len() * zs.len());
     for &k in &zs {
         for &j in &ys {
             for &i in &xs {
                 let p = obb.origin() + ax * i + ay * j + az * k;
-                let c = Cell3::from_point(p);
-                if seen.insert(c) {
-                    cells.push(c);
-                }
+                cells.push(Cell3::from_point(p));
             }
         }
     }
+    cells.sort_unstable_by_key(|c| (c.z, c.y, c.x));
+    cells.dedup();
     cells
 }
 

@@ -1,0 +1,353 @@
+//! Per-rotation footprint templates compiled to word-parallel mask rows.
+//!
+//! # Why templates are exact
+//!
+//! Planning states are grid cells, so the body center handed to the
+//! rasterizer is always `state.center() = (x + 0.5, y + 0.5)` — the
+//! fractional part is a *constant* `(0.5, 0.5)` for every state. Rasterizing
+//! the footprint once at the **reference cell** `(0, 0)` (center
+//! `(0.5, 0.5)`) therefore yields a set of integer offsets, and the cells a
+//! footprint of the same rotation touches at any state are exactly
+//! `state + offset` for each offset. Integer translation commutes with the
+//! floor in [`Cell2::from_point`] by construction here — the offsets *are*
+//! the template, no floating-point re-rasterization happens per state — so
+//! the template expansion is exact for every state, not approximately equal
+//! up to rounding.
+//!
+//! (Re-rasterizing from scratch at a far-away state is **not** bit-identical
+//! to rasterizing near the origin: `f32` rounds `(x + 0.5) - h` at the
+//! magnitude of `x`. The template sidesteps this entirely by defining the
+//! per-state cell set as the translated reference rasterization. All
+//! planning-path checkers share this definition, so they agree with each
+//! other bit-for-bit.)
+//!
+//! # Word-parallel rows
+//!
+//! The sorted offsets are compiled into [`TemplateRow2`] spans: for every
+//! distinct `dy`, a base offset `dx0` and a bitmask (`bit b` of `mask[k]`
+//! covers offset `dx0 + 32·k + b`). A checker evaluates a whole row against
+//! the grid's backing `u32` words with shift-and-AND — up to 32 cells per
+//! probe — and reconstructs the exact scalar early-exit statistics from the
+//! first failing word (see `racod-codacc`'s template kernel).
+
+use crate::angle::{Rotation2, Rotation3};
+use crate::cell::{Cell2, Cell3};
+use crate::obb::{Obb2, Obb3};
+use crate::raster::{sample_obb2, sample_obb3};
+use crate::vec::{Vec2, Vec3};
+
+/// One grid row of a 2D footprint template, as a maskable span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateRow2 {
+    /// Row offset from the state cell.
+    pub dy: i64,
+    /// Column offset of the first (lowest-`x`) cell in the row; bit 0 of
+    /// `mask[0]` corresponds to this offset.
+    pub dx0: i64,
+    /// Occupancy mask of the row: bit `b` of `mask[k]` set means the cell at
+    /// offset `(dx0 + 32·k + b, dy)` belongs to the footprint.
+    pub mask: Vec<u32>,
+    /// Number of template cells in rows strictly before this one (prefix sum
+    /// in canonical scan order); used to reconstruct `cells_checked`.
+    pub cells_before: usize,
+    /// Number of cells in this row (total popcount of `mask`).
+    pub cell_count: usize,
+}
+
+impl TemplateRow2 {
+    /// Column offset one past the last cell of the row.
+    pub fn dx_end(&self) -> i64 {
+        let last_word = self.mask.len() - 1;
+        let top = 32 - self.mask[last_word].leading_zeros() as i64;
+        self.dx0 + (last_word as i64) * 32 + top
+    }
+}
+
+fn compile_rows_2d(offsets: &[Cell2]) -> Vec<TemplateRow2> {
+    let mut rows: Vec<TemplateRow2> = Vec::new();
+    let mut i = 0;
+    let mut cells_before = 0;
+    while i < offsets.len() {
+        let dy = offsets[i].y;
+        let mut j = i;
+        while j < offsets.len() && offsets[j].y == dy {
+            j += 1;
+        }
+        let dx0 = offsets[i].x;
+        let span = (offsets[j - 1].x - dx0) as usize + 1;
+        let mut mask = vec![0u32; span.div_ceil(32)];
+        for c in &offsets[i..j] {
+            let b = (c.x - dx0) as usize;
+            mask[b >> 5] |= 1 << (b & 31);
+        }
+        let cell_count = j - i;
+        rows.push(TemplateRow2 { dy, dx0, mask, cells_before, cell_count });
+        cells_before += cell_count;
+        i = j;
+    }
+    rows
+}
+
+/// A 2D footprint rasterized once at the reference cell and compiled into
+/// word-parallel mask rows.
+///
+/// # Example
+///
+/// ```
+/// use racod_geom::{FootprintTemplate2, Cell2, Rotation2};
+///
+/// let tpl = FootprintTemplate2::for_box(3.0, 3.0, Rotation2::IDENTITY);
+/// assert_eq!(tpl.cell_count(), 16); // 4x4 sample lattice
+/// let cells = tpl.expand(Cell2::new(10, 20));
+/// assert!(cells.contains(&Cell2::new(10, 20)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootprintTemplate2 {
+    offsets: Vec<Cell2>,
+    rows: Vec<TemplateRow2>,
+}
+
+impl FootprintTemplate2 {
+    /// Builds the template for a `length x width` box with the given
+    /// rotation by rasterizing it at the reference cell `(0, 0)`.
+    pub fn for_box(length: f32, width: f32, rotation: Rotation2) -> Self {
+        let obb = Obb2::centered(Vec2::new(0.5, 0.5), length, width, rotation);
+        Self::from_offsets(sample_obb2(&obb))
+    }
+
+    /// Builds a template from raw cell offsets (relative to the state cell).
+    ///
+    /// Offsets are sorted into canonical grid order and deduplicated.
+    pub fn from_offsets(mut offsets: Vec<Cell2>) -> Self {
+        offsets.sort_unstable_by_key(|c| (c.y, c.x));
+        offsets.dedup();
+        let rows = compile_rows_2d(&offsets);
+        FootprintTemplate2 { offsets, rows }
+    }
+
+    /// The cell offsets in canonical grid order (ascending `(y, x)`).
+    pub fn offsets(&self) -> &[Cell2] {
+        &self.offsets
+    }
+
+    /// The compiled mask rows, one per distinct `dy`, ascending.
+    pub fn rows(&self) -> &[TemplateRow2] {
+        &self.rows
+    }
+
+    /// Total number of cells in the footprint.
+    pub fn cell_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// The absolute cells touched at `state`, in canonical grid order.
+    pub fn expand(&self, state: Cell2) -> Vec<Cell2> {
+        let mut out = Vec::with_capacity(self.offsets.len());
+        self.expand_into(state, &mut out);
+        out
+    }
+
+    /// Appends the absolute cells touched at `state` into `out` (cleared
+    /// first), avoiding reallocation on repeat calls.
+    pub fn expand_into(&self, state: Cell2, out: &mut Vec<Cell2>) {
+        out.clear();
+        out.extend(self.offsets.iter().map(|o| state.offset(o.x, o.y)));
+    }
+
+    /// Approximate heap footprint, for cache budgeting.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<Cell2>()
+            + self
+                .rows
+                .iter()
+                .map(|r| std::mem::size_of::<TemplateRow2>() + r.mask.len() * 4)
+                .sum::<usize>()
+    }
+}
+
+/// One grid row of a 3D footprint template (distinct `(dz, dy)` pair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemplateRow3 {
+    /// Layer offset from the state cell.
+    pub dz: i64,
+    /// Row offset from the state cell.
+    pub dy: i64,
+    /// Column offset of the first cell; bit 0 of `mask[0]`.
+    pub dx0: i64,
+    /// Occupancy mask: bit `b` of `mask[k]` covers offset `dx0 + 32·k + b`.
+    pub mask: Vec<u32>,
+    /// Cells in rows strictly before this one, canonical order.
+    pub cells_before: usize,
+    /// Cells in this row.
+    pub cell_count: usize,
+}
+
+impl TemplateRow3 {
+    /// Column offset one past the last cell of the row.
+    pub fn dx_end(&self) -> i64 {
+        let last_word = self.mask.len() - 1;
+        let top = 32 - self.mask[last_word].leading_zeros() as i64;
+        self.dx0 + (last_word as i64) * 32 + top
+    }
+}
+
+fn compile_rows_3d(offsets: &[Cell3]) -> Vec<TemplateRow3> {
+    let mut rows: Vec<TemplateRow3> = Vec::new();
+    let mut i = 0;
+    let mut cells_before = 0;
+    while i < offsets.len() {
+        let (dz, dy) = (offsets[i].z, offsets[i].y);
+        let mut j = i;
+        while j < offsets.len() && offsets[j].z == dz && offsets[j].y == dy {
+            j += 1;
+        }
+        let dx0 = offsets[i].x;
+        let span = (offsets[j - 1].x - dx0) as usize + 1;
+        let mut mask = vec![0u32; span.div_ceil(32)];
+        for c in &offsets[i..j] {
+            let b = (c.x - dx0) as usize;
+            mask[b >> 5] |= 1 << (b & 31);
+        }
+        let cell_count = j - i;
+        rows.push(TemplateRow3 { dz, dy, dx0, mask, cells_before, cell_count });
+        cells_before += cell_count;
+        i = j;
+    }
+    rows
+}
+
+/// A 3D footprint rasterized once at the reference voxel and compiled into
+/// word-parallel mask rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootprintTemplate3 {
+    offsets: Vec<Cell3>,
+    rows: Vec<TemplateRow3>,
+}
+
+impl FootprintTemplate3 {
+    /// Builds the template for a `length x width x height` box with the
+    /// given rotation by rasterizing it at the reference voxel `(0, 0, 0)`.
+    pub fn for_box(length: f32, width: f32, height: f32, rotation: Rotation3) -> Self {
+        let obb = Obb3::centered(Vec3::new(0.5, 0.5, 0.5), length, width, height, rotation);
+        Self::from_offsets(sample_obb3(&obb))
+    }
+
+    /// Builds a template from raw voxel offsets (relative to the state).
+    pub fn from_offsets(mut offsets: Vec<Cell3>) -> Self {
+        offsets.sort_unstable_by_key(|c| (c.z, c.y, c.x));
+        offsets.dedup();
+        let rows = compile_rows_3d(&offsets);
+        FootprintTemplate3 { offsets, rows }
+    }
+
+    /// The voxel offsets in canonical grid order (ascending `(z, y, x)`).
+    pub fn offsets(&self) -> &[Cell3] {
+        &self.offsets
+    }
+
+    /// The compiled mask rows, one per distinct `(dz, dy)`, ascending.
+    pub fn rows(&self) -> &[TemplateRow3] {
+        &self.rows
+    }
+
+    /// Total number of voxels in the footprint.
+    pub fn cell_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// The absolute voxels touched at `state`, in canonical grid order.
+    pub fn expand(&self, state: Cell3) -> Vec<Cell3> {
+        let mut out = Vec::with_capacity(self.offsets.len());
+        self.expand_into(state, &mut out);
+        out
+    }
+
+    /// Appends the absolute voxels touched at `state` into `out` (cleared
+    /// first).
+    pub fn expand_into(&self, state: Cell3, out: &mut Vec<Cell3>) {
+        out.clear();
+        out.extend(self.offsets.iter().map(|o| state.offset(o.x, o.y, o.z)));
+    }
+
+    /// Approximate heap footprint, for cache budgeting.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<Cell3>()
+            + self
+                .rows
+                .iter()
+                .map(|r| std::mem::size_of::<TemplateRow3>() + r.mask.len() * 4)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_cells_match_reference_rasterization() {
+        let rot = Rotation2::from_angle(0.45);
+        let tpl = FootprintTemplate2::for_box(16.0, 8.0, rot);
+        let obb = Obb2::centered(Vec2::new(0.5, 0.5), 16.0, 8.0, rot);
+        assert_eq!(tpl.offsets(), sample_obb2(&obb).as_slice());
+    }
+
+    #[test]
+    fn rows_expand_back_to_offsets() {
+        let tpl = FootprintTemplate2::for_box(7.0, 3.0, Rotation2::from_angle(1.2));
+        let mut from_rows = Vec::new();
+        for r in tpl.rows() {
+            assert_eq!(from_rows.len(), r.cells_before);
+            for (k, &w) in r.mask.iter().enumerate() {
+                for b in 0..32 {
+                    if w & (1 << b) != 0 {
+                        from_rows.push(Cell2::new(r.dx0 + (k as i64) * 32 + b as i64, r.dy));
+                    }
+                }
+            }
+            assert_eq!(from_rows.len(), r.cells_before + r.cell_count);
+        }
+        assert_eq!(from_rows, tpl.offsets());
+    }
+
+    #[test]
+    fn expand_translates_exactly() {
+        let tpl = FootprintTemplate2::for_box(5.0, 2.0, Rotation2::from_angle(0.7));
+        let s = Cell2::new(123, -45);
+        let cells = tpl.expand(s);
+        for (c, o) in cells.iter().zip(tpl.offsets()) {
+            assert_eq!(*c, s.offset(o.x, o.y));
+        }
+    }
+
+    #[test]
+    fn point_template_is_single_cell() {
+        let tpl = FootprintTemplate2::for_box(0.0, 0.0, Rotation2::IDENTITY);
+        assert_eq!(tpl.offsets(), &[Cell2::new(0, 0)]);
+        assert_eq!(tpl.rows().len(), 1);
+        assert_eq!(tpl.rows()[0].mask, vec![1u32]);
+    }
+
+    #[test]
+    fn wide_row_spans_multiple_words() {
+        // A 40x0 box is a single row of 41 cells: needs two mask words.
+        let tpl = FootprintTemplate2::for_box(40.0, 0.0, Rotation2::IDENTITY);
+        assert_eq!(tpl.rows().len(), 1);
+        let r = &tpl.rows()[0];
+        assert_eq!(r.mask.len(), 2);
+        assert_eq!(r.cell_count, 41);
+        assert_eq!(r.mask[0], u32::MAX);
+        assert_eq!(r.mask[1], (1 << 9) - 1);
+        assert_eq!(r.dx_end() - r.dx0, 41);
+    }
+
+    #[test]
+    fn template3_matches_reference_rasterization() {
+        let rot = Rotation3::from_sin_cos(0.0, 1.0, 0.0, 1.0, 0.6, 0.8);
+        let tpl = FootprintTemplate3::for_box(4.0, 4.0, 2.0, rot);
+        let obb = Obb3::centered(Vec3::new(0.5, 0.5, 0.5), 4.0, 4.0, 2.0, rot);
+        assert_eq!(tpl.offsets(), sample_obb3(&obb).as_slice());
+        let total: usize = tpl.rows().iter().map(|r| r.cell_count).sum();
+        assert_eq!(total, tpl.cell_count());
+    }
+}

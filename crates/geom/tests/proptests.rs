@@ -1,8 +1,11 @@
 //! Property-based tests of the geometry invariants DESIGN.md calls out.
 
 use proptest::prelude::*;
-use racod_geom::raster::{cover_obb2, sample_obb2};
-use racod_geom::{Cell2, Obb2, Rotation2, Rotation3, Vec2, Vec3};
+use racod_geom::raster::{cover_obb2, sample_obb2, sample_obb3};
+use racod_geom::{
+    Cell2, Cell3, FootprintTemplate2, FootprintTemplate3, Obb2, Obb3, Rotation2, Rotation3, Vec2,
+    Vec3,
+};
 use std::collections::HashSet;
 
 fn arb_obb2() -> impl Strategy<Value = Obb2> {
@@ -104,5 +107,77 @@ proptest! {
     fn cell_from_point_inverts_center(x in -1000i64..1000, y in -1000i64..1000) {
         let c = Cell2::new(x, y);
         prop_assert_eq!(Cell2::from_point(c.center()), c);
+    }
+
+    /// A compiled template's cells are exactly the reference rasterization:
+    /// the body sampled at cell (0, 0), i.e. centered on (0.5, 0.5).
+    #[test]
+    fn template_cells_equal_reference_rasterization(
+        l in 0.0f32..30.0, w in 0.0f32..15.0, theta in -3.2f32..3.2,
+    ) {
+        let rot = Rotation2::from_angle(theta);
+        let tpl = FootprintTemplate2::for_box(l, w, rot);
+        let reference = sample_obb2(&Obb2::centered(Vec2::new(0.5, 0.5), l, w, rot));
+        prop_assert_eq!(tpl.offsets(), &reference[..]);
+    }
+
+    /// Template expansion is pure integer translation: the cell set at any
+    /// state is `offsets + state`, bit-exactly, at any state magnitude.
+    #[test]
+    fn template_expansion_is_translation_exact(
+        l in 0.0f32..20.0, w in 0.0f32..10.0, theta in -3.2f32..3.2,
+        sx in -100_000i64..100_000, sy in -100_000i64..100_000,
+    ) {
+        let tpl = FootprintTemplate2::for_box(l, w, Rotation2::from_angle(theta));
+        let s = Cell2::new(sx, sy);
+        let expanded = tpl.expand(s);
+        prop_assert_eq!(expanded.len(), tpl.cell_count());
+        for (e, o) in expanded.iter().zip(tpl.offsets()) {
+            prop_assert_eq!(*e, Cell2::new(o.x + sx, o.y + sy));
+        }
+    }
+
+    /// The compiled word-mask rows decode back to exactly the offset list,
+    /// in the same canonical order, with consistent `cells_before` prefixes.
+    #[test]
+    fn template_rows_decode_to_offsets(
+        l in 0.0f32..30.0, w in 0.0f32..15.0, theta in -3.2f32..3.2,
+    ) {
+        let tpl = FootprintTemplate2::for_box(l, w, Rotation2::from_angle(theta));
+        let mut decoded = Vec::new();
+        let mut cells_before = 0usize;
+        for row in tpl.rows() {
+            prop_assert_eq!(row.cells_before, cells_before);
+            let mut in_row = 0usize;
+            for (wi, &word) in row.mask.iter().enumerate() {
+                for b in 0..32 {
+                    if word & (1 << b) != 0 {
+                        decoded.push(Cell2::new(row.dx0 + (wi as i64) * 32 + b, row.dy));
+                        in_row += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(in_row, row.cell_count);
+            cells_before += in_row;
+        }
+        prop_assert_eq!(&decoded[..], tpl.offsets());
+    }
+
+    /// 3D templates match the reference rasterization too.
+    #[test]
+    fn template3_cells_equal_reference_rasterization(
+        l in 0.0f32..12.0, w in 0.0f32..8.0, h in 0.0f32..6.0,
+        yaw in -3.2f32..3.2,
+    ) {
+        let rot = Rotation3::from_rpy(0.0, 0.0, yaw);
+        let tpl = FootprintTemplate3::for_box(l, w, h, rot);
+        let reference =
+            sample_obb3(&Obb3::centered(Vec3::new(0.5, 0.5, 0.5), l, w, h, rot));
+        prop_assert_eq!(tpl.offsets(), &reference[..]);
+        let s = Cell3::new(-37, 1000, 12);
+        let expanded = tpl.expand(s);
+        for (e, o) in expanded.iter().zip(tpl.offsets()) {
+            prop_assert_eq!(*e, Cell3::new(o.x + s.x, o.y + s.y, o.z + s.z));
+        }
     }
 }

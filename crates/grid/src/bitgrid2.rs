@@ -161,6 +161,25 @@ impl BitGrid2 {
     pub fn storage_bytes(&self) -> usize {
         self.words.len() * 4
     }
+
+    /// Number of `u32` words per row (rows are word-aligned).
+    ///
+    /// Together with [`BitGrid2::words`] this exposes the backing layout to
+    /// word-parallel readers: the bit for cell `(x, y)` is bit `x % 32` of
+    /// `words()[y * row_words + x / 32]`.
+    pub fn row_words(&self) -> u32 {
+        self.row_words
+    }
+
+    /// The backing bit array, row-major with [`BitGrid2::row_words`] words
+    /// per row.
+    ///
+    /// Padding bits past `width` in the last word of a row are unspecified
+    /// (e.g. [`BitGrid2::filled`] sets them); word-parallel readers must
+    /// mask their probes to in-bounds columns.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
 }
 
 impl Occupancy2 for BitGrid2 {

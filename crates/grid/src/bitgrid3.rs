@@ -89,6 +89,7 @@ impl BitGrid3 {
     }
 
     /// Fills an axis-aligned box (inclusive corners, clamped to the grid).
+    #[allow(clippy::too_many_arguments)]
     pub fn fill_box(
         &mut self,
         x0: i64,
@@ -135,6 +136,22 @@ impl BitGrid3 {
     /// Size of the backing bit array in bytes.
     pub fn storage_bytes(&self) -> usize {
         self.words.len() * 4
+    }
+
+    /// Number of `u32` words per x-row (rows are word-aligned).
+    ///
+    /// The bit for voxel `(x, y, z)` is bit `x % 32` of
+    /// `words()[(z * size_y + y) * row_words + x / 32]`.
+    pub fn row_words(&self) -> u32 {
+        self.row_words
+    }
+
+    /// The backing bit array: `size_z * size_y` word-aligned x-rows.
+    ///
+    /// Padding bits past `size_x` in the last word of a row are unspecified;
+    /// word-parallel readers must mask their probes to in-bounds columns.
+    pub fn words(&self) -> &[u32] {
+        &self.words
     }
 }
 

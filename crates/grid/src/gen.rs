@@ -281,7 +281,7 @@ pub fn random_free_cell<R: Rng>(grid: &BitGrid2, rng: &mut R) -> Option<Cell2> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Occupancy2, Occupancy3};
+    use crate::Occupancy2;
     use racod_geom::Cell3;
 
     #[test]
@@ -477,7 +477,7 @@ mod connectivity_tests {
     fn campus_sky_is_connected() {
         // Drones must be able to fly across: the top half of the campus
         // volume must be one connected free region (checked on one layer).
-        let g = campus_3d(0xD20_5, 64, 64, 24);
+        let g = campus_3d(0xD205, 64, 64, 24);
         use racod_geom::Cell3;
         let z = 18i64;
         let mut seen = std::collections::HashSet::new();

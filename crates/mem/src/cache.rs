@@ -218,7 +218,7 @@ impl SetAssocCache {
         };
         let victim = &mut self.lines[victim_idx];
         let evicted = if victim.valid {
-            Some(BlockAddr(((victim.tag << set_bits) as u64) | set as u64))
+            Some(BlockAddr((victim.tag << set_bits) | set as u64))
         } else {
             None
         };

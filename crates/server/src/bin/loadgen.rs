@@ -363,6 +363,11 @@ fn main() {
         m.affinity_hit_rate() * 100.0,
         m.affinity_hits.load(Ordering::Relaxed) + m.affinity_misses.load(Ordering::Relaxed)
     );
+    println!(
+        "template hit rate  {:.1}% over {} lookups",
+        m.template_hit_rate() * 100.0,
+        m.template_hits.load(Ordering::Relaxed) + m.template_misses.load(Ordering::Relaxed)
+    );
     println!();
     println!("latency (µs)        p50      p95      p99");
     println!(

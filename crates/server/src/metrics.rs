@@ -125,6 +125,10 @@ pub struct ServerMetrics {
     pub affinity_hits: AtomicU64,
     /// Dispatches that had to switch the worker to a different map.
     pub affinity_misses: AtomicU64,
+    /// Collision-check template lookups served from a per-map cache.
+    pub template_hits: AtomicU64,
+    /// Collision-check template lookups that compiled a new template.
+    pub template_misses: AtomicU64,
     /// Current number of admitted-but-unfinished requests.
     pub in_system: AtomicU64,
     /// Time from submission to dispatch.
@@ -152,6 +156,18 @@ impl ServerMetrics {
         }
     }
 
+    /// Footprint-template cache hit rate over all collision-check lookups
+    /// (0 when none).
+    pub fn template_hit_rate(&self) -> f64 {
+        let h = self.template_hits.load(Ordering::Relaxed) as f64;
+        let m = self.template_misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
     /// Renders a plain-text metrics page (stable keys, one `key value` per
     /// line — scrapeable and diffable).
     pub fn render_text(&self) -> String {
@@ -170,6 +186,8 @@ impl ServerMetrics {
         let _ = writeln!(out, "racod_server_worker_respawns {}", c(&self.worker_respawns));
         let _ = writeln!(out, "racod_server_affinity_hits {}", c(&self.affinity_hits));
         let _ = writeln!(out, "racod_server_affinity_misses {}", c(&self.affinity_misses));
+        let _ = writeln!(out, "racod_server_template_hits {}", c(&self.template_hits));
+        let _ = writeln!(out, "racod_server_template_misses {}", c(&self.template_misses));
         let _ = writeln!(out, "racod_server_in_system {}", c(&self.in_system));
         for (name, h) in
             [("queue_wait", &self.queue_wait), ("service", &self.service), ("total", &self.total)]
@@ -255,5 +273,17 @@ mod tests {
         m.affinity_hits.fetch_add(3, Ordering::Relaxed);
         m.affinity_misses.fetch_add(1, Ordering::Relaxed);
         assert!((m.affinity_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn template_rate() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.template_hit_rate(), 0.0);
+        m.template_hits.fetch_add(9, Ordering::Relaxed);
+        m.template_misses.fetch_add(1, Ordering::Relaxed);
+        assert!((m.template_hit_rate() - 0.9).abs() < 1e-12);
+        let text = m.render_text();
+        assert!(text.contains("racod_server_template_hits 9"));
+        assert!(text.contains("racod_server_template_misses 1"));
     }
 }

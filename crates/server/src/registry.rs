@@ -12,6 +12,7 @@ use racod_geom::Cell2;
 use racod_grid::inflate::inflate_chebyshev;
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
 use racod_search::{DistanceField, GridSpace2};
+use racod_sim::{TemplateCache2, TemplateCache3};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -108,11 +109,33 @@ pub struct MapEntry {
     pub data: MapData,
     artifacts2: OnceLock<Option<Arc<Artifacts2>>>,
     artifact_builds: AtomicU64,
+    tcache2: Arc<TemplateCache2>,
+    tcache3: Arc<TemplateCache3>,
 }
 
 impl MapEntry {
     fn new(id: MapId, data: MapData) -> Self {
-        MapEntry { id, data, artifacts2: OnceLock::new(), artifact_builds: AtomicU64::new(0) }
+        MapEntry {
+            id,
+            data,
+            artifacts2: OnceLock::new(),
+            artifact_builds: AtomicU64::new(0),
+            tcache2: Arc::new(TemplateCache2::default()),
+            tcache3: Arc::new(TemplateCache3::default()),
+        }
+    }
+
+    /// The entry's shared 2D footprint-template cache. Every request
+    /// against this map plans through the same cache, so templates compiled
+    /// for one request stay warm for the next (same amortization story as
+    /// the worker's per-map accelerator pools, but shared across workers).
+    pub fn template_cache2(&self) -> Arc<TemplateCache2> {
+        self.tcache2.clone()
+    }
+
+    /// The entry's shared 3D footprint-template cache.
+    pub fn template_cache3(&self) -> Arc<TemplateCache3> {
+        self.tcache3.clone()
     }
 
     /// The 2D artifact bundle, built on first call and cached. Returns
@@ -237,6 +260,16 @@ mod tests {
         assert_eq!(entry.artifact_builds(), 1);
         assert_eq!((Occupancy2::width(&a.inflated), Occupancy2::height(&a.inflated)), (64, 64));
         assert!(a.reachable(a.reach_seed));
+    }
+
+    #[test]
+    fn template_cache_is_shared_per_entry() {
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("m", city_map(CityName::Paris, 64, 64));
+        let a = entry.template_cache2();
+        let b = entry.template_cache2();
+        assert!(Arc::ptr_eq(&a, &b), "one cache per map entry");
+        assert!(a.is_empty(), "nothing compiled until a plan runs");
     }
 
     #[test]

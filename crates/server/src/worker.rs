@@ -13,17 +13,17 @@ use crate::metrics::ServerMetrics;
 use crate::request::{MapId, Outcome, Planned, PlannedPath, Platform, Workload};
 use crate::scheduler::Admitted;
 use crossbeam::channel::Receiver;
-use racod_codacc::{software_check_2d, software_check_3d, CodaccPool};
+use racod_codacc::{template_check_2d, template_check_3d, CodaccPool};
 use racod_parallel::{ParallelConfig, ParallelPlanner};
 use racod_search::{GridSpace2, GridSpace3};
 use racod_sim::planner::{
     plan_racod_2d_pooled, plan_racod_3d_pooled, plan_software_2d, plan_software_3d, Scenario2,
     Scenario3,
 };
-use racod_sim::CostModel;
+use racod_sim::{CostModel, TemplateStats};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -106,7 +106,7 @@ fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>)
 
             let Admitted { req, entry, reply, submitted_at, .. } = item;
             let exec = catch_unwind(AssertUnwindSafe(|| {
-                execute(&req.workload, req.platform, &req.astar, &entry, &mut warm)
+                execute(&req.workload, req.platform, &req.astar, &entry, &mut warm, metrics)
             }));
             let service_time = Instant::now().duration_since(now);
             metrics.service.record(service_time);
@@ -155,6 +155,7 @@ fn execute(
     astar: &racod_search::AstarConfig,
     entry: &crate::registry::MapEntry,
     warm: &mut WarmState,
+    metrics: &Arc<ServerMetrics>,
 ) -> Planned {
     match workload {
         Workload::Poison => panic!("poison request"),
@@ -180,36 +181,51 @@ fn execute(
                     };
                 }
             }
-            let mut sc = Scenario2::new(grid).with_astar(astar.clone());
+            let mut sc = Scenario2::new(grid)
+                .with_astar(astar.clone())
+                .with_template_cache(entry.template_cache2());
             sc.footprint = *footprint;
             sc.start = *start;
             sc.goal = *goal;
             match platform {
                 Platform::SimSoftware { threads, runahead } => {
                     let out = plan_software_2d(&sc, threads, runahead, &CostModel::i3_software());
+                    record_tstats(metrics, out.tstats);
                     planned2(out, false)
                 }
                 Platform::Racod { units } => {
                     let (mut pool, was_warm) = warm.take(&sc_map_id(entry), units);
                     let out = plan_racod_2d_pooled(&sc, &mut pool, &CostModel::racod());
                     warm.put_back(&sc_map_id(entry), units, pool);
+                    record_tstats(metrics, out.tstats);
                     planned2(out, was_warm)
                 }
                 Platform::Threads { threads, runahead } => {
                     let grid = grid.clone();
                     let fp = *footprint;
                     let goal_c = *goal;
+                    let cache = entry.template_cache2();
+                    let hits = Arc::new(AtomicU64::new(0));
+                    let misses = Arc::new(AtomicU64::new(0));
+                    let (h, m) = (hits.clone(), misses.clone());
                     let planner =
                         ParallelPlanner::new(ParallelConfig { threads, runahead }, move |s| {
-                            software_check_2d(grid.as_ref(), &fp.obb_at(s, goal_c))
-                                .verdict
-                                .is_free()
+                            let (tpl, hit) = cache.get(&fp, fp.rot_key(s, goal_c));
+                            if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
+                            template_check_2d(grid.as_ref(), s, &tpl).verdict.is_free()
                         });
                     let space = GridSpace2::eight_connected(
                         racod_grid::Occupancy2::width(sc.grid),
                         racod_grid::Occupancy2::height(sc.grid),
                     );
                     let run = planner.plan(&space, *start, *goal);
+                    record_tstats(
+                        metrics,
+                        TemplateStats {
+                            hits: hits.load(Ordering::Relaxed),
+                            misses: misses.load(Ordering::Relaxed),
+                        },
+                    );
                     Planned {
                         path: PlannedPath::P2(run.result.path),
                         cost: run.result.cost,
@@ -224,7 +240,7 @@ fn execute(
         }
         Workload::Plan3 { start, goal, footprint } => {
             let grid = entry.grid3().expect("dimension checked at admission");
-            let mut sc = Scenario3::new(grid);
+            let mut sc = Scenario3::new(grid).with_template_cache(entry.template_cache3());
             sc.astar = astar.clone();
             sc.footprint = *footprint;
             sc.start = *start;
@@ -232,23 +248,29 @@ fn execute(
             match platform {
                 Platform::SimSoftware { threads, runahead } => {
                     let out = plan_software_3d(&sc, threads, runahead, &CostModel::i3_software());
+                    record_tstats(metrics, out.tstats);
                     planned3(out, false)
                 }
                 Platform::Racod { units } => {
                     let (mut pool, was_warm) = warm.take(&sc_map_id(entry), units);
                     let out = plan_racod_3d_pooled(&sc, &mut pool, &CostModel::racod());
                     warm.put_back(&sc_map_id(entry), units, pool);
+                    record_tstats(metrics, out.tstats);
                     planned3(out, was_warm)
                 }
                 Platform::Threads { threads, runahead } => {
                     let grid = grid.clone();
                     let fp = *footprint;
                     let goal_c = *goal;
+                    let cache = entry.template_cache3();
+                    let hits = Arc::new(AtomicU64::new(0));
+                    let misses = Arc::new(AtomicU64::new(0));
+                    let (h, m) = (hits.clone(), misses.clone());
                     let planner =
                         ParallelPlanner::new(ParallelConfig { threads, runahead }, move |s| {
-                            software_check_3d(grid.as_ref(), &fp.obb_at(s, goal_c))
-                                .verdict
-                                .is_free()
+                            let (tpl, hit) = cache.get(&fp, fp.rot_key(s, goal_c));
+                            if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
+                            template_check_3d(grid.as_ref(), s, &tpl).verdict.is_free()
                         });
                     let space = GridSpace3::twenty_six_connected(
                         racod_grid::Occupancy3::size_x(sc.grid),
@@ -256,6 +278,13 @@ fn execute(
                         racod_grid::Occupancy3::size_z(sc.grid),
                     );
                     let run = planner.plan(&space, *start, *goal);
+                    record_tstats(
+                        metrics,
+                        TemplateStats {
+                            hits: hits.load(Ordering::Relaxed),
+                            misses: misses.load(Ordering::Relaxed),
+                        },
+                    );
                     Planned {
                         path: PlannedPath::P3(run.result.path),
                         cost: run.result.cost,
@@ -278,6 +307,11 @@ pub struct WorkerPoison;
 
 fn sc_map_id(entry: &crate::registry::MapEntry) -> MapId {
     entry.id.clone()
+}
+
+fn record_tstats(metrics: &ServerMetrics, t: TemplateStats) {
+    metrics.template_hits.fetch_add(t.hits, Ordering::Relaxed);
+    metrics.template_misses.fetch_add(t.misses, Ordering::Relaxed);
 }
 
 fn planned2(out: racod_sim::PlanOutcome<racod_geom::Cell2>, warm: bool) -> Planned {

@@ -85,12 +85,9 @@ fn threaded_2d_path_bit_identical_to_single_threaded_astar() {
     let sc = Scenario2::new(&grid).with_free_endpoints(8, 8, 88, 80);
     let goal = sc.goal;
     let fp = sc.footprint;
-    let mut oracle = FnOracle::new({
-        let g = grid.clone();
-        move |c: Cell2| {
-            racod_codacc::software_check_2d(g.as_ref(), &fp.obb_at(c, goal)).verdict.is_free()
-        }
-    });
+    // Same template semantics the server's Threads platform checks with.
+    let checker = racod_sim::TemplateChecker2::new(grid.as_ref(), fp, goal);
+    let mut oracle = FnOracle::new(|c: Cell2| checker.is_free(c));
     let reference = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
     assert!(reference.path.is_some());
 

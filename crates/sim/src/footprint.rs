@@ -7,7 +7,9 @@
 //! realistic oriented (non-axis-aligned) footprints while staying
 //! deterministic.
 
-use racod_geom::{Cell2, Cell3, Obb2, Obb3, Rotation2, Rotation3, Vec2};
+use racod_geom::{
+    Cell2, Cell3, FootprintTemplate2, FootprintTemplate3, Obb2, Obb3, Rotation2, Rotation3, Vec2,
+};
 
 /// Orientation policy of a footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +19,86 @@ pub enum OrientationPolicy {
     /// The box's length axis points from the state toward the goal — a
     /// deterministic stand-in for heading along the travel direction.
     TowardGoal,
+}
+
+/// A footprint orientation reduced to its canonical discrete form.
+///
+/// Planning states and goals are grid cells, so a `TowardGoal` orientation
+/// is fully determined by the integer direction `goal - state`. Reducing
+/// that direction by its gcd canonicalizes it — `(2, 2)`, `(3, 3)` and
+/// `(7, 7)` all orient the body along `(1, 1)` — which is what makes the
+/// per-rotation template cache effective: one template serves every state
+/// on the same heading ray.
+///
+/// [`Footprint2::obb_at`] derives its rotation *from this key*, so the OBB
+/// path and the template path agree on the orientation by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RotKey {
+    /// Axis-aligned (also the degenerate `state == goal` case).
+    Axis,
+    /// Oriented along the gcd-reduced integer direction `(dx, dy)`.
+    Dir {
+        /// x component of the reduced direction.
+        dx: i32,
+        /// y component of the reduced direction.
+        dy: i32,
+    },
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+impl RotKey {
+    /// The key for a body oriented from `state` toward `goal` (2D).
+    pub fn toward_2d(state: Cell2, goal: Cell2) -> RotKey {
+        RotKey::from_direction(goal.x - state.x, goal.y - state.y)
+    }
+
+    /// The key for a body yawed from `state` toward `goal` (3D, yaw only).
+    pub fn toward_3d(state: Cell3, goal: Cell3) -> RotKey {
+        RotKey::from_direction(goal.x - state.x, goal.y - state.y)
+    }
+
+    /// Reduces an integer direction to its canonical key.
+    pub fn from_direction(dx: i64, dy: i64) -> RotKey {
+        if dx == 0 && dy == 0 {
+            return RotKey::Axis;
+        }
+        let g = gcd(dx, dy);
+        RotKey::Dir { dx: (dx / g) as i32, dy: (dy / g) as i32 }
+    }
+
+    /// The 2D rotation this key denotes.
+    pub fn rotation2(self) -> Rotation2 {
+        match self {
+            RotKey::Axis => Rotation2::IDENTITY,
+            RotKey::Dir { dx, dy } => match Vec2::new(dx as f32, dy as f32).normalized() {
+                Some(u) => Rotation2::from_sin_cos(u.y, u.x),
+                None => Rotation2::IDENTITY,
+            },
+        }
+    }
+
+    /// The 3D (yaw-only) rotation this key denotes.
+    pub fn rotation3(self) -> Rotation3 {
+        match self {
+            RotKey::Axis => Rotation3::identity(),
+            RotKey::Dir { dx, dy } => {
+                let (dx, dy) = (dx as f32, dy as f32);
+                let n = (dx * dx + dy * dy).sqrt();
+                if n <= f32::EPSILON {
+                    Rotation3::identity()
+                } else {
+                    Rotation3::from_sin_cos(0.0, 1.0, 0.0, 1.0, dy / n, dx / n)
+                }
+            }
+        }
+    }
 }
 
 /// A rectangular robot footprint in 2D, in grid-cell units.
@@ -58,21 +140,27 @@ impl Footprint2 {
         Footprint2 { length: 0.0, width: 0.0, policy: OrientationPolicy::AxisAligned }
     }
 
+    /// The canonical orientation key of the body at `state` toward `goal`.
+    pub fn rot_key(&self, state: Cell2, goal: Cell2) -> RotKey {
+        match self.policy {
+            OrientationPolicy::AxisAligned => RotKey::Axis,
+            OrientationPolicy::TowardGoal => RotKey::toward_2d(state, goal),
+        }
+    }
+
     /// The OBB of the robot body centered on `state`, oriented per policy
     /// with respect to `goal`.
+    ///
+    /// The rotation is derived from the gcd-reduced [`RotKey`], so every
+    /// state on the same heading ray gets the bit-identical rotation.
     pub fn obb_at(&self, state: Cell2, goal: Cell2) -> Obb2 {
-        let center = state.center();
-        let rot = match self.policy {
-            OrientationPolicy::AxisAligned => Rotation2::IDENTITY,
-            OrientationPolicy::TowardGoal => {
-                let d = Vec2::new((goal.x - state.x) as f32, (goal.y - state.y) as f32);
-                match d.normalized() {
-                    Some(u) => Rotation2::from_sin_cos(u.y, u.x),
-                    None => Rotation2::IDENTITY,
-                }
-            }
-        };
-        Obb2::centered(center, self.length, self.width, rot)
+        let rot = self.rot_key(state, goal).rotation2();
+        Obb2::centered(state.center(), self.length, self.width, rot)
+    }
+
+    /// Compiles the footprint's template for one orientation key.
+    pub fn template(&self, key: RotKey) -> FootprintTemplate2 {
+        FootprintTemplate2::for_box(self.length, self.width, key.rotation2())
     }
 }
 
@@ -112,24 +200,24 @@ impl Footprint3 {
         Footprint3 { length: 0.0, width: 0.0, height: 0.0, policy: OrientationPolicy::AxisAligned }
     }
 
+    /// The canonical orientation key of the body at `state` toward `goal`.
+    pub fn rot_key(&self, state: Cell3, goal: Cell3) -> RotKey {
+        match self.policy {
+            OrientationPolicy::AxisAligned => RotKey::Axis,
+            OrientationPolicy::TowardGoal => RotKey::toward_3d(state, goal),
+        }
+    }
+
     /// The OBB of the robot body centered on `state`, yawed per policy
     /// toward `goal`.
     pub fn obb_at(&self, state: Cell3, goal: Cell3) -> Obb3 {
-        let center = state.center();
-        let rot = match self.policy {
-            OrientationPolicy::AxisAligned => Rotation3::identity(),
-            OrientationPolicy::TowardGoal => {
-                let dx = (goal.x - state.x) as f32;
-                let dy = (goal.y - state.y) as f32;
-                let n = (dx * dx + dy * dy).sqrt();
-                if n <= f32::EPSILON {
-                    Rotation3::identity()
-                } else {
-                    Rotation3::from_sin_cos(0.0, 1.0, 0.0, 1.0, dy / n, dx / n)
-                }
-            }
-        };
-        Obb3::centered(center, self.length, self.width, self.height, rot)
+        let rot = self.rot_key(state, goal).rotation3();
+        Obb3::centered(state.center(), self.length, self.width, self.height, rot)
+    }
+
+    /// Compiles the footprint's template for one orientation key.
+    pub fn template(&self, key: RotKey) -> FootprintTemplate3 {
+        FootprintTemplate3::for_box(self.length, self.width, self.height, key.rotation3())
     }
 }
 

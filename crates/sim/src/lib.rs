@@ -42,9 +42,14 @@ pub mod footprint;
 pub mod oracle;
 pub mod pase_model;
 pub mod planner;
+pub mod tcache;
 
 pub use cost::CostModel;
 pub use engine::UnitPool;
-pub use footprint::{Footprint2, Footprint3};
+pub use footprint::{Footprint2, Footprint3, RotKey};
 pub use oracle::{PlanTiming, TimedChecker, TimedOracle, TimedOracleConfig};
 pub use planner::{PlanOutcome, Scenario2, Scenario3};
+pub use tcache::{
+    TemplateCache2, TemplateCache3, TemplateChecker2, TemplateChecker3, TemplateStats,
+    DEFAULT_TEMPLATE_CAPACITY,
+};

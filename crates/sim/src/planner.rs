@@ -5,14 +5,16 @@
 //! compute speedups as ratios of cycle counts.
 
 use crate::cost::CostModel;
-use crate::footprint::{Footprint2, Footprint3};
+use crate::footprint::{Footprint2, Footprint3, RotKey};
 use crate::oracle::{PlanTiming, TimedChecker, TimedOracle, TimedOracleConfig};
-use racod_codacc::{software_check_2d, software_check_3d, CodaccPool, CodaccTiming};
-use racod_geom::{Cell2, Cell3};
+use crate::tcache::{TemplateCache2, TemplateCache3, TemplateStats};
+use racod_codacc::{template_check_2d, template_check_3d, CodaccPool, CodaccTiming};
+use racod_geom::{Cell2, Cell3, FootprintTemplate2, FootprintTemplate3};
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
 use racod_mem::{CacheConfig, CacheStats, LatencyModel};
 use racod_rasexp::RasexpStats;
 use racod_search::{astar, AstarConfig, GridSpace2, GridSpace3, SearchResult};
+use std::sync::Arc;
 
 /// A 2D planning scenario: grid + footprint + endpoints + search config.
 #[derive(Debug, Clone)]
@@ -29,6 +31,9 @@ pub struct Scenario2<'g> {
     pub space: GridSpace2,
     /// Search configuration (weight, recording).
     pub astar: AstarConfig,
+    /// Optional shared template cache (e.g. a serving layer's per-map
+    /// warm artifact). `None` gives every plan a fresh cache.
+    pub tcache: Option<Arc<TemplateCache2>>,
 }
 
 impl<'g> Scenario2<'g> {
@@ -43,6 +48,7 @@ impl<'g> Scenario2<'g> {
             goal: Cell2::new(grid.width() as i64 - 2, grid.height() as i64 - 2),
             space: GridSpace2::eight_connected(grid.width(), grid.height()),
             astar: AstarConfig::default(),
+            tcache: None,
         }
     }
 
@@ -86,6 +92,12 @@ impl<'g> Scenario2<'g> {
         self.astar = astar;
         self
     }
+
+    /// Shares a template cache across plans (serving-layer map affinity).
+    pub fn with_template_cache(mut self, cache: Arc<TemplateCache2>) -> Self {
+        self.tcache = Some(cache);
+        self
+    }
 }
 
 /// Finds the cell nearest `(x, y)` at which the robot footprint is
@@ -106,6 +118,7 @@ pub fn free_near_footprint_2d(
     y: i64,
     toward: Cell2,
 ) -> Cell2 {
+    let cache = TemplateCache2::default();
     for radius in 0..grid.width().max(grid.height()) as i64 {
         for dy in -radius..=radius {
             for dx in -radius..=radius {
@@ -113,10 +126,10 @@ pub fn free_near_footprint_2d(
                     continue;
                 }
                 let c = Cell2::new(x + dx, y + dy);
-                let obb = footprint.obb_at(c, toward);
-                let at_rest = footprint.obb_at(c, c);
-                if software_check_2d(grid, &obb).verdict.is_free()
-                    && software_check_2d(grid, &at_rest).verdict.is_free()
+                let (tpl, _) = cache.get(footprint, footprint.rot_key(c, toward));
+                let (at_rest, _) = cache.get(footprint, footprint.rot_key(c, c));
+                if template_check_2d(grid, c, &tpl).verdict.is_free()
+                    && template_check_2d(grid, c, &at_rest).verdict.is_free()
                 {
                     return c;
                 }
@@ -162,6 +175,7 @@ pub fn free_near_footprint_3d(
     toward: Cell3,
 ) -> Cell3 {
     let (x, y, z) = at;
+    let cache = TemplateCache3::default();
     let max_r = grid.size_x().max(grid.size_y()).max(grid.size_z()) as i64;
     for radius in 0..max_r {
         for dz in -radius..=radius {
@@ -171,10 +185,10 @@ pub fn free_near_footprint_3d(
                         continue;
                     }
                     let c = Cell3::new(x + dx, y + dy, z + dz);
-                    let obb = footprint.obb_at(c, toward);
-                    let at_rest = footprint.obb_at(c, c);
-                    if software_check_3d(grid, &obb).verdict.is_free()
-                        && software_check_3d(grid, &at_rest).verdict.is_free()
+                    let (tpl, _) = cache.get(footprint, footprint.rot_key(c, toward));
+                    let (at_rest, _) = cache.get(footprint, footprint.rot_key(c, c));
+                    if template_check_3d(grid, c, &tpl).verdict.is_free()
+                        && template_check_3d(grid, c, &at_rest).verdict.is_free()
                     {
                         return c;
                     }
@@ -225,6 +239,8 @@ pub struct Scenario3<'g> {
     pub space: GridSpace3,
     /// Search configuration.
     pub astar: AstarConfig,
+    /// Optional shared template cache; `None` gives every plan a fresh one.
+    pub tcache: Option<Arc<TemplateCache3>>,
 }
 
 impl<'g> Scenario3<'g> {
@@ -242,7 +258,14 @@ impl<'g> Scenario3<'g> {
             ),
             space: GridSpace3::twenty_six_connected(grid.size_x(), grid.size_y(), grid.size_z()),
             astar: AstarConfig::default(),
+            tcache: None,
         }
+    }
+
+    /// Shares a template cache across plans (serving-layer map affinity).
+    pub fn with_template_cache(mut self, cache: Arc<TemplateCache3>) -> Self {
+        self.tcache = Some(cache);
+        self
     }
 
     /// Sets start/goal to the nearest voxels where the robot footprint is
@@ -279,20 +302,103 @@ pub struct PlanOutcome<S> {
     pub stats: RasexpStats,
     /// Aggregate L0 statistics (RACOD runs only).
     pub l0_stats: Option<CacheStats>,
+    /// Template-cache hit/miss counts for this run's collision checks.
+    pub tstats: TemplateStats,
+}
+
+/// Per-run template supplier: shared cache + a last-key memo so the common
+/// case (consecutive states on the same heading ray) never touches the lock.
+struct TemplateSource2 {
+    footprint: Footprint2,
+    goal: Cell2,
+    cache: Arc<TemplateCache2>,
+    last: Option<(RotKey, Arc<FootprintTemplate2>)>,
+    stats: TemplateStats,
+}
+
+impl TemplateSource2 {
+    fn new(footprint: Footprint2, goal: Cell2, cache: Arc<TemplateCache2>) -> Self {
+        TemplateSource2 { footprint, goal, cache, last: None, stats: TemplateStats::default() }
+    }
+
+    fn for_scenario(sc: &Scenario2<'_>) -> Self {
+        let cache = sc.tcache.clone().unwrap_or_else(|| Arc::new(TemplateCache2::default()));
+        TemplateSource2::new(sc.footprint, sc.goal, cache)
+    }
+
+    fn template_at(&mut self, s: Cell2) -> Arc<FootprintTemplate2> {
+        let key = self.footprint.rot_key(s, self.goal);
+        if let Some((k, tpl)) = &self.last {
+            if *k == key {
+                self.stats.hits += 1;
+                return Arc::clone(tpl);
+            }
+        }
+        let (tpl, hit) = self.cache.get(&self.footprint, key);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        self.last = Some((key, Arc::clone(&tpl)));
+        tpl
+    }
+}
+
+/// 3D counterpart of [`TemplateSource2`].
+struct TemplateSource3 {
+    footprint: Footprint3,
+    goal: Cell3,
+    cache: Arc<TemplateCache3>,
+    last: Option<(RotKey, Arc<FootprintTemplate3>)>,
+    stats: TemplateStats,
+}
+
+impl TemplateSource3 {
+    fn new(footprint: Footprint3, goal: Cell3, cache: Arc<TemplateCache3>) -> Self {
+        TemplateSource3 { footprint, goal, cache, last: None, stats: TemplateStats::default() }
+    }
+
+    fn for_scenario(sc: &Scenario3<'_>) -> Self {
+        let cache = sc.tcache.clone().unwrap_or_else(|| Arc::new(TemplateCache3::default()));
+        TemplateSource3::new(sc.footprint, sc.goal, cache)
+    }
+
+    fn template_at(&mut self, s: Cell3) -> Arc<FootprintTemplate3> {
+        let key = self.footprint.rot_key(s, self.goal);
+        if let Some((k, tpl)) = &self.last {
+            if *k == key {
+                self.stats.hits += 1;
+                return Arc::clone(tpl);
+            }
+        }
+        let (tpl, hit) = self.cache.get(&self.footprint, key);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        self.last = Some((key, Arc::clone(&tpl)));
+        tpl
+    }
 }
 
 /// Software checker over a 2D grid (one thread's work per check).
+///
+/// Verdict and `cells_checked` come from the word-parallel template kernel;
+/// the modeled cycle cost still charges the paper's per-cell software cost
+/// for the cells an early-exiting scalar walk would have visited, so cycle
+/// comparisons against the i3/Xeon baselines are unchanged.
 struct SwChecker2<'g> {
     grid: &'g BitGrid2,
-    footprint: Footprint2,
-    goal: Cell2,
+    tpls: TemplateSource2,
     cost: CostModel,
 }
 
 impl<'g> TimedChecker<Cell2> for SwChecker2<'g> {
     fn check(&mut self, _unit: usize, s: Cell2) -> (bool, u64) {
-        let obb = self.footprint.obb_at(s, self.goal);
-        let out = software_check_2d(self.grid, &obb);
+        let tpl = self.tpls.template_at(s);
+        let out = template_check_2d(self.grid, s, &tpl);
         (out.verdict.is_free(), self.cost.sw_check_cycles(out.cells_checked))
     }
 }
@@ -300,31 +406,36 @@ impl<'g> TimedChecker<Cell2> for SwChecker2<'g> {
 /// Software checker over a 3D grid.
 struct SwChecker3<'g> {
     grid: &'g BitGrid3,
-    footprint: Footprint3,
-    goal: Cell3,
+    tpls: TemplateSource3,
     cost: CostModel,
 }
 
 impl<'g> TimedChecker<Cell3> for SwChecker3<'g> {
     fn check(&mut self, _unit: usize, s: Cell3) -> (bool, u64) {
-        let obb = self.footprint.obb_at(s, self.goal);
-        let out = software_check_3d(self.grid, &obb);
+        let tpl = self.tpls.template_at(s);
+        let out = template_check_3d(self.grid, s, &tpl);
         (out.verdict.is_free(), self.cost.sw_check_cycles(out.cells_checked))
     }
 }
 
 /// CODAcc checker over a 2D grid (per-unit L0 state lives in the pool).
+///
+/// The AGU's sample set is the cached template expanded at the state
+/// (`expand_into` reuses one scratch buffer, so the steady state is
+/// allocation-free); the accelerator model then tiles, coalesces, and
+/// charges cycles exactly as before.
 struct HwChecker2<'g> {
     grid: &'g BitGrid2,
-    footprint: Footprint2,
-    goal: Cell2,
+    tpls: TemplateSource2,
     pool: CodaccPool,
+    scratch: Vec<Cell2>,
 }
 
 impl<'g> TimedChecker<Cell2> for HwChecker2<'g> {
     fn check(&mut self, unit: usize, s: Cell2) -> (bool, u64) {
-        let obb = self.footprint.obb_at(s, self.goal);
-        let out = self.pool.check_2d(unit, self.grid, &obb);
+        let tpl = self.tpls.template_at(s);
+        tpl.expand_into(s, &mut self.scratch);
+        let out = self.pool.check_cells_2d(unit, self.grid, &self.scratch);
         (out.verdict.is_free(), out.cycles)
     }
 }
@@ -333,15 +444,16 @@ impl<'g> TimedChecker<Cell2> for HwChecker2<'g> {
 /// state survives across planning episodes (serving-layer map affinity).
 struct HwChecker2Pooled<'g, 'p> {
     grid: &'g BitGrid2,
-    footprint: Footprint2,
-    goal: Cell2,
+    tpls: TemplateSource2,
     pool: &'p mut CodaccPool,
+    scratch: Vec<Cell2>,
 }
 
 impl<'g, 'p> TimedChecker<Cell2> for HwChecker2Pooled<'g, 'p> {
     fn check(&mut self, unit: usize, s: Cell2) -> (bool, u64) {
-        let obb = self.footprint.obb_at(s, self.goal);
-        let out = self.pool.check_2d(unit, self.grid, &obb);
+        let tpl = self.tpls.template_at(s);
+        tpl.expand_into(s, &mut self.scratch);
+        let out = self.pool.check_cells_2d(unit, self.grid, &self.scratch);
         (out.verdict.is_free(), out.cycles)
     }
 }
@@ -349,15 +461,16 @@ impl<'g, 'p> TimedChecker<Cell2> for HwChecker2Pooled<'g, 'p> {
 /// CODAcc checker over a 3D grid borrowing a caller-owned pool.
 struct HwChecker3Pooled<'g, 'p> {
     grid: &'g BitGrid3,
-    footprint: Footprint3,
-    goal: Cell3,
+    tpls: TemplateSource3,
     pool: &'p mut CodaccPool,
+    scratch: Vec<Cell3>,
 }
 
 impl<'g, 'p> TimedChecker<Cell3> for HwChecker3Pooled<'g, 'p> {
     fn check(&mut self, unit: usize, s: Cell3) -> (bool, u64) {
-        let obb = self.footprint.obb_at(s, self.goal);
-        let out = self.pool.check_3d(unit, self.grid, &obb);
+        let tpl = self.tpls.template_at(s);
+        tpl.expand_into(s, &mut self.scratch);
+        let out = self.pool.check_cells_3d(unit, self.grid, &self.scratch);
         (out.verdict.is_free(), out.cycles)
     }
 }
@@ -365,15 +478,16 @@ impl<'g, 'p> TimedChecker<Cell3> for HwChecker3Pooled<'g, 'p> {
 /// CODAcc checker over a 3D grid.
 struct HwChecker3<'g> {
     grid: &'g BitGrid3,
-    footprint: Footprint3,
-    goal: Cell3,
+    tpls: TemplateSource3,
     pool: CodaccPool,
+    scratch: Vec<Cell3>,
 }
 
 impl<'g> TimedChecker<Cell3> for HwChecker3<'g> {
     fn check(&mut self, unit: usize, s: Cell3) -> (bool, u64) {
-        let obb = self.footprint.obb_at(s, self.goal);
-        let out = self.pool.check_3d(unit, self.grid, &obb);
+        let tpl = self.tpls.template_at(s);
+        tpl.expand_into(s, &mut self.scratch);
+        let out = self.pool.check_cells_3d(unit, self.grid, &self.scratch);
         (out.verdict.is_free(), out.cycles)
     }
 }
@@ -388,19 +502,22 @@ pub fn plan_software_2d(
     runahead: Option<usize>,
     cost: &CostModel,
 ) -> PlanOutcome<Cell2> {
-    let checker = SwChecker2 { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, cost: *cost };
+    let checker =
+        SwChecker2 { grid: sc.grid, tpls: TemplateSource2::for_scenario(sc), cost: *cost };
     let config = match runahead {
         None => TimedOracleConfig::baseline(threads),
         Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
     };
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
     let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
         cycles: oracle.clock(),
         timing: oracle.timing(),
         stats: oracle.stats().clone(),
         l0_stats: None,
+        tstats,
     }
 }
 
@@ -428,7 +545,12 @@ pub fn plan_racod_2d_ext(
         CacheConfig::l1_default(),
         latency,
     );
-    let checker = HwChecker2 { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, pool };
+    let checker = HwChecker2 {
+        grid: sc.grid,
+        tpls: TemplateSource2::for_scenario(sc),
+        pool,
+        scratch: Vec::new(),
+    };
     let config = if runahead {
         TimedOracleConfig::runahead(units)
     } else {
@@ -437,12 +559,14 @@ pub fn plan_racod_2d_ext(
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
     let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
+    let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
         cycles: oracle.clock(),
         timing: oracle.timing(),
         stats: oracle.stats().clone(),
         l0_stats,
+        tstats,
     }
 }
 
@@ -459,17 +583,24 @@ pub fn plan_racod_2d_pooled(
     cost: &CostModel,
 ) -> PlanOutcome<Cell2> {
     let units = pool.units();
-    let checker = HwChecker2Pooled { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, pool };
+    let checker = HwChecker2Pooled {
+        grid: sc.grid,
+        tpls: TemplateSource2::for_scenario(sc),
+        pool,
+        scratch: Vec::new(),
+    };
     let mut oracle =
         TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units));
     let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
+    let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
         cycles: oracle.clock(),
         timing: oracle.timing(),
         stats: oracle.stats().clone(),
         l0_stats,
+        tstats,
     }
 }
 
@@ -482,17 +613,24 @@ pub fn plan_racod_3d_pooled(
     cost: &CostModel,
 ) -> PlanOutcome<Cell3> {
     let units = pool.units();
-    let checker = HwChecker3Pooled { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, pool };
+    let checker = HwChecker3Pooled {
+        grid: sc.grid,
+        tpls: TemplateSource3::for_scenario(sc),
+        pool,
+        scratch: Vec::new(),
+    };
     let mut oracle =
         TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units));
     let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
+    let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
         cycles: oracle.clock(),
         timing: oracle.timing(),
         stats: oracle.stats().clone(),
         l0_stats,
+        tstats,
     }
 }
 
@@ -503,19 +641,22 @@ pub fn plan_software_3d(
     runahead: Option<usize>,
     cost: &CostModel,
 ) -> PlanOutcome<Cell3> {
-    let checker = SwChecker3 { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, cost: *cost };
+    let checker =
+        SwChecker3 { grid: sc.grid, tpls: TemplateSource3::for_scenario(sc), cost: *cost };
     let config = match runahead {
         None => TimedOracleConfig::baseline(threads),
         Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
     };
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
     let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
         cycles: oracle.clock(),
         timing: oracle.timing(),
         stats: oracle.stats().clone(),
         l0_stats: None,
+        tstats,
     }
 }
 
@@ -539,7 +680,12 @@ pub fn plan_racod_3d_ext(
         CacheConfig::l1_default(),
         latency,
     );
-    let checker = HwChecker3 { grid: sc.grid, footprint: sc.footprint, goal: sc.goal, pool };
+    let checker = HwChecker3 {
+        grid: sc.grid,
+        tpls: TemplateSource3::for_scenario(sc),
+        pool,
+        scratch: Vec::new(),
+    };
     let config = if runahead {
         TimedOracleConfig::runahead(units)
     } else {
@@ -548,12 +694,14 @@ pub fn plan_racod_3d_ext(
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
     let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
+    let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
         cycles: oracle.clock(),
         timing: oracle.timing(),
         stats: oracle.stats().clone(),
         l0_stats,
+        tstats,
     }
 }
 

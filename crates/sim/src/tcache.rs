@@ -1,0 +1,423 @@
+//! Bounded per-rotation footprint template caches and the checkers that
+//! consume them.
+//!
+//! A planning run re-checks the same footprint under a small set of
+//! orientations — for `TowardGoal` footprints one per gcd-reduced heading
+//! direction ([`RotKey`]), for `AxisAligned` exactly one. Compiling each
+//! orientation's [`FootprintTemplate2`] once and caching it makes the
+//! steady-state collision check trig-free and allocation-free: expansion is
+//! `state + offsets`, evaluation is the word-parallel kernel
+//! ([`racod_codacc::template_check_2d`]).
+//!
+//! The cache is shared (`Arc`-friendly, interior mutability) so a serving
+//! layer can keep one instance warm per map beside its other artifacts, and
+//! real thread-pool planners can check through it concurrently.
+
+use crate::footprint::{Footprint2, Footprint3, RotKey};
+use racod_codacc::{template_check_2d, template_check_3d, SoftwareCheck};
+use racod_geom::{Cell2, Cell3, FootprintTemplate2, FootprintTemplate3};
+use racod_grid::{BitGrid2, BitGrid3};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Default bound on distinct (footprint, rotation) templates kept alive.
+///
+/// A car template is ~3 KB; 1024 entries bound the cache at a few MB while
+/// comfortably covering every heading a 512-grid planning run produces.
+pub const DEFAULT_TEMPLATE_CAPACITY: usize = 1024;
+
+/// Cache key: footprint dimensions (bit-exact) + orientation key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key2 {
+    length: u32,
+    width: u32,
+    rot: RotKey,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key3 {
+    length: u32,
+    width: u32,
+    height: u32,
+    rot: RotKey,
+}
+
+struct Lru<K, V> {
+    map: HashMap<K, (Arc<V>, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Copy, V> Lru<K, V> {
+    fn new(capacity: usize) -> Self {
+        Lru { map: HashMap::new(), tick: 0, capacity: capacity.max(1) }
+    }
+
+    fn get_or_insert_with(&mut self, key: K, build: impl FnOnce() -> V) -> (Arc<V>, bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((v, used)) = self.map.get_mut(&key) {
+            *used = tick;
+            return (v.clone(), true);
+        }
+        if self.map.len() >= self.capacity {
+            // O(n) eviction of the least-recently-used entry; n is small
+            // and misses are rare once warm.
+            if let Some(&lru) = self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k) {
+                self.map.remove(&lru);
+            }
+        }
+        let v = Arc::new(build());
+        self.map.insert(key, (v.clone(), tick));
+        (v, false)
+    }
+}
+
+/// A bounded LRU of compiled 2D footprint templates, keyed by footprint
+/// dimensions and [`RotKey`].
+///
+/// Thread-safe via interior mutability: `get` takes `&self`, so the cache
+/// can sit behind an `Arc` shared by real planner threads.
+///
+/// # Example
+///
+/// ```
+/// use racod_sim::{Footprint2, RotKey, TemplateCache2};
+/// use racod_geom::Cell2;
+///
+/// let cache = TemplateCache2::default();
+/// let fp = Footprint2::car();
+/// let key = fp.rot_key(Cell2::new(0, 0), Cell2::new(30, 40));
+/// let (tpl, hit) = cache.get(&fp, key);
+/// assert!(!hit, "first lookup compiles");
+/// let (again, hit) = cache.get(&fp, key);
+/// assert!(hit);
+/// assert_eq!(tpl.offsets(), again.offsets());
+/// ```
+pub struct TemplateCache2 {
+    inner: Mutex<Lru<Key2, FootprintTemplate2>>,
+}
+
+impl TemplateCache2 {
+    /// Creates a cache bounded to `capacity` templates (min 1).
+    pub fn new(capacity: usize) -> Self {
+        TemplateCache2 { inner: Mutex::new(Lru::new(capacity)) }
+    }
+
+    /// The template for `footprint` at orientation `key`, compiling it on
+    /// first use. Returns `(template, was_cache_hit)`.
+    pub fn get(&self, footprint: &Footprint2, key: RotKey) -> (Arc<FootprintTemplate2>, bool) {
+        let k =
+            Key2 { length: footprint.length.to_bits(), width: footprint.width.to_bits(), rot: key };
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_or_insert_with(k, || footprint.template(key))
+    }
+
+    /// Number of templates currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TemplateCache2 {
+    fn default() -> Self {
+        TemplateCache2::new(DEFAULT_TEMPLATE_CAPACITY)
+    }
+}
+
+impl fmt::Debug for TemplateCache2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TemplateCache2").field("len", &self.len()).finish()
+    }
+}
+
+/// 3D counterpart of [`TemplateCache2`].
+pub struct TemplateCache3 {
+    inner: Mutex<Lru<Key3, FootprintTemplate3>>,
+}
+
+impl TemplateCache3 {
+    /// Creates a cache bounded to `capacity` templates (min 1).
+    pub fn new(capacity: usize) -> Self {
+        TemplateCache3 { inner: Mutex::new(Lru::new(capacity)) }
+    }
+
+    /// The template for `footprint` at orientation `key`, compiling it on
+    /// first use. Returns `(template, was_cache_hit)`.
+    pub fn get(&self, footprint: &Footprint3, key: RotKey) -> (Arc<FootprintTemplate3>, bool) {
+        let k = Key3 {
+            length: footprint.length.to_bits(),
+            width: footprint.width.to_bits(),
+            height: footprint.height.to_bits(),
+            rot: key,
+        };
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_or_insert_with(k, || footprint.template(key))
+    }
+
+    /// Number of templates currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TemplateCache3 {
+    fn default() -> Self {
+        TemplateCache3::new(DEFAULT_TEMPLATE_CAPACITY)
+    }
+}
+
+impl fmt::Debug for TemplateCache3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TemplateCache3").field("len", &self.len()).finish()
+    }
+}
+
+/// Hit/miss counts of template-cache lookups during one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TemplateStats {
+    /// Lookups served from the cache (or the checker's last-key memo).
+    pub hits: u64,
+    /// Lookups that compiled a new template.
+    pub misses: u64,
+}
+
+impl TemplateStats {
+    /// Hit fraction in `[0, 1]`; 1.0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The canonical planning-path collision checker: template cache + word
+/// kernel over a 2D grid.
+///
+/// This *defines* the cell set a planner tests at a state: the footprint's
+/// reference rasterization translated to the state (see
+/// [`racod_geom::template`] for why that is the only translation-exact
+/// definition under `f32`). All planning platforms — software, RACOD
+/// model, real threads, and the serving layer — check through this, so
+/// their paths agree bit-for-bit.
+///
+/// `check` takes `&self`; the checker is `Send + Sync` and can be shared
+/// across threads (the per-thread fast path is the shared cache's lock,
+/// held only for a `HashMap` probe).
+///
+/// # Example
+///
+/// ```
+/// use racod_sim::{Footprint2, TemplateChecker2};
+/// use racod_grid::BitGrid2;
+/// use racod_geom::Cell2;
+///
+/// let grid = BitGrid2::new(64, 64);
+/// let checker = TemplateChecker2::new(&grid, Footprint2::car(), Cell2::new(60, 60));
+/// assert!(checker.is_free(Cell2::new(30, 30)));
+/// ```
+pub struct TemplateChecker2<'g> {
+    grid: &'g BitGrid2,
+    footprint: Footprint2,
+    goal: Cell2,
+    cache: Arc<TemplateCache2>,
+}
+
+impl<'g> TemplateChecker2<'g> {
+    /// A checker with its own fresh cache.
+    pub fn new(grid: &'g BitGrid2, footprint: Footprint2, goal: Cell2) -> Self {
+        Self::with_cache(grid, footprint, goal, Arc::new(TemplateCache2::default()))
+    }
+
+    /// A checker backed by a shared (e.g. per-map) cache.
+    pub fn with_cache(
+        grid: &'g BitGrid2,
+        footprint: Footprint2,
+        goal: Cell2,
+        cache: Arc<TemplateCache2>,
+    ) -> Self {
+        TemplateChecker2 { grid, footprint, goal, cache }
+    }
+
+    /// The shared template cache.
+    pub fn cache(&self) -> &Arc<TemplateCache2> {
+        &self.cache
+    }
+
+    /// Full check of the footprint at `state`, with exact early-exit stats.
+    pub fn check(&self, state: Cell2) -> SoftwareCheck {
+        self.check_counted(state).0
+    }
+
+    /// [`TemplateChecker2::check`] plus whether the template lookup hit.
+    pub fn check_counted(&self, state: Cell2) -> (SoftwareCheck, bool) {
+        let key = self.footprint.rot_key(state, self.goal);
+        let (tpl, hit) = self.cache.get(&self.footprint, key);
+        (template_check_2d(self.grid, state, &tpl), hit)
+    }
+
+    /// Whether the footprint is collision-free (and in bounds) at `state`.
+    pub fn is_free(&self, state: Cell2) -> bool {
+        self.check(state).verdict.is_free()
+    }
+}
+
+/// 3D counterpart of [`TemplateChecker2`].
+pub struct TemplateChecker3<'g> {
+    grid: &'g BitGrid3,
+    footprint: Footprint3,
+    goal: Cell3,
+    cache: Arc<TemplateCache3>,
+}
+
+impl<'g> TemplateChecker3<'g> {
+    /// A checker with its own fresh cache.
+    pub fn new(grid: &'g BitGrid3, footprint: Footprint3, goal: Cell3) -> Self {
+        Self::with_cache(grid, footprint, goal, Arc::new(TemplateCache3::default()))
+    }
+
+    /// A checker backed by a shared (e.g. per-map) cache.
+    pub fn with_cache(
+        grid: &'g BitGrid3,
+        footprint: Footprint3,
+        goal: Cell3,
+        cache: Arc<TemplateCache3>,
+    ) -> Self {
+        TemplateChecker3 { grid, footprint, goal, cache }
+    }
+
+    /// The shared template cache.
+    pub fn cache(&self) -> &Arc<TemplateCache3> {
+        &self.cache
+    }
+
+    /// Full check of the footprint at `state`, with exact early-exit stats.
+    pub fn check(&self, state: Cell3) -> SoftwareCheck {
+        self.check_counted(state).0
+    }
+
+    /// [`TemplateChecker3::check`] plus whether the template lookup hit.
+    pub fn check_counted(&self, state: Cell3) -> (SoftwareCheck, bool) {
+        let key = self.footprint.rot_key(state, self.goal);
+        let (tpl, hit) = self.cache.get(&self.footprint, key);
+        (template_check_3d(self.grid, state, &tpl), hit)
+    }
+
+    /// Whether the footprint is collision-free (and in bounds) at `state`.
+    pub fn is_free(&self, state: Cell3) -> bool {
+        self.check(state).verdict.is_free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racod_codacc::template_check_2d_scalar;
+    use racod_grid::gen::{city_map, CityName};
+
+    #[test]
+    fn cache_hits_after_first_lookup() {
+        let cache = TemplateCache2::default();
+        let fp = Footprint2::car();
+        let goal = Cell2::new(100, 100);
+        let mut misses = 0;
+        // States approaching the goal along its row and its diagonal: every
+        // state shares one of two reduced directions.
+        for i in 0..50 {
+            for s in [Cell2::new(i, 100), Cell2::new(i, i)] {
+                let (_, hit) = cache.get(&fp, fp.rot_key(s, goal));
+                if !hit {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses as usize, cache.len());
+        assert_eq!(misses, 2, "one template per heading ray");
+    }
+
+    #[test]
+    fn gcd_reduction_shares_templates_along_rays() {
+        let cache = TemplateCache2::default();
+        let fp = Footprint2::car();
+        let goal = Cell2::new(64, 64);
+        // All states on the (1,1) diagonal toward the goal share a key.
+        cache.get(&fp, fp.rot_key(Cell2::new(0, 0), goal));
+        let (_, hit) = cache.get(&fp, fp.rot_key(Cell2::new(32, 32), goal));
+        assert!(hit);
+        let (_, hit) = cache.get(&fp, fp.rot_key(Cell2::new(63, 63), goal));
+        assert!(hit);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cache = TemplateCache2::new(4);
+        let fp = Footprint2::car();
+        for dy in 1..20i64 {
+            cache.get(&fp, RotKey::from_direction(97, dy));
+        }
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn evicted_templates_recompile_identically() {
+        let cache = TemplateCache2::new(1);
+        let fp = Footprint2::car();
+        let a = cache.get(&fp, RotKey::from_direction(3, 1)).0;
+        cache.get(&fp, RotKey::from_direction(1, 3)); // evicts (3,1)
+        let b = cache.get(&fp, RotKey::from_direction(3, 1)).0;
+        assert_eq!(a.offsets(), b.offsets());
+    }
+
+    #[test]
+    fn checker_matches_scalar_walk_on_a_city() {
+        let grid = city_map(CityName::Boston, 128, 128);
+        let goal = Cell2::new(120, 120);
+        let fp = Footprint2::car();
+        let checker = TemplateChecker2::new(&grid, fp, goal);
+        for y in (0..128).step_by(7) {
+            for x in (0..128).step_by(7) {
+                let s = Cell2::new(x, y);
+                let key = fp.rot_key(s, goal);
+                let (tpl, _) = checker.cache().get(&fp, key);
+                let fast = checker.check(s);
+                let slow = template_check_2d_scalar(&grid, s, &tpl);
+                assert_eq!(fast, slow, "state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn checker_is_shareable_across_threads() {
+        let grid = BitGrid2::new(64, 64);
+        let checker =
+            Arc::new(TemplateChecker2::new(&grid, Footprint2::small_robot(), Cell2::new(60, 60)));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let checker = Arc::clone(&checker);
+                scope.spawn(move || {
+                    for i in 0..100i64 {
+                        assert!(checker.is_free(Cell2::new(10 + (i + t) % 40, 20)));
+                    }
+                });
+            }
+        });
+    }
+}

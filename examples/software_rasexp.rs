@@ -24,7 +24,8 @@ fn expensive_check(grid: &BitGrid2, c: Cell2) -> bool {
                     acc |= grid.get(c.offset(dx, dy)) == Some(true);
                 }
             }
-            !acc || true // the probe result is not the verdict; c itself is
+            std::hint::black_box(acc); // probes are busywork, not the verdict
+            true // c itself is free, per the outer match
         }
         _ => false,
     }

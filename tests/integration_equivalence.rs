@@ -17,12 +17,13 @@ fn assert_all_strategies_agree(city: CityName, seed: u64) {
     // Reference: single-threaded software.
     let reference = plan_software_2d(&sc, 1, None, &CostModel::i3_software());
 
-    // Functional RASExp oracle at several runahead depths.
+    // Functional RASExp oracle at several runahead depths, checking with
+    // the same template semantics the timed planners use.
+    let checker = TemplateChecker2::new(&grid, sc.footprint, sc.goal);
     for depth in [2usize, 8, 32] {
         let mut oracle =
             RunaheadOracle::new(&sc.space, RunaheadConfig::with_runahead(depth), |c: Cell2| {
-                let obb = sc.footprint.obb_at(c, sc.goal);
-                software_check_2d(&grid, &obb).verdict.is_free()
+                checker.is_free(c)
             });
         let r = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
         assert_eq!(r.path, reference.result.path, "{city}: RASExp depth {depth} diverged");

@@ -15,11 +15,12 @@ fn car_plans_through_every_city() {
         // Endpoints match the scenario.
         assert_eq!(path[0], sc.start, "{city}");
         assert_eq!(*path.last().unwrap(), sc.goal, "{city}");
-        // Every path state keeps the whole car body collision-free.
+        // Every path state keeps the whole car body collision-free, under
+        // the same template semantics the planner checks with.
+        let checker = TemplateChecker2::new(&grid, sc.footprint, sc.goal);
         for &state in &path {
-            let obb = sc.footprint.obb_at(state, sc.goal);
             assert_eq!(
-                software_check_2d(&grid, &obb).verdict,
+                checker.check(state).verdict,
                 Verdict::Free,
                 "{city}: path state {state} collides"
             );
@@ -37,9 +38,9 @@ fn drone_plans_through_campus() {
     let sc = Scenario3::new(&grid).with_free_endpoints((3, 3, 12), (60, 60, 12));
     let out = plan_software_3d(&sc, 1, None, &CostModel::i3_software());
     let path = out.result.path.expect("campus must be flyable");
+    let checker = TemplateChecker3::new(&grid, sc.footprint, sc.goal);
     for &state in &path {
-        let obb = sc.footprint.obb_at(state, sc.goal);
-        assert_eq!(software_check_3d(&grid, &obb).verdict, Verdict::Free);
+        assert_eq!(checker.check(state).verdict, Verdict::Free);
     }
 }
 
@@ -65,8 +66,8 @@ fn footprint_snapping_respects_orientation() {
     let fp = Footprint2::car();
     let toward = Cell2::new(200, 200);
     let snapped = free_near_footprint_2d(&grid, &fp, 30, 30, toward);
-    let obb = fp.obb_at(snapped, toward);
-    assert_eq!(software_check_2d(&grid, &obb).verdict, Verdict::Free);
+    let checker = TemplateChecker2::new(&grid, fp, toward);
+    assert_eq!(checker.check(snapped).verdict, Verdict::Free);
 }
 
 #[test]

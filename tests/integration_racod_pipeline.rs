@@ -86,9 +86,9 @@ fn invalid_configurations_never_enter_paths() {
     let sc = Scenario2::new(&grid).with_free_endpoints(8, 8, 60, 60);
     let out = plan_racod_2d(&sc, 4, &CostModel::racod());
     let path = out.result.path.expect("open map is reachable");
+    let checker = TemplateChecker2::new(&grid, sc.footprint, sc.goal);
     for &state in &path {
-        let obb = sc.footprint.obb_at(state, sc.goal);
-        assert_eq!(software_check_2d(&grid, &obb).verdict, Verdict::Free);
+        assert_eq!(checker.check(state).verdict, Verdict::Free);
     }
 }
 

@@ -542,7 +542,7 @@ mod tests {
 
         #[test]
         fn any_bool_generates(b in any::<bool>()) {
-            prop_assert!(b || !b);
+            prop_assert!(u8::from(b) <= 1);
         }
     }
 
