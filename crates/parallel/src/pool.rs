@@ -1,12 +1,14 @@
 //! The worker pool and the threaded planner.
 
-use crate::status::StatusTable;
+use crate::status::{StatusTable, WaitOutcome};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use racod_rasexp::{DirectedState, LastDirectionPredictor};
 use racod_search::{
-    astar, AstarConfig, CollisionOracle, ExpansionContext, SearchResult, SearchSpace,
+    astar, AstarConfig, CollisionOracle, ExpansionContext, Interrupt, InterruptReason,
+    SearchResult, SearchSpace, Termination,
 };
-use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,13 +45,104 @@ pub struct ParallelRun<S> {
     pub demand_checks: u64,
     /// Speculative checks computed by workers.
     pub speculative_checks: u64,
-    /// Demand requests served from the memo table.
+    /// Demand requests served from the memo table (a speculative check
+    /// already resolved the state by the time demand asked for it).
     pub memo_hits: u64,
+    /// Demand requests that found another claim in flight and waited for
+    /// it — the PENDING overlap of Algorithm 1. Distinct from `memo_hits`:
+    /// the verdict was not yet available, only the work was deduplicated.
+    pub overlap_waits: u64,
+}
+
+/// One planning episode's shared check state. Jobs carry an `Arc` of their
+/// episode, so stale speculative jobs from a finished plan can never
+/// publish into a later plan's table.
+struct Episode<S> {
+    table: StatusTable,
+    check: Arc<dyn Fn(S) -> bool + Send + Sync>,
+    /// Raised when the plan ends (normally or interrupted): workers drop
+    /// any still-queued jobs for this episode instead of computing them.
+    aborted: AtomicBool,
 }
 
 enum Job<S> {
-    Check(S, usize),
+    Check { state: S, idx: usize, episode: Arc<Episode<S>> },
     Shutdown,
+}
+
+/// A persistent pool of collision-check worker threads.
+///
+/// The pool outlives individual planning calls: workers are spawned once
+/// and reused across plans (and across maps — the check closure travels
+/// with each episode, not with the pool), eliminating the per-request
+/// thread spawn/join churn of a pool-per-call design. Share one pool
+/// between planners with `Arc` and [`ParallelPlanner::with_pool`].
+///
+/// A panicking check closure poisons its episode's status table (releasing
+/// any planner blocked on that verdict) but leaves the worker thread — and
+/// thus the pool — healthy for subsequent plans.
+///
+/// Dropping the pool shuts the workers down and joins them.
+pub struct WorkerPool<S> {
+    threads: usize,
+    tx: Sender<Job<S>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: Send + 'static> WorkerPool<S> {
+    /// Spawns `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread");
+        let (tx, rx) = unbounded::<Job<S>>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx: Receiver<Job<S>> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("racod-check-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                Job::Check { state, idx, episode } => {
+                                    if episode.aborted.load(Ordering::Acquire) {
+                                        continue;
+                                    }
+                                    let check = episode.check.clone();
+                                    match catch_unwind(AssertUnwindSafe(move || (check)(state))) {
+                                        Ok(free) => episode.table.publish(idx, free),
+                                        // The verdict can never arrive;
+                                        // release anyone waiting on it.
+                                        Err(_) => episode.table.poison(),
+                                    }
+                                }
+                                Job::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("spawn check worker")
+            })
+            .collect();
+        WorkerPool { threads, tx, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl<S> Drop for WorkerPool<S> {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
 /// A planner that executes collision checks on a real thread pool, generic
@@ -61,79 +154,112 @@ enum Job<S> {
 pub struct ParallelPlanner<S, F> {
     config: ParallelConfig,
     check: Arc<F>,
-    _state: PhantomData<fn(S)>,
+    pool: Arc<WorkerPool<S>>,
 }
 
 impl<S, F> ParallelPlanner<S, F>
 where
-    S: DirectedState + Send + 'static,
+    S: DirectedState + Send + Sync + 'static,
     F: Fn(S) -> bool + Send + Sync + 'static,
 {
-    /// Creates a planner with the given configuration and checker.
+    /// Creates a planner with the given configuration and checker, backed
+    /// by a freshly spawned pool of `config.threads` workers that persists
+    /// for the planner's lifetime.
     ///
     /// # Panics
     ///
     /// Panics if `config.threads == 0`.
     pub fn new(config: ParallelConfig, check: F) -> Self {
-        assert!(config.threads > 0, "at least one worker thread");
-        ParallelPlanner { config, check: Arc::new(check), _state: PhantomData }
+        let pool = Arc::new(WorkerPool::new(config.threads.max(1)));
+        Self::with_pool(config, check, pool)
     }
 
-    /// Plans from `start` to `goal` over `space`.
+    /// Creates a planner on an existing shared pool — the server keeps one
+    /// warm pool per thread-count and reuses it across requests, so no OS
+    /// threads are spawned per call.
     ///
-    /// Workers are spawned per call and joined before returning, so the
-    /// reported wall time covers the full planning episode including pool
-    /// start-up — matching how the paper measures end-to-end planning time.
+    /// # Panics
+    ///
+    /// Panics if `config.threads == 0`.
+    pub fn with_pool(config: ParallelConfig, check: F, pool: Arc<WorkerPool<S>>) -> Self {
+        assert!(config.threads > 0, "at least one worker thread");
+        ParallelPlanner { config, check: Arc::new(check), pool }
+    }
+
+    /// The pool backing this planner.
+    pub fn pool(&self) -> &Arc<WorkerPool<S>> {
+        &self.pool
+    }
+
+    /// Plans from `start` to `goal` over `space` with the default search
+    /// configuration.
     pub fn plan<Sp>(&self, space: &Sp, start: S, goal: S) -> ParallelRun<S>
     where
         Sp: SearchSpace<State = S>,
     {
-        let table = Arc::new(StatusTable::new(space.state_count()));
-        let (tx, rx) = unbounded::<Job<S>>();
+        self.plan_config(space, start, goal, &AstarConfig::default())
+    }
 
-        let workers: Vec<JoinHandle<()>> = (0..self.config.threads)
-            .map(|_| {
-                let rx: Receiver<Job<S>> = rx.clone();
-                let table = table.clone();
-                let check = self.check.clone();
-                std::thread::spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        match job {
-                            Job::Check(state, idx) => {
-                                let free = (check)(state);
-                                table.publish(idx, free);
-                            }
-                            Job::Shutdown => break,
-                        }
-                    }
-                })
-            })
-            .collect();
+    /// Plans with an explicit [`AstarConfig`] — in particular one carrying
+    /// an [`Interrupt`], which both the A* loop and any worker-verdict
+    /// waits observe. Interrupted runs return
+    /// [`Termination::Interrupted`] with no path; uninterrupted runs are
+    /// bit-identical to a single-threaded search.
+    ///
+    /// The reported wall time covers the planning episode only — the
+    /// persistent pool is already running.
+    pub fn plan_config<Sp>(
+        &self,
+        space: &Sp,
+        start: S,
+        goal: S,
+        config: &AstarConfig,
+    ) -> ParallelRun<S>
+    where
+        Sp: SearchSpace<State = S>,
+    {
+        let episode = Arc::new(Episode {
+            table: StatusTable::new(space.state_count()),
+            check: self.check.clone(),
+            aborted: AtomicBool::new(false),
+        });
 
         let begin = Instant::now();
         let mut oracle = PoolOracle {
             space,
-            table: &table,
-            tx: tx.clone(),
+            episode: &episode,
+            tx: &self.pool.tx,
             predictor: LastDirectionPredictor::new(self.config.runahead.max(1)),
             runahead: self.config.runahead,
             threads: self.config.threads,
+            interrupt: config.interrupt.clone(),
             demand_checks: 0,
             speculative_checks: 0,
             memo_hits: 0,
+            overlap_waits: 0,
+            abandoned: None,
         };
-        let result = astar(space, start, goal, &AstarConfig::default(), &mut oracle);
+        let mut result = astar(space, start, goal, config, &mut oracle);
         let elapsed = begin.elapsed();
-        let (demand_checks, speculative_checks, memo_hits) =
-            (oracle.demand_checks, oracle.speculative_checks, oracle.memo_hits);
+        let (demand_checks, speculative_checks, memo_hits, overlap_waits) = (
+            oracle.demand_checks,
+            oracle.speculative_checks,
+            oracle.memo_hits,
+            oracle.overlap_waits,
+        );
+        // If a verdict wait was abandoned, the oracle answered `false` for
+        // states it never resolved — the search outcome past that point is
+        // not a verdict, so surface the interruption instead.
+        if let Some(reason) = oracle.abandoned {
+            result.path = None;
+            result.cost = f64::INFINITY;
+            result.termination = Termination::Interrupted(reason);
+        }
+        // Stale speculative jobs still queued for this episode are dropped
+        // by the workers rather than computed.
+        episode.aborted.store(true, Ordering::Release);
 
-        for _ in &workers {
-            let _ = tx.send(Job::Shutdown);
-        }
-        for w in workers {
-            let _ = w.join();
-        }
-        ParallelRun { result, elapsed, demand_checks, speculative_checks, memo_hits }
+        ParallelRun { result, elapsed, demand_checks, speculative_checks, memo_hits, overlap_waits }
     }
 }
 
@@ -141,22 +267,33 @@ where
 /// jobs are fire-and-forget.
 struct PoolOracle<'a, Sp: SearchSpace> {
     space: &'a Sp,
-    table: &'a Arc<StatusTable>,
-    tx: Sender<Job<Sp::State>>,
+    episode: &'a Arc<Episode<Sp::State>>,
+    tx: &'a Sender<Job<Sp::State>>,
     predictor: LastDirectionPredictor,
     runahead: usize,
     threads: usize,
+    interrupt: Option<Interrupt>,
     demand_checks: u64,
     speculative_checks: u64,
     memo_hits: u64,
+    overlap_waits: u64,
+    /// Set when a verdict wait returned without a verdict (poisoned table
+    /// or fired interrupt); the plan must be reported as interrupted.
+    abandoned: Option<InterruptReason>,
 }
 
 impl<'a, Sp> CollisionOracle<Sp> for PoolOracle<'a, Sp>
 where
     Sp: SearchSpace,
-    Sp::State: DirectedState,
+    Sp::State: DirectedState + Send + Sync + 'static,
 {
     fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        // Once a wait has been abandoned the verdicts no longer matter —
+        // answer "blocked" to drain the search to its next interrupt poll.
+        if self.abandoned.is_some() {
+            return vec![false; demand.len()];
+        }
+        let table = &self.episode.table;
         // Issue demand jobs for unresolved states.
         let mut waits: Vec<usize> = Vec::with_capacity(demand.len());
         let mut resolved: Vec<Option<bool>> = Vec::with_capacity(demand.len());
@@ -165,19 +302,21 @@ where
             match self.space.index(s) {
                 None => resolved.push(Some(false)),
                 Some(idx) => {
-                    if let Some(v) = self.table.get(idx) {
+                    if let Some(v) = table.get(idx) {
                         self.memo_hits += 1;
                         resolved.push(Some(v));
-                    } else if self.table.try_claim(idx) {
+                    } else if table.try_claim(idx) {
                         self.demand_checks += 1;
                         outstanding += 1;
-                        self.tx.send(Job::Check(s, idx)).expect("workers alive");
+                        self.send(Job::Check { state: s, idx, episode: self.episode.clone() });
                         waits.push(idx);
                         resolved.push(None);
                     } else {
                         // Another (speculative) claim is in flight: wait for
                         // it below — the PENDING overlap of Algorithm 1.
-                        self.memo_hits += 1;
+                        // Deduplicated work, but not a memo hit: no verdict
+                        // was available yet.
+                        self.overlap_waits += 1;
                         waits.push(idx);
                         resolved.push(None);
                     }
@@ -198,12 +337,12 @@ where
                         break 'runahead;
                     }
                     let Some(idx) = self.space.index(nb) else { continue };
-                    if self.table.get(idx).is_some() || self.table.is_pending(idx) {
+                    if table.get(idx).is_some() || table.is_pending(idx) {
                         continue;
                     }
-                    if self.table.try_claim(idx) {
+                    if table.try_claim(idx) {
                         self.speculative_checks += 1;
-                        self.tx.send(Job::Check(nb, idx)).expect("workers alive");
+                        self.send(Job::Check { state: nb, idx, episode: self.episode.clone() });
                         budget -= 1;
                     }
                 }
@@ -218,11 +357,35 @@ where
                 Some(v) => out.push(v),
                 None => {
                     let idx = wait_iter.next().expect("one wait per unresolved state");
-                    out.push(self.table.wait(idx));
+                    if self.abandoned.is_some() {
+                        out.push(false);
+                        continue;
+                    }
+                    match table.wait_interruptible(idx, self.interrupt.as_ref()) {
+                        WaitOutcome::Resolved(v) => out.push(v),
+                        WaitOutcome::Poisoned => {
+                            self.abandoned = Some(InterruptReason::Poisoned);
+                            out.push(false);
+                        }
+                        WaitOutcome::Interrupted(reason) => {
+                            self.abandoned = Some(reason);
+                            out.push(false);
+                        }
+                    }
                 }
             }
         }
         out
+    }
+}
+
+impl<'a, Sp> PoolOracle<'a, Sp>
+where
+    Sp: SearchSpace,
+    Sp::State: Send + 'static,
+{
+    fn send(&self, job: Job<Sp::State>) {
+        self.tx.send(job).expect("pool outlives the planner");
     }
 }
 
@@ -286,6 +449,26 @@ mod tests {
     }
 
     #[test]
+    fn overlap_waits_are_not_memo_hits() {
+        // With speculation on, some demand requests land on states whose
+        // speculative check is still in flight — those must be counted as
+        // overlap waits, never as memo hits, and every demand state is
+        // accounted for exactly once.
+        let grid = Arc::new(BitGrid2::new(96, 96));
+        let g = grid.clone();
+        let planner = ParallelPlanner::new(ParallelConfig::rasexp(8, 16), move |c: Cell2| {
+            g.get(c) == Some(false)
+        });
+        let space = GridSpace2::eight_connected(96, 96);
+        let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(94, 94));
+        assert_eq!(
+            run.demand_checks + run.memo_hits + run.overlap_waits,
+            run.result.stats.demand_checks,
+            "every demand check is exactly one of: computed, memoized, overlapped"
+        );
+    }
+
+    #[test]
     fn each_state_checked_at_most_once() {
         let grid = Arc::new(random_map(1, 64, 64, 0.2));
         let g = grid.clone();
@@ -328,5 +511,53 @@ mod tests {
         let space = GridSpace2::eight_connected(32, 32);
         let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(30, 30));
         assert!(run.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn shared_pool_is_reused_across_planners_and_plans() {
+        let pool: Arc<WorkerPool<Cell2>> = Arc::new(WorkerPool::new(4));
+        let space = GridSpace2::eight_connected(48, 48);
+        for seed in [3u64, 5, 9] {
+            let grid = Arc::new(random_map(seed, 48, 48, 0.2));
+            let reference = reference_plan(&grid, Cell2::new(1, 1), Cell2::new(46, 46));
+            let g = grid.clone();
+            let planner = ParallelPlanner::with_pool(
+                ParallelConfig::rasexp(4, 8),
+                move |c: Cell2| g.get(c) == Some(false),
+                pool.clone(),
+            );
+            // Two plans on the same planner, one pool for all of them.
+            for _ in 0..2 {
+                let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(46, 46));
+                assert_eq!(run.result.path, reference.path, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_check_poisons_episode_not_pool() {
+        let pool: Arc<WorkerPool<Cell2>> = Arc::new(WorkerPool::new(2));
+        let space = GridSpace2::eight_connected(32, 32);
+        // First plan: the check panics on a cell the search must cross.
+        let bad = ParallelPlanner::with_pool(
+            ParallelConfig::baseline(2),
+            |c: Cell2| {
+                assert!(c.x < 10, "injected check fault");
+                true
+            },
+            pool.clone(),
+        );
+        let run = bad.plan(&space, Cell2::new(1, 1), Cell2::new(30, 30));
+        assert!(!run.result.found());
+        assert_eq!(
+            run.result.termination,
+            Termination::Interrupted(InterruptReason::Poisoned),
+            "a dead verdict must surface as poisoning, not hang or a fake 'unreachable'"
+        );
+        // Second plan on the same pool: workers survived the panic.
+        let good =
+            ParallelPlanner::with_pool(ParallelConfig::baseline(2), |_c: Cell2| true, pool.clone());
+        let run = good.plan(&space, Cell2::new(1, 1), Cell2::new(30, 30));
+        assert!(run.result.found(), "pool must stay healthy after a poisoned episode");
     }
 }

@@ -1,13 +1,28 @@
 //! A lock-free collision-status table shared between the planner thread
 //! and the worker pool.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use racod_search::{Interrupt, InterruptReason};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::time::Duration;
 
 /// Per-state status values.
 const UNKNOWN: u8 = 0;
 const PENDING: u8 = 1;
 const FREE: u8 = 2;
 const BLOCKED: u8 = 3;
+
+/// The verdict of a [`StatusTable::wait`] — either the state resolved, or
+/// the wait was abandoned for a reason the planner must surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The state resolved to free (`true`) or blocked (`false`).
+    Resolved(bool),
+    /// The table was poisoned: a check worker died mid-computation, so the
+    /// pending verdict can never arrive.
+    Poisoned,
+    /// The wait's interrupt handle fired (deadline or cancellation).
+    Interrupted(InterruptReason),
+}
 
 /// A dense atomic status table: one byte per state, transitioned with
 /// compare-and-swap so that exactly one thread computes each state.
@@ -25,12 +40,16 @@ const BLOCKED: u8 = 3;
 #[derive(Debug)]
 pub struct StatusTable {
     slots: Vec<AtomicU8>,
+    poisoned: AtomicBool,
 }
 
 impl StatusTable {
     /// Creates a table of `capacity` unknown states.
     pub fn new(capacity: usize) -> Self {
-        StatusTable { slots: (0..capacity).map(|_| AtomicU8::new(UNKNOWN)).collect() }
+        StatusTable {
+            slots: (0..capacity).map(|_| AtomicU8::new(UNKNOWN)).collect(),
+            poisoned: AtomicBool::new(false),
+        }
     }
 
     /// Number of representable states.
@@ -77,15 +96,55 @@ impl StatusTable {
         self.slots[index].load(Ordering::Acquire) == PENDING
     }
 
-    /// Blocks (spinning with yields) until the state resolves, returning
-    /// the verdict. Must only be called for claimed states, otherwise it
-    /// may spin forever.
-    pub fn wait(&self, index: usize) -> bool {
+    /// Marks the table as poisoned: a check worker died mid-computation
+    /// and at least one pending verdict will never arrive. Every current
+    /// and future [`wait`](Self::wait) on an unresolved state returns
+    /// [`WaitOutcome::Poisoned`] instead of spinning forever.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the table has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the state resolves, returning the verdict — or an
+    /// abandonment verdict if the table is poisoned. Equivalent to
+    /// [`wait_interruptible`](Self::wait_interruptible) with no interrupt.
+    pub fn wait(&self, index: usize) -> WaitOutcome {
+        self.wait_interruptible(index, None)
+    }
+
+    /// Blocks until the state resolves, the table is poisoned, or the
+    /// interrupt fires — whichever comes first.
+    ///
+    /// The wait is a bounded spin (a short burst of `spin_loop` hints, then
+    /// scheduler yields) that degrades to microsecond sleeps, so a verdict
+    /// that never arrives costs sleeps rather than a pegged core, and a
+    /// poisoned table or fired interrupt is noticed promptly.
+    pub fn wait_interruptible(&self, index: usize, interrupt: Option<&Interrupt>) -> WaitOutcome {
+        let mut spins: u32 = 0;
         loop {
             if let Some(v) = self.get(index) {
-                return v;
+                return WaitOutcome::Resolved(v);
             }
-            std::thread::yield_now();
+            if self.is_poisoned() {
+                return WaitOutcome::Poisoned;
+            }
+            if let Some(i) = interrupt {
+                if let Some(reason) = i.check() {
+                    return WaitOutcome::Interrupted(reason);
+                }
+            }
+            spins = spins.saturating_add(1);
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 1024 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
         }
     }
 }
@@ -122,8 +181,46 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(10));
             t2.publish(0, true);
         });
-        assert!(t.wait(0));
+        assert_eq!(t.wait(0), WaitOutcome::Resolved(true));
         h.join().unwrap();
+    }
+
+    #[test]
+    fn poison_releases_waiters() {
+        let t = Arc::new(StatusTable::new(2));
+        assert!(t.try_claim(0));
+        let t2 = t.clone();
+        // The claiming "worker" dies without publishing; a supervisor (or
+        // the worker's unwind path) poisons the table instead.
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            t2.poison();
+        });
+        assert_eq!(t.wait(0), WaitOutcome::Poisoned);
+        assert!(t.is_poisoned());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn resolved_verdict_wins_over_poison() {
+        // A state that already resolved stays readable after poisoning.
+        let t = StatusTable::new(2);
+        t.try_claim(0);
+        t.publish(0, false);
+        t.poison();
+        assert_eq!(t.wait(0), WaitOutcome::Resolved(false));
+    }
+
+    #[test]
+    fn interrupt_releases_waiters() {
+        use racod_search::{Interrupt, InterruptReason};
+        let t = StatusTable::new(2);
+        assert!(t.try_claim(0));
+        let expired = Interrupt::new().with_deadline(std::time::Instant::now());
+        assert_eq!(
+            t.wait_interruptible(0, Some(&expired)),
+            WaitOutcome::Interrupted(InterruptReason::Deadline)
+        );
     }
 
     #[test]

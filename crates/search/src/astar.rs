@@ -8,6 +8,7 @@
 //! push them to OPEN. RASExp plugs in purely through the oracle and never
 //! alters the expansion order.
 
+use crate::interrupt::{Interrupt, InterruptReason};
 use crate::open_list::OpenList;
 use crate::oracle::{CollisionOracle, ExpansionContext};
 use crate::space::SearchSpace;
@@ -26,6 +27,14 @@ pub struct AstarConfig {
     /// Abort after this many expansions (guards pathological searches in
     /// tests); `u64::MAX` means unbounded.
     pub max_expansions: u64,
+    /// Cooperative interruption handle (deadline + cancel flag). `None`
+    /// means the search runs to completion.
+    pub interrupt: Option<Interrupt>,
+    /// Poll the interrupt once every this many expansions. Polling costs a
+    /// clock read, so it is batched off the per-expansion hot path; the
+    /// worst-case overshoot past a deadline is one batch of expansions.
+    /// `0` is treated as `1` (poll every expansion).
+    pub poll_interval: u64,
 }
 
 impl Default for AstarConfig {
@@ -35,6 +44,8 @@ impl Default for AstarConfig {
             record_expansions: false,
             record_demand_profile: false,
             max_expansions: u64::MAX,
+            interrupt: None,
+            poll_interval: 256,
         }
     }
 }
@@ -49,6 +60,40 @@ impl AstarConfig {
         assert!(eps >= 1.0, "heuristic weight must be >= 1");
         AstarConfig { weight: eps, ..Default::default() }
     }
+
+    /// Attaches a cooperative interruption handle.
+    pub fn with_interrupt(mut self, interrupt: Interrupt) -> Self {
+        self.interrupt = Some(interrupt);
+        self
+    }
+
+    /// Sets the interrupt poll interval (in expansions).
+    pub fn with_poll_interval(mut self, every: u64) -> Self {
+        self.poll_interval = every;
+        self
+    }
+}
+
+/// How a search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The goal was reached; `path` is `Some`.
+    Found,
+    /// OPEN ran dry (or the start was invalid): the goal is provably
+    /// unreachable.
+    Exhausted,
+    /// The `max_expansions` budget was hit before a verdict.
+    ExpansionBudget,
+    /// The search was stopped cooperatively mid-flight; no verdict about
+    /// reachability is implied.
+    Interrupted(InterruptReason),
+}
+
+impl Termination {
+    /// Whether the search was stopped before reaching a verdict.
+    pub fn interrupted(&self) -> bool {
+        matches!(self, Termination::Interrupted(_))
+    }
 }
 
 /// The outcome of a search.
@@ -62,12 +107,20 @@ pub struct SearchResult<S> {
     pub stats: SearchStats,
     /// The expansion sequence, if recording was enabled.
     pub expansion_order: Vec<S>,
+    /// How the search ended — in particular, whether `path: None` means
+    /// "provably unreachable" or "stopped before an answer".
+    pub termination: Termination,
 }
 
 impl<S> SearchResult<S> {
     /// Whether a path was found.
     pub fn found(&self) -> bool {
         self.path.is_some()
+    }
+
+    /// Whether the search was stopped cooperatively before a verdict.
+    pub fn interrupted(&self) -> bool {
+        self.termination.interrupted()
     }
 }
 
@@ -111,21 +164,23 @@ where
     let mut stats = SearchStats::default();
     let mut expansion_order = Vec::new();
 
-    let unreachable = |stats: SearchStats, order: Vec<Sp::State>| SearchResult {
+    let done = |stats: SearchStats, order: Vec<Sp::State>, termination: Termination| SearchResult {
         path: None,
         cost: f64::INFINITY,
         stats,
         expansion_order: order,
+        termination,
     };
+    let poll_every = config.poll_interval.max(1);
 
     let (Some(start_idx), Some(goal_idx)) = (space.index(start), space.index(goal)) else {
-        return unreachable(stats, expansion_order);
+        return done(stats, expansion_order, Termination::Exhausted);
     };
     // Check the start state itself.
     let start_ctx = ExpansionContext { expanded: start, parent: None, expansion: 0 };
     stats.demand_checks += 1;
     if !oracle.resolve(&start_ctx, &[start])[0] {
-        return unreachable(stats, expansion_order);
+        return done(stats, expansion_order, Termination::Exhausted);
     }
     let _ = goal_idx;
 
@@ -155,10 +210,26 @@ where
                 cur = space.index(p).expect("parents are in-space");
             }
             path.reverse();
-            return SearchResult { path: Some(path), cost: gv, stats, expansion_order };
+            return SearchResult {
+                path: Some(path),
+                cost: gv,
+                stats,
+                expansion_order,
+                termination: Termination::Found,
+            };
         }
         if stats.expansions >= config.max_expansions {
-            break;
+            return done(stats, expansion_order, Termination::ExpansionBudget);
+        }
+        // Poll the interrupt once per batch of expansions; uninterrupted
+        // runs pay one predictable branch here and nothing else changes,
+        // so expansion order stays bit-identical to the baseline.
+        if let Some(interrupt) = &config.interrupt {
+            if stats.expansions % poll_every == 0 {
+                if let Some(reason) = interrupt.check() {
+                    return done(stats, expansion_order, Termination::Interrupted(reason));
+                }
+            }
         }
 
         // Gather eligible-neighbor candidates: unvisited and in-space.
@@ -203,7 +274,7 @@ where
             }
         }
     }
-    unreachable(stats, expansion_order)
+    done(stats, expansion_order, Termination::Exhausted)
 }
 
 #[cfg(test)]
@@ -432,6 +503,81 @@ mod tests {
         let r = astar(&space, Cell2::new(0, 0), Cell2::new(49, 49), &cfg, &mut oracle);
         assert!(!r.found());
         assert!(r.stats.expansions <= 5);
+        assert_eq!(r.termination, Termination::ExpansionBudget);
+    }
+
+    #[test]
+    fn termination_reports_found_and_exhausted() {
+        let grid = BitGrid2::new(10, 10);
+        let space = GridSpace2::eight_connected(10, 10);
+        let mut oracle = grid_oracle(&grid);
+        let r =
+            astar(&space, Cell2::new(1, 1), Cell2::new(8, 8), &AstarConfig::default(), &mut oracle);
+        assert_eq!(r.termination, Termination::Found);
+
+        let mut walled = BitGrid2::new(10, 10);
+        walled.fill_rect(5, 0, 5, 9, true);
+        let space = GridSpace2::eight_connected(10, 10);
+        let mut oracle = grid_oracle(&walled);
+        let r =
+            astar(&space, Cell2::new(1, 1), Cell2::new(8, 8), &AstarConfig::default(), &mut oracle);
+        assert_eq!(r.termination, Termination::Exhausted);
+        assert!(!r.interrupted());
+    }
+
+    #[test]
+    fn expired_deadline_stops_within_one_poll_batch() {
+        use crate::interrupt::{Interrupt, InterruptReason};
+        let grid = BitGrid2::new(200, 200);
+        let space = GridSpace2::eight_connected(200, 200);
+        let mut oracle = grid_oracle(&grid);
+        let cfg = AstarConfig::default()
+            .with_interrupt(Interrupt::new().with_deadline(std::time::Instant::now()))
+            .with_poll_interval(64);
+        let r = astar(&space, Cell2::new(0, 0), Cell2::new(199, 199), &cfg, &mut oracle);
+        assert!(!r.found());
+        assert_eq!(r.termination, Termination::Interrupted(InterruptReason::Deadline));
+        assert!(r.stats.expansions <= 64, "stopped after {} expansions", r.stats.expansions);
+    }
+
+    #[test]
+    fn raised_cancel_flag_stops_search() {
+        use crate::interrupt::{Interrupt, InterruptReason};
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let grid = BitGrid2::new(100, 100);
+        let space = GridSpace2::eight_connected(100, 100);
+        let mut oracle = grid_oracle(&grid);
+        let flag = Arc::new(AtomicBool::new(true));
+        let cfg = AstarConfig::default()
+            .with_interrupt(Interrupt::new().with_cancel_flag(flag))
+            .with_poll_interval(16);
+        let r = astar(&space, Cell2::new(0, 0), Cell2::new(99, 99), &cfg, &mut oracle);
+        assert_eq!(r.termination, Termination::Interrupted(InterruptReason::Cancelled));
+        assert!(r.stats.expansions <= 16);
+    }
+
+    #[test]
+    fn unfired_interrupt_leaves_search_bit_identical() {
+        use crate::interrupt::Interrupt;
+        let grid = random_map(17, 40, 40, 0.25);
+        let space = GridSpace2::eight_connected(40, 40);
+        let base_cfg = AstarConfig { record_expansions: true, ..Default::default() };
+        let int_cfg =
+            base_cfg
+                .clone()
+                .with_interrupt(Interrupt::new().with_deadline(
+                    std::time::Instant::now() + std::time::Duration::from_secs(3600),
+                ))
+                .with_poll_interval(1);
+        let mut o1 = grid_oracle(&grid);
+        let mut o2 = grid_oracle(&grid);
+        let a = astar(&space, Cell2::new(1, 1), Cell2::new(38, 38), &base_cfg, &mut o1);
+        let b = astar(&space, Cell2::new(1, 1), Cell2::new(38, 38), &int_cfg, &mut o2);
+        assert_eq!(a.path, b.path);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.expansion_order, b.expansion_order);
+        assert_eq!(a.termination, b.termination);
     }
 
     #[test]

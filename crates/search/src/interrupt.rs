@@ -1,0 +1,168 @@
+//! Cooperative interruption of in-flight searches.
+//!
+//! A planning request that has already blown its deadline (or whose client
+//! walked away) must stop consuming planner time *mid-search*, not run to
+//! completion. The [`Interrupt`] handle carries the two signals a request
+//! can be stopped by — a wall-clock deadline and a shared cancel flag —
+//! and the search engine polls it once every
+//! [`AstarConfig::poll_interval`](crate::AstarConfig::poll_interval)
+//! expansions, so the per-expansion hot path pays nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a search (or a wait inside it) was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The cancel flag was raised (client abandoned the request).
+    Cancelled,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// A cooperating component died mid-check (e.g. a poisoned
+    /// collision-status table) and the result can no longer arrive.
+    Poisoned,
+}
+
+/// A shared interruption handle: an optional deadline plus an optional
+/// cancel flag.
+///
+/// Cloning is cheap (the cancel flag is an `Arc<AtomicBool>`); every layer
+/// of the planning stack holds a clone of the same handle, so raising the
+/// flag anywhere stops the search at its next poll.
+///
+/// The default handle carries neither signal and never fires.
+#[derive(Debug, Clone, Default)]
+pub struct Interrupt {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Interrupt {
+    /// A handle with no deadline and no cancel flag; [`check`](Self::check)
+    /// always returns `None`.
+    pub fn new() -> Self {
+        Interrupt::default()
+    }
+
+    /// Attaches an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Attaches a shared cancel flag (raised with
+    /// `flag.store(true, Ordering::Release)` — typically by a server
+    /// ticket's `cancel()`).
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the cancel flag has been raised.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether this handle can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Polls both signals. Cancellation wins over deadline expiry when both
+    /// hold, since it is the more specific client intent.
+    pub fn check(&self) -> Option<InterruptReason> {
+        if self.cancelled() {
+            return Some(InterruptReason::Cancelled);
+        }
+        if self.expired() {
+            return Some(InterruptReason::Deadline);
+        }
+        None
+    }
+}
+
+/// Handles compare equal when they watch the same signals: equal deadlines
+/// and the *same* cancel flag allocation (pointer identity — two distinct
+/// flags are distinct signals even if both currently read `false`).
+impl PartialEq for Interrupt {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn noop_never_fires() {
+        let i = Interrupt::new();
+        assert!(i.is_noop());
+        assert_eq!(i.check(), None);
+        assert!(!i.cancelled());
+        assert!(!i.expired());
+    }
+
+    #[test]
+    fn past_deadline_fires() {
+        let i = Interrupt::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(i.check(), Some(InterruptReason::Deadline));
+        assert!(i.expired());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let i = Interrupt::new().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(i.check(), None);
+    }
+
+    #[test]
+    fn cancel_flag_fires_on_every_clone() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let i = Interrupt::new().with_cancel_flag(flag.clone());
+        let clone = i.clone();
+        assert_eq!(clone.check(), None);
+        flag.store(true, Ordering::Release);
+        assert_eq!(i.check(), Some(InterruptReason::Cancelled));
+        assert_eq!(clone.check(), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn cancel_wins_over_deadline() {
+        let flag = Arc::new(AtomicBool::new(true));
+        let i = Interrupt::new()
+            .with_deadline(Instant::now() - Duration::from_millis(1))
+            .with_cancel_flag(flag);
+        assert_eq!(i.check(), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn equality_is_signal_identity() {
+        let at = Instant::now() + Duration::from_secs(1);
+        let flag = Arc::new(AtomicBool::new(false));
+        let a = Interrupt::new().with_deadline(at).with_cancel_flag(flag.clone());
+        let b = Interrupt::new().with_deadline(at).with_cancel_flag(flag);
+        let c =
+            Interrupt::new().with_deadline(at).with_cancel_flag(Arc::new(AtomicBool::new(false)));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "distinct flags are distinct signals");
+        assert_eq!(Interrupt::new(), Interrupt::new());
+    }
+}

@@ -39,6 +39,7 @@
 pub mod astar;
 pub mod distance_field;
 pub mod heuristics;
+pub mod interrupt;
 pub mod open_list;
 pub mod oracle;
 pub mod pase;
@@ -46,9 +47,10 @@ pub mod path;
 pub mod space;
 pub mod stats;
 
-pub use astar::{astar, AstarConfig, SearchResult};
+pub use astar::{astar, AstarConfig, SearchResult, Termination};
 pub use distance_field::DistanceField;
 pub use heuristics::{Heuristic2, Heuristic3};
+pub use interrupt::{Interrupt, InterruptReason};
 pub use oracle::{CollisionOracle, Direction, ExpansionContext, FnOracle};
 pub use pase::{pase, PaseConfig, PaseResult};
 pub use space::{Connectivity2, Connectivity3, GridSpace2, GridSpace3, SearchSpace};

@@ -11,19 +11,35 @@
 //!   admission control and deadline expiry must shed load.
 //!
 //! Usage: `cargo run --release -p racod-server --bin loadgen -- [--requests N]
-//! [--clients N | --rate R] [--workers N] [--queue N] [--units N] [--seed S]`
+//! [--clients N | --rate R] [--workers N] [--queue N] [--units N] [--seed S]
+//! [--deadline D] [--cancel-rate F] [--overshoot-budget D] [--platform P]`
+//!
+//! `--deadline` attaches a per-request completion budget (e.g. `5ms`,
+//! `250us`, `1s`; a bare number is milliseconds). The run then tracks
+//! *overshoot* — how far past `submit + deadline` each response arrived —
+//! and fails if the worst overshoot exceeds `--overshoot-budget` (default
+//! 250ms), which bounds how long a doomed request can pin a worker past
+//! its deadline. `--cancel-rate F` cancels that fraction of in-flight
+//! requests shortly after submission, exercising mid-search aborts.
 
 use racod_geom::{Cell2, Cell3};
 use racod_grid::gen::{campus_3d, city_map, random_map, rooms_map, CityName};
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
 use racod_server::{
     MapRegistry, Outcome, PlanRequest, PlanServer, Platform, Priority, Rejected, ServerConfig,
+    TimeoutStage,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LoadPlatform {
+    Racod,
+    Threads,
+}
 
 struct Options {
     requests: usize,
@@ -34,6 +50,10 @@ struct Options {
     units: usize,
     seed: u64,
     map_size: u32,
+    deadline: Option<Duration>,
+    cancel_rate: f64,
+    overshoot_budget: Duration,
+    platform: LoadPlatform,
 }
 
 impl Default for Options {
@@ -47,6 +67,30 @@ impl Default for Options {
             units: 8,
             seed: 7,
             map_size: 128,
+            deadline: None,
+            cancel_rate: 0.0,
+            overshoot_budget: Duration::from_millis(250),
+            platform: LoadPlatform::Racod,
+        }
+    }
+}
+
+/// Parses `5ms`, `250us`, `1s`, or a bare number (milliseconds).
+fn parse_duration(name: &str, v: &str) -> Duration {
+    let (digits, scale_us) = if let Some(d) = v.strip_suffix("us") {
+        (d, 1u64)
+    } else if let Some(d) = v.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = v.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        (v, 1_000)
+    };
+    match digits.parse::<u64>() {
+        Ok(n) => Duration::from_micros(n.saturating_mul(scale_us)),
+        Err(_) => {
+            eprintln!("invalid duration for {name}: {v} (expected e.g. 5ms, 250us, 1s)");
+            std::process::exit(2);
         }
     }
 }
@@ -98,6 +142,25 @@ fn parse_args() -> Options {
         } else if let Some(v) = take("--map-size") {
             o.map_size = parsed("--map-size", &v);
             i += 2;
+        } else if let Some(v) = take("--deadline") {
+            o.deadline = Some(parse_duration("--deadline", &v));
+            i += 2;
+        } else if let Some(v) = take("--cancel-rate") {
+            o.cancel_rate = parsed("--cancel-rate", &v);
+            i += 2;
+        } else if let Some(v) = take("--overshoot-budget") {
+            o.overshoot_budget = parse_duration("--overshoot-budget", &v);
+            i += 2;
+        } else if let Some(v) = take("--platform") {
+            o.platform = match v.as_str() {
+                "racod" => LoadPlatform::Racod,
+                "threads" => LoadPlatform::Threads,
+                _ => {
+                    eprintln!("invalid value for --platform: {v} (expected racod or threads)");
+                    std::process::exit(2);
+                }
+            };
+            i += 2;
         } else {
             eprintln!("unknown argument {}", args[i]);
             std::process::exit(2);
@@ -107,6 +170,10 @@ fn parse_args() -> Options {
         // Zero workers is a valid server config for tests, but a load run
         // against it would wait on tickets that can never resolve.
         eprintln!("--workers must be >= 1");
+        std::process::exit(2);
+    }
+    if !(0.0..=1.0).contains(&o.cancel_rate) {
+        eprintln!("--cancel-rate must be in [0, 1]");
         std::process::exit(2);
     }
     o
@@ -181,7 +248,7 @@ fn build_world(o: &Options) -> (Arc<MapRegistry>, Vec<MapPool>) {
     (Arc::new(reg), pools)
 }
 
-fn make_request(pools: &[MapPool], units: usize, rng: &mut SmallRng) -> PlanRequest {
+fn make_request(pools: &[MapPool], o: &Options, rng: &mut SmallRng) -> PlanRequest {
     let pool = &pools[rng.gen_range(0..pools.len())];
     let priority = match rng.gen_range(0..10) {
         0 => Priority::High,
@@ -200,7 +267,11 @@ fn make_request(pools: &[MapPool], units: usize, rng: &mut SmallRng) -> PlanRequ
             PlanRequest::plan3(*name, a, b)
         }
     };
-    req.with_platform(Platform::Racod { units }).with_priority(priority)
+    let platform = match o.platform {
+        LoadPlatform::Racod => Platform::Racod { units: o.units },
+        LoadPlatform::Threads => Platform::Threads { threads: o.units.max(1), runahead: 2 },
+    };
+    req.with_platform(platform).with_priority(priority)
 }
 
 #[derive(Default)]
@@ -208,11 +279,14 @@ struct Tally {
     planned: AtomicU64,
     found: AtomicU64,
     timed_out: AtomicU64,
+    timed_out_mid_search: AtomicU64,
     cancelled: AtomicU64,
     panicked: AtomicU64,
     lost: AtomicU64,
     rejected: AtomicU64,
     warm: AtomicU64,
+    /// Worst observed response lateness past `submit + deadline`, in µs.
+    max_overshoot_us: AtomicU64,
 }
 
 impl Tally {
@@ -227,8 +301,11 @@ impl Tally {
                     self.warm.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            Outcome::TimedOut { .. } => {
+            Outcome::TimedOut { stage, .. } => {
                 self.timed_out.fetch_add(1, Ordering::Relaxed);
+                if *stage == TimeoutStage::MidSearch {
+                    self.timed_out_mid_search.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Outcome::Cancelled => {
                 self.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -239,6 +316,14 @@ impl Tally {
             Outcome::Lost => {
                 self.lost.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Records how late a response arrived relative to its deadline.
+    fn record_overshoot(&self, submit_at: Instant, deadline: Option<Duration>) {
+        if let Some(d) = deadline {
+            let over = submit_at.elapsed().saturating_sub(d);
+            self.max_overshoot_us.fetch_max(over.as_micros() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -253,11 +338,21 @@ fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &
                 let mut rng = SmallRng::seed_from_u64(o.seed ^ (client as u64) << 17);
                 let mut sent = 0;
                 while sent < n {
-                    let req = make_request(pools, o.units, &mut rng);
+                    let mut req = make_request(pools, o, &mut rng);
+                    if let Some(d) = o.deadline {
+                        req = req.with_deadline(d);
+                    }
+                    let cancel = o.cancel_rate > 0.0 && rng.gen_bool(o.cancel_rate);
+                    let submit_at = Instant::now();
                     match server.submit(req) {
                         Ok(ticket) => {
                             sent += 1;
+                            if cancel {
+                                std::thread::sleep(Duration::from_micros(500));
+                                ticket.cancel();
+                            }
                             tally.absorb(&ticket.wait().outcome);
+                            tally.record_overshoot(submit_at, o.deadline);
                         }
                         Err(Rejected::QueueFull) => {
                             tally.rejected.fetch_add(1, Ordering::Relaxed);
@@ -273,6 +368,7 @@ fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &
 
 fn run_open_loop(server: &PlanServer, pools: &[MapPool], o: &Options, rate: f64, tally: &Tally) {
     let interval = Duration::from_secs_f64(1.0 / rate.max(1e-6));
+    let deadline = o.deadline.unwrap_or(Duration::from_millis(250));
     std::thread::scope(|scope| {
         let mut rng = SmallRng::seed_from_u64(o.seed);
         let start = Instant::now();
@@ -281,11 +377,19 @@ fn run_open_loop(server: &PlanServer, pools: &[MapPool], o: &Options, rate: f64,
             if let Some(sleep) = due.checked_duration_since(Instant::now()) {
                 std::thread::sleep(sleep);
             }
-            let req =
-                make_request(pools, o.units, &mut rng).with_deadline(Duration::from_millis(250));
+            let req = make_request(pools, o, &mut rng).with_deadline(deadline);
+            let cancel = o.cancel_rate > 0.0 && rng.gen_bool(o.cancel_rate);
+            let submit_at = Instant::now();
             match server.submit(req) {
                 Ok(ticket) => {
-                    scope.spawn(move || tally.absorb(&ticket.wait().outcome));
+                    scope.spawn(move || {
+                        if cancel {
+                            std::thread::sleep(Duration::from_micros(500));
+                            ticket.cancel();
+                        }
+                        tally.absorb(&ticket.wait().outcome);
+                        tally.record_overshoot(submit_at, Some(deadline));
+                    });
                 }
                 Err(Rejected::QueueFull) => {
                     tally.rejected.fetch_add(1, Ordering::Relaxed);
@@ -331,7 +435,8 @@ fn main() {
             run_closed_loop(&server, &pools, &o, &tally);
         }
         Some(rate) => {
-            println!("mode: open-loop, {rate} req/s, 250ms deadline");
+            let d = o.deadline.unwrap_or(Duration::from_millis(250));
+            println!("mode: open-loop, {rate} req/s, {d:?} deadline");
             run_open_loop(&server, &pools, &o, rate, &tally);
         }
     }
@@ -354,6 +459,7 @@ fn main() {
     println!("  paths found      {}", n(&tally.found));
     println!("  warm starts      {}", n(&tally.warm));
     println!("timed out          {}", n(&tally.timed_out));
+    println!("  mid-search       {}", n(&tally.timed_out_mid_search));
     println!("cancelled          {}", n(&tally.cancelled));
     println!("panicked           {}", n(&tally.panicked));
     println!("lost               {}", n(&tally.lost));
@@ -392,10 +498,25 @@ fn main() {
     println!("-- metrics page --");
     print!("{}", server.render_metrics());
 
+    let mut failed = false;
     let panics = n(&tally.panicked) + m.worker_respawns.load(Ordering::Relaxed);
-    drop(server);
     if panics > 0 {
         eprintln!("FAIL: {panics} panics/respawns during run");
+        failed = true;
+    }
+    if o.deadline.is_some() || o.rate.is_some() {
+        let worst = Duration::from_micros(n(&tally.max_overshoot_us));
+        println!("worst deadline overshoot {worst:?} (budget {:?})", o.overshoot_budget);
+        if worst > o.overshoot_budget {
+            eprintln!(
+                "FAIL: a response arrived {worst:?} past its deadline (budget {:?})",
+                o.overshoot_budget
+            );
+            failed = true;
+        }
+    }
+    drop(server);
+    if failed {
         std::process::exit(1);
     }
 }

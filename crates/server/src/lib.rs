@@ -9,6 +9,11 @@
 //! * **Deadline-aware scheduling** — queued requests are ordered by
 //!   (priority, deadline, arrival); requests that expire while queued are
 //!   answered [`Outcome::TimedOut`] without wasting planner time.
+//! * **Mid-search interruption** — each request's deadline and cancel flag
+//!   travel into the search as a [`racod_search::Interrupt`] polled every
+//!   [`racod_search::AstarConfig::poll_interval`] expansions, so a doomed
+//!   request frees its worker within one poll batch instead of running an
+//!   arbitrarily long search to completion ([`TimeoutStage::MidSearch`]).
 //! * **Map-affinity batching** — the dispatcher prefers handing a worker
 //!   requests for the map it served last, so the worker's warm per-map
 //!   [`racod_codacc::CodaccPool`] (the simulated CODAcc L0/L1 caches) is
@@ -36,7 +41,7 @@ pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use registry::{Artifacts2, MapData, MapEntry, MapRegistry};
 pub use request::{
     MapId, Outcome, PlanRequest, PlanResponse, Planned, PlannedPath, Platform, Priority, Rejected,
-    RequestId, Workload,
+    RequestId, TimeoutStage, Workload,
 };
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
@@ -85,11 +90,24 @@ pub struct Ticket {
     pub id: RequestId,
     rx: Receiver<PlanResponse>,
     cancel: Arc<AtomicBool>,
+    /// The response already received by a successful `wait_timeout`, so a
+    /// later `wait` returns the same (honest) response instead of finding
+    /// the channel empty and fabricating `Lost`.
+    delivered: std::cell::RefCell<Option<PlanResponse>>,
 }
 
 impl Ticket {
-    /// Blocks until the terminal response.
+    fn new(id: RequestId, rx: Receiver<PlanResponse>, cancel: Arc<AtomicBool>) -> Self {
+        Ticket { id, rx, cancel, delivered: std::cell::RefCell::new(None) }
+    }
+
+    /// Blocks until the terminal response. If a previous
+    /// [`wait_timeout`](Self::wait_timeout) already delivered it, returns
+    /// that same response again.
     pub fn wait(self) -> PlanResponse {
+        if let Some(resp) = self.delivered.borrow_mut().take() {
+            return resp;
+        }
         match self.rx.recv() {
             Ok(resp) => resp,
             // Channel torn down without a response (should not happen: the
@@ -99,16 +117,29 @@ impl Ticket {
     }
 
     /// Waits up to `timeout`; `None` if no response arrived in time (the
-    /// request keeps running — call `wait` again or drop the ticket).
+    /// request keeps running — call `wait` again or drop the ticket). A
+    /// delivered response is remembered: subsequent waits return a clone of
+    /// it rather than a misleading [`Outcome::Lost`].
     pub fn wait_timeout(&self, timeout: Duration) -> Option<PlanResponse> {
-        self.rx.recv_timeout(timeout).ok()
+        if let Some(resp) = self.delivered.borrow().as_ref() {
+            return Some(resp.clone());
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(resp) => {
+                *self.delivered.borrow_mut() = Some(resp.clone());
+                Some(resp)
+            }
+            Err(_) => None,
+        }
     }
 
-    /// Requests cooperative cancellation: a request still queued (or not
-    /// yet started on a worker) resolves to [`Outcome::Cancelled`]; one
-    /// already executing runs to completion.
+    /// Requests cooperative cancellation: a request still queued resolves
+    /// to [`Outcome::Cancelled`] without consuming planner time; one
+    /// already executing is stopped at the search's next interrupt poll and
+    /// also resolves to [`Outcome::Cancelled`] (individual collision checks
+    /// run to completion, the search does not).
     pub fn cancel(&self) {
-        self.cancel.store(true, Ordering::Relaxed);
+        self.cancel.store(true, Ordering::Release);
     }
 }
 
@@ -236,7 +267,7 @@ impl PlanServer {
             return Err(Rejected::ShuttingDown);
         }
         m.accepted.fetch_add(1, Ordering::Relaxed);
-        Ok(Ticket { id, rx, cancel })
+        Ok(Ticket::new(id, rx, cancel))
     }
 
     /// Plain-text metrics page.
@@ -287,7 +318,10 @@ fn dispatch_loop(
             let outcome = if item.cancelled() {
                 Outcome::Cancelled
             } else {
-                Outcome::TimedOut { queued_for: now.duration_since(item.submitted_at) }
+                Outcome::TimedOut {
+                    queued_for: now.duration_since(item.submitted_at),
+                    stage: TimeoutStage::Queued,
+                }
             };
             item.reply.finish(outcome, usize::MAX);
         }
@@ -383,5 +417,31 @@ mod tests {
         let resp = ticket.wait();
         assert!(matches!(resp.outcome, Outcome::Cancelled));
         assert_eq!(server.metrics().cancelled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wait_after_wait_timeout_is_an_honest_duplicate() {
+        let server = PlanServer::start(
+            ServerConfig { workers: 1, queue_capacity: 8, ..Default::default() },
+            small_registry(),
+        );
+        let ticket = server
+            .submit(PlanRequest::plan2("boston", Cell2::new(20, 20), Cell2::new(70, 70)))
+            .unwrap();
+        // Poll until delivery.
+        let first = loop {
+            if let Some(r) = ticket.wait_timeout(Duration::from_millis(200)) {
+                break r;
+            }
+        };
+        assert!(matches!(first.outcome, Outcome::Planned(_)));
+        // A second wait_timeout and a final wait must replay the same
+        // response, never fabricate Lost.
+        let second = ticket.wait_timeout(Duration::from_millis(1)).expect("remembered");
+        assert!(matches!(second.outcome, Outcome::Planned(_)));
+        assert_eq!(second.id, first.id);
+        let last = ticket.wait();
+        assert!(matches!(last.outcome, Outcome::Planned(_)), "double-wait must not report Lost");
+        assert_eq!(last.id, first.id);
     }
 }

@@ -76,10 +76,16 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                // Upper edge of bucket i (bit length i) is 2^i µs.
+                // Bucket 0 holds exactly-0 µs samples: its edge is 0, not
+                // 1 µs (an all-zero histogram must report zero quantiles).
+                if i == 0 {
+                    return Some(Duration::ZERO);
+                }
+                // Upper edge of bucket i (bit length i) is 2^i µs, clamped
+                // to the observed maximum.
                 let edge_us = 1u64 << (i as u32).min(62);
                 return Some(Duration::from_micros(
-                    edge_us.min(self.max_us.load(Ordering::Relaxed).max(1)),
+                    edge_us.min(self.max_us.load(Ordering::Relaxed)),
                 ));
             }
         }
@@ -110,10 +116,14 @@ pub struct ServerMetrics {
     pub rejected_invalid: AtomicU64,
     /// Requests completing with a planner result.
     pub completed: AtomicU64,
-    /// Requests dropped at dequeue because their deadline had passed.
+    /// Requests dropped because their deadline passed (queued or
+    /// mid-search).
     pub timed_out: AtomicU64,
-    /// Requests cancelled before execution.
+    /// Requests cancelled (queued or mid-search).
     pub cancelled: AtomicU64,
+    /// Requests whose search was stopped cooperatively mid-flight by a
+    /// deadline or cancellation (subset of `timed_out` + `cancelled`).
+    pub interrupted_mid_search: AtomicU64,
     /// Requests whose execution panicked (isolated).
     pub panicked: AtomicU64,
     /// Requests lost to a worker death.
@@ -181,6 +191,11 @@ impl ServerMetrics {
         let _ = writeln!(out, "racod_server_completed {}", c(&self.completed));
         let _ = writeln!(out, "racod_server_timed_out {}", c(&self.timed_out));
         let _ = writeln!(out, "racod_server_cancelled {}", c(&self.cancelled));
+        let _ = writeln!(
+            out,
+            "racod_server_interrupted_mid_search {}",
+            c(&self.interrupted_mid_search)
+        );
         let _ = writeln!(out, "racod_server_panicked {}", c(&self.panicked));
         let _ = writeln!(out, "racod_server_lost {}", c(&self.lost));
         let _ = writeln!(out, "racod_server_worker_respawns {}", c(&self.worker_respawns));
@@ -232,6 +247,31 @@ mod tests {
         assert!((990..=1024).contains(&p99), "p99 {p99}");
         assert_eq!(h.max(), Duration::from_micros(1000));
         assert_eq!(h.mean(), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn all_zero_histogram_reports_zero_quantiles() {
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Duration::ZERO);
+        }
+        let (p50, p95, p99) = h.percentiles();
+        assert_eq!(p50, Duration::ZERO, "bucket 0 holds exactly-0 samples; its edge is 0");
+        assert_eq!(p95, Duration::ZERO);
+        assert_eq!(p99, Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+    }
+
+    #[test]
+    fn mixed_zero_and_nonzero_samples() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::ZERO);
+        }
+        h.record(Duration::from_micros(1000));
+        assert_eq!(h.quantile(0.5), Some(Duration::ZERO));
+        let p100 = h.quantile(1.0).unwrap().as_micros() as u64;
+        assert_eq!(p100, 1000, "edge clamps to observed max");
     }
 
     #[test]

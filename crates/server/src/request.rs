@@ -132,9 +132,12 @@ pub struct PlanRequest {
     /// Scheduling class.
     pub priority: Priority,
     /// Completion budget measured from submission. A request still queued
-    /// past its deadline is dropped ([`Outcome::TimedOut`]); one already
-    /// executing runs to completion (cooperative model — collision checks
-    /// are never aborted mid-flight, preserving determinism).
+    /// past its deadline is dropped ([`Outcome::TimedOut`] with
+    /// [`TimeoutStage::Queued`]) without consuming planner time; one
+    /// already executing is stopped cooperatively at the search's next
+    /// interrupt poll ([`TimeoutStage::MidSearch`]) — individual collision
+    /// checks still run to completion, so uninterrupted plans stay
+    /// bit-identical to direct planner calls.
     pub deadline: Option<Duration>,
 }
 
@@ -278,19 +281,36 @@ pub struct Planned {
     pub warm_start: bool,
 }
 
+/// Where in its lifecycle a request's deadline expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeoutStage {
+    /// Still queued when the deadline passed: dropped by the dispatcher's
+    /// expiry sweep (or by the worker just before execution) without
+    /// consuming planner time.
+    Queued,
+    /// Already executing when the deadline passed: the search observed the
+    /// interrupt at its next poll and stopped mid-flight, freeing the
+    /// worker within one poll batch of expansions.
+    MidSearch,
+}
+
 /// Terminal status of an admitted request.
 #[derive(Debug, Clone)]
 pub enum Outcome {
     /// The plan ran; inspect [`Planned::path`] for reachability.
     Planned(Planned),
-    /// Dropped: still queued when its deadline passed, or known-infeasible
-    /// from the map's cached reachability artifact.
+    /// The deadline passed before a plan was produced; `stage` says whether
+    /// any planner time was spent.
     TimedOut {
-        /// How long the request sat in the queue before being dropped.
+        /// How long the request sat in the queue (up to dispatch, or up to
+        /// the drop for [`TimeoutStage::Queued`]).
         queued_for: Duration,
+        /// Whether the deadline expired while queued or mid-search.
+        stage: TimeoutStage,
     },
-    /// The request was cancelled via [`crate::Ticket::cancel`] before
-    /// execution started.
+    /// The request was cancelled via [`crate::Ticket::cancel`] — either
+    /// while still queued, or mid-search (the executing search observes the
+    /// cancel flag at its next interrupt poll and aborts).
     Cancelled,
     /// The worker panicked while executing this request (isolated; the
     /// worker keeps serving).

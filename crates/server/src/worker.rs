@@ -10,12 +10,13 @@
 //! guards, so no ticket ever hangs.
 
 use crate::metrics::ServerMetrics;
-use crate::request::{MapId, Outcome, Planned, PlannedPath, Platform, Workload};
+use crate::request::{MapId, Outcome, Planned, PlannedPath, Platform, TimeoutStage, Workload};
 use crate::scheduler::Admitted;
 use crossbeam::channel::Receiver;
 use racod_codacc::{template_check_2d, template_check_3d, CodaccPool};
-use racod_parallel::{ParallelConfig, ParallelPlanner};
-use racod_search::{GridSpace2, GridSpace3};
+use racod_geom::{Cell2, Cell3};
+use racod_parallel::{ParallelConfig, ParallelPlanner, WorkerPool};
+use racod_search::{GridSpace2, GridSpace3, Interrupt, InterruptReason, Termination};
 use racod_sim::planner::{
     plan_racod_2d_pooled, plan_racod_3d_pooled, plan_software_2d, plan_software_3d, Scenario2,
     Scenario3,
@@ -31,16 +32,24 @@ use std::time::Instant;
 /// A batch of same-map requests handed to one worker.
 pub type Batch = Vec<Admitted>;
 
-/// Warm per-map execution state owned by one worker: the CODAcc pool whose
-/// L0/L1 caches hold lines of that map's grid. Keyed by `(map, units)` so a
-/// request asking for a different accelerator count gets a matching pool.
+/// Warm execution state owned by one worker: per-`(map, units)` CODAcc
+/// pools whose L0/L1 caches hold lines of that map's grid, plus persistent
+/// per-thread-count collision-check thread pools for [`Platform::Threads`]
+/// (map-agnostic — the check closure travels with each planning episode),
+/// so no OS threads are spawned per request.
 struct WarmState {
     pools: HashMap<(MapId, usize), CodaccPool>,
+    check_pools2: HashMap<usize, Arc<WorkerPool<Cell2>>>,
+    check_pools3: HashMap<usize, Arc<WorkerPool<Cell3>>>,
 }
 
 impl WarmState {
     fn new() -> Self {
-        WarmState { pools: HashMap::new() }
+        WarmState {
+            pools: HashMap::new(),
+            check_pools2: HashMap::new(),
+            check_pools3: HashMap::new(),
+        }
     }
 
     /// Takes the pool for `(map, units)` out of the cache (re-inserted
@@ -55,6 +64,24 @@ impl WarmState {
 
     fn put_back(&mut self, map: &MapId, units: usize, pool: CodaccPool) {
         self.pools.insert((map.clone(), units), pool);
+    }
+
+    /// The persistent 2D check pool for `threads` workers, spawning it on
+    /// first use. A panicking check only poisons its own episode, so pools
+    /// stay reusable across requests.
+    fn check_pool2(&mut self, threads: usize) -> Arc<WorkerPool<Cell2>> {
+        self.check_pools2
+            .entry(threads.max(1))
+            .or_insert_with(|| Arc::new(WorkerPool::new(threads.max(1))))
+            .clone()
+    }
+
+    /// The persistent 3D check pool for `threads` workers.
+    fn check_pool3(&mut self, threads: usize) -> Arc<WorkerPool<Cell3>> {
+        self.check_pools3
+            .entry(threads.max(1))
+            .or_insert_with(|| Arc::new(WorkerPool::new(threads.max(1))))
+            .clone()
     }
 }
 
@@ -88,7 +115,6 @@ pub fn spawn_worker(
 fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>) {
     let mut warm = WarmState::new();
     while let Ok(batch) = rx.recv() {
-        let mut batch_map: Option<MapId> = None;
         for item in batch {
             let now = Instant::now();
             if item.cancelled() {
@@ -97,25 +123,57 @@ fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>)
             }
             if item.expired(now) {
                 let queued_for = now.duration_since(item.submitted_at);
-                item.reply.finish(Outcome::TimedOut { queued_for }, index);
+                item.reply
+                    .finish(Outcome::TimedOut { queued_for, stage: TimeoutStage::Queued }, index);
                 continue;
             }
             let queue_wait = now.duration_since(item.submitted_at);
             metrics.queue_wait.record(queue_wait);
-            batch_map = Some(item.req.map.clone());
 
-            let Admitted { req, entry, reply, submitted_at, .. } = item;
+            let Admitted { req, entry, reply, submitted_at, deadline_at, cancel, .. } = item;
+            // The request's deadline and cancel flag travel into the
+            // search: every planner entry point polls this handle, so a
+            // doomed request frees this worker within one poll batch.
+            let interrupt = {
+                let mut i = Interrupt::new().with_cancel_flag(cancel.clone());
+                if let Some(at) = deadline_at {
+                    i = i.with_deadline(at);
+                }
+                i
+            };
             let exec = catch_unwind(AssertUnwindSafe(|| {
-                execute(&req.workload, req.platform, &req.astar, &entry, &mut warm, metrics)
+                execute(
+                    &req.workload,
+                    req.platform,
+                    &req.astar,
+                    &interrupt,
+                    &entry,
+                    &mut warm,
+                    metrics,
+                )
             }));
             let service_time = Instant::now().duration_since(now);
             metrics.service.record(service_time);
             let outcome = match exec {
-                Ok(mut planned) => {
-                    planned.queue_wait = queue_wait;
-                    planned.service_time = service_time;
-                    Outcome::Planned(planned)
-                }
+                Ok((planned, termination)) => match termination {
+                    Termination::Interrupted(InterruptReason::Cancelled) => {
+                        metrics.interrupted_mid_search.fetch_add(1, Ordering::Relaxed);
+                        Outcome::Cancelled
+                    }
+                    Termination::Interrupted(InterruptReason::Deadline) => {
+                        metrics.interrupted_mid_search.fetch_add(1, Ordering::Relaxed);
+                        Outcome::TimedOut { queued_for: queue_wait, stage: TimeoutStage::MidSearch }
+                    }
+                    Termination::Interrupted(InterruptReason::Poisoned) => Outcome::Panicked {
+                        message: "collision-check pool poisoned mid-search".to_string(),
+                    },
+                    _ => {
+                        let mut planned = planned;
+                        planned.queue_wait = queue_wait;
+                        planned.service_time = service_time;
+                        Outcome::Planned(planned)
+                    }
+                },
                 Err(payload) => {
                     if payload.is::<WorkerPoison>() {
                         // Chaos payload: re-raise past the per-request
@@ -132,7 +190,6 @@ fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>)
             metrics.total.record(Instant::now().duration_since(submitted_at));
             reply.finish(outcome, index);
         }
-        let _ = batch_map;
     }
 }
 
@@ -146,17 +203,28 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Executes one request against its pinned map entry. Panics propagate to
-/// the per-request `catch_unwind` in [`worker_loop`] (which re-raises the
-/// [`WorkerPoison`] marker to kill the whole loop).
+/// Executes one request against its pinned map entry, returning the plan
+/// and how its search terminated (so the caller can map interruptions to
+/// timeout/cancel outcomes). Panics propagate to the per-request
+/// `catch_unwind` in [`worker_loop`] (which re-raises the [`WorkerPoison`]
+/// marker to kill the whole loop).
 fn execute(
     workload: &Workload,
     platform: Platform,
     astar: &racod_search::AstarConfig,
+    interrupt: &Interrupt,
     entry: &crate::registry::MapEntry,
     warm: &mut WarmState,
     metrics: &Arc<ServerMetrics>,
-) -> Planned {
+) -> (Planned, Termination) {
+    // Thread the request's interrupt into the search configuration; the
+    // request itself is never mutated, and an unfired interrupt leaves the
+    // search bit-identical to a direct planner call.
+    let astar = {
+        let mut a = astar.clone();
+        a.interrupt = Some(interrupt.clone());
+        a
+    };
     match workload {
         Workload::Poison => panic!("poison request"),
         Workload::PoisonWorker => {
@@ -170,15 +238,18 @@ fn execute(
             // call would also return an empty path — skip the search.
             if let Some(art) = entry.artifacts2() {
                 if art.definitely_disconnected(*start, *goal) {
-                    return Planned {
-                        path: PlannedPath::P2(None),
-                        cost: f64::INFINITY,
-                        expansions: 0,
-                        sim_cycles: 0,
-                        queue_wait: Default::default(),
-                        service_time: Default::default(),
-                        warm_start: false,
-                    };
+                    return (
+                        Planned {
+                            path: PlannedPath::P2(None),
+                            cost: f64::INFINITY,
+                            expansions: 0,
+                            sim_cycles: 0,
+                            queue_wait: Default::default(),
+                            service_time: Default::default(),
+                            warm_start: false,
+                        },
+                        Termination::Exhausted,
+                    );
                 }
             }
             let mut sc = Scenario2::new(grid)
@@ -208,17 +279,23 @@ fn execute(
                     let hits = Arc::new(AtomicU64::new(0));
                     let misses = Arc::new(AtomicU64::new(0));
                     let (h, m) = (hits.clone(), misses.clone());
-                    let planner =
-                        ParallelPlanner::new(ParallelConfig { threads, runahead }, move |s| {
+                    // The check threads come from the worker's persistent
+                    // pool; only the episode-specific closure is new per
+                    // request.
+                    let planner = ParallelPlanner::with_pool(
+                        ParallelConfig { threads, runahead },
+                        move |s| {
                             let (tpl, hit) = cache.get(&fp, fp.rot_key(s, goal_c));
                             if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
                             template_check_2d(grid.as_ref(), s, &tpl).verdict.is_free()
-                        });
+                        },
+                        warm.check_pool2(threads),
+                    );
                     let space = GridSpace2::eight_connected(
                         racod_grid::Occupancy2::width(sc.grid),
                         racod_grid::Occupancy2::height(sc.grid),
                     );
-                    let run = planner.plan(&space, *start, *goal);
+                    let run = planner.plan_config(&space, *start, *goal, &astar);
                     record_tstats(
                         metrics,
                         TemplateStats {
@@ -226,15 +303,18 @@ fn execute(
                             misses: misses.load(Ordering::Relaxed),
                         },
                     );
-                    Planned {
-                        path: PlannedPath::P2(run.result.path),
-                        cost: run.result.cost,
-                        expansions: run.result.stats.expansions,
-                        sim_cycles: 0,
-                        queue_wait: Default::default(),
-                        service_time: Default::default(),
-                        warm_start: false,
-                    }
+                    (
+                        Planned {
+                            path: PlannedPath::P2(run.result.path),
+                            cost: run.result.cost,
+                            expansions: run.result.stats.expansions,
+                            sim_cycles: 0,
+                            queue_wait: Default::default(),
+                            service_time: Default::default(),
+                            warm_start: false,
+                        },
+                        run.result.termination,
+                    )
                 }
             }
         }
@@ -266,18 +346,21 @@ fn execute(
                     let hits = Arc::new(AtomicU64::new(0));
                     let misses = Arc::new(AtomicU64::new(0));
                     let (h, m) = (hits.clone(), misses.clone());
-                    let planner =
-                        ParallelPlanner::new(ParallelConfig { threads, runahead }, move |s| {
+                    let planner = ParallelPlanner::with_pool(
+                        ParallelConfig { threads, runahead },
+                        move |s| {
                             let (tpl, hit) = cache.get(&fp, fp.rot_key(s, goal_c));
                             if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
                             template_check_3d(grid.as_ref(), s, &tpl).verdict.is_free()
-                        });
+                        },
+                        warm.check_pool3(threads),
+                    );
                     let space = GridSpace3::twenty_six_connected(
                         racod_grid::Occupancy3::size_x(sc.grid),
                         racod_grid::Occupancy3::size_y(sc.grid),
                         racod_grid::Occupancy3::size_z(sc.grid),
                     );
-                    let run = planner.plan(&space, *start, *goal);
+                    let run = planner.plan_config(&space, *start, *goal, &astar);
                     record_tstats(
                         metrics,
                         TemplateStats {
@@ -285,15 +368,18 @@ fn execute(
                             misses: misses.load(Ordering::Relaxed),
                         },
                     );
-                    Planned {
-                        path: PlannedPath::P3(run.result.path),
-                        cost: run.result.cost,
-                        expansions: run.result.stats.expansions,
-                        sim_cycles: 0,
-                        queue_wait: Default::default(),
-                        service_time: Default::default(),
-                        warm_start: false,
-                    }
+                    (
+                        Planned {
+                            path: PlannedPath::P3(run.result.path),
+                            cost: run.result.cost,
+                            expansions: run.result.stats.expansions,
+                            sim_cycles: 0,
+                            queue_wait: Default::default(),
+                            service_time: Default::default(),
+                            warm_start: false,
+                        },
+                        run.result.termination,
+                    )
                 }
             }
         }
@@ -314,26 +400,34 @@ fn record_tstats(metrics: &ServerMetrics, t: TemplateStats) {
     metrics.template_misses.fetch_add(t.misses, Ordering::Relaxed);
 }
 
-fn planned2(out: racod_sim::PlanOutcome<racod_geom::Cell2>, warm: bool) -> Planned {
-    Planned {
-        path: PlannedPath::P2(out.result.path),
-        cost: out.result.cost,
-        expansions: out.result.stats.expansions,
-        sim_cycles: out.cycles,
-        queue_wait: Default::default(),
-        service_time: Default::default(),
-        warm_start: warm,
-    }
+fn planned2(out: racod_sim::PlanOutcome<Cell2>, warm: bool) -> (Planned, Termination) {
+    let termination = out.result.termination;
+    (
+        Planned {
+            path: PlannedPath::P2(out.result.path),
+            cost: out.result.cost,
+            expansions: out.result.stats.expansions,
+            sim_cycles: out.cycles,
+            queue_wait: Default::default(),
+            service_time: Default::default(),
+            warm_start: warm,
+        },
+        termination,
+    )
 }
 
-fn planned3(out: racod_sim::PlanOutcome<racod_geom::Cell3>, warm: bool) -> Planned {
-    Planned {
-        path: PlannedPath::P3(out.result.path),
-        cost: out.result.cost,
-        expansions: out.result.stats.expansions,
-        sim_cycles: out.cycles,
-        queue_wait: Default::default(),
-        service_time: Default::default(),
-        warm_start: warm,
-    }
+fn planned3(out: racod_sim::PlanOutcome<Cell3>, warm: bool) -> (Planned, Termination) {
+    let termination = out.result.termination;
+    (
+        Planned {
+            path: PlannedPath::P3(out.result.path),
+            cost: out.result.cost,
+            expansions: out.result.stats.expansions,
+            sim_cycles: out.cycles,
+            queue_wait: Default::default(),
+            service_time: Default::default(),
+            warm_start: warm,
+        },
+        termination,
+    )
 }

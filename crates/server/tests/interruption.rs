@@ -1,0 +1,168 @@
+//! Mid-search interruption: deadline expiry while a search is running,
+//! cancellation of an in-flight request, and the persistent `Threads`
+//! worker pool keeping the OS thread count flat under load.
+
+use racod_geom::Cell2;
+use racod_grid::BitGrid2;
+use racod_server::{
+    MapRegistry, Outcome, PlanRequest, PlanServer, Platform, ServerConfig, TimeoutStage,
+};
+use racod_sim::planner::{plan_racod_2d, Scenario2};
+use racod_sim::{CostModel, Footprint2};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: i64 = 512;
+
+/// A 512×512 map split by a vertical wall at x=N/2, with the right half
+/// further split by a horizontal wall at y=N/2. The start sits in the
+/// upper-right pocket and the goal in the lower-right pocket, so a search
+/// between them must exhaust the whole upper-right quadrant (~65k
+/// expansions, tens of milliseconds even in release builds). Both
+/// endpoints are disconnected from the map's seed component (the left
+/// half), which keeps the registry's reachability prefilter from
+/// short-circuiting the search.
+fn doomed_world() -> (Arc<MapRegistry>, Cell2, Cell2) {
+    let half = N / 2;
+    let mut grid = BitGrid2::new(N as u32, N as u32);
+    grid.fill_rect(half, 0, half, N - 1, true);
+    grid.fill_rect(half, half, N - 1, half, true);
+    let start = Cell2::new(half + 50, 30);
+    let goal = Cell2::new(half + 50, N - 30);
+    let reg = MapRegistry::new();
+    reg.insert_grid2("walled", grid);
+    (Arc::new(reg), start, goal)
+}
+
+/// Wall-clock cost of exhausting the doomed search in this build mode,
+/// measured through the same planner the server's Racod platform uses.
+fn full_exhaustion_time(reg: &MapRegistry, start: Cell2, goal: Cell2) -> Duration {
+    let entry = reg.get(&"walled".into()).expect("registered above");
+    let grid = entry.grid2().expect("2d map");
+    let mut sc = Scenario2::new(grid);
+    sc.footprint = Footprint2::point();
+    sc.start = start;
+    sc.goal = goal;
+    let t = Instant::now();
+    let out = plan_racod_2d(&sc, 4, &CostModel::racod());
+    assert!(!out.result.found(), "the doomed pair must be unreachable");
+    t.elapsed()
+}
+
+fn doomed_request(start: Cell2, goal: Cell2) -> PlanRequest {
+    PlanRequest::plan2("walled", start, goal).with_footprint2(Footprint2::point())
+}
+
+#[test]
+fn deadline_mid_search_stops_the_worker_before_exhaustion() {
+    let (reg, start, goal) = doomed_world();
+    let t_full = full_exhaustion_time(&reg, start, goal);
+    assert!(
+        t_full >= Duration::from_millis(50),
+        "scenario must be slow enough to interrupt: exhausts in {t_full:?}"
+    );
+
+    let server = PlanServer::start(ServerConfig { workers: 1, ..Default::default() }, reg);
+    let deadline = Duration::from_millis(25);
+    let t0 = Instant::now();
+    let resp = server.submit(doomed_request(start, goal).with_deadline(deadline)).unwrap().wait();
+    let elapsed = t0.elapsed();
+
+    match resp.outcome {
+        Outcome::TimedOut { stage, .. } => {
+            assert_eq!(stage, TimeoutStage::MidSearch, "the search was dispatched and running");
+        }
+        other => panic!("expected mid-search TimedOut, got {other:?}"),
+    }
+    assert_eq!(server.metrics().interrupted_mid_search.load(Ordering::Relaxed), 1);
+    assert_eq!(server.metrics().timed_out.load(Ordering::Relaxed), 1);
+    // The worker was freed within a poll batch of the deadline, not after
+    // running the search to exhaustion.
+    assert!(
+        elapsed < t_full * 2 / 3,
+        "interrupted search should finish well before exhaustion: {elapsed:?} vs {t_full:?}"
+    );
+
+    // The freed worker keeps serving: a short plan inside the start pocket
+    // completes and finds a path.
+    let quick = PlanRequest::plan2("walled", start, Cell2::new(N / 2 + 70, 40))
+        .with_footprint2(Footprint2::point());
+    match server.submit(quick).unwrap().wait().outcome {
+        Outcome::Planned(p) => assert!(p.path.found(), "follow-up plan must succeed"),
+        other => panic!("worker must keep serving after an interrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancel_mid_flight_aborts_a_running_search() {
+    let (reg, start, goal) = doomed_world();
+    let t_full = full_exhaustion_time(&reg, start, goal);
+    assert!(t_full >= Duration::from_millis(50), "scenario too fast: {t_full:?}");
+
+    let server = PlanServer::start(ServerConfig { workers: 1, ..Default::default() }, reg);
+    let ticket = server.submit(doomed_request(start, goal)).unwrap();
+    // Let the dispatcher hand the request to the worker and the search get
+    // underway before pulling the plug.
+    std::thread::sleep(Duration::from_millis(15));
+    let t0 = Instant::now();
+    ticket.cancel();
+    let resp = ticket.wait();
+    let after_cancel = t0.elapsed();
+
+    assert!(
+        matches!(resp.outcome, Outcome::Cancelled),
+        "expected Cancelled, got {:?}",
+        resp.outcome
+    );
+    assert_eq!(server.metrics().cancelled.load(Ordering::Relaxed), 1);
+    // The abort is cooperative but prompt: the search observed the flag at
+    // its next poll instead of running to exhaustion.
+    assert!(
+        after_cancel < t_full,
+        "cancel must not wait for exhaustion: {after_cancel:?} vs {t_full:?}"
+    );
+}
+
+/// `Threads:` line from /proc/self/status (Linux only).
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("Threads:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[test]
+fn threads_platform_keeps_os_thread_count_flat_across_100_requests() {
+    let Some(_) = os_thread_count() else {
+        eprintln!("skipping: /proc/self/status not available");
+        return;
+    };
+    let (reg, start, _goal) = doomed_world();
+    let server = PlanServer::start(ServerConfig { workers: 1, ..Default::default() }, reg);
+    let quick_goal = Cell2::new(N / 2 + 70, 40);
+    let req = || {
+        PlanRequest::plan2("walled", start, quick_goal)
+            .with_footprint2(Footprint2::point())
+            .with_platform(Platform::Threads { threads: 4, runahead: 2 })
+    };
+
+    // First request builds the persistent check pool.
+    match server.submit(req()).unwrap().wait().outcome {
+        Outcome::Planned(p) => assert!(p.path.found()),
+        other => panic!("warm-up request must plan, got {other:?}"),
+    }
+    let warm = os_thread_count().unwrap();
+
+    for _ in 0..100 {
+        match server.submit(req()).unwrap().wait().outcome {
+            Outcome::Planned(p) => assert!(p.path.found()),
+            other => panic!("every request must plan, got {other:?}"),
+        }
+    }
+    let after = os_thread_count().unwrap();
+    assert_eq!(
+        warm, after,
+        "persistent pool must not churn threads: {warm} before, {after} after 100 requests"
+    );
+    assert_eq!(server.metrics().completed.load(Ordering::Relaxed), 101);
+}

@@ -4,7 +4,8 @@
 use racod_geom::Cell2;
 use racod_grid::gen::{city_map, CityName};
 use racod_server::{
-    MapRegistry, Outcome, PlanRequest, PlanServer, Platform, Rejected, ServerConfig, Workload,
+    MapRegistry, Outcome, PlanRequest, PlanServer, Platform, Rejected, ServerConfig, TimeoutStage,
+    Workload,
 };
 use racod_sim::planner::Scenario2;
 use std::sync::atomic::Ordering;
@@ -65,8 +66,9 @@ fn queued_request_past_deadline_times_out() {
         .unwrap();
     let resp = ticket.wait();
     match resp.outcome {
-        Outcome::TimedOut { queued_for } => {
+        Outcome::TimedOut { queued_for, stage } => {
             assert!(queued_for >= Duration::from_millis(2));
+            assert_eq!(stage, TimeoutStage::Queued, "never dispatched: no planner time spent");
         }
         other => panic!("expected TimedOut, got {other:?}"),
     }

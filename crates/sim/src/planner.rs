@@ -98,6 +98,13 @@ impl<'g> Scenario2<'g> {
         self.tcache = Some(cache);
         self
     }
+
+    /// Attaches a cooperative interruption handle to the search
+    /// configuration; every `plan_*` entry point observes it.
+    pub fn with_interrupt(mut self, interrupt: racod_search::Interrupt) -> Self {
+        self.astar.interrupt = Some(interrupt);
+        self
+    }
 }
 
 /// Finds the cell nearest `(x, y)` at which the robot footprint is
@@ -265,6 +272,13 @@ impl<'g> Scenario3<'g> {
     /// Shares a template cache across plans (serving-layer map affinity).
     pub fn with_template_cache(mut self, cache: Arc<TemplateCache3>) -> Self {
         self.tcache = Some(cache);
+        self
+    }
+
+    /// Attaches a cooperative interruption handle to the search
+    /// configuration; every `plan_*` entry point observes it.
+    pub fn with_interrupt(mut self, interrupt: racod_search::Interrupt) -> Self {
+        self.astar.interrupt = Some(interrupt);
         self
     }
 
@@ -709,6 +723,45 @@ pub fn plan_racod_3d_ext(
 mod tests {
     use super::*;
     use racod_grid::gen::{campus_3d, city_map, CityName};
+
+    #[test]
+    fn interrupt_propagates_through_every_plan_entry_point() {
+        use racod_search::{Interrupt, InterruptReason, Termination};
+        let grid = city_map(CityName::Boston, 256, 256);
+        // An already-expired deadline with a tight poll interval: each
+        // planner must stop within one poll batch instead of finishing.
+        let mut sc = Scenario2::new(&grid)
+            .with_free_endpoints(10, 10, 245, 245)
+            .with_interrupt(Interrupt::new().with_deadline(std::time::Instant::now()));
+        sc.astar.poll_interval = 32;
+        for outcome in [
+            plan_software_2d(&sc, 2, None, &CostModel::i3_software()),
+            plan_racod_2d(&sc, 4, &CostModel::racod()),
+        ] {
+            assert_eq!(
+                outcome.result.termination,
+                Termination::Interrupted(InterruptReason::Deadline)
+            );
+            assert!(!outcome.result.found());
+            assert!(outcome.result.stats.expansions <= 32);
+        }
+    }
+
+    #[test]
+    fn unfired_interrupt_keeps_plans_bit_identical() {
+        use racod_search::Interrupt;
+        let grid = city_map(CityName::Berlin, 256, 256);
+        let plain = Scenario2::new(&grid).with_free_endpoints(10, 10, 245, 245);
+        let watched = plain.clone().with_interrupt(
+            Interrupt::new()
+                .with_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+        );
+        let a = plan_racod_2d(&plain, 8, &CostModel::racod());
+        let b = plan_racod_2d(&watched, 8, &CostModel::racod());
+        assert_eq!(a.result.path, b.result.path);
+        assert_eq!(a.result.cost.to_bits(), b.result.cost.to_bits());
+        assert_eq!(a.cycles, b.cycles, "an unfired interrupt must not change timing");
+    }
 
     #[test]
     fn racod_beats_software_baseline_2d() {
