@@ -1,0 +1,241 @@
+//! Machine-readable search-core microbenchmark: emits `BENCH_search.json`
+//! with ns/expansion and plans/s for A*, Weighted A*, and PA*SE, comparing a
+//! cold scratch arena (fresh allocation per plan, the pre-arena behavior)
+//! against a warm reused arena (epoch-stamped O(1) clear, the steady state a
+//! server worker runs in). A row for the retained reference engine
+//! (`astar_reference`: binary-heap open list, per-call `Vec` allocations)
+//! anchors the comparison to the pre-change code path.
+//!
+//! Usage: `cargo run --release -p racod-bench --bin bench_search --
+//! [--plans N] [--out PATH] [--gate]`
+//!
+//! `--gate` exits non-zero unless warm ns/expansion ≤ cold ns/expansion for
+//! every engine (the CI smoke invariant: reusing the arena can never be
+//! slower than reallocating it).
+
+use racod::prelude::*;
+use racod::search::{astar_in, astar_reference, pase_in, PaseConfig, SearchScratch};
+use racod::sim::planner::free_near_2d;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Options {
+    plans: usize,
+    out: String,
+    gate: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { plans: 200, out: "BENCH_search.json".to_string(), gate: false }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut o = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--plans" => {
+                o.plans = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("invalid value for --plans");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--out" => {
+                o.out = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for --out");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--gate" => {
+                o.gate = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    o
+}
+
+/// Deterministic short-range start/goal pairs scattered across the map:
+/// anchors from an LCG, endpoints snapped to free cells, pairs kept only
+/// when connected (prechecked with one throwaway search). Short separations
+/// make per-plan setup cost — the thing the arena removes — visible against
+/// the expansion work.
+fn plan_pairs(grid: &BitGrid2, space: &GridSpace2, n: usize) -> Vec<(Cell2, Cell2)> {
+    let size = grid.width() as i64;
+    let mut pairs = Vec::with_capacity(n);
+    let mut seed: i64 = 42;
+    while pairs.len() < n {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let x = (seed >> 33).rem_euclid(size - 96);
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let y = (seed >> 33).rem_euclid(size - 80);
+        let s = free_near_2d(grid, x, y);
+        let g = free_near_2d(grid, x + 64, y + 48);
+        let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+        let probe = astar(space, s, g, &AstarConfig::default(), &mut oracle);
+        if probe.found() {
+            pairs.push((s, g));
+        }
+    }
+    pairs
+}
+
+struct Measure {
+    ns_per_expansion: f64,
+    plans_per_sec: f64,
+    expansions: u64,
+    cost_sum: f64,
+}
+
+fn measure<F>(pairs: &[(Cell2, Cell2)], mut plan: F) -> Measure
+where
+    F: FnMut(Cell2, Cell2) -> (u64, f64),
+{
+    let t = Instant::now();
+    let mut expansions = 0u64;
+    let mut cost_sum = 0.0;
+    for &(s, g) in pairs {
+        let (e, c) = plan(s, g);
+        expansions += e;
+        cost_sum += c;
+    }
+    let ns = t.elapsed().as_nanos() as f64;
+    Measure {
+        ns_per_expansion: ns / expansions as f64,
+        plans_per_sec: pairs.len() as f64 * 1e9 / ns,
+        expansions,
+        cost_sum,
+    }
+}
+
+struct EngineRow {
+    engine: &'static str,
+    cold: Measure,
+    warm: Measure,
+}
+
+fn main() {
+    let o = parse_args();
+    let size: u32 = 512;
+    let grid = city_map(CityName::Boston, size, size);
+    let space = GridSpace2::eight_connected(size, size);
+    let pairs = plan_pairs(&grid, &space, o.plans);
+    let is_free = |c: Cell2| grid.get(c) == Some(false);
+
+    let astar_cfg = AstarConfig::default();
+    let wastar_cfg = AstarConfig { weight: 2.0, ..AstarConfig::default() };
+    let pase_cfg = PaseConfig { weight: 2.0, threads: 4, window: 32, ..PaseConfig::default() };
+
+    let mut rows = Vec::new();
+    for (engine, cfg) in [("astar", &astar_cfg), ("wastar", &wastar_cfg)] {
+        let cold = measure(&pairs, |s, g| {
+            let mut oracle = FnOracle::new(is_free);
+            let mut fresh = SearchScratch::new();
+            let r = black_box(astar_in(&space, s, g, cfg, &mut oracle, &mut fresh));
+            (r.stats.expansions, r.cost)
+        });
+        let mut scratch = SearchScratch::new();
+        let warm = measure(&pairs, |s, g| {
+            let mut oracle = FnOracle::new(is_free);
+            let r = black_box(astar_in(&space, s, g, cfg, &mut oracle, &mut scratch));
+            (r.stats.expansions, r.cost)
+        });
+        assert_eq!(
+            cold.cost_sum.to_bits(),
+            warm.cost_sum.to_bits(),
+            "{engine}: warm scratch changed plan costs"
+        );
+        rows.push(EngineRow { engine, cold, warm });
+    }
+
+    let pase_cold = measure(&pairs, |s, g| {
+        let mut oracle = FnOracle::new(is_free);
+        let mut fresh = SearchScratch::new();
+        let r = black_box(pase_in(&space, s, g, &pase_cfg, &mut oracle, &mut fresh));
+        (r.stats.expansions, r.cost)
+    });
+    let mut pase_scratch = SearchScratch::new();
+    let pase_warm = measure(&pairs, |s, g| {
+        let mut oracle = FnOracle::new(is_free);
+        let r = black_box(pase_in(&space, s, g, &pase_cfg, &mut oracle, &mut pase_scratch));
+        (r.stats.expansions, r.cost)
+    });
+    assert_eq!(
+        pase_cold.cost_sum.to_bits(),
+        pase_warm.cost_sum.to_bits(),
+        "pase: warm scratch changed plan costs"
+    );
+    rows.push(EngineRow { engine: "pase", cold: pase_cold, warm: pase_warm });
+
+    // Pre-change engine datapoint: scalar binary-heap open list plus per-call
+    // `Vec` allocations, exactly as the code stood before the arena.
+    let reference = measure(&pairs, |s, g| {
+        let mut oracle = FnOracle::new(is_free);
+        let r = black_box(astar_reference(&space, s, g, &astar_cfg, &mut oracle));
+        (r.stats.expansions, r.cost)
+    });
+    assert_eq!(
+        reference.cost_sum.to_bits(),
+        rows[0].warm.cost_sum.to_bits(),
+        "reference engine disagrees with arena engine on plan costs"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"search_scratch_arena\",");
+    let _ = writeln!(json, "  \"grid\": \"boston_{size}x{size}\",");
+    let _ = writeln!(json, "  \"plans\": {},", pairs.len());
+    let _ = writeln!(json, "  \"engines\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let speedup = row.warm.plans_per_sec / row.cold.plans_per_sec;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"engine\": \"{}\",", row.engine);
+        let _ = writeln!(
+            json,
+            "      \"expansions_per_plan\": {},",
+            row.warm.expansions / pairs.len() as u64
+        );
+        let _ =
+            writeln!(json, "      \"cold_ns_per_expansion\": {:.1},", row.cold.ns_per_expansion);
+        let _ =
+            writeln!(json, "      \"warm_ns_per_expansion\": {:.1},", row.warm.ns_per_expansion);
+        let _ = writeln!(json, "      \"cold_plans_per_sec\": {:.0},", row.cold.plans_per_sec);
+        let _ = writeln!(json, "      \"warm_plans_per_sec\": {:.0},", row.warm.plans_per_sec);
+        let _ = writeln!(json, "      \"warm_speedup\": {speedup:.2}");
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"reference_ns_per_expansion\": {:.1},", reference.ns_per_expansion);
+    let _ = writeln!(json, "  \"reference_plans_per_sec\": {:.0}", reference.plans_per_sec);
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&o.out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", o.out);
+        std::process::exit(1);
+    });
+    print!("{json}");
+    eprintln!("wrote {}", o.out);
+
+    if o.gate {
+        for row in &rows {
+            if row.warm.ns_per_expansion > row.cold.ns_per_expansion {
+                eprintln!(
+                    "GATE FAIL: {} warm {:.1} ns/expansion > cold {:.1} ns/expansion",
+                    row.engine, row.warm.ns_per_expansion, row.cold.ns_per_expansion
+                );
+                std::process::exit(1);
+            }
+        }
+        eprintln!("gate ok: warm ns/expansion <= cold for all engines");
+    }
+}

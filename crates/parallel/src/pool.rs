@@ -4,8 +4,8 @@ use crate::status::{StatusTable, WaitOutcome};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use racod_rasexp::{DirectedState, LastDirectionPredictor};
 use racod_search::{
-    astar, AstarConfig, CollisionOracle, ExpansionContext, Interrupt, InterruptReason,
-    SearchResult, SearchSpace, Termination,
+    astar_in, AstarConfig, CollisionOracle, ExpansionContext, Interrupt, InterruptReason,
+    SearchResult, SearchScratch, SearchSpace, Termination,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -218,6 +218,24 @@ where
     where
         Sp: SearchSpace<State = S>,
     {
+        self.plan_config_in(space, start, goal, config, &mut SearchScratch::new())
+    }
+
+    /// [`ParallelPlanner::plan_config`] running the search inside a
+    /// caller-owned [`SearchScratch`]; the speculation episode also borrows
+    /// the scratch-owned demand buffers, so a warm caller performs no
+    /// per-plan search allocation.
+    pub fn plan_config_in<Sp>(
+        &self,
+        space: &Sp,
+        start: S,
+        goal: S,
+        config: &AstarConfig,
+        scratch: &mut SearchScratch<S>,
+    ) -> ParallelRun<S>
+    where
+        Sp: SearchSpace<State = S>,
+    {
         let episode = Arc::new(Episode {
             table: StatusTable::new(space.state_count()),
             check: self.check.clone(),
@@ -238,8 +256,11 @@ where
             memo_hits: 0,
             overlap_waits: 0,
             abandoned: None,
+            waits: Vec::new(),
+            resolved: Vec::new(),
+            neigh: Vec::new(),
         };
-        let mut result = astar(space, start, goal, config, &mut oracle);
+        let mut result = astar_in(space, start, goal, config, &mut oracle, scratch);
         let elapsed = begin.elapsed();
         let (demand_checks, speculative_checks, memo_hits, overlap_waits) = (
             oracle.demand_checks,
@@ -280,6 +301,12 @@ struct PoolOracle<'a, Sp: SearchSpace> {
     /// Set when a verdict wait returned without a verdict (poisoned table
     /// or fired interrupt); the plan must be reported as interrupted.
     abandoned: Option<InterruptReason>,
+    /// Reused per-expansion buffers (no steady-state allocation): the
+    /// indices awaiting worker verdicts, the per-demand resolution slots,
+    /// and the runahead neighbor gather.
+    waits: Vec<usize>,
+    resolved: Vec<Option<bool>>,
+    neigh: Vec<(Sp::State, f64)>,
 }
 
 impl<'a, Sp> CollisionOracle<Sp> for PoolOracle<'a, Sp>
@@ -288,15 +315,31 @@ where
     Sp::State: DirectedState + Send + Sync + 'static,
 {
     fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(demand.len());
+        self.resolve_into(ctx, demand, &mut out);
+        out
+    }
+
+    fn resolve_into(
+        &mut self,
+        ctx: &ExpansionContext<Sp::State>,
+        demand: &[Sp::State],
+        out: &mut Vec<bool>,
+    ) {
+        out.clear();
         // Once a wait has been abandoned the verdicts no longer matter —
         // answer "blocked" to drain the search to its next interrupt poll.
         if self.abandoned.is_some() {
-            return vec![false; demand.len()];
+            out.resize(demand.len(), false);
+            return;
         }
         let table = &self.episode.table;
-        // Issue demand jobs for unresolved states.
-        let mut waits: Vec<usize> = Vec::with_capacity(demand.len());
-        let mut resolved: Vec<Option<bool>> = Vec::with_capacity(demand.len());
+        // Issue demand jobs for unresolved states. The buffers live on the
+        // oracle; move them out so `self.send` can borrow `self` meanwhile.
+        let mut waits = std::mem::take(&mut self.waits);
+        let mut resolved = std::mem::take(&mut self.resolved);
+        waits.clear();
+        resolved.clear();
         let mut outstanding = 0usize;
         for &s in demand {
             match self.space.index(s) {
@@ -328,7 +371,7 @@ where
         if self.runahead > 0 && outstanding > 0 && ctx.parent.is_some() {
             let mut budget = self.threads.saturating_sub(outstanding);
             let chain = self.predictor.predict(ctx.expanded, ctx.parent);
-            let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
+            let mut neigh = std::mem::take(&mut self.neigh);
             'runahead: for pred in chain {
                 neigh.clear();
                 self.space.neighbors(pred, &mut neigh);
@@ -347,16 +390,17 @@ where
                     }
                 }
             }
+            self.neigh = neigh;
         }
 
         // Join demand results (Algorithm 1 line 18).
-        let mut out = Vec::with_capacity(demand.len());
-        let mut wait_iter = waits.into_iter();
-        for r in resolved {
+        let mut next_wait = 0usize;
+        for &r in resolved.iter() {
             match r {
                 Some(v) => out.push(v),
                 None => {
-                    let idx = wait_iter.next().expect("one wait per unresolved state");
+                    let idx = waits[next_wait];
+                    next_wait += 1;
                     if self.abandoned.is_some() {
                         out.push(false);
                         continue;
@@ -375,7 +419,9 @@ where
                 }
             }
         }
-        out
+        debug_assert_eq!(next_wait, waits.len(), "every wait consumed");
+        self.waits = waits;
+        self.resolved = resolved;
     }
 }
 
@@ -395,7 +441,7 @@ mod tests {
     use racod_geom::{Cell2, Cell3};
     use racod_grid::gen::{campus_3d, random_map};
     use racod_grid::{BitGrid2, Occupancy2, Occupancy3};
-    use racod_search::{FnOracle, GridSpace2, GridSpace3};
+    use racod_search::{astar, FnOracle, GridSpace2, GridSpace3};
 
     fn reference_plan(grid: &BitGrid2, start: Cell2, goal: Cell2) -> SearchResult<Cell2> {
         let space = GridSpace2::eight_connected(grid.width(), grid.height());

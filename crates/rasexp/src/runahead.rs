@@ -130,6 +130,8 @@ where
     stability: StabilityTracker<Sp::State>,
     check: F,
     stats: RasexpStats,
+    /// Reused runahead neighbor buffer (no per-expansion allocation).
+    neigh: Vec<(Sp::State, f64)>,
 }
 
 impl<'a, Sp, F> RunaheadOracle<'a, Sp, F>
@@ -154,6 +156,7 @@ where
             stability: StabilityTracker::new(),
             check,
             stats: RasexpStats::default(),
+            neigh: Vec::with_capacity(32),
         }
     }
 
@@ -188,11 +191,22 @@ where
     F: FnMut(Sp::State) -> bool,
 {
     fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(demand.len());
+        self.resolve_into(ctx, demand, &mut out);
+        out
+    }
+
+    fn resolve_into(
+        &mut self,
+        ctx: &ExpansionContext<Sp::State>,
+        demand: &[Sp::State],
+        results: &mut Vec<bool>,
+    ) {
         // Track path stability for the throttle.
         let stability = self.stability.on_expand(ctx.expanded, ctx.parent);
 
         // Lines 03–06: serve demand states, memo first.
-        let mut results = Vec::with_capacity(demand.len());
+        results.clear();
         let mut outstanding = 0usize;
         for &s in demand {
             let memo = self.space.index(s).and_then(|i| self.table.lookup_demand(i));
@@ -220,7 +234,9 @@ where
                 if free_contexts > 0 {
                     self.stats.predictor_triggers += 1;
                     let chain = self.predictor.predict(ctx.expanded, ctx.parent);
-                    let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
+                    // Temporarily move the buffer out so `check_state` can
+                    // borrow `self` mutably while we iterate it.
+                    let mut neigh = std::mem::take(&mut self.neigh);
                     'runahead: for pred_n in chain {
                         neigh.clear();
                         self.space.neighbors(pred_n, &mut neigh);
@@ -238,6 +254,7 @@ where
                             }
                         }
                     }
+                    self.neigh = neigh;
                 }
             } else {
                 self.stats.throttled += 1;
@@ -245,7 +262,6 @@ where
         }
         self.stats.per_expansion.push((outstanding as u32, spec_issued_now));
         self.stats.spec_used = self.table.spec_used();
-        results
     }
 }
 

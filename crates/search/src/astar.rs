@@ -11,6 +11,7 @@
 use crate::interrupt::{Interrupt, InterruptReason};
 use crate::open_list::OpenList;
 use crate::oracle::{CollisionOracle, ExpansionContext};
+use crate::scratch::{SearchScratch, NO_PARENT};
 use crate::space::SearchSpace;
 use crate::stats::SearchStats;
 
@@ -157,6 +158,196 @@ where
     Sp: SearchSpace,
     O: CollisionOracle<Sp>,
 {
+    let mut scratch = SearchScratch::new();
+    astar_in(space, start, goal, config, oracle, &mut scratch)
+}
+
+/// [`astar`] running inside a caller-owned [`SearchScratch`].
+///
+/// This is the allocation-free entry point: a warm scratch makes per-plan
+/// setup O(1) (an epoch bump instead of zeroing four O(|state-space|)
+/// arrays), and the steady state issues no heap allocations beyond the
+/// returned path. Results are bit-identical to a fresh scratch — reuse is
+/// purely a performance property (asserted by the equivalence suite).
+pub fn astar_in<Sp, O>(
+    space: &Sp,
+    start: Sp::State,
+    goal: Sp::State,
+    config: &AstarConfig,
+    oracle: &mut O,
+    scratch: &mut SearchScratch<Sp::State>,
+) -> SearchResult<Sp::State>
+where
+    Sp: SearchSpace,
+    O: CollisionOracle<Sp>,
+{
+    let n = space.state_count();
+    let mut stats = SearchStats { scratch_reused: scratch.begin(n), ..Default::default() };
+    let epoch = scratch.epoch();
+    // Disjoint field borrows so the oracle/space calls can run while slot
+    // arrays are live.
+    let SearchScratch {
+        g,
+        g_stamp,
+        parent,
+        state_of,
+        closed_stamp,
+        open,
+        neigh,
+        demand,
+        demand_edges,
+        free,
+        ..
+    } = scratch;
+    let mut expansion_order = Vec::new();
+
+    let done = |stats: SearchStats, order: Vec<Sp::State>, termination: Termination| SearchResult {
+        path: None,
+        cost: f64::INFINITY,
+        stats,
+        expansion_order: order,
+        termination,
+    };
+    let poll_every = config.poll_interval.max(1);
+
+    let (Some(start_idx), Some(goal_idx)) = (space.index(start), space.index(goal)) else {
+        return done(stats, expansion_order, Termination::Exhausted);
+    };
+    // Check the start state itself.
+    let start_ctx = ExpansionContext { expanded: start, parent: None, expansion: 0 };
+    stats.demand_checks += 1;
+    free.clear();
+    demand.clear();
+    demand.push(start);
+    oracle.resolve_into(&start_ctx, demand, free);
+    if !free[0] {
+        return done(stats, expansion_order, Termination::Exhausted);
+    }
+    let _ = goal_idx;
+
+    g_stamp[start_idx] = epoch;
+    g[start_idx] = 0.0;
+    parent[start_idx] = NO_PARENT;
+    state_of[start_idx] = Some(start);
+    open.push(start_idx as u32, config.weight * space.heuristic(start, goal), 0.0);
+    stats.open_pushes += 1;
+    stats.peak_open = 1;
+
+    while let Some((slot, _f, gv)) = open.pop() {
+        let idx = slot as usize;
+        // Lazy deletion: an entry is stale once its slot is closed or its g
+        // was improved after the push (same freshness rule as the scalar
+        // open list, so the surviving pop sequence is identical).
+        let cur_g = if g_stamp[idx] == epoch { g[idx] } else { f64::INFINITY };
+        if closed_stamp[idx] == epoch || (gv - cur_g).abs() >= 1e-9 {
+            stats.stale_pops += 1;
+            continue;
+        }
+        let s = state_of[idx].expect("pushed states are recorded");
+        closed_stamp[idx] = epoch;
+        stats.expansions += 1;
+        if config.record_expansions {
+            expansion_order.push(s);
+        }
+        if idx == goal_idx {
+            // Reconstruct path by walking parent slots.
+            let mut path = vec![s];
+            let mut cur = idx;
+            while parent[cur] != NO_PARENT {
+                cur = parent[cur] as usize;
+                path.push(state_of[cur].expect("parents were expanded"));
+            }
+            path.reverse();
+            return SearchResult {
+                path: Some(path),
+                cost: gv,
+                stats,
+                expansion_order,
+                termination: Termination::Found,
+            };
+        }
+        if stats.expansions >= config.max_expansions {
+            return done(stats, expansion_order, Termination::ExpansionBudget);
+        }
+        // Poll the interrupt once per batch of expansions; uninterrupted
+        // runs pay one predictable branch here and nothing else changes,
+        // so expansion order stays bit-identical to the baseline.
+        if let Some(interrupt) = &config.interrupt {
+            if stats.expansions.is_multiple_of(poll_every) {
+                if let Some(reason) = interrupt.check() {
+                    return done(stats, expansion_order, Termination::Interrupted(reason));
+                }
+            }
+        }
+
+        // Gather eligible-neighbor candidates: unvisited and in-space.
+        neigh.clear();
+        space.neighbors(s, neigh);
+        demand.clear();
+        demand_edges.clear();
+        for &(ns, cost) in neigh.iter() {
+            match space.index(ns) {
+                Some(ni) if closed_stamp[ni] != epoch => {
+                    demand.push(ns);
+                    demand_edges.push(cost);
+                }
+                _ => {}
+            }
+        }
+
+        // Issue demand collision checks (the oracle may overlap speculative
+        // work here — Algorithm 1 lines 03–18).
+        let parent_state =
+            if parent[idx] == NO_PARENT { None } else { state_of[parent[idx] as usize] };
+        let ctx =
+            ExpansionContext { expanded: s, parent: parent_state, expansion: stats.expansions - 1 };
+        free.clear();
+        if !demand.is_empty() {
+            oracle.resolve_into(&ctx, demand, free);
+        }
+        debug_assert_eq!(free.len(), demand.len(), "oracle must answer every demand state");
+        stats.demand_checks += demand.len() as u64;
+        if config.record_demand_profile {
+            stats.demand_checks_per_expansion.push(demand.len() as u32);
+        }
+
+        // Evaluate free neighbors (lines 19–21).
+        for ((ns, edge), ok) in demand.iter().zip(demand_edges.iter()).zip(free.iter()) {
+            if !ok {
+                continue;
+            }
+            let ni = space.index(*ns).expect("demand states are in-space");
+            let ng = gv + edge;
+            let cur = if g_stamp[ni] == epoch { g[ni] } else { f64::INFINITY };
+            if ng + 1e-12 < cur {
+                g_stamp[ni] = epoch;
+                g[ni] = ng;
+                parent[ni] = slot;
+                state_of[ni] = Some(*ns);
+                open.push(ni as u32, ng + config.weight * space.heuristic(*ns, goal), ng);
+                stats.open_pushes += 1;
+                stats.peak_open = stats.peak_open.max(open.len() as u64);
+            }
+        }
+    }
+    done(stats, expansion_order, Termination::Exhausted)
+}
+
+/// The pre-arena engine, kept verbatim as the equivalence oracle: per-plan
+/// `Vec` allocation, the scalar f64-keyed [`OpenList`], per-expansion
+/// demand `Vec`s. The property suite asserts [`astar_in`] reproduces its
+/// expansion order, path, and cost bit-for-bit.
+pub fn astar_reference<Sp, O>(
+    space: &Sp,
+    start: Sp::State,
+    goal: Sp::State,
+    config: &AstarConfig,
+    oracle: &mut O,
+) -> SearchResult<Sp::State>
+where
+    Sp: SearchSpace,
+    O: CollisionOracle<Sp>,
+{
     let n = space.state_count();
     let mut g = vec![f64::INFINITY; n];
     let mut visited = vec![false; n];
@@ -188,13 +379,19 @@ where
     g[start_idx] = 0.0;
     open.push(start_idx, config.weight * space.heuristic(start, goal), 0.0);
     stats.open_pushes += 1;
+    stats.peak_open = 1;
     // Reverse map: dense index → state, filled as states are touched.
     let mut state_of: Vec<Option<Sp::State>> = vec![None; n];
     state_of[start_idx] = Some(start);
 
     let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
-    while let Some((idx, _f, gv)) = open.pop(|&(i, _, pg)| !visited[i] && (pg - g[i]).abs() < 1e-9)
-    {
+    while let Some((idx, _f, gv)) = open.pop(|&(i, _, pg)| {
+        let fresh = !visited[i] && (pg - g[i]).abs() < 1e-9;
+        if !fresh {
+            stats.stale_pops += 1;
+        }
+        fresh
+    }) {
         let s = state_of[idx].expect("pushed states are recorded");
         visited[idx] = true;
         stats.expansions += 1;
@@ -221,9 +418,6 @@ where
         if stats.expansions >= config.max_expansions {
             return done(stats, expansion_order, Termination::ExpansionBudget);
         }
-        // Poll the interrupt once per batch of expansions; uninterrupted
-        // runs pay one predictable branch here and nothing else changes,
-        // so expansion order stays bit-identical to the baseline.
         if let Some(interrupt) = &config.interrupt {
             if stats.expansions % poll_every == 0 {
                 if let Some(reason) = interrupt.check() {
@@ -271,6 +465,7 @@ where
                 state_of[ni] = Some(*ns);
                 open.push(ni, ng + config.weight * space.heuristic(*ns, goal), ng);
                 stats.open_pushes += 1;
+                stats.peak_open = stats.peak_open.max(open.len() as u64);
             }
         }
     }

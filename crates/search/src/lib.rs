@@ -44,14 +44,16 @@ pub mod open_list;
 pub mod oracle;
 pub mod pase;
 pub mod path;
+pub mod scratch;
 pub mod space;
 pub mod stats;
 
-pub use astar::{astar, AstarConfig, SearchResult, Termination};
+pub use astar::{astar, astar_in, astar_reference, AstarConfig, SearchResult, Termination};
 pub use distance_field::DistanceField;
 pub use heuristics::{Heuristic2, Heuristic3};
 pub use interrupt::{Interrupt, InterruptReason};
 pub use oracle::{CollisionOracle, Direction, ExpansionContext, FnOracle};
-pub use pase::{pase, PaseConfig, PaseResult};
+pub use pase::{pase, pase_in, PaseConfig, PaseResult};
+pub use scratch::{IntHeap, SearchScratch};
 pub use space::{Connectivity2, Connectivity3, GridSpace2, GridSpace3, SearchSpace};
 pub use stats::SearchStats;

@@ -69,7 +69,15 @@ impl OpenList {
     }
 
     /// Pushes (or re-pushes with a better key) a state.
+    ///
+    /// `Entry::cmp` maps incomparable (NaN) keys to `Ordering::Equal`,
+    /// which would silently scramble the heap order; a NaN heuristic must
+    /// fail loudly here instead (debug builds assert).
     pub fn push(&mut self, index: usize, f: f64, g: f64) {
+        debug_assert!(
+            f.is_finite() && g.is_finite(),
+            "open-list keys must be finite: f={f}, g={g}"
+        );
         self.seq += 1;
         self.heap.push(Entry { f, g, seq: self.seq, index });
     }
@@ -157,6 +165,22 @@ mod tests {
         open.push(1, 1.0, 0.0);
         assert_eq!(open.len(), 1);
         assert_eq!(open.peek_f(), Some(1.0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "finite")]
+    fn nan_key_is_rejected_at_push() {
+        let mut open = OpenList::new();
+        open.push(0, f64::NAN, 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "finite")]
+    fn infinite_g_is_rejected_at_push() {
+        let mut open = OpenList::new();
+        open.push(0, 1.0, f64::INFINITY);
     }
 
     #[test]

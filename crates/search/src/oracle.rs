@@ -83,6 +83,21 @@ pub trait CollisionOracle<Sp: SearchSpace> {
     /// Resolves the collision status of `demand` states for the expansion
     /// described by `ctx`. Must return one entry per demand state, in order.
     fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool>;
+
+    /// Like [`CollisionOracle::resolve`], but writes the verdicts into a
+    /// caller-owned buffer (cleared first) so the allocation-free engine
+    /// can reuse one buffer across every expansion. The default delegates
+    /// to `resolve`; hot oracles override it to skip the intermediate
+    /// `Vec`.
+    fn resolve_into(
+        &mut self,
+        ctx: &ExpansionContext<Sp::State>,
+        demand: &[Sp::State],
+        out: &mut Vec<bool>,
+    ) {
+        out.clear();
+        out.extend(self.resolve(ctx, demand));
+    }
 }
 
 /// A baseline oracle wrapping a plain function of one state.
@@ -125,6 +140,17 @@ where
     fn resolve(&mut self, _ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
         self.checks += demand.len() as u64;
         demand.iter().map(|&s| (self.f)(s)).collect()
+    }
+
+    fn resolve_into(
+        &mut self,
+        _ctx: &ExpansionContext<Sp::State>,
+        demand: &[Sp::State],
+        out: &mut Vec<bool>,
+    ) {
+        self.checks += demand.len() as u64;
+        out.clear();
+        out.extend(demand.iter().map(|&s| (self.f)(s)));
     }
 }
 

@@ -12,9 +12,9 @@
 //! out). The Fig 13 platform models consume these profiles.
 
 use crate::oracle::{CollisionOracle, ExpansionContext};
+use crate::scratch::{SearchScratch, NO_PARENT};
 use crate::space::SearchSpace;
 use crate::stats::SearchStats;
-use std::collections::HashMap;
 
 /// PA*SE configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,13 +84,54 @@ where
     Sp: SearchSpace,
     O: CollisionOracle<Sp>,
 {
+    let mut scratch = SearchScratch::new();
+    pase_in(space, start, goal, config, oracle, &mut scratch)
+}
+
+/// [`pase`] running inside a caller-owned [`SearchScratch`].
+///
+/// The OPEN set lives in the arena as an exact indexed membership list
+/// (stamp + position arrays, O(1) insert/remove) instead of a per-plan
+/// `HashMap`, and the per-wave candidate/wave/demand buffers are owned by
+/// the scratch — the main loop is allocation-free in the steady state.
+/// Candidates are still ranked by `(f, index)` before claiming, so wave
+/// composition is unchanged from the map-based implementation.
+pub fn pase_in<Sp, O>(
+    space: &Sp,
+    start: Sp::State,
+    goal: Sp::State,
+    config: &PaseConfig,
+    oracle: &mut O,
+    scratch: &mut SearchScratch<Sp::State>,
+) -> PaseResult<Sp::State>
+where
+    Sp: SearchSpace,
+    O: CollisionOracle<Sp>,
+{
     assert!(config.weight >= 1.0, "heuristic weight must be >= 1");
     assert!(config.threads >= 1, "at least one thread");
     let n = space.state_count();
-    let mut g = vec![f64::INFINITY; n];
-    let mut visited = vec![false; n];
-    let mut parent: Vec<Option<Sp::State>> = vec![None; n];
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats { scratch_reused: scratch.begin(n), ..Default::default() };
+    scratch.ensure_pase(n);
+    let epoch = scratch.epoch();
+    let SearchScratch {
+        g,
+        g_stamp,
+        parent,
+        state_of,
+        closed_stamp,
+        neigh,
+        demand,
+        demand_edges,
+        free,
+        open_stamp,
+        open_f,
+        open_pos,
+        open_slots,
+        candidates,
+        wave,
+        ..
+    } = scratch;
     let mut wave_sizes = Vec::new();
     let mut independence_tests = 0u64;
 
@@ -107,22 +148,47 @@ where
     };
     let ctx0 = ExpansionContext { expanded: start, parent: None, expansion: 0 };
     stats.demand_checks += 1;
-    if !oracle.resolve(&ctx0, &[start])[0] {
+    free.clear();
+    demand.clear();
+    demand.push(start);
+    oracle.resolve_into(&ctx0, demand, free);
+    if !free[0] {
         return unreachable(stats, wave_sizes, independence_tests);
     }
 
-    // OPEN as a map idx → (f, g, state); rebuilt-scan per wave. This is a
-    // functional model, not a performance-tuned implementation.
-    let mut open: HashMap<usize, (f64, f64, Sp::State)> = HashMap::new();
+    g_stamp[start_idx] = epoch;
     g[start_idx] = 0.0;
-    open.insert(start_idx, (config.weight * space.heuristic(start, goal), 0.0, start));
+    parent[start_idx] = NO_PARENT;
+    state_of[start_idx] = Some(start);
+    open_stamp[start_idx] = epoch;
+    open_f[start_idx] = config.weight * space.heuristic(start, goal);
+    open_pos[start_idx] = 0;
+    open_slots.push(start_idx as u32);
     stats.open_pushes += 1;
+    stats.peak_open = 1;
 
-    let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
-    while !open.is_empty() {
-        // Collect the window of lowest-f candidates.
-        let mut candidates: Vec<(usize, f64, f64, Sp::State)> =
-            open.iter().map(|(&i, &(f, gv, s))| (i, f, gv, s)).collect();
+    // O(1) exact removal from the OPEN membership list.
+    macro_rules! open_remove {
+        ($idx:expr) => {{
+            let idx = $idx;
+            open_stamp[idx] = 0;
+            let pos = open_pos[idx] as usize;
+            let last = open_slots.pop().expect("slot was in OPEN");
+            if pos < open_slots.len() {
+                open_slots[pos] = last;
+                open_pos[last as usize] = pos as u32;
+            } else {
+                debug_assert_eq!(last as usize, idx);
+            }
+        }};
+    }
+
+    while !open_slots.is_empty() {
+        // Collect the window of lowest-(f, index) candidates. The
+        // membership list is unordered, but the (f, index) rank is a total
+        // order, so the sorted window is deterministic.
+        candidates.clear();
+        candidates.extend(open_slots.iter().map(|&i| (i, open_f[i as usize], g[i as usize])));
         candidates.sort_by(|a, b| {
             a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
@@ -130,16 +196,18 @@ where
 
         // Claim independent states: s is safe if, for every candidate s'
         // ahead of it (smaller key), g(s) ≤ g(s') + ε·h(s', s).
-        let mut wave: Vec<(usize, f64, Sp::State)> = Vec::new();
-        for (pos, &(i, _f, gv, s)) in candidates.iter().enumerate() {
+        wave.clear();
+        for (pos, &(i, _f, gv)) in candidates.iter().enumerate() {
             if wave.len() >= config.threads {
                 break;
             }
+            let s = state_of[i as usize].expect("OPEN slots carry states");
             let mut independent = true;
-            for &(j, _, gj, sj) in &candidates[..pos] {
+            for &(j, _, gj) in &candidates[..pos] {
                 if j == i {
                     continue;
                 }
+                let sj = state_of[j as usize].expect("OPEN slots carry states");
                 independence_tests += 1;
                 if gv > gj + config.weight * space.pair_heuristic(sj, s) + 1e-12 {
                     independent = false;
@@ -147,30 +215,34 @@ where
                 }
             }
             if independent {
-                wave.push((i, gv, s));
+                wave.push((i, gv));
             }
         }
         if wave.is_empty() {
             // The head of OPEN is always independent of itself.
-            let &(i, _f, gv, s) = candidates.first().expect("open non-empty");
-            wave.push((i, gv, s));
+            let &(i, _f, gv) = candidates.first().expect("open non-empty");
+            wave.push((i, gv));
         }
         wave_sizes.push(wave.len() as u32);
 
         // Expand the wave.
-        for &(idx, gv, s) in &wave {
-            open.remove(&idx);
-            if visited[idx] {
+        for &(slot, gv) in wave.iter() {
+            let idx = slot as usize;
+            let s = state_of[idx].expect("OPEN slots carry states");
+            if open_stamp[idx] == epoch {
+                open_remove!(idx);
+            }
+            if closed_stamp[idx] == epoch {
                 continue;
             }
-            visited[idx] = true;
+            closed_stamp[idx] = epoch;
             stats.expansions += 1;
             if idx == goal_idx {
                 let mut path = vec![s];
                 let mut cur = idx;
-                while let Some(p) = parent[cur] {
-                    path.push(p);
-                    cur = space.index(p).expect("parents are in-space");
+                while parent[cur] != NO_PARENT {
+                    cur = parent[cur] as usize;
+                    path.push(state_of[cur].expect("parents were expanded"));
                 }
                 path.reverse();
                 return PaseResult {
@@ -186,35 +258,49 @@ where
             }
 
             neigh.clear();
-            space.neighbors(s, &mut neigh);
-            let mut demand: Vec<Sp::State> = Vec::new();
-            let mut edges: Vec<f64> = Vec::new();
-            for &(ns, cost) in &neigh {
+            space.neighbors(s, neigh);
+            demand.clear();
+            demand_edges.clear();
+            for &(ns, cost) in neigh.iter() {
                 if let Some(ni) = space.index(ns) {
-                    if !visited[ni] {
+                    if closed_stamp[ni] != epoch {
                         demand.push(ns);
-                        edges.push(cost);
+                        demand_edges.push(cost);
                     }
                 }
             }
+            let parent_state =
+                if parent[idx] == NO_PARENT { None } else { state_of[parent[idx] as usize] };
             let ctx = ExpansionContext {
                 expanded: s,
-                parent: parent[idx],
+                parent: parent_state,
                 expansion: stats.expansions - 1,
             };
-            let free = if demand.is_empty() { Vec::new() } else { oracle.resolve(&ctx, &demand) };
+            free.clear();
+            if !demand.is_empty() {
+                oracle.resolve_into(&ctx, demand, free);
+            }
             stats.demand_checks += demand.len() as u64;
-            for ((ns, edge), ok) in demand.iter().zip(&edges).zip(&free) {
+            for ((ns, edge), ok) in demand.iter().zip(demand_edges.iter()).zip(free.iter()) {
                 if !ok {
                     continue;
                 }
                 let ni = space.index(*ns).expect("demand states are in-space");
                 let ng = gv + edge;
-                if ng + 1e-12 < g[ni] {
+                let cur = if g_stamp[ni] == epoch { g[ni] } else { f64::INFINITY };
+                if ng + 1e-12 < cur {
+                    g_stamp[ni] = epoch;
                     g[ni] = ng;
-                    parent[ni] = Some(s);
-                    open.insert(ni, (ng + config.weight * space.heuristic(*ns, goal), ng, *ns));
+                    parent[ni] = slot;
+                    state_of[ni] = Some(*ns);
+                    open_f[ni] = ng + config.weight * space.heuristic(*ns, goal);
+                    if open_stamp[ni] != epoch {
+                        open_stamp[ni] = epoch;
+                        open_pos[ni] = open_slots.len() as u32;
+                        open_slots.push(ni as u32);
+                    }
                     stats.open_pushes += 1;
+                    stats.peak_open = stats.peak_open.max(open_slots.len() as u64);
                 }
             }
         }

@@ -17,6 +17,12 @@ pub struct SearchStats {
     pub open_pushes: u64,
     /// Nodes popped from OPEN but skipped as stale/visited.
     pub stale_pops: u64,
+    /// Largest OPEN-list population observed (including stale entries) —
+    /// the search's working-set high-water mark.
+    pub peak_open: u64,
+    /// Whether this run reused a warm [`crate::SearchScratch`] (false for
+    /// per-plan allocation). Diagnostic only: reuse never changes results.
+    pub scratch_reused: bool,
     /// Per-expansion demand check counts, recorded when enabled.
     pub demand_checks_per_expansion: Vec<u32>,
 }

@@ -1,0 +1,123 @@
+//! Acceptance: the arena-backed engine is bit-identical to the retained
+//! reference engine — same expansion order, same path, same cost bits — and
+//! stays that way when one scratch arena is reused across many plans over
+//! mixed maps, sizes, weights, and an epoch-counter wraparound.
+
+use proptest::prelude::*;
+use racod_geom::Cell2;
+use racod_grid::gen::random_map;
+use racod_grid::Occupancy2;
+use racod_search::{
+    astar_in, astar_reference, pase, pase_in, AstarConfig, FnOracle, GridSpace2, PaseConfig,
+    SearchScratch,
+};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// One hundred randomized plans through a single reused scratch arena, each
+/// checked bit-for-bit against a fresh run of the pre-change reference
+/// engine. Maps, sizes, and weights vary plan to plan (so the arena grows,
+/// shrinks its live region, and re-serves slots stamped by earlier plans),
+/// and the epoch counter is forced to the brink of wraparound mid-sequence.
+#[test]
+fn reused_scratch_is_bit_identical_to_reference_across_100_plans() {
+    let mut rng = 0x5eed_u64;
+    let mut scratch = SearchScratch::new();
+    let sizes = [(24u32, 24u32), (48, 32), (33, 17), (64, 64), (9, 40)];
+    for plan in 0..100u32 {
+        if plan == 50 {
+            // Two plans from wrapping: plans 51 and 52 cross the 2^32 epoch
+            // boundary, exercising the full stamp reset.
+            scratch.force_epoch(u32::MAX - 1);
+        }
+        let (w, h) = sizes[(lcg(&mut rng) % sizes.len() as u64) as usize];
+        let density = (lcg(&mut rng) % 30) as f64 / 100.0;
+        let weight = 1.0 + (lcg(&mut rng) % 4) as f64 * 0.5;
+        let grid = random_map(lcg(&mut rng), w, h, density);
+        let space = GridSpace2::eight_connected(w, h);
+        let s = Cell2::new((lcg(&mut rng) % w as u64 / 4) as i64, 0);
+        let g = Cell2::new(w as i64 - 1, h as i64 - 1);
+        let config = AstarConfig { weight, record_expansions: true, ..AstarConfig::default() };
+
+        let mut o1 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let warm = astar_in(&space, s, g, &config, &mut o1, &mut scratch);
+        let mut o2 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let reference = astar_reference(&space, s, g, &config, &mut o2);
+
+        assert_eq!(
+            warm.expansion_order, reference.expansion_order,
+            "plan {plan}: expansion order diverged ({w}x{h}, density {density}, w {weight})"
+        );
+        assert_eq!(warm.path, reference.path, "plan {plan}: path diverged");
+        assert_eq!(
+            warm.cost.to_bits(),
+            reference.cost.to_bits(),
+            "plan {plan}: cost bits diverged ({} vs {})",
+            warm.cost,
+            reference.cost
+        );
+        assert_eq!(warm.stats.expansions, reference.stats.expansions, "plan {plan}");
+        assert_eq!(warm.termination, reference.termination, "plan {plan}");
+        assert_eq!(warm.stats.scratch_reused, plan > 0, "plan {plan}: warmth flag");
+    }
+}
+
+/// PA*SE through a reused arena matches a fresh-allocation run exactly:
+/// same waves, same path, same cost bits, across mixed maps and thread
+/// counts.
+#[test]
+fn reused_scratch_pase_matches_fresh_allocation() {
+    let mut rng = 0xbeef_u64;
+    let mut scratch = SearchScratch::new();
+    for plan in 0..40u32 {
+        if plan == 20 {
+            scratch.force_epoch(u32::MAX - 1);
+        }
+        let w = 16 + (lcg(&mut rng) % 24) as u32;
+        let h = 16 + (lcg(&mut rng) % 24) as u32;
+        let grid = random_map(lcg(&mut rng), w, h, 0.2);
+        let space = GridSpace2::eight_connected(w, h);
+        let (s, g) = (Cell2::new(0, 0), Cell2::new(w as i64 - 1, h as i64 - 1));
+        let config = PaseConfig {
+            weight: 1.5,
+            threads: 1 + (lcg(&mut rng) % 8) as usize,
+            ..PaseConfig::default()
+        };
+
+        let mut o1 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let warm = pase_in(&space, s, g, &config, &mut o1, &mut scratch);
+        let mut o2 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let fresh = pase(&space, s, g, &config, &mut o2);
+
+        assert_eq!(warm.path, fresh.path, "plan {plan}: path diverged");
+        assert_eq!(warm.cost.to_bits(), fresh.cost.to_bits(), "plan {plan}: cost bits");
+        assert_eq!(warm.wave_sizes, fresh.wave_sizes, "plan {plan}: wave shapes diverged");
+        assert_eq!(warm.stats.expansions, fresh.stats.expansions, "plan {plan}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Single-plan equivalence over the randomized map space: the arena
+    /// engine and the reference engine agree bit-for-bit from a cold start
+    /// too, for plain and weighted A*.
+    #[test]
+    fn arena_engine_matches_reference(seed in 0u64..5000, density in 0.0f64..0.35, eps in 1.0f64..3.0) {
+        let grid = random_map(seed, 24, 24, density);
+        let space = GridSpace2::eight_connected(24, 24);
+        let (s, g) = (Cell2::new(0, 0), Cell2::new(23, 23));
+        let config = AstarConfig { weight: eps, record_expansions: true, ..AstarConfig::default() };
+        let mut o1 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let arena = racod_search::astar(&space, s, g, &config, &mut o1);
+        let mut o2 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let reference = astar_reference(&space, s, g, &config, &mut o2);
+        prop_assert_eq!(arena.expansion_order, reference.expansion_order);
+        prop_assert_eq!(arena.path, reference.path);
+        prop_assert_eq!(arena.cost.to_bits(), reference.cost.to_bits());
+        prop_assert_eq!(arena.stats.expansions, reference.stats.expansions);
+    }
+}

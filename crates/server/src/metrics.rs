@@ -139,6 +139,17 @@ pub struct ServerMetrics {
     pub template_hits: AtomicU64,
     /// Collision-check template lookups that compiled a new template.
     pub template_misses: AtomicU64,
+    /// Searches that began on a warm (reused) scratch arena — the
+    /// allocation-free steady state.
+    pub scratch_reuses: AtomicU64,
+    /// Searches whose scratch arena had to cold-start (first use on a
+    /// worker, or growth to a larger state space).
+    pub scratch_cold_starts: AtomicU64,
+    /// Stale open-list pops discarded across all searches (lazy-deletion
+    /// overhead of the integer-keyed heap).
+    pub stale_pops: AtomicU64,
+    /// Largest open-list population observed in any single search.
+    pub peak_open: AtomicU64,
     /// Current number of admitted-but-unfinished requests.
     pub in_system: AtomicU64,
     /// Time from submission to dispatch.
@@ -203,6 +214,10 @@ impl ServerMetrics {
         let _ = writeln!(out, "racod_server_affinity_misses {}", c(&self.affinity_misses));
         let _ = writeln!(out, "racod_server_template_hits {}", c(&self.template_hits));
         let _ = writeln!(out, "racod_server_template_misses {}", c(&self.template_misses));
+        let _ = writeln!(out, "racod_server_scratch_reuses {}", c(&self.scratch_reuses));
+        let _ = writeln!(out, "racod_server_scratch_cold_starts {}", c(&self.scratch_cold_starts));
+        let _ = writeln!(out, "racod_server_stale_pops {}", c(&self.stale_pops));
+        let _ = writeln!(out, "racod_server_peak_open {}", c(&self.peak_open));
         let _ = writeln!(out, "racod_server_in_system {}", c(&self.in_system));
         for (name, h) in
             [("queue_wait", &self.queue_wait), ("service", &self.service), ("total", &self.total)]
@@ -304,6 +319,20 @@ mod tests {
         assert!(text.contains("racod_server_submitted 3"));
         assert!(text.contains("racod_server_total_count 1"));
         assert!(text.contains("racod_server_total_p99_us"));
+    }
+
+    #[test]
+    fn search_scratch_keys_render() {
+        let m = ServerMetrics::new();
+        m.scratch_reuses.fetch_add(7, Ordering::Relaxed);
+        m.scratch_cold_starts.fetch_add(2, Ordering::Relaxed);
+        m.stale_pops.fetch_add(11, Ordering::Relaxed);
+        m.peak_open.fetch_max(93, Ordering::Relaxed);
+        let text = m.render_text();
+        assert!(text.contains("racod_server_scratch_reuses 7"));
+        assert!(text.contains("racod_server_scratch_cold_starts 2"));
+        assert!(text.contains("racod_server_stale_pops 11"));
+        assert!(text.contains("racod_server_peak_open 93"));
     }
 
     #[test]

@@ -16,10 +16,12 @@ use crossbeam::channel::Receiver;
 use racod_codacc::{template_check_2d, template_check_3d, CodaccPool};
 use racod_geom::{Cell2, Cell3};
 use racod_parallel::{ParallelConfig, ParallelPlanner, WorkerPool};
-use racod_search::{GridSpace2, GridSpace3, Interrupt, InterruptReason, Termination};
+use racod_search::{
+    GridSpace2, GridSpace3, Interrupt, InterruptReason, SearchScratch, SearchStats, Termination,
+};
 use racod_sim::planner::{
-    plan_racod_2d_pooled, plan_racod_3d_pooled, plan_software_2d, plan_software_3d, Scenario2,
-    Scenario3,
+    plan_racod_2d_pooled_in, plan_racod_3d_pooled_in, plan_software_2d_in, plan_software_3d_in,
+    Scenario2, Scenario3,
 };
 use racod_sim::{CostModel, TemplateStats};
 use std::collections::HashMap;
@@ -41,6 +43,13 @@ struct WarmState {
     pools: HashMap<(MapId, usize), CodaccPool>,
     check_pools2: HashMap<usize, Arc<WorkerPool<Cell2>>>,
     check_pools3: HashMap<usize, Arc<WorkerPool<Cell3>>>,
+    /// Epoch-stamped search arenas reused across every request this worker
+    /// serves: after the first plan on the largest map, the steady-state
+    /// search allocates nothing. A panicking request discards the whole
+    /// `WarmState` with the dying loop, so a poisoned arena never leaks
+    /// into a later search.
+    scratch2: SearchScratch<Cell2>,
+    scratch3: SearchScratch<Cell3>,
 }
 
 impl WarmState {
@@ -49,6 +58,8 @@ impl WarmState {
             pools: HashMap::new(),
             check_pools2: HashMap::new(),
             check_pools3: HashMap::new(),
+            scratch2: SearchScratch::new(),
+            scratch3: SearchScratch::new(),
         }
     }
 
@@ -260,15 +271,28 @@ fn execute(
             sc.goal = *goal;
             match platform {
                 Platform::SimSoftware { threads, runahead } => {
-                    let out = plan_software_2d(&sc, threads, runahead, &CostModel::i3_software());
+                    let out = plan_software_2d_in(
+                        &sc,
+                        threads,
+                        runahead,
+                        &CostModel::i3_software(),
+                        &mut warm.scratch2,
+                    );
                     record_tstats(metrics, out.tstats);
+                    record_sstats(metrics, &out.result.stats);
                     planned2(out, false)
                 }
                 Platform::Racod { units } => {
                     let (mut pool, was_warm) = warm.take(&sc_map_id(entry), units);
-                    let out = plan_racod_2d_pooled(&sc, &mut pool, &CostModel::racod());
+                    let out = plan_racod_2d_pooled_in(
+                        &sc,
+                        &mut pool,
+                        &CostModel::racod(),
+                        &mut warm.scratch2,
+                    );
                     warm.put_back(&sc_map_id(entry), units, pool);
                     record_tstats(metrics, out.tstats);
+                    record_sstats(metrics, &out.result.stats);
                     planned2(out, was_warm)
                 }
                 Platform::Threads { threads, runahead } => {
@@ -295,7 +319,8 @@ fn execute(
                         racod_grid::Occupancy2::width(sc.grid),
                         racod_grid::Occupancy2::height(sc.grid),
                     );
-                    let run = planner.plan_config(&space, *start, *goal, &astar);
+                    let run =
+                        planner.plan_config_in(&space, *start, *goal, &astar, &mut warm.scratch2);
                     record_tstats(
                         metrics,
                         TemplateStats {
@@ -303,6 +328,7 @@ fn execute(
                             misses: misses.load(Ordering::Relaxed),
                         },
                     );
+                    record_sstats(metrics, &run.result.stats);
                     (
                         Planned {
                             path: PlannedPath::P2(run.result.path),
@@ -327,15 +353,28 @@ fn execute(
             sc.goal = *goal;
             match platform {
                 Platform::SimSoftware { threads, runahead } => {
-                    let out = plan_software_3d(&sc, threads, runahead, &CostModel::i3_software());
+                    let out = plan_software_3d_in(
+                        &sc,
+                        threads,
+                        runahead,
+                        &CostModel::i3_software(),
+                        &mut warm.scratch3,
+                    );
                     record_tstats(metrics, out.tstats);
+                    record_sstats(metrics, &out.result.stats);
                     planned3(out, false)
                 }
                 Platform::Racod { units } => {
                     let (mut pool, was_warm) = warm.take(&sc_map_id(entry), units);
-                    let out = plan_racod_3d_pooled(&sc, &mut pool, &CostModel::racod());
+                    let out = plan_racod_3d_pooled_in(
+                        &sc,
+                        &mut pool,
+                        &CostModel::racod(),
+                        &mut warm.scratch3,
+                    );
                     warm.put_back(&sc_map_id(entry), units, pool);
                     record_tstats(metrics, out.tstats);
+                    record_sstats(metrics, &out.result.stats);
                     planned3(out, was_warm)
                 }
                 Platform::Threads { threads, runahead } => {
@@ -360,7 +399,8 @@ fn execute(
                         racod_grid::Occupancy3::size_y(sc.grid),
                         racod_grid::Occupancy3::size_z(sc.grid),
                     );
-                    let run = planner.plan_config(&space, *start, *goal, &astar);
+                    let run =
+                        planner.plan_config_in(&space, *start, *goal, &astar, &mut warm.scratch3);
                     record_tstats(
                         metrics,
                         TemplateStats {
@@ -368,6 +408,7 @@ fn execute(
                             misses: misses.load(Ordering::Relaxed),
                         },
                     );
+                    record_sstats(metrics, &run.result.stats);
                     (
                         Planned {
                             path: PlannedPath::P3(run.result.path),
@@ -398,6 +439,16 @@ fn sc_map_id(entry: &crate::registry::MapEntry) -> MapId {
 fn record_tstats(metrics: &ServerMetrics, t: TemplateStats) {
     metrics.template_hits.fetch_add(t.hits, Ordering::Relaxed);
     metrics.template_misses.fetch_add(t.misses, Ordering::Relaxed);
+}
+
+fn record_sstats(metrics: &ServerMetrics, s: &SearchStats) {
+    if s.scratch_reused {
+        metrics.scratch_reuses.fetch_add(1, Ordering::Relaxed);
+    } else {
+        metrics.scratch_cold_starts.fetch_add(1, Ordering::Relaxed);
+    }
+    metrics.stale_pops.fetch_add(s.stale_pops, Ordering::Relaxed);
+    metrics.peak_open.fetch_max(s.peak_open, Ordering::Relaxed);
 }
 
 fn planned2(out: racod_sim::PlanOutcome<Cell2>, warm: bool) -> (Planned, Termination) {

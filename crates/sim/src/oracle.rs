@@ -89,6 +89,8 @@ where
     clock: u64,
     stall_cycles: u64,
     stats: RasexpStats,
+    /// Reused runahead neighbor buffer (no per-expansion allocation).
+    neigh: Vec<(Sp::State, f64)>,
 }
 
 impl<'a, Sp, C> TimedOracle<'a, Sp, C>
@@ -116,6 +118,7 @@ where
             clock: 0,
             stall_cycles: 0,
             stats: RasexpStats::default(),
+            neigh: Vec::with_capacity(32),
         }
     }
 
@@ -169,13 +172,24 @@ where
     C: TimedChecker<Sp::State>,
 {
     fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(demand.len());
+        self.resolve_into(ctx, demand, &mut out);
+        out
+    }
+
+    fn resolve_into(
+        &mut self,
+        ctx: &ExpansionContext<Sp::State>,
+        demand: &[Sp::State],
+        results: &mut Vec<bool>,
+    ) {
         let stability = self.stability.on_expand(ctx.expanded, ctx.parent);
         self.clock += self.cost.bookkeeping;
         let mut now = self.clock;
         let mut barrier = now;
 
         // Demand states: memo first, then dispatch (lines 03–06).
-        let mut results = Vec::with_capacity(demand.len());
+        results.clear();
         let mut outstanding = 0usize;
         for &s in demand {
             let idx = self.space.index(s);
@@ -214,7 +228,9 @@ where
             if stability >= self.config.stability_threshold {
                 self.stats.predictor_triggers += 1;
                 let chain = self.predictor.predict(ctx.expanded, ctx.parent);
-                let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
+                // Temporarily move the buffer out so `dispatch_check` can
+                // borrow `self` mutably while we iterate it.
+                let mut neigh = std::mem::take(&mut self.neigh);
                 'runahead: for pred_n in chain {
                     neigh.clear();
                     self.space.neighbors(pred_n, &mut neigh);
@@ -235,6 +251,7 @@ where
                         spec_issued_now += 1;
                     }
                 }
+                self.neigh = neigh;
             } else {
                 self.stats.throttled += 1;
             }
@@ -250,7 +267,6 @@ where
 
         self.stats.per_expansion.push((outstanding as u32, spec_issued_now));
         self.stats.spec_used = self.table.spec_used();
-        results
     }
 }
 

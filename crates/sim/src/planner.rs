@@ -13,7 +13,7 @@ use racod_geom::{Cell2, Cell3, FootprintTemplate2, FootprintTemplate3};
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
 use racod_mem::{CacheConfig, CacheStats, LatencyModel};
 use racod_rasexp::RasexpStats;
-use racod_search::{astar, AstarConfig, GridSpace2, GridSpace3, SearchResult};
+use racod_search::{astar_in, AstarConfig, GridSpace2, GridSpace3, SearchResult, SearchScratch};
 use std::sync::Arc;
 
 /// A 2D planning scenario: grid + footprint + endpoints + search config.
@@ -516,6 +516,19 @@ pub fn plan_software_2d(
     runahead: Option<usize>,
     cost: &CostModel,
 ) -> PlanOutcome<Cell2> {
+    plan_software_2d_in(sc, threads, runahead, cost, &mut SearchScratch::new())
+}
+
+/// [`plan_software_2d`] running the search inside a caller-owned
+/// [`SearchScratch`] (warm workers skip per-plan allocation; results are
+/// bit-identical either way).
+pub fn plan_software_2d_in(
+    sc: &Scenario2<'_>,
+    threads: usize,
+    runahead: Option<usize>,
+    cost: &CostModel,
+    scratch: &mut SearchScratch<Cell2>,
+) -> PlanOutcome<Cell2> {
     let checker =
         SwChecker2 { grid: sc.grid, tpls: TemplateSource2::for_scenario(sc), cost: *cost };
     let config = match runahead {
@@ -523,7 +536,7 @@ pub fn plan_software_2d(
         Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
     };
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
-    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
@@ -552,6 +565,21 @@ pub fn plan_racod_2d_ext(
     l0: CacheConfig,
     runahead: bool,
 ) -> PlanOutcome<Cell2> {
+    plan_racod_2d_ext_in(sc, units, cost, latency, l0, runahead, &mut SearchScratch::new())
+}
+
+/// [`plan_racod_2d_ext`] running the search inside a caller-owned
+/// [`SearchScratch`].
+#[allow(clippy::too_many_arguments)]
+pub fn plan_racod_2d_ext_in(
+    sc: &Scenario2<'_>,
+    units: usize,
+    cost: &CostModel,
+    latency: LatencyModel,
+    l0: CacheConfig,
+    runahead: bool,
+    scratch: &mut SearchScratch<Cell2>,
+) -> PlanOutcome<Cell2> {
     let pool = CodaccPool::with_config(
         units,
         CodaccTiming { dispatch_cycles: 0, ..Default::default() },
@@ -571,7 +599,7 @@ pub fn plan_racod_2d_ext(
         TimedOracleConfig::baseline(units)
     };
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
-    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
@@ -596,6 +624,18 @@ pub fn plan_racod_2d_pooled(
     pool: &mut CodaccPool,
     cost: &CostModel,
 ) -> PlanOutcome<Cell2> {
+    plan_racod_2d_pooled_in(sc, pool, cost, &mut SearchScratch::new())
+}
+
+/// [`plan_racod_2d_pooled`] running the search inside a caller-owned
+/// [`SearchScratch`] — the fully warm serving path: pool caches, template
+/// cache, and search arrays all survive across requests.
+pub fn plan_racod_2d_pooled_in(
+    sc: &Scenario2<'_>,
+    pool: &mut CodaccPool,
+    cost: &CostModel,
+    scratch: &mut SearchScratch<Cell2>,
+) -> PlanOutcome<Cell2> {
     let units = pool.units();
     let checker = HwChecker2Pooled {
         grid: sc.grid,
@@ -605,7 +645,7 @@ pub fn plan_racod_2d_pooled(
     };
     let mut oracle =
         TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units));
-    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
@@ -626,6 +666,17 @@ pub fn plan_racod_3d_pooled(
     pool: &mut CodaccPool,
     cost: &CostModel,
 ) -> PlanOutcome<Cell3> {
+    plan_racod_3d_pooled_in(sc, pool, cost, &mut SearchScratch::new())
+}
+
+/// [`plan_racod_3d_pooled`] running the search inside a caller-owned
+/// [`SearchScratch`].
+pub fn plan_racod_3d_pooled_in(
+    sc: &Scenario3<'_>,
+    pool: &mut CodaccPool,
+    cost: &CostModel,
+    scratch: &mut SearchScratch<Cell3>,
+) -> PlanOutcome<Cell3> {
     let units = pool.units();
     let checker = HwChecker3Pooled {
         grid: sc.grid,
@@ -635,7 +686,7 @@ pub fn plan_racod_3d_pooled(
     };
     let mut oracle =
         TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units));
-    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
@@ -655,6 +706,18 @@ pub fn plan_software_3d(
     runahead: Option<usize>,
     cost: &CostModel,
 ) -> PlanOutcome<Cell3> {
+    plan_software_3d_in(sc, threads, runahead, cost, &mut SearchScratch::new())
+}
+
+/// [`plan_software_3d`] running the search inside a caller-owned
+/// [`SearchScratch`].
+pub fn plan_software_3d_in(
+    sc: &Scenario3<'_>,
+    threads: usize,
+    runahead: Option<usize>,
+    cost: &CostModel,
+    scratch: &mut SearchScratch<Cell3>,
+) -> PlanOutcome<Cell3> {
     let checker =
         SwChecker3 { grid: sc.grid, tpls: TemplateSource3::for_scenario(sc), cost: *cost };
     let config = match runahead {
@@ -662,7 +725,7 @@ pub fn plan_software_3d(
         Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
     };
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
-    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
@@ -687,6 +750,19 @@ pub fn plan_racod_3d_ext(
     latency: LatencyModel,
     runahead: bool,
 ) -> PlanOutcome<Cell3> {
+    plan_racod_3d_ext_in(sc, units, cost, latency, runahead, &mut SearchScratch::new())
+}
+
+/// [`plan_racod_3d_ext`] running the search inside a caller-owned
+/// [`SearchScratch`].
+pub fn plan_racod_3d_ext_in(
+    sc: &Scenario3<'_>,
+    units: usize,
+    cost: &CostModel,
+    latency: LatencyModel,
+    runahead: bool,
+    scratch: &mut SearchScratch<Cell3>,
+) -> PlanOutcome<Cell3> {
     let pool = CodaccPool::with_config(
         units,
         CodaccTiming { dispatch_cycles: 0, ..Default::default() },
@@ -706,7 +782,7 @@ pub fn plan_racod_3d_ext(
         TimedOracleConfig::baseline(units)
     };
     let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
-    let result = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
