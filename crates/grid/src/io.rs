@@ -22,6 +22,14 @@ use racod_geom::Cell2;
 use std::error::Error;
 use std::fmt;
 
+/// Largest accepted map, in cells (64M ≈ an 8192x8192 city snapshot).
+///
+/// A `.map` header declares its own dimensions, so a corrupt or malicious
+/// file could ask for a multi-terabyte allocation before a single body row
+/// is read. Ingestion rejects anything above this cap instead of letting
+/// the allocator abort the process.
+pub const MAX_MAP_CELLS: u64 = 1 << 26;
+
 /// Error parsing a Moving AI `.map` file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseMapError {
@@ -36,6 +44,11 @@ pub enum ParseMapError {
     },
     /// An unknown terrain character was encountered.
     UnknownTerrain(char),
+    /// The header declared more than [`MAX_MAP_CELLS`] cells.
+    TooLarge {
+        /// Dimensions declared in the header (width, height).
+        declared: (u32, u32),
+    },
 }
 
 impl fmt::Display for ParseMapError {
@@ -48,6 +61,11 @@ impl fmt::Display for ParseMapError {
                 found.0, found.1, expected.0, expected.1
             ),
             ParseMapError::UnknownTerrain(c) => write!(f, "unknown terrain character {c:?}"),
+            ParseMapError::TooLarge { declared } => write!(
+                f,
+                "declared size {}x{} exceeds the {MAX_MAP_CELLS}-cell ingestion cap",
+                declared.0, declared.1
+            ),
         }
     }
 }
@@ -128,6 +146,9 @@ pub fn parse_map(text: &str) -> Result<BitGrid2, ParseMapError> {
     let width = width.ok_or_else(|| ParseMapError::Header("missing width".into()))?;
     if height == 0 || width == 0 {
         return Err(ParseMapError::Header("zero dimension".into()));
+    }
+    if width as u64 * height as u64 > MAX_MAP_CELLS {
+        return Err(ParseMapError::TooLarge { declared: (width, height) });
     }
 
     let mut grid = BitGrid2::new(width, height);
@@ -263,6 +284,22 @@ mod tests {
     }
 
     #[test]
+    fn oversized_header_is_rejected_without_allocating() {
+        // 2^16 x 2^16 = 2^32 cells, far past the cap: must fail fast
+        // instead of attempting a half-gigabyte allocation.
+        let text = "type octile\nheight 65536\nwidth 65536\nmap\n";
+        assert_eq!(parse_map(text), Err(ParseMapError::TooLarge { declared: (65536, 65536) }));
+    }
+
+    #[test]
+    fn largest_allowed_header_is_not_too_large() {
+        // Exactly at the cap: the size check passes and the (empty) body
+        // fails on dimensions instead.
+        let text = "type octile\nheight 8192\nwidth 8192\nmap\n";
+        assert!(matches!(parse_map(text), Err(ParseMapError::Dimensions { .. })));
+    }
+
+    #[test]
     fn error_messages_are_informative() {
         let e = ParseMapError::UnknownTerrain('x');
         assert!(format!("{e}").contains('x'));
@@ -302,7 +339,9 @@ pub struct Scenario {
 /// # Errors
 ///
 /// Returns [`ParseMapError::Header`] describing the offending line when a
-/// line has the wrong number of fields or an unparsable number.
+/// line has the wrong number of fields, an unparsable number, or a
+/// negative value in an unsigned field, and [`ParseMapError::TooLarge`]
+/// when the declared map size exceeds [`MAX_MAP_CELLS`].
 ///
 /// # Example
 ///
@@ -327,20 +366,26 @@ pub fn parse_scen(text: &str) -> Result<Vec<Scenario>, ParseMapError> {
         if fields.len() != 9 {
             return Err(ParseMapError::Header(line.into()));
         }
-        let num = |i: usize| -> Result<i64, ParseMapError> {
+        // Every integer field in the format is non-negative; parsing them
+        // as u32 rejects sign characters and out-of-range magnitudes in
+        // one step instead of silently wrapping through a cast.
+        let num = |i: usize| -> Result<u32, ParseMapError> {
             fields[i].parse().map_err(|_| ParseMapError::Header(line.into()))
         };
         let fnum = |i: usize| -> Result<f64, ParseMapError> {
             fields[i].parse().map_err(|_| ParseMapError::Header(line.into()))
         };
-        let (w, h) = (num(2)? as u32, num(3)? as u32);
-        let flip = |y: i64| h as i64 - 1 - y;
+        let (w, h) = (num(2)?, num(3)?);
+        if w as u64 * h as u64 > MAX_MAP_CELLS {
+            return Err(ParseMapError::TooLarge { declared: (w, h) });
+        }
+        let flip = |y: u32| h as i64 - 1 - y as i64;
         out.push(Scenario {
-            bucket: num(0)? as u32,
+            bucket: num(0)?,
             map_name: fields[1].to_string(),
             map_size: (w, h),
-            start: Cell2::new(num(4)?, flip(num(5)?)),
-            goal: Cell2::new(num(6)?, flip(num(7)?)),
+            start: Cell2::new(num(4)? as i64, flip(num(5)?)),
+            goal: Cell2::new(num(6)? as i64, flip(num(7)?)),
             optimal_length: fnum(8)?,
         });
     }
@@ -381,6 +426,22 @@ mod scen_tests {
     #[test]
     fn unparsable_number_is_error() {
         assert!(parse_scen("0 map.map 4 4 0 zero 3 3 4.2").is_err());
+    }
+
+    #[test]
+    fn negative_unsigned_field_is_error() {
+        // A signed coordinate must not wrap through a cast into a huge
+        // unsigned value.
+        assert!(parse_scen("0 map.map 4 4 -1 0 3 3 4.2").is_err());
+        assert!(parse_scen("0 map.map -4 4 0 0 3 3 4.2").is_err());
+    }
+
+    #[test]
+    fn oversized_scenario_map_is_rejected() {
+        assert_eq!(
+            parse_scen("0 map.map 65536 65536 0 0 3 3 4.2"),
+            Err(ParseMapError::TooLarge { declared: (65536, 65536) })
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use racod_geom::Cell2;
-use racod_grid::io::{parse_map, write_map};
+use racod_grid::io::{parse_map, parse_scen, write_map, ParseMapError};
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2};
 
 proptest! {
@@ -65,6 +65,97 @@ proptest! {
             }
             None => prop_assert!(!g.in_bounds(c)),
         }
+    }
+
+    // --- ingestion hardening: hostile inputs must return Err, never panic
+    // or allocate unboundedly. The parsers are total functions of the
+    // input text; each case below feeds a different corruption class.
+
+    #[test]
+    fn parse_map_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // Lossy conversion models reading a corrupt file as text: any
+        // result is acceptable, panicking is not.
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_map(&text);
+    }
+
+    #[test]
+    fn parse_scen_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_scen(&text);
+    }
+
+    #[test]
+    fn parse_map_survives_structured_garbage(
+        h in any::<u32>(), w in any::<u32>(),
+        body in prop::collection::vec(any::<u8>(), 0..120),
+    ) {
+        // A plausible header with arbitrary declared dimensions and a
+        // garbage body: must error out (or parse, for tiny dims that the
+        // body happens to satisfy) without aborting on allocation.
+        let text = format!(
+            "type octile\nheight {h}\nwidth {w}\nmap\n{}",
+            String::from_utf8_lossy(&body)
+        );
+        let _ = parse_map(&text);
+    }
+
+    #[test]
+    fn truncated_map_is_error_not_panic(
+        w in 1u32..30, h in 2u32..30,
+        cells in prop::collection::vec((0u32..30, 0u32..30), 0..40),
+        drop in 1u32..40,
+    ) {
+        let mut g = BitGrid2::new(w, h);
+        for (x, y) in cells {
+            g.set(Cell2::new(x as i64 % w as i64, y as i64 % h as i64), true);
+        }
+        let text = write_map(&g);
+        // Drop at least one full body row: the parser must notice the
+        // short body rather than panic or return a misshapen grid.
+        let keep_rows = h - 1 - drop.min(h - 1);
+        let truncated: String = text
+            .lines()
+            .take(4 + keep_rows as usize)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        prop_assert!(matches!(
+            parse_map(&truncated),
+            Err(ParseMapError::Dimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_dims_are_rejected(
+        w in 8192u32..1_000_000, h in 8193u32..1_000_000,
+    ) {
+        // w * h > 2^26 for every pair in these ranges.
+        let text = format!("type octile\nheight {h}\nwidth {w}\nmap\n");
+        prop_assert_eq!(
+            parse_map(&text),
+            Err(ParseMapError::TooLarge { declared: (w, h) })
+        );
+    }
+
+    #[test]
+    fn scen_lines_with_field_mutations_never_panic(
+        field in 0usize..9,
+        replacement in prop::collection::vec(any::<u8>(), 0..12),
+    ) {
+        // Start from a valid line and corrupt one field with raw bytes.
+        let mut fields: Vec<String> = ["0", "city.map", "64", "64", "1", "2", "3", "4", "5.0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let corrupt = String::from_utf8_lossy(&replacement).into_owned();
+        prop_assume!(!corrupt.trim().is_empty() && !corrupt.contains(char::is_whitespace));
+        fields[field] = corrupt;
+        let line = fields.join("\t");
+        let _ = parse_scen(&line);
     }
 
     #[test]

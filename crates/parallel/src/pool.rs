@@ -8,7 +8,7 @@ use racod_search::{
     SearchResult, SearchScratch, SearchSpace, Termination,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -87,6 +87,9 @@ pub struct WorkerPool<S> {
     threads: usize,
     tx: Sender<Job<S>>,
     workers: Vec<JoinHandle<()>>,
+    /// Lifetime count of check closures that panicked (each one poisoned
+    /// its episode). A pool-health signal for serving layers.
+    check_panics: Arc<AtomicU64>,
 }
 
 impl<S: Send + 'static> WorkerPool<S> {
@@ -98,9 +101,11 @@ impl<S: Send + 'static> WorkerPool<S> {
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "at least one worker thread");
         let (tx, rx) = unbounded::<Job<S>>();
+        let check_panics = Arc::new(AtomicU64::new(0));
         let workers = (0..threads)
             .map(|i| {
                 let rx: Receiver<Job<S>> = rx.clone();
+                let check_panics = check_panics.clone();
                 std::thread::Builder::new()
                     .name(format!("racod-check-{i}"))
                     .spawn(move || {
@@ -115,7 +120,10 @@ impl<S: Send + 'static> WorkerPool<S> {
                                         Ok(free) => episode.table.publish(idx, free),
                                         // The verdict can never arrive;
                                         // release anyone waiting on it.
-                                        Err(_) => episode.table.poison(),
+                                        Err(_) => {
+                                            check_panics.fetch_add(1, Ordering::Relaxed);
+                                            episode.table.poison();
+                                        }
                                     }
                                 }
                                 Job::Shutdown => break,
@@ -125,12 +133,17 @@ impl<S: Send + 'static> WorkerPool<S> {
                     .expect("spawn check worker")
             })
             .collect();
-        WorkerPool { threads, tx, workers }
+        WorkerPool { threads, tx, workers, check_panics }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Lifetime count of panicking check closures across all episodes.
+    pub fn check_panics(&self) -> u64 {
+        self.check_panics.load(Ordering::Relaxed)
     }
 }
 
@@ -605,5 +618,8 @@ mod tests {
             ParallelPlanner::with_pool(ParallelConfig::baseline(2), |_c: Cell2| true, pool.clone());
         let run = good.plan(&space, Cell2::new(1, 1), Cell2::new(30, 30));
         assert!(run.result.found(), "pool must stay healthy after a poisoned episode");
+        // The pool remembers that a check died — serving layers read this
+        // as a platform-health signal.
+        assert!(pool.check_panics() >= 1, "check panic must be counted");
     }
 }

@@ -132,9 +132,16 @@ impl StatusTable {
             if self.is_poisoned() {
                 return WaitOutcome::Poisoned;
             }
-            if let Some(i) = interrupt {
-                if let Some(reason) = i.check() {
-                    return WaitOutcome::Interrupted(reason);
+            // Polling the interrupt reads the clock (and runs any attached
+            // probe); during the spin/yield phases that would dominate the
+            // loop, so throttle it to every 16th iteration there. In the
+            // sleep phase each iteration already costs ~50µs, so poll every
+            // time for prompt deadline/cancel noticing.
+            if spins >= 1024 || spins.is_multiple_of(16) {
+                if let Some(i) = interrupt {
+                    if let Some(reason) = i.check() {
+                        return WaitOutcome::Interrupted(reason);
+                    }
                 }
             }
             spins = spins.saturating_add(1);

@@ -8,9 +8,15 @@
 //! [`AstarConfig::poll_interval`](crate::AstarConfig::poll_interval)
 //! expansions, so the per-expansion hot path pays nothing.
 
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A side-effect hook invoked at every interrupt poll (see
+/// [`Interrupt::with_probe`]). Probes observe — and may perturb — a live
+/// search without the engine knowing about them.
+pub type InterruptProbe = Arc<dyn Fn() + Send + Sync>;
 
 /// Why a search (or a wait inside it) was interrupted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,10 +38,11 @@ pub enum InterruptReason {
 /// flag anywhere stops the search at its next poll.
 ///
 /// The default handle carries neither signal and never fires.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Interrupt {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    probe: Option<InterruptProbe>,
 }
 
 impl Interrupt {
@@ -59,6 +66,19 @@ impl Interrupt {
         self
     }
 
+    /// Attaches a probe called on every [`check`](Self::check) — i.e. at
+    /// the search engine's poll cadence and inside interruptible waits.
+    ///
+    /// This is the mid-search instrumentation point for fault injection: a
+    /// probe may sleep (slowing the search until a deadline fires) or panic
+    /// (unwinding out of the search into the caller's isolation boundary).
+    /// Uninstrumented handles pay one `Option` branch per poll, nothing on
+    /// the per-expansion hot path.
+    pub fn with_probe(mut self, probe: InterruptProbe) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// The attached deadline, if any.
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
@@ -74,14 +94,18 @@ impl Interrupt {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
-    /// Whether this handle can ever fire.
+    /// Whether this handle can ever fire (or observe) anything.
     pub fn is_noop(&self) -> bool {
-        self.deadline.is_none() && self.cancel.is_none()
+        self.deadline.is_none() && self.cancel.is_none() && self.probe.is_none()
     }
 
-    /// Polls both signals. Cancellation wins over deadline expiry when both
-    /// hold, since it is the more specific client intent.
+    /// Polls both signals (after running the probe, if any). Cancellation
+    /// wins over deadline expiry when both hold, since it is the more
+    /// specific client intent.
     pub fn check(&self) -> Option<InterruptReason> {
+        if let Some(probe) = &self.probe {
+            probe();
+        }
         if self.cancelled() {
             return Some(InterruptReason::Cancelled);
         }
@@ -93,16 +117,30 @@ impl Interrupt {
 }
 
 /// Handles compare equal when they watch the same signals: equal deadlines
-/// and the *same* cancel flag allocation (pointer identity — two distinct
-/// flags are distinct signals even if both currently read `false`).
+/// and the *same* cancel flag / probe allocations (pointer identity — two
+/// distinct flags are distinct signals even if both currently read `false`).
 impl PartialEq for Interrupt {
     fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline
-            && match (&self.cancel, &other.cancel) {
+        fn same_arc<T: ?Sized>(a: &Option<Arc<T>>, b: &Option<Arc<T>>) -> bool {
+            match (a, b) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
             }
+        }
+        self.deadline == other.deadline
+            && same_arc(&self.cancel, &other.cancel)
+            && same_arc(&self.probe, &other.probe)
+    }
+}
+
+impl fmt::Debug for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interrupt")
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel)
+            .field("probe", &self.probe.as_ref().map(|_| "Fn"))
+            .finish()
     }
 }
 
@@ -151,6 +189,27 @@ mod tests {
             .with_deadline(Instant::now() - Duration::from_millis(1))
             .with_cancel_flag(flag);
         assert_eq!(i.check(), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn probe_runs_on_every_check() {
+        use std::sync::atomic::AtomicU64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let i = Interrupt::new().with_probe(Arc::new(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert!(!i.is_noop(), "a probed handle is observable");
+        assert_eq!(i.check(), None, "a quiet probe does not interrupt");
+        i.check();
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn probe_panics_unwind_out_of_check() {
+        let i = Interrupt::new().with_probe(Arc::new(|| panic!("injected")));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| i.check()));
+        assert!(err.is_err());
     }
 
     #[test]

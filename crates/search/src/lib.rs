@@ -51,7 +51,7 @@ pub mod stats;
 pub use astar::{astar, astar_in, astar_reference, AstarConfig, SearchResult, Termination};
 pub use distance_field::DistanceField;
 pub use heuristics::{Heuristic2, Heuristic3};
-pub use interrupt::{Interrupt, InterruptReason};
+pub use interrupt::{Interrupt, InterruptProbe, InterruptReason};
 pub use oracle::{CollisionOracle, Direction, ExpansionContext, FnOracle};
 pub use pase::{pase, pase_in, PaseConfig, PaseResult};
 pub use scratch::{IntHeap, SearchScratch};

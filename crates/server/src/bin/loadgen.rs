@@ -26,8 +26,8 @@ use racod_geom::{Cell2, Cell3};
 use racod_grid::gen::{campus_3d, city_map, random_map, rooms_map, CityName};
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
 use racod_server::{
-    MapRegistry, Outcome, PlanRequest, PlanServer, Platform, Priority, Rejected, ServerConfig,
-    TimeoutStage,
+    submit_with_retry, MapRegistry, Outcome, PlanRequest, PlanServer, Platform, Priority, Rejected,
+    RetryPolicy, ServerConfig, TimeoutStage,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -284,6 +284,9 @@ struct Tally {
     panicked: AtomicU64,
     lost: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    give_ups: AtomicU64,
     warm: AtomicU64,
     /// Worst observed response lateness past `submit + deadline`, in µs.
     max_overshoot_us: AtomicU64,
@@ -332,6 +335,7 @@ fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &
     std::thread::scope(|scope| {
         let per_client = o.requests / o.clients.max(1);
         let remainder = o.requests - per_client * o.clients.max(1);
+        let policy = RetryPolicy::default();
         for client in 0..o.clients.max(1) {
             let n = per_client + usize::from(client < remainder);
             scope.spawn(move || {
@@ -344,7 +348,13 @@ fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &
                     }
                     let cancel = o.cancel_rate > 0.0 && rng.gen_bool(o.cancel_rate);
                     let submit_at = Instant::now();
-                    match server.submit(req) {
+                    // Transient queue-full rejections are retried with
+                    // deterministic jittered backoff; the seed decorrelates
+                    // clients so they don't retry in lockstep.
+                    let jitter_seed = o.seed ^ ((client as u64) << 40) ^ sent as u64;
+                    let attempt = submit_with_retry(server, req, &policy, jitter_seed);
+                    tally.retries.fetch_add(attempt.retries as u64, Ordering::Relaxed);
+                    match attempt.result {
                         Ok(ticket) => {
                             sent += 1;
                             if cancel {
@@ -355,8 +365,17 @@ fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &
                             tally.record_overshoot(submit_at, o.deadline);
                         }
                         Err(Rejected::QueueFull) => {
+                            // Retry budget exhausted with the queue still
+                            // full: the client gives this request up.
                             tally.rejected.fetch_add(1, Ordering::Relaxed);
-                            std::thread::sleep(Duration::from_micros(200));
+                            tally.give_ups.fetch_add(1, Ordering::Relaxed);
+                            sent += 1;
+                        }
+                        Err(Rejected::DeadlineInfeasible { .. }) => {
+                            // Admission shed the request: a retry with the
+                            // same deadline would only be shed again.
+                            tally.shed.fetch_add(1, Ordering::Relaxed);
+                            sent += 1;
                         }
                         Err(e) => panic!("unexpected rejection: {e}"),
                     }
@@ -393,6 +412,11 @@ fn run_open_loop(server: &PlanServer, pools: &[MapPool], o: &Options, rate: f64,
                 }
                 Err(Rejected::QueueFull) => {
                     tally.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(Rejected::DeadlineInfeasible { .. }) => {
+                    // Open-loop clients never retry: the arrival clock keeps
+                    // ticking whether or not this request was admitted.
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(e) => panic!("unexpected rejection: {e}"),
             }
@@ -464,6 +488,9 @@ fn main() {
     println!("panicked           {}", n(&tally.panicked));
     println!("lost               {}", n(&tally.lost));
     println!("queue-full rejects {}", n(&tally.rejected));
+    println!("shed (infeasible)  {}", n(&tally.shed));
+    println!("client retries     {}", n(&tally.retries));
+    println!("client give-ups    {}", n(&tally.give_ups));
     println!(
         "affinity hit rate  {:.1}% over {} dispatches",
         m.affinity_hit_rate() * 100.0,

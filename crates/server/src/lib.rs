@@ -25,24 +25,41 @@
 //!   respawn and the affected requests resolve to [`Outcome::Lost`].
 //! * **Latency metrics** — lock-free counters and log2-bucket histograms
 //!   (p50/p95/p99 of queue wait, service, and total latency).
+//! * **Graceful degradation** — deadline-infeasibility shedding at
+//!   admission ([`Rejected::DeadlineInfeasible`]), per-platform circuit
+//!   breakers that divert repeatedly failing accelerated platforms to the
+//!   software checker ([`breaker`]), a respawn-storm guard on worker
+//!   supervisors ([`worker::RespawnConfig`]), and checksum-verified map
+//!   artifacts ([`registry`]). All of it is observable through dedicated
+//!   `/metrics` counters, and all of it is exercised deterministically by
+//!   the seeded fault-injection layer (`racod-fault`) threaded through
+//!   every stage via [`ServerConfig::fault_plan`] — a `None` plan costs one
+//!   branch per site.
 //!
 //! Determinism is preserved end to end: the server never mutates a request
 //! (no endpoint snapping, no config rewriting), so a path computed through
 //! the service is bit-identical to the same scenario planned by calling the
 //! planner directly — the workspace test `determinism.rs` proves it.
 
+pub mod breaker;
 pub mod metrics;
 pub mod registry;
 pub mod request;
+pub mod retry;
 pub mod scheduler;
 pub mod worker;
 
+pub use breaker::{BreakerConfig, BreakerEvent, Breakers, CircuitBreaker, Route};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use registry::{Artifacts2, MapData, MapEntry, MapRegistry};
 pub use request::{
     MapId, Outcome, PlanRequest, PlanResponse, Planned, PlannedPath, Platform, Priority, Rejected,
     RequestId, TimeoutStage, Workload,
 };
+pub use retry::{submit_with_retry, RetryOutcome, RetryPolicy};
+pub use worker::{RespawnConfig, WorkerContext};
+
+use racod_fault::{FaultPlan, FaultSite};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use scheduler::{urgency_key, Admitted, PendingQueue, ReplySlot};
@@ -69,6 +86,21 @@ pub struct ServerConfig {
     pub affinity_slack: Duration,
     /// Dispatcher wake-up period for deadline expiry sweeps when idle.
     pub tick: Duration,
+    /// Deterministic fault-injection plan. `None` (the default, and the
+    /// only sane production value) makes every instrumentation site a
+    /// single branch; a plan is installed on the registry, the dispatcher,
+    /// and every worker at [`PlanServer::start`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Circuit-breaker tuning for the accelerated platforms.
+    pub breaker: BreakerConfig,
+    /// Respawn-storm guard tuning for worker supervisors.
+    pub respawn: RespawnConfig,
+    /// Whether admission sheds requests whose deadline is infeasible given
+    /// the measured backlog (see [`Rejected::DeadlineInfeasible`]).
+    pub shed_infeasible: bool,
+    /// Minimum completed-service samples before the shedding estimate is
+    /// trusted (protects cold starts from bogus estimates).
+    pub shed_min_samples: u64,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +111,11 @@ impl Default for ServerConfig {
             batch_max: 8,
             affinity_slack: Duration::from_millis(5),
             tick: Duration::from_millis(2),
+            fault_plan: None,
+            breaker: BreakerConfig::default(),
+            respawn: RespawnConfig::default(),
+            shed_infeasible: true,
+            shed_min_samples: 32,
         }
     }
 }
@@ -148,6 +185,7 @@ impl Ticket {
 pub struct PlanServer {
     registry: Arc<MapRegistry>,
     metrics: Arc<ServerMetrics>,
+    breakers: Arc<Breakers>,
     cfg: ServerConfig,
     ingress_tx: Option<Sender<Admitted>>,
     shutdown: Arc<AtomicBool>,
@@ -163,10 +201,21 @@ impl PlanServer {
     pub fn start(cfg: ServerConfig, registry: Arc<MapRegistry>) -> Self {
         let metrics = Arc::new(ServerMetrics::new());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let breakers = Arc::new(Breakers::new(cfg.breaker));
+        if cfg.fault_plan.is_some() {
+            // The MapLoad site lives in the registry's artifact builder;
+            // installing here reaches maps registered before and after.
+            registry.set_fault_plan(cfg.fault_plan.clone());
+        }
         // Ingress capacity matches the admission limit so `try_send` after
         // an admission win can only fail on disconnect, never on capacity.
         let (ingress_tx, ingress_rx) = bounded::<Admitted>(cfg.queue_capacity.max(1));
 
+        let ctx = WorkerContext {
+            breakers: breakers.clone(),
+            fault: cfg.fault_plan.clone(),
+            respawn: cfg.respawn,
+        };
         let mut worker_txs = Vec::with_capacity(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
         for i in 0..cfg.workers {
@@ -174,7 +223,13 @@ impl PlanServer {
             // channel means the worker still has undispatched work.
             let (tx, rx) = bounded::<Batch>(1);
             worker_txs.push(tx);
-            workers.push(worker::spawn_worker(i, rx, metrics.clone(), shutdown.clone()));
+            workers.push(worker::spawn_worker(
+                i,
+                rx,
+                metrics.clone(),
+                shutdown.clone(),
+                ctx.clone(),
+            ));
         }
 
         let dispatcher = {
@@ -189,6 +244,7 @@ impl PlanServer {
         PlanServer {
             registry,
             metrics,
+            breakers,
             cfg,
             ingress_tx: Some(ingress_tx),
             shutdown,
@@ -203,6 +259,12 @@ impl PlanServer {
     /// Service metrics (shared; live).
     pub fn metrics(&self) -> &Arc<ServerMetrics> {
         &self.metrics
+    }
+
+    /// The per-platform circuit breakers (shared; live). Exposed so tests
+    /// and operators can observe trip/recovery state directly.
+    pub fn breakers(&self) -> &Arc<Breakers> {
+        &self.breakers
     }
 
     /// The map registry backing this server.
@@ -230,6 +292,32 @@ impl PlanServer {
         if !dim_ok {
             m.rejected_invalid.fetch_add(1, Ordering::Relaxed);
             return Err(Rejected::DimensionMismatch);
+        }
+
+        // Admission fault site (chaos only): models a stalled admission
+        // path. A `None` plan costs one branch.
+        if let Some(plan) = &self.cfg.fault_plan {
+            let _ = plan.perturb(FaultSite::Admission, self.next_id.load(Ordering::Relaxed));
+        }
+
+        // Deadline-infeasibility shedding: if the measured mean service
+        // time times the backlog already exceeds the request's whole
+        // deadline budget, admitting it only burns queue capacity on a
+        // guaranteed timeout — reject now so the client can degrade (drop
+        // a frame, replan coarser) instead of waiting to fail. Gated on a
+        // minimum sample count so cold starts never shed.
+        if self.cfg.shed_infeasible && self.cfg.workers > 0 {
+            if let Some(deadline) = req.deadline {
+                if m.service.count() >= self.cfg.shed_min_samples.max(1) {
+                    let backlog = m.in_system.load(Ordering::Relaxed).min(u32::MAX as u64) as u32;
+                    let estimated_wait =
+                        m.service.mean() * backlog / (self.cfg.workers as u32).max(1);
+                    if estimated_wait > deadline {
+                        m.shed_infeasible.fetch_add(1, Ordering::Relaxed);
+                        return Err(Rejected::DeadlineInfeasible { estimated_wait, deadline });
+                    }
+                }
+            }
         }
 
         // Admission: atomically claim a slot below capacity.
@@ -300,8 +388,16 @@ fn dispatch_loop(
 ) {
     let mut pending = PendingQueue::new();
     let mut last_map: Vec<Option<MapId>> = vec![None; worker_txs.len()];
+    let mut alive: Vec<bool> = vec![true; worker_txs.len()];
+    let mut dispatch_tick: u64 = 0;
     let slack_us = cfg.affinity_slack.as_micros().min(u64::MAX as u128) as u64;
     'main: loop {
+        // Dispatch fault site (chaos only): a Delay here stalls the ingress
+        // queue, building backlog exactly as a wedged dispatcher would.
+        if let Some(plan) = &cfg.fault_plan {
+            dispatch_tick = dispatch_tick.wrapping_add(1);
+            let _ = plan.perturb(FaultSite::Dispatch, dispatch_tick);
+        }
         // Block briefly for new work, then drain whatever arrived.
         match ingress.recv_timeout(cfg.tick) {
             Ok(item) => pending.push(item),
@@ -331,7 +427,7 @@ fn dispatch_loop(
             if pending.is_empty() {
                 break;
             }
-            if tx.is_empty() {
+            if alive[wi] && tx.is_empty() {
                 let batch = pending.take_batch(cfg.batch_max, last_map[wi].as_ref(), slack_us);
                 if batch.is_empty() {
                     continue;
@@ -348,12 +444,26 @@ fn dispatch_loop(
                     // Worker raced to busy or died; requeue the batch.
                     let batch = match e {
                         crossbeam::channel::TrySendError::Full(b) => b,
-                        crossbeam::channel::TrySendError::Disconnected(b) => b,
+                        crossbeam::channel::TrySendError::Disconnected(b) => {
+                            // The slot's supervisor abandoned it (respawn
+                            // storm): stop offering it work.
+                            alive[wi] = false;
+                            b
+                        }
                     };
                     for item in batch {
                         pending.push(item);
                     }
                 }
+            }
+        }
+
+        // Every worker slot has been abandoned: nothing will ever drain the
+        // queue, so resolve what's pending as Lost instead of letting
+        // tickets hang until their deadlines (or forever).
+        if !worker_txs.is_empty() && alive.iter().all(|a| !a) {
+            for item in pending.drain_all() {
+                item.reply.finish(Outcome::Lost, usize::MAX);
             }
         }
     }

@@ -114,6 +114,9 @@ pub struct ServerMetrics {
     pub rejected_queue_full: AtomicU64,
     /// Rejections due to an unknown map id or dimension mismatch.
     pub rejected_invalid: AtomicU64,
+    /// Requests shed at admission because their deadline was infeasible
+    /// given the measured backlog (graceful degradation under overload).
+    pub shed_infeasible: AtomicU64,
     /// Requests completing with a planner result.
     pub completed: AtomicU64,
     /// Requests dropped because their deadline passed (queued or
@@ -131,6 +134,28 @@ pub struct ServerMetrics {
     /// Worker threads respawned by the supervisor after a panic escaped the
     /// per-request boundary.
     pub worker_respawns: AtomicU64,
+    /// Worker slots permanently abandoned after exceeding the respawn-storm
+    /// cap (consecutive panics with no progress between them).
+    pub workers_abandoned: AtomicU64,
+    /// Circuit-breaker trips: an accelerated platform crossed its
+    /// consecutive-failure threshold (or a half-open probe failed) and
+    /// traffic was diverted to the software checker.
+    pub breaker_tripped: AtomicU64,
+    /// Requests served by the software-checker fallback while a breaker was
+    /// open (paths stay bit-identical; only the execution platform differs).
+    pub breaker_fallbacks: AtomicU64,
+    /// Half-open probe executions attempted on a tripped platform.
+    pub breaker_probes: AtomicU64,
+    /// Breakers closed again after a successful half-open probe.
+    pub breaker_recovered: AtomicU64,
+    /// Collision-check worker panics absorbed by episode poisoning inside
+    /// the persistent `Threads` pools (contained; the search aborts with a
+    /// poisoned verdict instead of hanging).
+    pub check_pool_panics: AtomicU64,
+    /// Cached map artifacts whose integrity checksum failed verification;
+    /// the artifact was discarded and rebuilt, and the affected request
+    /// planned without the reachability prefilter.
+    pub map_corruptions_detected: AtomicU64,
     /// Dispatches that reused the worker's warm per-map state.
     pub affinity_hits: AtomicU64,
     /// Dispatches that had to switch the worker to a different map.
@@ -199,6 +224,7 @@ impl ServerMetrics {
         let _ = writeln!(out, "racod_server_accepted {}", c(&self.accepted));
         let _ = writeln!(out, "racod_server_rejected_queue_full {}", c(&self.rejected_queue_full));
         let _ = writeln!(out, "racod_server_rejected_invalid {}", c(&self.rejected_invalid));
+        let _ = writeln!(out, "racod_server_shed_infeasible {}", c(&self.shed_infeasible));
         let _ = writeln!(out, "racod_server_completed {}", c(&self.completed));
         let _ = writeln!(out, "racod_server_timed_out {}", c(&self.timed_out));
         let _ = writeln!(out, "racod_server_cancelled {}", c(&self.cancelled));
@@ -210,6 +236,17 @@ impl ServerMetrics {
         let _ = writeln!(out, "racod_server_panicked {}", c(&self.panicked));
         let _ = writeln!(out, "racod_server_lost {}", c(&self.lost));
         let _ = writeln!(out, "racod_server_worker_respawns {}", c(&self.worker_respawns));
+        let _ = writeln!(out, "racod_server_workers_abandoned {}", c(&self.workers_abandoned));
+        let _ = writeln!(out, "racod_server_breaker_tripped {}", c(&self.breaker_tripped));
+        let _ = writeln!(out, "racod_server_breaker_fallbacks {}", c(&self.breaker_fallbacks));
+        let _ = writeln!(out, "racod_server_breaker_probes {}", c(&self.breaker_probes));
+        let _ = writeln!(out, "racod_server_breaker_recovered {}", c(&self.breaker_recovered));
+        let _ = writeln!(out, "racod_server_check_pool_panics {}", c(&self.check_pool_panics));
+        let _ = writeln!(
+            out,
+            "racod_server_map_corruptions_detected {}",
+            c(&self.map_corruptions_detected)
+        );
         let _ = writeln!(out, "racod_server_affinity_hits {}", c(&self.affinity_hits));
         let _ = writeln!(out, "racod_server_affinity_misses {}", c(&self.affinity_misses));
         let _ = writeln!(out, "racod_server_template_hits {}", c(&self.template_hits));
@@ -333,6 +370,28 @@ mod tests {
         assert!(text.contains("racod_server_scratch_cold_starts 2"));
         assert!(text.contains("racod_server_stale_pops 11"));
         assert!(text.contains("racod_server_peak_open 93"));
+    }
+
+    #[test]
+    fn degradation_keys_render() {
+        let m = ServerMetrics::new();
+        m.shed_infeasible.fetch_add(4, Ordering::Relaxed);
+        m.breaker_tripped.fetch_add(1, Ordering::Relaxed);
+        m.breaker_fallbacks.fetch_add(12, Ordering::Relaxed);
+        m.breaker_probes.fetch_add(2, Ordering::Relaxed);
+        m.breaker_recovered.fetch_add(1, Ordering::Relaxed);
+        m.workers_abandoned.fetch_add(1, Ordering::Relaxed);
+        m.check_pool_panics.fetch_add(3, Ordering::Relaxed);
+        m.map_corruptions_detected.fetch_add(2, Ordering::Relaxed);
+        let text = m.render_text();
+        assert!(text.contains("racod_server_shed_infeasible 4"));
+        assert!(text.contains("racod_server_breaker_tripped 1"));
+        assert!(text.contains("racod_server_breaker_fallbacks 12"));
+        assert!(text.contains("racod_server_breaker_probes 2"));
+        assert!(text.contains("racod_server_breaker_recovered 1"));
+        assert!(text.contains("racod_server_workers_abandoned 1"));
+        assert!(text.contains("racod_server_check_pool_panics 3"));
+        assert!(text.contains("racod_server_map_corruptions_detected 2"));
     }
 
     #[test]

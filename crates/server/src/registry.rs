@@ -2,12 +2,20 @@
 //!
 //! Maps are registered once and shared via `Arc` — workers never copy grid
 //! data. Derived artifacts (inflated occupancy, reachability distance field)
-//! are built on first use behind a [`OnceLock`] and cached for the lifetime
-//! of the entry, so the cost of preprocessing a map is paid once no matter
-//! how many requests hit it.
+//! are built on first use and cached for the lifetime of the entry, so the
+//! cost of preprocessing a map is paid once no matter how many requests hit
+//! it.
+//!
+//! Cached artifacts carry an integrity checksum stamped at build time.
+//! Readers that care ([`MapEntry::artifacts2_verified`]) re-verify before
+//! trusting the bundle: a mismatch (bit rot, or an injected `MapLoad`
+//! fault) discards the cached copy so the next reader rebuilds it, and the
+//! affected request simply plans without the prefilter — correctness is
+//! never derived from an unverified artifact.
 
 use crate::request::MapId;
 use parking_lot::RwLock;
+use racod_fault::{FaultPlan, FaultSite};
 use racod_geom::Cell2;
 use racod_grid::inflate::inflate_chebyshev;
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
@@ -15,7 +23,7 @@ use racod_search::{DistanceField, GridSpace2};
 use racod_sim::{TemplateCache2, TemplateCache3};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// The raw occupancy data of a registered map.
 #[derive(Debug, Clone)]
@@ -55,6 +63,9 @@ pub struct Artifacts2 {
     /// Grid dimensions, for row-major lookups into `reach` (the generic
     /// `DistanceField::distance` helper only handles square grids).
     pub dims: (u32, u32),
+    /// FNV-1a over the inflated grid's words and the dimensions, stamped
+    /// when the bundle was built. [`verify`](Self::verify) recomputes it.
+    pub checksum: u64,
 }
 
 impl Artifacts2 {
@@ -62,12 +73,25 @@ impl Artifacts2 {
         let seed = first_free_cell(grid)?;
         let space = GridSpace2::eight_connected(grid.width(), grid.height());
         let reach = DistanceField::compute(&space, seed, |c| grid.occupied(c) == Some(false));
-        Some(Artifacts2 {
-            inflated: inflate_chebyshev(grid, 1),
-            reach,
-            reach_seed: seed,
-            dims: (grid.width(), grid.height()),
-        })
+        let inflated = inflate_chebyshev(grid, 1);
+        let dims = (grid.width(), grid.height());
+        let checksum = Self::content_checksum(&inflated, dims);
+        Some(Artifacts2 { inflated, reach, reach_seed: seed, dims, checksum })
+    }
+
+    fn content_checksum(inflated: &BitGrid2, dims: (u32, u32)) -> u64 {
+        let mut h = fnv1a(0xcbf2_9ce4_8422_2325, &dims.0.to_le_bytes());
+        h = fnv1a(h, &dims.1.to_le_bytes());
+        for w in inflated.words() {
+            h = fnv1a(h, &w.to_le_bytes());
+        }
+        h
+    }
+
+    /// Whether the bundle's content still matches the checksum stamped at
+    /// build time.
+    pub fn verify(&self) -> bool {
+        Self::content_checksum(&self.inflated, self.dims) == self.checksum
     }
 
     /// Whether `c` is in the seed's free component.
@@ -86,6 +110,19 @@ impl Artifacts2 {
     pub fn definitely_disconnected(&self, a: Cell2, b: Cell2) -> bool {
         self.reachable(a) != self.reachable(b)
     }
+}
+
+/// Stable per-map token for fault-injection decisions (FNV-1a of the id).
+fn id_token(id: &MapId) -> u64 {
+    fnv1a(0xcbf2_9ce4_8422_2325, id.as_str().as_bytes())
+}
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 fn first_free_cell(grid: &BitGrid2) -> Option<Cell2> {
@@ -107,19 +144,27 @@ pub struct MapEntry {
     pub id: MapId,
     /// The shared occupancy data.
     pub data: MapData,
-    artifacts2: OnceLock<Option<Arc<Artifacts2>>>,
+    // `None` = not built yet; `Some(None)` = built and known absent (3D map
+    // or no free cell); `Some(Some(_))` = cached bundle. An `RwLock` rather
+    // than a `OnceLock` so that checksum verification can *invalidate* a
+    // corrupted bundle and force a rebuild.
+    artifacts2: RwLock<Option<Option<Arc<Artifacts2>>>>,
     artifact_builds: AtomicU64,
+    corruptions: AtomicU64,
+    fault: RwLock<Option<Arc<FaultPlan>>>,
     tcache2: Arc<TemplateCache2>,
     tcache3: Arc<TemplateCache3>,
 }
 
 impl MapEntry {
-    fn new(id: MapId, data: MapData) -> Self {
+    fn new(id: MapId, data: MapData, fault: Option<Arc<FaultPlan>>) -> Self {
         MapEntry {
             id,
             data,
-            artifacts2: OnceLock::new(),
+            artifacts2: RwLock::new(None),
             artifact_builds: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
+            fault: RwLock::new(fault),
             tcache2: Arc::new(TemplateCache2::default()),
             tcache3: Arc::new(TemplateCache3::default()),
         }
@@ -139,21 +184,69 @@ impl MapEntry {
     }
 
     /// The 2D artifact bundle, built on first call and cached. Returns
-    /// `None` for 3D maps or maps with no free cell.
+    /// `None` for 3D maps or maps with no free cell. Does *not* verify the
+    /// checksum — use [`artifacts2_verified`](Self::artifacts2_verified) on
+    /// paths that must tolerate corruption.
     pub fn artifacts2(&self) -> Option<Arc<Artifacts2>> {
-        self.artifacts2
-            .get_or_init(|| {
-                let MapData::Grid2(grid) = &self.data else { return None };
-                self.artifact_builds.fetch_add(1, Ordering::Relaxed);
-                Artifacts2::build(grid).map(Arc::new)
-            })
-            .clone()
+        if let Some(cached) = self.artifacts2.read().as_ref() {
+            return cached.clone();
+        }
+        let mut slot = self.artifacts2.write();
+        if let Some(cached) = slot.as_ref() {
+            // Raced with another builder; use its result.
+            return cached.clone();
+        }
+        let built = match &self.data {
+            MapData::Grid2(grid) => {
+                let builds = self.artifact_builds.fetch_add(1, Ordering::Relaxed);
+                let mut art = Artifacts2::build(grid);
+                if let (Some(a), Some(plan)) = (art.as_mut(), self.fault.read().as_ref()) {
+                    // Injected corruption: flip one occupancy bit *after* the
+                    // checksum was stamped, so verification catches it.
+                    if plan.perturb(FaultSite::MapLoad, id_token(&self.id) ^ builds) {
+                        let cur = a.inflated.get(Cell2::new(0, 0)).unwrap_or(false);
+                        a.inflated.set(Cell2::new(0, 0), !cur);
+                    }
+                }
+                art.map(Arc::new)
+            }
+            MapData::Grid3(_) => None,
+        };
+        *slot = Some(built.clone());
+        built
     }
 
-    /// How many times the artifact bundle was (re)built — always 0 or 1;
-    /// exposed so tests can prove laziness and single-build semantics.
+    /// Like [`artifacts2`](Self::artifacts2), but verifies the checksum
+    /// before handing the bundle out. On a mismatch the cached copy is
+    /// discarded (the next caller rebuilds) and `(None, true)` is returned:
+    /// the caller should plan without the prefilter and count the event.
+    pub fn artifacts2_verified(&self) -> (Option<Arc<Artifacts2>>, bool) {
+        match self.artifacts2() {
+            None => (None, false),
+            Some(art) if art.verify() => (Some(art), false),
+            Some(_) => {
+                self.corruptions.fetch_add(1, Ordering::Relaxed);
+                *self.artifacts2.write() = None;
+                (None, true)
+            }
+        }
+    }
+
+    /// How many times the artifact bundle was (re)built — 0 or 1 in healthy
+    /// operation; exposed so tests can prove laziness and single-build
+    /// semantics (and corruption tests can prove rebuilds).
     pub fn artifact_builds(&self) -> u64 {
         self.artifact_builds.load(Ordering::Relaxed)
+    }
+
+    /// Checksum mismatches detected on this entry's cached artifacts.
+    pub fn corruptions_detected(&self) -> u64 {
+        self.corruptions.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears) the fault plan consulted on artifact builds.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.fault.write() = plan;
     }
 
     /// The 2D grid, if this is a 2D map.
@@ -181,6 +274,7 @@ impl MapEntry {
 #[derive(Debug, Default)]
 pub struct MapRegistry {
     maps: RwLock<HashMap<MapId, Arc<MapEntry>>>,
+    fault: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl MapRegistry {
@@ -189,10 +283,25 @@ impl MapRegistry {
         Self::default()
     }
 
+    /// Installs a fault plan on the registry: every current and future
+    /// entry consults it when building artifacts (the `MapLoad` injection
+    /// site). [`crate::PlanServer::start`] calls this automatically when
+    /// its config carries a plan.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        for entry in self.maps.read().values() {
+            entry.set_fault_plan(plan.clone());
+        }
+        *self.fault.write() = plan;
+    }
+
     /// Registers a 2D map, replacing any previous map under the id.
     pub fn insert_grid2(&self, id: impl Into<MapId>, grid: BitGrid2) -> Arc<MapEntry> {
         let id = id.into();
-        let entry = Arc::new(MapEntry::new(id.clone(), MapData::Grid2(Arc::new(grid))));
+        let entry = Arc::new(MapEntry::new(
+            id.clone(),
+            MapData::Grid2(Arc::new(grid)),
+            self.fault.read().clone(),
+        ));
         self.maps.write().insert(id, entry.clone());
         entry
     }
@@ -200,7 +309,11 @@ impl MapRegistry {
     /// Registers a 3D map, replacing any previous map under the id.
     pub fn insert_grid3(&self, id: impl Into<MapId>, grid: BitGrid3) -> Arc<MapEntry> {
         let id = id.into();
-        let entry = Arc::new(MapEntry::new(id.clone(), MapData::Grid3(Arc::new(grid))));
+        let entry = Arc::new(MapEntry::new(
+            id.clone(),
+            MapData::Grid3(Arc::new(grid)),
+            self.fault.read().clone(),
+        ));
         self.maps.write().insert(id, entry.clone());
         entry
     }
@@ -277,6 +390,58 @@ mod tests {
         let reg = MapRegistry::new();
         let entry = reg.insert_grid3("c", campus_3d(2, 24, 24, 12));
         assert!(entry.artifacts2().is_none());
+    }
+
+    #[test]
+    fn checksum_verifies_on_healthy_artifacts() {
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("m", city_map(CityName::Paris, 64, 64));
+        let (art, corrupted) = entry.artifacts2_verified();
+        assert!(!corrupted);
+        let art = art.expect("2d map has artifacts");
+        assert!(art.verify());
+        assert_eq!(entry.corruptions_detected(), 0);
+        assert_eq!(entry.artifact_builds(), 1);
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_invalidated() {
+        let plan = Arc::new(
+            racod_fault::FaultPlan::builder(7)
+                .always(FaultSite::MapLoad, racod_fault::FaultAction::Corrupt)
+                .build(),
+        );
+        let reg = MapRegistry::new();
+        reg.set_fault_plan(Some(plan.clone()));
+        let entry = reg.insert_grid2("m", city_map(CityName::Paris, 64, 64));
+
+        // The verified reader refuses the corrupted bundle and invalidates.
+        let (art, corrupted) = entry.artifacts2_verified();
+        assert!(art.is_none(), "corrupted bundle must not be handed out");
+        assert!(corrupted);
+        assert_eq!(entry.corruptions_detected(), 1);
+        assert_eq!(entry.artifact_builds(), 1);
+
+        // Faults off: the next verified read rebuilds a clean bundle.
+        plan.disarm();
+        let (art, corrupted) = entry.artifacts2_verified();
+        assert!(!corrupted);
+        assert!(art.expect("rebuilt").verify());
+        assert_eq!(entry.artifact_builds(), 2, "invalidation forced a rebuild");
+    }
+
+    #[test]
+    fn fault_plan_reaches_entries_registered_before_installation() {
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("m", city_map(CityName::Paris, 64, 64));
+        let plan = Arc::new(
+            racod_fault::FaultPlan::builder(9)
+                .always(FaultSite::MapLoad, racod_fault::FaultAction::Corrupt)
+                .build(),
+        );
+        reg.set_fault_plan(Some(plan));
+        let (_, corrupted) = entry.artifacts2_verified();
+        assert!(corrupted, "plan installed after registration must still apply");
     }
 
     #[test]

@@ -211,6 +211,16 @@ pub enum Rejected {
     /// The workload dimensionality does not match the registered map
     /// (e.g. a 3D plan against a 2D map).
     DimensionMismatch,
+    /// Admission-time load shedding: with the current backlog and measured
+    /// service times, the request's deadline cannot plausibly be met, so it
+    /// is rejected immediately instead of burning queue capacity only to
+    /// time out later.
+    DeadlineInfeasible {
+        /// The admission controller's wait estimate at rejection time.
+        estimated_wait: Duration,
+        /// The deadline the request asked for.
+        deadline: Duration,
+    },
     /// The server is shutting down.
     ShuttingDown,
 }
@@ -221,6 +231,9 @@ impl fmt::Display for Rejected {
             Rejected::QueueFull => write!(f, "ingress queue full"),
             Rejected::UnknownMap(id) => write!(f, "unknown map {id}"),
             Rejected::DimensionMismatch => write!(f, "workload dimension != map dimension"),
+            Rejected::DeadlineInfeasible { estimated_wait, deadline } => {
+                write!(f, "deadline {deadline:?} infeasible: estimated wait {estimated_wait:?}")
+            }
             Rejected::ShuttingDown => write!(f, "server shutting down"),
         }
     }

@@ -1,0 +1,118 @@
+//! Client-side retry with jittered exponential backoff.
+//!
+//! [`Rejected::QueueFull`] is the one *transient* rejection the server
+//! issues: the ingress queue was at capacity at that instant, and the
+//! documented client contract is "retry with backoff". This module is
+//! that contract, packaged: full-jitter exponential backoff whose delays
+//! are a pure function of a caller seed and the attempt number, so load
+//! tests replay identically. Every other rejection (unknown map,
+//! dimension mismatch, infeasible deadline, shutdown) is permanent and
+//! returned immediately.
+
+use crate::{PlanRequest, PlanServer, Rejected, Ticket};
+use racod_fault::mix64;
+use std::time::Duration;
+
+/// Backoff tuning for [`submit_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = a single try, no retries).
+    pub max_retries: u32,
+    /// Backoff ceiling for the first retry; doubles every retry after.
+    pub base: Duration,
+    /// Upper bound on any single backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            base: Duration::from_micros(500),
+            cap: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (0-based), for a
+    /// given jitter seed. Full jitter: uniform in `[0, min(cap, base·2^attempt))`,
+    /// derived deterministically from `(seed, attempt)` — no RNG state, so
+    /// concurrent clients with distinct seeds replay bit-identically.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = attempt.min(20);
+        let ceiling =
+            self.base.checked_mul(1u32 << exp.min(16)).map_or(self.cap, |d| d.min(self.cap));
+        // 53 high bits of a mixed (seed, attempt) word → uniform f64 in [0, 1).
+        let h = mix64(seed ^ ((attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        ceiling.mul_f64(frac)
+    }
+}
+
+/// What [`submit_with_retry`] did before returning.
+#[derive(Debug)]
+pub struct RetryOutcome {
+    /// The final submission result.
+    pub result: Result<Ticket, Rejected>,
+    /// How many retries were spent (0 = first attempt settled it).
+    pub retries: u32,
+    /// `true` when the budget ran out while the queue was still full.
+    pub gave_up: bool,
+}
+
+/// Submits `req`, retrying [`Rejected::QueueFull`] with jittered
+/// exponential backoff. `seed` decorrelates concurrent clients (give each
+/// its own) while keeping any single client's delays reproducible.
+pub fn submit_with_retry(
+    server: &PlanServer,
+    req: PlanRequest,
+    policy: &RetryPolicy,
+    seed: u64,
+) -> RetryOutcome {
+    let mut retries = 0u32;
+    loop {
+        match server.submit(req.clone()) {
+            Err(Rejected::QueueFull) if retries < policy.max_retries => {
+                std::thread::sleep(policy.delay(retries, seed));
+                retries += 1;
+            }
+            result => {
+                let gave_up = matches!(result, Err(Rejected::QueueFull));
+                return RetryOutcome { result, retries, gave_up };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 0..10 {
+            let a = p.delay(attempt, 42);
+            let b = p.delay(attempt, 42);
+            assert_eq!(a, b, "same (seed, attempt) must give the same delay");
+            assert!(a < p.cap, "delay {a:?} must stay under the cap {:?}", p.cap);
+        }
+        // Distinct seeds decorrelate: at least one attempt differs.
+        assert!(
+            (0..10).any(|i| p.delay(i, 1) != p.delay(i, 2)),
+            "different seeds should produce different jitter"
+        );
+    }
+
+    #[test]
+    fn early_attempts_respect_the_exponential_ceiling() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_secs(1),
+        };
+        assert!(p.delay(0, 7) < Duration::from_millis(1));
+        assert!(p.delay(3, 7) < Duration::from_millis(8));
+    }
+}

@@ -8,17 +8,31 @@
 //! fresh state — requests lost with the dying loop resolve to
 //! [`Outcome::Lost`] through their [`crate::scheduler::ReplySlot`] drop
 //! guards, so no ticket ever hangs.
+//!
+//! Respawns are guarded against storms: each retry backs off
+//! exponentially (capped), and a slot that keeps dying without serving
+//! anything in between is abandoned after [`RespawnConfig::max_consecutive`]
+//! respawns rather than burning a core forever. Serving any request resets
+//! the streak.
+//!
+//! Accelerated platforms run behind per-kind circuit breakers
+//! ([`crate::breaker::Breakers`]): repeated native failures divert traffic
+//! to the software checker (bit-identical paths) until a half-open probe
+//! succeeds.
 
+use crate::breaker::{BreakerEvent, Breakers, Route};
 use crate::metrics::ServerMetrics;
 use crate::request::{MapId, Outcome, Planned, PlannedPath, Platform, TimeoutStage, Workload};
 use crate::scheduler::Admitted;
 use crossbeam::channel::Receiver;
 use racod_codacc::{template_check_2d, template_check_3d, CodaccPool};
+use racod_fault::{mix64, FaultPlan, FaultSite};
 use racod_geom::{Cell2, Cell3};
 use racod_parallel::{ParallelConfig, ParallelPlanner, WorkerPool};
 use racod_search::{
     GridSpace2, GridSpace3, Interrupt, InterruptReason, SearchScratch, SearchStats, Termination,
 };
+use racod_sim::oracle::CheckProbe;
 use racod_sim::planner::{
     plan_racod_2d_pooled_in, plan_racod_3d_pooled_in, plan_software_2d_in, plan_software_3d_in,
     Scenario2, Scenario3,
@@ -29,7 +43,46 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Respawn-storm guard tuning for worker supervisors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RespawnConfig {
+    /// Backoff before the first respawn; doubles every consecutive respawn.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff.
+    pub backoff_cap: Duration,
+    /// Consecutive respawns (no request served in between) after which the
+    /// slot is abandoned instead of respawned again.
+    pub max_consecutive: u32,
+}
+
+impl Default for RespawnConfig {
+    fn default() -> Self {
+        RespawnConfig {
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(100),
+            max_consecutive: 5,
+        }
+    }
+}
+
+fn backoff_for(cfg: &RespawnConfig, consecutive: u32) -> Duration {
+    let exp = consecutive.saturating_sub(1).min(16);
+    cfg.backoff_base.checked_mul(1u32 << exp).map_or(cfg.backoff_cap, |d| d.min(cfg.backoff_cap))
+}
+
+/// Shared robustness context handed to every worker slot.
+#[derive(Debug, Clone)]
+pub struct WorkerContext {
+    /// Per-platform circuit breakers (shared across all workers so trips
+    /// divert the whole fleet, not one slot).
+    pub breakers: Arc<Breakers>,
+    /// Fault-injection plan; `None` in production (zero-cost).
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Respawn-storm guard tuning.
+    pub respawn: RespawnConfig,
+}
 
 /// A batch of same-map requests handed to one worker.
 pub type Batch = Vec<Admitted>;
@@ -102,46 +155,116 @@ pub fn spawn_worker(
     rx: Receiver<Batch>,
     metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
+    ctx: WorkerContext,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("racod-worker-{index}"))
-        .spawn(move || loop {
-            let run = catch_unwind(AssertUnwindSafe(|| {
-                worker_loop(index, &rx, &metrics);
-            }));
-            match run {
-                Ok(()) => break, // channel disconnected: orderly shutdown
-                Err(_) => {
-                    metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
-                    if shutdown.load(Ordering::Relaxed) {
-                        break;
+        .spawn(move || {
+            // Requests resolved by this slot across all loop incarnations;
+            // any progress between two panics resets the respawn streak, so
+            // only back-to-back deaths with nothing served count toward the
+            // storm cap.
+            let progress = AtomicU64::new(0);
+            let mut consecutive = 0u32;
+            loop {
+                let served_before = progress.load(Ordering::Relaxed);
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    worker_loop(index, &rx, &metrics, &ctx, &progress);
+                }));
+                match run {
+                    Ok(()) => break, // channel disconnected: orderly shutdown
+                    Err(_) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        consecutive = if progress.load(Ordering::Relaxed) > served_before {
+                            1
+                        } else {
+                            consecutive + 1
+                        };
+                        if consecutive > ctx.respawn.max_consecutive {
+                            // Respawn storm: abandon the slot. Dropping `rx`
+                            // tells the dispatcher this worker is gone.
+                            metrics.workers_abandoned.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                        // Exponential backoff before re-entering, sliced so
+                        // shutdown is still noticed promptly.
+                        let until = Instant::now() + backoff_for(&ctx.respawn, consecutive);
+                        loop {
+                            let now = Instant::now();
+                            if now >= until || shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::thread::sleep((until - now).min(Duration::from_millis(1)));
+                        }
                     }
-                    // Re-enter with fresh warm state.
                 }
             }
         })
         .expect("spawn worker thread")
 }
 
-fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>) {
+fn worker_loop(
+    index: usize,
+    rx: &Receiver<Batch>,
+    metrics: &Arc<ServerMetrics>,
+    ctx: &WorkerContext,
+    progress: &AtomicU64,
+) {
     let mut warm = WarmState::new();
     while let Ok(batch) = rx.recv() {
         for item in batch {
             let now = Instant::now();
             if item.cancelled() {
                 item.reply.finish(Outcome::Cancelled, index);
+                progress.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             if item.expired(now) {
                 let queued_for = now.duration_since(item.submitted_at);
                 item.reply
                     .finish(Outcome::TimedOut { queued_for, stage: TimeoutStage::Queued }, index);
+                progress.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             let queue_wait = now.duration_since(item.submitted_at);
             metrics.queue_wait.record(queue_wait);
 
-            let Admitted { req, entry, reply, submitted_at, deadline_at, cancel, .. } = item;
+            let Admitted { id, req, entry, reply, submitted_at, deadline_at, cancel, .. } = item;
+
+            // Circuit-breaker routing: only plan workloads on accelerated
+            // platforms are guarded (chaos payloads say nothing about
+            // platform health). A tripped breaker reroutes to the software
+            // checker — paths stay bit-identical by the determinism
+            // invariant, only the execution platform changes.
+            let breaker = match req.workload {
+                Workload::Plan2 { .. } | Workload::Plan3 { .. } => {
+                    ctx.breakers.for_platform(req.platform)
+                }
+                _ => None,
+            };
+            let route = breaker.map_or(Route::Native, |b| b.route());
+            let platform = match route {
+                Route::Fallback => {
+                    metrics.breaker_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    Platform::SimSoftware { threads: 1, runahead: None }
+                }
+                Route::Probe => {
+                    metrics.breaker_probes.fetch_add(1, Ordering::Relaxed);
+                    req.platform
+                }
+                Route::Native => req.platform,
+            };
+            // Fault probes ride only on native/probe executions: the
+            // fallback path is the degraded-but-trusted one, so breaker
+            // recovery is observable even while the plan stays armed.
+            let fault = match route {
+                Route::Fallback => None,
+                _ => ctx.fault.as_ref(),
+            };
+
             // The request's deadline and cancel flag travel into the
             // search: every planner entry point polls this handle, so a
             // doomed request frees this worker within one poll batch.
@@ -150,14 +273,37 @@ fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>)
                 if let Some(at) = deadline_at {
                     i = i.with_deadline(at);
                 }
+                if let Some(plan) = fault {
+                    // Mid-search site: fires at the search's cooperative
+                    // interrupt polls, with a per-request deterministic
+                    // token stream.
+                    let plan = plan.clone();
+                    let base = mix64(id ^ 0x4d69_6453);
+                    let n = AtomicU64::new(0);
+                    i = i.with_probe(Arc::new(move || {
+                        let k = n.fetch_add(1, Ordering::Relaxed);
+                        let _ = plan.perturb(FaultSite::MidSearch, base ^ k);
+                    }));
+                }
                 i
             };
+            let check_probe: Option<CheckProbe> = fault.map(|plan| {
+                let plan = plan.clone();
+                let base = mix64(id ^ 0x4d69_6443);
+                let n = AtomicU64::new(0);
+                Arc::new(move || {
+                    let k = n.fetch_add(1, Ordering::Relaxed);
+                    let _ = plan.perturb(FaultSite::MidCheck, base ^ k);
+                }) as CheckProbe
+            });
+
             let exec = catch_unwind(AssertUnwindSafe(|| {
                 execute(
                     &req.workload,
-                    req.platform,
+                    platform,
                     &req.astar,
                     &interrupt,
+                    check_probe,
                     &entry,
                     &mut warm,
                     metrics,
@@ -165,6 +311,29 @@ fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>)
             }));
             let service_time = Instant::now().duration_since(now);
             metrics.service.record(service_time);
+
+            // Feed the breaker: native panics, poisoned check pools, and
+            // deadline blowouts mid-search are platform failures;
+            // cancellations and clean completions are not. Fallback
+            // outcomes never count.
+            let native_failure = match &exec {
+                Err(payload) => !payload.is::<WorkerPoison>(),
+                Ok((_, Termination::Interrupted(InterruptReason::Poisoned))) => true,
+                Ok((_, Termination::Interrupted(InterruptReason::Deadline))) => true,
+                Ok(_) => false,
+            };
+            if let Some(b) = breaker {
+                match b.record(route, !native_failure) {
+                    BreakerEvent::Tripped => {
+                        metrics.breaker_tripped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    BreakerEvent::Recovered => {
+                        metrics.breaker_recovered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    BreakerEvent::None => {}
+                }
+            }
+
             let outcome = match exec {
                 Ok((planned, termination)) => match termination {
                     Termination::Interrupted(InterruptReason::Cancelled) => {
@@ -199,7 +368,15 @@ fn worker_loop(index: usize, rx: &Receiver<Batch>, metrics: &Arc<ServerMetrics>)
                 }
             };
             metrics.total.record(Instant::now().duration_since(submitted_at));
+            // Completion site: fires *outside* the per-request boundary,
+            // after planning but before the reply settles — a panic here
+            // kills the loop and the dropped reply resolves as Lost, which
+            // is exactly the containment the chaos suite asserts.
+            if let Some(plan) = fault {
+                let _ = plan.perturb(FaultSite::Completion, id);
+            }
             reply.finish(outcome, index);
+            progress.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -219,11 +396,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// timeout/cancel outcomes). Panics propagate to the per-request
 /// `catch_unwind` in [`worker_loop`] (which re-raises the [`WorkerPoison`]
 /// marker to kill the whole loop).
+#[allow(clippy::too_many_arguments)]
 fn execute(
     workload: &Workload,
     platform: Platform,
     astar: &racod_search::AstarConfig,
     interrupt: &Interrupt,
+    check_probe: Option<CheckProbe>,
     entry: &crate::registry::MapEntry,
     warm: &mut WarmState,
     metrics: &Arc<ServerMetrics>,
@@ -246,8 +425,15 @@ fn execute(
             // Definite-infeasibility prefilter from the cached per-map
             // reachability artifact: if exactly one endpoint is in the
             // seed's free component no path can exist, and a direct planner
-            // call would also return an empty path — skip the search.
-            if let Some(art) = entry.artifacts2() {
+            // call would also return an empty path — skip the search. The
+            // bundle is checksum-verified first; a corrupted one is
+            // discarded and the request plans without the prefilter, so
+            // correctness never rests on an unverified artifact.
+            let (art, corrupted) = entry.artifacts2_verified();
+            if corrupted {
+                metrics.map_corruptions_detected.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(art) = art {
                 if art.definitely_disconnected(*start, *goal) {
                     return (
                         Planned {
@@ -269,6 +455,15 @@ fn execute(
             sc.footprint = *footprint;
             sc.start = *start;
             sc.goal = *goal;
+            // The mid-check fault site instruments the *accelerated*
+            // checker paths (RACOD's timed oracle, the Threads pool
+            // closure); the plain software path stays trusted so breaker
+            // fallbacks demonstrably work while faults are armed.
+            if matches!(platform, Platform::Racod { .. }) {
+                if let Some(p) = check_probe.clone() {
+                    sc = sc.with_check_probe(p);
+                }
+            }
             match platform {
                 Platform::SimSoftware { threads, runahead } => {
                     let out = plan_software_2d_in(
@@ -303,17 +498,23 @@ fn execute(
                     let hits = Arc::new(AtomicU64::new(0));
                     let misses = Arc::new(AtomicU64::new(0));
                     let (h, m) = (hits.clone(), misses.clone());
+                    let probe = check_probe.clone();
+                    let pool = warm.check_pool2(threads);
+                    let pool_panics_before = pool.check_panics();
                     // The check threads come from the worker's persistent
                     // pool; only the episode-specific closure is new per
                     // request.
                     let planner = ParallelPlanner::with_pool(
                         ParallelConfig { threads, runahead },
                         move |s| {
+                            if let Some(p) = &probe {
+                                p();
+                            }
                             let (tpl, hit) = cache.get(&fp, fp.rot_key(s, goal_c));
                             if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
                             template_check_2d(grid.as_ref(), s, &tpl).verdict.is_free()
                         },
-                        warm.check_pool2(threads),
+                        pool.clone(),
                     );
                     let space = GridSpace2::eight_connected(
                         racod_grid::Occupancy2::width(sc.grid),
@@ -321,6 +522,10 @@ fn execute(
                     );
                     let run =
                         planner.plan_config_in(&space, *start, *goal, &astar, &mut warm.scratch2);
+                    metrics.check_pool_panics.fetch_add(
+                        pool.check_panics().saturating_sub(pool_panics_before),
+                        Ordering::Relaxed,
+                    );
                     record_tstats(
                         metrics,
                         TemplateStats {
@@ -351,6 +556,11 @@ fn execute(
             sc.footprint = *footprint;
             sc.start = *start;
             sc.goal = *goal;
+            if matches!(platform, Platform::Racod { .. }) {
+                if let Some(p) = check_probe.clone() {
+                    sc = sc.with_check_probe(p);
+                }
+            }
             match platform {
                 Platform::SimSoftware { threads, runahead } => {
                     let out = plan_software_3d_in(
@@ -385,14 +595,20 @@ fn execute(
                     let hits = Arc::new(AtomicU64::new(0));
                     let misses = Arc::new(AtomicU64::new(0));
                     let (h, m) = (hits.clone(), misses.clone());
+                    let probe = check_probe.clone();
+                    let pool = warm.check_pool3(threads);
+                    let pool_panics_before = pool.check_panics();
                     let planner = ParallelPlanner::with_pool(
                         ParallelConfig { threads, runahead },
                         move |s| {
+                            if let Some(p) = &probe {
+                                p();
+                            }
                             let (tpl, hit) = cache.get(&fp, fp.rot_key(s, goal_c));
                             if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
                             template_check_3d(grid.as_ref(), s, &tpl).verdict.is_free()
                         },
-                        warm.check_pool3(threads),
+                        pool.clone(),
                     );
                     let space = GridSpace3::twenty_six_connected(
                         racod_grid::Occupancy3::size_x(sc.grid),
@@ -401,6 +617,10 @@ fn execute(
                     );
                     let run =
                         planner.plan_config_in(&space, *start, *goal, &astar, &mut warm.scratch3);
+                    metrics.check_pool_panics.fetch_add(
+                        pool.check_panics().saturating_sub(pool_panics_before),
+                        Ordering::Relaxed,
+                    );
                     record_tstats(
                         metrics,
                         TemplateStats {

@@ -72,6 +72,22 @@ pub struct PlanTiming {
     pub unit_utilization: f64,
 }
 
+/// A side-effect hook run before every dispatched collision check. Used by
+/// fault injection to slow, wedge, or kill individual checks; `None` costs
+/// one branch per dispatch and nothing else.
+pub type CheckProbe = std::sync::Arc<dyn Fn() + Send + Sync>;
+
+/// Cloneable, `Debug`-friendly holder for an optional [`CheckProbe`], so
+/// scenario types can keep their derives while carrying a probe.
+#[derive(Clone, Default)]
+pub struct CheckProbeSlot(pub Option<CheckProbe>);
+
+impl std::fmt::Debug for CheckProbeSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "CheckProbeSlot(Fn)" } else { "CheckProbeSlot(None)" })
+    }
+}
+
 /// The timed oracle. See the module docs.
 pub struct TimedOracle<'a, Sp: SearchSpace, C>
 where
@@ -91,6 +107,7 @@ where
     stats: RasexpStats,
     /// Reused runahead neighbor buffer (no per-expansion allocation).
     neigh: Vec<(Sp::State, f64)>,
+    check_probe: Option<CheckProbe>,
 }
 
 impl<'a, Sp, C> TimedOracle<'a, Sp, C>
@@ -119,7 +136,14 @@ where
             stall_cycles: 0,
             stats: RasexpStats::default(),
             neigh: Vec::with_capacity(32),
+            check_probe: None,
         }
+    }
+
+    /// Attaches a [`CheckProbe`] run before every dispatched check.
+    pub fn with_check_probe(mut self, probe: Option<CheckProbe>) -> Self {
+        self.check_probe = probe;
+        self
     }
 
     /// The core clock after the run so far.
@@ -159,6 +183,9 @@ where
         } else {
             self.units.dispatch_if_free(arrive, 0)?
         };
+        if let Some(probe) = &self.check_probe {
+            probe();
+        }
         let (free, cycles) = self.checker.check(unit, s);
         self.units.extend(unit, start + cycles);
         Some((free, start + cycles + self.cost.comm_latency))

@@ -6,7 +6,9 @@
 
 use crate::cost::CostModel;
 use crate::footprint::{Footprint2, Footprint3, RotKey};
-use crate::oracle::{PlanTiming, TimedChecker, TimedOracle, TimedOracleConfig};
+use crate::oracle::{
+    CheckProbe, CheckProbeSlot, PlanTiming, TimedChecker, TimedOracle, TimedOracleConfig,
+};
 use crate::tcache::{TemplateCache2, TemplateCache3, TemplateStats};
 use racod_codacc::{template_check_2d, template_check_3d, CodaccPool, CodaccTiming};
 use racod_geom::{Cell2, Cell3, FootprintTemplate2, FootprintTemplate3};
@@ -34,6 +36,9 @@ pub struct Scenario2<'g> {
     /// Optional shared template cache (e.g. a serving layer's per-map
     /// warm artifact). `None` gives every plan a fresh cache.
     pub tcache: Option<Arc<TemplateCache2>>,
+    /// Optional probe run before every collision check (fault injection /
+    /// instrumentation). Empty by default and free when empty.
+    pub check_probe: CheckProbeSlot,
 }
 
 impl<'g> Scenario2<'g> {
@@ -49,6 +54,7 @@ impl<'g> Scenario2<'g> {
             space: GridSpace2::eight_connected(grid.width(), grid.height()),
             astar: AstarConfig::default(),
             tcache: None,
+            check_probe: CheckProbeSlot::default(),
         }
     }
 
@@ -103,6 +109,12 @@ impl<'g> Scenario2<'g> {
     /// configuration; every `plan_*` entry point observes it.
     pub fn with_interrupt(mut self, interrupt: racod_search::Interrupt) -> Self {
         self.astar.interrupt = Some(interrupt);
+        self
+    }
+
+    /// Attaches a probe run before every collision check.
+    pub fn with_check_probe(mut self, probe: CheckProbe) -> Self {
+        self.check_probe = CheckProbeSlot(Some(probe));
         self
     }
 }
@@ -248,6 +260,9 @@ pub struct Scenario3<'g> {
     pub astar: AstarConfig,
     /// Optional shared template cache; `None` gives every plan a fresh one.
     pub tcache: Option<Arc<TemplateCache3>>,
+    /// Optional probe run before every collision check (fault injection /
+    /// instrumentation). Empty by default and free when empty.
+    pub check_probe: CheckProbeSlot,
 }
 
 impl<'g> Scenario3<'g> {
@@ -266,6 +281,7 @@ impl<'g> Scenario3<'g> {
             space: GridSpace3::twenty_six_connected(grid.size_x(), grid.size_y(), grid.size_z()),
             astar: AstarConfig::default(),
             tcache: None,
+            check_probe: CheckProbeSlot::default(),
         }
     }
 
@@ -279,6 +295,12 @@ impl<'g> Scenario3<'g> {
     /// configuration; every `plan_*` entry point observes it.
     pub fn with_interrupt(mut self, interrupt: racod_search::Interrupt) -> Self {
         self.astar.interrupt = Some(interrupt);
+        self
+    }
+
+    /// Attaches a probe run before every collision check.
+    pub fn with_check_probe(mut self, probe: CheckProbe) -> Self {
+        self.check_probe = CheckProbeSlot(Some(probe));
         self
     }
 
@@ -535,7 +557,8 @@ pub fn plan_software_2d_in(
         None => TimedOracleConfig::baseline(threads),
         Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
     };
-    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config)
+        .with_check_probe(sc.check_probe.0.clone());
     let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
@@ -598,7 +621,8 @@ pub fn plan_racod_2d_ext_in(
     } else {
         TimedOracleConfig::baseline(units)
     };
-    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config)
+        .with_check_probe(sc.check_probe.0.clone());
     let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
@@ -644,7 +668,8 @@ pub fn plan_racod_2d_pooled_in(
         scratch: Vec::new(),
     };
     let mut oracle =
-        TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units));
+        TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units))
+            .with_check_probe(sc.check_probe.0.clone());
     let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
@@ -685,7 +710,8 @@ pub fn plan_racod_3d_pooled_in(
         scratch: Vec::new(),
     };
     let mut oracle =
-        TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units));
+        TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units))
+            .with_check_probe(sc.check_probe.0.clone());
     let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
@@ -724,7 +750,8 @@ pub fn plan_software_3d_in(
         None => TimedOracleConfig::baseline(threads),
         Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
     };
-    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config)
+        .with_check_probe(sc.check_probe.0.clone());
     let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
@@ -781,7 +808,8 @@ pub fn plan_racod_3d_ext_in(
     } else {
         TimedOracleConfig::baseline(units)
     };
-    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config);
+    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config)
+        .with_check_probe(sc.check_probe.0.clone());
     let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
