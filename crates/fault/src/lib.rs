@@ -49,10 +49,29 @@ pub enum FaultSite {
     Completion,
     /// Building a map's cached artifacts (models a corrupted load).
     MapLoad,
+    /// The wire transport, per outbound frame (`racod-net`). Rules here use
+    /// the frame-level actions: [`FaultAction::Drop`] discards the frame,
+    /// `Delay` stalls it, `Corrupt` flips payload bytes so the receiver's
+    /// checksum rejects it.
+    Net,
 }
 
 impl FaultSite {
-    pub const ALL: [FaultSite; 6] = [
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::Admission,
+        FaultSite::Dispatch,
+        FaultSite::MidCheck,
+        FaultSite::MidSearch,
+        FaultSite::Completion,
+        FaultSite::MapLoad,
+        FaultSite::Net,
+    ];
+
+    /// The in-process sites [`FaultPlan::from_seed`] draws from. Kept at the
+    /// pre-`Net` set on purpose: seed-derived chaos plans (the PR 5 seed
+    /// matrix) must stay bit-identical across releases. Wire faults are
+    /// opted into explicitly via [`FaultPlan::builder`].
+    pub const SEEDED: [FaultSite; 6] = [
         FaultSite::Admission,
         FaultSite::Dispatch,
         FaultSite::MidCheck,
@@ -70,6 +89,7 @@ impl FaultSite {
             FaultSite::MidSearch => 3,
             FaultSite::Completion => 4,
             FaultSite::MapLoad => 5,
+            FaultSite::Net => 6,
         }
     }
 
@@ -94,6 +114,11 @@ pub enum FaultAction {
     /// Signal the caller to corrupt its own artifact (only the caller knows
     /// what "corrupt" means for its data).
     Corrupt,
+    /// Signal the caller to discard the unit of work it was about to emit
+    /// (a wire frame, a message). Only meaningful at sites whose callers
+    /// know what "drop" means; [`FaultPlan::perturb`] treats it as a no-op
+    /// side effect and reports it like `Corrupt` does.
+    Drop,
 }
 
 /// One (site, probability, action) triple.
@@ -111,7 +136,7 @@ pub struct FaultPlan {
     seed: u64,
     rules: Vec<FaultRule>,
     armed: AtomicBool,
-    injected: [AtomicU64; 6],
+    injected: [AtomicU64; 7],
 }
 
 impl FaultPlan {
@@ -131,7 +156,8 @@ impl FaultPlan {
     }
 
     /// Derive a mixed fault schedule from a seed alone: 2–4 rules over the
-    /// sites, with site-appropriate actions and rates in the 2–15% range
+    /// in-process sites ([`FaultSite::SEEDED`] — wire faults are explicit
+    /// opt-ins), with site-appropriate actions and rates in the 2–15% range
     /// (panic-style rules are kept rarer so a chaos run degrades rather
     /// than flatlines). The same seed always yields the same plan.
     pub fn from_seed(seed: u64) -> Self {
@@ -143,7 +169,7 @@ impl FaultPlan {
         let n_rules = 2 + (next() % 3) as usize; // 2..=4
         let mut rules = Vec::with_capacity(n_rules);
         for _ in 0..n_rules {
-            let site = FaultSite::ALL[(next() % FaultSite::ALL.len() as u64) as usize];
+            let site = FaultSite::SEEDED[(next() % FaultSite::SEEDED.len() as u64) as usize];
             let pct = |lo: u64, hi: u64, r: u64| (lo + r % (hi - lo + 1)) as u32 * 10_000;
             let us = |lo: u64, hi: u64, r: u64| Duration::from_micros(lo + r % (hi - lo + 1));
             let (rate_ppm, action) = match site {
@@ -164,6 +190,9 @@ impl FaultPlan {
                 },
                 FaultSite::Completion => (pct(1, 5, next()), FaultAction::Panic),
                 FaultSite::MapLoad => (pct(5, 40, next()), FaultAction::Corrupt),
+                // Not in SEEDED (wire faults are explicit opt-ins), but the
+                // match stays exhaustive should that ever change.
+                FaultSite::Net => (pct(2, 10, next()), FaultAction::Drop),
             };
             rules.push(FaultRule { site, rate_ppm, action });
         }
@@ -226,7 +255,9 @@ impl FaultPlan {
 
     /// Decide *and execute* the side-effectful actions inline: sleeps for
     /// `Delay`/`Wedge`, panics (with [`PANIC_TAG`]) for `Panic`. Returns
-    /// `true` for `Corrupt`, which only the caller can carry out.
+    /// `true` for the caller-executed actions (`Corrupt`, `Drop`), which
+    /// only the caller can carry out. Sites that distinguish the two (the
+    /// wire layer) use [`decide`](Self::decide) directly.
     #[track_caller]
     pub fn perturb(&self, site: FaultSite, token: u64) -> bool {
         match self.decide(site, token) {
@@ -235,7 +266,7 @@ impl FaultPlan {
                 std::thread::sleep(d);
                 false
             }
-            Some(FaultAction::Corrupt) => true,
+            Some(FaultAction::Corrupt) | Some(FaultAction::Drop) => true,
             Some(FaultAction::Panic) => {
                 let at = Location::caller();
                 panic!(
@@ -356,6 +387,36 @@ mod tests {
         let msg = err.downcast_ref::<String>().expect("string payload");
         assert!(FaultPlan::is_injected_panic(msg), "missing tag in {msg:?}");
         assert_eq!(plan.injected_at(FaultSite::MidSearch), 1);
+    }
+
+    #[test]
+    fn net_site_decides_independently_and_deterministically() {
+        let plan = FaultPlan::builder(11)
+            .rule(FaultSite::Net, 250_000, FaultAction::Drop)
+            .rule(FaultSite::Net, 250_000, FaultAction::Corrupt)
+            .build();
+        let first: Vec<_> = (0..4_000u64).map(|t| plan.decide(FaultSite::Net, t)).collect();
+        let replay = FaultPlan::builder(11)
+            .rule(FaultSite::Net, 250_000, FaultAction::Drop)
+            .rule(FaultSite::Net, 250_000, FaultAction::Corrupt)
+            .build();
+        let second: Vec<_> = (0..4_000u64).map(|t| replay.decide(FaultSite::Net, t)).collect();
+        assert_eq!(first, second);
+        let fired = first.iter().flatten().count();
+        assert!(fired > 0, "a 25%+25% rule pair should fire over 4000 tokens");
+        // Net decisions never bleed into other sites.
+        assert_eq!(plan.decide(FaultSite::MidCheck, 0), None);
+    }
+
+    #[test]
+    fn from_seed_never_emits_net_rules() {
+        // Seed-derived plans predate the wire layer; their site pool is
+        // frozen so PR 5 chaos seeds replay bit-identically forever.
+        for seed in 0..256u64 {
+            for rule in FaultPlan::from_seed(seed).rules() {
+                assert_ne!(rule.site, FaultSite::Net, "seed {seed} drew a Net rule");
+            }
+        }
     }
 
     #[test]

@@ -1,38 +1,47 @@
-//! Load generator for `racod-server`.
+//! Load generator for the RACOD planning service.
 //!
 //! Drives a mixed-map workload (four 2D city maps, a random-obstacle map, a
-//! rooms map, and a 3D campus) against an in-process [`PlanServer`] and
-//! prints a throughput/latency report. Two modes:
+//! rooms map, and a 3D campus) against either an in-process [`PlanServer`]
+//! (default) or a remote `racod-netd` / `racod-router` endpoint
+//! (`--remote HOST:PORT`), and prints a throughput/latency report. Modes:
 //!
 //! * **closed-loop** (default): `--clients N` submitter threads, each
-//!   keeping one request in flight — measures capacity.
+//!   keeping one request in flight — measures capacity. The only mode
+//!   `--remote` supports (each client owns one connection).
 //! * **open-loop**: `--rate R` requests/second from a single arrival clock
 //!   with per-request deadlines — measures behavior under overload, where
-//!   admission control and deadline expiry must shed load.
+//!   admission control and deadline expiry must shed load. Local only.
 //!
-//! Usage: `cargo run --release -p racod-server --bin loadgen -- [--requests N]
+//! Usage: `cargo run --release -p racod-net --bin loadgen -- [--requests N]
 //! [--clients N | --rate R] [--workers N] [--queue N] [--units N] [--seed S]
-//! [--deadline D] [--cancel-rate F] [--overshoot-budget D] [--platform P]`
+//! [--deadline D] [--cancel-rate F] [--overshoot-budget D] [--platform P]
+//! [--remote HOST:PORT]`
 //!
 //! `--deadline` attaches a per-request completion budget (e.g. `5ms`,
 //! `250us`, `1s`; a bare number is milliseconds). The run then tracks
 //! *overshoot* — how far past `submit + deadline` each response arrived —
 //! and fails if the worst overshoot exceeds `--overshoot-budget` (default
-//! 250ms), which bounds how long a doomed request can pin a worker past
-//! its deadline. `--cancel-rate F` cancels that fraction of in-flight
-//! requests shortly after submission, exercising mid-search aborts.
+//! 250ms). `--cancel-rate F` cancels that fraction of in-flight requests
+//! shortly after submission, exercising mid-search aborts (local only: the
+//! wire protocol is strict request→response and carries no cancel).
+//!
+//! Every run prints `plan digest 0x…`: an order-independent XOR of a hash
+//! over each planned request's map, endpoints, cost bits, and path cells.
+//! A local run and a `--remote` run with the same seed and world must
+//! print the same digest — that is the wire layer's bit-identity contract,
+//! and CI's `net-smoke` job asserts it.
 
-use racod_geom::{Cell2, Cell3};
-use racod_grid::gen::{campus_3d, city_map, random_map, rooms_map, CityName};
-use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
+use racod_fault::mix64;
+use racod_net::wire::fnv1a;
+use racod_net::{plan_with_retry, standard_world, ClientConfig, MapPool, NetClient, WireResult};
 use racod_server::{
-    submit_with_retry, MapRegistry, Outcome, PlanRequest, PlanServer, Platform, Priority, Rejected,
-    RetryPolicy, ServerConfig, TimeoutStage,
+    submit_with_retry, Outcome, PlanRequest, PlanServer, Planned, PlannedPath, Platform, Priority,
+    Rejected, RetryPolicy, ServerConfig, ServerMetrics, TimeoutStage, Workload,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -54,6 +63,7 @@ struct Options {
     cancel_rate: f64,
     overshoot_budget: Duration,
     platform: LoadPlatform,
+    remote: Option<String>,
 }
 
 impl Default for Options {
@@ -71,6 +81,7 @@ impl Default for Options {
             cancel_rate: 0.0,
             overshoot_budget: Duration::from_millis(250),
             platform: LoadPlatform::Racod,
+            remote: None,
         }
     }
 }
@@ -161,6 +172,9 @@ fn parse_args() -> Options {
                 }
             };
             i += 2;
+        } else if let Some(v) = take("--remote") {
+            o.remote = Some(v);
+            i += 2;
         } else {
             eprintln!("unknown argument {}", args[i]);
             std::process::exit(2);
@@ -176,76 +190,17 @@ fn parse_args() -> Options {
         eprintln!("--cancel-rate must be in [0, 1]");
         std::process::exit(2);
     }
+    if o.remote.is_some() {
+        if o.rate.is_some() {
+            eprintln!("--rate (open-loop) is not supported with --remote");
+            std::process::exit(2);
+        }
+        if o.cancel_rate > 0.0 {
+            eprintln!("--cancel-rate is not supported with --remote (no wire cancel)");
+            std::process::exit(2);
+        }
+    }
     o
-}
-
-/// A workload endpoint pool: free cells snapped per map at startup so the
-/// load phase submits raw, valid coordinates (the server never snaps).
-enum MapPool {
-    D2 { name: &'static str, cells: Vec<Cell2> },
-    D3 { name: &'static str, cells: Vec<Cell3> },
-}
-
-fn free_cells_2d(grid: &BitGrid2, n: usize, rng: &mut SmallRng) -> Vec<Cell2> {
-    let mut out = Vec::with_capacity(n);
-    let mut guard = 0;
-    while out.len() < n && guard < 200_000 {
-        guard += 1;
-        let c = Cell2::new(
-            rng.gen_range(1..grid.width() as i64 - 1),
-            rng.gen_range(1..grid.height() as i64 - 1),
-        );
-        if grid.occupied(c) == Some(false) {
-            out.push(c);
-        }
-    }
-    out
-}
-
-fn free_cells_3d(grid: &BitGrid3, n: usize, rng: &mut SmallRng) -> Vec<Cell3> {
-    let mut out = Vec::with_capacity(n);
-    let mut guard = 0;
-    while out.len() < n && guard < 200_000 {
-        guard += 1;
-        let c = Cell3::new(
-            rng.gen_range(1..grid.size_x() as i64 - 1),
-            rng.gen_range(1..grid.size_y() as i64 - 1),
-            rng.gen_range(grid.size_z() as i64 / 2..grid.size_z() as i64 - 1),
-        );
-        if grid.occupied(c) == Some(false) {
-            out.push(c);
-        }
-    }
-    out
-}
-
-fn build_world(o: &Options) -> (Arc<MapRegistry>, Vec<MapPool>) {
-    let mut rng = SmallRng::seed_from_u64(o.seed);
-    let reg = MapRegistry::new();
-    let mut pools = Vec::new();
-    let s = o.map_size;
-    for name in CityName::ALL {
-        let grid = city_map(name, s, s);
-        let cells = free_cells_2d(&grid, 64, &mut rng);
-        reg.insert_grid2(name.as_str(), grid);
-        pools.push(MapPool::D2 { name: name.as_str(), cells });
-    }
-    let rnd = random_map(o.seed ^ 0xA5A5, s, s, 0.15);
-    let cells = free_cells_2d(&rnd, 64, &mut rng);
-    reg.insert_grid2("random", rnd);
-    pools.push(MapPool::D2 { name: "random", cells });
-
-    let rooms = rooms_map(o.seed ^ 0x33, s, s, 16);
-    let cells = free_cells_2d(&rooms, 64, &mut rng);
-    reg.insert_grid2("rooms", rooms);
-    pools.push(MapPool::D2 { name: "rooms", cells });
-
-    let campus = campus_3d(o.seed ^ 0xC3, 48, 48, 24);
-    let cells = free_cells_3d(&campus, 64, &mut rng);
-    reg.insert_grid3("campus", campus);
-    pools.push(MapPool::D3 { name: "campus", cells });
-
-    (Arc::new(reg), pools)
 }
 
 fn make_request(pools: &[MapPool], o: &Options, rng: &mut SmallRng) -> PlanRequest {
@@ -274,6 +229,55 @@ fn make_request(pools: &[MapPool], o: &Options, rng: &mut SmallRng) -> PlanReque
     req.with_platform(platform).with_priority(priority)
 }
 
+/// Order-independent hash of one planned result: the request's map and
+/// endpoints plus the answer's cost bits and path cells. XOR-folded
+/// across a run, this is identical between a local and a remote run iff
+/// every plan came back bit-identical — the digest CI compares.
+fn plan_digest(req: &PlanRequest, p: &Planned) -> u64 {
+    let mut h = mix64(fnv1a(req.map.as_str().as_bytes()));
+    let mut fold = |v: u64| h = mix64(h ^ v);
+    match &req.workload {
+        Workload::Plan2 { start, goal, .. } => {
+            fold(start.x as u64);
+            fold(start.y as u64);
+            fold(goal.x as u64);
+            fold(goal.y as u64);
+        }
+        Workload::Plan3 { start, goal, .. } => {
+            fold(start.x as u64);
+            fold(start.y as u64);
+            fold(start.z as u64);
+            fold(goal.x as u64);
+            fold(goal.y as u64);
+            fold(goal.z as u64);
+        }
+        Workload::Poison | Workload::PoisonWorker => {}
+    }
+    fold(p.cost.to_bits());
+    match &p.path {
+        PlannedPath::P2(path) => {
+            fold(path.as_ref().map_or(u64::MAX, |c| c.len() as u64));
+            if let Some(cells) = path {
+                for c in cells {
+                    fold(c.x as u64);
+                    fold(c.y as u64);
+                }
+            }
+        }
+        PlannedPath::P3(path) => {
+            fold(path.as_ref().map_or(u64::MAX, |c| c.len() as u64));
+            if let Some(cells) = path {
+                for c in cells {
+                    fold(c.x as u64);
+                    fold(c.y as u64);
+                    fold(c.z as u64);
+                }
+            }
+        }
+    }
+    h
+}
+
 #[derive(Default)]
 struct Tally {
     planned: AtomicU64,
@@ -285,18 +289,23 @@ struct Tally {
     lost: AtomicU64,
     rejected: AtomicU64,
     shed: AtomicU64,
+    unavailable: AtomicU64,
     retries: AtomicU64,
     give_ups: AtomicU64,
     warm: AtomicU64,
+    net_errors: AtomicU64,
+    /// XOR fold of per-plan digests; order-independent.
+    digest: AtomicU64,
     /// Worst observed response lateness past `submit + deadline`, in µs.
     max_overshoot_us: AtomicU64,
 }
 
 impl Tally {
-    fn absorb(&self, outcome: &Outcome) {
+    fn absorb(&self, req: &PlanRequest, outcome: &Outcome) {
         match outcome {
             Outcome::Planned(p) => {
                 self.planned.fetch_add(1, Ordering::Relaxed);
+                self.digest.fetch_xor(plan_digest(req, p), Ordering::Relaxed);
                 if p.path.found() {
                     self.found.fetch_add(1, Ordering::Relaxed);
                 }
@@ -352,7 +361,7 @@ fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &
                     // deterministic jittered backoff; the seed decorrelates
                     // clients so they don't retry in lockstep.
                     let jitter_seed = o.seed ^ ((client as u64) << 40) ^ sent as u64;
-                    let attempt = submit_with_retry(server, req, &policy, jitter_seed);
+                    let attempt = submit_with_retry(server, req.clone(), &policy, jitter_seed);
                     tally.retries.fetch_add(attempt.retries as u64, Ordering::Relaxed);
                     match attempt.result {
                         Ok(ticket) => {
@@ -361,7 +370,7 @@ fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &
                                 std::thread::sleep(Duration::from_micros(500));
                                 ticket.cancel();
                             }
-                            tally.absorb(&ticket.wait().outcome);
+                            tally.absorb(&req, &ticket.wait().outcome);
                             tally.record_overshoot(submit_at, o.deadline);
                         }
                         Err(Rejected::QueueFull) => {
@@ -385,6 +394,81 @@ fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &
     });
 }
 
+/// The remote twin of [`run_closed_loop`]: identical RNG streams and
+/// retry jitter seeds, but each client owns one connection to a netd or
+/// router instead of an in-process server handle. A transport error
+/// counts as a net error and the client redials — the request is *not*
+/// silently resubmitted (any delivered duplicate would break the
+/// at-most-once contract the service keeps).
+fn run_remote_closed_loop(addr: SocketAddr, pools: &[MapPool], o: &Options, tally: &Tally) {
+    std::thread::scope(|scope| {
+        let per_client = o.requests / o.clients.max(1);
+        let remainder = o.requests - per_client * o.clients.max(1);
+        let policy = RetryPolicy::default();
+        for client in 0..o.clients.max(1) {
+            let n = per_client + usize::from(client < remainder);
+            scope.spawn(move || {
+                let mut conn = match NetClient::connect(addr, ClientConfig::default()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("client {client}: connect failed: {e}");
+                        tally.net_errors.fetch_add(n as u64, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut rng = SmallRng::seed_from_u64(o.seed ^ (client as u64) << 17);
+                let mut sent = 0;
+                while sent < n {
+                    let mut req = make_request(pools, o, &mut rng);
+                    if let Some(d) = o.deadline {
+                        req = req.with_deadline(d);
+                    }
+                    let submit_at = Instant::now();
+                    let jitter_seed = o.seed ^ ((client as u64) << 40) ^ sent as u64;
+                    let attempt = plan_with_retry(&mut conn, &req, &policy, jitter_seed);
+                    tally.retries.fetch_add(attempt.retries as u64, Ordering::Relaxed);
+                    sent += 1;
+                    match attempt.result {
+                        Ok(WireResult::Done(resp)) => {
+                            tally.absorb(&req, &resp.outcome);
+                            tally.record_overshoot(submit_at, o.deadline);
+                        }
+                        Ok(WireResult::Rejected(Rejected::QueueFull)) => {
+                            tally.rejected.fetch_add(1, Ordering::Relaxed);
+                            tally.give_ups.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(WireResult::Rejected(Rejected::DeadlineInfeasible { .. })) => {
+                            tally.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(WireResult::Rejected(Rejected::ShuttingDown)) => {
+                            // The shard (or whole fleet) is draining or
+                            // unreachable; the request was never admitted.
+                            tally.unavailable.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(WireResult::Rejected(e)) => panic!("unexpected rejection: {e}"),
+                        Err(e) => {
+                            eprintln!("client {client}: transport error: {e}");
+                            tally.net_errors.fetch_add(1, Ordering::Relaxed);
+                            // Redial for the *next* request; this one is
+                            // spent.
+                            match NetClient::connect(addr, ClientConfig::default()) {
+                                Ok(c) => conn = c,
+                                Err(e) => {
+                                    eprintln!("client {client}: reconnect failed: {e}");
+                                    tally
+                                        .net_errors
+                                        .fetch_add((n - sent) as u64, Ordering::Relaxed);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
 fn run_open_loop(server: &PlanServer, pools: &[MapPool], o: &Options, rate: f64, tally: &Tally) {
     let interval = Duration::from_secs_f64(1.0 / rate.max(1e-6));
     let deadline = o.deadline.unwrap_or(Duration::from_millis(250));
@@ -399,14 +483,14 @@ fn run_open_loop(server: &PlanServer, pools: &[MapPool], o: &Options, rate: f64,
             let req = make_request(pools, o, &mut rng).with_deadline(deadline);
             let cancel = o.cancel_rate > 0.0 && rng.gen_bool(o.cancel_rate);
             let submit_at = Instant::now();
-            match server.submit(req) {
+            match server.submit(req.clone()) {
                 Ok(ticket) => {
                     scope.spawn(move || {
                         if cancel {
                             std::thread::sleep(Duration::from_micros(500));
                             ticket.cancel();
                         }
-                        tally.absorb(&ticket.wait().outcome);
+                        tally.absorb(&req, &ticket.wait().outcome);
                         tally.record_overshoot(submit_at, Some(deadline));
                     });
                 }
@@ -434,44 +518,8 @@ impl MulSec for Duration {
     }
 }
 
-fn main() {
-    let o = parse_args();
-    let (registry, pools) = build_world(&o);
-    println!(
-        "racod-server loadgen: {} requests, {} maps, {} workers, queue {}, {} CODAcc units",
-        o.requests,
-        registry.len(),
-        o.workers,
-        o.queue,
-        o.units
-    );
-
-    let server = PlanServer::start(
-        ServerConfig { workers: o.workers, queue_capacity: o.queue, ..Default::default() },
-        registry,
-    );
-
-    let tally = Tally::default();
-    let begin = Instant::now();
-    match o.rate {
-        None => {
-            println!("mode: closed-loop, {} clients", o.clients);
-            run_closed_loop(&server, &pools, &o, &tally);
-        }
-        Some(rate) => {
-            let d = o.deadline.unwrap_or(Duration::from_millis(250));
-            println!("mode: open-loop, {rate} req/s, {d:?} deadline");
-            run_open_loop(&server, &pools, &o, rate, &tally);
-        }
-    }
-    let elapsed = begin.elapsed();
-
-    let m = server.metrics();
-    let (qw50, qw95, qw99) = m.queue_wait.percentiles();
-    let (sv50, sv95, sv99) = m.service.percentiles();
-    let (to50, to95, to99) = m.total.percentiles();
+fn print_report(tally: &Tally, elapsed: Duration, metrics: Option<&ServerMetrics>, o: &Options) {
     let n = |a: &AtomicU64| a.load(Ordering::Relaxed);
-
     println!();
     println!("== loadgen report ==");
     println!("elapsed            {:.2}s", elapsed.as_secs_f64());
@@ -489,46 +537,60 @@ fn main() {
     println!("lost               {}", n(&tally.lost));
     println!("queue-full rejects {}", n(&tally.rejected));
     println!("shed (infeasible)  {}", n(&tally.shed));
+    println!("unavailable        {}", n(&tally.unavailable));
     println!("client retries     {}", n(&tally.retries));
     println!("client give-ups    {}", n(&tally.give_ups));
-    println!(
-        "affinity hit rate  {:.1}% over {} dispatches",
-        m.affinity_hit_rate() * 100.0,
-        m.affinity_hits.load(Ordering::Relaxed) + m.affinity_misses.load(Ordering::Relaxed)
-    );
-    println!(
-        "template hit rate  {:.1}% over {} lookups",
-        m.template_hit_rate() * 100.0,
-        m.template_hits.load(Ordering::Relaxed) + m.template_misses.load(Ordering::Relaxed)
-    );
-    println!();
-    println!("latency (µs)        p50      p95      p99");
-    println!(
-        "  queue wait   {:>8} {:>8} {:>8}",
-        qw50.as_micros(),
-        qw95.as_micros(),
-        qw99.as_micros()
-    );
-    println!(
-        "  service      {:>8} {:>8} {:>8}",
-        sv50.as_micros(),
-        sv95.as_micros(),
-        sv99.as_micros()
-    );
-    println!(
-        "  total        {:>8} {:>8} {:>8}",
-        to50.as_micros(),
-        to95.as_micros(),
-        to99.as_micros()
-    );
-    println!();
-    println!("-- metrics page --");
-    print!("{}", server.render_metrics());
+    println!("net errors         {}", n(&tally.net_errors));
+    println!("plan digest        0x{:016x}", n(&tally.digest));
+    if let Some(m) = metrics {
+        println!(
+            "affinity hit rate  {:.1}% over {} dispatches",
+            m.affinity_hit_rate() * 100.0,
+            m.affinity_hits.load(Ordering::Relaxed) + m.affinity_misses.load(Ordering::Relaxed)
+        );
+        println!(
+            "template hit rate  {:.1}% over {} lookups",
+            m.template_hit_rate() * 100.0,
+            m.template_hits.load(Ordering::Relaxed) + m.template_misses.load(Ordering::Relaxed)
+        );
+        let (qw50, qw95, qw99) = m.queue_wait.percentiles();
+        let (sv50, sv95, sv99) = m.service.percentiles();
+        let (to50, to95, to99) = m.total.percentiles();
+        println!();
+        println!("latency (µs)        p50      p95      p99");
+        println!(
+            "  queue wait   {:>8} {:>8} {:>8}",
+            qw50.as_micros(),
+            qw95.as_micros(),
+            qw99.as_micros()
+        );
+        println!(
+            "  service      {:>8} {:>8} {:>8}",
+            sv50.as_micros(),
+            sv95.as_micros(),
+            sv99.as_micros()
+        );
+        println!(
+            "  total        {:>8} {:>8} {:>8}",
+            to50.as_micros(),
+            to95.as_micros(),
+            to99.as_micros()
+        );
+    }
+    let _ = o;
+}
 
+/// Shared FAIL gates; returns whether the run failed.
+fn check_failures(tally: &Tally, extra_panics: u64, o: &Options) -> bool {
+    let n = |a: &AtomicU64| a.load(Ordering::Relaxed);
     let mut failed = false;
-    let panics = n(&tally.panicked) + m.worker_respawns.load(Ordering::Relaxed);
+    let panics = n(&tally.panicked) + extra_panics;
     if panics > 0 {
         eprintln!("FAIL: {panics} panics/respawns during run");
+        failed = true;
+    }
+    if n(&tally.net_errors) > 0 {
+        eprintln!("FAIL: {} transport/protocol errors during run", n(&tally.net_errors));
         failed = true;
     }
     if o.deadline.is_some() || o.rate.is_some() {
@@ -542,7 +604,117 @@ fn main() {
             failed = true;
         }
     }
+    failed
+}
+
+fn run_local(o: &Options) -> bool {
+    let (registry, pools) = standard_world(o.seed, o.map_size);
+    println!(
+        "racod loadgen: {} requests, {} maps, {} workers, queue {}, {} CODAcc units",
+        o.requests,
+        registry.len(),
+        o.workers,
+        o.queue,
+        o.units
+    );
+
+    let server = PlanServer::start(
+        ServerConfig { workers: o.workers, queue_capacity: o.queue, ..Default::default() },
+        registry,
+    );
+
+    let tally = Tally::default();
+    let begin = Instant::now();
+    match o.rate {
+        None => {
+            println!("mode: closed-loop, {} clients", o.clients);
+            run_closed_loop(&server, &pools, o, &tally);
+        }
+        Some(rate) => {
+            let d = o.deadline.unwrap_or(Duration::from_millis(250));
+            println!("mode: open-loop, {rate} req/s, {d:?} deadline");
+            run_open_loop(&server, &pools, o, rate, &tally);
+        }
+    }
+    let elapsed = begin.elapsed();
+
+    let m = server.metrics();
+    print_report(&tally, elapsed, Some(m), o);
+    println!();
+    println!("-- metrics page --");
+    print!("{}", server.render_metrics());
+
+    let respawns = m.worker_respawns.load(Ordering::Relaxed);
+    let failed = check_failures(&tally, respawns, o);
     drop(server);
+    failed
+}
+
+fn run_remote(o: &Options, addr_str: &str) -> bool {
+    let addr: SocketAddr = match addr_str.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("invalid --remote address: {addr_str}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "racod loadgen: {} requests against {addr}, {} clients (closed-loop)",
+        o.requests, o.clients
+    );
+    // The endpoint pools must match what the shards were seeded with;
+    // only the registry handle is discarded (the remote side owns one).
+    let (_registry, pools) = standard_world(o.seed, o.map_size);
+
+    let tally = Tally::default();
+    let begin = Instant::now();
+    run_remote_closed_loop(addr, &pools, o, &tally);
+    let elapsed = begin.elapsed();
+
+    // Fleet metrics: a netd answers for itself, a router merges shards.
+    let fleet = NetClient::connect(addr, ClientConfig::default())
+        .ok()
+        .and_then(|mut c| c.metrics().ok())
+        .map(|frame| frame.restore());
+    print_report(&tally, elapsed, fleet.as_ref(), o);
+
+    if let Ok(mut c) = NetClient::connect(addr, ClientConfig::default()) {
+        if let Ok(stats) = c.shard_stats() {
+            println!();
+            println!("-- shards --");
+            for s in &stats {
+                println!(
+                    "shard {} state={:?} routed={} completed={} errors={} queue_full={} \
+                     lost={} failovers={} breaker_open={}",
+                    s.addr,
+                    s.state,
+                    s.routed,
+                    s.completed,
+                    s.errors,
+                    s.queue_full,
+                    s.lost,
+                    s.failovers,
+                    s.breaker_open
+                );
+            }
+        }
+    }
+    if let Some(m) = &fleet {
+        println!();
+        println!("-- fleet metrics --");
+        print!("{}", m.render_text());
+    }
+
+    let respawns = fleet.as_ref().map_or(0, |m| m.worker_respawns.load(Ordering::Relaxed));
+    check_failures(&tally, respawns, o)
+}
+
+fn main() {
+    let o = parse_args();
+    let failed = match o.remote.clone() {
+        Some(addr) => run_remote(&o, &addr),
+        None => run_local(&o),
+    };
     if failed {
         std::process::exit(1);
     }

@@ -1,0 +1,157 @@
+//! A blocking client for racod-netd / racod-router endpoints.
+//!
+//! One [`NetClient`] owns one connection and speaks strict
+//! request→response; open more clients for parallelism. The wire twin of
+//! the in-process submit path, including [`plan_with_retry`] — the remote
+//! counterpart of [`racod_server::submit_with_retry`], retrying only the
+//! transient [`Rejected::QueueFull`] with the same deterministic
+//! full-jitter schedule.
+
+use crate::conn::{ConnConfig, ConnError, FramedConn, Recv};
+use crate::proto::{Health, Message, MetricsFrame, ShardStat, WireResult};
+use racod_server::{PlanRequest, Rejected, RetryPolicy};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Connection framing/timeouts.
+    pub conn: ConnConfig,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// How long to wait for each response frame. Plan responses can take
+    /// as long as the queue + search allow, so this should comfortably
+    /// exceed the server's worst-case service time.
+    pub response_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            conn: ConnConfig::default(),
+            connect_timeout: Duration::from_secs(2),
+            response_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A connected client.
+pub struct NetClient {
+    conn: FramedConn,
+    cfg: ClientConfig,
+    next_corr: u64,
+}
+
+impl NetClient {
+    /// Connects to a netd or router.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+        let conn = FramedConn::new(stream, cfg.conn.clone())?;
+        Ok(NetClient { conn, cfg, next_corr: 0 })
+    }
+
+    fn roundtrip(&mut self, msg: &Message) -> Result<Message, ConnError> {
+        self.conn.send(msg)?;
+        match self.conn.recv_timeout(self.cfg.response_timeout)? {
+            Recv::Msg(m) => Ok(*m),
+            Recv::Closed => Err(ConnError::Io(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "server closed the connection before responding",
+            ))),
+            Recv::Idle => unreachable!("recv_timeout never returns Idle"),
+        }
+    }
+
+    /// Plans remotely. Transport and protocol failures are errors; every
+    /// admission/execution result (including rejections) is a value.
+    pub fn plan(&mut self, req: PlanRequest) -> Result<WireResult, ConnError> {
+        self.next_corr += 1;
+        let corr = self.next_corr;
+        match self.roundtrip(&Message::PlanReq { corr, req })? {
+            Message::PlanResp { corr: got, result } if got == corr => Ok(result),
+            Message::PlanResp { corr: got, .. } => {
+                Err(ConnError::Protocol(crate::wire::ProtocolError::BadLength {
+                    what: "correlation id",
+                    len: got,
+                }))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a metrics snapshot (a router answers with the fleet merge).
+    pub fn metrics(&mut self) -> Result<MetricsFrame, ConnError> {
+        match self.roundtrip(&Message::MetricsReq)? {
+            Message::MetricsResp(m) => Ok(m),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Probes health.
+    pub fn health(&mut self) -> Result<Health, ConnError> {
+        match self.roundtrip(&Message::HealthReq)? {
+            Message::HealthResp(h) => Ok(h),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to begin graceful drain.
+    pub fn drain(&mut self) -> Result<bool, ConnError> {
+        match self.roundtrip(&Message::DrainReq)? {
+            Message::DrainResp(d) => Ok(d),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches per-shard routing statistics.
+    pub fn shard_stats(&mut self) -> Result<Vec<ShardStat>, ConnError> {
+        match self.roundtrip(&Message::ShardStatsReq)? {
+            Message::ShardStatsResp(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(msg: &Message) -> ConnError {
+    ConnError::Protocol(crate::wire::ProtocolError::BadKind(msg.kind() as u8))
+}
+
+/// What [`plan_with_retry`] did before returning — the wire twin of
+/// [`racod_server::RetryOutcome`].
+#[derive(Debug)]
+pub struct RemoteRetryOutcome {
+    /// The final result.
+    pub result: Result<WireResult, ConnError>,
+    /// Retries spent (0 = first attempt settled it).
+    pub retries: u32,
+    /// `true` when the budget ran out while the queue was still full.
+    pub gave_up: bool,
+}
+
+/// Plans over the wire, retrying [`Rejected::QueueFull`] with the same
+/// jittered exponential backoff as the in-process
+/// [`racod_server::submit_with_retry`]. Transport errors are returned
+/// immediately — whether a *delivered* request may be retried is a
+/// routing-layer decision, not a client one.
+pub fn plan_with_retry(
+    client: &mut NetClient,
+    req: &PlanRequest,
+    policy: &RetryPolicy,
+    seed: u64,
+) -> RemoteRetryOutcome {
+    let mut retries = 0u32;
+    loop {
+        match client.plan(req.clone()) {
+            Ok(WireResult::Rejected(Rejected::QueueFull)) if retries < policy.max_retries => {
+                std::thread::sleep(policy.delay(retries, seed));
+                retries += 1;
+            }
+            result => {
+                let gave_up = matches!(result, Ok(WireResult::Rejected(Rejected::QueueFull)));
+                return RemoteRetryOutcome { result, retries, gave_up };
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! A framed, fault-injectable connection: one [`FramedConn`] wraps a
+//! `TcpStream` and speaks whole [`Message`]s.
+//!
+//! # Frame atomicity
+//!
+//! The receiver acts only on frames that arrived *completely* and passed
+//! the header checksum. A send that errors part-way therefore leaves the
+//! peer in one of two states — saw nothing, or will discard a truncated
+//! frame when the connection dies — never "acted on half a request". The
+//! router's failover safety rests on this: a plan request whose *send*
+//! failed can be retried on another shard without risking double
+//! execution. A *receive* failure after a successful send is the opposite
+//! case (the shard may be planning right now), and is surfaced as
+//! [`Outcome::Lost`](racod_server::Outcome::Lost), never retried.
+//!
+//! # Timeouts
+//!
+//! Two different silences matter. An **idle** connection (no bytes of the
+//! next header yet) is normal — servers poll through idle ticks to check
+//! shutdown flags. A **mid-frame stall** (some bytes arrived, then
+//! silence) means a sick peer; it is bounded by `frame_timeout` and
+//! surfaced as an error so a wedged client cannot pin a server thread.
+//!
+//! # Deterministic wire faults
+//!
+//! When built with a [`FaultPlan`], the send path consults
+//! [`FaultSite::Net`] with a token derived from the connection salt and
+//! frame index: `Drop` swallows the frame (the peer sees a stall),
+//! `Delay`/`Wedge` sleep before writing, `Corrupt` flips one payload byte
+//! so the receiver's checksum rejects the frame. Same plan + same salt ⇒
+//! the same frames fail, every run.
+
+use crate::proto::{
+    decode_header, decode_payload, encode_frame, verify_payload, Message, HEADER_LEN,
+};
+use crate::wire::ProtocolError;
+use racod_fault::{mix64, FaultAction, FaultPlan, FaultSite};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning for one connection.
+#[derive(Debug, Clone)]
+pub struct ConnConfig {
+    /// How long one `read` blocks waiting for the *first* byte of a frame
+    /// before reporting [`Recv::Idle`] (servers use this as their
+    /// shutdown-check cadence).
+    pub idle_tick: Duration,
+    /// Budget for a frame to finish arriving once its first byte has.
+    pub frame_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Largest payload this side will accept.
+    pub max_frame: u32,
+    /// Deterministic wire-fault schedule ([`FaultSite::Net`] rules).
+    pub fault: Option<Arc<FaultPlan>>,
+    /// Per-connection salt mixed into fault tokens.
+    pub fault_salt: u64,
+}
+
+impl Default for ConnConfig {
+    fn default() -> Self {
+        ConnConfig {
+            idle_tick: Duration::from_millis(50),
+            frame_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_frame: crate::proto::DEFAULT_MAX_FRAME,
+            fault: None,
+            fault_salt: 0,
+        }
+    }
+}
+
+/// Errors a framed connection can surface.
+#[derive(Debug)]
+pub enum ConnError {
+    /// Transport failure (includes mid-frame stalls as `TimedOut`).
+    Io(io::Error),
+    /// The peer violated the protocol; the connection must be dropped.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for ConnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnError::Io(e) => write!(f, "io error: {e}"),
+            ConnError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+impl From<io::Error> for ConnError {
+    fn from(e: io::Error) -> Self {
+        ConnError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ConnError {
+    fn from(e: ProtocolError) -> Self {
+        ConnError::Protocol(e)
+    }
+}
+
+/// Result of one receive attempt.
+#[derive(Debug)]
+pub enum Recv {
+    /// A complete, checksum-valid message (boxed: a plan response with a
+    /// long path dwarfs the other variants).
+    Msg(Box<Message>),
+    /// No frame started within the idle tick; connection still healthy.
+    Idle,
+    /// Peer closed cleanly between frames.
+    Closed,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    // Unix reports a timed-out blocking read as WouldBlock, Windows as
+    // TimedOut; accept both so the distinction stays portable.
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// A message-framed TCP connection.
+pub struct FramedConn {
+    stream: TcpStream,
+    cfg: ConnConfig,
+    frames_sent: u64,
+}
+
+impl FramedConn {
+    /// Wraps a connected stream, configuring socket timeouts.
+    pub fn new(stream: TcpStream, cfg: ConnConfig) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.idle_tick))?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
+        Ok(FramedConn { stream, cfg, frames_sent: 0 })
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Encodes and writes one message, applying any scheduled wire fault.
+    pub fn send(&mut self, msg: &Message) -> io::Result<()> {
+        let mut frame = encode_frame(msg);
+        let token = self.cfg.fault_salt ^ mix64(self.frames_sent.wrapping_add(1));
+        self.frames_sent += 1;
+        if let Some(plan) = &self.cfg.fault {
+            match plan.decide(FaultSite::Net, token) {
+                Some(FaultAction::Drop) => return Ok(()),
+                Some(FaultAction::Delay(d)) | Some(FaultAction::Wedge(d)) => {
+                    std::thread::sleep(d);
+                }
+                Some(FaultAction::Corrupt) => {
+                    if frame.len() > HEADER_LEN {
+                        let i = HEADER_LEN + (token as usize) % (frame.len() - HEADER_LEN);
+                        frame[i] ^= 0x55;
+                    } else {
+                        // Header-only frame: damage the checksum field.
+                        frame[HEADER_LEN - 1] ^= 0x55;
+                    }
+                }
+                // `Panic` is meaningless at the wire layer; deliver clean.
+                Some(FaultAction::Panic) | None => {}
+            }
+        }
+        self.stream.write_all(&frame)
+    }
+
+    /// Attempts to receive one message. Distinguishes an idle connection
+    /// (no frame started — [`Recv::Idle`]) from a mid-frame stall (frame
+    /// started but stopped arriving — `TimedOut` error).
+    pub fn recv(&mut self) -> Result<Recv, ConnError> {
+        let mut header = [0u8; HEADER_LEN];
+        match self.read_exact_framed(&mut header, true)? {
+            ReadOutcome::Idle => return Ok(Recv::Idle),
+            ReadOutcome::Eof => return Ok(Recv::Closed),
+            ReadOutcome::Done => {}
+        }
+        let fh = decode_header(&header, self.cfg.max_frame)?;
+        let mut payload = vec![0u8; fh.len as usize];
+        match self.read_exact_framed(&mut payload, false)? {
+            ReadOutcome::Done => {}
+            // EOF or silence mid-frame is a truncated frame either way.
+            ReadOutcome::Idle | ReadOutcome::Eof => {
+                return Err(ConnError::Protocol(ProtocolError::Truncated {
+                    what: "frame payload",
+                    needed: fh.len as usize,
+                    have: 0,
+                }));
+            }
+        }
+        verify_payload(&fh, &payload)?;
+        Ok(Recv::Msg(Box::new(decode_payload(fh.kind, &payload)?)))
+    }
+
+    /// Receives, treating idle ticks as waiting, until `overall` elapses.
+    pub fn recv_timeout(&mut self, overall: Duration) -> Result<Recv, ConnError> {
+        let deadline = Instant::now() + overall;
+        loop {
+            match self.recv()? {
+                Recv::Idle => {
+                    if Instant::now() >= deadline {
+                        return Err(ConnError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "no response within deadline",
+                        )));
+                    }
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Fills `buf` from the stream. `allow_idle` governs what silence
+    /// before the first byte means: `Idle` (between frames) or a stall.
+    /// Once any byte has arrived, the whole buffer must arrive within
+    /// `frame_timeout`.
+    fn read_exact_framed(
+        &mut self,
+        buf: &mut [u8],
+        allow_idle: bool,
+    ) -> Result<ReadOutcome, ConnError> {
+        if buf.is_empty() {
+            return Ok(ReadOutcome::Done);
+        }
+        let mut filled = 0usize;
+        let mut frame_deadline: Option<Instant> = None;
+        loop {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    if filled == 0 && allow_idle {
+                        return Ok(ReadOutcome::Eof);
+                    }
+                    return Err(ConnError::Protocol(ProtocolError::Truncated {
+                        what: "frame",
+                        needed: buf.len(),
+                        have: filled,
+                    }));
+                }
+                Ok(n) => {
+                    filled += n;
+                    if filled == buf.len() {
+                        return Ok(ReadOutcome::Done);
+                    }
+                    frame_deadline.get_or_insert_with(|| Instant::now() + self.cfg.frame_timeout);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => {
+                    if filled == 0 && frame_deadline.is_none() {
+                        if allow_idle {
+                            return Ok(ReadOutcome::Idle);
+                        }
+                        frame_deadline = Some(Instant::now() + self.cfg.frame_timeout);
+                        continue;
+                    }
+                    if Instant::now() >= frame_deadline.unwrap_or_else(Instant::now) {
+                        return Err(ConnError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("mid-frame stall: {filled}/{} bytes", buf.len()),
+                        )));
+                    }
+                }
+                Err(e) => return Err(ConnError::Io(e)),
+            }
+        }
+    }
+}
+
+enum ReadOutcome {
+    Done,
+    Idle,
+    Eof,
+}

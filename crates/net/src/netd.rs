@@ -1,0 +1,318 @@
+//! `racod-netd`: a blocking thread-per-connection TCP front-end around a
+//! [`PlanServer`].
+//!
+//! One accept thread polls a nonblocking listener; each connection gets a
+//! dedicated handler thread speaking strict request→response over a
+//! [`FramedConn`] (clients wanting parallelism open more connections —
+//! the scheduler underneath multiplexes them onto its worker pool).
+//!
+//! # Exactly-once honesty
+//!
+//! netd submits a plan request to the scheduler only after the frame
+//! arrived completely and checksum-valid, and every admitted request is
+//! answered exactly once on the connection it arrived on. There is no
+//! server-side retry and no speculative execution: if the connection dies
+//! after admission, the scheduler still finishes the work but the answer
+//! is discarded with the connection — the *client* observes a transport
+//! error and decides, which is what keeps cross-shard failover safe.
+//!
+//! # Drain
+//!
+//! [`Netd::drain`] (also triggered by a [`Message::DrainReq`] frame or,
+//! in the binary, SIGTERM) flips one flag: new plan requests are answered
+//! [`Rejected::ShuttingDown`], health probes report `draining: true` so
+//! routers route around the shard, and in-flight requests finish.
+//! [`Netd::shutdown`] then waits for the wire-level in-flight count to
+//! reach zero (bounded by `drain_deadline`) before tearing the listener
+//! and the scheduler down.
+
+use crate::conn::{ConnConfig, ConnError, FramedConn, Recv};
+use crate::proto::{Health, Message, MetricsFrame, ShardStat, ShardState, WireResult};
+use racod_fault::mix64;
+use racod_server::{MapRegistry, PlanServer, Rejected, ServerConfig, ServerMetrics, Workload};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for one netd instance.
+#[derive(Debug, Clone)]
+pub struct NetdConfig {
+    /// Address to listen on (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// The embedded scheduler's configuration.
+    pub server: ServerConfig,
+    /// Per-connection framing/timeout/fault configuration. The fault salt
+    /// is re-derived per connection from `fault_salt ^ mix64(conn_id)`.
+    pub conn: ConnConfig,
+    /// How long [`Netd::shutdown`] waits for in-flight requests to finish.
+    pub drain_deadline: Duration,
+}
+
+impl Default for NetdConfig {
+    fn default() -> Self {
+        NetdConfig {
+            addr: "127.0.0.1:0".to_string(),
+            server: ServerConfig::default(),
+            conn: ConnConfig::default(),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Wire-level counters for one netd (distinct from the scheduler's
+/// [`ServerMetrics`], which count admission/execution).
+#[derive(Debug, Default)]
+pub struct NetdStats {
+    /// Connections accepted over the lifetime.
+    pub connections: AtomicU64,
+    /// Complete, valid frames received.
+    pub frames_in: AtomicU64,
+    /// Frames written (post fault-injection decision).
+    pub frames_out: AtomicU64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: AtomicU64,
+    /// Plan requests refused because the shard was draining.
+    pub rejected_draining: AtomicU64,
+}
+
+struct Shared {
+    server: PlanServer,
+    stats: NetdStats,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    /// Plan requests received on the wire and not yet answered.
+    in_flight: AtomicU64,
+    addr: SocketAddr,
+    conn_cfg: ConnConfig,
+    drain_deadline: Duration,
+}
+
+fn counter(m: &ServerMetrics, name: &str) -> u64 {
+    m.counters().iter().find(|(n, _)| *n == name).map_or(0, |(_, c)| c.load(Ordering::Relaxed))
+}
+
+impl Shared {
+    fn health(&self) -> Health {
+        let m = self.server.metrics();
+        Health {
+            draining: self.draining.load(Ordering::Relaxed),
+            in_system: counter(m, "in_system"),
+            accepted: counter(m, "accepted"),
+            completed: counter(m, "completed"),
+        }
+    }
+
+    fn self_stat(&self) -> ShardStat {
+        let m = self.server.metrics();
+        ShardStat {
+            addr: self.addr.to_string(),
+            state: if self.draining.load(Ordering::Relaxed) {
+                ShardState::Draining
+            } else {
+                ShardState::Up
+            },
+            routed: counter(m, "submitted"),
+            completed: counter(m, "completed"),
+            errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+            queue_full: counter(m, "rejected_queue_full"),
+            lost: counter(m, "lost"),
+            failovers: 0,
+            breaker_open: false,
+        }
+    }
+}
+
+/// A running netd instance. Dropping it shuts everything down.
+pub struct Netd {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Netd {
+    /// Binds, spawns the scheduler and the accept loop, and returns.
+    pub fn start(cfg: NetdConfig, registry: Arc<MapRegistry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let server = PlanServer::start(cfg.server.clone(), registry);
+        let shared = Arc::new(Shared {
+            server,
+            stats: NetdStats::default(),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            in_flight: AtomicU64::new(0),
+            addr,
+            conn_cfg: cfg.conn.clone(),
+            drain_deadline: cfg.drain_deadline,
+        });
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_threads = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("netd-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_threads))
+            .expect("spawn netd accept thread");
+        Ok(Netd { shared, accept_thread: Some(accept_thread), conn_threads })
+    }
+
+    /// The bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The embedded scheduler's metrics.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        self.shared.server.metrics()
+    }
+
+    /// Wire-level counters.
+    pub fn stats(&self) -> &NetdStats {
+        &self.shared.stats
+    }
+
+    /// Whether the shard is draining.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    /// Begins graceful drain: stop admitting new plan requests, keep
+    /// answering probes, let in-flight work finish.
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Drains, waits (bounded by the configured `drain_deadline`) for
+    /// wire in-flight to reach zero, then stops the listener and joins
+    /// all threads. Returns the number of requests still in flight when
+    /// the deadline expired (zero means a clean drain).
+    pub fn shutdown(mut self) -> u64 {
+        self.drain();
+        let deadline = Instant::now() + self.shared.drain_deadline;
+        let mut leftover = self.shared.in_flight.load(Ordering::Relaxed);
+        while leftover > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+            leftover = self.shared.in_flight.load(Ordering::Relaxed);
+        }
+        self.stop_and_join();
+        leftover
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let threads = std::mem::take(&mut *self.conn_threads.lock().unwrap());
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Netd {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut conn_id = 0u64;
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                conn_id += 1;
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(&shared);
+                let id = conn_id;
+                let handle = std::thread::Builder::new()
+                    .name(format!("netd-conn-{id}"))
+                    .spawn(move || handle_conn(stream, id, conn_shared))
+                    .expect("spawn netd connection thread");
+                conn_threads.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, conn_id: u64, shared: Arc<Shared>) {
+    let mut cfg = shared.conn_cfg.clone();
+    cfg.fault_salt ^= mix64(conn_id);
+    let mut conn = match FramedConn::new(stream, cfg) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let msg = match conn.recv() {
+            Ok(Recv::Msg(m)) => *m,
+            Ok(Recv::Idle) => continue,
+            Ok(Recv::Closed) => return,
+            Err(ConnError::Protocol(_)) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(ConnError::Io(_)) => return,
+        };
+        shared.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+        let reply = match msg {
+            Message::PlanReq { corr, req } => {
+                // Poison workloads are a test-only chaos device; refuse
+                // them at the wire so a remote peer cannot kill workers.
+                if matches!(req.workload, Workload::Poison | Workload::PoisonWorker) {
+                    Message::PlanResp {
+                        corr,
+                        result: WireResult::Rejected(Rejected::DimensionMismatch),
+                    }
+                } else if shared.draining.load(Ordering::Relaxed) {
+                    shared.stats.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                    Message::PlanResp { corr, result: WireResult::Rejected(Rejected::ShuttingDown) }
+                } else {
+                    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                    let result = match shared.server.submit(req) {
+                        Ok(ticket) => WireResult::Done(ticket.wait()),
+                        Err(rej) => WireResult::Rejected(rej),
+                    };
+                    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    Message::PlanResp { corr, result }
+                }
+            }
+            Message::MetricsReq => {
+                Message::MetricsResp(MetricsFrame::snapshot(shared.server.metrics()))
+            }
+            Message::HealthReq => Message::HealthResp(shared.health()),
+            Message::DrainReq => {
+                shared.draining.store(true, Ordering::Relaxed);
+                Message::DrainResp(true)
+            }
+            Message::ShardStatsReq => Message::ShardStatsResp(vec![shared.self_stat()]),
+            // Response kinds arriving at a server are a protocol
+            // violation; drop the connection.
+            Message::PlanResp { .. }
+            | Message::MetricsResp(_)
+            | Message::HealthResp(_)
+            | Message::DrainResp(_)
+            | Message::ShardStatsResp(_) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        if conn.send(&reply).is_err() {
+            return;
+        }
+        shared.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,49 @@
+//! Minimal SIGTERM/SIGINT latching without external crates.
+//!
+//! [`install`] registers a handler for SIGINT (2) and SIGTERM (15) that
+//! does the only async-signal-safe thing worth doing: store `true` into a
+//! static atomic. Long-running binaries poll [`triggered`] from their
+//! main loop and run their own graceful drain — signal delivery decides
+//! *when* to stop, never *how*.
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn latch(_signum: i32) {
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the latching handler for SIGINT and SIGTERM.
+    pub fn install() {
+        let handler = latch as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(2, handler); // SIGINT
+            signal(15, handler); // SIGTERM
+        }
+    }
+
+    /// Whether a termination signal has arrived since [`install`].
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op off Unix; the binary only stops via its own admin channel.
+    pub fn install() {}
+
+    /// Always `false` off Unix.
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+pub use imp::{install, triggered};

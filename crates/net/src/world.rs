@@ -1,0 +1,101 @@
+//! The standard benchmark world: the mixed map set (four city maps, a
+//! random-obstacle map, a rooms map, a 3D campus) with per-map pools of
+//! snapped-free endpoint cells.
+//!
+//! Extracted from the load generator so that every process in a fleet —
+//! each `racod-netd` shard, the load generator, integration tests — can
+//! rebuild the *identical* world from `(seed, map_size)` alone. That
+//! identity is what lets the router treat sharding as pure cache warmth:
+//! any shard can answer any map, bit-identically.
+
+use racod_geom::{Cell2, Cell3};
+use racod_grid::gen::{campus_3d, city_map, random_map, rooms_map, CityName};
+use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
+use racod_server::MapRegistry;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A workload endpoint pool: free cells snapped per map at startup so
+/// load phases submit raw, valid coordinates (the server never snaps).
+pub enum MapPool {
+    /// A 2D map and its free cells.
+    D2 {
+        /// Registry key.
+        name: &'static str,
+        /// Known-free endpoint cells.
+        cells: Vec<Cell2>,
+    },
+    /// A 3D map and its free cells.
+    D3 {
+        /// Registry key.
+        name: &'static str,
+        /// Known-free endpoint cells.
+        cells: Vec<Cell3>,
+    },
+}
+
+fn free_cells_2d(grid: &BitGrid2, n: usize, rng: &mut SmallRng) -> Vec<Cell2> {
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < 200_000 {
+        guard += 1;
+        let c = Cell2::new(
+            rng.gen_range(1..grid.width() as i64 - 1),
+            rng.gen_range(1..grid.height() as i64 - 1),
+        );
+        if grid.occupied(c) == Some(false) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn free_cells_3d(grid: &BitGrid3, n: usize, rng: &mut SmallRng) -> Vec<Cell3> {
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < 200_000 {
+        guard += 1;
+        let c = Cell3::new(
+            rng.gen_range(1..grid.size_x() as i64 - 1),
+            rng.gen_range(1..grid.size_y() as i64 - 1),
+            rng.gen_range(grid.size_z() as i64 / 2..grid.size_z() as i64 - 1),
+        );
+        if grid.occupied(c) == Some(false) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Builds the standard world. Deterministic in `(seed, map_size)`: two
+/// processes calling this with the same arguments hold bit-identical
+/// registries and endpoint pools.
+pub fn standard_world(seed: u64, map_size: u32) -> (Arc<MapRegistry>, Vec<MapPool>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let reg = MapRegistry::new();
+    let mut pools = Vec::new();
+    let s = map_size;
+    for name in CityName::ALL {
+        let grid = city_map(name, s, s);
+        let cells = free_cells_2d(&grid, 64, &mut rng);
+        reg.insert_grid2(name.as_str(), grid);
+        pools.push(MapPool::D2 { name: name.as_str(), cells });
+    }
+    let rnd = random_map(seed ^ 0xA5A5, s, s, 0.15);
+    let cells = free_cells_2d(&rnd, 64, &mut rng);
+    reg.insert_grid2("random", rnd);
+    pools.push(MapPool::D2 { name: "random", cells });
+
+    let rooms = rooms_map(seed ^ 0x33, s, s, 16);
+    let cells = free_cells_2d(&rooms, 64, &mut rng);
+    reg.insert_grid2("rooms", rooms);
+    pools.push(MapPool::D2 { name: "rooms", cells });
+
+    let campus = campus_3d(seed ^ 0xC3, 48, 48, 24);
+    let cells = free_cells_3d(&campus, 64, &mut rng);
+    reg.insert_grid3("campus", campus);
+    pools.push(MapPool::D3 { name: "campus", cells });
+
+    (Arc::new(reg), pools)
+}

@@ -1,0 +1,179 @@
+//! Graceful drain, two ways: a `DrainReq` frame against in-process netds
+//! behind a router (the router must route around the draining shard), and
+//! a real `racod-netd` binary stopped with SIGTERM (it must stop
+//! admitting, drain in-flight work within the deadline, and exit 0).
+
+use racod_fault::mix64;
+use racod_net::{
+    ClientConfig, MapPool, NetClient, Netd, NetdConfig, Router, RouterConfig, ShardState,
+    WireResult,
+};
+use racod_server::{Outcome, PlanRequest, Platform, Rejected, ServerConfig};
+use std::io::BufRead;
+use std::time::Duration;
+
+const WORLD_SEED: u64 = 7;
+const MAP_SIZE: u32 = 64;
+
+fn small_server() -> ServerConfig {
+    ServerConfig { workers: 2, queue_capacity: 64, ..Default::default() }
+}
+
+fn start_netd() -> Netd {
+    let (reg, _) = racod_net::standard_world(WORLD_SEED, MAP_SIZE);
+    Netd::start(NetdConfig { server: small_server(), ..Default::default() }, reg)
+        .expect("netd start")
+}
+
+fn some_request(k: u64) -> PlanRequest {
+    let (_, pools) = racod_net::standard_world(WORLD_SEED, MAP_SIZE);
+    let pool = pools
+        .iter()
+        .find_map(|p| match p {
+            MapPool::D2 { name, cells } if !cells.is_empty() => Some((*name, cells.clone())),
+            _ => None,
+        })
+        .expect("a 2D pool with free cells");
+    let (name, cells) = pool;
+    let a = cells[mix64(k) as usize % cells.len()];
+    let b = cells[mix64(k ^ 0xABCD) as usize % cells.len()];
+    PlanRequest::plan2(name, a, b)
+        .with_footprint2(racod_sim::Footprint2::point())
+        .with_platform(Platform::Racod { units: 4 })
+}
+
+#[test]
+fn router_routes_around_a_draining_shard() {
+    let netds = [start_netd(), start_netd()];
+    let router = Router::start(RouterConfig {
+        backends: netds.iter().map(|n| n.local_addr()).collect(),
+        probe_interval: Duration::from_millis(20),
+        ..Default::default()
+    })
+    .expect("router start");
+    let mut client = NetClient::connect(router.local_addr(), ClientConfig::default()).unwrap();
+
+    // Healthy baseline.
+    for k in 0..10 {
+        match client.plan(some_request(k)).unwrap() {
+            WireResult::Done(resp) => assert!(matches!(resp.outcome, Outcome::Planned(_))),
+            WireResult::Rejected(rej) => panic!("healthy fleet rejected: {rej}"),
+        }
+    }
+
+    // Drain shard 0 via its admin frame.
+    let mut admin = NetClient::connect(netds[0].local_addr(), ClientConfig::default()).unwrap();
+    assert!(admin.drain().unwrap(), "drain must be acknowledged");
+    assert!(admin.health().unwrap().draining, "health must report draining");
+
+    // A plan sent straight at the draining shard is refused honestly.
+    match admin.plan(some_request(99)).unwrap() {
+        WireResult::Rejected(Rejected::ShuttingDown) => {}
+        other => panic!("draining shard must refuse new plans, got {other:?}"),
+    }
+
+    // Give the prober a few cycles to observe the drain, then verify the
+    // router routes around it: everything still plans, and the draining
+    // shard receives no new traffic.
+    std::thread::sleep(Duration::from_millis(150));
+    let routed_before = router.shard_stats()[0].routed;
+    for k in 100..120 {
+        match client.plan(some_request(k)).unwrap() {
+            WireResult::Done(resp) => assert!(
+                matches!(resp.outcome, Outcome::Planned(_)),
+                "traffic must keep planning on the healthy shard"
+            ),
+            WireResult::Rejected(rej) => panic!("rejected while one shard healthy: {rej}"),
+        }
+    }
+    let stats = router.shard_stats();
+    assert_eq!(stats[0].state, ShardState::Draining, "{stats:?}");
+    assert_eq!(
+        stats[0].routed, routed_before,
+        "no new plans may be routed to a draining shard: {stats:?}"
+    );
+}
+
+#[test]
+fn netd_shutdown_drains_in_flight_work() {
+    let netd = start_netd();
+    let addr = netd.local_addr();
+    let mut client = NetClient::connect(addr, ClientConfig::default()).unwrap();
+    // Prime a request so pools are warm, then shut down and verify a
+    // clean drain (zero leftover in-flight).
+    match client.plan(some_request(1)).unwrap() {
+        WireResult::Done(resp) => assert!(matches!(resp.outcome, Outcome::Planned(_))),
+        WireResult::Rejected(rej) => panic!("unexpected rejection: {rej}"),
+    }
+    let leftover = netd.shutdown();
+    assert_eq!(leftover, 0, "idle netd must drain cleanly");
+    // The listener is gone: new connections are refused.
+    assert!(
+        NetClient::connect(
+            addr,
+            ClientConfig { connect_timeout: Duration::from_millis(200), ..Default::default() }
+        )
+        .is_err(),
+        "a shut-down netd must not accept connections"
+    );
+}
+
+/// Runs the real `racod-netd` binary, serves one plan over the wire,
+/// sends SIGTERM, and requires a clean drain and exit code 0.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_real_binary() {
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_racod-netd"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--world-seed",
+            &WORLD_SEED.to_string(),
+            "--map-size",
+            &MAP_SIZE.to_string(),
+            "--workers",
+            "2",
+            "--drain-deadline",
+            "5s",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn racod-netd");
+
+    // Wait for the readiness line and extract the bound address.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("readiness line");
+    let addr: std::net::SocketAddr = line
+        .trim()
+        .strip_prefix("racod-netd listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"))
+        .parse()
+        .expect("address in readiness line");
+
+    // Serve one real plan over the wire.
+    let mut client = NetClient::connect(addr, ClientConfig::default()).unwrap();
+    match client.plan(some_request(5)).unwrap() {
+        WireResult::Done(resp) => assert!(matches!(resp.outcome, Outcome::Planned(_))),
+        WireResult::Rejected(rej) => panic!("unexpected rejection: {rej}"),
+    }
+
+    // SIGTERM → graceful drain → exit 0.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success());
+
+    let status = child.wait().expect("netd exit status");
+    assert!(status.success(), "SIGTERM must produce a clean exit, got {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+    assert!(
+        rest.contains("racod-netd drained cleanly"),
+        "expected clean-drain log line, got: {rest:?}"
+    );
+}

@@ -27,6 +27,9 @@ pub struct LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Number of buckets (fixed; the wire codec and merge rely on it).
+    pub const NUM_BUCKETS: usize = BUCKETS;
+
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
@@ -34,6 +37,55 @@ impl LatencyHistogram {
 
     fn bucket_of(us: u64) -> usize {
         ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Count in bucket `i` (0 for out-of-range indices).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all recorded samples in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Maximum recorded sample in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Rebuilds a histogram from raw parts (the wire codec's inverse of the
+    /// accessors above). The count is derived from the bucket sums, so a
+    /// reconstructed histogram always satisfies the `count == Σ buckets`
+    /// invariant regardless of what the bytes claimed.
+    pub fn from_raw(buckets: &[u64], sum_us: u64, max_us: u64) -> Self {
+        let h = LatencyHistogram::new();
+        let mut count = 0u64;
+        for (i, &n) in buckets.iter().take(BUCKETS).enumerate() {
+            h.buckets[i].store(n, Ordering::Relaxed);
+            count = count.saturating_add(n);
+        }
+        h.count.store(count, Ordering::Relaxed);
+        h.sum_us.store(sum_us, Ordering::Relaxed);
+        h.max_us.store(max_us, Ordering::Relaxed);
+        h
+    }
+
+    /// Folds another histogram into this one: buckets, counts, and sums
+    /// add; the max takes the larger side. Merging the per-shard histograms
+    /// of a fleet yields exactly the histogram a single process observing
+    /// all samples would have built (bucket boundaries are global
+    /// constants), so fleet quantiles are as honest as shard quantiles.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us.fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_us.fetch_max(other.max_us.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Records one sample.
@@ -185,10 +237,74 @@ pub struct ServerMetrics {
     pub total: LatencyHistogram,
 }
 
+/// Number of counters exposed by [`ServerMetrics::counters`].
+const COUNTERS: usize = 28;
+
 impl ServerMetrics {
     /// Fresh zeroed metrics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Every counter, paired with its stable short name, in render order.
+    /// This is the single source of truth the text page, the wire codec,
+    /// and [`merge`](Self::merge) all iterate, so a counter added here is
+    /// automatically scraped, shipped, and aggregated.
+    pub fn counters(&self) -> [(&'static str, &AtomicU64); COUNTERS] {
+        [
+            ("submitted", &self.submitted),
+            ("accepted", &self.accepted),
+            ("rejected_queue_full", &self.rejected_queue_full),
+            ("rejected_invalid", &self.rejected_invalid),
+            ("shed_infeasible", &self.shed_infeasible),
+            ("completed", &self.completed),
+            ("timed_out", &self.timed_out),
+            ("cancelled", &self.cancelled),
+            ("interrupted_mid_search", &self.interrupted_mid_search),
+            ("panicked", &self.panicked),
+            ("lost", &self.lost),
+            ("worker_respawns", &self.worker_respawns),
+            ("workers_abandoned", &self.workers_abandoned),
+            ("breaker_tripped", &self.breaker_tripped),
+            ("breaker_fallbacks", &self.breaker_fallbacks),
+            ("breaker_probes", &self.breaker_probes),
+            ("breaker_recovered", &self.breaker_recovered),
+            ("check_pool_panics", &self.check_pool_panics),
+            ("map_corruptions_detected", &self.map_corruptions_detected),
+            ("affinity_hits", &self.affinity_hits),
+            ("affinity_misses", &self.affinity_misses),
+            ("template_hits", &self.template_hits),
+            ("template_misses", &self.template_misses),
+            ("scratch_reuses", &self.scratch_reuses),
+            ("scratch_cold_starts", &self.scratch_cold_starts),
+            ("stale_pops", &self.stale_pops),
+            ("peak_open", &self.peak_open),
+            ("in_system", &self.in_system),
+        ]
+    }
+
+    /// The latency histograms, paired with their stable names.
+    pub fn histograms(&self) -> [(&'static str, &LatencyHistogram); 3] {
+        [("queue_wait", &self.queue_wait), ("service", &self.service), ("total", &self.total)]
+    }
+
+    /// Folds another metrics snapshot into this one: counters and
+    /// histograms add, except `peak_open` (a per-search maximum, so the
+    /// fleet peak is the max over shards). `in_system` sums — the fleet's
+    /// in-flight population is the sum of its shards'. The shard router
+    /// uses this to aggregate per-shard `/metrics` pages into one view.
+    pub fn merge(&self, other: &ServerMetrics) {
+        for ((name, mine), (_, theirs)) in self.counters().iter().zip(other.counters().iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if *name == "peak_open" {
+                mine.fetch_max(v, Ordering::Relaxed);
+            } else if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        for ((_, mine), (_, theirs)) in self.histograms().iter().zip(other.histograms().iter()) {
+            mine.merge(theirs);
+        }
     }
 
     /// Map-affinity hit rate over all dispatches (0 when none).
@@ -219,46 +335,10 @@ impl ServerMetrics {
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
-        let _ = writeln!(out, "racod_server_submitted {}", c(&self.submitted));
-        let _ = writeln!(out, "racod_server_accepted {}", c(&self.accepted));
-        let _ = writeln!(out, "racod_server_rejected_queue_full {}", c(&self.rejected_queue_full));
-        let _ = writeln!(out, "racod_server_rejected_invalid {}", c(&self.rejected_invalid));
-        let _ = writeln!(out, "racod_server_shed_infeasible {}", c(&self.shed_infeasible));
-        let _ = writeln!(out, "racod_server_completed {}", c(&self.completed));
-        let _ = writeln!(out, "racod_server_timed_out {}", c(&self.timed_out));
-        let _ = writeln!(out, "racod_server_cancelled {}", c(&self.cancelled));
-        let _ = writeln!(
-            out,
-            "racod_server_interrupted_mid_search {}",
-            c(&self.interrupted_mid_search)
-        );
-        let _ = writeln!(out, "racod_server_panicked {}", c(&self.panicked));
-        let _ = writeln!(out, "racod_server_lost {}", c(&self.lost));
-        let _ = writeln!(out, "racod_server_worker_respawns {}", c(&self.worker_respawns));
-        let _ = writeln!(out, "racod_server_workers_abandoned {}", c(&self.workers_abandoned));
-        let _ = writeln!(out, "racod_server_breaker_tripped {}", c(&self.breaker_tripped));
-        let _ = writeln!(out, "racod_server_breaker_fallbacks {}", c(&self.breaker_fallbacks));
-        let _ = writeln!(out, "racod_server_breaker_probes {}", c(&self.breaker_probes));
-        let _ = writeln!(out, "racod_server_breaker_recovered {}", c(&self.breaker_recovered));
-        let _ = writeln!(out, "racod_server_check_pool_panics {}", c(&self.check_pool_panics));
-        let _ = writeln!(
-            out,
-            "racod_server_map_corruptions_detected {}",
-            c(&self.map_corruptions_detected)
-        );
-        let _ = writeln!(out, "racod_server_affinity_hits {}", c(&self.affinity_hits));
-        let _ = writeln!(out, "racod_server_affinity_misses {}", c(&self.affinity_misses));
-        let _ = writeln!(out, "racod_server_template_hits {}", c(&self.template_hits));
-        let _ = writeln!(out, "racod_server_template_misses {}", c(&self.template_misses));
-        let _ = writeln!(out, "racod_server_scratch_reuses {}", c(&self.scratch_reuses));
-        let _ = writeln!(out, "racod_server_scratch_cold_starts {}", c(&self.scratch_cold_starts));
-        let _ = writeln!(out, "racod_server_stale_pops {}", c(&self.stale_pops));
-        let _ = writeln!(out, "racod_server_peak_open {}", c(&self.peak_open));
-        let _ = writeln!(out, "racod_server_in_system {}", c(&self.in_system));
-        for (name, h) in
-            [("queue_wait", &self.queue_wait), ("service", &self.service), ("total", &self.total)]
-        {
+        for (name, counter) in self.counters() {
+            let _ = writeln!(out, "racod_server_{name} {}", counter.load(Ordering::Relaxed));
+        }
+        for (name, h) in self.histograms() {
             let (p50, p95, p99) = h.percentiles();
             let _ = writeln!(out, "racod_server_{name}_count {}", h.count());
             let _ = writeln!(out, "racod_server_{name}_mean_us {}", h.mean().as_micros());
@@ -344,6 +424,99 @@ mod tests {
             assert!(b >= last);
             assert!(b < BUCKETS);
             last = b;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_equals_manual_summation() {
+        // Two shards record disjoint sample streams; merging their
+        // histograms must equal the histogram of the union stream exactly
+        // (buckets, count, sum, max — hence also mean and every quantile).
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let union = LatencyHistogram::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for i in 0..5_000u64 {
+            x = racod_fault::mix64(x ^ i);
+            let us = x % 2_000_000; // up to 2 s
+            let sample = Duration::from_micros(us);
+            if i % 3 == 0 {
+                a.record(sample);
+            } else {
+                b.record(sample);
+            }
+            union.record(sample);
+        }
+        let merged = LatencyHistogram::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        for i in 0..LatencyHistogram::NUM_BUCKETS {
+            assert_eq!(merged.bucket_count(i), union.bucket_count(i), "bucket {i}");
+        }
+        assert_eq!(merged.count(), union.count());
+        assert_eq!(merged.sum_us(), union.sum_us());
+        assert_eq!(merged.max_us(), union.max_us());
+        assert_eq!(merged.mean(), union.mean());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), union.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn histogram_from_raw_roundtrips() {
+        let h = LatencyHistogram::new();
+        for us in [0u64, 1, 7, 900, 1_000_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let buckets: Vec<u64> =
+            (0..LatencyHistogram::NUM_BUCKETS).map(|i| h.bucket_count(i)).collect();
+        let back = LatencyHistogram::from_raw(&buckets, h.sum_us(), h.max_us());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.mean(), h.mean());
+        assert_eq!(back.quantile(0.99), h.quantile(0.99));
+        assert_eq!(back.max_us(), h.max_us());
+    }
+
+    #[test]
+    fn metrics_merge_sums_counters_and_maxes_peak_open() {
+        let a = ServerMetrics::new();
+        let b = ServerMetrics::new();
+        a.completed.store(10, Ordering::Relaxed);
+        b.completed.store(32, Ordering::Relaxed);
+        a.peak_open.store(500, Ordering::Relaxed);
+        b.peak_open.store(200, Ordering::Relaxed);
+        a.in_system.store(3, Ordering::Relaxed);
+        b.in_system.store(4, Ordering::Relaxed);
+        a.total.record(Duration::from_micros(100));
+        b.total.record(Duration::from_micros(300));
+        let fleet = ServerMetrics::new();
+        fleet.merge(&a);
+        fleet.merge(&b);
+        assert_eq!(fleet.completed.load(Ordering::Relaxed), 42);
+        assert_eq!(fleet.peak_open.load(Ordering::Relaxed), 500, "peak is maxed, not summed");
+        assert_eq!(fleet.in_system.load(Ordering::Relaxed), 7);
+        assert_eq!(fleet.total.count(), 2);
+        assert_eq!(fleet.total.sum_us(), 400);
+        // Every counter participates: sum all values through the stable
+        // iteration and compare against the two sources (manual summation,
+        // adjusted for the one max-merged counter).
+        let sum = |m: &ServerMetrics| -> u64 {
+            m.counters().iter().map(|(_, c)| c.load(Ordering::Relaxed)).sum()
+        };
+        assert_eq!(sum(&fleet), sum(&a) + sum(&b) - 200);
+    }
+
+    #[test]
+    fn counter_names_are_unique_and_match_render() {
+        let m = ServerMetrics::new();
+        let names: Vec<_> = m.counters().iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate counter name");
+        let text = m.render_text();
+        for n in names {
+            assert!(text.contains(&format!("racod_server_{n} ")), "{n} missing from render");
         }
     }
 
