@@ -1,24 +1,40 @@
 //! Machine-readable collision-check microbenchmark: emits
 //! `BENCH_codacc.json` with ns/check, checks/s, and the template-cache hit
-//! rate, comparing the scalar per-state software checker against the
-//! warm-cache word-parallel template kernel on a planning-style state sweep.
+//! rate, comparing the per-state OBB rasterization baseline against the
+//! warm-cache word-parallel template kernel (per-pose and batched) on a
+//! planning-style state sweep.
 //!
 //! Usage: `cargo run --release -p racod-bench --bin bench_json --
-//! [--checks N] [--out PATH]`
+//! [--checks N] [--out PATH] [--gate PATH]`
+//!
+//! `--gate PATH` runs in CI-gate mode: instead of writing a new JSON, the
+//! run compares its warm per-pose ns/check against the committed baseline
+//! at PATH and exits nonzero on a regression beyond the noise tolerance.
 
+use racod::codacc::{simd_lanes, template_check_2d_scalar};
 use racod::prelude::*;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+/// How much slower than the committed baseline the gate tolerates before
+/// failing. Shared CI runners jitter; a real regression from losing the
+/// word-parallel path is >5x.
+const GATE_TOLERANCE: f64 = 1.5;
+
+/// Batch size for the batched pass — the scale of a PASE wave / dispatcher
+/// chunk, where sorting by orientation amortizes template lookups.
+const BATCH: usize = 64;
+
 struct Options {
     checks: usize,
     out: String,
+    gate: Option<String>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { checks: 200_000, out: "BENCH_codacc.json".to_string() }
+        Options { checks: 200_000, out: "BENCH_codacc.json".to_string(), gate: None }
     }
 }
 
@@ -42,6 +58,13 @@ fn parse_args() -> Options {
                 });
                 i += 2;
             }
+            "--gate" => {
+                o.gate = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for --gate");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -49,6 +72,14 @@ fn parse_args() -> Options {
         }
     }
     o
+}
+
+/// Extracts a numeric field from the hand-written JSON this tool emits
+/// (flat object, one `"key": value` per line).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    rest.split([',', '\n', '}']).next()?.trim().parse().ok()
 }
 
 /// A deterministic planning-style state sweep: states marching toward the
@@ -75,15 +106,15 @@ fn main() {
     let goal = Cell2::new(size as i64 - 10, size as i64 - 10);
     let states = sweep_states(o.checks, size as i64);
 
-    // Scalar reference: per-state OBB rasterization + early-exit cell walk.
+    // OBB baseline: per-state rasterization + early-exit cell walk.
     let t0 = Instant::now();
-    let mut scalar_verdicts = Vec::with_capacity(states.len());
+    let mut obb_verdicts = Vec::with_capacity(states.len());
     for &s in &states {
         let out = software_check_2d(&grid, &fp.obb_at(s, goal));
-        scalar_verdicts.push(out.verdict.is_free());
+        obb_verdicts.push(out.verdict.is_free());
     }
-    let scalar_ns = t0.elapsed().as_nanos() as f64 / states.len() as f64;
-    let scalar_free: u64 = scalar_verdicts.iter().map(|&v| u64::from(v)).sum();
+    let obb_ns = t0.elapsed().as_nanos() as f64 / states.len() as f64;
+    let obb_free: u64 = obb_verdicts.iter().map(|&v| u64::from(v)).sum();
 
     // Warm template path: first pass warms the per-rotation cache, second
     // pass is the measured steady state.
@@ -107,15 +138,85 @@ fn main() {
     }
     let template_ns = t1.elapsed().as_nanos() as f64 / states.len() as f64;
 
-    // Template semantics translate the reference rasterization exactly; the
-    // per-state scalar rasterization can differ by an f32 rounding cell at
-    // a vanishing fraction of states. Anything beyond that is a kernel bug.
-    let agree = scalar_verdicts.iter().zip(&template_verdicts).filter(|(a, b)| a == b).count();
-    let agreement = agree as f64 / states.len() as f64;
-    assert!(agreement > 0.999, "scalar/kernel agreement collapsed: {agreement}");
+    // Batched warm path: the same states, fed as the wave-shaped batches
+    // real consumers produce. PASE waves and the server dispatcher hand
+    // the checker orientation-coherent chunks (states in one wave share a
+    // heading ray) whose rotation keys they computed when sorting, so the
+    // bench groups the sweep by rotation key once up front and probes
+    // through `check_batch_keyed_into`; the boundary chunks that straddle
+    // two keys exercise the sorted slow path. Gathering each wave is timed
+    // — the dispatcher pays that too.
+    let all_keys: Vec<RotKey> = states.iter().map(|&s| fp.rot_key(s, goal)).collect();
+    let mut order: Vec<u32> = (0..states.len() as u32).collect();
+    order.sort_by_key(|&i| all_keys[i as usize]);
+    let sorted_states: Vec<Cell2> = order.iter().map(|&i| states[i as usize]).collect();
+    let sorted_keys: Vec<RotKey> = order.iter().map(|&i| all_keys[i as usize]).collect();
+    let mut group_order = Vec::with_capacity(BATCH);
+    let mut out_checks = Vec::with_capacity(BATCH);
+    let mut sorted_verdicts = Vec::with_capacity(states.len());
+    let t2 = Instant::now();
+    for (wave, wave_keys) in sorted_states.chunks(BATCH).zip(sorted_keys.chunks(BATCH)) {
+        checker.check_batch_keyed_into(
+            black_box(wave),
+            wave_keys,
+            &mut group_order,
+            &mut out_checks,
+        );
+        sorted_verdicts.extend(out_checks.iter().map(|c| c.verdict.is_free()));
+    }
+    let batch_ns = t2.elapsed().as_nanos() as f64 / states.len() as f64;
+    let mut batch_verdicts = vec![false; states.len()];
+    for (&i, &v) in order.iter().zip(&sorted_verdicts) {
+        batch_verdicts[i as usize] = v;
+    }
 
-    let speedup = scalar_ns / template_ns;
+    // The SIMD/batched kernel must agree with the scalar template walk on
+    // every single state — the bit-identity contract, not a tolerance.
+    let scalar_agree = states
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| {
+            let (tpl, _) = checker.cache().get(&fp, fp.rot_key(s, goal));
+            let scalar = template_check_2d_scalar(&grid, s, &tpl).verdict.is_free();
+            scalar == template_verdicts[i] && scalar == batch_verdicts[i]
+        })
+        .count();
+    let scalar_agreement = scalar_agree as f64 / states.len() as f64;
+    assert!(scalar_agreement == 1.0, "kernel diverged from scalar walk: {scalar_agreement}");
+
+    // Template semantics translate the reference rasterization exactly; the
+    // per-state OBB rasterization can differ by an f32 rounding cell at a
+    // vanishing fraction of states. Anything beyond that is a kernel bug.
+    let obb_agree = obb_verdicts.iter().zip(&template_verdicts).filter(|(a, b)| a == b).count();
+    let obb_agreement = obb_agree as f64 / states.len() as f64;
+    assert!(obb_agreement > 0.999, "OBB/kernel agreement collapsed: {obb_agreement}");
+
+    let speedup = obb_ns / template_ns;
     let checks_per_sec = 1e9 / template_ns;
+    let batch_checks_per_sec = 1e9 / batch_ns;
+
+    if let Some(baseline_path) = &o.gate {
+        let baseline = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read gate baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let base_ns = json_number(&baseline, "template_ns_per_check").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} has no template_ns_per_check");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "gate: warm {template_ns:.1} ns/check vs baseline {base_ns:.1} ns/check \
+             (tolerance {GATE_TOLERANCE}x), batched {batch_ns:.1} ns/check, \
+             simd_lanes {}",
+            simd_lanes()
+        );
+        if template_ns > base_ns * GATE_TOLERANCE {
+            eprintln!("gate FAILED: warm ns/check regressed beyond tolerance");
+            std::process::exit(1);
+        }
+        eprintln!("gate passed");
+        return;
+    }
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -123,11 +224,15 @@ fn main() {
     let _ = writeln!(json, "  \"grid\": \"boston_{size}x{size}\",");
     let _ = writeln!(json, "  \"footprint\": \"car_16x8_toward_goal\",");
     let _ = writeln!(json, "  \"checks\": {},", states.len());
-    let _ = writeln!(json, "  \"free_fraction\": {:.4},", scalar_free as f64 / states.len() as f64);
-    let _ = writeln!(json, "  \"scalar_agreement\": {agreement:.6},");
-    let _ = writeln!(json, "  \"scalar_ns_per_check\": {scalar_ns:.1},");
+    let _ = writeln!(json, "  \"simd_lanes\": {},", simd_lanes());
+    let _ = writeln!(json, "  \"free_fraction\": {:.4},", obb_free as f64 / states.len() as f64);
+    let _ = writeln!(json, "  \"scalar_agreement\": {scalar_agreement:.6},");
+    let _ = writeln!(json, "  \"obb_agreement\": {obb_agreement:.6},");
+    let _ = writeln!(json, "  \"scalar_ns_per_check\": {obb_ns:.1},");
     let _ = writeln!(json, "  \"template_ns_per_check\": {template_ns:.1},");
     let _ = writeln!(json, "  \"template_checks_per_sec\": {checks_per_sec:.0},");
+    let _ = writeln!(json, "  \"batch_ns_per_check\": {batch_ns:.1},");
+    let _ = writeln!(json, "  \"batch_checks_per_sec\": {batch_checks_per_sec:.0},");
     let _ = writeln!(json, "  \"warm_speedup\": {speedup:.2},");
     let _ = writeln!(json, "  \"template_cache_hit_rate\": {warm_hit_rate:.4},");
     let _ = writeln!(json, "  \"template_cache_entries\": {}", checker.cache().len());

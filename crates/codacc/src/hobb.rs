@@ -19,7 +19,7 @@ pub const HOBB_REGISTERS: usize = HOBB_L * HOBB_W * HOBB_H;
 /// One HOBB register: cell address plus occupancy bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HobbRegister {
-    /// Byte address of the `u32` word holding this cell's occupancy bit, or
+    /// Byte address of the `u64` word holding this cell's occupancy bit, or
     /// `None` when the address generation found the cell out of the grid —
     /// which short-circuits the whole check as invalid.
     pub addr: Option<u64>,

@@ -53,6 +53,7 @@ pub use power::AreaPowerModel;
 pub use reduce::{LoadQueue, ReductionUnit, LOAD_QUEUE_ENTRIES};
 pub use sched::{partition_tiles, partition_tiles_ordered, PartitionOrder, Tile};
 pub use template::{
-    template_check_2d, template_check_2d_scalar, template_check_3d, template_check_3d_scalar,
+    simd_lanes, simd_level, template_check_2d, template_check_2d_scalar, template_check_3d,
+    template_check_3d_scalar, SimdLevel,
 };
 pub use unit::{CheckOutcome, CodaccPool, CodaccTiming, Verdict};

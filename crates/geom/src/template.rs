@@ -25,10 +25,11 @@
 //!
 //! The sorted offsets are compiled into [`TemplateRow2`] spans: for every
 //! distinct `dy`, a base offset `dx0` and a bitmask (`bit b` of `mask[k]`
-//! covers offset `dx0 + 32·k + b`). A checker evaluates a whole row against
-//! the grid's backing `u32` words with shift-and-AND — up to 32 cells per
-//! probe — and reconstructs the exact scalar early-exit statistics from the
-//! first failing word (see `racod-codacc`'s template kernel).
+//! covers offset `dx0 + 64·k + b`). A checker evaluates a whole row against
+//! the grid's backing `u64` words with shift-and-AND — up to 64 cells per
+//! probe, the common car-sized footprint row in a single op — and
+//! reconstructs the exact scalar early-exit statistics from the first
+//! failing word (see `racod-codacc`'s template kernel).
 
 use crate::angle::{Rotation2, Rotation3};
 use crate::cell::{Cell2, Cell3};
@@ -45,8 +46,8 @@ pub struct TemplateRow2 {
     /// `mask[0]` corresponds to this offset.
     pub dx0: i64,
     /// Occupancy mask of the row: bit `b` of `mask[k]` set means the cell at
-    /// offset `(dx0 + 32·k + b, dy)` belongs to the footprint.
-    pub mask: Vec<u32>,
+    /// offset `(dx0 + 64·k + b, dy)` belongs to the footprint.
+    pub mask: Vec<u64>,
     /// Number of template cells in rows strictly before this one (prefix sum
     /// in canonical scan order); used to reconstruct `cells_checked`.
     pub cells_before: usize,
@@ -58,8 +59,8 @@ impl TemplateRow2 {
     /// Column offset one past the last cell of the row.
     pub fn dx_end(&self) -> i64 {
         let last_word = self.mask.len() - 1;
-        let top = 32 - self.mask[last_word].leading_zeros() as i64;
-        self.dx0 + (last_word as i64) * 32 + top
+        let top = 64 - self.mask[last_word].leading_zeros() as i64;
+        self.dx0 + (last_word as i64) * 64 + top
     }
 }
 
@@ -75,10 +76,10 @@ fn compile_rows_2d(offsets: &[Cell2]) -> Vec<TemplateRow2> {
         }
         let dx0 = offsets[i].x;
         let span = (offsets[j - 1].x - dx0) as usize + 1;
-        let mut mask = vec![0u32; span.div_ceil(32)];
+        let mut mask = vec![0u64; span.div_ceil(64)];
         for c in &offsets[i..j] {
             let b = (c.x - dx0) as usize;
-            mask[b >> 5] |= 1 << (b & 31);
+            mask[b >> 6] |= 1 << (b & 63);
         }
         let cell_count = j - i;
         rows.push(TemplateRow2 { dy, dx0, mask, cells_before, cell_count });
@@ -160,7 +161,7 @@ impl FootprintTemplate2 {
             + self
                 .rows
                 .iter()
-                .map(|r| std::mem::size_of::<TemplateRow2>() + r.mask.len() * 4)
+                .map(|r| std::mem::size_of::<TemplateRow2>() + r.mask.len() * 8)
                 .sum::<usize>()
     }
 }
@@ -174,8 +175,8 @@ pub struct TemplateRow3 {
     pub dy: i64,
     /// Column offset of the first cell; bit 0 of `mask[0]`.
     pub dx0: i64,
-    /// Occupancy mask: bit `b` of `mask[k]` covers offset `dx0 + 32·k + b`.
-    pub mask: Vec<u32>,
+    /// Occupancy mask: bit `b` of `mask[k]` covers offset `dx0 + 64·k + b`.
+    pub mask: Vec<u64>,
     /// Cells in rows strictly before this one, canonical order.
     pub cells_before: usize,
     /// Cells in this row.
@@ -186,8 +187,8 @@ impl TemplateRow3 {
     /// Column offset one past the last cell of the row.
     pub fn dx_end(&self) -> i64 {
         let last_word = self.mask.len() - 1;
-        let top = 32 - self.mask[last_word].leading_zeros() as i64;
-        self.dx0 + (last_word as i64) * 32 + top
+        let top = 64 - self.mask[last_word].leading_zeros() as i64;
+        self.dx0 + (last_word as i64) * 64 + top
     }
 }
 
@@ -203,10 +204,10 @@ fn compile_rows_3d(offsets: &[Cell3]) -> Vec<TemplateRow3> {
         }
         let dx0 = offsets[i].x;
         let span = (offsets[j - 1].x - dx0) as usize + 1;
-        let mut mask = vec![0u32; span.div_ceil(32)];
+        let mut mask = vec![0u64; span.div_ceil(64)];
         for c in &offsets[i..j] {
             let b = (c.x - dx0) as usize;
-            mask[b >> 5] |= 1 << (b & 31);
+            mask[b >> 6] |= 1 << (b & 63);
         }
         let cell_count = j - i;
         rows.push(TemplateRow3 { dz, dy, dx0, mask, cells_before, cell_count });
@@ -275,7 +276,7 @@ impl FootprintTemplate3 {
             + self
                 .rows
                 .iter()
-                .map(|r| std::mem::size_of::<TemplateRow3>() + r.mask.len() * 4)
+                .map(|r| std::mem::size_of::<TemplateRow3>() + r.mask.len() * 8)
                 .sum::<usize>()
     }
 }
@@ -299,9 +300,9 @@ mod tests {
         for r in tpl.rows() {
             assert_eq!(from_rows.len(), r.cells_before);
             for (k, &w) in r.mask.iter().enumerate() {
-                for b in 0..32 {
+                for b in 0..64 {
                     if w & (1 << b) != 0 {
-                        from_rows.push(Cell2::new(r.dx0 + (k as i64) * 32 + b as i64, r.dy));
+                        from_rows.push(Cell2::new(r.dx0 + (k as i64) * 64 + b as i64, r.dy));
                     }
                 }
             }
@@ -325,20 +326,20 @@ mod tests {
         let tpl = FootprintTemplate2::for_box(0.0, 0.0, Rotation2::IDENTITY);
         assert_eq!(tpl.offsets(), &[Cell2::new(0, 0)]);
         assert_eq!(tpl.rows().len(), 1);
-        assert_eq!(tpl.rows()[0].mask, vec![1u32]);
+        assert_eq!(tpl.rows()[0].mask, vec![1u64]);
     }
 
     #[test]
     fn wide_row_spans_multiple_words() {
-        // A 40x0 box is a single row of 41 cells: needs two mask words.
-        let tpl = FootprintTemplate2::for_box(40.0, 0.0, Rotation2::IDENTITY);
+        // An 80x0 box is a single row of 81 cells: needs two mask words.
+        let tpl = FootprintTemplate2::for_box(80.0, 0.0, Rotation2::IDENTITY);
         assert_eq!(tpl.rows().len(), 1);
         let r = &tpl.rows()[0];
         assert_eq!(r.mask.len(), 2);
-        assert_eq!(r.cell_count, 41);
-        assert_eq!(r.mask[0], u32::MAX);
-        assert_eq!(r.mask[1], (1 << 9) - 1);
-        assert_eq!(r.dx_end() - r.dx0, 41);
+        assert_eq!(r.cell_count, 81);
+        assert_eq!(r.mask[0], u64::MAX);
+        assert_eq!(r.mask[1], (1 << 17) - 1);
+        assert_eq!(r.dx_end() - r.dx0, 81);
     }
 
     #[test]

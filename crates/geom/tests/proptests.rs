@@ -150,9 +150,9 @@ proptest! {
             prop_assert_eq!(row.cells_before, cells_before);
             let mut in_row = 0usize;
             for (wi, &word) in row.mask.iter().enumerate() {
-                for b in 0..32 {
+                for b in 0..64 {
                     if word & (1 << b) != 0 {
-                        decoded.push(Cell2::new(row.dx0 + (wi as i64) * 32 + b, row.dy));
+                        decoded.push(Cell2::new(row.dx0 + (wi as i64) * 64 + b, row.dy));
                         in_row += 1;
                     }
                 }

@@ -10,11 +10,12 @@ use std::fmt;
 /// relative block structure.
 pub const DEFAULT_BASE_ADDR: u64 = 0x1000_0000;
 
-/// A 2D occupancy grid packed one bit per cell into `u32` words, row-major.
+/// A 2D occupancy grid packed one bit per cell into `u64` words, row-major.
 ///
 /// This mirrors the memory-layout optimization of paper §3.1.2: packing
 /// eight-fold more cells per cache block than a byte map, at the cost of bit
-/// masking. The grid carries a virtual *base address* so cell lookups can be
+/// masking. The wide `u64` backing lets the word-parallel collision kernel
+/// resolve a whole footprint row in one or two masked ANDs. The grid carries a virtual *base address* so cell lookups can be
 /// mapped to byte addresses, which the cache models and the CODAcc reduction
 /// unit consume.
 ///
@@ -33,10 +34,10 @@ pub const DEFAULT_BASE_ADDR: u64 = 0x1000_0000;
 pub struct BitGrid2 {
     width: u32,
     height: u32,
-    /// Number of `u32` words per row (rows are word-aligned so that row
+    /// Number of `u64` words per row (rows are word-aligned so that row
     /// addressing is a simple multiply).
     row_words: u32,
-    words: Vec<u32>,
+    words: Vec<u64>,
     base_addr: u64,
 }
 
@@ -48,7 +49,7 @@ impl BitGrid2 {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "grid dimensions must be positive");
-        let row_words = width.div_ceil(32);
+        let row_words = width.div_ceil(64);
         BitGrid2 {
             width,
             height,
@@ -62,7 +63,7 @@ impl BitGrid2 {
     pub fn filled(width: u32, height: u32) -> Self {
         let mut g = BitGrid2::new(width, height);
         for w in &mut g.words {
-            *w = u32::MAX;
+            *w = u64::MAX;
         }
         g
     }
@@ -84,8 +85,8 @@ impl BitGrid2 {
             return None;
         }
         let (x, y) = (cell.x as u32, cell.y as u32);
-        let word = (y as usize) * (self.row_words as usize) + (x / 32) as usize;
-        Some((word, x % 32))
+        let word = (y as usize) * (self.row_words as usize) + (x / 64) as usize;
+        Some((word, x % 64))
     }
 
     /// Occupancy of a cell; `None` out of bounds.
@@ -125,14 +126,14 @@ impl BitGrid2 {
         }
     }
 
-    /// The byte address of the `u32` word holding a cell's bit, or `None`
+    /// The byte address of the `u64` word holding a cell's bit, or `None`
     /// out of bounds.
     ///
-    /// Address = base + 4·word_index; all bits of one word share an address,
+    /// Address = base + 8·word_index; all bits of one word share an address,
     /// which is what gives the accelerator its coalescing opportunities.
     pub fn cell_addr(&self, cell: Cell2) -> Option<u64> {
         let (w, _) = self.locate(cell)?;
-        Some(self.base_addr + 4 * w as u64)
+        Some(self.base_addr + 8 * w as u64)
     }
 
     /// Total number of occupied cells.
@@ -159,14 +160,14 @@ impl BitGrid2 {
 
     /// Size of the backing bit array in bytes.
     pub fn storage_bytes(&self) -> usize {
-        self.words.len() * 4
+        self.words.len() * 8
     }
 
-    /// Number of `u32` words per row (rows are word-aligned).
+    /// Number of `u64` words per row (rows are word-aligned).
     ///
     /// Together with [`BitGrid2::words`] this exposes the backing layout to
-    /// word-parallel readers: the bit for cell `(x, y)` is bit `x % 32` of
-    /// `words()[y * row_words + x / 32]`.
+    /// word-parallel readers: the bit for cell `(x, y)` is bit `x % 64` of
+    /// `words()[y * row_words + x / 64]`.
     pub fn row_words(&self) -> u32 {
         self.row_words
     }
@@ -177,7 +178,7 @@ impl BitGrid2 {
     /// Padding bits past `width` in the last word of a row are unspecified
     /// (e.g. [`BitGrid2::filled`] sets them); word-parallel readers must
     /// mask their probes to in-bounds columns.
-    pub fn words(&self) -> &[u32] {
+    pub fn words(&self) -> &[u64] {
         &self.words
     }
 }
@@ -224,8 +225,8 @@ mod tests {
 
     #[test]
     fn filled_grid_is_occupied() {
-        let g = BitGrid2::filled(33, 3);
-        assert_eq!(g.get(Cell2::new(32, 2)), Some(true));
+        let g = BitGrid2::filled(65, 3);
+        assert_eq!(g.get(Cell2::new(64, 2)), Some(true));
         // Note: `filled` sets padding bits too, so count via iter.
         assert!(g.iter().all(|(_, o)| o));
     }
@@ -241,7 +242,7 @@ mod tests {
 
     #[test]
     fn set_and_clear_roundtrip() {
-        let mut g = BitGrid2::new(70, 5);
+        let mut g = BitGrid2::new(130, 5);
         let c = Cell2::new(65, 4); // crosses a word boundary within the row
         assert!(g.set(c, true));
         assert_eq!(g.get(c), Some(true));
@@ -258,11 +259,11 @@ mod tests {
 
     #[test]
     fn neighbors_do_not_interfere() {
-        let mut g = BitGrid2::new(64, 2);
-        g.set(Cell2::new(31, 0), true);
-        assert_eq!(g.get(Cell2::new(30, 0)), Some(false));
-        assert_eq!(g.get(Cell2::new(32, 0)), Some(false));
-        assert_eq!(g.get(Cell2::new(31, 1)), Some(false));
+        let mut g = BitGrid2::new(128, 2);
+        g.set(Cell2::new(63, 0), true);
+        assert_eq!(g.get(Cell2::new(62, 0)), Some(false));
+        assert_eq!(g.get(Cell2::new(64, 0)), Some(false));
+        assert_eq!(g.get(Cell2::new(63, 1)), Some(false));
     }
 
     #[test]
@@ -276,23 +277,23 @@ mod tests {
 
     #[test]
     fn addresses_are_word_granular() {
-        let g = BitGrid2::new(64, 4);
+        let g = BitGrid2::new(128, 4);
         let a0 = g.cell_addr(Cell2::new(0, 0)).unwrap();
-        let a31 = g.cell_addr(Cell2::new(31, 0)).unwrap();
-        let a32 = g.cell_addr(Cell2::new(32, 0)).unwrap();
-        assert_eq!(a0, a31, "cells in the same word share an address");
-        assert_eq!(a32, a0 + 4, "next word is 4 bytes on");
-        assert_eq!(g.cell_addr(Cell2::new(64, 0)), None);
+        let a63 = g.cell_addr(Cell2::new(63, 0)).unwrap();
+        let a64 = g.cell_addr(Cell2::new(64, 0)).unwrap();
+        assert_eq!(a0, a63, "cells in the same word share an address");
+        assert_eq!(a64, a0 + 8, "next word is 8 bytes on");
+        assert_eq!(g.cell_addr(Cell2::new(128, 0)), None);
     }
 
     #[test]
     fn row_addressing_is_word_aligned() {
-        // width 40 → 2 words per row.
-        let g = BitGrid2::new(40, 3);
+        // width 72 → 2 words per row.
+        let g = BitGrid2::new(72, 3);
         let row0 = g.cell_addr(Cell2::new(0, 0)).unwrap();
         let row1 = g.cell_addr(Cell2::new(0, 1)).unwrap();
-        assert_eq!(row1 - row0, 8);
-        assert_eq!(g.storage_bytes(), 2 * 4 * 3);
+        assert_eq!(row1 - row0, 16);
+        assert_eq!(g.storage_bytes(), 2 * 8 * 3);
     }
 
     #[test]

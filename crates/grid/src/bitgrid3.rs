@@ -5,7 +5,7 @@ use crate::Occupancy3;
 use racod_geom::Cell3;
 use std::fmt;
 
-/// A 3D occupancy grid packed one bit per voxel into `u32` words.
+/// A 3D occupancy grid packed one bit per voxel into `u64` words.
 ///
 /// Layout is row-major with x fastest, then y, then z — the natural layout
 /// the paper's greedy scheduler exploits when prioritizing the x dimension
@@ -27,7 +27,7 @@ pub struct BitGrid3 {
     size_y: u32,
     size_z: u32,
     row_words: u32,
-    words: Vec<u32>,
+    words: Vec<u64>,
     base_addr: u64,
 }
 
@@ -39,8 +39,8 @@ impl BitGrid3 {
     /// Panics if any dimension is zero.
     pub fn new(size_x: u32, size_y: u32, size_z: u32) -> Self {
         assert!(size_x > 0 && size_y > 0 && size_z > 0, "grid dimensions must be positive");
-        let row_words = size_x.div_ceil(32);
-        let words = vec![0u32; row_words as usize * size_y as usize * size_z as usize];
+        let row_words = size_x.div_ceil(64);
+        let words = vec![0u64; row_words as usize * size_y as usize * size_z as usize];
         BitGrid3 { size_x, size_y, size_z, row_words, words, base_addr: DEFAULT_BASE_ADDR }
     }
 
@@ -61,8 +61,8 @@ impl BitGrid3 {
         }
         let (x, y, z) = (cell.x as u32, cell.y as u32, cell.z as u32);
         let row = z as usize * self.size_y as usize + y as usize;
-        let word = row * self.row_words as usize + (x / 32) as usize;
-        Some((word, x % 32))
+        let word = row * self.row_words as usize + (x / 64) as usize;
+        Some((word, x % 64))
     }
 
     /// Occupancy of a voxel; `None` out of bounds.
@@ -115,11 +115,11 @@ impl BitGrid3 {
         }
     }
 
-    /// The byte address of the `u32` word holding a voxel's bit, or `None`
+    /// The byte address of the `u64` word holding a voxel's bit, or `None`
     /// out of bounds.
     pub fn cell_addr(&self, cell: Cell3) -> Option<u64> {
         let (w, _) = self.locate(cell)?;
-        Some(self.base_addr + 4 * w as u64)
+        Some(self.base_addr + 8 * w as u64)
     }
 
     /// Total number of occupied voxels.
@@ -135,13 +135,13 @@ impl BitGrid3 {
 
     /// Size of the backing bit array in bytes.
     pub fn storage_bytes(&self) -> usize {
-        self.words.len() * 4
+        self.words.len() * 8
     }
 
-    /// Number of `u32` words per x-row (rows are word-aligned).
+    /// Number of `u64` words per x-row (rows are word-aligned).
     ///
-    /// The bit for voxel `(x, y, z)` is bit `x % 32` of
-    /// `words()[(z * size_y + y) * row_words + x / 32]`.
+    /// The bit for voxel `(x, y, z)` is bit `x % 64` of
+    /// `words()[(z * size_y + y) * row_words + x / 64]`.
     pub fn row_words(&self) -> u32 {
         self.row_words
     }
@@ -150,7 +150,7 @@ impl BitGrid3 {
     ///
     /// Padding bits past `size_x` in the last word of a row are unspecified;
     /// word-parallel readers must mask their probes to in-bounds columns.
-    pub fn words(&self) -> &[u32] {
+    pub fn words(&self) -> &[u64] {
         &self.words
     }
 }
@@ -208,8 +208,8 @@ mod tests {
 
     #[test]
     fn set_roundtrip_across_words() {
-        let mut g = BitGrid3::new(70, 3, 3);
-        for c in [Cell3::new(0, 0, 0), Cell3::new(33, 1, 1), Cell3::new(69, 2, 2)] {
+        let mut g = BitGrid3::new(130, 3, 3);
+        for c in [Cell3::new(0, 0, 0), Cell3::new(65, 1, 1), Cell3::new(129, 2, 2)] {
             assert!(g.set(c, true));
             assert_eq!(g.get(c), Some(true));
         }
@@ -234,17 +234,17 @@ mod tests {
 
     #[test]
     fn addresses_increase_with_z_then_y() {
-        let g = BitGrid3::new(32, 4, 4);
+        let g = BitGrid3::new(64, 4, 4);
         let a = g.cell_addr(Cell3::new(0, 0, 0)).unwrap();
         let ay = g.cell_addr(Cell3::new(0, 1, 0)).unwrap();
         let az = g.cell_addr(Cell3::new(0, 0, 1)).unwrap();
-        assert_eq!(ay - a, 4); // one row = one word for x=32
-        assert_eq!(az - a, 16); // one layer = 4 rows
+        assert_eq!(ay - a, 8); // one row = one word for x=64
+        assert_eq!(az - a, 32); // one layer = 4 rows
     }
 
     #[test]
     fn x_neighbors_share_word_address() {
-        let g = BitGrid3::new(64, 2, 2);
+        let g = BitGrid3::new(128, 2, 2);
         let a = g.cell_addr(Cell3::new(3, 1, 1)).unwrap();
         let b = g.cell_addr(Cell3::new(4, 1, 1)).unwrap();
         assert_eq!(a, b);

@@ -15,7 +15,13 @@
 //! Usage: `cargo run --release -p racod-net --bin loadgen -- [--requests N]
 //! [--clients N | --rate R] [--workers N] [--queue N] [--units N] [--seed S]
 //! [--deadline D] [--cancel-rate F] [--overshoot-budget D] [--platform P]
-//! [--remote HOST:PORT]`
+//! [--speculate on|off] [--remote HOST:PORT]`
+//!
+//! `--speculate on|off` (default `on`, local only) is the A/B switch for
+//! service-scope speculative prechecking: two otherwise-identical runs
+//! isolate its effect, and the report's `speculation` line shows the hit
+//! rate the prechecker earned. Speculation never changes answers (the plan
+//! digest is identical either way) — only latency.
 //!
 //! `--deadline` attaches a per-request completion budget (e.g. `5ms`,
 //! `250us`, `1s`; a bare number is milliseconds). The run then tracks
@@ -36,7 +42,7 @@ use racod_net::wire::fnv1a;
 use racod_net::{plan_with_retry, standard_world, ClientConfig, MapPool, NetClient, WireResult};
 use racod_server::{
     submit_with_retry, Outcome, PlanRequest, PlanServer, Planned, PlannedPath, Platform, Priority,
-    Rejected, RetryPolicy, ServerConfig, ServerMetrics, TimeoutStage, Workload,
+    Rejected, RetryPolicy, ServerConfig, ServerMetrics, SpeculationConfig, TimeoutStage, Workload,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -63,6 +69,7 @@ struct Options {
     cancel_rate: f64,
     overshoot_budget: Duration,
     platform: LoadPlatform,
+    speculate: bool,
     remote: Option<String>,
 }
 
@@ -81,6 +88,7 @@ impl Default for Options {
             cancel_rate: 0.0,
             overshoot_budget: Duration::from_millis(250),
             platform: LoadPlatform::Racod,
+            speculate: true,
             remote: None,
         }
     }
@@ -172,6 +180,19 @@ fn parse_args() -> Options {
                 }
             };
             i += 2;
+        } else if let Some(v) = take("--speculate") {
+            // A/B switch for service-scope speculative prechecking: `off`
+            // throws the server's kill switch so two runs differing only in
+            // this flag isolate speculation's latency effect.
+            o.speculate = match v.as_str() {
+                "on" => true,
+                "off" => false,
+                _ => {
+                    eprintln!("invalid value for --speculate: {v} (expected on or off)");
+                    std::process::exit(2);
+                }
+            };
+            i += 2;
         } else if let Some(v) = take("--remote") {
             o.remote = Some(v);
             i += 2;
@@ -197,6 +218,12 @@ fn parse_args() -> Options {
         }
         if o.cancel_rate > 0.0 {
             eprintln!("--cancel-rate is not supported with --remote (no wire cancel)");
+            std::process::exit(2);
+        }
+        if !o.speculate {
+            eprintln!(
+                "--speculate off is not supported with --remote (the remote owns its config)"
+            );
             std::process::exit(2);
         }
     }
@@ -553,6 +580,22 @@ fn print_report(tally: &Tally, elapsed: Duration, metrics: Option<&ServerMetrics
             m.template_hit_rate() * 100.0,
             m.template_hits.load(Ordering::Relaxed) + m.template_misses.load(Ordering::Relaxed)
         );
+        println!(
+            "speculation        {:.1}% hit rate ({} prechecks, {} hits, {} wasted)",
+            m.speculation_hit_rate() * 100.0,
+            m.speculation_prechecks.load(Ordering::Relaxed),
+            m.speculation_hits.load(Ordering::Relaxed),
+            m.speculation_wasted.load(Ordering::Relaxed)
+        );
+        println!(
+            "dispatch batches   {} (size 1:{} 2:{} 3-4:{} 5-8:{} >8:{})",
+            m.dispatch_batches.load(Ordering::Relaxed),
+            m.batch_size_1.load(Ordering::Relaxed),
+            m.batch_size_2.load(Ordering::Relaxed),
+            m.batch_size_3_4.load(Ordering::Relaxed),
+            m.batch_size_5_8.load(Ordering::Relaxed),
+            m.batch_size_gt_8.load(Ordering::Relaxed)
+        );
         let (qw50, qw95, qw99) = m.queue_wait.percentiles();
         let (sv50, sv95, sv99) = m.service.percentiles();
         let (to50, to95, to99) = m.total.percentiles();
@@ -610,16 +653,23 @@ fn check_failures(tally: &Tally, extra_panics: u64, o: &Options) -> bool {
 fn run_local(o: &Options) -> bool {
     let (registry, pools) = standard_world(o.seed, o.map_size);
     println!(
-        "racod loadgen: {} requests, {} maps, {} workers, queue {}, {} CODAcc units",
+        "racod loadgen: {} requests, {} maps, {} workers, queue {}, {} CODAcc units, \
+         speculation {}",
         o.requests,
         registry.len(),
         o.workers,
         o.queue,
-        o.units
+        o.units,
+        if o.speculate { "on" } else { "off" }
     );
 
     let server = PlanServer::start(
-        ServerConfig { workers: o.workers, queue_capacity: o.queue, ..Default::default() },
+        ServerConfig {
+            workers: o.workers,
+            queue_capacity: o.queue,
+            speculation: SpeculationConfig { enabled: o.speculate, ..Default::default() },
+            ..Default::default()
+        },
         registry,
     );
 

@@ -54,19 +54,71 @@ pub struct ParallelRun<S> {
     pub overlap_waits: u64,
 }
 
+/// A batched collision predicate: fills one verdict per state of the slice.
+type BatchedCheckFn<S> = dyn Fn(&[S], &mut Vec<bool>) + Send + Sync;
+
+/// The check an episode's workers run: either a per-state predicate or a
+/// batched one that fills one verdict per state (amortizing template lookup
+/// and grid base-address math across the chunk).
+enum CheckFn<S> {
+    Single(Arc<dyn Fn(S) -> bool + Send + Sync>),
+    Batched(Arc<BatchedCheckFn<S>>),
+}
+
+impl<S> Clone for CheckFn<S> {
+    fn clone(&self) -> Self {
+        match self {
+            CheckFn::Single(f) => CheckFn::Single(f.clone()),
+            CheckFn::Batched(f) => CheckFn::Batched(f.clone()),
+        }
+    }
+}
+
+impl<S: Copy> CheckFn<S> {
+    fn check_one(&self, s: S) -> bool {
+        match self {
+            CheckFn::Single(f) => f(s),
+            CheckFn::Batched(f) => {
+                let mut out = Vec::with_capacity(1);
+                f(&[s], &mut out);
+                out.first().copied().unwrap_or(false)
+            }
+        }
+    }
+
+    /// Fills `out` with one verdict per state (pre-cleared by the caller).
+    fn check_chunk(&self, states: &[S], out: &mut Vec<bool>) {
+        match self {
+            CheckFn::Single(f) => out.extend(states.iter().map(|&s| f(s))),
+            CheckFn::Batched(f) => f(states, out),
+        }
+    }
+}
+
 /// One planning episode's shared check state. Jobs carry an `Arc` of their
 /// episode, so stale speculative jobs from a finished plan can never
 /// publish into a later plan's table.
 struct Episode<S> {
     table: StatusTable,
-    check: Arc<dyn Fn(S) -> bool + Send + Sync>,
+    check: CheckFn<S>,
     /// Raised when the plan ends (normally or interrupted): workers drop
     /// any still-queued jobs for this episode instead of computing them.
     aborted: AtomicBool,
 }
 
 enum Job<S> {
-    Check { state: S, idx: usize, episode: Arc<Episode<S>> },
+    Check {
+        state: S,
+        idx: usize,
+        episode: Arc<Episode<S>>,
+    },
+    /// A batch of claimed states resolved by one worker in a single check
+    /// call; `states` and `idxs` are parallel arrays.
+    CheckChunk {
+        states: Vec<S>,
+        idxs: Vec<usize>,
+        episode: Arc<Episode<S>>,
+    },
     Shutdown,
 }
 
@@ -92,7 +144,7 @@ pub struct WorkerPool<S> {
     check_panics: Arc<AtomicU64>,
 }
 
-impl<S: Send + 'static> WorkerPool<S> {
+impl<S: Copy + Send + 'static> WorkerPool<S> {
     /// Spawns `threads` worker threads.
     ///
     /// # Panics
@@ -109,6 +161,7 @@ impl<S: Send + 'static> WorkerPool<S> {
                 std::thread::Builder::new()
                     .name(format!("racod-check-{i}"))
                     .spawn(move || {
+                        let mut verdicts: Vec<bool> = Vec::new();
                         while let Ok(job) = rx.recv() {
                             match job {
                                 Job::Check { state, idx, episode } => {
@@ -116,7 +169,9 @@ impl<S: Send + 'static> WorkerPool<S> {
                                         continue;
                                     }
                                     let check = episode.check.clone();
-                                    match catch_unwind(AssertUnwindSafe(move || (check)(state))) {
+                                    match catch_unwind(AssertUnwindSafe(move || {
+                                        check.check_one(state)
+                                    })) {
                                         Ok(free) => episode.table.publish(idx, free),
                                         // The verdict can never arrive;
                                         // release anyone waiting on it.
@@ -124,6 +179,29 @@ impl<S: Send + 'static> WorkerPool<S> {
                                             check_panics.fetch_add(1, Ordering::Relaxed);
                                             episode.table.poison();
                                         }
+                                    }
+                                }
+                                Job::CheckChunk { states, idxs, episode } => {
+                                    if episode.aborted.load(Ordering::Acquire) {
+                                        continue;
+                                    }
+                                    verdicts.clear();
+                                    let check = episode.check.clone();
+                                    let ok = catch_unwind(AssertUnwindSafe(|| {
+                                        check.check_chunk(&states, &mut verdicts)
+                                    }))
+                                    .is_ok()
+                                        && verdicts.len() == idxs.len();
+                                    if ok {
+                                        for (&idx, &free) in idxs.iter().zip(verdicts.iter()) {
+                                            episode.table.publish(idx, free);
+                                        }
+                                    } else {
+                                        // A panicking or short-filling batch
+                                        // check leaves verdicts undeliverable;
+                                        // release anyone waiting on them.
+                                        check_panics.fetch_add(1, Ordering::Relaxed);
+                                        episode.table.poison();
                                     }
                                 }
                                 Job::Shutdown => break,
@@ -164,16 +242,15 @@ impl<S> Drop for WorkerPool<S> {
 ///
 /// The checker function is shared by every worker, so it must be
 /// `Fn + Send + Sync` (typically a closure over an `Arc<BitGrid2>`).
-pub struct ParallelPlanner<S, F> {
+pub struct ParallelPlanner<S> {
     config: ParallelConfig,
-    check: Arc<F>,
+    check: CheckFn<S>,
     pool: Arc<WorkerPool<S>>,
 }
 
-impl<S, F> ParallelPlanner<S, F>
+impl<S> ParallelPlanner<S>
 where
     S: DirectedState + Send + Sync + 'static,
-    F: Fn(S) -> bool + Send + Sync + 'static,
 {
     /// Creates a planner with the given configuration and checker, backed
     /// by a freshly spawned pool of `config.threads` workers that persists
@@ -182,7 +259,10 @@ where
     /// # Panics
     ///
     /// Panics if `config.threads == 0`.
-    pub fn new(config: ParallelConfig, check: F) -> Self {
+    pub fn new<F>(config: ParallelConfig, check: F) -> Self
+    where
+        F: Fn(S) -> bool + Send + Sync + 'static,
+    {
         let pool = Arc::new(WorkerPool::new(config.threads.max(1)));
         Self::with_pool(config, check, pool)
     }
@@ -194,9 +274,47 @@ where
     /// # Panics
     ///
     /// Panics if `config.threads == 0`.
-    pub fn with_pool(config: ParallelConfig, check: F, pool: Arc<WorkerPool<S>>) -> Self {
+    pub fn with_pool<F>(config: ParallelConfig, check: F, pool: Arc<WorkerPool<S>>) -> Self
+    where
+        F: Fn(S) -> bool + Send + Sync + 'static,
+    {
         assert!(config.threads > 0, "at least one worker thread");
-        ParallelPlanner { config, check: Arc::new(check), pool }
+        ParallelPlanner { config, check: CheckFn::Single(Arc::new(check)), pool }
+    }
+
+    /// Like [`ParallelPlanner::new`], but with a *batched* checker: claimed
+    /// demand states of one expansion are fanned out in chunks and each
+    /// chunk resolves in a single closure call, so the checker can amortize
+    /// per-orientation work (e.g. [`racod-sim`'s `check_batch`][batch])
+    /// across the wavefront. The closure must push exactly one verdict per
+    /// state, in order; a short fill poisons the episode rather than
+    /// hanging the planner. Verdicts — and therefore plans — are
+    /// bit-identical to the per-state path.
+    ///
+    /// [batch]: ../racod_sim/struct.TemplateChecker2.html
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads == 0`.
+    pub fn new_batched<F>(config: ParallelConfig, check: F) -> Self
+    where
+        F: Fn(&[S], &mut Vec<bool>) + Send + Sync + 'static,
+    {
+        let pool = Arc::new(WorkerPool::new(config.threads.max(1)));
+        Self::with_pool_batched(config, check, pool)
+    }
+
+    /// [`ParallelPlanner::new_batched`] on an existing shared pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads == 0`.
+    pub fn with_pool_batched<F>(config: ParallelConfig, check: F, pool: Arc<WorkerPool<S>>) -> Self
+    where
+        F: Fn(&[S], &mut Vec<bool>) + Send + Sync + 'static,
+    {
+        assert!(config.threads > 0, "at least one worker thread");
+        ParallelPlanner { config, check: CheckFn::Batched(Arc::new(check)), pool }
     }
 
     /// The pool backing this planner.
@@ -263,6 +381,7 @@ where
             predictor: LastDirectionPredictor::new(self.config.runahead.max(1)),
             runahead: self.config.runahead,
             threads: self.config.threads,
+            batched: matches!(self.check, CheckFn::Batched(_)),
             interrupt: config.interrupt.clone(),
             demand_checks: 0,
             speculative_checks: 0,
@@ -272,6 +391,7 @@ where
             waits: Vec::new(),
             resolved: Vec::new(),
             neigh: Vec::new(),
+            chunk: Vec::new(),
         };
         let mut result = astar_in(space, start, goal, config, &mut oracle, scratch);
         let elapsed = begin.elapsed();
@@ -306,6 +426,9 @@ struct PoolOracle<'a, Sp: SearchSpace> {
     predictor: LastDirectionPredictor,
     runahead: usize,
     threads: usize,
+    /// Whether the episode's check is batched: claimed states are fanned
+    /// out as chunk jobs instead of one job per state.
+    batched: bool,
     interrupt: Option<Interrupt>,
     demand_checks: u64,
     speculative_checks: u64,
@@ -320,6 +443,8 @@ struct PoolOracle<'a, Sp: SearchSpace> {
     waits: Vec<usize>,
     resolved: Vec<Option<bool>>,
     neigh: Vec<(Sp::State, f64)>,
+    /// Claimed `(state, idx)` pairs gathered for chunked dispatch.
+    chunk: Vec<(Sp::State, usize)>,
 }
 
 impl<'a, Sp> CollisionOracle<Sp> for PoolOracle<'a, Sp>
@@ -351,8 +476,10 @@ where
         // oracle; move them out so `self.send` can borrow `self` meanwhile.
         let mut waits = std::mem::take(&mut self.waits);
         let mut resolved = std::mem::take(&mut self.resolved);
+        let mut chunk = std::mem::take(&mut self.chunk);
         waits.clear();
         resolved.clear();
+        chunk.clear();
         let mut outstanding = 0usize;
         for &s in demand {
             match self.space.index(s) {
@@ -364,7 +491,11 @@ where
                     } else if table.try_claim(idx) {
                         self.demand_checks += 1;
                         outstanding += 1;
-                        self.send(Job::Check { state: s, idx, episode: self.episode.clone() });
+                        if self.batched {
+                            chunk.push((s, idx));
+                        } else {
+                            self.send(Job::Check { state: s, idx, episode: self.episode.clone() });
+                        }
                         waits.push(idx);
                         resolved.push(None);
                     } else {
@@ -379,6 +510,14 @@ where
                 }
             }
         }
+
+        // Fan the claimed demand states out as chunks sized so every
+        // worker gets at most one — parallelism is preserved while each
+        // chunk's template lookups amortize inside one check call.
+        if self.batched && !chunk.is_empty() {
+            self.send_chunks(&chunk);
+        }
+        chunk.clear();
 
         // Runahead while demand checks are outstanding.
         if self.runahead > 0 && outstanding > 0 && ctx.parent.is_some() {
@@ -398,12 +537,19 @@ where
                     }
                     if table.try_claim(idx) {
                         self.speculative_checks += 1;
-                        self.send(Job::Check { state: nb, idx, episode: self.episode.clone() });
+                        if self.batched {
+                            chunk.push((nb, idx));
+                        } else {
+                            self.send(Job::Check { state: nb, idx, episode: self.episode.clone() });
+                        }
                         budget -= 1;
                     }
                 }
             }
             self.neigh = neigh;
+            if self.batched && !chunk.is_empty() {
+                self.send_chunks(&chunk);
+            }
         }
 
         // Join demand results (Algorithm 1 line 18).
@@ -435,6 +581,7 @@ where
         debug_assert_eq!(next_wait, waits.len(), "every wait consumed");
         self.waits = waits;
         self.resolved = resolved;
+        self.chunk = chunk;
     }
 }
 
@@ -445,6 +592,19 @@ where
 {
     fn send(&self, job: Job<Sp::State>) {
         self.tx.send(job).expect("pool outlives the planner");
+    }
+
+    /// Splits claimed pairs into `ceil(n / threads)`-sized chunk jobs so no
+    /// worker idles while another holds more than one chunk.
+    fn send_chunks(&self, pairs: &[(Sp::State, usize)]) {
+        let per = pairs.len().div_ceil(self.threads).max(1);
+        for chunk in pairs.chunks(per) {
+            self.send(Job::CheckChunk {
+                states: chunk.iter().map(|&(s, _)| s).collect(),
+                idxs: chunk.iter().map(|&(_, i)| i).collect(),
+                episode: self.episode.clone(),
+            });
+        }
     }
 }
 

@@ -82,6 +82,59 @@ fn parallel_3d_matches_single_threaded_astar() {
 }
 
 #[test]
+fn batched_planner_matches_per_state_planner() {
+    // Chunked dispatch through a batched check closure must be invisible:
+    // same path, cost bits, and expansion count as the per-state planner
+    // and the single-threaded reference, with and without speculation.
+    let grid = Arc::new(city_map(CityName::Boston, 96, 96));
+    let sc = Scenario2::new(&grid).with_free_endpoints(8, 8, 88, 80);
+    let (goal, fp) = (sc.goal, sc.footprint);
+    let checker = |g: Arc<BitGrid2>| {
+        move |c: Cell2| software_check_2d(g.as_ref(), &fp.obb_at(c, goal)).verdict.is_free()
+    };
+
+    let mut oracle = FnOracle::new(checker(grid.clone()));
+    let reference = astar(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle);
+    assert!(reference.path.is_some(), "reference plan must succeed");
+
+    for threads in [1, 2, 4] {
+        for runahead in [0, 4] {
+            let g = grid.clone();
+            let planner = ParallelPlanner::new_batched(
+                ParallelConfig { threads, runahead },
+                move |states: &[Cell2], out: &mut Vec<bool>| {
+                    out.extend(states.iter().map(|&c| {
+                        software_check_2d(g.as_ref(), &fp.obb_at(c, goal)).verdict.is_free()
+                    }));
+                },
+            );
+            let run = planner.plan(&sc.space, sc.start, sc.goal);
+            assert_same_run(
+                &run.result,
+                &reference,
+                &format!("batched threads={threads} runahead={runahead}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn short_filling_batch_check_poisons_instead_of_hanging() {
+    // A batched closure that fills fewer verdicts than states can never
+    // deliver the missing ones — the episode must poison (bounded wait),
+    // not hang the planner.
+    let planner = ParallelPlanner::new_batched(
+        ParallelConfig::baseline(2),
+        |states: &[Cell2], out: &mut Vec<bool>| {
+            out.extend(states.iter().skip(1).map(|_| true));
+        },
+    );
+    let space = racod_search::GridSpace2::eight_connected(24, 24);
+    let run = planner.plan(&space, Cell2::new(1, 1), Cell2::new(20, 20));
+    assert!(!run.result.found(), "missing verdicts must not fake a path");
+}
+
+#[test]
 fn parallel_agrees_on_infeasible_instances() {
     // A walled-off goal: every configuration must agree there is no path
     // after the same exhaustive search.

@@ -43,12 +43,14 @@
 //! ```
 
 pub mod pattern;
+pub mod precheck;
 pub mod predictor;
 pub mod runahead;
 pub mod table;
 pub mod vldp;
 
 pub use pattern::PatternPredictor;
+pub use precheck::speculation_targets;
 pub use predictor::{DirectedState, LastDirectionPredictor, StabilityTracker};
 pub use runahead::{RasexpStats, RunaheadConfig, RunaheadOracle};
 pub use table::{CollisionStatus, CollisionTable, Provenance};

@@ -52,7 +52,7 @@ pub use astar::{astar, astar_in, astar_reference, AstarConfig, SearchResult, Ter
 pub use distance_field::DistanceField;
 pub use heuristics::{Heuristic2, Heuristic3};
 pub use interrupt::{Interrupt, InterruptProbe, InterruptReason};
-pub use oracle::{CollisionOracle, Direction, ExpansionContext, FnOracle};
+pub use oracle::{BatchFnOracle, CollisionOracle, Direction, ExpansionContext, FnOracle};
 pub use pase::{pase, pase_in, PaseConfig, PaseResult};
 pub use scratch::{IntHeap, SearchScratch};
 pub use space::{Connectivity2, Connectivity3, GridSpace2, GridSpace3, SearchSpace};

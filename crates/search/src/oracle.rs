@@ -154,6 +154,78 @@ where
     }
 }
 
+/// An oracle wrapping a *batched* check function: the whole demand set of
+/// one expansion (or one PASE wave member) is handed to the closure in a
+/// single call, letting the checker amortize template lookup and grid
+/// base-address math across the wavefront.
+///
+/// The closure receives the demand slice and must push exactly one verdict
+/// per state, in order, into the (pre-cleared) output buffer — which is the
+/// engine's reusable buffer, so the batched path stays allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use racod_search::{BatchFnOracle, CollisionOracle, ExpansionContext, GridSpace2};
+/// use racod_geom::Cell2;
+///
+/// let mut oracle = BatchFnOracle::new(|demand: &[Cell2], out: &mut Vec<bool>| {
+///     out.extend(demand.iter().map(|c| c.x >= 0));
+/// });
+/// let ctx = ExpansionContext { expanded: Cell2::new(0, 0), parent: None, expansion: 0 };
+/// let out = <BatchFnOracle<_> as CollisionOracle<GridSpace2>>::resolve(
+///     &mut oracle, &ctx, &[Cell2::new(1, 0), Cell2::new(-1, 0)]);
+/// assert_eq!(out, vec![true, false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchFnOracle<F> {
+    f: F,
+    checks: u64,
+    batches: u64,
+}
+
+impl<F> BatchFnOracle<F> {
+    /// Wraps a batched predicate filling one `bool` per demand state.
+    pub fn new(f: F) -> Self {
+        BatchFnOracle { f, checks: 0, batches: 0 }
+    }
+
+    /// Number of individual states checked.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of batch calls issued (each maps to one `resolve`).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+}
+
+impl<Sp, F> CollisionOracle<Sp> for BatchFnOracle<F>
+where
+    Sp: SearchSpace,
+    F: FnMut(&[Sp::State], &mut Vec<bool>),
+{
+    fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        let mut out = Vec::with_capacity(demand.len());
+        <Self as CollisionOracle<Sp>>::resolve_into(self, ctx, demand, &mut out);
+        out
+    }
+
+    fn resolve_into(
+        &mut self,
+        _ctx: &ExpansionContext<Sp::State>,
+        demand: &[Sp::State],
+        out: &mut Vec<bool>,
+    ) {
+        self.checks += demand.len() as u64;
+        self.batches += 1;
+        out.clear();
+        (self.f)(demand, out);
+        debug_assert_eq!(out.len(), demand.len(), "batched check must fill one verdict per state");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

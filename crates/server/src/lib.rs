@@ -47,6 +47,7 @@ pub mod registry;
 pub mod request;
 pub mod retry;
 pub mod scheduler;
+pub mod speculate;
 pub mod worker;
 
 pub use breaker::{BreakerConfig, BreakerEvent, Breakers, CircuitBreaker, Route};
@@ -57,6 +58,7 @@ pub use request::{
     RequestId, TimeoutStage, Workload,
 };
 pub use retry::{submit_with_retry, RetryOutcome, RetryPolicy};
+pub use speculate::{SpecMemo2, SpeculationConfig};
 pub use worker::{RespawnConfig, WorkerContext};
 
 use racod_fault::{FaultPlan, FaultSite};
@@ -101,6 +103,10 @@ pub struct ServerConfig {
     /// Minimum completed-service samples before the shedding estimate is
     /// trusted (protects cold starts from bogus estimates).
     pub shed_min_samples: u64,
+    /// Service-scope speculative prechecking (see [`speculate`]). The
+    /// `enabled` flag is the kill switch: off means no speculator threads
+    /// and no memo consultation anywhere.
+    pub speculation: SpeculationConfig,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +122,7 @@ impl Default for ServerConfig {
             respawn: RespawnConfig::default(),
             shed_infeasible: true,
             shed_min_samples: 32,
+            speculation: SpeculationConfig::default(),
         }
     }
 }
@@ -188,9 +195,11 @@ pub struct PlanServer {
     breakers: Arc<Breakers>,
     cfg: ServerConfig,
     ingress_tx: Option<Sender<Admitted>>,
+    spec_tx: Option<Sender<speculate::SpecTask>>,
     shutdown: Arc<AtomicBool>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    speculators: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
     next_seq: AtomicU64,
     epoch: Instant,
@@ -215,6 +224,7 @@ impl PlanServer {
             breakers: breakers.clone(),
             fault: cfg.fault_plan.clone(),
             respawn: cfg.respawn,
+            speculation: cfg.speculation,
         };
         let mut worker_txs = Vec::with_capacity(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
@@ -241,15 +251,40 @@ impl PlanServer {
                 .expect("spawn dispatcher")
         };
 
+        // Speculative prechecking: a best-effort side channel feeds
+        // admitted 2D requests to speculator threads that warm the per-map
+        // memos while the requests queue. Dropped tasks (full channel) just
+        // mean less speculation, never less correctness.
+        let mut spec_tx = None;
+        let mut speculators = Vec::new();
+        if cfg.speculation.enabled && cfg.speculation.threads > 0 && cfg.workers > 0 {
+            let (tx, rx) = bounded::<speculate::SpecTask>(cfg.queue_capacity.max(1));
+            spec_tx = Some(tx);
+            for i in 0..cfg.speculation.threads {
+                let rx = rx.clone();
+                let shutdown = shutdown.clone();
+                let spec_cfg = cfg.speculation;
+                let metrics = metrics.clone();
+                speculators.push(
+                    std::thread::Builder::new()
+                        .name(format!("racod-speculator-{i}"))
+                        .spawn(move || speculate::speculator_loop(rx, shutdown, spec_cfg, metrics))
+                        .expect("spawn speculator"),
+                );
+            }
+        }
+
         PlanServer {
             registry,
             metrics,
             breakers,
             cfg,
             ingress_tx: Some(ingress_tx),
+            spec_tx,
             shutdown,
             dispatcher: Some(dispatcher),
             workers,
+            speculators,
             next_id: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
             epoch: Instant::now(),
@@ -349,10 +384,25 @@ impl PlanServer {
         let Some(ingress) = &self.ingress_tx else {
             return Err(Rejected::ShuttingDown); // slot released by ReplySlot drop
         };
+        // Tee the admitted request to the speculators (best effort: a full
+        // channel drops the task, costing only a missed precheck). Only 2D
+        // plans are speculated — see the `speculate` module docs.
+        let spec_task = match (&self.spec_tx, &admitted.req.workload) {
+            (Some(_), Workload::Plan2 { start, goal, footprint }) => Some(speculate::SpecTask {
+                entry: admitted.entry.clone(),
+                start: *start,
+                goal: *goal,
+                footprint: *footprint,
+            }),
+            _ => None,
+        };
         if ingress.try_send(admitted).is_err() {
             // Disconnected (shutdown race) — the dropped Admitted's reply
             // slot released the admission slot.
             return Err(Rejected::ShuttingDown);
+        }
+        if let (Some(tx), Some(task)) = (&self.spec_tx, spec_task) {
+            let _ = tx.try_send(task);
         }
         m.accepted.fetch_add(1, Ordering::Relaxed);
         Ok(Ticket::new(id, rx, cancel))
@@ -369,13 +419,18 @@ impl Drop for PlanServer {
         self.shutdown.store(true, Ordering::Relaxed);
         // Closing ingress wakes the dispatcher; it drains pending requests
         // (answering Cancelled), drops the worker channels, and exits;
-        // workers then see disconnect and exit.
+        // workers then see disconnect and exit. Speculators see the closed
+        // side channel (or the shutdown flag) and exit too.
         self.ingress_tx.take();
+        self.spec_tx.take();
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        for s in self.speculators.drain(..) {
+            let _ = s.join();
         }
     }
 }
@@ -432,6 +487,7 @@ fn dispatch_loop(
                 if batch.is_empty() {
                     continue;
                 }
+                metrics.record_batch_size(batch.len());
                 let map = batch[0].req.map.clone();
                 let hit = last_map[wi].as_ref() == Some(&map);
                 if hit {

@@ -227,6 +227,27 @@ pub struct ServerMetrics {
     pub stale_pops: AtomicU64,
     /// Largest open-list population observed in any single search.
     pub peak_open: AtomicU64,
+    /// Collision verdicts prechecked speculatively while their requests
+    /// were still queued (published to per-map memos).
+    pub speculation_prechecks: AtomicU64,
+    /// Native checks skipped because a speculatively prechecked verdict was
+    /// already memoized (verdicts are bit-identical by construction).
+    pub speculation_hits: AtomicU64,
+    /// Prechecks that never paid off: dropped on a full memo shard, or
+    /// cleared unconsumed when a map's memo was invalidated.
+    pub speculation_wasted: AtomicU64,
+    /// Batches handed to workers by the dispatcher.
+    pub dispatch_batches: AtomicU64,
+    /// Dispatched batches of exactly 1 request.
+    pub batch_size_1: AtomicU64,
+    /// Dispatched batches of exactly 2 requests.
+    pub batch_size_2: AtomicU64,
+    /// Dispatched batches of 3-4 requests.
+    pub batch_size_3_4: AtomicU64,
+    /// Dispatched batches of 5-8 requests.
+    pub batch_size_5_8: AtomicU64,
+    /// Dispatched batches of more than 8 requests.
+    pub batch_size_gt_8: AtomicU64,
     /// Current number of admitted-but-unfinished requests.
     pub in_system: AtomicU64,
     /// Time from submission to dispatch.
@@ -238,7 +259,7 @@ pub struct ServerMetrics {
 }
 
 /// Number of counters exposed by [`ServerMetrics::counters`].
-const COUNTERS: usize = 28;
+const COUNTERS: usize = 37;
 
 impl ServerMetrics {
     /// Fresh zeroed metrics.
@@ -279,6 +300,15 @@ impl ServerMetrics {
             ("scratch_cold_starts", &self.scratch_cold_starts),
             ("stale_pops", &self.stale_pops),
             ("peak_open", &self.peak_open),
+            ("speculation_prechecks", &self.speculation_prechecks),
+            ("speculation_hits", &self.speculation_hits),
+            ("speculation_wasted", &self.speculation_wasted),
+            ("dispatch_batches", &self.dispatch_batches),
+            ("batch_size_1", &self.batch_size_1),
+            ("batch_size_2", &self.batch_size_2),
+            ("batch_size_3_4", &self.batch_size_3_4),
+            ("batch_size_5_8", &self.batch_size_5_8),
+            ("batch_size_gt_8", &self.batch_size_gt_8),
             ("in_system", &self.in_system),
         ]
     }
@@ -328,6 +358,37 @@ impl ServerMetrics {
         } else {
             h / (h + m)
         }
+    }
+
+    /// Fraction of planner collision checks served from the speculative
+    /// precheck memo instead of a native kernel dispatch (0 when no checks
+    /// ran). The denominator is the checks the planner actually asked for:
+    /// memo hits plus template-cache lookups (each native check performs at
+    /// most one lookup; batched chunks amortize lookups, so this is a
+    /// conservative lower bound on native checks).
+    pub fn speculation_hit_rate(&self) -> f64 {
+        let hits = self.speculation_hits.load(Ordering::Relaxed) as f64;
+        let native = (self.template_hits.load(Ordering::Relaxed)
+            + self.template_misses.load(Ordering::Relaxed)) as f64;
+        if hits + native == 0.0 {
+            0.0
+        } else {
+            hits / (hits + native)
+        }
+    }
+
+    /// Records a dispatched batch's size into the coarse histogram
+    /// counters.
+    pub fn record_batch_size(&self, n: usize) {
+        self.dispatch_batches.fetch_add(1, Ordering::Relaxed);
+        let bucket = match n {
+            0 | 1 => &self.batch_size_1,
+            2 => &self.batch_size_2,
+            3..=4 => &self.batch_size_3_4,
+            5..=8 => &self.batch_size_5_8,
+            _ => &self.batch_size_gt_8,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Renders a plain-text metrics page (stable keys, one `key value` per
@@ -565,6 +626,37 @@ mod tests {
         assert!(text.contains("racod_server_workers_abandoned 1"));
         assert!(text.contains("racod_server_check_pool_panics 3"));
         assert!(text.contains("racod_server_map_corruptions_detected 2"));
+    }
+
+    #[test]
+    fn speculation_and_batch_size_keys_render() {
+        let m = ServerMetrics::new();
+        for n in [1, 1, 2, 3, 4, 6, 8, 9, 40] {
+            m.record_batch_size(n);
+        }
+        m.speculation_prechecks.fetch_add(50, Ordering::Relaxed);
+        m.speculation_hits.fetch_add(30, Ordering::Relaxed);
+        m.speculation_wasted.fetch_add(5, Ordering::Relaxed);
+        m.template_hits.fetch_add(60, Ordering::Relaxed);
+        m.template_misses.fetch_add(10, Ordering::Relaxed);
+        let text = m.render_text();
+        assert!(text.contains("racod_server_speculation_prechecks 50"));
+        assert!(text.contains("racod_server_speculation_hits 30"));
+        assert!(text.contains("racod_server_speculation_wasted 5"));
+        assert!(text.contains("racod_server_dispatch_batches 9"));
+        assert!(text.contains("racod_server_batch_size_1 2"));
+        assert!(text.contains("racod_server_batch_size_2 1"));
+        assert!(text.contains("racod_server_batch_size_3_4 2"));
+        assert!(text.contains("racod_server_batch_size_5_8 2"));
+        assert!(text.contains("racod_server_batch_size_gt_8 2"));
+        // 30 memo hits over 30 + 70 native lookups.
+        assert!((m.speculation_hit_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculation_hit_rate_is_zero_when_idle() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.speculation_hit_rate(), 0.0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! never derived from an unverified artifact.
 
 use crate::request::MapId;
+use crate::speculate::SpecMemo2;
 use parking_lot::RwLock;
 use racod_fault::{FaultPlan, FaultSite};
 use racod_geom::Cell2;
@@ -154,6 +155,7 @@ pub struct MapEntry {
     fault: RwLock<Option<Arc<FaultPlan>>>,
     tcache2: Arc<TemplateCache2>,
     tcache3: Arc<TemplateCache3>,
+    spec2: Arc<SpecMemo2>,
 }
 
 impl MapEntry {
@@ -167,6 +169,7 @@ impl MapEntry {
             fault: RwLock::new(fault),
             tcache2: Arc::new(TemplateCache2::default()),
             tcache3: Arc::new(TemplateCache3::default()),
+            spec2: Arc::new(SpecMemo2::new()),
         }
     }
 
@@ -181,6 +184,13 @@ impl MapEntry {
     /// The entry's shared 3D footprint-template cache.
     pub fn template_cache3(&self) -> Arc<TemplateCache3> {
         self.tcache3.clone()
+    }
+
+    /// The entry's speculative-precheck memo (2D plans only). Speculators
+    /// fill it while requests queue; planner threads consult it before
+    /// dispatching native checks.
+    pub fn spec_memo2(&self) -> Arc<SpecMemo2> {
+        self.spec2.clone()
     }
 
     /// The 2D artifact bundle, built on first call and cached. Returns
@@ -227,6 +237,10 @@ impl MapEntry {
             Some(_) => {
                 self.corruptions.fetch_add(1, Ordering::Relaxed);
                 *self.artifacts2.write() = None;
+                // Composes with speculation: verdicts prechecked against a
+                // map whose integrity is now suspect must not be served, so
+                // the memo version bumps and every shard clears.
+                self.spec2.invalidate();
                 (None, true)
             }
         }

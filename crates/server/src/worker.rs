@@ -27,7 +27,7 @@ use crate::scheduler::Admitted;
 use crossbeam::channel::Receiver;
 use racod_codacc::{template_check_2d, template_check_3d, CodaccPool};
 use racod_fault::{mix64, FaultPlan, FaultSite};
-use racod_geom::{Cell2, Cell3};
+use racod_geom::{Cell2, Cell3, FootprintTemplate2, FootprintTemplate3};
 use racod_parallel::{ParallelConfig, ParallelPlanner, WorkerPool};
 use racod_search::{
     GridSpace2, GridSpace3, Interrupt, InterruptReason, SearchScratch, SearchStats, Termination,
@@ -37,7 +37,7 @@ use racod_sim::planner::{
     plan_racod_2d_pooled_in, plan_racod_3d_pooled_in, plan_software_2d_in, plan_software_3d_in,
     Scenario2, Scenario3,
 };
-use racod_sim::{CostModel, TemplateStats};
+use racod_sim::{CostModel, RotKey, TemplateStats};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -82,6 +82,9 @@ pub struct WorkerContext {
     pub fault: Option<Arc<FaultPlan>>,
     /// Respawn-storm guard tuning.
     pub respawn: RespawnConfig,
+    /// Service-scope speculation tuning; `enabled: false` keeps workers
+    /// from ever consulting the precheck memos (the kill switch).
+    pub speculation: crate::speculate::SpeculationConfig,
 }
 
 /// A batch of same-map requests handed to one worker.
@@ -307,6 +310,7 @@ fn worker_loop(
                     &entry,
                     &mut warm,
                     metrics,
+                    ctx.speculation.enabled,
                 )
             }));
             let service_time = Instant::now().duration_since(now);
@@ -406,6 +410,7 @@ fn execute(
     entry: &crate::registry::MapEntry,
     warm: &mut WarmState,
     metrics: &Arc<ServerMetrics>,
+    speculation: bool,
 ) -> (Planned, Termination) {
     // Thread the request's interrupt into the search configuration; the
     // request itself is never mutated, and an unfired interrupt leaves the
@@ -501,18 +506,44 @@ fn execute(
                     let probe = check_probe.clone();
                     let pool = warm.check_pool2(threads);
                     let pool_panics_before = pool.check_panics();
+                    let memo = speculation.then(|| entry.spec_memo2());
+                    let mtr = metrics.clone();
                     // The check threads come from the worker's persistent
                     // pool; only the episode-specific closure is new per
-                    // request.
-                    let planner = ParallelPlanner::with_pool(
+                    // request. Chunks of the demand wavefront arrive whole,
+                    // so one template lookup amortizes over each same-
+                    // orientation run, and speculatively prechecked
+                    // verdicts (bit-identical by construction) short-
+                    // circuit the native kernel.
+                    let planner = ParallelPlanner::with_pool_batched(
                         ParallelConfig { threads, runahead },
-                        move |s| {
-                            if let Some(p) = &probe {
-                                p();
+                        move |states: &[Cell2], out: &mut Vec<bool>| {
+                            let mut last: Option<(RotKey, Arc<FootprintTemplate2>)> = None;
+                            for &s in states {
+                                if let Some(p) = &probe {
+                                    p();
+                                }
+                                let key = fp.rot_key(s, goal_c);
+                                if let Some(memo) = &memo {
+                                    if let Some(c) = memo.lookup(&fp, key, s) {
+                                        mtr.speculation_hits.fetch_add(1, Ordering::Relaxed);
+                                        out.push(c.verdict.is_free());
+                                        continue;
+                                    }
+                                }
+                                let tpl = match &last {
+                                    Some((k, t)) if *k == key => t.clone(),
+                                    _ => {
+                                        let (t, hit) = cache.get(&fp, key);
+                                        if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
+                                        last = Some((key, t.clone()));
+                                        t
+                                    }
+                                };
+                                out.push(
+                                    template_check_2d(grid.as_ref(), s, &tpl).verdict.is_free(),
+                                );
                             }
-                            let (tpl, hit) = cache.get(&fp, fp.rot_key(s, goal_c));
-                            if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
-                            template_check_2d(grid.as_ref(), s, &tpl).verdict.is_free()
                         },
                         pool.clone(),
                     );
@@ -598,15 +629,31 @@ fn execute(
                     let probe = check_probe.clone();
                     let pool = warm.check_pool3(threads);
                     let pool_panics_before = pool.check_panics();
-                    let planner = ParallelPlanner::with_pool(
+                    // Batched like the 2D arm (template lookups amortize
+                    // over same-orientation runs); 3D is not speculated, so
+                    // there is no memo consult.
+                    let planner = ParallelPlanner::with_pool_batched(
                         ParallelConfig { threads, runahead },
-                        move |s| {
-                            if let Some(p) = &probe {
-                                p();
+                        move |states: &[Cell3], out: &mut Vec<bool>| {
+                            let mut last: Option<(RotKey, Arc<FootprintTemplate3>)> = None;
+                            for &s in states {
+                                if let Some(p) = &probe {
+                                    p();
+                                }
+                                let key = fp.rot_key(s, goal_c);
+                                let tpl = match &last {
+                                    Some((k, t)) if *k == key => t.clone(),
+                                    _ => {
+                                        let (t, hit) = cache.get(&fp, key);
+                                        if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
+                                        last = Some((key, t.clone()));
+                                        t
+                                    }
+                                };
+                                out.push(
+                                    template_check_3d(grid.as_ref(), s, &tpl).verdict.is_free(),
+                                );
                             }
-                            let (tpl, hit) = cache.get(&fp, fp.rot_key(s, goal_c));
-                            if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
-                            template_check_3d(grid.as_ref(), s, &tpl).verdict.is_free()
                         },
                         pool.clone(),
                     );

@@ -1,0 +1,180 @@
+//! Silent-plan equivalence: speculative prechecking must never change what
+//! the service answers. A memoized verdict is the exact `SoftwareCheck` the
+//! native kernel would compute, so plans served with speculation on are
+//! bit-identical (path cells, cost bits, expansion counts) to plans served
+//! with the kill switch off.
+
+use racod_geom::Cell2;
+use racod_grid::gen::{city_map, CityName};
+use racod_rasexp::speculation_targets;
+use racod_server::{
+    MapRegistry, Outcome, PlanRequest, PlanServer, Planned, PlannedPath, Platform, ServerConfig,
+    SpeculationConfig,
+};
+use racod_sim::{Footprint2, TemplateChecker2};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn registry() -> Arc<MapRegistry> {
+    let reg = MapRegistry::new();
+    reg.insert_grid2("boston", city_map(CityName::Boston, 96, 96));
+    reg.insert_grid2("berlin", city_map(CityName::Berlin, 96, 96));
+    Arc::new(reg)
+}
+
+fn config(speculation: SpeculationConfig) -> ServerConfig {
+    ServerConfig { workers: 2, speculation, ..Default::default() }
+}
+
+fn endpoints() -> Vec<(&'static str, Cell2, Cell2)> {
+    vec![
+        ("boston", Cell2::new(8, 8), Cell2::new(88, 80)),
+        ("boston", Cell2::new(80, 10), Cell2::new(12, 84)),
+        ("berlin", Cell2::new(6, 40), Cell2::new(90, 44)),
+        ("boston", Cell2::new(8, 8), Cell2::new(88, 80)), // repeat: warm memo
+        ("berlin", Cell2::new(45, 6), Cell2::new(50, 88)),
+    ]
+}
+
+fn serve_all(server: &PlanServer) -> Vec<Planned> {
+    endpoints()
+        .into_iter()
+        .map(|(map, start, goal)| {
+            let req = PlanRequest::plan2(map, start, goal)
+                .with_platform(Platform::Threads { threads: 2, runahead: 2 });
+            match server.submit(req).expect("admitted").wait().outcome {
+                Outcome::Planned(p) => p,
+                other => panic!("expected Planned, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn assert_same_plans(on: &[Planned], off: &[Planned]) {
+    assert_eq!(on.len(), off.len());
+    for (i, (a, b)) in on.iter().zip(off.iter()).enumerate() {
+        let (PlannedPath::P2(pa), PlannedPath::P2(pb)) = (&a.path, &b.path) else {
+            panic!("2d paths expected");
+        };
+        assert_eq!(pa, pb, "request {i}: path diverged");
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "request {i}: cost bits diverged");
+        assert_eq!(a.expansions, b.expansions, "request {i}: expansion count diverged");
+    }
+}
+
+#[test]
+fn speculation_on_and_off_are_bit_identical() {
+    let on = {
+        let server = PlanServer::start(
+            config(SpeculationConfig { enabled: true, threads: 2, ..Default::default() }),
+            registry(),
+        );
+        serve_all(&server)
+    };
+    let off = {
+        let server = PlanServer::start(
+            config(SpeculationConfig { enabled: false, ..Default::default() }),
+            registry(),
+        );
+        serve_all(&server)
+    };
+    assert_same_plans(&on, &off);
+}
+
+#[test]
+fn preseeded_memo_serves_hits_without_changing_the_plan() {
+    // Deterministic memo-consult test: speculation enabled with zero
+    // speculator threads, memo seeded by hand with kernel-exact verdicts
+    // for the start/goal neighborhoods the search checks first.
+    let reg = registry();
+    let (start, goal) = (Cell2::new(8, 8), Cell2::new(88, 80));
+    let fp = Footprint2::car();
+    {
+        let entry = reg.get(&"boston".into()).unwrap();
+        let grid = entry.grid2().unwrap().clone();
+        let checker = TemplateChecker2::with_cache(&grid, fp, goal, entry.template_cache2());
+        let memo = entry.spec_memo2();
+        let targets = speculation_targets(start, goal, 2, 8);
+        for (&c, &chk) in targets.iter().zip(checker.check_batch(&targets).iter()) {
+            memo.insert(&fp, fp.rot_key(c, goal), c, chk);
+        }
+        assert!(memo.prechecks() > 0);
+    }
+
+    let server = PlanServer::start(
+        config(SpeculationConfig { enabled: true, threads: 0, ..Default::default() }),
+        reg.clone(),
+    );
+    let req = PlanRequest::plan2("boston", start, goal)
+        .with_platform(Platform::Threads { threads: 2, runahead: 0 });
+    let Outcome::Planned(with_memo) = server.submit(req).unwrap().wait().outcome else {
+        panic!("expected Planned");
+    };
+    let hits = server.metrics().speculation_hits.load(Ordering::Relaxed);
+    assert!(hits > 0, "seeded memo entries must be consumed by the search");
+    assert!(server.metrics().speculation_hit_rate() > 0.0);
+    drop(server);
+
+    // The same request with the kill switch off must answer identically.
+    let baseline_server =
+        PlanServer::start(config(SpeculationConfig { enabled: false, ..Default::default() }), reg);
+    let req = PlanRequest::plan2("boston", start, goal)
+        .with_platform(Platform::Threads { threads: 2, runahead: 0 });
+    let Outcome::Planned(baseline) = baseline_server.submit(req).unwrap().wait().outcome else {
+        panic!("expected Planned");
+    };
+    assert_same_plans(&[with_memo], &[baseline]);
+    assert_eq!(baseline_server.metrics().speculation_hits.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn speculators_precheck_queued_requests() {
+    let server = PlanServer::start(
+        config(SpeculationConfig { enabled: true, threads: 1, ..Default::default() }),
+        registry(),
+    );
+    let _plans = serve_all(&server);
+    // Speculators run asynchronously off a best-effort channel; give them a
+    // bounded window to drain the teed tasks.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if server.metrics().speculation_prechecks.load(Ordering::Relaxed) > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "speculators never prechecked anything");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn kill_switch_disables_all_speculation_counters() {
+    let server = PlanServer::start(
+        config(SpeculationConfig { enabled: false, threads: 4, ..Default::default() }),
+        registry(),
+    );
+    let _plans = serve_all(&server);
+    let m = server.metrics();
+    assert_eq!(m.speculation_prechecks.load(Ordering::Relaxed), 0);
+    assert_eq!(m.speculation_hits.load(Ordering::Relaxed), 0);
+    assert_eq!(m.speculation_wasted.load(Ordering::Relaxed), 0);
+    assert_eq!(m.speculation_hit_rate(), 0.0);
+}
+
+#[test]
+fn dispatch_batch_sizes_are_recorded() {
+    let server = PlanServer::start(
+        config(SpeculationConfig { enabled: false, ..Default::default() }),
+        registry(),
+    );
+    let _plans = serve_all(&server);
+    let m = server.metrics();
+    let batches = m.dispatch_batches.load(Ordering::Relaxed);
+    assert!(batches > 0, "dispatches must be counted");
+    let bucketed = m.batch_size_1.load(Ordering::Relaxed)
+        + m.batch_size_2.load(Ordering::Relaxed)
+        + m.batch_size_3_4.load(Ordering::Relaxed)
+        + m.batch_size_5_8.load(Ordering::Relaxed)
+        + m.batch_size_gt_8.load(Ordering::Relaxed);
+    assert_eq!(bucketed, batches, "every batch lands in exactly one size bucket");
+}

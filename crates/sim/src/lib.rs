@@ -50,6 +50,6 @@ pub use footprint::{Footprint2, Footprint3, RotKey};
 pub use oracle::{PlanTiming, TimedChecker, TimedOracle, TimedOracleConfig};
 pub use planner::{PlanOutcome, Scenario2, Scenario3};
 pub use tcache::{
-    TemplateCache2, TemplateCache3, TemplateChecker2, TemplateChecker3, TemplateStats,
-    DEFAULT_TEMPLATE_CAPACITY,
+    BatchScratch, TemplateCache2, TemplateCache3, TemplateChecker2, TemplateChecker3,
+    TemplateStats, DEFAULT_TEMPLATE_CAPACITY,
 };

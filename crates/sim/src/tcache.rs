@@ -209,6 +209,40 @@ impl TemplateStats {
     }
 }
 
+/// Reusable scratch buffers for batched checks, so steady-state batch
+/// dispatch allocates nothing.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    keys: Vec<RotKey>,
+    order: Vec<u32>,
+}
+
+/// A placeholder written into every output slot before the group walk
+/// overwrites it; the permutation covers every index, so it never survives.
+const BATCH_PLACEHOLDER: SoftwareCheck =
+    SoftwareCheck { verdict: racod_codacc::Verdict::Invalid, cells_checked: 0, cells_total: 0 };
+
+fn batch_groups<S: Copy>(
+    keys: &[RotKey],
+    order: &mut Vec<u32>,
+    states: &[S],
+    mut check_group: impl FnMut(RotKey, &[u32]),
+) {
+    debug_assert_eq!(keys.len(), states.len());
+    order.clear();
+    order.extend(0..states.len() as u32);
+    order.sort_unstable_by_key(|&i| keys[i as usize]);
+    let mut i = 0;
+    while i < order.len() {
+        let key = keys[order[i] as usize];
+        let start = i;
+        while i < order.len() && keys[order[i] as usize] == key {
+            i += 1;
+        }
+        check_group(key, &order[start..i]);
+    }
+}
+
 /// The canonical planning-path collision checker: template cache + word
 /// kernel over a 2D grid.
 ///
@@ -278,6 +312,98 @@ impl<'g> TemplateChecker2<'g> {
     pub fn is_free(&self, state: Cell2) -> bool {
         self.check(state).verdict.is_free()
     }
+
+    /// Checks a whole batch of poses, amortizing template lookup across
+    /// poses that share a [`RotKey`].
+    ///
+    /// Results land in `out` at the pose's original index and each is
+    /// bit-identical to [`TemplateChecker2::check`] on that pose alone —
+    /// poses are grouped by orientation (one cache lock per group instead
+    /// of per pose), but each pose is still evaluated independently against
+    /// the grid, so batching can never change a verdict or a
+    /// `cells_checked` count. Returns per-*group* template stats (the
+    /// amortization is exactly that a group costs one lookup).
+    pub fn check_batch_into(
+        &self,
+        states: &[Cell2],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<SoftwareCheck>,
+    ) -> TemplateStats {
+        let BatchScratch { keys, order } = scratch;
+        keys.clear();
+        keys.extend(states.iter().map(|&s| self.footprint.rot_key(s, self.goal)));
+        self.batch_keyed(states, keys, order, out)
+    }
+
+    /// [`TemplateChecker2::check_batch_into`] with caller-supplied keys.
+    ///
+    /// Batch producers that sort probes by orientation (the server
+    /// dispatcher, wave builders) have already computed every pose's
+    /// [`RotKey`]; this entry point skips recomputing them. Each `keys[i]`
+    /// MUST equal `footprint.rot_key(states[i], goal)` — a wrong key checks
+    /// the wrong template.
+    pub fn check_batch_keyed_into(
+        &self,
+        states: &[Cell2],
+        keys: &[RotKey],
+        order: &mut Vec<u32>,
+        out: &mut Vec<SoftwareCheck>,
+    ) -> TemplateStats {
+        assert_eq!(keys.len(), states.len(), "one key per pose");
+        debug_assert!(keys
+            .iter()
+            .zip(states)
+            .all(|(&k, &s)| k == self.footprint.rot_key(s, self.goal)));
+        self.batch_keyed(states, keys, order, out)
+    }
+
+    fn batch_keyed(
+        &self,
+        states: &[Cell2],
+        keys: &[RotKey],
+        order: &mut Vec<u32>,
+        out: &mut Vec<SoftwareCheck>,
+    ) -> TemplateStats {
+        let mut stats = TemplateStats::default();
+        out.clear();
+        if states.is_empty() {
+            return stats;
+        }
+        // Fast path: a wavefront near the goal (or an axis-aligned
+        // footprint) often shares one orientation — skip the sort.
+        let first = keys[0];
+        if keys.iter().all(|&k| k == first) {
+            let (tpl, hit) = self.cache.get(&self.footprint, first);
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            out.extend(states.iter().map(|&s| template_check_2d(self.grid, s, &tpl)));
+            return stats;
+        }
+        out.resize(states.len(), BATCH_PLACEHOLDER);
+        batch_groups(keys, order, states, |key, group| {
+            let (tpl, hit) = self.cache.get(&self.footprint, key);
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            for &i in group {
+                out[i as usize] = template_check_2d(self.grid, states[i as usize], &tpl);
+            }
+        });
+        stats
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`TemplateChecker2::check_batch_into`].
+    pub fn check_batch(&self, states: &[Cell2]) -> Vec<SoftwareCheck> {
+        let mut out = Vec::with_capacity(states.len());
+        self.check_batch_into(states, &mut BatchScratch::default(), &mut out);
+        out
+    }
 }
 
 /// 3D counterpart of [`TemplateChecker2`].
@@ -324,6 +450,82 @@ impl<'g> TemplateChecker3<'g> {
     /// Whether the footprint is collision-free (and in bounds) at `state`.
     pub fn is_free(&self, state: Cell3) -> bool {
         self.check(state).verdict.is_free()
+    }
+
+    /// 3D counterpart of [`TemplateChecker2::check_batch_into`]: grouped by
+    /// [`RotKey`], bit-identical per pose to [`TemplateChecker3::check`].
+    pub fn check_batch_into(
+        &self,
+        states: &[Cell3],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<SoftwareCheck>,
+    ) -> TemplateStats {
+        let BatchScratch { keys, order } = scratch;
+        keys.clear();
+        keys.extend(states.iter().map(|&s| self.footprint.rot_key(s, self.goal)));
+        self.batch_keyed(states, keys, order, out)
+    }
+
+    /// 3D counterpart of [`TemplateChecker2::check_batch_keyed_into`].
+    pub fn check_batch_keyed_into(
+        &self,
+        states: &[Cell3],
+        keys: &[RotKey],
+        order: &mut Vec<u32>,
+        out: &mut Vec<SoftwareCheck>,
+    ) -> TemplateStats {
+        assert_eq!(keys.len(), states.len(), "one key per pose");
+        debug_assert!(keys
+            .iter()
+            .zip(states)
+            .all(|(&k, &s)| k == self.footprint.rot_key(s, self.goal)));
+        self.batch_keyed(states, keys, order, out)
+    }
+
+    fn batch_keyed(
+        &self,
+        states: &[Cell3],
+        keys: &[RotKey],
+        order: &mut Vec<u32>,
+        out: &mut Vec<SoftwareCheck>,
+    ) -> TemplateStats {
+        let mut stats = TemplateStats::default();
+        out.clear();
+        if states.is_empty() {
+            return stats;
+        }
+        let first = keys[0];
+        if keys.iter().all(|&k| k == first) {
+            let (tpl, hit) = self.cache.get(&self.footprint, first);
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            out.extend(states.iter().map(|&s| template_check_3d(self.grid, s, &tpl)));
+            return stats;
+        }
+        out.resize(states.len(), BATCH_PLACEHOLDER);
+        batch_groups(keys, order, states, |key, group| {
+            let (tpl, hit) = self.cache.get(&self.footprint, key);
+            if hit {
+                stats.hits += 1;
+            } else {
+                stats.misses += 1;
+            }
+            for &i in group {
+                out[i as usize] = template_check_3d(self.grid, states[i as usize], &tpl);
+            }
+        });
+        stats
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`TemplateChecker3::check_batch_into`].
+    pub fn check_batch(&self, states: &[Cell3]) -> Vec<SoftwareCheck> {
+        let mut out = Vec::with_capacity(states.len());
+        self.check_batch_into(states, &mut BatchScratch::default(), &mut out);
+        out
     }
 }
 
