@@ -12,9 +12,16 @@
 //! `--gate` exits non-zero unless warm ns/expansion ≤ cold ns/expansion for
 //! every engine (the CI smoke invariant: reusing the arena can never be
 //! slower than reallocating it).
+//!
+//! A `churn` section measures incremental replanning: standing routes
+//! replanned after every single-cell map delta, [`Replanner`] repair vs a
+//! from-scratch rerun on a warm arena, bit-identical answers asserted on
+//! every replan. `--gate` additionally requires the incremental engine to
+//! clear 2x the from-scratch plans/s on this workload.
 
+use racod::grid::affected_cells;
 use racod::prelude::*;
-use racod::search::{astar_in, astar_reference, pase_in, PaseConfig, SearchScratch};
+use racod::search::{astar_in, astar_reference, pase_in, PaseConfig, Replanner, SearchScratch};
 use racod::sim::planner::free_near_2d;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -124,6 +131,89 @@ struct EngineRow {
     warm: Measure,
 }
 
+struct ChurnMeasure {
+    routes: usize,
+    rounds: usize,
+    replans: usize,
+    repairs: usize,
+    scratch_plans_per_sec: f64,
+    incremental_plans_per_sec: f64,
+}
+
+/// Small-delta churn: a handful of standing routes, each replanned after
+/// every single-cell world change, comparing [`Replanner`] repair against
+/// a from-scratch rerun on a warm arena (the strongest honest baseline —
+/// it already has the cold-allocation win priced in). Both branches see
+/// the identical delta schedule and must agree bit-for-bit on every
+/// replan; the speedup is pure work avoidance.
+fn measure_churn(grid: &BitGrid2, space: &GridSpace2, pairs: &[(Cell2, Cell2)]) -> ChurnMeasure {
+    use racod::grid::GridDelta2;
+    let routes = pairs.len().min(8);
+    let rounds = 50;
+    let pairs = &pairs[..routes];
+    let mut churn_grid = grid.clone();
+    let size = churn_grid.width() as i64;
+
+    let cfg = AstarConfig::default();
+    let mut rps: Vec<Replanner<Cell2>> = (0..routes).map(|_| Replanner::new()).collect();
+    for (rp, &(s, g)) in rps.iter_mut().zip(pairs) {
+        let mut oracle = FnOracle::new(|c: Cell2| churn_grid.get(c) == Some(false));
+        rp.plan_in(space, s, g, &cfg, &mut oracle);
+    }
+    let mut base_scratch = SearchScratch::new();
+
+    let mut seed: i64 = 4242;
+    let mut lcg = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 33).rem_euclid(size)
+    };
+
+    let mut inc_ns = 0u128;
+    let mut base_ns = 0u128;
+    let mut repairs = 0usize;
+    for _ in 0..rounds {
+        let cell = Cell2::new(lcg(), lcg());
+        let delta = if churn_grid.get(cell) == Some(true) {
+            GridDelta2::Disappear { cell }
+        } else {
+            GridDelta2::Appear { cell }
+        };
+        churn_grid.apply_delta(delta);
+        let affected = affected_cells(&[delta], 0);
+        for (rp, &(s, g)) in rps.iter_mut().zip(pairs) {
+            let t = Instant::now();
+            let (inc, repaired) = {
+                let mut oracle = FnOracle::new(|c: Cell2| churn_grid.get(c) == Some(false));
+                rp.replan_in(space, s, g, &cfg, &mut oracle, &affected)
+            };
+            inc_ns += t.elapsed().as_nanos();
+            repairs += usize::from(repaired);
+            let t = Instant::now();
+            let base = {
+                let mut oracle = FnOracle::new(|c: Cell2| churn_grid.get(c) == Some(false));
+                black_box(astar_in(space, s, g, &cfg, &mut oracle, &mut base_scratch))
+            };
+            base_ns += t.elapsed().as_nanos();
+            assert_eq!(
+                inc.cost.to_bits(),
+                base.cost.to_bits(),
+                "incremental replan diverged from from-scratch at ({s:?} -> {g:?})"
+            );
+            assert_eq!(inc.path, base.path, "incremental replan path diverged");
+        }
+    }
+
+    let replans = routes * rounds;
+    ChurnMeasure {
+        routes,
+        rounds,
+        replans,
+        repairs,
+        scratch_plans_per_sec: replans as f64 * 1e9 / base_ns as f64,
+        incremental_plans_per_sec: replans as f64 * 1e9 / inc_ns as f64,
+    }
+}
+
 fn main() {
     let o = parse_args();
     let size: u32 = 512;
@@ -190,6 +280,8 @@ fn main() {
         "reference engine disagrees with arena engine on plan costs"
     );
 
+    let churn = measure_churn(&grid, &space, &pairs);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"search_scratch_arena\",");
@@ -215,6 +307,21 @@ fn main() {
         let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
     let _ = writeln!(json, "  ],");
+    let churn_speedup = churn.incremental_plans_per_sec / churn.scratch_plans_per_sec;
+    let _ = writeln!(json, "  \"churn\": {{");
+    let _ = writeln!(json, "    \"routes\": {},", churn.routes);
+    let _ = writeln!(json, "    \"rounds\": {},", churn.rounds);
+    let _ = writeln!(json, "    \"replans\": {},", churn.replans);
+    let _ =
+        writeln!(json, "    \"repair_rate\": {:.3},", churn.repairs as f64 / churn.replans as f64);
+    let _ = writeln!(json, "    \"scratch_plans_per_sec\": {:.0},", churn.scratch_plans_per_sec);
+    let _ = writeln!(
+        json,
+        "    \"incremental_plans_per_sec\": {:.0},",
+        churn.incremental_plans_per_sec
+    );
+    let _ = writeln!(json, "    \"incremental_speedup\": {churn_speedup:.2}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"reference_ns_per_expansion\": {:.1},", reference.ns_per_expansion);
     let _ = writeln!(json, "  \"reference_plans_per_sec\": {:.0}", reference.plans_per_sec);
     let _ = writeln!(json, "}}");
@@ -236,6 +343,14 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if churn_speedup < 2.0 {
+            eprintln!(
+                "GATE FAIL: incremental replanning {churn_speedup:.2}x over from-scratch \
+                 under small-delta churn (need >= 2x)"
+            );
+            std::process::exit(1);
+        }
         eprintln!("gate ok: warm ns/expansion <= cold for all engines");
+        eprintln!("gate ok: incremental replanning {churn_speedup:.2}x under churn");
     }
 }

@@ -138,9 +138,23 @@ impl BitGrid2 {
 
     /// Total number of occupied cells.
     pub fn count_occupied(&self) -> u64 {
-        // Row padding bits are never set (set() masks by bounds), so a plain
-        // popcount over words is exact.
-        self.words.iter().map(|w| w.count_ones() as u64).sum()
+        // Row padding bits are *stable* but not guaranteed clear (`filled`
+        // sets them), so the last word of each row is masked to in-bounds
+        // columns before the popcount.
+        let tail_bits = self.width % 64;
+        let tail_mask = if tail_bits == 0 { u64::MAX } else { (1u64 << tail_bits) - 1 };
+        let rw = self.row_words as usize;
+        self.words
+            .chunks_exact(rw)
+            .map(|row| {
+                let mut n = 0u64;
+                for (i, &w) in row.iter().enumerate() {
+                    let w = if i + 1 == rw { w & tail_mask } else { w };
+                    n += w.count_ones() as u64;
+                }
+                n
+            })
+            .sum()
     }
 
     /// Fraction of occupied cells in `[0, 1]`.
@@ -175,9 +189,11 @@ impl BitGrid2 {
     /// The backing bit array, row-major with [`BitGrid2::row_words`] words
     /// per row.
     ///
-    /// Padding bits past `width` in the last word of a row are unspecified
-    /// (e.g. [`BitGrid2::filled`] sets them); word-parallel readers must
-    /// mask their probes to in-bounds columns.
+    /// Padding bits past `width` in the last word of a row hold whatever
+    /// state the constructor gave them ([`BitGrid2::new`] clears them,
+    /// [`BitGrid2::filled`] sets them) and are *never* disturbed by the
+    /// mutators ([`BitGrid2::set`], `apply_delta`, [`BitGrid2::fill_rect`]);
+    /// word-parallel readers must mask their probes to in-bounds columns.
     pub fn words(&self) -> &[u64] {
         &self.words
     }
@@ -227,8 +243,9 @@ mod tests {
     fn filled_grid_is_occupied() {
         let g = BitGrid2::filled(65, 3);
         assert_eq!(g.get(Cell2::new(64, 2)), Some(true));
-        // Note: `filled` sets padding bits too, so count via iter.
         assert!(g.iter().all(|(_, o)| o));
+        // `filled` sets padding bits too; the masked count must not see them.
+        assert_eq!(g.count_occupied(), 65 * 3);
     }
 
     #[test]

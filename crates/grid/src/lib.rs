@@ -32,12 +32,14 @@
 
 pub mod bitgrid2;
 pub mod bitgrid3;
+pub mod delta;
 pub mod gen;
 pub mod inflate;
 pub mod io;
 
 pub use bitgrid2::BitGrid2;
 pub use bitgrid3::BitGrid3;
+pub use delta::{affected_cells, GridDelta2, VersionedGrid2};
 
 use racod_geom::{Cell2, Cell3};
 

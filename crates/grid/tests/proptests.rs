@@ -3,7 +3,28 @@
 use proptest::prelude::*;
 use racod_geom::Cell2;
 use racod_grid::io::{parse_map, parse_scen, write_map, ParseMapError};
-use racod_grid::{BitGrid2, BitGrid3, Occupancy2};
+use racod_grid::{BitGrid2, BitGrid3, GridDelta2, Occupancy2};
+
+/// The padding bits past `width` in each row's last word, as `(word_index,
+/// padding_mask)` pairs. Empty when the width is a multiple of 64.
+fn padding_words(g: &BitGrid2) -> Vec<(usize, u64)> {
+    let tail_bits = g.width() % 64;
+    if tail_bits == 0 {
+        return Vec::new();
+    }
+    let pad_mask = !((1u64 << tail_bits) - 1);
+    let rw = g.row_words() as usize;
+    (0..g.height() as usize).map(|y| (y * rw + rw - 1, pad_mask)).collect()
+}
+
+/// Maps a proptest-generated `(tag, x, y, x2, y2)` tuple to a delta.
+fn arbitrary_delta(tag: u8, x: i64, y: i64, x2: i64, y2: i64) -> GridDelta2 {
+    match tag % 3 {
+        0 => GridDelta2::Appear { cell: Cell2::new(x, y) },
+        1 => GridDelta2::Disappear { cell: Cell2::new(x, y) },
+        _ => GridDelta2::Move { from: Cell2::new(x, y), to: Cell2::new(x2, y2) },
+    }
+}
 
 proptest! {
     #[test]
@@ -156,6 +177,85 @@ proptest! {
         fields[field] = corrupt;
         let line = fields.join("\t");
         let _ = parse_scen(&line);
+    }
+
+    // --- padding-bit stability: the SSE2/AVX2 lane groups in the collision
+    // kernel mask their probes at the grid edge, which is only sound if the
+    // mutators never flip a padding bit. `filled` starts with padding set,
+    // `new` with padding clear; both states must survive arbitrary set /
+    // apply_delta sequences bit-for-bit.
+
+    #[test]
+    fn set_and_apply_delta_preserve_set_padding_bits(
+        w in 1u32..150, h in 1u32..20,
+        sets in prop::collection::vec((0i64..160, 0i64..24, any::<bool>()), 0..60),
+        deltas in prop::collection::vec(
+            (any::<u8>(), -4i64..160, -4i64..24, -4i64..160, -4i64..24), 0..40),
+    ) {
+        let mut g = BitGrid2::filled(w, h);
+        let pads = padding_words(&g);
+        for (x, y, v) in sets {
+            g.set(Cell2::new(x, y), v);
+        }
+        for (tag, x, y, x2, y2) in deltas {
+            g.apply_delta(arbitrary_delta(tag, x, y, x2, y2));
+        }
+        for &(wi, mask) in &pads {
+            prop_assert_eq!(
+                g.words()[wi] & mask, mask,
+                "padding bits of word {} flipped clear", wi
+            );
+        }
+    }
+
+    #[test]
+    fn set_and_apply_delta_preserve_clear_padding_bits(
+        w in 1u32..150, h in 1u32..20,
+        sets in prop::collection::vec((0i64..160, 0i64..24, any::<bool>()), 0..60),
+        deltas in prop::collection::vec(
+            (any::<u8>(), -4i64..160, -4i64..24, -4i64..160, -4i64..24), 0..40),
+    ) {
+        let mut g = BitGrid2::new(w, h);
+        let pads = padding_words(&g);
+        for (x, y, v) in sets {
+            g.set(Cell2::new(x, y), v);
+        }
+        for (tag, x, y, x2, y2) in deltas {
+            g.apply_delta(arbitrary_delta(tag, x, y, x2, y2));
+        }
+        for &(wi, mask) in &pads {
+            prop_assert_eq!(
+                g.words()[wi] & mask, 0,
+                "padding bits of word {} flipped set", wi
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_per_cell_sets(
+        w in 1u32..80, h in 1u32..80,
+        deltas in prop::collection::vec(
+            (any::<u8>(), -4i64..84, -4i64..84, -4i64..84, -4i64..84), 0..50),
+    ) {
+        // apply_delta must be exactly the composition of its per-cell sets,
+        // including the masked occupancy count staying in sync.
+        let mut fast = BitGrid2::new(w, h);
+        let mut slow = BitGrid2::new(w, h);
+        for (tag, x, y, x2, y2) in deltas {
+            let d = arbitrary_delta(tag, x, y, x2, y2);
+            fast.apply_delta(d);
+            match d {
+                GridDelta2::Appear { cell } => { slow.set(cell, true); }
+                GridDelta2::Disappear { cell } => { slow.set(cell, false); }
+                GridDelta2::Move { from, to } => {
+                    slow.set(from, false);
+                    slow.set(to, true);
+                }
+            }
+        }
+        prop_assert_eq!(&fast, &slow);
+        let by_iter = fast.iter().filter(|&(_, o)| o).count() as u64;
+        prop_assert_eq!(fast.count_occupied(), by_iter);
     }
 
     #[test]

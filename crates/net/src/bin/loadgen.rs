@@ -15,7 +15,15 @@
 //! Usage: `cargo run --release -p racod-net --bin loadgen -- [--requests N]
 //! [--clients N | --rate R] [--workers N] [--queue N] [--units N] [--seed S]
 //! [--deadline D] [--cancel-rate F] [--overshoot-budget D] [--platform P]
-//! [--speculate on|off] [--remote HOST:PORT]`
+//! [--speculate on|off] [--remote HOST:PORT] [--churn N]`
+//!
+//! `--churn N` (closed-loop only) splits the run into N rounds and applies
+//! a deterministic, seed-derived batch of occupancy deltas to every 2D map
+//! between rounds — locally through the registry, remotely through the
+//! `MapDeltaReq` wire message. Rounds are barriers: every plan in a round
+//! completes before the world changes, so the digest contract below holds
+//! under churn too, and the report gains a `map churn` line showing cells
+//! changed, map version, in-flight repairs, and forced replans.
 //!
 //! `--speculate on|off` (default `on`, local only) is the A/B switch for
 //! service-scope speculative prechecking: two otherwise-identical runs
@@ -56,6 +64,7 @@ enum LoadPlatform {
     Threads,
 }
 
+#[derive(Clone)]
 struct Options {
     requests: usize,
     clients: usize,
@@ -71,6 +80,7 @@ struct Options {
     platform: LoadPlatform,
     speculate: bool,
     remote: Option<String>,
+    churn: usize,
 }
 
 impl Default for Options {
@@ -90,6 +100,7 @@ impl Default for Options {
             platform: LoadPlatform::Racod,
             speculate: true,
             remote: None,
+            churn: 0,
         }
     }
 }
@@ -196,6 +207,14 @@ fn parse_args() -> Options {
         } else if let Some(v) = take("--remote") {
             o.remote = Some(v);
             i += 2;
+        } else if let Some(v) = take("--churn") {
+            // Dynamic-world mode: split the run into N closed-loop rounds
+            // and apply a deterministic seed-derived map-delta batch to
+            // every 2D map between rounds. Rounds are barriers, so a local
+            // run and a --remote run with the same seed and world still
+            // print the same plan digest.
+            o.churn = parsed("--churn", &v);
+            i += 2;
         } else {
             eprintln!("unknown argument {}", args[i]);
             std::process::exit(2);
@@ -209,6 +228,10 @@ fn parse_args() -> Options {
     }
     if !(0.0..=1.0).contains(&o.cancel_rate) {
         eprintln!("--cancel-rate must be in [0, 1]");
+        std::process::exit(2);
+    }
+    if o.churn > 0 && o.rate.is_some() {
+        eprintln!("--churn requires closed-loop mode (drop --rate)");
         std::process::exit(2);
     }
     if o.remote.is_some() {
@@ -365,6 +388,61 @@ impl Tally {
             self.max_overshoot_us.fetch_max(over.as_micros() as u64, Ordering::Relaxed);
         }
     }
+}
+
+/// How many requests churn round `round` gets out of the run total.
+fn round_requests(total: usize, rounds: usize, round: usize) -> usize {
+    total / rounds + usize::from(round < total % rounds)
+}
+
+/// Options for churn round `round`: its share of the requests, and a
+/// round-mixed seed so each round draws a fresh (but reproducible) slice
+/// of the workload.
+fn round_options(o: &Options, round: usize) -> Options {
+    Options {
+        requests: round_requests(o.requests, o.churn, round),
+        seed: mix64(o.seed ^ round as u64),
+        ..o.clone()
+    }
+}
+
+/// The delta batch applied to every 2D map after churn round `round`.
+/// Derived purely from `(seed, map name, round)` so a local run and a
+/// `--remote` run against shards seeded with the same world apply the
+/// exact same churn — the digest-parity contract survives map mutation.
+/// Mostly obstacle appearances with occasional clear-outs, drawn
+/// map-wide; a delta that happens to land on a pooled endpoint just
+/// makes that plan come back path-less, identically on both sides.
+fn churn_deltas(
+    pools: &[MapPool],
+    o: &Options,
+    round: usize,
+) -> Vec<(&'static str, Vec<racod_grid::GridDelta2>)> {
+    use racod_grid::GridDelta2;
+    let mut out = Vec::new();
+    for pool in pools {
+        if let MapPool::D2 { name, .. } = pool {
+            let mut rng = SmallRng::seed_from_u64(mix64(
+                o.seed ^ fnv1a(name.as_bytes()) ^ ((round as u64 + 1) << 32),
+            ));
+            let n = 2 + rng.gen_range(0..4);
+            let deltas = (0..n)
+                .map(|_| {
+                    let cell = racod_geom::Cell2::new(
+                        rng.gen_range(0..o.map_size as i64),
+                        rng.gen_range(0..o.map_size as i64),
+                    );
+                    if rng.gen_range(0..4) == 0 {
+                        GridDelta2::Disappear { cell }
+                    } else {
+                        GridDelta2::Appear { cell }
+                    }
+                })
+                .collect();
+            out.push((*name, deltas));
+        }
+    }
+    out
 }
 
 fn run_closed_loop(server: &PlanServer, pools: &[MapPool], o: &Options, tally: &Tally) {
@@ -587,6 +665,16 @@ fn print_report(tally: &Tally, elapsed: Duration, metrics: Option<&ServerMetrics
             m.speculation_hits.load(Ordering::Relaxed),
             m.speculation_wasted.load(Ordering::Relaxed)
         );
+        if o.churn > 0 {
+            println!(
+                "map churn          {} cells changed (map version {}), {} in-flight repairs, \
+                 {} replans from scratch",
+                m.deltas_applied.load(Ordering::Relaxed),
+                m.map_version.load(Ordering::Relaxed),
+                m.incremental_repairs.load(Ordering::Relaxed),
+                m.replans_from_scratch.load(Ordering::Relaxed)
+            );
+        }
         println!(
             "dispatch batches   {} (size 1:{} 2:{} 3-4:{} 5-8:{} >8:{})",
             m.dispatch_batches.load(Ordering::Relaxed),
@@ -620,7 +708,6 @@ fn print_report(tally: &Tally, elapsed: Duration, metrics: Option<&ServerMetrics
             to99.as_micros()
         );
     }
-    let _ = o;
 }
 
 /// Shared FAIL gates; returns whether the run failed.
@@ -676,6 +763,17 @@ fn run_local(o: &Options) -> bool {
     let tally = Tally::default();
     let begin = Instant::now();
     match o.rate {
+        None if o.churn > 0 => {
+            println!("mode: closed-loop, {} clients, {} churn rounds", o.clients, o.churn);
+            for round in 0..o.churn {
+                run_closed_loop(&server, &pools, &round_options(o, round), &tally);
+                if round + 1 < o.churn {
+                    for (name, deltas) in churn_deltas(&pools, o, round) {
+                        server.apply_map_deltas(&name.into(), &deltas);
+                    }
+                }
+            }
+        }
         None => {
             println!("mode: closed-loop, {} clients", o.clients);
             run_closed_loop(&server, &pools, o, &tally);
@@ -700,6 +798,40 @@ fn run_local(o: &Options) -> bool {
     failed
 }
 
+/// Applies the round's churn batch over the wire — the remote twin of
+/// the local `server.apply_map_deltas` loop, byte-for-byte the same
+/// deltas. A refused or failed apply counts as a net error: the worlds
+/// have diverged and the digest comparison is void.
+fn apply_remote_churn(
+    addr: SocketAddr,
+    pools: &[MapPool],
+    o: &Options,
+    round: usize,
+    tally: &Tally,
+) {
+    let mut conn = match NetClient::connect(addr, ClientConfig::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("churn round {round}: connect failed: {e}");
+            tally.net_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    for (name, deltas) in churn_deltas(pools, o, round) {
+        match conn.apply_deltas(name, &deltas) {
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                eprintln!("churn round {round}: server refused deltas for {name}");
+                tally.net_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!("churn round {round}: delta apply to {name} failed: {e}");
+                tally.net_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 fn run_remote(o: &Options, addr_str: &str) -> bool {
     let addr: SocketAddr = match addr_str.parse() {
         Ok(a) => a,
@@ -718,7 +850,17 @@ fn run_remote(o: &Options, addr_str: &str) -> bool {
 
     let tally = Tally::default();
     let begin = Instant::now();
-    run_remote_closed_loop(addr, &pools, o, &tally);
+    if o.churn > 0 {
+        println!("churn: {} rounds", o.churn);
+        for round in 0..o.churn {
+            run_remote_closed_loop(addr, &pools, &round_options(o, round), &tally);
+            if round + 1 < o.churn {
+                apply_remote_churn(addr, &pools, o, round, &tally);
+            }
+        }
+    } else {
+        run_remote_closed_loop(addr, &pools, o, &tally);
+    }
     let elapsed = begin.elapsed();
 
     // Fleet metrics: a netd answers for itself, a router merges shards.

@@ -105,6 +105,21 @@ impl NetClient {
         }
     }
 
+    /// Applies occupancy deltas to a live 2D map on the server. Returns
+    /// `Some((new_version, changed_cells))`, or `None` when the map is
+    /// unknown, not 2D, or the shard is draining.
+    pub fn apply_deltas(
+        &mut self,
+        map: &str,
+        deltas: &[racod_grid::GridDelta2],
+    ) -> Result<Option<(u64, u64)>, ConnError> {
+        let msg = Message::MapDeltaReq { map: map.to_string(), deltas: deltas.to_vec() };
+        match self.roundtrip(&msg)? {
+            Message::MapDeltaResp(r) => Ok(r),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Fetches per-shard routing statistics.
     pub fn shard_stats(&mut self) -> Result<Vec<ShardStat>, ConnError> {
         match self.roundtrip(&Message::ShardStatsReq)? {

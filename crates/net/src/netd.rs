@@ -299,13 +299,29 @@ fn handle_conn(stream: TcpStream, conn_id: u64, shared: Arc<Shared>) {
                 Message::DrainResp(true)
             }
             Message::ShardStatsReq => Message::ShardStatsResp(vec![shared.self_stat()]),
+            Message::MapDeltaReq { map, deltas } => {
+                // Deltas mutate shared map state; a draining shard refuses
+                // them the same way it refuses new plans, so its in-flight
+                // work finishes against a stable world.
+                if shared.draining.load(Ordering::Relaxed) {
+                    shared.stats.rejected_draining.fetch_add(1, Ordering::Relaxed);
+                    Message::MapDeltaResp(None)
+                } else {
+                    let result = shared
+                        .server
+                        .apply_map_deltas(&map.into(), &deltas)
+                        .map(|(version, changed)| (version, changed as u64));
+                    Message::MapDeltaResp(result)
+                }
+            }
             // Response kinds arriving at a server are a protocol
             // violation; drop the connection.
             Message::PlanResp { .. }
             | Message::MetricsResp(_)
             | Message::HealthResp(_)
             | Message::DrainResp(_)
-            | Message::ShardStatsResp(_) => {
+            | Message::ShardStatsResp(_)
+            | Message::MapDeltaResp(_) => {
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                 return;
             }

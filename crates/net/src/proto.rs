@@ -25,6 +25,7 @@
 
 use crate::wire::{frame_checksum, ByteReader, ByteWriter, ProtocolError};
 use racod_geom::{Cell2, Cell3};
+use racod_grid::GridDelta2;
 use racod_search::AstarConfig;
 use racod_server::{
     LatencyHistogram, Outcome, PlanRequest, PlanResponse, Planned, PlannedPath, Platform, Priority,
@@ -68,6 +69,10 @@ pub enum MsgKind {
     ShardStatsReq = 9,
     /// Router/server → client: per-shard routing statistics.
     ShardStatsResp = 10,
+    /// Client → server: apply occupancy deltas to a live 2D map.
+    MapDeltaReq = 11,
+    /// Server → client: delta application result.
+    MapDeltaResp = 12,
 }
 
 impl MsgKind {
@@ -83,6 +88,8 @@ impl MsgKind {
             8 => MsgKind::DrainResp,
             9 => MsgKind::ShardStatsReq,
             10 => MsgKind::ShardStatsResp,
+            11 => MsgKind::MapDeltaReq,
+            12 => MsgKind::MapDeltaResp,
             other => return Err(ProtocolError::BadKind(other)),
         })
     }
@@ -249,6 +256,16 @@ pub enum Message {
     ShardStatsReq,
     /// Per-shard stats (one entry per backend; a netd reports itself).
     ShardStatsResp(Vec<ShardStat>),
+    /// Apply occupancy deltas to a live 2D map.
+    MapDeltaReq {
+        /// The map to mutate.
+        map: String,
+        /// Occupancy events, applied in order as one versioned batch.
+        deltas: Vec<GridDelta2>,
+    },
+    /// Delta application result: `Some((new_version, changed_cells))`, or
+    /// `None` for an unknown or non-2D map.
+    MapDeltaResp(Option<(u64, u64)>),
 }
 
 impl Message {
@@ -265,6 +282,8 @@ impl Message {
             Message::DrainResp(_) => MsgKind::DrainResp,
             Message::ShardStatsReq => MsgKind::ShardStatsReq,
             Message::ShardStatsResp(_) => MsgKind::ShardStatsResp,
+            Message::MapDeltaReq { .. } => MsgKind::MapDeltaReq,
+            Message::MapDeltaResp(_) => MsgKind::MapDeltaResp,
         }
     }
 }
@@ -633,6 +652,33 @@ fn get_metrics(r: &mut ByteReader<'_>) -> Result<MetricsFrame, ProtocolError> {
     Ok(MetricsFrame { counters, hists })
 }
 
+fn put_delta(w: &mut ByteWriter, d: GridDelta2) {
+    match d {
+        GridDelta2::Appear { cell } => {
+            w.put_u8(0);
+            put_cell2(w, cell);
+        }
+        GridDelta2::Disappear { cell } => {
+            w.put_u8(1);
+            put_cell2(w, cell);
+        }
+        GridDelta2::Move { from, to } => {
+            w.put_u8(2);
+            put_cell2(w, from);
+            put_cell2(w, to);
+        }
+    }
+}
+
+fn get_delta(r: &mut ByteReader<'_>) -> Result<GridDelta2, ProtocolError> {
+    Ok(match r.u8("GridDelta2")? {
+        0 => GridDelta2::Appear { cell: get_cell2(r)? },
+        1 => GridDelta2::Disappear { cell: get_cell2(r)? },
+        2 => GridDelta2::Move { from: get_cell2(r)?, to: get_cell2(r)? },
+        tag => return Err(ProtocolError::BadTag { what: "GridDelta2", tag }),
+    })
+}
+
 fn put_shard_stat(w: &mut ByteWriter, s: &ShardStat) {
     w.put_str(&s.addr);
     w.put_u8(s.state as u8);
@@ -701,6 +747,21 @@ pub fn encode_payload(msg: &Message) -> Vec<u8> {
                 put_shard_stat(&mut w, s);
             }
         }
+        Message::MapDeltaReq { map, deltas } => {
+            w.put_str(map);
+            w.put_u32(deltas.len().min(u32::MAX as usize) as u32);
+            for &d in deltas {
+                put_delta(&mut w, d);
+            }
+        }
+        Message::MapDeltaResp(result) => match result {
+            None => w.put_u8(0),
+            Some((version, changed)) => {
+                w.put_u8(1);
+                w.put_u64(*version);
+                w.put_u64(*changed);
+            }
+        },
     }
     w.into_bytes()
 }
@@ -749,6 +810,21 @@ pub fn decode_payload(kind: MsgKind, payload: &[u8]) -> Result<Message, Protocol
             }
             Message::ShardStatsResp(stats)
         }
+        MsgKind::MapDeltaReq => {
+            let map = r.str("map id")?;
+            // Each delta is at least a tag byte plus one cell.
+            let n = r.vec_len(17, "map deltas")?;
+            let mut deltas = Vec::with_capacity(n);
+            for _ in 0..n {
+                deltas.push(get_delta(&mut r)?);
+            }
+            Message::MapDeltaReq { map, deltas }
+        }
+        MsgKind::MapDeltaResp => Message::MapDeltaResp(match r.u8("MapDeltaResp")? {
+            0 => None,
+            1 => Some((r.u64("map version")?, r.u64("changed cells")?)),
+            tag => return Err(ProtocolError::BadTag { what: "MapDeltaResp", tag }),
+        }),
     };
     r.finish()?;
     Ok(msg)

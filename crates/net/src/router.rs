@@ -175,6 +175,48 @@ impl Shared {
         order
     }
 
+    /// Broadcasts a map-delta batch to every reachable shard. Each shard
+    /// owns a full replica of the world, so all of them must see the
+    /// mutation; replicas apply the same batch to the same versioned map
+    /// and agree on the outcome, so the first successful answer is
+    /// returned. `None` means no shard accepted the batch.
+    fn route_deltas(&self, map: &str, deltas: &[racod_grid::GridDelta2]) -> Option<(u64, u64)> {
+        if self.draining.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut result = None;
+        for shard in self.shards.iter() {
+            if matches!(shard.state(), ShardState::Down) {
+                continue;
+            }
+            let Ok(mut conn) = self.backend_conn(shard) else {
+                shard.errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let msg = Message::MapDeltaReq { map: map.to_string(), deltas: deltas.to_vec() };
+            if conn.send(&msg).is_err() {
+                shard.errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match conn.recv_timeout(self.cfg.backend.response_timeout) {
+                Ok(Recv::Msg(m)) => {
+                    if let Message::MapDeltaResp(r) = *m {
+                        self.return_conn(shard, conn);
+                        if result.is_none() {
+                            result = r;
+                        }
+                    } else {
+                        shard.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => {
+                    shard.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        result
+    }
+
     fn backend_conn(&self, shard: &Shard) -> io::Result<FramedConn> {
         if let Some(conn) = shard.pool.lock().unwrap().pop() {
             return Ok(conn);
@@ -546,11 +588,15 @@ fn handle_conn(stream: TcpStream, conn_id: u64, shared: Arc<Shared>) {
             Message::ShardStatsReq => {
                 Message::ShardStatsResp(shared.shards.iter().map(|s| s.stat()).collect())
             }
+            Message::MapDeltaReq { map, deltas } => {
+                Message::MapDeltaResp(shared.route_deltas(&map, &deltas))
+            }
             Message::PlanResp { .. }
             | Message::MetricsResp(_)
             | Message::HealthResp(_)
             | Message::DrainResp(_)
-            | Message::ShardStatsResp(_) => return,
+            | Message::ShardStatsResp(_)
+            | Message::MapDeltaResp(_) => return,
         };
         if conn.send(&reply).is_err() {
             return;

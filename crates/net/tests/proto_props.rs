@@ -117,10 +117,20 @@ fn sample_rejected(g: &mut Gen) -> Rejected {
     }
 }
 
+fn sample_delta(g: &mut Gen) -> racod_grid::GridDelta2 {
+    use racod_grid::GridDelta2;
+    let cell = Cell2::new(g.pct(200) as i64 - 50, g.pct(200) as i64 - 50);
+    match g.pct(3) {
+        0 => GridDelta2::Appear { cell },
+        1 => GridDelta2::Disappear { cell },
+        _ => GridDelta2::Move { from: cell, to: Cell2::new(g.pct(99) as i64, g.pct(99) as i64) },
+    }
+}
+
 /// One message of every kind, structure varied by seed.
 fn sample_message(seed: u64) -> Message {
     let mut g = Gen(seed);
-    match seed % 10 {
+    match seed % 12 {
         0 => Message::PlanReq { corr: g.next(), req: sample_request(&mut g) },
         1 => {
             let result = if g.pct(2) == 0 {
@@ -153,6 +163,11 @@ fn sample_message(seed: u64) -> Message {
         6 => Message::DrainReq,
         7 => Message::DrainResp(g.pct(2) == 0),
         8 => Message::ShardStatsReq,
+        9 => Message::MapDeltaReq {
+            map: ["paris", "berlin", "campus"][g.pct(3) as usize].to_string(),
+            deltas: (0..g.pct(6)).map(|_| sample_delta(&mut g)).collect(),
+        },
+        10 => Message::MapDeltaResp(if g.pct(3) == 0 { None } else { Some((g.next(), g.next())) }),
         _ => Message::ShardStatsResp(
             (0..g.pct(4))
                 .map(|i| ShardStat {

@@ -1,0 +1,412 @@
+//! Incremental replanning after map deltas.
+//!
+//! D*-Lite and its family repair the previous search's `g`/`rhs` tables
+//! when edge costs change. That classic formulation cannot meet this
+//! repository's correctness bar — repaired runs reorder floating-point
+//! additions and tie-breaks, so costs drift in the low bits and the
+//! bit-identity suites (PRs 2/4/7) would no longer hold. The engine here
+//! keeps the D*-Lite *work-avoidance* idea but swaps the repair rule for
+//! one that is exact by construction:
+//!
+//! > A* is a deterministic function of the answers its collision oracle
+//! > returns. If **no changed cell can influence any state the previous
+//! > run demand-checked**, a from-scratch A* on the post-delta grid would
+//! > issue exactly the same oracle queries, receive the same answers, and
+//! > therefore reproduce the previous result bit-for-bit — path, cost
+//! > bits, and expansion order. (Induction over expansions: the k-th
+//! > demand set is a function of the first k−1 answers.)
+//!
+//! [`Replanner`] records the demand-checked state set of every plan in an
+//! epoch-stamped side array (O(1) clear, like [`SearchScratch`] itself).
+//! [`Replanner::replan_in`] takes the delta's influence set — the changed
+//! cells dilated by the robot footprint's reach, see
+//! `racod_grid::affected_cells` — and either *reuses* the previous result
+//! (bit-identical by the argument above) or falls back to a full rerun on
+//! the warm arena, which is bit-identical to a cold run by the existing
+//! scratch-reuse equivalence suite. Either way the caller gets exactly
+//! what a from-scratch search on the new grid would return, in far less
+//! time when deltas are small and far from the traffic.
+//!
+//! Soundness requires the oracle's demand answers to be pure functions of
+//! the queried state (given the current grid) — the invariant every
+//! oracle in this stack already maintains for the RASExp equivalence
+//! proofs. Time-dependent configurations (an attached [`Interrupt`]) are
+//! never cached.
+//!
+//! [`Interrupt`]: crate::interrupt::Interrupt
+
+use crate::astar::{astar_in, AstarConfig, SearchResult, Termination};
+use crate::oracle::{CollisionOracle, ExpansionContext};
+use crate::scratch::SearchScratch;
+use crate::space::SearchSpace;
+
+/// Compact identity of the parts of an [`AstarConfig`] that influence the
+/// search trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConfigKey {
+    weight_bits: u64,
+    record_expansions: bool,
+    record_demand_profile: bool,
+    max_expansions: u64,
+}
+
+impl ConfigKey {
+    fn of(cfg: &AstarConfig) -> ConfigKey {
+        ConfigKey {
+            weight_bits: cfg.weight.to_bits(),
+            record_expansions: cfg.record_expansions,
+            record_demand_profile: cfg.record_demand_profile,
+            max_expansions: cfg.max_expansions,
+        }
+    }
+}
+
+/// The cached previous plan.
+#[derive(Debug, Clone)]
+struct PrevPlan<S> {
+    start: S,
+    goal: S,
+    key: ConfigKey,
+    result: SearchResult<S>,
+}
+
+/// Records every demand-checked state into the replanner's stamp array,
+/// then delegates to the real oracle. Recording is O(1) per state and
+/// allocation-free, so wrapping costs one array store per check.
+struct RecordingOracle<'a, Sp: SearchSpace, O> {
+    inner: &'a mut O,
+    space: &'a Sp,
+    checked_stamp: &'a mut [u32],
+    run: u32,
+}
+
+impl<Sp: SearchSpace, O> RecordingOracle<'_, Sp, O> {
+    #[inline]
+    fn record(&mut self, demand: &[Sp::State]) {
+        for &s in demand {
+            if let Some(i) = self.space.index(s) {
+                self.checked_stamp[i] = self.run;
+            }
+        }
+    }
+}
+
+impl<Sp, O> CollisionOracle<Sp> for RecordingOracle<'_, Sp, O>
+where
+    Sp: SearchSpace,
+    O: CollisionOracle<Sp>,
+{
+    fn resolve(&mut self, ctx: &ExpansionContext<Sp::State>, demand: &[Sp::State]) -> Vec<bool> {
+        self.record(demand);
+        self.inner.resolve(ctx, demand)
+    }
+
+    fn resolve_into(
+        &mut self,
+        ctx: &ExpansionContext<Sp::State>,
+        demand: &[Sp::State],
+        out: &mut Vec<bool>,
+    ) {
+        self.record(demand);
+        self.inner.resolve_into(ctx, demand, out);
+    }
+}
+
+/// A search engine that remembers its last plan and can answer a
+/// post-delta replan without re-searching when the delta provably cannot
+/// have influenced it. See the module docs for the exactness argument.
+///
+/// # Example
+///
+/// ```
+/// use racod_search::{AstarConfig, FnOracle, GridSpace2, Replanner};
+/// use racod_grid::BitGrid2;
+/// use racod_geom::Cell2;
+///
+/// let mut grid = BitGrid2::new(32, 32);
+/// let space = GridSpace2::eight_connected(32, 32);
+/// let cfg = AstarConfig::default();
+/// let mut rp = Replanner::new();
+/// let first = {
+///     let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+///     rp.plan_in(&space, Cell2::new(1, 1), Cell2::new(20, 1), &cfg, &mut oracle)
+/// };
+/// // An obstacle appears far from the corridor the search examined.
+/// grid.set(Cell2::new(5, 30), true);
+/// let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+/// let (replan, repaired) = rp.replan_in(
+///     &space, Cell2::new(1, 1), Cell2::new(20, 1), &cfg, &mut oracle,
+///     &[Cell2::new(5, 30)]);
+/// assert!(repaired, "untouched search must be reused");
+/// assert_eq!(first.cost.to_bits(), replan.cost.to_bits());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Replanner<S: Copy> {
+    scratch: SearchScratch<S>,
+    /// `checked_stamp[i] == run` iff state `i` was demand-checked by the
+    /// most recent plan.
+    checked_stamp: Vec<u32>,
+    run: u32,
+    prev: Option<PrevPlan<S>>,
+}
+
+impl<S: Copy + Eq + std::fmt::Debug> Replanner<S> {
+    /// Creates an empty replanner; arrays size themselves on first use.
+    pub fn new() -> Self {
+        Replanner { scratch: SearchScratch::new(), checked_stamp: Vec::new(), run: 0, prev: None }
+    }
+
+    /// The reusable arena, for callers that want to run other searches in
+    /// it between plans (doing so never invalidates the cached plan — the
+    /// checked-set stamps live outside the arena).
+    pub fn scratch(&mut self) -> &mut SearchScratch<S> {
+        &mut self.scratch
+    }
+
+    /// Whether a previous plan is cached and eligible for reuse.
+    pub fn has_plan(&self) -> bool {
+        self.prev.is_some()
+    }
+
+    /// Drops the cached plan (the arena stays warm).
+    pub fn clear(&mut self) {
+        self.prev = None;
+    }
+
+    /// Plans from scratch on the warm arena, recording the demand-checked
+    /// state set so a later [`Replanner::replan_in`] can prove reuse.
+    ///
+    /// Bit-identical to [`astar_in`] with a fresh scratch (the scratch
+    /// equivalence suite covers the arena; the recording wrapper adds one
+    /// stamp store per check and changes no answer).
+    pub fn plan_in<Sp, O>(
+        &mut self,
+        space: &Sp,
+        start: Sp::State,
+        goal: Sp::State,
+        config: &AstarConfig,
+        oracle: &mut O,
+    ) -> SearchResult<Sp::State>
+    where
+        Sp: SearchSpace<State = S>,
+        O: CollisionOracle<Sp>,
+    {
+        let n = space.state_count();
+        if self.checked_stamp.len() < n {
+            self.checked_stamp.resize(n, 0);
+        }
+        self.run = self.run.wrapping_add(1);
+        if self.run == 0 {
+            // Stamp wraparound: same full-reset trick as the arena epochs.
+            self.checked_stamp.iter_mut().for_each(|s| *s = 0);
+            self.run = 1;
+        }
+        let result = {
+            let mut recording = RecordingOracle {
+                inner: oracle,
+                space,
+                checked_stamp: &mut self.checked_stamp,
+                run: self.run,
+            };
+            astar_in(space, start, goal, config, &mut recording, &mut self.scratch)
+        };
+        // Interrupted runs stopped on wall-clock, not on search state; a
+        // hypothetical fresh run need not stop at the same expansion, so
+        // they are never cached. Found / Exhausted / ExpansionBudget are
+        // all deterministic trajectories and cache fine.
+        self.prev = (config.interrupt.is_none()
+            && !matches!(result.termination, Termination::Interrupted(_)))
+        .then(|| PrevPlan { start, goal, key: ConfigKey::of(config), result: result.clone() });
+        result
+    }
+
+    /// Whether the cached plan provably survives a delta whose influence
+    /// set is `affected`: same request, and no affected state was
+    /// demand-checked by the cached run.
+    ///
+    /// `affected` must already be dilated by the footprint's reach (for
+    /// point robots, the changed cells themselves; for extended bodies,
+    /// `racod_grid::affected_cells` with the footprint circumradius) so
+    /// that "not demand-checked" implies "verdict unchanged".
+    pub fn can_reuse<Sp>(
+        &self,
+        space: &Sp,
+        start: Sp::State,
+        goal: Sp::State,
+        config: &AstarConfig,
+        affected: &[Sp::State],
+    ) -> bool
+    where
+        Sp: SearchSpace<State = S>,
+    {
+        let Some(prev) = &self.prev else {
+            return false;
+        };
+        if prev.start != start
+            || prev.goal != goal
+            || prev.key != ConfigKey::of(config)
+            || config.interrupt.is_some()
+        {
+            return false;
+        }
+        affected.iter().all(|&s| space.index(s).is_none_or(|i| self.checked_stamp[i] != self.run))
+    }
+
+    /// Replans after a delta. Returns the result and whether it was served
+    /// by *repair* (reuse of the previous search) rather than a from-
+    /// scratch rerun. Both branches produce exactly what [`astar_in`]
+    /// on a fresh scratch over the post-delta grid would return — the
+    /// repair branch by the checked-set argument in the module docs, the
+    /// rerun branch by the arena equivalence suite. The caller passes an
+    /// `oracle` over the *post-delta* world either way.
+    pub fn replan_in<Sp, O>(
+        &mut self,
+        space: &Sp,
+        start: Sp::State,
+        goal: Sp::State,
+        config: &AstarConfig,
+        oracle: &mut O,
+        affected: &[Sp::State],
+    ) -> (SearchResult<Sp::State>, bool)
+    where
+        Sp: SearchSpace<State = S>,
+        O: CollisionOracle<Sp>,
+    {
+        if self.can_reuse(space, start, goal, config, affected) {
+            let result = self.prev.as_ref().expect("can_reuse checked").result.clone();
+            return (result, true);
+        }
+        (self.plan_in(space, start, goal, config, oracle), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FnOracle;
+    use crate::space::GridSpace2;
+    use racod_geom::Cell2;
+    use racod_grid::{affected_cells, BitGrid2, GridDelta2};
+
+    fn fresh_plan(
+        grid: &BitGrid2,
+        space: &GridSpace2,
+        start: Cell2,
+        goal: Cell2,
+        cfg: &AstarConfig,
+    ) -> SearchResult<Cell2> {
+        let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+        astar_in(space, start, goal, cfg, &mut oracle, &mut SearchScratch::new())
+    }
+
+    #[test]
+    fn far_delta_is_repaired_and_bit_identical() {
+        let mut grid = BitGrid2::new(64, 64);
+        let space = GridSpace2::eight_connected(64, 64);
+        let cfg = AstarConfig { record_expansions: true, ..Default::default() };
+        let (s, g) = (Cell2::new(2, 2), Cell2::new(30, 2));
+        let mut rp = Replanner::new();
+        {
+            let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+            rp.plan_in(&space, s, g, &cfg, &mut oracle);
+        }
+        let delta = GridDelta2::Appear { cell: Cell2::new(10, 60) };
+        grid.apply_delta(delta);
+        let affected = affected_cells(&[delta], 0);
+        let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+        let (replan, repaired) = rp.replan_in(&space, s, g, &cfg, &mut oracle, &affected);
+        assert!(repaired);
+        let fresh = fresh_plan(&grid, &space, s, g, &cfg);
+        assert_eq!(replan.path, fresh.path);
+        assert_eq!(replan.cost.to_bits(), fresh.cost.to_bits());
+        assert_eq!(replan.expansion_order, fresh.expansion_order);
+    }
+
+    #[test]
+    fn path_cutting_delta_forces_rerun_and_matches_fresh() {
+        let mut grid = BitGrid2::new(64, 64);
+        let space = GridSpace2::eight_connected(64, 64);
+        let cfg = AstarConfig::default();
+        let (s, g) = (Cell2::new(2, 2), Cell2::new(30, 2));
+        let mut rp = Replanner::new();
+        let first = {
+            let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+            rp.plan_in(&space, s, g, &cfg, &mut oracle)
+        };
+        // Drop a wall straight through the returned path.
+        let mid = first.path.as_ref().unwrap()[first.path.as_ref().unwrap().len() / 2];
+        let deltas: Vec<GridDelta2> =
+            (-3..=3).map(|dy| GridDelta2::Appear { cell: Cell2::new(mid.x, mid.y + dy) }).collect();
+        for d in &deltas {
+            grid.apply_delta(*d);
+        }
+        let affected = affected_cells(&deltas, 0);
+        let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+        let (replan, repaired) = rp.replan_in(&space, s, g, &cfg, &mut oracle, &affected);
+        assert!(!repaired, "a delta on the path must force a rerun");
+        let fresh = fresh_plan(&grid, &space, s, g, &cfg);
+        assert_eq!(replan.path, fresh.path);
+        assert_eq!(replan.cost.to_bits(), fresh.cost.to_bits());
+        assert!(replan.cost > first.cost, "detour must cost more");
+    }
+
+    #[test]
+    fn request_change_invalidates_reuse() {
+        let grid = BitGrid2::new(32, 32);
+        let space = GridSpace2::eight_connected(32, 32);
+        let cfg = AstarConfig::default();
+        let mut rp = Replanner::new();
+        let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+        rp.plan_in(&space, Cell2::new(1, 1), Cell2::new(9, 9), &cfg, &mut oracle);
+        assert!(!rp.can_reuse(&space, Cell2::new(1, 2), Cell2::new(9, 9), &cfg, &[]));
+        assert!(!rp.can_reuse(
+            &space,
+            Cell2::new(1, 1),
+            Cell2::new(9, 9),
+            &AstarConfig::weighted(2.0),
+            &[]
+        ));
+        assert!(rp.can_reuse(&space, Cell2::new(1, 1), Cell2::new(9, 9), &cfg, &[]));
+    }
+
+    #[test]
+    fn out_of_space_affected_cells_do_not_block_reuse() {
+        let grid = BitGrid2::new(16, 16);
+        let space = GridSpace2::eight_connected(16, 16);
+        let cfg = AstarConfig::default();
+        let mut rp = Replanner::new();
+        let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+        rp.plan_in(&space, Cell2::new(1, 1), Cell2::new(5, 5), &cfg, &mut oracle);
+        assert!(rp.can_reuse(
+            &space,
+            Cell2::new(1, 1),
+            Cell2::new(5, 5),
+            &cfg,
+            &[Cell2::new(-3, -3), Cell2::new(40, 40)]
+        ));
+    }
+
+    #[test]
+    fn stamp_wraparound_keeps_reuse_sound() {
+        let grid = BitGrid2::new(16, 16);
+        let space = GridSpace2::eight_connected(16, 16);
+        let cfg = AstarConfig::default();
+        let mut rp = Replanner::new();
+        let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+        rp.plan_in(&space, Cell2::new(1, 1), Cell2::new(5, 5), &cfg, &mut oracle);
+        // Force the run counter to the wrap point and plan again: stale
+        // stamps from "run u32::MAX" must not alias run 1's checked set.
+        rp.run = u32::MAX;
+        let mut oracle = FnOracle::new(|c: Cell2| grid.get(c) == Some(false));
+        rp.plan_in(&space, Cell2::new(14, 14), Cell2::new(10, 10), &cfg, &mut oracle);
+        assert_eq!(rp.run, 1);
+        // Cells checked only by the pre-wrap plan must read as unchecked.
+        assert!(rp.can_reuse(
+            &space,
+            Cell2::new(14, 14),
+            Cell2::new(10, 10),
+            &cfg,
+            &[Cell2::new(1, 1)]
+        ));
+    }
+}

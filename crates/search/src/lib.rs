@@ -17,6 +17,10 @@
 //! * [`CollisionOracle`] — the seam through which collision detection is
 //!   performed per expansion. The baseline oracle checks each eligible
 //!   neighbor on demand; `racod-rasexp` provides the runahead oracle;
+//! * [`Replanner`] — incremental replanning for dynamic worlds: records
+//!   the demand-checked state set of the previous search and, after a map
+//!   delta, either proves the cached result still holds (bit-identical
+//!   reuse) or reruns on the warm arena;
 //! * [`pase`][crate::pase()] — the PA*SE baseline (parallel A* for slow expansions) in a
 //!   functional form that also reports the independence-check work and the
 //!   available expansion parallelism for the Fig 13 platform models.
@@ -39,6 +43,7 @@
 pub mod astar;
 pub mod distance_field;
 pub mod heuristics;
+pub mod incremental;
 pub mod interrupt;
 pub mod open_list;
 pub mod oracle;
@@ -51,6 +56,7 @@ pub mod stats;
 pub use astar::{astar, astar_in, astar_reference, AstarConfig, SearchResult, Termination};
 pub use distance_field::DistanceField;
 pub use heuristics::{Heuristic2, Heuristic3};
+pub use incremental::Replanner;
 pub use interrupt::{Interrupt, InterruptProbe, InterruptReason};
 pub use oracle::{BatchFnOracle, CollisionOracle, Direction, ExpansionContext, FnOracle};
 pub use pase::{pase, pase_in, PaseConfig, PaseResult};

@@ -1,0 +1,220 @@
+//! Acceptance: `Replanner::replan_in` after a delta batch is bit-identical
+//! to a from-scratch `astar_in` on the post-delta grid — same path, same
+//! cost bits, same expansion order — on both its branches: checked-set
+//! *reuse* (the delta provably missed the previous search) and warm-arena
+//! *rerun* (including deltas that cut the previously returned path).
+
+use proptest::prelude::*;
+use racod_geom::Cell2;
+use racod_grid::gen::{city_map, random_map, CityName};
+use racod_grid::{affected_cells, BitGrid2, GridDelta2, Occupancy2};
+use racod_search::{astar_in, AstarConfig, FnOracle, GridSpace2, Replanner, SearchScratch};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn free_near(grid: &BitGrid2, rng: &mut u64) -> Cell2 {
+    loop {
+        let c = Cell2::new(
+            (lcg(rng) % grid.width() as u64) as i64,
+            (lcg(rng) % grid.height() as u64) as i64,
+        );
+        if grid.occupied(c) == Some(false) {
+            return c;
+        }
+    }
+}
+
+fn random_delta(grid: &BitGrid2, rng: &mut u64) -> GridDelta2 {
+    let cell = |rng: &mut u64| {
+        Cell2::new(
+            (lcg(rng) % grid.width() as u64) as i64,
+            (lcg(rng) % grid.height() as u64) as i64,
+        )
+    };
+    match lcg(rng) % 3 {
+        0 => GridDelta2::Appear { cell: cell(rng) },
+        1 => GridDelta2::Disappear { cell: cell(rng) },
+        _ => GridDelta2::Move { from: cell(rng), to: cell(rng) },
+    }
+}
+
+fn assert_matches_fresh(
+    grid: &BitGrid2,
+    space: &GridSpace2,
+    s: Cell2,
+    g: Cell2,
+    cfg: &AstarConfig,
+    got: &racod_search::SearchResult<Cell2>,
+    label: &str,
+) {
+    let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+    let fresh = astar_in(space, s, g, cfg, &mut oracle, &mut SearchScratch::new());
+    assert_eq!(got.path, fresh.path, "{label}: path diverged");
+    assert_eq!(
+        got.cost.to_bits(),
+        fresh.cost.to_bits(),
+        "{label}: cost bits diverged ({} vs {})",
+        got.cost,
+        fresh.cost
+    );
+    assert_eq!(got.expansion_order, fresh.expansion_order, "{label}: expansion order diverged");
+    assert_eq!(got.termination, fresh.termination, "{label}: termination diverged");
+}
+
+/// Long randomized churn sequences on all four city maps: after every delta
+/// batch the replanner's answer must be exactly what a from-scratch search
+/// on the mutated grid returns, whichever branch served it. Requests repeat
+/// across rounds so the reuse branch actually fires.
+#[test]
+fn churn_on_city_maps_is_bit_identical_to_scratch() {
+    let mut rng = 0xd317a_u64;
+    let mut reused_total = 0u32;
+    let mut rerun_total = 0u32;
+    for name in CityName::ALL {
+        let mut grid = city_map(name, 96, 96);
+        let space = GridSpace2::eight_connected(96, 96);
+        let cfg = AstarConfig { record_expansions: true, ..AstarConfig::default() };
+        let (s, g) = (free_near(&grid, &mut rng), free_near(&grid, &mut rng));
+        let mut rp = Replanner::new();
+        {
+            let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+            let first = rp.plan_in(&space, s, g, &cfg, &mut oracle);
+            assert_matches_fresh(&grid, &space, s, g, &cfg, &first, "initial plan");
+        }
+        for round in 0..25u32 {
+            let batch: Vec<GridDelta2> =
+                (0..1 + lcg(&mut rng) % 3).map(|_| random_delta(&grid, &mut rng)).collect();
+            for d in &batch {
+                grid.apply_delta(*d);
+            }
+            let affected = affected_cells(&batch, 0);
+            let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+            let (replan, repaired) = rp.replan_in(&space, s, g, &cfg, &mut oracle, &affected);
+            if repaired {
+                reused_total += 1;
+            } else {
+                rerun_total += 1;
+            }
+            assert_matches_fresh(
+                &grid,
+                &space,
+                s,
+                g,
+                &cfg,
+                &replan,
+                &format!("{} round {round} (repaired={repaired})", name.as_str()),
+            );
+        }
+    }
+    // The suite must exercise both branches, or it proves nothing about one
+    // of them. City maps are mostly free space, so random deltas both hit
+    // and miss the searched region across 100 rounds.
+    assert!(reused_total > 0, "no round took the reuse branch");
+    assert!(rerun_total > 0, "no round took the rerun branch");
+}
+
+/// Deltas dropped directly on the returned path: the replanner must take
+/// the rerun branch and still match from-scratch exactly, plan after plan,
+/// as the corridor fills in.
+#[test]
+fn path_cutting_churn_reruns_and_matches_scratch() {
+    let mut grid = city_map(CityName::Paris, 96, 96);
+    let space = GridSpace2::eight_connected(96, 96);
+    let cfg = AstarConfig::default();
+    let mut rng = 0xcafe_u64;
+    let (s, g) = (free_near(&grid, &mut rng), free_near(&grid, &mut rng));
+    let mut rp = Replanner::new();
+    let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+    let mut prev = rp.plan_in(&space, s, g, &cfg, &mut oracle);
+    for round in 0..10u32 {
+        let Some(path) = prev.path.as_ref().filter(|p| p.len() > 2) else {
+            break; // corridor fully blocked: nothing left to cut
+        };
+        // Block an interior cell of the current path (never start/goal).
+        let victim = path[1 + (lcg(&mut rng) as usize) % (path.len() - 2)];
+        let batch = [GridDelta2::Appear { cell: victim }];
+        grid.apply_delta(batch[0]);
+        let affected = affected_cells(&batch, 0);
+        let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        let (replan, repaired) = rp.replan_in(&space, s, g, &cfg, &mut oracle, &affected);
+        assert!(!repaired, "round {round}: a cell on the path was demand-checked; reuse is wrong");
+        assert_matches_fresh(&grid, &space, s, g, &cfg, &replan, &format!("cut round {round}"));
+        prev = replan;
+    }
+}
+
+/// Disappear deltas near the searched frontier can *shorten* the path; the
+/// rerun branch must pick that up exactly as a fresh search would.
+#[test]
+fn disappearing_walls_shorten_paths_exactly_like_scratch() {
+    let mut grid = BitGrid2::new(48, 48);
+    // A wall across the middle with no gap: the first plan detours is
+    // impossible — actually leave one far gap so a path exists.
+    for x in 0..48 {
+        grid.set(Cell2::new(x, 24), true);
+    }
+    grid.set(Cell2::new(47, 24), false);
+    let space = GridSpace2::eight_connected(48, 48);
+    let cfg = AstarConfig::default();
+    let (s, g) = (Cell2::new(2, 2), Cell2::new(2, 46));
+    let mut rp = Replanner::new();
+    let first = {
+        let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+        rp.plan_in(&space, s, g, &cfg, &mut oracle)
+    };
+    assert!(first.found(), "detour through the far gap must exist");
+    // Open a gap right next to the start column: the optimal path shortens
+    // dramatically, and the old one is now suboptimal.
+    let batch = [GridDelta2::Disappear { cell: Cell2::new(2, 24) }];
+    grid.apply_delta(batch[0]);
+    let affected = affected_cells(&batch, 0);
+    let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+    let (replan, repaired) = rp.replan_in(&space, s, g, &cfg, &mut oracle, &affected);
+    assert!(!repaired, "the opened cell was demand-checked by the detour search");
+    assert!(replan.cost < first.cost, "shortcut must be taken");
+    assert_matches_fresh(&grid, &space, s, g, &cfg, &replan, "shortcut");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized delta sequences over random maps and weighted configs:
+    /// every replan answer equals from-scratch on the mutated grid, bit
+    /// for bit.
+    #[test]
+    fn replan_matches_scratch_on_random_maps(
+        seed in 0u64..4000,
+        density in 0.0f64..0.3,
+        eps in 1.0f64..2.5,
+        rounds in 1usize..8,
+    ) {
+        let mut grid = random_map(seed, 32, 32, density);
+        let space = GridSpace2::eight_connected(32, 32);
+        let cfg = AstarConfig { weight: eps, record_expansions: true, ..AstarConfig::default() };
+        let mut rng = seed ^ 0x9e3779b97f4a7c15;
+        let (s, g) = (free_near(&grid, &mut rng), free_near(&grid, &mut rng));
+        let mut rp = Replanner::new();
+        {
+            let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+            rp.plan_in(&space, s, g, &cfg, &mut oracle);
+        }
+        for _ in 0..rounds {
+            let batch: Vec<GridDelta2> =
+                (0..1 + lcg(&mut rng) % 4).map(|_| random_delta(&grid, &mut rng)).collect();
+            for d in &batch {
+                grid.apply_delta(*d);
+            }
+            let affected = affected_cells(&batch, 0);
+            let mut oracle = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+            let (replan, _) = rp.replan_in(&space, s, g, &cfg, &mut oracle, &affected);
+            let mut o2 = FnOracle::new(|c: Cell2| grid.occupied(c) == Some(false));
+            let fresh = astar_in(&space, s, g, &cfg, &mut o2, &mut SearchScratch::new());
+            prop_assert_eq!(&replan.path, &fresh.path);
+            prop_assert_eq!(replan.cost.to_bits(), fresh.cost.to_bits());
+            prop_assert_eq!(&replan.expansion_order, &fresh.expansion_order);
+        }
+    }
+}

@@ -224,7 +224,7 @@ impl PlanServer {
             breakers: breakers.clone(),
             fault: cfg.fault_plan.clone(),
             respawn: cfg.respawn,
-            speculation: cfg.speculation,
+            speculation: cfg.speculation.clone(),
         };
         let mut worker_txs = Vec::with_capacity(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
@@ -263,7 +263,7 @@ impl PlanServer {
             for i in 0..cfg.speculation.threads {
                 let rx = rx.clone();
                 let shutdown = shutdown.clone();
-                let spec_cfg = cfg.speculation;
+                let spec_cfg = cfg.speculation.clone();
                 let metrics = metrics.clone();
                 speculators.push(
                     std::thread::Builder::new()
@@ -307,6 +307,27 @@ impl PlanServer {
         &self.registry
     }
 
+    /// Applies a batch of grid deltas to a live 2D map. Returns the new
+    /// map version and the number of cells that actually flipped, or
+    /// `None` for an unknown or non-2D map.
+    ///
+    /// The registry handles consistency (snapshot swap, artifact patch,
+    /// targeted memo sweep, journal append); this wrapper only folds the
+    /// outcome into the server's metrics. In-flight requests admitted
+    /// before the delta either finish against their own consistent
+    /// snapshot or are replayed by the worker — see the worker's Plan2
+    /// loop for the proof obligations.
+    pub fn apply_map_deltas(
+        &self,
+        id: &MapId,
+        deltas: &[racod_grid::GridDelta2],
+    ) -> Option<(u64, usize)> {
+        let (version, changed) = self.registry.apply_deltas2(id, deltas)?;
+        self.metrics.deltas_applied.fetch_add(changed as u64, Ordering::Relaxed);
+        self.metrics.map_version.fetch_max(version, Ordering::Relaxed);
+        Some((version, changed))
+    }
+
     /// Submits a request. Never blocks: over-capacity submissions return
     /// [`Rejected::QueueFull`] immediately.
     pub fn submit(&self, req: PlanRequest) -> Result<Ticket, Rejected> {
@@ -320,8 +341,8 @@ impl PlanServer {
             return Err(Rejected::UnknownMap(req.map));
         };
         let dim_ok = match req.workload {
-            Workload::Plan2 { .. } => entry.data.is_2d(),
-            Workload::Plan3 { .. } => !entry.data.is_2d(),
+            Workload::Plan2 { .. } => entry.is_2d(),
+            Workload::Plan3 { .. } => !entry.is_2d(),
             Workload::Poison | Workload::PoisonWorker => true,
         };
         if !dim_ok {

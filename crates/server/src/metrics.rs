@@ -250,6 +250,18 @@ pub struct ServerMetrics {
     pub batch_size_gt_8: AtomicU64,
     /// Current number of admitted-but-unfinished requests.
     pub in_system: AtomicU64,
+    /// Grid cells flipped by applied map deltas across all maps.
+    pub deltas_applied: AtomicU64,
+    /// Plans caught by a mid-flight delta but served anyway because the
+    /// journal proved the answer still stands (appear-only deltas clear of
+    /// the returned path).
+    pub incremental_repairs: AtomicU64,
+    /// Plans caught by a mid-flight delta whose answer could not be proven
+    /// valid and were re-planned against the fresh snapshot.
+    pub replans_from_scratch: AtomicU64,
+    /// Highest map version observed across all maps (0 while every map is
+    /// still at its as-registered state).
+    pub map_version: AtomicU64,
     /// Time from submission to dispatch.
     pub queue_wait: LatencyHistogram,
     /// Time executing on a worker.
@@ -259,7 +271,7 @@ pub struct ServerMetrics {
 }
 
 /// Number of counters exposed by [`ServerMetrics::counters`].
-const COUNTERS: usize = 37;
+const COUNTERS: usize = 41;
 
 impl ServerMetrics {
     /// Fresh zeroed metrics.
@@ -310,6 +322,10 @@ impl ServerMetrics {
             ("batch_size_5_8", &self.batch_size_5_8),
             ("batch_size_gt_8", &self.batch_size_gt_8),
             ("in_system", &self.in_system),
+            ("deltas_applied", &self.deltas_applied),
+            ("incremental_repairs", &self.incremental_repairs),
+            ("replans_from_scratch", &self.replans_from_scratch),
+            ("map_version", &self.map_version),
         ]
     }
 
@@ -319,14 +335,15 @@ impl ServerMetrics {
     }
 
     /// Folds another metrics snapshot into this one: counters and
-    /// histograms add, except `peak_open` (a per-search maximum, so the
-    /// fleet peak is the max over shards). `in_system` sums — the fleet's
-    /// in-flight population is the sum of its shards'. The shard router
-    /// uses this to aggregate per-shard `/metrics` pages into one view.
+    /// histograms add, except `peak_open` and `map_version` (per-shard
+    /// maxima, so the fleet value is the max over shards). `in_system`
+    /// sums — the fleet's in-flight population is the sum of its shards'.
+    /// The shard router uses this to aggregate per-shard `/metrics` pages
+    /// into one view.
     pub fn merge(&self, other: &ServerMetrics) {
         for ((name, mine), (_, theirs)) in self.counters().iter().zip(other.counters().iter()) {
             let v = theirs.load(Ordering::Relaxed);
-            if *name == "peak_open" {
+            if *name == "peak_open" || *name == "map_version" {
                 mine.fetch_max(v, Ordering::Relaxed);
             } else if v > 0 {
                 mine.fetch_add(v, Ordering::Relaxed);

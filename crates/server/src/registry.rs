@@ -1,10 +1,23 @@
-//! Map registry: immutable shared maps plus lazily built per-map artifacts.
+//! Map registry: shared *versioned* maps plus lazily built per-map
+//! artifacts.
 //!
 //! Maps are registered once and shared via `Arc` — workers never copy grid
-//! data. Derived artifacts (inflated occupancy, reachability distance field)
-//! are built on first use and cached for the lifetime of the entry, so the
-//! cost of preprocessing a map is paid once no matter how many requests hit
-//! it.
+//! data. The occupancy data itself is copy-on-write: a map starts at
+//! version 0, and every [`MapEntry::apply_deltas2`] batch publishes a new
+//! grid `Arc` under the next version. Readers take
+//! [`MapEntry::snapshot2`] — a `(grid, version)` pair that stays internally
+//! consistent no matter how many deltas land afterwards — so an in-flight
+//! plan keeps planning against the exact world it was admitted under.
+//! A bounded journal of recent delta batches lets such a plan decide,
+//! after the fact, whether the world it planned against still proves its
+//! answer ([`MapEntry::deltas_since`]).
+//!
+//! Invalidation on a delta is *targeted*: the inflated prefilter grid is
+//! patched only in the changed cells' dilation, the speculation memo is
+//! swept only within each entry's own footprint influence radius
+//! ([`SpecMemo2::invalidate_cells`]), and the footprint-template caches are
+//! not touched at all — templates are keyed by footprint dimensions and
+//! orientation, never by grid content, so a map delta cannot stale them.
 //!
 //! Cached artifacts carry an integrity checksum stamped at build time.
 //! Readers that care ([`MapEntry::artifacts2_verified`]) re-verify before
@@ -15,16 +28,21 @@
 
 use crate::request::MapId;
 use crate::speculate::SpecMemo2;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use racod_fault::{FaultPlan, FaultSite};
 use racod_geom::Cell2;
 use racod_grid::inflate::inflate_chebyshev;
-use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
+use racod_grid::{BitGrid2, BitGrid3, GridDelta2, Occupancy2, Occupancy3};
 use racod_search::{DistanceField, GridSpace2};
 use racod_sim::{TemplateCache2, TemplateCache3};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Journal depth: delta batches kept per map for in-flight replan
+/// decisions. A plan that straddles more than this many batches simply
+/// replans from scratch (`deltas_since` reports the gap).
+const JOURNAL_DEPTH: usize = 64;
 
 /// The raw occupancy data of a registered map.
 #[derive(Debug, Clone)]
@@ -89,6 +107,39 @@ impl Artifacts2 {
         h
     }
 
+    /// Rebuilds the bundle after a delta batch, reusing the previous bundle
+    /// where the delta provably cannot have changed it: the inflated grid
+    /// is *patched* — only cells within the inflation radius of a changed
+    /// cell are recomputed from the new grid — while the reachability field
+    /// is recomputed outright (connectivity is a global property; one
+    /// closed door can disconnect half the map). The checksum is restamped
+    /// over the patched content.
+    fn patched(prev: &Artifacts2, grid: &BitGrid2, changed: &[Cell2]) -> Option<Artifacts2> {
+        let seed = first_free_cell(grid)?;
+        let space = GridSpace2::eight_connected(grid.width(), grid.height());
+        let reach = DistanceField::compute(&space, seed, |c| grid.occupied(c) == Some(false));
+        let mut inflated = prev.inflated.clone();
+        for &c in changed {
+            // A change at `c` can only alter inflated cells within the
+            // inflation radius (1) of `c`; each of those is re-derived as
+            // "any occupied neighbor within radius 1" on the new grid.
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    let t = c.offset(dx, dy);
+                    if !grid.in_bounds(t) {
+                        continue;
+                    }
+                    let occ = (-1..=1)
+                        .any(|ny| (-1..=1).any(|nx| grid.occupied(t.offset(nx, ny)) == Some(true)));
+                    inflated.set(t, occ);
+                }
+            }
+        }
+        let dims = (grid.width(), grid.height());
+        let checksum = Self::content_checksum(&inflated, dims);
+        Some(Artifacts2 { inflated, reach, reach_seed: seed, dims, checksum })
+    }
+
     /// Whether the bundle's content still matches the checksum stamped at
     /// build time.
     pub fn verify(&self) -> bool {
@@ -139,18 +190,29 @@ fn first_free_cell(grid: &BitGrid2) -> Option<Cell2> {
 }
 
 /// One registered map with its lazily built artifact cache.
+///
+/// The occupancy data is versioned and copy-on-write: deltas publish a new
+/// grid `Arc` under the next version, snapshots taken by in-flight plans
+/// are never mutated, and a map's *dimensions* never change (a delta is an
+/// occupancy event, not a re-survey).
 #[derive(Debug)]
 pub struct MapEntry {
     /// The map id.
     pub id: MapId,
-    /// The shared occupancy data.
-    pub data: MapData,
+    // Copy-on-write occupancy data, current version, and the bounded
+    // journal of recent delta batches `(version_after, effective_deltas)`.
+    // `version2` is only written under the `data` write lock, so a
+    // `snapshot2` read lock always observes a consistent pair.
+    data: RwLock<MapData>,
+    version2: AtomicU64,
+    journal: Mutex<VecDeque<(u64, Vec<GridDelta2>)>>,
     // `None` = not built yet; `Some(None)` = built and known absent (3D map
     // or no free cell); `Some(Some(_))` = cached bundle. An `RwLock` rather
     // than a `OnceLock` so that checksum verification can *invalidate* a
     // corrupted bundle and force a rebuild.
     artifacts2: RwLock<Option<Option<Arc<Artifacts2>>>>,
     artifact_builds: AtomicU64,
+    artifact_patches: AtomicU64,
     corruptions: AtomicU64,
     fault: RwLock<Option<Arc<FaultPlan>>>,
     tcache2: Arc<TemplateCache2>,
@@ -162,15 +224,29 @@ impl MapEntry {
     fn new(id: MapId, data: MapData, fault: Option<Arc<FaultPlan>>) -> Self {
         MapEntry {
             id,
-            data,
+            data: RwLock::new(data),
+            version2: AtomicU64::new(0),
+            journal: Mutex::new(VecDeque::new()),
             artifacts2: RwLock::new(None),
             artifact_builds: AtomicU64::new(0),
+            artifact_patches: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
             fault: RwLock::new(fault),
             tcache2: Arc::new(TemplateCache2::default()),
             tcache3: Arc::new(TemplateCache3::default()),
             spec2: Arc::new(SpecMemo2::new()),
         }
+    }
+
+    /// Whether this is a 2D map (the dimension never changes after
+    /// registration).
+    pub fn is_2d(&self) -> bool {
+        self.data.read().is_2d()
+    }
+
+    /// Cell/voxel count of the map.
+    pub fn cells(&self) -> u64 {
+        self.data.read().cells()
     }
 
     /// The entry's shared 2D footprint-template cache. Every request
@@ -206,7 +282,7 @@ impl MapEntry {
             // Raced with another builder; use its result.
             return cached.clone();
         }
-        let built = match &self.data {
+        let built = match &*self.data.read() {
             MapData::Grid2(grid) => {
                 let builds = self.artifact_builds.fetch_add(1, Ordering::Relaxed);
                 let mut art = Artifacts2::build(grid);
@@ -263,20 +339,159 @@ impl MapEntry {
         *self.fault.write() = plan;
     }
 
-    /// The 2D grid, if this is a 2D map.
-    pub fn grid2(&self) -> Option<&Arc<BitGrid2>> {
-        match &self.data {
-            MapData::Grid2(g) => Some(g),
+    /// The current 2D grid, if this is a 2D map. The returned `Arc` is a
+    /// point-in-time snapshot: later deltas publish a *new* grid and never
+    /// mutate this one.
+    pub fn grid2(&self) -> Option<Arc<BitGrid2>> {
+        match &*self.data.read() {
+            MapData::Grid2(g) => Some(g.clone()),
             MapData::Grid3(_) => None,
         }
     }
 
-    /// The 3D grid, if this is a 3D map.
-    pub fn grid3(&self) -> Option<&Arc<BitGrid3>> {
-        match &self.data {
-            MapData::Grid3(g) => Some(g),
+    /// The current 3D grid, if this is a 3D map.
+    pub fn grid3(&self) -> Option<Arc<BitGrid3>> {
+        match &*self.data.read() {
+            MapData::Grid3(g) => Some(g.clone()),
             MapData::Grid2(_) => None,
         }
+    }
+
+    /// A consistent `(grid, version)` snapshot of a 2D map: the grid is
+    /// exactly the content published under that version.
+    pub fn snapshot2(&self) -> Option<(Arc<BitGrid2>, u64)> {
+        let data = self.data.read();
+        match &*data {
+            MapData::Grid2(g) => Some((g.clone(), self.version2.load(Ordering::Relaxed))),
+            MapData::Grid3(_) => None,
+        }
+    }
+
+    /// The current map version. 0 is the registered map; each delta batch
+    /// bumps it by one — even an all-no-op batch, so "version unchanged"
+    /// always certifies "bit-identical world".
+    pub fn version2(&self) -> u64 {
+        self.version2.load(Ordering::Relaxed)
+    }
+
+    /// Grid-content deltas patched since this entry was registered.
+    pub fn deltas_applied(&self) -> u64 {
+        self.journal.lock().iter().map(|(_, b)| b.len() as u64).sum()
+    }
+
+    /// Applies a delta batch to a 2D map copy-on-write and returns
+    /// `(new_version, changed_cells)`; `None` for 3D maps.
+    ///
+    /// Publication order is what makes in-flight semantics sound:
+    ///
+    /// 1. the new grid and version are published atomically (both under
+    ///    the `data` write lock) and the batch is journaled, then
+    /// 2. the cached artifact bundle is patched in the changed cells'
+    ///    dilation ([`Artifacts2::patched`]), then
+    /// 3. the speculation memo is version-bumped and swept in the changed
+    ///    cells' footprint influence ([`SpecMemo2::invalidate_cells`]) —
+    ///    so any precheck that read the *old* grid fails its publish-time
+    ///    version test and drops instead of poisoning the fresh memo.
+    ///
+    /// Footprint-template caches are deliberately untouched: templates are
+    /// a function of footprint dimensions and orientation only, so no grid
+    /// delta can invalidate them.
+    pub fn apply_deltas2(&self, deltas: &[GridDelta2]) -> Option<(u64, usize)> {
+        let mut changed_cells: Vec<Cell2> = Vec::new();
+        let mut effective: Vec<GridDelta2> = Vec::new();
+        let version = {
+            let mut data = self.data.write();
+            let MapData::Grid2(grid) = &*data else {
+                return None;
+            };
+            let mut next = BitGrid2::clone(grid);
+            for &d in deltas {
+                // Track per-cell flips, not just per-delta success: a Move
+                // whose source was already free still occupies its target.
+                let before: Vec<(Cell2, Option<bool>)> =
+                    d.cells().map(|c| (c, next.get(c))).collect();
+                if next.apply_delta(d) {
+                    effective.push(d);
+                    for (c, b) in before {
+                        if next.get(c) != b {
+                            changed_cells.push(c);
+                        }
+                    }
+                }
+            }
+            changed_cells.sort_unstable_by_key(|c| (c.y, c.x));
+            changed_cells.dedup();
+            *data = MapData::Grid2(Arc::new(next));
+            let version = self.version2.load(Ordering::Relaxed) + 1;
+            self.version2.store(version, Ordering::Relaxed);
+            version
+        };
+        {
+            let mut journal = self.journal.lock();
+            if journal.len() == JOURNAL_DEPTH {
+                journal.pop_front();
+            }
+            journal.push_back((version, effective));
+        }
+        if !changed_cells.is_empty() {
+            self.patch_artifacts2(&changed_cells);
+            self.spec2.invalidate_cells(&changed_cells);
+        }
+        Some((version, changed_cells.len()))
+    }
+
+    /// The deltas applied after `version`, oldest first, or `None` if the
+    /// journal no longer reaches back that far (the caller should replan
+    /// from scratch). An empty vector means every batch since `version`
+    /// was a no-op: the world is bit-identical.
+    pub fn deltas_since(&self, version: u64) -> Option<Vec<GridDelta2>> {
+        let current = self.version2();
+        if version > current {
+            return None;
+        }
+        if version == current {
+            return Some(Vec::new());
+        }
+        let journal = self.journal.lock();
+        // Coverage check: every batch in (version, current] must still be
+        // journaled. Batches are contiguous, so it suffices that the
+        // oldest retained batch is at most version + 1.
+        match journal.front() {
+            Some(&(oldest, _)) if oldest <= version + 1 => Some(
+                journal
+                    .iter()
+                    .filter(|(v, _)| *v > version)
+                    .flat_map(|(_, b)| b.iter().copied())
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// How many times the artifact bundle was incrementally patched after
+    /// a delta (vs full rebuilds counted by
+    /// [`artifact_builds`](Self::artifact_builds)).
+    pub fn artifact_patches(&self) -> u64 {
+        self.artifact_patches.load(Ordering::Relaxed)
+    }
+
+    /// Patches the cached artifact bundle after a delta: unbuilt bundles
+    /// stay lazily unbuilt, built ones are updated in place (inflation
+    /// patched in the dilation of `changed`, reachability recomputed).
+    fn patch_artifacts2(&self, changed: &[Cell2]) {
+        let mut slot = self.artifacts2.write();
+        let Some(Some(prev)) = slot.as_ref() else {
+            // Not built yet (or known absent): the next reader builds from
+            // the current grid, which already includes the delta.
+            *slot = None;
+            return;
+        };
+        let grid = match &*self.data.read() {
+            MapData::Grid2(g) => g.clone(),
+            MapData::Grid3(_) => return,
+        };
+        self.artifact_patches.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Artifacts2::patched(prev, &grid, changed).map(Arc::new));
     }
 }
 
@@ -337,6 +552,12 @@ impl MapRegistry {
         self.maps.read().get(id).cloned()
     }
 
+    /// Applies a delta batch to the 2D map under `id`, returning
+    /// `(new_version, changed_cells)`; `None` if the map is unknown or 3D.
+    pub fn apply_deltas2(&self, id: &MapId, deltas: &[GridDelta2]) -> Option<(u64, usize)> {
+        self.get(id)?.apply_deltas2(deltas)
+    }
+
     /// Number of registered maps.
     pub fn len(&self) -> usize {
         self.maps.read().len()
@@ -366,7 +587,7 @@ mod tests {
         reg.insert_grid3("campus", campus_3d(1, 32, 32, 16));
         assert_eq!(reg.len(), 2);
         let boston = reg.get(&MapId::new("boston")).unwrap();
-        assert!(boston.data.is_2d());
+        assert!(boston.is_2d());
         assert!(reg.get(&MapId::new("campus")).unwrap().grid3().is_some());
         assert!(reg.get(&MapId::new("nowhere")).is_none());
         // Replacement swaps the entry without touching the old Arc.
@@ -456,6 +677,142 @@ mod tests {
         reg.set_fault_plan(Some(plan));
         let (_, corrupted) = entry.artifacts2_verified();
         assert!(corrupted, "plan installed after registration must still apply");
+    }
+
+    #[test]
+    fn deltas_bump_version_and_journal_replays_them() {
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("m", city_map(CityName::Boston, 64, 64));
+        assert_eq!(entry.version2(), 0);
+        let (g0, v0) = entry.snapshot2().unwrap();
+
+        // Pick two free cells to toggle.
+        let free = |g: &BitGrid2, from: i64| {
+            (from..64 * 64)
+                .map(|i| Cell2::new(i % 64, i / 64))
+                .find(|&c| g.occupied(c) == Some(false))
+                .unwrap()
+        };
+        let a = free(&g0, 0);
+        let b = free(&g0, 64 * 32);
+        let (v1, changed) = entry.apply_deltas2(&[GridDelta2::Appear { cell: a }]).unwrap();
+        assert_eq!((v1, changed), (1, 1));
+        let (v2, changed) = entry
+            .apply_deltas2(&[GridDelta2::Appear { cell: a }, GridDelta2::Appear { cell: b }])
+            .unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(changed, 1, "re-appearing an occupied cell is a no-op");
+
+        // Snapshots are immutable point-in-time views.
+        assert_eq!(g0.occupied(a), Some(false), "v0 snapshot untouched");
+        let (g2, v) = entry.snapshot2().unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(g2.occupied(a), Some(true));
+        assert_eq!(g2.occupied(b), Some(true));
+        assert_eq!(entry.deltas_applied(), 2, "only effective deltas journal");
+
+        // Journal replay semantics.
+        assert_eq!(entry.deltas_since(v0).unwrap().len(), 2);
+        assert_eq!(entry.deltas_since(v1).unwrap(), vec![GridDelta2::Appear { cell: b }]);
+        assert_eq!(entry.deltas_since(v2).unwrap(), vec![]);
+        assert!(entry.deltas_since(99).is_none(), "future version is a gap");
+    }
+
+    #[test]
+    fn journal_depth_gap_forces_replan_signal() {
+        let reg = MapRegistry::new();
+        let mut g = BitGrid2::new(16, 16);
+        g.set(Cell2::new(0, 0), true);
+        let entry = reg.insert_grid2("m", g);
+        for _ in 0..JOURNAL_DEPTH + 3 {
+            // Toggle one cell back and forth; every batch is effective.
+            let occ = entry.grid2().unwrap().occupied(Cell2::new(1, 1)) == Some(true);
+            let d = if occ {
+                GridDelta2::Disappear { cell: Cell2::new(1, 1) }
+            } else {
+                GridDelta2::Appear { cell: Cell2::new(1, 1) }
+            };
+            entry.apply_deltas2(&[d]).unwrap();
+        }
+        assert!(entry.deltas_since(0).is_none(), "evicted batches mean a gap");
+        let current = entry.version2();
+        assert!(entry.deltas_since(current - 1).is_some(), "recent suffix still covered");
+    }
+
+    #[test]
+    fn patched_artifacts_match_full_rebuild() {
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("m", city_map(CityName::Paris, 96, 96));
+        entry.artifacts2().expect("build the bundle before deltas land");
+
+        // Deterministic churn: appear/disappear scattered cells.
+        let mut seed = 0x9e37_79b9_97f4_a7c5u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let c = Cell2::new((rng() % 96) as i64, (rng() % 96) as i64);
+            let d = if rng() % 2 == 0 {
+                GridDelta2::Appear { cell: c }
+            } else {
+                GridDelta2::Disappear { cell: c }
+            };
+            entry.apply_deltas2(&[d]).unwrap();
+        }
+        assert!(entry.artifact_patches() > 0, "built bundle must be patched, not dropped");
+        assert_eq!(entry.artifact_builds(), 1, "no full rebuild");
+
+        let patched = entry.artifacts2().expect("patched bundle present");
+        assert!(patched.verify(), "checksum restamped over patched content");
+        let fresh = Artifacts2::build(&entry.grid2().unwrap()).unwrap();
+        assert_eq!(patched.checksum, fresh.checksum, "patched inflation == full rebuild");
+        assert_eq!(patched.inflated.words(), fresh.inflated.words());
+        for y in 0..96 {
+            for x in 0..96 {
+                let c = Cell2::new(x, y);
+                assert_eq!(patched.reachable(c), fresh.reachable(c), "reachability at {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_sweeps_memo_targetedly_and_bumps_its_version() {
+        use racod_codacc::template_check_2d;
+        use racod_sim::Footprint2;
+
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("m", BitGrid2::new(64, 64));
+        let memo = entry.spec_memo2();
+        let fp = Footprint2::small_robot();
+        let goal = Cell2::new(60, 60);
+        let near = Cell2::new(10, 10);
+        let far = Cell2::new(50, 50);
+        let grid = entry.grid2().unwrap();
+        for &c in &[near, far] {
+            let key = fp.rot_key(c, goal);
+            memo.insert(&fp, key, c, template_check_2d(grid.as_ref(), c, &fp.template(key)));
+        }
+        let v0 = memo.version();
+
+        // A delta next to `near` (within its influence radius) but far from
+        // `far` sweeps only the near verdict.
+        entry.apply_deltas2(&[GridDelta2::Appear { cell: Cell2::new(11, 10) }]).unwrap();
+        assert_eq!(memo.version(), v0 + 1, "delta bumps the memo version");
+        assert!(memo.lookup(&fp, fp.rot_key(near, goal), near).is_none(), "near entry swept");
+        assert!(memo.lookup(&fp, fp.rot_key(far, goal), far).is_some(), "far entry survives");
+    }
+
+    #[test]
+    fn deltas_rejected_for_3d_maps() {
+        let reg = MapRegistry::new();
+        reg.insert_grid3("c", campus_3d(2, 24, 24, 12));
+        assert!(reg
+            .apply_deltas2(&MapId::new("c"), &[GridDelta2::Appear { cell: Cell2::new(1, 1) }])
+            .is_none());
+        assert!(reg.apply_deltas2(&MapId::new("nope"), &[]).is_none());
     }
 
     #[test]

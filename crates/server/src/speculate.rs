@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Tuning for service-scope speculation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct SpeculationConfig {
     /// Kill switch. When `false`, no speculator threads start and workers
     /// never consult the memo — the service is bit-and-timing identical to
@@ -53,11 +53,35 @@ pub struct SpeculationConfig {
     pub radius: i64,
     /// Length of the predicted start→goal chain to precheck.
     pub chain_depth: usize,
+    /// Test-only interleaving hook: called after a precheck batch is
+    /// computed, before its verdicts are published. Race tests use it to
+    /// force an invalidation into the compute→publish window
+    /// deterministically; production configs leave it `None`.
+    #[doc(hidden)]
+    pub publish_gate: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl Default for SpeculationConfig {
     fn default() -> Self {
-        SpeculationConfig { enabled: true, threads: 1, radius: 2, chain_depth: 8 }
+        SpeculationConfig {
+            enabled: true,
+            threads: 1,
+            radius: 2,
+            chain_depth: 8,
+            publish_gate: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for SpeculationConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeculationConfig")
+            .field("enabled", &self.enabled)
+            .field("threads", &self.threads)
+            .field("radius", &self.radius)
+            .field("chain_depth", &self.chain_depth)
+            .field("publish_gate", &self.publish_gate.as_ref().map(|_| ".."))
+            .finish()
     }
 }
 
@@ -140,6 +164,43 @@ impl SpecMemo2 {
         true
     }
 
+    /// Publishes a verdict that was computed while the memo was at
+    /// `version` (the caller snapshots [`SpecMemo2::version`] *before*
+    /// reading the grid). If the memo has been invalidated since, the
+    /// verdict may describe a world that no longer exists: it is dropped
+    /// and counted as wasted speculation instead of poisoning the fresh
+    /// memo.
+    ///
+    /// The version is re-read under the shard lock, and every invalidation
+    /// bumps the version *before* sweeping any shard — so a verdict this
+    /// method lets through is either current, or will be swept by the very
+    /// invalidation that raced it. Stale verdicts can never survive.
+    pub fn insert_at_version(
+        &self,
+        footprint: &Footprint2,
+        rot: RotKey,
+        cell: Cell2,
+        check: SoftwareCheck,
+        version: u64,
+    ) -> bool {
+        let key = SpecKey::new(footprint, rot, cell);
+        let mut shard = self.shards[key.shard()].lock();
+        if self.version.load(Ordering::Relaxed) != version {
+            self.wasted.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if shard.contains_key(&key) {
+            return true;
+        }
+        if shard.len() >= SHARD_CAPACITY {
+            self.wasted.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        shard.insert(key, (check, false));
+        self.prechecks.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
     /// Consults the memo on the real check path. A hit marks the entry
     /// consumed and returns the stored verdict — bit-identical to what the
     /// native kernel would compute.
@@ -178,6 +239,40 @@ impl SpecMemo2 {
                 self.wasted.fetch_add(unconsumed as u64, Ordering::Relaxed);
             }
             shard.clear();
+        }
+    }
+
+    /// Targeted invalidation after a map delta: bumps the version (so
+    /// in-flight prechecks snapshotted against the old grid drop at
+    /// publish) and sweeps only the entries whose pose lies within the
+    /// entry's own footprint influence radius of a changed cell. Every
+    /// surviving entry's swept region provably avoids all changed cells,
+    /// so its verdict is bit-identical on the post-delta grid and stays
+    /// servable.
+    pub fn invalidate_cells(&self, changed: &[Cell2]) {
+        if changed.is_empty() {
+            return;
+        }
+        self.version.fetch_add(1, Ordering::Relaxed);
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let mut dropped_unconsumed = 0u64;
+            shard.retain(|key, (_, consumed)| {
+                let r = racod_sim::influence_radius_2d(
+                    f32::from_bits(key.length),
+                    f32::from_bits(key.width),
+                );
+                let hit = changed
+                    .iter()
+                    .any(|c| (c.x - key.cell.x).abs().max((c.y - key.cell.y).abs()) <= r);
+                if hit && !*consumed {
+                    dropped_unconsumed += 1;
+                }
+                !hit
+            });
+            if dropped_unconsumed > 0 {
+                self.wasted.fetch_add(dropped_unconsumed, Ordering::Relaxed);
+            }
         }
     }
 
@@ -240,10 +335,16 @@ pub(crate) fn speculator_loop(
 }
 
 fn precheck_task(task: &SpecTask, cfg: &SpeculationConfig, metrics: &ServerMetrics) {
+    // Snapshot the memo version BEFORE reading the grid. Invalidations bump
+    // the version before sweeping, so any delta that changes the grid after
+    // this read also changes the version — and the version-checked publish
+    // below then drops the whole batch instead of poisoning the fresh memo
+    // with verdicts computed against a world that no longer exists.
+    let memo = task.entry.spec_memo2();
+    let version = memo.version();
     let Some(grid) = task.entry.grid2() else {
         return;
     };
-    let memo = task.entry.spec_memo2();
     let fp = task.footprint;
     let targets: Vec<Cell2> =
         speculation_targets(task.start, task.goal, cfg.radius, cfg.chain_depth)
@@ -256,10 +357,13 @@ fn precheck_task(task: &SpecTask, cfg: &SpeculationConfig, metrics: &ServerMetri
     // The checker shares the map's template cache, so templates compiled
     // here are warm for the real search (and vice versa) — prechecked
     // verdicts come from the identical compiled template the worker uses.
-    let checker = TemplateChecker2::with_cache(grid, fp, task.goal, task.entry.template_cache2());
+    let checker = TemplateChecker2::with_cache(&grid, fp, task.goal, task.entry.template_cache2());
     let checks = checker.check_batch(&targets);
+    if let Some(gate) = &cfg.publish_gate {
+        gate();
+    }
     for (&cell, &check) in targets.iter().zip(checks.iter()) {
-        memo.insert(&fp, fp.rot_key(cell, task.goal), cell, check);
+        memo.insert_at_version(&fp, fp.rot_key(cell, task.goal), cell, check, version);
     }
     metrics.speculation_prechecks.fetch_add(targets.len() as u64, Ordering::Relaxed);
 }
@@ -333,6 +437,56 @@ mod tests {
         assert!(memo.is_empty());
         assert_eq!(memo.wasted(), 7, "unconsumed entries are wasted speculation");
         assert_eq!(memo.hits(), 3);
+    }
+
+    #[test]
+    fn insert_at_version_drops_stale_verdicts() {
+        let grid = city_map(CityName::Boston, 64, 64);
+        let (fp, goal) = (Footprint2::car(), Cell2::new(60, 60));
+        let memo = SpecMemo2::new();
+        let c = Cell2::new(10, 12);
+        let rot = fp.rot_key(c, goal);
+        let check = check_for(&grid, fp, c, goal);
+
+        // Current-version publish lands.
+        let v = memo.version();
+        assert!(memo.insert_at_version(&fp, rot, c, check, v));
+        assert_eq!(memo.lookup(&fp, rot, c), Some(check));
+
+        // A verdict computed before an invalidation must not repopulate
+        // the fresh memo.
+        let v = memo.version();
+        memo.invalidate();
+        let wasted_before = memo.wasted();
+        assert!(!memo.insert_at_version(&fp, rot, c, check, v));
+        assert!(memo.lookup(&fp, rot, c).is_none(), "stale verdict must not land");
+        assert_eq!(memo.wasted(), wasted_before + 1, "dropped publish counts as waste");
+
+        // Re-publishing under the new version works again.
+        assert!(memo.insert_at_version(&fp, rot, c, check, memo.version()));
+        assert_eq!(memo.lookup(&fp, rot, c), Some(check));
+    }
+
+    #[test]
+    fn invalidate_cells_sweeps_only_influenced_poses() {
+        let grid = racod_grid::BitGrid2::new(64, 64);
+        let (fp, goal) = (Footprint2::small_robot(), Cell2::new(60, 60));
+        let memo = SpecMemo2::new();
+        let near = Cell2::new(10, 10);
+        let far = Cell2::new(40, 40);
+        for &c in &[near, far] {
+            memo.insert(&fp, fp.rot_key(c, goal), c, check_for(&grid, fp, c, goal));
+        }
+        // Consume nothing; sweep around `near` only.
+        memo.invalidate_cells(&[Cell2::new(12, 11)]);
+        assert_eq!(memo.version(), 1, "targeted sweep still bumps the version");
+        assert!(memo.lookup(&fp, fp.rot_key(near, goal), near).is_none());
+        assert!(memo.lookup(&fp, fp.rot_key(far, goal), far).is_some());
+        assert_eq!(memo.wasted(), 1, "swept-unconsumed entry is wasted speculation");
+
+        // Empty change sets are free: no bump, no sweep.
+        memo.invalidate_cells(&[]);
+        assert_eq!(memo.version(), 1);
     }
 
     #[test]

@@ -426,163 +426,208 @@ fn execute(
             std::panic::resume_unwind(Box::new(WorkerPoison));
         }
         Workload::Plan2 { start, goal, footprint } => {
-            let grid = entry.grid2().expect("dimension checked at admission");
-            // Definite-infeasibility prefilter from the cached per-map
-            // reachability artifact: if exactly one endpoint is in the
-            // seed's free component no path can exist, and a direct planner
-            // call would also return an empty path — skip the search. The
-            // bundle is checksum-verified first; a corrupted one is
-            // discarded and the request plans without the prefilter, so
-            // correctness never rests on an unverified artifact.
-            let (art, corrupted) = entry.artifacts2_verified();
-            if corrupted {
-                metrics.map_corruptions_detected.fetch_add(1, Ordering::Relaxed);
-            }
-            if let Some(art) = art {
-                if art.definitely_disconnected(*start, *goal) {
-                    return (
-                        Planned {
-                            path: PlannedPath::P2(None),
-                            cost: f64::INFINITY,
-                            expansions: 0,
-                            sim_cycles: 0,
-                            queue_wait: Default::default(),
-                            service_time: Default::default(),
-                            warm_start: false,
-                        },
-                        Termination::Exhausted,
-                    );
+            // In-flight delta semantics: every attempt plans against one
+            // consistent `(grid, version)` snapshot. Platforms that never
+            // consult the speculation memo are consistent-by-construction
+            // (every oracle answer comes from the immutable snapshot), so
+            // they serve unconditionally. The memo-consulting path rechecks
+            // the version after planning: if a delta landed mid-plan the
+            // memo may have mixed post-delta verdicts into the answers, so
+            // the answer is served only if the journaled deltas provably
+            // cannot have changed it (appear-only, away from the returned
+            // path) — otherwise the request replans, with the memo disabled
+            // on the final attempt to guarantee a consistent result.
+            let mut replans = 0u32;
+            loop {
+                let (grid, v0) = entry.snapshot2().expect("dimension checked at admission");
+                // Definite-infeasibility prefilter from the cached per-map
+                // reachability artifact: if exactly one endpoint is in the
+                // seed's free component no path can exist, and a direct
+                // planner call would also return an empty path — skip the
+                // search. The bundle is checksum-verified first; a
+                // corrupted one is discarded and the request plans without
+                // the prefilter, so correctness never rests on an
+                // unverified artifact. The artifact tracks the *current*
+                // grid, so its verdict is only trusted while the map still
+                // sits at our snapshot version.
+                let (art, corrupted) = entry.artifacts2_verified();
+                if corrupted {
+                    metrics.map_corruptions_detected.fetch_add(1, Ordering::Relaxed);
                 }
-            }
-            let mut sc = Scenario2::new(grid)
-                .with_astar(astar.clone())
-                .with_template_cache(entry.template_cache2());
-            sc.footprint = *footprint;
-            sc.start = *start;
-            sc.goal = *goal;
-            // The mid-check fault site instruments the *accelerated*
-            // checker paths (RACOD's timed oracle, the Threads pool
-            // closure); the plain software path stays trusted so breaker
-            // fallbacks demonstrably work while faults are armed.
-            if matches!(platform, Platform::Racod { .. }) {
-                if let Some(p) = check_probe.clone() {
-                    sc = sc.with_check_probe(p);
+                if let Some(art) = art {
+                    if entry.version2() == v0 && art.definitely_disconnected(*start, *goal) {
+                        return (
+                            Planned {
+                                path: PlannedPath::P2(None),
+                                cost: f64::INFINITY,
+                                expansions: 0,
+                                sim_cycles: 0,
+                                queue_wait: Default::default(),
+                                service_time: Default::default(),
+                                warm_start: false,
+                            },
+                            Termination::Exhausted,
+                        );
+                    }
                 }
-            }
-            match platform {
-                Platform::SimSoftware { threads, runahead } => {
-                    let out = plan_software_2d_in(
-                        &sc,
-                        threads,
-                        runahead,
-                        &CostModel::i3_software(),
-                        &mut warm.scratch2,
-                    );
-                    record_tstats(metrics, out.tstats);
-                    record_sstats(metrics, &out.result.stats);
-                    planned2(out, false)
+                let mut sc = Scenario2::new(&grid)
+                    .with_astar(astar.clone())
+                    .with_template_cache(entry.template_cache2());
+                sc.footprint = *footprint;
+                sc.start = *start;
+                sc.goal = *goal;
+                // The mid-check fault site instruments the *accelerated*
+                // checker paths (RACOD's timed oracle, the Threads pool
+                // closure); the plain software path stays trusted so
+                // breaker fallbacks demonstrably work while faults are
+                // armed.
+                if matches!(platform, Platform::Racod { .. }) {
+                    if let Some(p) = check_probe.clone() {
+                        sc = sc.with_check_probe(p);
+                    }
                 }
-                Platform::Racod { units } => {
-                    let (mut pool, was_warm) = warm.take(&sc_map_id(entry), units);
-                    let out = plan_racod_2d_pooled_in(
-                        &sc,
-                        &mut pool,
-                        &CostModel::racod(),
-                        &mut warm.scratch2,
-                    );
-                    warm.put_back(&sc_map_id(entry), units, pool);
-                    record_tstats(metrics, out.tstats);
-                    record_sstats(metrics, &out.result.stats);
-                    planned2(out, was_warm)
-                }
-                Platform::Threads { threads, runahead } => {
-                    let grid = grid.clone();
-                    let fp = *footprint;
-                    let goal_c = *goal;
-                    let cache = entry.template_cache2();
-                    let hits = Arc::new(AtomicU64::new(0));
-                    let misses = Arc::new(AtomicU64::new(0));
-                    let (h, m) = (hits.clone(), misses.clone());
-                    let probe = check_probe.clone();
-                    let pool = warm.check_pool2(threads);
-                    let pool_panics_before = pool.check_panics();
-                    let memo = speculation.then(|| entry.spec_memo2());
-                    let mtr = metrics.clone();
-                    // The check threads come from the worker's persistent
-                    // pool; only the episode-specific closure is new per
-                    // request. Chunks of the demand wavefront arrive whole,
-                    // so one template lookup amortizes over each same-
-                    // orientation run, and speculatively prechecked
-                    // verdicts (bit-identical by construction) short-
-                    // circuit the native kernel.
-                    let planner = ParallelPlanner::with_pool_batched(
-                        ParallelConfig { threads, runahead },
-                        move |states: &[Cell2], out: &mut Vec<bool>| {
-                            let mut last: Option<(RotKey, Arc<FootprintTemplate2>)> = None;
-                            for &s in states {
-                                if let Some(p) = &probe {
-                                    p();
-                                }
-                                let key = fp.rot_key(s, goal_c);
-                                if let Some(memo) = &memo {
-                                    if let Some(c) = memo.lookup(&fp, key, s) {
-                                        mtr.speculation_hits.fetch_add(1, Ordering::Relaxed);
-                                        out.push(c.verdict.is_free());
-                                        continue;
+                let consult_memo = speculation && replans < MAX_INFLIGHT_REPLANS;
+                let out = match platform {
+                    Platform::SimSoftware { threads, runahead } => {
+                        let out = plan_software_2d_in(
+                            &sc,
+                            threads,
+                            runahead,
+                            &CostModel::i3_software(),
+                            &mut warm.scratch2,
+                        );
+                        record_tstats(metrics, out.tstats);
+                        record_sstats(metrics, &out.result.stats);
+                        planned2(out, false)
+                    }
+                    Platform::Racod { units } => {
+                        let (mut pool, was_warm) = warm.take(&sc_map_id(entry), units);
+                        let out = plan_racod_2d_pooled_in(
+                            &sc,
+                            &mut pool,
+                            &CostModel::racod(),
+                            &mut warm.scratch2,
+                        );
+                        warm.put_back(&sc_map_id(entry), units, pool);
+                        record_tstats(metrics, out.tstats);
+                        record_sstats(metrics, &out.result.stats);
+                        planned2(out, was_warm)
+                    }
+                    Platform::Threads { threads, runahead } => {
+                        let grid = grid.clone();
+                        let fp = *footprint;
+                        let goal_c = *goal;
+                        let cache = entry.template_cache2();
+                        let hits = Arc::new(AtomicU64::new(0));
+                        let misses = Arc::new(AtomicU64::new(0));
+                        let (h, m) = (hits.clone(), misses.clone());
+                        let probe = check_probe.clone();
+                        let pool = warm.check_pool2(threads);
+                        let pool_panics_before = pool.check_panics();
+                        let memo = consult_memo.then(|| entry.spec_memo2());
+                        let mtr = metrics.clone();
+                        // The check threads come from the worker's
+                        // persistent pool; only the episode-specific
+                        // closure is new per request. Chunks of the demand
+                        // wavefront arrive whole, so one template lookup
+                        // amortizes over each same-orientation run, and
+                        // speculatively prechecked verdicts (bit-identical
+                        // by construction) short-circuit the native kernel.
+                        let planner = ParallelPlanner::with_pool_batched(
+                            ParallelConfig { threads, runahead },
+                            move |states: &[Cell2], out: &mut Vec<bool>| {
+                                let mut last: Option<(RotKey, Arc<FootprintTemplate2>)> = None;
+                                for &s in states {
+                                    if let Some(p) = &probe {
+                                        p();
                                     }
-                                }
-                                let tpl = match &last {
-                                    Some((k, t)) if *k == key => t.clone(),
-                                    _ => {
-                                        let (t, hit) = cache.get(&fp, key);
-                                        if hit { &h } else { &m }.fetch_add(1, Ordering::Relaxed);
-                                        last = Some((key, t.clone()));
-                                        t
+                                    let key = fp.rot_key(s, goal_c);
+                                    if let Some(memo) = &memo {
+                                        if let Some(c) = memo.lookup(&fp, key, s) {
+                                            mtr.speculation_hits.fetch_add(1, Ordering::Relaxed);
+                                            out.push(c.verdict.is_free());
+                                            continue;
+                                        }
                                     }
-                                };
-                                out.push(
-                                    template_check_2d(grid.as_ref(), s, &tpl).verdict.is_free(),
-                                );
-                            }
-                        },
-                        pool.clone(),
-                    );
-                    let space = GridSpace2::eight_connected(
-                        racod_grid::Occupancy2::width(sc.grid),
-                        racod_grid::Occupancy2::height(sc.grid),
-                    );
-                    let run =
-                        planner.plan_config_in(&space, *start, *goal, &astar, &mut warm.scratch2);
-                    metrics.check_pool_panics.fetch_add(
-                        pool.check_panics().saturating_sub(pool_panics_before),
-                        Ordering::Relaxed,
-                    );
-                    record_tstats(
-                        metrics,
-                        TemplateStats {
-                            hits: hits.load(Ordering::Relaxed),
-                            misses: misses.load(Ordering::Relaxed),
-                        },
-                    );
-                    record_sstats(metrics, &run.result.stats);
-                    (
-                        Planned {
-                            path: PlannedPath::P2(run.result.path),
-                            cost: run.result.cost,
-                            expansions: run.result.stats.expansions,
-                            sim_cycles: 0,
-                            queue_wait: Default::default(),
-                            service_time: Default::default(),
-                            warm_start: false,
-                        },
-                        run.result.termination,
-                    )
+                                    let tpl = match &last {
+                                        Some((k, t)) if *k == key => t.clone(),
+                                        _ => {
+                                            let (t, hit) = cache.get(&fp, key);
+                                            if hit { &h } else { &m }
+                                                .fetch_add(1, Ordering::Relaxed);
+                                            last = Some((key, t.clone()));
+                                            t
+                                        }
+                                    };
+                                    out.push(
+                                        template_check_2d(grid.as_ref(), s, &tpl).verdict.is_free(),
+                                    );
+                                }
+                            },
+                            pool.clone(),
+                        );
+                        let space = GridSpace2::eight_connected(
+                            racod_grid::Occupancy2::width(sc.grid),
+                            racod_grid::Occupancy2::height(sc.grid),
+                        );
+                        let run = planner.plan_config_in(
+                            &space,
+                            *start,
+                            *goal,
+                            &astar,
+                            &mut warm.scratch2,
+                        );
+                        metrics.check_pool_panics.fetch_add(
+                            pool.check_panics().saturating_sub(pool_panics_before),
+                            Ordering::Relaxed,
+                        );
+                        record_tstats(
+                            metrics,
+                            TemplateStats {
+                                hits: hits.load(Ordering::Relaxed),
+                                misses: misses.load(Ordering::Relaxed),
+                            },
+                        );
+                        record_sstats(metrics, &run.result.stats);
+                        (
+                            Planned {
+                                path: PlannedPath::P2(run.result.path),
+                                cost: run.result.cost,
+                                expansions: run.result.stats.expansions,
+                                sim_cycles: 0,
+                                queue_wait: Default::default(),
+                                service_time: Default::default(),
+                                warm_start: false,
+                            },
+                            run.result.termination,
+                        )
+                    }
+                };
+                let consulted = consult_memo && matches!(platform, Platform::Threads { .. });
+                if !consulted || entry.version2() == v0 {
+                    return out;
                 }
+                // A delta landed while we planned with the memo on. Serve
+                // anyway if the journal proves the answer still stands;
+                // otherwise pay for a replan.
+                let path = match &out.0.path {
+                    PlannedPath::P2(p) => p.as_deref(),
+                    PlannedPath::P3(_) => None,
+                };
+                let survives = entry
+                    .deltas_since(v0)
+                    .is_some_and(|ds| plan2_survives_deltas(&ds, path, *footprint));
+                if survives {
+                    metrics.incremental_repairs.fetch_add(1, Ordering::Relaxed);
+                    return out;
+                }
+                replans += 1;
+                metrics.replans_from_scratch.fetch_add(1, Ordering::Relaxed);
             }
         }
         Workload::Plan3 { start, goal, footprint } => {
             let grid = entry.grid3().expect("dimension checked at admission");
-            let mut sc = Scenario3::new(grid).with_template_cache(entry.template_cache3());
+            let mut sc = Scenario3::new(&grid).with_template_cache(entry.template_cache3());
             sc.astar = astar.clone();
             sc.footprint = *footprint;
             sc.start = *start;
@@ -698,6 +743,44 @@ fn execute(
 /// catch re-raises it so the worker loop itself dies and the supervisor
 /// respawns the slot.
 pub struct WorkerPoison;
+
+/// Attempts a memo-consulting plan makes before falling back to a
+/// memo-free (consistent-by-construction) final attempt. Two retries is
+/// enough that only a map under *sustained* churn ever hits the fallback.
+const MAX_INFLIGHT_REPLANS: u32 = 2;
+
+/// Whether a plan computed at version `v0` provably still stands after
+/// `deltas` (the journal suffix since `v0`) landed mid-flight.
+///
+/// The only cross-version channel into a memo-consulting plan is the
+/// speculation memo, so each oracle answer was taken either against the
+/// `v0` snapshot or against the post-delta grid. Under *appear-only*
+/// deltas every post-delta blocked set is a superset of the `v0` blocked
+/// set, so this mixed oracle is sandwiched between the two grids and the
+/// mixed-optimal cost is ≤ the post-delta optimal. If the returned path's
+/// swept volume avoids every changed cell (checked conservatively via the
+/// footprint's influence radius), the path stays feasible post-delta, and
+/// a feasible path at ≤ the post-delta optimum *is* the post-delta
+/// optimum. An infeasible verdict carries over unconditionally: adding
+/// obstacles cannot create a path. Disappear/Move deltas void both
+/// arguments, so the caller must replan.
+fn plan2_survives_deltas(
+    deltas: &[racod_grid::GridDelta2],
+    path: Option<&[Cell2]>,
+    footprint: racod_sim::Footprint2,
+) -> bool {
+    if !deltas.iter().all(|d| d.is_appear_only()) {
+        return false;
+    }
+    let Some(path) = path else {
+        return true;
+    };
+    let r = footprint.influence_radius_cells();
+    deltas
+        .iter()
+        .flat_map(|d| d.cells())
+        .all(|c| path.iter().all(|p| (c.x - p.x).abs().max((c.y - p.y).abs()) > r))
+}
 
 fn sc_map_id(entry: &crate::registry::MapEntry) -> MapId {
     entry.id.clone()

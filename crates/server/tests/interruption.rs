@@ -40,7 +40,7 @@ fn doomed_world() -> (Arc<MapRegistry>, Cell2, Cell2) {
 fn full_exhaustion_time(reg: &MapRegistry, start: Cell2, goal: Cell2) -> Duration {
     let entry = reg.get(&"walled".into()).expect("registered above");
     let grid = entry.grid2().expect("2d map");
-    let mut sc = Scenario2::new(grid);
+    let mut sc = Scenario2::new(&grid);
     sc.footprint = Footprint2::point();
     sc.start = start;
     sc.goal = goal;

@@ -46,7 +46,7 @@ pub mod tcache;
 
 pub use cost::CostModel;
 pub use engine::UnitPool;
-pub use footprint::{Footprint2, Footprint3, RotKey};
+pub use footprint::{influence_radius_2d, Footprint2, Footprint3, RotKey};
 pub use oracle::{PlanTiming, TimedChecker, TimedOracle, TimedOracleConfig};
 pub use planner::{PlanOutcome, Scenario2, Scenario3};
 pub use tcache::{
