@@ -18,10 +18,20 @@
 //! from-scratch rerun on a warm arena, bit-identical answers asserted on
 //! every replan. `--gate` additionally requires the incremental engine to
 //! clear 2x the from-scratch plans/s on this workload.
+//!
+//! An `alt` section measures the ALT landmark heuristic: the same plan
+//! pairs searched octile-guided and landmark-guided on a warm arena, with
+//! the canonical re-summed path costs asserted bit-identical (landmarks may
+//! pick a different equal-cost optimum; the optimal cost itself never
+//! moves) and the pack build time reported. `--gate` additionally requires
+//! landmarks to cut expansions per plan by at least 2.5x.
 
 use racod::grid::affected_cells;
 use racod::prelude::*;
-use racod::search::{astar_in, astar_reference, pase_in, PaseConfig, Replanner, SearchScratch};
+use racod::search::{
+    astar_in, astar_reference, canonical_cost_2d, pase_in, AltSpace2, LandmarkPack2, PaseConfig,
+    Replanner, SearchScratch,
+};
 use racod::sim::planner::free_near_2d;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -214,6 +224,57 @@ fn measure_churn(grid: &BitGrid2, space: &GridSpace2, pairs: &[(Cell2, Cell2)]) 
     }
 }
 
+struct AltMeasure {
+    landmarks: usize,
+    pack_build_ms: f64,
+    pack_bytes: usize,
+    off: Measure,
+    on: Measure,
+}
+
+/// ALT landmarks vs plain octile: the same plan pairs searched on a warm
+/// arena with and without a precomputed [`LandmarkPack2`]. Landmarks may
+/// legitimately settle on a different equal-cost optimum, so the engine's
+/// accumulated float cost is not comparable bit-for-bit — instead both
+/// branches re-sum their returned paths canonically and those sums must
+/// agree exactly. The expansion ratio is the payoff being measured.
+fn measure_alt(
+    grid: &BitGrid2,
+    space: &GridSpace2,
+    pairs: &[(Cell2, Cell2)],
+    k: usize,
+) -> AltMeasure {
+    let is_free = |c: Cell2| grid.get(c) == Some(false);
+    let t = Instant::now();
+    let pack =
+        LandmarkPack2::build(grid.width(), grid.height(), k, is_free).expect("map has free cells");
+    let pack_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cfg = AstarConfig::default();
+
+    let canonical = |r: &racod::search::SearchResult<Cell2>| {
+        canonical_cost_2d(r.path.as_deref().expect("prechecked pair")).expect("king-move path")
+    };
+    let mut scratch = SearchScratch::new();
+    let off = measure(pairs, |s, g| {
+        let mut oracle = FnOracle::new(is_free);
+        let r = black_box(astar_in(space, s, g, &cfg, &mut oracle, &mut scratch));
+        (r.stats.expansions, canonical(&r))
+    });
+    let guided = AltSpace2::new(*space, Some(&pack));
+    let mut scratch = SearchScratch::new();
+    let on = measure(pairs, |s, g| {
+        let mut oracle = FnOracle::new(is_free);
+        let r = black_box(astar_in(&guided, s, g, &cfg, &mut oracle, &mut scratch));
+        (r.stats.expansions, canonical(&r))
+    });
+    assert_eq!(
+        off.cost_sum.to_bits(),
+        on.cost_sum.to_bits(),
+        "landmark guidance changed an optimal plan cost"
+    );
+    AltMeasure { landmarks: pack.len(), pack_build_ms, pack_bytes: pack.bytes(), off, on }
+}
+
 fn main() {
     let o = parse_args();
     let size: u32 = 512;
@@ -281,6 +342,7 @@ fn main() {
     );
 
     let churn = measure_churn(&grid, &space, &pairs);
+    let alt = measure_alt(&grid, &space, &pairs, 8);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -322,6 +384,25 @@ fn main() {
     );
     let _ = writeln!(json, "    \"incremental_speedup\": {churn_speedup:.2}");
     let _ = writeln!(json, "  }},");
+    let alt_reduction = alt.off.expansions as f64 / alt.on.expansions as f64;
+    let _ = writeln!(json, "  \"alt\": {{");
+    let _ = writeln!(json, "    \"landmarks\": {},", alt.landmarks);
+    let _ = writeln!(json, "    \"pack_build_ms\": {:.1},", alt.pack_build_ms);
+    let _ = writeln!(json, "    \"pack_bytes\": {},", alt.pack_bytes);
+    let _ = writeln!(
+        json,
+        "    \"expansions_per_plan_off\": {},",
+        alt.off.expansions / pairs.len() as u64
+    );
+    let _ = writeln!(
+        json,
+        "    \"expansions_per_plan_on\": {},",
+        alt.on.expansions / pairs.len() as u64
+    );
+    let _ = writeln!(json, "    \"plans_per_sec_off\": {:.0},", alt.off.plans_per_sec);
+    let _ = writeln!(json, "    \"plans_per_sec_on\": {:.0},", alt.on.plans_per_sec);
+    let _ = writeln!(json, "    \"expansion_reduction\": {alt_reduction:.2}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"reference_ns_per_expansion\": {:.1},", reference.ns_per_expansion);
     let _ = writeln!(json, "  \"reference_plans_per_sec\": {:.0}", reference.plans_per_sec);
     let _ = writeln!(json, "}}");
@@ -350,7 +431,15 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if alt_reduction < 2.5 {
+            eprintln!(
+                "GATE FAIL: landmarks cut expansions {alt_reduction:.2}x over octile \
+                 (need >= 2.5x)"
+            );
+            std::process::exit(1);
+        }
         eprintln!("gate ok: warm ns/expansion <= cold for all engines");
         eprintln!("gate ok: incremental replanning {churn_speedup:.2}x under churn");
+        eprintln!("gate ok: landmarks cut expansions {alt_reduction:.2}x");
     }
 }

@@ -15,7 +15,7 @@
 //! Usage: `cargo run --release -p racod-net --bin loadgen -- [--requests N]
 //! [--clients N | --rate R] [--workers N] [--queue N] [--units N] [--seed S]
 //! [--deadline D] [--cancel-rate F] [--overshoot-budget D] [--platform P]
-//! [--speculate on|off] [--remote HOST:PORT] [--churn N]`
+//! [--speculate on|off] [--alt on|off] [--remote HOST:PORT] [--churn N]`
 //!
 //! `--churn N` (closed-loop only) splits the run into N rounds and applies
 //! a deterministic, seed-derived batch of occupancy deltas to every 2D map
@@ -30,6 +30,16 @@
 //! isolate its effect, and the report's `speculation` line shows the hit
 //! rate the prechecker earned. Speculation never changes answers (the plan
 //! digest is identical either way) — only latency.
+//!
+//! `--alt on|off` (default `off`, local only — a remote shard takes its
+//! own `--alt` flag) is the A/B switch for ALT landmark guidance. Unlike
+//! speculation, landmarks may return a *different equal-cost* optimal
+//! path, so the path-sensitive plan digest legitimately moves; the `cost
+//! digest` line — folding the canonical re-summed optimal cost instead
+//! of path cells — must be identical between `--alt on` and `--alt off`
+//! runs (and between a local and a `--remote` run) over the same seed
+//! and world. The report's `landmarks` line shows packs built,
+//! version-fence fallbacks, and expansions saved.
 //!
 //! `--deadline` attaches a per-request completion budget (e.g. `5ms`,
 //! `250us`, `1s`; a bare number is milliseconds). The run then tracks
@@ -48,9 +58,11 @@
 use racod_fault::mix64;
 use racod_net::wire::fnv1a;
 use racod_net::{plan_with_retry, standard_world, ClientConfig, MapPool, NetClient, WireResult};
+use racod_search::canonical_cost_2d;
 use racod_server::{
-    submit_with_retry, Outcome, PlanRequest, PlanServer, Planned, PlannedPath, Platform, Priority,
-    Rejected, RetryPolicy, ServerConfig, ServerMetrics, SpeculationConfig, TimeoutStage, Workload,
+    submit_with_retry, AltConfig, Outcome, PlanRequest, PlanServer, Planned, PlannedPath, Platform,
+    Priority, Rejected, RetryPolicy, ServerConfig, ServerMetrics, SpeculationConfig, TimeoutStage,
+    Workload,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -79,6 +91,7 @@ struct Options {
     overshoot_budget: Duration,
     platform: LoadPlatform,
     speculate: bool,
+    alt: bool,
     remote: Option<String>,
     churn: usize,
 }
@@ -99,6 +112,7 @@ impl Default for Options {
             overshoot_budget: Duration::from_millis(250),
             platform: LoadPlatform::Racod,
             speculate: true,
+            alt: false,
             remote: None,
             churn: 0,
         }
@@ -204,6 +218,19 @@ fn parse_args() -> Options {
                 }
             };
             i += 2;
+        } else if let Some(v) = take("--alt") {
+            // A/B switch for ALT landmark guidance: `on` enables packs on
+            // the embedded server. The plan *cost* digest is the invariant
+            // across this switch; the path-sensitive plan digest may move.
+            o.alt = match v.as_str() {
+                "on" => true,
+                "off" => false,
+                _ => {
+                    eprintln!("invalid value for --alt: {v} (expected on or off)");
+                    std::process::exit(2);
+                }
+            };
+            i += 2;
         } else if let Some(v) = take("--remote") {
             o.remote = Some(v);
             i += 2;
@@ -246,6 +273,12 @@ fn parse_args() -> Options {
         if !o.speculate {
             eprintln!(
                 "--speculate off is not supported with --remote (the remote owns its config)"
+            );
+            std::process::exit(2);
+        }
+        if o.alt {
+            eprintln!(
+                "--alt on is not supported with --remote (start the shard with --alt on instead)"
             );
             std::process::exit(2);
         }
@@ -328,6 +361,48 @@ fn plan_digest(req: &PlanRequest, p: &Planned) -> u64 {
     h
 }
 
+/// Like [`plan_digest`], but insensitive to *which* equal-cost optimal
+/// path came back: for 2D answers it folds the canonical re-summed path
+/// cost (`a·1 + b·√2` recomputed in a fixed order) instead of the engine
+/// cost bits and path cells. ALT landmark guidance may settle on a
+/// different equal-cost optimum — moving the plan digest — but can never
+/// move this one; `--alt on` vs `--alt off` (and local vs `--remote`)
+/// runs over the same seed and world must print the same cost digest.
+/// 3D answers have no landmark path today, so their engine cost bits and
+/// path length stand in for the canonical sum.
+fn plan_cost_digest(req: &PlanRequest, p: &Planned) -> u64 {
+    let mut h = mix64(fnv1a(req.map.as_str().as_bytes()));
+    let mut fold = |v: u64| h = mix64(h ^ v);
+    match &req.workload {
+        Workload::Plan2 { start, goal, .. } => {
+            fold(start.x as u64);
+            fold(start.y as u64);
+            fold(goal.x as u64);
+            fold(goal.y as u64);
+        }
+        Workload::Plan3 { start, goal, .. } => {
+            fold(start.x as u64);
+            fold(start.y as u64);
+            fold(start.z as u64);
+            fold(goal.x as u64);
+            fold(goal.y as u64);
+            fold(goal.z as u64);
+        }
+        Workload::Poison | Workload::PoisonWorker => {}
+    }
+    match &p.path {
+        PlannedPath::P2(Some(cells)) => {
+            fold(canonical_cost_2d(cells).map_or(u64::MAX - 1, f64::to_bits));
+        }
+        PlannedPath::P2(None) => fold(u64::MAX),
+        PlannedPath::P3(path) => {
+            fold(p.cost.to_bits());
+            fold(path.as_ref().map_or(u64::MAX, |c| c.len() as u64));
+        }
+    }
+    h
+}
+
 #[derive(Default)]
 struct Tally {
     planned: AtomicU64,
@@ -346,6 +421,9 @@ struct Tally {
     net_errors: AtomicU64,
     /// XOR fold of per-plan digests; order-independent.
     digest: AtomicU64,
+    /// XOR fold of per-plan *canonical cost* digests; order-independent
+    /// and invariant under ALT landmark guidance.
+    cost_digest: AtomicU64,
     /// Worst observed response lateness past `submit + deadline`, in µs.
     max_overshoot_us: AtomicU64,
 }
@@ -356,6 +434,7 @@ impl Tally {
             Outcome::Planned(p) => {
                 self.planned.fetch_add(1, Ordering::Relaxed);
                 self.digest.fetch_xor(plan_digest(req, p), Ordering::Relaxed);
+                self.cost_digest.fetch_xor(plan_cost_digest(req, p), Ordering::Relaxed);
                 if p.path.found() {
                     self.found.fetch_add(1, Ordering::Relaxed);
                 }
@@ -647,6 +726,7 @@ fn print_report(tally: &Tally, elapsed: Duration, metrics: Option<&ServerMetrics
     println!("client give-ups    {}", n(&tally.give_ups));
     println!("net errors         {}", n(&tally.net_errors));
     println!("plan digest        0x{:016x}", n(&tally.digest));
+    println!("cost digest        0x{:016x}", n(&tally.cost_digest));
     if let Some(m) = metrics {
         println!(
             "affinity hit rate  {:.1}% over {} dispatches",
@@ -664,6 +744,12 @@ fn print_report(tally: &Tally, elapsed: Duration, metrics: Option<&ServerMetrics
             m.speculation_prechecks.load(Ordering::Relaxed),
             m.speculation_hits.load(Ordering::Relaxed),
             m.speculation_wasted.load(Ordering::Relaxed)
+        );
+        println!(
+            "landmarks          {} packs built, {} fenced fallbacks, {} expansions saved",
+            m.alt_packs_built.load(Ordering::Relaxed),
+            m.alt_pack_fallbacks.load(Ordering::Relaxed),
+            m.alt_expansions_saved.load(Ordering::Relaxed)
         );
         if o.churn > 0 {
             println!(
@@ -741,13 +827,14 @@ fn run_local(o: &Options) -> bool {
     let (registry, pools) = standard_world(o.seed, o.map_size);
     println!(
         "racod loadgen: {} requests, {} maps, {} workers, queue {}, {} CODAcc units, \
-         speculation {}",
+         speculation {}, landmarks {}",
         o.requests,
         registry.len(),
         o.workers,
         o.queue,
         o.units,
-        if o.speculate { "on" } else { "off" }
+        if o.speculate { "on" } else { "off" },
+        if o.alt { "on" } else { "off" }
     );
 
     let server = PlanServer::start(
@@ -755,6 +842,7 @@ fn run_local(o: &Options) -> bool {
             workers: o.workers,
             queue_capacity: o.queue,
             speculation: SpeculationConfig { enabled: o.speculate, ..Default::default() },
+            alt: AltConfig { enabled: o.alt, ..Default::default() },
             ..Default::default()
         },
         registry,

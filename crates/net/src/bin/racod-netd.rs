@@ -3,8 +3,8 @@
 //!
 //! Usage: `racod-netd [--addr 127.0.0.1:0] [--world-seed 7]
 //! [--map-size 128] [--workers 4] [--queue 256] [--units 8]
-//! [--drain-deadline 5s] [--net-drop-ppm N] [--net-corrupt-ppm N]
-//! [--fault-seed S]`
+//! [--alt on|off] [--drain-deadline 5s] [--net-drop-ppm N]
+//! [--net-corrupt-ppm N] [--fault-seed S]`
 //!
 //! The world is rebuilt deterministically from `(--world-seed,
 //! --map-size)`; every shard in a fleet started with the same pair holds
@@ -18,7 +18,7 @@
 
 use racod_fault::{FaultAction, FaultPlan, FaultSite};
 use racod_net::{signals, standard_world, ConnConfig, Netd, NetdConfig};
-use racod_server::ServerConfig;
+use racod_server::{AltConfig, ServerConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -28,6 +28,7 @@ struct Options {
     map_size: u32,
     workers: usize,
     queue: usize,
+    alt: bool,
     drain_deadline: Duration,
     net_drop_ppm: u32,
     net_corrupt_ppm: u32,
@@ -42,6 +43,7 @@ impl Default for Options {
             map_size: 128,
             workers: 4,
             queue: 256,
+            alt: false,
             drain_deadline: Duration::from_secs(5),
             net_drop_ppm: 0,
             net_corrupt_ppm: 0,
@@ -93,6 +95,16 @@ fn parse_args() -> Options {
             "--map-size" => o.map_size = parsed(name, &v),
             "--workers" => o.workers = parsed(name, &v),
             "--queue" => o.queue = parsed(name, &v),
+            "--alt" => {
+                o.alt = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => {
+                        eprintln!("invalid value for --alt: {v} (expected on or off)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--drain-deadline" => o.drain_deadline = parse_duration(name, &v),
             "--net-drop-ppm" => o.net_drop_ppm = parsed(name, &v),
             "--net-corrupt-ppm" => o.net_corrupt_ppm = parsed(name, &v),
@@ -130,7 +142,12 @@ fn main() {
 
     let cfg = NetdConfig {
         addr: o.addr,
-        server: ServerConfig { workers: o.workers, queue_capacity: o.queue, ..Default::default() },
+        server: ServerConfig {
+            workers: o.workers,
+            queue_capacity: o.queue,
+            alt: AltConfig { enabled: o.alt, ..Default::default() },
+            ..Default::default()
+        },
         conn,
         drain_deadline: o.drain_deadline,
     };

@@ -6,9 +6,8 @@
 //! to sandwich every admissible heuristic between zero (Dijkstra) and
 //! perfect information.
 
+use crate::scratch::IntHeap;
 use crate::space::SearchSpace;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A dense map of optimal costs from a source state to every reachable
 /// state.
@@ -29,63 +28,55 @@ pub struct DistanceField<S> {
     source: S,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    index: usize,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
-    }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 impl<S: Copy> DistanceField<S> {
     /// Runs Dijkstra from `source`, visiting every state for which
     /// `is_free` holds. Unreachable (or occupied) states get infinity.
+    ///
+    /// The frontier is the packed-key [`IntHeap`] rather than a
+    /// `BinaryHeap` of float entries: integer key comparisons drop the
+    /// `partial_cmp` branches from the relaxation loop (distance fields are
+    /// built K times per landmark pack, so this is a build-throughput path,
+    /// not just a test helper), and `IntHeap::push` debug-asserts key
+    /// finiteness — a NaN edge cost fails loudly instead of silently
+    /// scrambling the float heap's order.
     pub fn compute<Sp, F>(space: &Sp, source: Sp::State, mut is_free: F) -> DistanceField<Sp::State>
     where
         Sp: SearchSpace<State = S>,
         F: FnMut(Sp::State) -> bool,
     {
         let n = space.state_count();
+        assert!(n < u32::MAX as usize, "state space exceeds u32 heap slots");
         let mut distances = vec![f64::INFINITY; n];
-        let mut heap = BinaryHeap::new();
-        if let Some(si) = space.index(source) {
-            if is_free(source) {
-                distances[si] = 0.0;
-                heap.push(HeapEntry { dist: 0.0, index: si });
-            }
-        }
+        let mut heap = IntHeap::new();
         // Reverse map built lazily alongside the relaxation.
         let mut state_of: Vec<Option<Sp::State>> = vec![None; n];
         if let Some(si) = space.index(source) {
-            state_of[si] = Some(source);
+            if is_free(source) {
+                distances[si] = 0.0;
+                state_of[si] = Some(source);
+                heap.push(si as u32, 0.0, 0.0);
+            }
         }
         let mut neigh: Vec<(Sp::State, f64)> = Vec::with_capacity(32);
-        while let Some(HeapEntry { dist, index }) = heap.pop() {
+        while let Some((slot, dist, _)) = heap.pop() {
+            let index = slot as usize;
             if dist > distances[index] {
-                continue; // stale
+                continue; // stale (lazy deletion)
             }
             let s = state_of[index].expect("queued states are recorded");
             neigh.clear();
             space.neighbors(s, &mut neigh);
             for &(ns, cost) in &neigh {
                 let Some(ni) = space.index(ns) else { continue };
+                debug_assert!(
+                    cost.is_finite() && cost >= 0.0,
+                    "edge costs must be finite and non-negative: {cost}"
+                );
                 let nd = dist + cost;
                 if nd + 1e-12 < distances[ni] && is_free(ns) {
                     distances[ni] = nd;
                     state_of[ni] = Some(ns);
-                    heap.push(HeapEntry { dist: nd, index: ni });
+                    heap.push(ni as u32, nd, 0.0);
                 }
             }
         }
@@ -150,6 +141,35 @@ mod tests {
         assert_eq!(f.distance(Cell2::new(5, 0)), Some(5.0));
         let d = f.distance(Cell2::new(3, 3)).unwrap();
         assert!((d - 3.0 * std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "finite")]
+    fn nan_edge_cost_is_rejected() {
+        // The old BinaryHeap<HeapEntry> ordering swallowed NaN via
+        // `partial_cmp(..).unwrap_or(Equal)`; the IntHeap rebuild must fail
+        // loudly instead.
+        struct NanSpace;
+        impl SearchSpace for NanSpace {
+            type State = Cell2;
+            fn neighbors(&self, s: Cell2, out: &mut Vec<(Cell2, f64)>) {
+                out.push((s.offset(1, 0), f64::NAN));
+            }
+            fn heuristic(&self, _: Cell2, _: Cell2) -> f64 {
+                0.0
+            }
+            fn pair_heuristic(&self, _: Cell2, _: Cell2) -> f64 {
+                0.0
+            }
+            fn index(&self, s: Cell2) -> Option<usize> {
+                (s.x >= 0 && s.x < 4 && s.y == 0).then_some(s.x as usize)
+            }
+            fn state_count(&self) -> usize {
+                4
+            }
+        }
+        let _ = DistanceField::compute(&NanSpace, Cell2::new(0, 0), |_| true);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   asserted exactly;
 //! * [`Heuristic2`]/[`Heuristic3`] — Euclidean, Manhattan, octile/diagonal,
 //!   the non-uniform diagonal of §5.9, and the zero heuristic;
+//! * [`LandmarkPack2`]/[`AltSpace2`] — ALT (landmark / differential)
+//!   heuristics: K precomputed distance fields whose triangle-inequality
+//!   bound is maxed with the configured heuristic, cutting expansions
+//!   toward the perfect-heuristic limit while staying admissible;
 //! * [`CollisionOracle`] — the seam through which collision detection is
 //!   performed per expansion. The baseline oracle checks each eligible
 //!   neighbor on demand; `racod-rasexp` provides the runahead oracle;
@@ -45,6 +49,7 @@ pub mod distance_field;
 pub mod heuristics;
 pub mod incremental;
 pub mod interrupt;
+pub mod landmark;
 pub mod open_list;
 pub mod oracle;
 pub mod pase;
@@ -58,8 +63,10 @@ pub use distance_field::DistanceField;
 pub use heuristics::{Heuristic2, Heuristic3};
 pub use incremental::Replanner;
 pub use interrupt::{Interrupt, InterruptProbe, InterruptReason};
+pub use landmark::{AltSpace2, LandmarkPack2};
 pub use oracle::{BatchFnOracle, CollisionOracle, Direction, ExpansionContext, FnOracle};
 pub use pase::{pase, pase_in, PaseConfig, PaseResult};
+pub use path::{canonical_cost_2d, canonical_cost_3d, canonical_steps_2d, canonical_steps_3d};
 pub use scratch::{IntHeap, SearchScratch};
 pub use space::{Connectivity2, Connectivity3, GridSpace2, GridSpace3, SearchSpace};
 pub use stats::SearchStats;

@@ -41,6 +41,7 @@
 //! the service is bit-identical to the same scenario planned by calling the
 //! planner directly — the workspace test `determinism.rs` proves it.
 
+pub mod alt;
 pub mod breaker;
 pub mod metrics;
 pub mod registry;
@@ -50,9 +51,10 @@ pub mod scheduler;
 pub mod speculate;
 pub mod worker;
 
+pub use alt::AltConfig;
 pub use breaker::{BreakerConfig, BreakerEvent, Breakers, CircuitBreaker, Route};
 pub use metrics::{LatencyHistogram, ServerMetrics};
-pub use registry::{Artifacts2, MapData, MapEntry, MapRegistry};
+pub use registry::{AltFetch, Artifacts2, MapData, MapEntry, MapRegistry};
 pub use request::{
     MapId, Outcome, PlanRequest, PlanResponse, Planned, PlannedPath, Platform, Priority, Rejected,
     RequestId, TimeoutStage, Workload,
@@ -107,6 +109,10 @@ pub struct ServerConfig {
     /// `enabled` flag is the kill switch: off means no speculator threads
     /// and no memo consultation anywhere.
     pub speculation: SpeculationConfig,
+    /// ALT landmark heuristics (see [`alt`]). Off by default: landmarks
+    /// keep optimal plan costs bit-identical but may return a different
+    /// equal-cost path than a direct planner call.
+    pub alt: AltConfig,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +129,7 @@ impl Default for ServerConfig {
             shed_infeasible: true,
             shed_min_samples: 32,
             speculation: SpeculationConfig::default(),
+            alt: AltConfig::default(),
         }
     }
 }
@@ -196,10 +203,12 @@ pub struct PlanServer {
     cfg: ServerConfig,
     ingress_tx: Option<Sender<Admitted>>,
     spec_tx: Option<Sender<speculate::SpecTask>>,
+    alt_tx: Option<Sender<alt::AltTask>>,
     shutdown: Arc<AtomicBool>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     speculators: Vec<JoinHandle<()>>,
+    rebuilders: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
     next_seq: AtomicU64,
     epoch: Instant,
@@ -225,6 +234,7 @@ impl PlanServer {
             fault: cfg.fault_plan.clone(),
             respawn: cfg.respawn,
             speculation: cfg.speculation.clone(),
+            alt: cfg.alt,
         };
         let mut worker_txs = Vec::with_capacity(cfg.workers);
         let mut workers = Vec::with_capacity(cfg.workers);
@@ -274,6 +284,27 @@ impl PlanServer {
             }
         }
 
+        // ALT rebuilder: deltas enqueue their map here (best effort), and
+        // the rebuilder re-derives any stale landmark pack off the request
+        // path so plans fall back to octile only while a rebuild is in
+        // flight, never indefinitely.
+        let mut alt_tx = None;
+        let mut rebuilders = Vec::new();
+        if cfg.alt.enabled && cfg.workers > 0 {
+            let (tx, rx) = bounded::<alt::AltTask>(cfg.queue_capacity.max(1));
+            alt_tx = Some(tx);
+            let registry = registry.clone();
+            let shutdown = shutdown.clone();
+            let alt_cfg = cfg.alt;
+            let metrics = metrics.clone();
+            rebuilders.push(
+                std::thread::Builder::new()
+                    .name("racod-alt-rebuilder".into())
+                    .spawn(move || alt::rebuilder_loop(rx, registry, shutdown, alt_cfg, metrics))
+                    .expect("spawn alt rebuilder"),
+            );
+        }
+
         PlanServer {
             registry,
             metrics,
@@ -281,10 +312,12 @@ impl PlanServer {
             cfg,
             ingress_tx: Some(ingress_tx),
             spec_tx,
+            alt_tx,
             shutdown,
             dispatcher: Some(dispatcher),
             workers,
             speculators,
+            rebuilders,
             next_id: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
             epoch: Instant::now(),
@@ -325,6 +358,12 @@ impl PlanServer {
         let (version, changed) = self.registry.apply_deltas2(id, deltas)?;
         self.metrics.deltas_applied.fetch_add(changed as u64, Ordering::Relaxed);
         self.metrics.map_version.fetch_max(version, Ordering::Relaxed);
+        // Wake the ALT rebuilder for this map: its landmark pack (if one
+        // was ever requested) is now version-fenced stale. Best effort — a
+        // full channel just means a rebuild order is already queued.
+        if let Some(tx) = &self.alt_tx {
+            let _ = tx.try_send(id.clone());
+        }
         Some((version, changed))
     }
 
@@ -444,6 +483,7 @@ impl Drop for PlanServer {
         // side channel (or the shutdown flag) and exit too.
         self.ingress_tx.take();
         self.spec_tx.take();
+        self.alt_tx.take();
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
         }
@@ -452,6 +492,9 @@ impl Drop for PlanServer {
         }
         for s in self.speculators.drain(..) {
             let _ = s.join();
+        }
+        for r in self.rebuilders.drain(..) {
+            let _ = r.join();
         }
     }
 }

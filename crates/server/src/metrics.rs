@@ -262,6 +262,15 @@ pub struct ServerMetrics {
     /// Highest map version observed across all maps (0 while every map is
     /// still at its as-registered state).
     pub map_version: AtomicU64,
+    /// ALT landmark packs built (lazy cold builds plus background rebuilds
+    /// after map deltas).
+    pub alt_packs_built: AtomicU64,
+    /// Plans that ran octile-only because the map's landmark pack was
+    /// version-fenced stale (or still building) at admission.
+    pub alt_pack_fallbacks: AtomicU64,
+    /// Heuristic evaluations where the landmark bound strictly beat the
+    /// configured base heuristic (the ALT subsystem's useful work).
+    pub alt_expansions_saved: AtomicU64,
     /// Time from submission to dispatch.
     pub queue_wait: LatencyHistogram,
     /// Time executing on a worker.
@@ -271,7 +280,7 @@ pub struct ServerMetrics {
 }
 
 /// Number of counters exposed by [`ServerMetrics::counters`].
-const COUNTERS: usize = 41;
+const COUNTERS: usize = 44;
 
 impl ServerMetrics {
     /// Fresh zeroed metrics.
@@ -326,6 +335,9 @@ impl ServerMetrics {
             ("incremental_repairs", &self.incremental_repairs),
             ("replans_from_scratch", &self.replans_from_scratch),
             ("map_version", &self.map_version),
+            ("alt_packs_built", &self.alt_packs_built),
+            ("alt_pack_fallbacks", &self.alt_pack_fallbacks),
+            ("alt_expansions_saved", &self.alt_expansions_saved),
         ]
     }
 
@@ -668,6 +680,18 @@ mod tests {
         assert!(text.contains("racod_server_batch_size_gt_8 2"));
         // 30 memo hits over 30 + 70 native lookups.
         assert!((m.speculation_hit_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn landmark_keys_render() {
+        let m = ServerMetrics::new();
+        m.alt_packs_built.fetch_add(2, Ordering::Relaxed);
+        m.alt_pack_fallbacks.fetch_add(5, Ordering::Relaxed);
+        m.alt_expansions_saved.fetch_add(1234, Ordering::Relaxed);
+        let text = m.render_text();
+        assert!(text.contains("racod_server_alt_packs_built 2"));
+        assert!(text.contains("racod_server_alt_pack_fallbacks 5"));
+        assert!(text.contains("racod_server_alt_expansions_saved 1234"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use racod_fault::{FaultPlan, FaultSite};
 use racod_geom::Cell2;
 use racod_grid::inflate::inflate_chebyshev;
 use racod_grid::{BitGrid2, BitGrid3, GridDelta2, Occupancy2, Occupancy3};
-use racod_search::{DistanceField, GridSpace2};
+use racod_search::{DistanceField, GridSpace2, LandmarkPack2};
 use racod_sim::{TemplateCache2, TemplateCache3};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,6 +164,31 @@ impl Artifacts2 {
     }
 }
 
+/// A landmark pack stamped with the map version it was derived from. The
+/// stamp is the fence: a pack is only handed out to a plan whose snapshot
+/// version matches, so stale distances can never un-admissify a search.
+#[derive(Debug)]
+struct AltPackSlot {
+    /// Map version the pack's distance fields were computed against.
+    version: u64,
+    /// `None` when the map had no free cell at that version (landmark
+    /// selection has nothing to seed from).
+    pack: Option<Arc<LandmarkPack2>>,
+}
+
+/// Outcome of a version-fenced landmark-pack fetch
+/// ([`MapEntry::landmark_pack2`]).
+#[derive(Debug, Clone)]
+pub enum AltFetch {
+    /// A pack built against exactly the requested map version.
+    Ready(Arc<LandmarkPack2>),
+    /// A pack exists but was built for a different version: the caller
+    /// must plan octile-only until the background rebuilder catches up.
+    Stale,
+    /// Landmarks don't apply (3D map, or no free cell at this version).
+    Absent,
+}
+
 /// Stable per-map token for fault-injection decisions (FNV-1a of the id).
 fn id_token(id: &MapId) -> u64 {
     fnv1a(0xcbf2_9ce4_8422_2325, id.as_str().as_bytes())
@@ -211,6 +236,12 @@ pub struct MapEntry {
     // than a `OnceLock` so that checksum verification can *invalidate* a
     // corrupted bundle and force a rebuild.
     artifacts2: RwLock<Option<Option<Arc<Artifacts2>>>>,
+    // Version-stamped ALT landmark pack: `None` until a plan first asks for
+    // landmarks on this map. Deltas never touch the slot — the version
+    // stamp alone fences stale packs, and the background rebuilder
+    // republishes a fresh one.
+    alt2: RwLock<Option<AltPackSlot>>,
+    alt_builds: AtomicU64,
     artifact_builds: AtomicU64,
     artifact_patches: AtomicU64,
     corruptions: AtomicU64,
@@ -228,6 +259,8 @@ impl MapEntry {
             version2: AtomicU64::new(0),
             journal: Mutex::new(VecDeque::new()),
             artifacts2: RwLock::new(None),
+            alt2: RwLock::new(None),
+            alt_builds: AtomicU64::new(0),
             artifact_builds: AtomicU64::new(0),
             artifact_patches: AtomicU64::new(0),
             corruptions: AtomicU64::new(0),
@@ -492,6 +525,107 @@ impl MapEntry {
         };
         self.artifact_patches.fetch_add(1, Ordering::Relaxed);
         *slot = Some(Artifacts2::patched(prev, &grid, changed).map(Arc::new));
+    }
+
+    fn build_landmark_pack(grid: &BitGrid2, k: usize) -> Option<Arc<LandmarkPack2>> {
+        LandmarkPack2::build(grid.width(), grid.height(), k, |c| grid.occupied(c) == Some(false))
+            .map(Arc::new)
+    }
+
+    /// The map's landmark pack, version-fenced: returns
+    /// [`AltFetch::Ready`] only when the cached pack was derived from
+    /// exactly the grid published under `want_version` (the caller's plan
+    /// snapshot). The first call on a map builds synchronously under the
+    /// slot's write lock — deterministic for callers, and concurrent
+    /// requests against the same cold map coalesce into one build. After a
+    /// delta the slot goes [`AltFetch::Stale`] by version mismatch alone
+    /// (deltas never write the slot) until [`rebuild_landmarks2`]
+    /// republishes.
+    ///
+    /// The second tuple element reports whether *this* call performed the
+    /// cold build (for the `alt_packs_built` metric).
+    ///
+    /// [`rebuild_landmarks2`]: Self::rebuild_landmarks2
+    pub fn landmark_pack2(&self, k: usize, want_version: u64) -> (AltFetch, bool) {
+        let fetch = |slot: &AltPackSlot| {
+            if slot.version != want_version {
+                AltFetch::Stale
+            } else {
+                match &slot.pack {
+                    Some(p) => AltFetch::Ready(p.clone()),
+                    None => AltFetch::Absent,
+                }
+            }
+        };
+        if let Some(slot) = self.alt2.read().as_ref() {
+            return (fetch(slot), false);
+        }
+        let mut guard = self.alt2.write();
+        if let Some(slot) = guard.as_ref() {
+            // Raced with another cold builder; use its result.
+            return (fetch(slot), false);
+        }
+        // The snapshot is taken *inside* the write lock, so the stamped
+        // version is exactly the grid the fields were computed from (a
+        // delta landing mid-build blocks on `data` only after this read,
+        // and publishes a higher version that fences this pack).
+        let Some((grid, version)) = self.snapshot2() else {
+            *guard = Some(AltPackSlot { version: 0, pack: None });
+            return (AltFetch::Absent, false);
+        };
+        let pack = Self::build_landmark_pack(&grid, k);
+        let built = pack.is_some();
+        if built {
+            self.alt_builds.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = AltPackSlot { version, pack };
+        let result = fetch(&slot);
+        *guard = Some(slot);
+        (result, built)
+    }
+
+    /// Re-derives a stale landmark pack against the current grid; the
+    /// background rebuilder calls this after a delta. Builds happen
+    /// *outside* the slot lock (a Dijkstra per landmark is milliseconds on
+    /// large maps; readers keep falling back to octile meanwhile) and the
+    /// publish is version-checked, so a racing rebuild can never clobber a
+    /// fresher pack with an older one. Loops until the pack is current —
+    /// deltas landing mid-build are coalesced into one more rebuild.
+    ///
+    /// Returns `true` if at least one pack was published. Maps whose pack
+    /// was never requested stay lazily unbuilt.
+    pub fn rebuild_landmarks2(&self, k: usize) -> bool {
+        let mut published = false;
+        loop {
+            let built_for = match self.alt2.read().as_ref() {
+                None => return published,
+                Some(slot) => slot.version,
+            };
+            let Some((grid, version)) = self.snapshot2() else {
+                return published;
+            };
+            if built_for >= version {
+                return published;
+            }
+            let pack = Self::build_landmark_pack(&grid, k);
+            {
+                let mut guard = self.alt2.write();
+                let newer = matches!(guard.as_ref(), Some(slot) if slot.version >= version);
+                if !newer {
+                    if pack.is_some() {
+                        self.alt_builds.fetch_add(1, Ordering::Relaxed);
+                    }
+                    *guard = Some(AltPackSlot { version, pack });
+                    published = true;
+                }
+            }
+        }
+    }
+
+    /// How many landmark packs were built for this entry (cold builds plus
+    /// rebuilds) — proves laziness and coalescing in tests.
+    pub fn alt_builds(&self) -> u64 {
+        self.alt_builds.load(Ordering::Relaxed)
     }
 }
 
@@ -813,6 +947,55 @@ mod tests {
             .apply_deltas2(&MapId::new("c"), &[GridDelta2::Appear { cell: Cell2::new(1, 1) }])
             .is_none());
         assert!(reg.apply_deltas2(&MapId::new("nope"), &[]).is_none());
+    }
+
+    #[test]
+    fn landmark_pack_is_lazy_fenced_and_rebuilt() {
+        let reg = MapRegistry::new();
+        let entry = reg.insert_grid2("m", city_map(CityName::Boston, 64, 64));
+        assert_eq!(entry.alt_builds(), 0, "pack must be lazy");
+
+        // Cold build at v0, then cached (same Arc, no second build).
+        let (f, built) = entry.landmark_pack2(4, 0);
+        assert!(built, "first fetch performs the cold build");
+        let AltFetch::Ready(pack) = f else { panic!("cold fetch must be ready") };
+        assert!(!pack.landmarks().is_empty());
+        let (f2, built2) = entry.landmark_pack2(4, 0);
+        assert!(!built2);
+        let AltFetch::Ready(p2) = f2 else { panic!("cached fetch must be ready") };
+        assert!(Arc::ptr_eq(&pack, &p2), "cached, not rebuilt");
+        assert_eq!(entry.alt_builds(), 1);
+
+        // A delta fences the pack by version mismatch alone: plans against
+        // the new world fall back, plans still holding the old snapshot
+        // keep their matching pack.
+        let free = first_free_cell(&entry.grid2().unwrap()).unwrap();
+        entry.apply_deltas2(&[GridDelta2::Appear { cell: free }]).unwrap();
+        let v1 = entry.version2();
+        assert!(matches!(entry.landmark_pack2(4, v1).0, AltFetch::Stale));
+        assert!(matches!(entry.landmark_pack2(4, 0).0, AltFetch::Ready(_)));
+        assert_eq!(entry.alt_builds(), 1, "fetch never rebuilds");
+
+        // The rebuilder republishes at the current version; the old
+        // version is now the fenced one.
+        assert!(entry.rebuild_landmarks2(4));
+        assert!(matches!(entry.landmark_pack2(4, v1).0, AltFetch::Ready(_)));
+        assert!(matches!(entry.landmark_pack2(4, 0).0, AltFetch::Stale));
+        assert_eq!(entry.alt_builds(), 2);
+        assert!(!entry.rebuild_landmarks2(4), "fresh pack needs no rebuild");
+        assert_eq!(entry.alt_builds(), 2);
+    }
+
+    #[test]
+    fn landmark_pack_absent_for_3d_and_lazy_until_requested() {
+        let reg = MapRegistry::new();
+        let e3 = reg.insert_grid3("c", campus_3d(2, 24, 24, 12));
+        let (f, built) = e3.landmark_pack2(4, 0);
+        assert!(matches!(f, AltFetch::Absent));
+        assert!(!built);
+        let e2 = reg.insert_grid2("m", city_map(CityName::Paris, 64, 64));
+        assert!(!e2.rebuild_landmarks2(4), "unrequested pack stays lazily unbuilt");
+        assert_eq!(e2.alt_builds(), 0);
     }
 
     #[test]

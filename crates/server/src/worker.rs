@@ -30,7 +30,8 @@ use racod_fault::{mix64, FaultPlan, FaultSite};
 use racod_geom::{Cell2, Cell3, FootprintTemplate2, FootprintTemplate3};
 use racod_parallel::{ParallelConfig, ParallelPlanner, WorkerPool};
 use racod_search::{
-    GridSpace2, GridSpace3, Interrupt, InterruptReason, SearchScratch, SearchStats, Termination,
+    AltSpace2, GridSpace2, GridSpace3, Interrupt, InterruptReason, SearchScratch, SearchStats,
+    Termination,
 };
 use racod_sim::oracle::CheckProbe;
 use racod_sim::planner::{
@@ -85,6 +86,10 @@ pub struct WorkerContext {
     /// Service-scope speculation tuning; `enabled: false` keeps workers
     /// from ever consulting the precheck memos (the kill switch).
     pub speculation: crate::speculate::SpeculationConfig,
+    /// ALT landmark-heuristic tuning; `enabled: false` (the default) keeps
+    /// every search octile-guided and bit-identical to a direct planner
+    /// call.
+    pub alt: crate::alt::AltConfig,
 }
 
 /// A batch of same-map requests handed to one worker.
@@ -311,6 +316,7 @@ fn worker_loop(
                     &mut warm,
                     metrics,
                     ctx.speculation.enabled,
+                    ctx.alt,
                 )
             }));
             let service_time = Instant::now().duration_since(now);
@@ -411,6 +417,7 @@ fn execute(
     warm: &mut WarmState,
     metrics: &Arc<ServerMetrics>,
     speculation: bool,
+    alt: crate::alt::AltConfig,
 ) -> (Planned, Termination) {
     // Thread the request's interrupt into the search configuration; the
     // request itself is never mutated, and an unfired interrupt leaves the
@@ -470,12 +477,36 @@ fn execute(
                         );
                     }
                 }
+                // Version-fenced landmark fetch: the pack guides this plan
+                // only if it was derived from exactly the snapshot grid
+                // (`v0`). A stale or still-building pack means an octile
+                // fallback — counted, never blocked on: the background
+                // rebuilder republishes off the request path.
+                let alt_pack = if alt.enabled {
+                    let (fetch, built) = entry.landmark_pack2(alt.landmarks, v0);
+                    if built {
+                        metrics.alt_packs_built.fetch_add(1, Ordering::Relaxed);
+                    }
+                    match fetch {
+                        crate::registry::AltFetch::Ready(p) => Some(p),
+                        crate::registry::AltFetch::Stale => {
+                            metrics.alt_pack_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                        crate::registry::AltFetch::Absent => None,
+                    }
+                } else {
+                    None
+                };
                 let mut sc = Scenario2::new(&grid)
                     .with_astar(astar.clone())
                     .with_template_cache(entry.template_cache2());
                 sc.footprint = *footprint;
                 sc.start = *start;
                 sc.goal = *goal;
+                if let Some(pack) = &alt_pack {
+                    sc = sc.with_landmarks(pack.clone());
+                }
                 // The mid-check fault site instruments the *accelerated*
                 // checker paths (RACOD's timed oracle, the Threads pool
                 // closure); the plain software path stays trusted so
@@ -498,6 +529,9 @@ fn execute(
                         );
                         record_tstats(metrics, out.tstats);
                         record_sstats(metrics, &out.result.stats);
+                        metrics
+                            .alt_expansions_saved
+                            .fetch_add(out.alt_tightened, Ordering::Relaxed);
                         planned2(out, false)
                     }
                     Platform::Racod { units } => {
@@ -511,6 +545,9 @@ fn execute(
                         warm.put_back(&sc_map_id(entry), units, pool);
                         record_tstats(metrics, out.tstats);
                         record_sstats(metrics, &out.result.stats);
+                        metrics
+                            .alt_expansions_saved
+                            .fetch_add(out.alt_tightened, Ordering::Relaxed);
                         planned2(out, was_warm)
                     }
                     Platform::Threads { threads, runahead } => {
@@ -566,9 +603,12 @@ fn execute(
                             },
                             pool.clone(),
                         );
-                        let space = GridSpace2::eight_connected(
-                            racod_grid::Occupancy2::width(sc.grid),
-                            racod_grid::Occupancy2::height(sc.grid),
+                        let space = AltSpace2::new(
+                            GridSpace2::eight_connected(
+                                racod_grid::Occupancy2::width(sc.grid),
+                                racod_grid::Occupancy2::height(sc.grid),
+                            ),
+                            alt_pack.as_deref(),
                         );
                         let run = planner.plan_config_in(
                             &space,
@@ -577,6 +617,9 @@ fn execute(
                             &astar,
                             &mut warm.scratch2,
                         );
+                        metrics
+                            .alt_expansions_saved
+                            .fetch_add(space.tightened(), Ordering::Relaxed);
                         metrics.check_pool_panics.fetch_add(
                             pool.check_panics().saturating_sub(pool_panics_before),
                             Ordering::Relaxed,

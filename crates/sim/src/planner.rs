@@ -15,7 +15,10 @@ use racod_geom::{Cell2, Cell3, FootprintTemplate2, FootprintTemplate3};
 use racod_grid::{BitGrid2, BitGrid3, Occupancy2, Occupancy3};
 use racod_mem::{CacheConfig, CacheStats, LatencyModel};
 use racod_rasexp::RasexpStats;
-use racod_search::{astar_in, AstarConfig, GridSpace2, GridSpace3, SearchResult, SearchScratch};
+use racod_search::{
+    astar_in, AltSpace2, AstarConfig, GridSpace2, GridSpace3, LandmarkPack2, SearchResult,
+    SearchScratch,
+};
 use std::sync::Arc;
 
 /// A 2D planning scenario: grid + footprint + endpoints + search config.
@@ -39,6 +42,12 @@ pub struct Scenario2<'g> {
     /// Optional probe run before every collision check (fault injection /
     /// instrumentation). Empty by default and free when empty.
     pub check_probe: CheckProbeSlot,
+    /// Optional ALT landmark pack: when present, every 2D plan entry point
+    /// maxes the configured heuristic with the pack's triangle-inequality
+    /// bound (admissible, so paths stay optimal — only expansion order and
+    /// equal-cost path choice may change). `None` is a bit-identical
+    /// passthrough of the configured heuristic.
+    pub alt: Option<Arc<LandmarkPack2>>,
 }
 
 impl<'g> Scenario2<'g> {
@@ -55,6 +64,7 @@ impl<'g> Scenario2<'g> {
             astar: AstarConfig::default(),
             tcache: None,
             check_probe: CheckProbeSlot::default(),
+            alt: None,
         }
     }
 
@@ -115,6 +125,13 @@ impl<'g> Scenario2<'g> {
     /// Attaches a probe run before every collision check.
     pub fn with_check_probe(mut self, probe: CheckProbe) -> Self {
         self.check_probe = CheckProbeSlot(Some(probe));
+        self
+    }
+
+    /// Guides the search with an ALT landmark pack (built for this grid's
+    /// dimensions; the plan entry points panic on a mismatch).
+    pub fn with_landmarks(mut self, pack: Arc<LandmarkPack2>) -> Self {
+        self.alt = Some(pack);
         self
     }
 }
@@ -340,6 +357,9 @@ pub struct PlanOutcome<S> {
     pub l0_stats: Option<CacheStats>,
     /// Template-cache hit/miss counts for this run's collision checks.
     pub tstats: TemplateStats,
+    /// Heuristic evaluations where the ALT landmark bound strictly beat
+    /// the configured heuristic (0 when no pack was attached).
+    pub alt_tightened: u64,
 }
 
 /// Per-run template supplier: shared cache + a last-key memo so the common
@@ -557,9 +577,10 @@ pub fn plan_software_2d_in(
         None => TimedOracleConfig::baseline(threads),
         Some(depth) => TimedOracleConfig::runahead_depth(threads, depth),
     };
-    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config)
-        .with_check_probe(sc.check_probe.0.clone());
-    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
+    let space = AltSpace2::new(sc.space, sc.alt.as_deref());
+    let mut oracle =
+        TimedOracle::new(&space, checker, *cost, config).with_check_probe(sc.check_probe.0.clone());
+    let result = astar_in(&space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
         result,
@@ -568,6 +589,7 @@ pub fn plan_software_2d_in(
         stats: oracle.stats().clone(),
         l0_stats: None,
         tstats,
+        alt_tightened: space.tightened(),
     }
 }
 
@@ -621,9 +643,10 @@ pub fn plan_racod_2d_ext_in(
     } else {
         TimedOracleConfig::baseline(units)
     };
-    let mut oracle = TimedOracle::new(&sc.space, checker, *cost, config)
-        .with_check_probe(sc.check_probe.0.clone());
-    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
+    let space = AltSpace2::new(sc.space, sc.alt.as_deref());
+    let mut oracle =
+        TimedOracle::new(&space, checker, *cost, config).with_check_probe(sc.check_probe.0.clone());
+    let result = astar_in(&space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
@@ -633,6 +656,7 @@ pub fn plan_racod_2d_ext_in(
         stats: oracle.stats().clone(),
         l0_stats,
         tstats,
+        alt_tightened: space.tightened(),
     }
 }
 
@@ -667,10 +691,10 @@ pub fn plan_racod_2d_pooled_in(
         pool,
         scratch: Vec::new(),
     };
-    let mut oracle =
-        TimedOracle::new(&sc.space, checker, *cost, TimedOracleConfig::runahead(units))
-            .with_check_probe(sc.check_probe.0.clone());
-    let result = astar_in(&sc.space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
+    let space = AltSpace2::new(sc.space, sc.alt.as_deref());
+    let mut oracle = TimedOracle::new(&space, checker, *cost, TimedOracleConfig::runahead(units))
+        .with_check_probe(sc.check_probe.0.clone());
+    let result = astar_in(&space, sc.start, sc.goal, &sc.astar, &mut oracle, scratch);
     let l0_stats = Some(oracle.checker().pool.mem().l0_stats_total());
     let tstats = oracle.checker().tpls.stats;
     PlanOutcome {
@@ -680,6 +704,7 @@ pub fn plan_racod_2d_pooled_in(
         stats: oracle.stats().clone(),
         l0_stats,
         tstats,
+        alt_tightened: space.tightened(),
     }
 }
 
@@ -722,6 +747,7 @@ pub fn plan_racod_3d_pooled_in(
         stats: oracle.stats().clone(),
         l0_stats,
         tstats,
+        alt_tightened: 0,
     }
 }
 
@@ -761,6 +787,7 @@ pub fn plan_software_3d_in(
         stats: oracle.stats().clone(),
         l0_stats: None,
         tstats,
+        alt_tightened: 0,
     }
 }
 
@@ -820,6 +847,7 @@ pub fn plan_racod_3d_ext_in(
         stats: oracle.stats().clone(),
         l0_stats,
         tstats,
+        alt_tightened: 0,
     }
 }
 
