@@ -1,0 +1,263 @@
+//! `racod-cli bench-trend`: diff the committed `BENCH_*.json` reports
+//! between two revisions and optionally gate on regressions.
+//!
+//! The bench harnesses commit their JSON reports to the repo root, which
+//! makes the git history itself the perf-trend database: `git show
+//! REV:FILE` is the lookup. This subcommand flattens each report to
+//! dotted numeric keys (`engines.astar.warm_plans_per_sec`), prints
+//! base → head with a signed delta, and — with `--gate-pct P` — exits
+//! nonzero when any *directional* key moves the wrong way by more than
+//! P percent.
+//!
+//! Direction is inferred from the key name: `ns`, `_us`, `_ms`, and
+//! `cycles` mean lower-is-better; `per_sec`, `speedup`, `rate`, and
+//! `agreement` mean higher-is-better. Keys matching neither (counts,
+//! sizes, configuration echoes) are reported but never gated.
+
+use crate::json::{parse, Json};
+use std::fmt::Write as _;
+use std::process::Command;
+
+struct TrendArgs {
+    base: String,
+    head: String,
+    files: Vec<String>,
+    gate_pct: Option<f64>,
+}
+
+fn parse_args(args: &[String]) -> Result<TrendArgs, String> {
+    let mut t = TrendArgs {
+        base: "HEAD".to_string(),
+        head: "worktree".to_string(),
+        files: Vec::new(),
+        gate_pct: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        let mut val = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a {
+            "--base" => t.base = val(a)?,
+            "--head" => t.head = val(a)?,
+            "--gate-pct" => {
+                let v = val(a)?;
+                t.gate_pct =
+                    Some(v.parse().map_err(|_| format!("invalid value for --gate-pct: {v}"))?);
+            }
+            _ if a.starts_with("--") => return Err(format!("unknown bench-trend flag {a}")),
+            _ => t.files.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if t.files.is_empty() {
+        t.files = vec!["BENCH_codacc.json".to_string(), "BENCH_search.json".to_string()];
+    }
+    Ok(t)
+}
+
+/// Loads one report from a revision (`git show REV:FILE`) or, for the
+/// special revision `worktree`, straight from the filesystem. Paths must
+/// be repo-relative for the git lookup to work.
+fn load(rev: &str, file: &str) -> Result<Json, String> {
+    let text = if rev == "worktree" {
+        std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?
+    } else {
+        let out = Command::new("git")
+            .args(["show", &format!("{rev}:{file}")])
+            .output()
+            .map_err(|e| format!("git show: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git show {rev}:{file} failed: {}",
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        String::from_utf8(out.stdout).map_err(|_| format!("{rev}:{file}: not utf-8"))?
+    };
+    parse(&text).map_err(|e| format!("{rev}:{file}: {e}"))
+}
+
+/// Flattens numeric leaves to dotted keys. Array elements that are
+/// objects carrying an identifying string field (`engine`, `name`, or
+/// `bench`) are keyed by it, so `engines.astar.warm_plans_per_sec`
+/// survives reordering; anything else falls back to the index.
+fn flatten(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match v {
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        Json::Obj(m) => {
+            for (k, child) in m {
+                flatten(&join(k), child, out);
+            }
+        }
+        Json::Arr(a) => {
+            for (idx, child) in a.iter().enumerate() {
+                let label = ["engine", "name", "bench"]
+                    .iter()
+                    .find_map(|f| child.get(f).and_then(Json::as_str).map(str::to_string))
+                    .unwrap_or_else(|| idx.to_string());
+                flatten(&join(&label), child, out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+    Neutral,
+}
+
+fn direction(key: &str) -> Direction {
+    // Match whole `_`-separated tokens, not substrings: `expansions_per_plan`
+    // must not read as a latency just because "ns" appears inside it.
+    let leaf = key.rsplit('.').next().unwrap_or(key);
+    let tokens: Vec<&str> = leaf.split('_').collect();
+    if leaf.ends_with("per_sec")
+        || tokens.iter().any(|t| matches!(*t, "speedup" | "rate" | "agreement"))
+    {
+        Direction::HigherIsBetter
+    } else if tokens.iter().any(|t| matches!(*t, "ns" | "us" | "ms" | "cycles")) {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// One file's trend table plus any gate violations.
+fn diff_file(file: &str, base: &Json, head: &Json, gate_pct: Option<f64>) -> (String, Vec<String>) {
+    let mut b = Vec::new();
+    let mut h = Vec::new();
+    flatten("", base, &mut b);
+    flatten("", head, &mut h);
+    let base_map: std::collections::BTreeMap<&str, f64> =
+        b.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+    let mut out = String::new();
+    let mut violations = Vec::new();
+    let _ = writeln!(out, "{file}:");
+    for (key, head_v) in &h {
+        let Some(&base_v) = base_map.get(key.as_str()) else {
+            let _ = writeln!(out, "  {key:<44} {:>12}  (new)", fmt_num(*head_v));
+            continue;
+        };
+        let delta_pct = if base_v == 0.0 {
+            if *head_v == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (head_v - base_v) / base_v.abs() * 100.0
+        };
+        let dir = direction(key);
+        let marker = match dir {
+            Direction::Neutral => " ",
+            Direction::LowerIsBetter if delta_pct < 0.0 => "+",
+            Direction::HigherIsBetter if delta_pct > 0.0 => "+",
+            _ if delta_pct == 0.0 => " ",
+            _ => "-",
+        };
+        let _ = writeln!(
+            out,
+            "  {key:<44} {:>12} -> {:>12}  {delta_pct:>+8.2}% {marker}",
+            fmt_num(base_v),
+            fmt_num(*head_v),
+        );
+        if let Some(limit) = gate_pct {
+            let regressed = match dir {
+                Direction::LowerIsBetter => delta_pct > limit,
+                Direction::HigherIsBetter => delta_pct < -limit,
+                Direction::Neutral => false,
+            };
+            if regressed {
+                violations
+                    .push(format!("{file}: {key} regressed {delta_pct:+.2}% (limit ±{limit}%)"));
+            }
+        }
+    }
+    for (key, base_v) in &b {
+        if !h.iter().any(|(k, _)| k == key) {
+            let _ = writeln!(out, "  {key:<44} {:>12} -> (gone)", fmt_num(*base_v));
+        }
+    }
+    (out, violations)
+}
+
+/// Entry point for `racod-cli bench-trend`.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let t = parse_args(args)?;
+    let mut all_violations = Vec::new();
+    for file in &t.files {
+        let base = load(&t.base, file)?;
+        let head = load(&t.head, file)?;
+        let (table, violations) = diff_file(file, &base, &head, t.gate_pct);
+        print!("{table}");
+        all_violations.extend(violations);
+    }
+    if !all_violations.is_empty() {
+        return Err(format!("bench-trend gate failed:\n  {}", all_violations.join("\n  ")));
+    }
+    if let Some(limit) = t.gate_pct {
+        println!("bench-trend gate passed (±{limit}%)");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        parse(text).unwrap()
+    }
+
+    #[test]
+    fn flatten_keys_arrays_by_engine_name() {
+        let v = doc(r#"{"engines":[{"engine":"astar","warm_plans_per_sec":100}],"n":2}"#);
+        let mut out = Vec::new();
+        flatten("", &v, &mut out);
+        assert!(out.contains(&("engines.astar.warm_plans_per_sec".to_string(), 100.0)));
+        assert!(out.contains(&("n".to_string(), 2.0)));
+    }
+
+    #[test]
+    fn directions_follow_key_names() {
+        assert!(matches!(direction("a.scalar_ns_per_check"), Direction::LowerIsBetter));
+        assert!(matches!(direction("churn.scratch_plans_per_sec"), Direction::HigherIsBetter));
+        assert!(matches!(direction("alt.expansion_reduction"), Direction::Neutral));
+        assert!(matches!(direction("engines.pase.warm_speedup"), Direction::HigherIsBetter));
+    }
+
+    #[test]
+    fn gate_flags_only_wrong_direction_moves() {
+        let base = doc(r#"{"x_ns":100.0,"y_per_sec":100.0,"count":5}"#);
+        // x_ns got faster (good), y_per_sec fell 20% (bad), count moved
+        // (neutral, never gated).
+        let head = doc(r#"{"x_ns":50.0,"y_per_sec":80.0,"count":9}"#);
+        let (_, violations) = diff_file("f", &base, &head, Some(10.0));
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("y_per_sec"), "{violations:?}");
+        let (_, none) = diff_file("f", &base, &head, Some(25.0));
+        assert!(none.is_empty());
+    }
+}

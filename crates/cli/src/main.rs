@@ -1,0 +1,122 @@
+//! `racod-cli`: operator tooling around RACOD trace files and committed
+//! benchmark reports.
+//!
+//! Three subcommands:
+//!
+//! * `replay TRACE [--remote ADDR] [--lenient-timing]` — rebuild the
+//!   recorded world, re-arm the recorded fault seed, re-apply map deltas
+//!   at their recorded version boundaries, and re-drive every recorded
+//!   request, asserting the outcome sequence and the canonical cost
+//!   digest are bit-identical to the recording. `--remote` drives a live
+//!   `racod-netd` instead of an in-process server.
+//! * `query TRACE [--tenant T] [--map M] [--outcome K]` — summarize a
+//!   trace: outcome counts, per-map traffic, latency quantiles.
+//! * `bench-trend [FILES..] [--base REV] [--head REV|worktree]
+//!   [--gate-pct P]` — diff committed `BENCH_*.json` between revisions;
+//!   with `--gate-pct`, exit nonzero on directional regressions.
+//!
+//! Argument parsing is hand-rolled (the workspace vendors no CLI
+//! framework); exit code 2 means bad usage, 1 means the command ran and
+//! failed its check, 0 means success.
+
+mod bench_trend;
+mod json;
+mod query;
+
+use racod_net::{replay_local, replay_remote, ReplayOptions};
+use racod_server::read_trace;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+usage: racod-cli <command> [args]
+
+commands:
+  replay TRACE [--remote ADDR] [--lenient-timing]
+      Re-drive a recorded run and assert bit-identical answers.
+  query TRACE [--tenant T] [--map M] [--outcome K]
+      Summarize a trace: outcomes, maps, latency quantiles.
+  bench-trend [FILES..] [--base REV] [--head REV|worktree] [--gate-pct P]
+      Diff committed BENCH_*.json reports between revisions.
+";
+
+fn replay(args: &[String]) -> Result<(), String> {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut remote: Option<String> = None;
+    let mut opts = ReplayOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--remote" => {
+                i += 1;
+                remote = Some(args.get(i).cloned().ok_or("missing value for --remote")?);
+            }
+            "--lenient-timing" => opts.lenient_timing = true,
+            _ if a.starts_with("--") => return Err(format!("unknown replay flag {a}")),
+            _ => {
+                if trace_path.replace(PathBuf::from(a)).is_some() {
+                    return Err("replay takes exactly one trace path".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let path =
+        trace_path.ok_or("usage: racod-cli replay TRACE [--remote ADDR] [--lenient-timing]")?;
+    let trace = read_trace(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if trace.torn {
+        println!(
+            "replay: trace tail was torn ({} bytes dropped); replaying the {} durable records",
+            trace.dropped_tail,
+            trace.events.len()
+        );
+    }
+    let report = match &remote {
+        Some(addr) => {
+            let addr = addr
+                .parse()
+                .map_err(|_| format!("invalid value for --remote: {addr} (expected HOST:PORT)"))?;
+            replay_remote(&trace, addr, opts)?
+        }
+        None => replay_local(&trace, opts)?,
+    };
+    print!("{}", report.render());
+    // Stable one-line form for CI to grep and compare across runs.
+    println!("replayed cost digest 0x{:016x}", report.replayed_cost_digest);
+    if report.ok() {
+        Ok(())
+    } else {
+        Err("replay diverged from the recording".to_string())
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "replay" => replay(rest),
+        "query" => query::run(rest),
+        "bench-trend" => bench_trend::run(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return;
+        }
+        other => {
+            eprintln!("unknown command {other}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        let usage_error = e.starts_with("usage:")
+            || e.starts_with("unknown")
+            || e.starts_with("missing")
+            || e.starts_with("invalid");
+        eprintln!("racod-cli {cmd}: {e}");
+        std::process::exit(if usage_error { 2 } else { 1 });
+    }
+}

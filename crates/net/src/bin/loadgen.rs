@@ -15,7 +15,17 @@
 //! Usage: `cargo run --release -p racod-net --bin loadgen -- [--requests N]
 //! [--clients N | --rate R] [--workers N] [--queue N] [--units N] [--seed S]
 //! [--deadline D] [--cancel-rate F] [--overshoot-budget D] [--platform P]
-//! [--speculate on|off] [--alt on|off] [--remote HOST:PORT] [--churn N]`
+//! [--speculate on|off] [--alt on|off] [--remote HOST:PORT] [--churn N]
+//! [--trace-out PATH] [--fault-seed S]`
+//!
+//! `--trace-out PATH` (local only) records the run as a replayable binary
+//! trace: every admitted request, rejection, churn batch, and outcome.
+//! `racod-cli replay PATH` re-executes it and asserts a bit-identical
+//! outcome sequence and canonical cost digest. `--fault-seed S` (local
+//! only) arms the embedded server's deterministic chaos plan; the seed is
+//! stamped into the trace header so a recorded chaos run replays with the
+//! exact same fault schedule. The report gains `trace records` /
+//! `trace buffer` lines so silently dropped records are visible in CI.
 //!
 //! `--churn N` (closed-loop only) splits the run into N rounds and applies
 //! a deterministic, seed-derived batch of occupancy deltas to every 2D map
@@ -55,19 +65,21 @@
 //! print the same digest — that is the wire layer's bit-identity contract,
 //! and CI's `net-smoke` job asserts it.
 
-use racod_fault::mix64;
+use racod_fault::{mix64, FaultPlan};
+use racod_net::digest::{plan_cost_digest, plan_digest};
 use racod_net::wire::fnv1a;
 use racod_net::{plan_with_retry, standard_world, ClientConfig, MapPool, NetClient, WireResult};
-use racod_search::canonical_cost_2d;
 use racod_server::{
-    submit_with_retry, AltConfig, Outcome, PlanRequest, PlanServer, Planned, PlannedPath, Platform,
+    submit_with_retry, AltConfig, BreakerConfig, Outcome, PlanRequest, PlanServer, Platform,
     Priority, Rejected, RetryPolicy, ServerConfig, ServerMetrics, SpeculationConfig, TimeoutStage,
-    Workload,
+    TraceConfig,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -94,6 +106,8 @@ struct Options {
     alt: bool,
     remote: Option<String>,
     churn: usize,
+    trace_out: Option<PathBuf>,
+    fault_seed: Option<u64>,
 }
 
 impl Default for Options {
@@ -115,6 +129,8 @@ impl Default for Options {
             alt: false,
             remote: None,
             churn: 0,
+            trace_out: None,
+            fault_seed: None,
         }
     }
 }
@@ -242,6 +258,18 @@ fn parse_args() -> Options {
             // print the same plan digest.
             o.churn = parsed("--churn", &v);
             i += 2;
+        } else if let Some(v) = take("--trace-out") {
+            // Record the run as a replayable trace: every admitted
+            // request, rejection, churn batch, and outcome goes into a
+            // crash-safe binary log `racod-cli replay` can re-execute.
+            o.trace_out = Some(PathBuf::from(v));
+            i += 2;
+        } else if let Some(v) = take("--fault-seed") {
+            // Arm the embedded server's deterministic chaos plan. The
+            // seed lands in the trace header, so a recorded chaos run
+            // replays with the exact same fault schedule.
+            o.fault_seed = Some(parsed("--fault-seed", &v));
+            i += 2;
         } else {
             eprintln!("unknown argument {}", args[i]);
             std::process::exit(2);
@@ -282,6 +310,14 @@ fn parse_args() -> Options {
             );
             std::process::exit(2);
         }
+        if o.trace_out.is_some() {
+            eprintln!("--trace-out is not supported with --remote (start netd with --trace-dir)");
+            std::process::exit(2);
+        }
+        if o.fault_seed.is_some() {
+            eprintln!("--fault-seed is not supported with --remote (start netd with --chaos-seed)");
+            std::process::exit(2);
+        }
     }
     o
 }
@@ -310,97 +346,6 @@ fn make_request(pools: &[MapPool], o: &Options, rng: &mut SmallRng) -> PlanReque
         LoadPlatform::Threads => Platform::Threads { threads: o.units.max(1), runahead: 2 },
     };
     req.with_platform(platform).with_priority(priority)
-}
-
-/// Order-independent hash of one planned result: the request's map and
-/// endpoints plus the answer's cost bits and path cells. XOR-folded
-/// across a run, this is identical between a local and a remote run iff
-/// every plan came back bit-identical — the digest CI compares.
-fn plan_digest(req: &PlanRequest, p: &Planned) -> u64 {
-    let mut h = mix64(fnv1a(req.map.as_str().as_bytes()));
-    let mut fold = |v: u64| h = mix64(h ^ v);
-    match &req.workload {
-        Workload::Plan2 { start, goal, .. } => {
-            fold(start.x as u64);
-            fold(start.y as u64);
-            fold(goal.x as u64);
-            fold(goal.y as u64);
-        }
-        Workload::Plan3 { start, goal, .. } => {
-            fold(start.x as u64);
-            fold(start.y as u64);
-            fold(start.z as u64);
-            fold(goal.x as u64);
-            fold(goal.y as u64);
-            fold(goal.z as u64);
-        }
-        Workload::Poison | Workload::PoisonWorker => {}
-    }
-    fold(p.cost.to_bits());
-    match &p.path {
-        PlannedPath::P2(path) => {
-            fold(path.as_ref().map_or(u64::MAX, |c| c.len() as u64));
-            if let Some(cells) = path {
-                for c in cells {
-                    fold(c.x as u64);
-                    fold(c.y as u64);
-                }
-            }
-        }
-        PlannedPath::P3(path) => {
-            fold(path.as_ref().map_or(u64::MAX, |c| c.len() as u64));
-            if let Some(cells) = path {
-                for c in cells {
-                    fold(c.x as u64);
-                    fold(c.y as u64);
-                    fold(c.z as u64);
-                }
-            }
-        }
-    }
-    h
-}
-
-/// Like [`plan_digest`], but insensitive to *which* equal-cost optimal
-/// path came back: for 2D answers it folds the canonical re-summed path
-/// cost (`a·1 + b·√2` recomputed in a fixed order) instead of the engine
-/// cost bits and path cells. ALT landmark guidance may settle on a
-/// different equal-cost optimum — moving the plan digest — but can never
-/// move this one; `--alt on` vs `--alt off` (and local vs `--remote`)
-/// runs over the same seed and world must print the same cost digest.
-/// 3D answers have no landmark path today, so their engine cost bits and
-/// path length stand in for the canonical sum.
-fn plan_cost_digest(req: &PlanRequest, p: &Planned) -> u64 {
-    let mut h = mix64(fnv1a(req.map.as_str().as_bytes()));
-    let mut fold = |v: u64| h = mix64(h ^ v);
-    match &req.workload {
-        Workload::Plan2 { start, goal, .. } => {
-            fold(start.x as u64);
-            fold(start.y as u64);
-            fold(goal.x as u64);
-            fold(goal.y as u64);
-        }
-        Workload::Plan3 { start, goal, .. } => {
-            fold(start.x as u64);
-            fold(start.y as u64);
-            fold(start.z as u64);
-            fold(goal.x as u64);
-            fold(goal.y as u64);
-            fold(goal.z as u64);
-        }
-        Workload::Poison | Workload::PoisonWorker => {}
-    }
-    match &p.path {
-        PlannedPath::P2(Some(cells)) => {
-            fold(canonical_cost_2d(cells).map_or(u64::MAX - 1, f64::to_bits));
-        }
-        PlannedPath::P2(None) => fold(u64::MAX),
-        PlannedPath::P3(path) => {
-            fold(p.cost.to_bits());
-            fold(path.as_ref().map_or(u64::MAX, |c| c.len() as u64));
-        }
-    }
-    h
 }
 
 #[derive(Default)]
@@ -728,6 +673,20 @@ fn print_report(tally: &Tally, elapsed: Duration, metrics: Option<&ServerMetrics
     println!("plan digest        0x{:016x}", n(&tally.digest));
     println!("cost digest        0x{:016x}", n(&tally.cost_digest));
     if let Some(m) = metrics {
+        if o.trace_out.is_some() {
+            // Silent trace loss would quietly void the replay contract —
+            // surface drops and how close the buffer came to overflowing
+            // in every report so CI output shows them.
+            println!(
+                "trace records      {} written, {} dropped",
+                m.trace_records.load(Ordering::Relaxed),
+                m.trace_dropped.load(Ordering::Relaxed)
+            );
+            println!(
+                "trace buffer       high water {}",
+                m.trace_buffer_high_water.load(Ordering::Relaxed)
+            );
+        }
         println!(
             "affinity hit rate  {:.1}% over {} dispatches",
             m.affinity_hit_rate() * 100.0,
@@ -802,8 +761,14 @@ fn check_failures(tally: &Tally, extra_panics: u64, o: &Options) -> bool {
     let mut failed = false;
     let panics = n(&tally.panicked) + extra_panics;
     if panics > 0 {
-        eprintln!("FAIL: {panics} panics/respawns during run");
-        failed = true;
+        if o.fault_seed.is_some() {
+            // Chaos mode: the armed plan injects panics on purpose; they
+            // are the workload, not a failure.
+            println!("chaos: {panics} injected panics/respawns (expected with --fault-seed)");
+        } else {
+            eprintln!("FAIL: {panics} panics/respawns during run");
+            failed = true;
+        }
     }
     if n(&tally.net_errors) > 0 {
         eprintln!("FAIL: {} transport/protocol errors during run", n(&tally.net_errors));
@@ -837,12 +802,44 @@ fn run_local(o: &Options) -> bool {
         if o.alt { "on" } else { "off" }
     );
 
+    if let Some(seed) = o.fault_seed {
+        println!("chaos: fault plan armed from seed {seed}");
+    }
+    // Breaker cooldowns are wall-clock: a chaos recording made with
+    // breakers live routes to the uninjected software fallback on a
+    // timing-dependent schedule and won't replay. Record chaos runs
+    // breakers-off; everything else keeps the production default.
+    let chaos_recording = o.fault_seed.is_some() && o.trace_out.is_some();
+    if let Some(path) = &o.trace_out {
+        println!("trace: recording to {}", path.display());
+        if chaos_recording {
+            println!("trace: chaos recording; circuit breakers disabled for replayability");
+        }
+        if o.fault_seed.is_some() && o.speculate {
+            // Mid-check fault tokens count checks per request, and
+            // speculative memo hits skip checks nondeterministically — the
+            // injected-fault schedule won't replay. Answers still will.
+            eprintln!(
+                "trace: warning: chaos recording with speculation enabled; the injected-fault \
+                 schedule is timing-dependent and may not replay (add --speculate off)"
+            );
+        }
+    }
     let server = PlanServer::start(
         ServerConfig {
             workers: o.workers,
             queue_capacity: o.queue,
             speculation: SpeculationConfig { enabled: o.speculate, ..Default::default() },
+            breaker: BreakerConfig { enabled: !chaos_recording, ..Default::default() },
             alt: AltConfig { enabled: o.alt, ..Default::default() },
+            fault_plan: o.fault_seed.map(|s| Arc::new(FaultPlan::from_seed(s))),
+            trace: o.trace_out.as_ref().map(|path| TraceConfig {
+                tenant: "loadgen".to_string(),
+                world_seed: o.seed,
+                map_size: o.map_size,
+                note: format!("loadgen --requests {} --churn {}", o.requests, o.churn),
+                ..TraceConfig::new(path)
+            }),
             ..Default::default()
         },
         registry,
@@ -874,16 +871,19 @@ fn run_local(o: &Options) -> bool {
     }
     let elapsed = begin.elapsed();
 
-    let m = server.metrics();
-    print_report(&tally, elapsed, Some(m), o);
+    // Shut the server down before reporting: the drop joins the trace
+    // writer, so the log is durable and the trace counters are final when
+    // the report prints them.
+    let m = server.metrics().clone();
+    drop(server);
+    print_report(&tally, elapsed, Some(&m), o);
     println!();
     println!("-- metrics page --");
-    print!("{}", server.render_metrics());
+    print!("{}", m.render_text());
+    println!("racod_server_build_info{{id=\"{}\"}} 1", racod_server::build_id(o.alt, o.speculate));
 
     let respawns = m.worker_respawns.load(Ordering::Relaxed);
-    let failed = check_failures(&tally, respawns, o);
-    drop(server);
-    failed
+    check_failures(&tally, respawns, o)
 }
 
 /// Applies the round's churn batch over the wire — the remote twin of

@@ -4,7 +4,16 @@
 //! Usage: `racod-netd [--addr 127.0.0.1:0] [--world-seed 7]
 //! [--map-size 128] [--workers 4] [--queue 256] [--units 8]
 //! [--alt on|off] [--drain-deadline 5s] [--net-drop-ppm N]
-//! [--net-corrupt-ppm N] [--fault-seed S]`
+//! [--net-corrupt-ppm N] [--fault-seed S] [--chaos-seed S]
+//! [--trace-dir DIR]`
+//!
+//! `--trace-dir DIR` records every request this shard serves to
+//! `DIR/racod-netd-<pid>.trace` (printed as `racod-netd trace <path>` at
+//! startup); `racod-cli replay --remote` can then re-drive the shard and
+//! assert bit-identical answers. `--chaos-seed S` arms the scheduler-level
+//! fault plan from seed S — unlike `--fault-seed`, which only drives the
+//! wire-level drop/corrupt rules — so a recorded chaos run can re-arm the
+//! identical panic schedule on replay.
 //!
 //! The world is rebuilt deterministically from `(--world-seed,
 //! --map-size)`; every shard in a fleet started with the same pair holds
@@ -18,7 +27,8 @@
 
 use racod_fault::{FaultAction, FaultPlan, FaultSite};
 use racod_net::{signals, standard_world, ConnConfig, Netd, NetdConfig};
-use racod_server::{AltConfig, ServerConfig};
+use racod_server::{AltConfig, BreakerConfig, ServerConfig, SpeculationConfig, TraceConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,6 +43,8 @@ struct Options {
     net_drop_ppm: u32,
     net_corrupt_ppm: u32,
     fault_seed: u64,
+    chaos_seed: Option<u64>,
+    trace_dir: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -48,6 +60,8 @@ impl Default for Options {
             net_drop_ppm: 0,
             net_corrupt_ppm: 0,
             fault_seed: 1,
+            chaos_seed: None,
+            trace_dir: None,
         }
     }
 }
@@ -109,6 +123,8 @@ fn parse_args() -> Options {
             "--net-drop-ppm" => o.net_drop_ppm = parsed(name, &v),
             "--net-corrupt-ppm" => o.net_corrupt_ppm = parsed(name, &v),
             "--fault-seed" => o.fault_seed = parsed(name, &v),
+            "--chaos-seed" => o.chaos_seed = Some(parsed(name, &v)),
+            "--trace-dir" => o.trace_dir = Some(PathBuf::from(v)),
             _ => {
                 eprintln!("unknown argument {name}");
                 std::process::exit(2);
@@ -140,12 +156,32 @@ fn main() {
         conn.fault = Some(Arc::new(b.build()));
     }
 
+    let trace_path =
+        o.trace_dir.as_ref().map(|d| d.join(format!("racod-netd-{}.trace", std::process::id())));
     let cfg = NetdConfig {
         addr: o.addr,
         server: ServerConfig {
             workers: o.workers,
             queue_capacity: o.queue,
             alt: AltConfig { enabled: o.alt, ..Default::default() },
+            // A chaos-armed daemon is a test target, not a production
+            // shard: speculation and breakers both make the injected-fault
+            // schedule timing-dependent (memo hits skip checks; breaker
+            // cooldowns are wall-clock), so disable them so a recorded or
+            // replayed run against this daemon is deterministic.
+            speculation: SpeculationConfig {
+                enabled: o.chaos_seed.is_none(),
+                ..Default::default()
+            },
+            breaker: BreakerConfig { enabled: o.chaos_seed.is_none(), ..Default::default() },
+            fault_plan: o.chaos_seed.map(|s| Arc::new(FaultPlan::from_seed(s))),
+            trace: trace_path.as_ref().map(|path| TraceConfig {
+                tenant: "netd".to_string(),
+                world_seed: o.world_seed,
+                map_size: o.map_size,
+                note: format!("racod-netd --workers {} --queue {}", o.workers, o.queue),
+                ..TraceConfig::new(path)
+            }),
             ..Default::default()
         },
         conn,
@@ -158,6 +194,15 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(seed) = o.chaos_seed {
+        println!(
+            "racod-netd chaos armed from seed {seed} (speculation and breakers off for \
+             deterministic replay)"
+        );
+    }
+    if let Some(path) = &trace_path {
+        println!("racod-netd trace {}", path.display());
+    }
     println!("racod-netd listening on {}", netd.local_addr());
 
     while !signals::triggered() {

@@ -21,8 +21,10 @@
 
 pub mod client;
 pub mod conn;
+pub mod digest;
 pub mod netd;
 pub mod proto;
+pub mod replay;
 pub mod router;
 pub mod signals;
 pub mod wire;
@@ -30,11 +32,13 @@ pub mod world;
 
 pub use client::{plan_with_retry, ClientConfig, NetClient, RemoteRetryOutcome};
 pub use conn::{ConnConfig, ConnError, FramedConn, Recv};
+pub use digest::{plan_cost_digest, plan_digest, record_cost_digest};
 pub use netd::{Netd, NetdConfig, NetdStats};
 pub use proto::{
     Health, Message, MetricsFrame, MsgKind, ShardStat, ShardState, WireResult, DEFAULT_MAX_FRAME,
     HEADER_LEN, MAGIC, PROTO_VERSION,
 };
+pub use replay::{replay_local, replay_remote, ReplayOptions, ReplayReport};
 pub use router::{Router, RouterConfig};
 pub use wire::ProtocolError;
 pub use world::{standard_world, MapPool};

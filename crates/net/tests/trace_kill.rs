@@ -1,0 +1,74 @@
+//! Crash-safety of the trace log, end to end: SIGKILL a recording
+//! loadgen mid-run — no drain, no flush, the hardest tear there is —
+//! then recover the trace and replay it. Everything that made it to disk
+//! must replay bit-identically; at most the final record is torn, and
+//! the reader drops it cleanly.
+
+use racod_net::{replay_local, ReplayOptions};
+use racod_server::read_trace;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn unique_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("racod-{name}-{}.trace", std::process::id()));
+    p
+}
+
+#[test]
+fn killed_recorder_replays_up_to_the_last_durable_record() {
+    let path = unique_path("kill");
+    let _ = std::fs::remove_file(&path);
+
+    // One client, one worker, no deadlines: the run is schedule-free, so
+    // whatever prefix survives the kill is replayable. Enough requests
+    // that the run cannot finish before we kill it.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--requests",
+            "200000",
+            "--clients",
+            "1",
+            "--workers",
+            "1",
+            "--seed",
+            "7",
+            "--map-size",
+            "64",
+            "--trace-out",
+        ])
+        .arg(&path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn loadgen");
+
+    // Wait until a healthy chunk of records is durable, then kill without
+    // warning. (The writer thread fsyncs only at shutdown, which never
+    // happens here — the test covers the pure append-crash path.)
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        if size > 16 * 1024 {
+            break;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("loadgen wrote only {size} trace bytes in 30s");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL loadgen");
+    let _ = child.wait();
+
+    let trace = read_trace(&path).expect("killed trace must still read");
+    let plans = trace.plans().count();
+    assert!(plans > 10, "expected a healthy durable prefix, got {plans} plans");
+    assert_eq!(trace.header.world_seed, 7);
+
+    let report = replay_local(&trace, ReplayOptions::default()).expect("replay must run");
+    assert!(report.ok(), "replay of the durable prefix diverged:\n{}", report.render());
+    assert_eq!(report.replayed as usize, plans);
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,21 @@
+//! Embeds the git revision into the build so trace headers and the
+//! metrics page can stamp a build identifier. Falls back to "unknown"
+//! outside a git checkout (e.g. a source tarball) — the stamp is
+//! diagnostic, never load-bearing.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=RACOD_GIT_HASH={hash}");
+    // Re-stamp when HEAD moves (best effort; .git may be absent).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -49,6 +49,7 @@ pub mod request;
 pub mod retry;
 pub mod scheduler;
 pub mod speculate;
+pub mod trace;
 pub mod worker;
 
 pub use alt::AltConfig;
@@ -61,6 +62,10 @@ pub use request::{
 };
 pub use retry::{submit_with_retry, RetryOutcome, RetryPolicy};
 pub use speculate::{SpecMemo2, SpeculationConfig};
+pub use trace::{
+    build_id, read_trace, read_trace_bytes, DeltaRecord, OutcomeKind, PlanRecord, RejectReason,
+    RejectedRecord, TraceConfig, TraceError, TraceEvent, TraceFile, TraceHeader, TraceRecorder,
+};
 pub use worker::{RespawnConfig, WorkerContext};
 
 use racod_fault::{FaultPlan, FaultSite};
@@ -113,6 +118,11 @@ pub struct ServerConfig {
     /// keep optimal plan costs bit-identical but may return a different
     /// equal-cost path than a direct planner call.
     pub alt: AltConfig,
+    /// Trace recording (see [`trace`]). `None` (the default) records
+    /// nothing and costs one branch per request; `Some` appends every
+    /// admission, rejection, delta batch, and outcome to a crash-safe
+    /// binary log that `racod-cli replay` can re-execute bit-identically.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for ServerConfig {
@@ -130,6 +140,7 @@ impl Default for ServerConfig {
             shed_min_samples: 32,
             speculation: SpeculationConfig::default(),
             alt: AltConfig::default(),
+            trace: None,
         }
     }
 }
@@ -212,6 +223,8 @@ pub struct PlanServer {
     next_id: AtomicU64,
     next_seq: AtomicU64,
     epoch: Instant,
+    trace: Option<Arc<TraceRecorder>>,
+    trace_writer: Option<JoinHandle<()>>,
 }
 
 impl PlanServer {
@@ -228,6 +241,37 @@ impl PlanServer {
         // Ingress capacity matches the admission limit so `try_send` after
         // an admission win can only fail on disconnect, never on capacity.
         let (ingress_tx, ingress_rx) = bounded::<Admitted>(cfg.queue_capacity.max(1));
+
+        // Trace recording: header first (synchronously, so the file is
+        // replayable the moment the first request lands), then an
+        // append-only writer thread fed by a bounded never-blocking
+        // channel. A recorder that fails to open degrades to not
+        // recording — it must never take the service down with it.
+        let mut trace = None;
+        let mut trace_writer = None;
+        if let Some(tc) = &cfg.trace {
+            let header = TraceHeader {
+                build: build_id(cfg.alt.enabled, cfg.speculation.enabled),
+                tenant: tc.tenant.clone(),
+                world_seed: tc.world_seed,
+                map_size: tc.map_size,
+                workers: cfg.workers.min(u32::MAX as usize) as u32,
+                queue_capacity: cfg.queue_capacity.min(u32::MAX as usize) as u32,
+                batch_max: cfg.batch_max.min(u32::MAX as usize) as u32,
+                fault_seed: cfg.fault_plan.as_ref().map(|p| p.seed()),
+                speculation: cfg.speculation.enabled,
+                breaker: cfg.breaker.enabled,
+                alt: cfg.alt.enabled,
+                note: tc.note.clone(),
+            };
+            match TraceRecorder::create(tc, &header, metrics.clone()) {
+                Ok((recorder, writer)) => {
+                    trace = Some(recorder);
+                    trace_writer = Some(writer);
+                }
+                Err(e) => eprintln!("racod-server: trace disabled ({}: {e})", tc.path.display()),
+            }
+        }
 
         let ctx = WorkerContext {
             breakers: breakers.clone(),
@@ -321,6 +365,8 @@ impl PlanServer {
             next_id: AtomicU64::new(1),
             next_seq: AtomicU64::new(0),
             epoch: Instant::now(),
+            trace,
+            trace_writer,
         }
     }
 
@@ -358,6 +404,14 @@ impl PlanServer {
         let (version, changed) = self.registry.apply_deltas2(id, deltas)?;
         self.metrics.deltas_applied.fetch_add(changed as u64, Ordering::Relaxed);
         self.metrics.map_version.fetch_max(version, Ordering::Relaxed);
+        if let Some(rec) = &self.trace {
+            rec.record(TraceEvent::Delta(DeltaRecord {
+                map: id.as_str().to_string(),
+                version,
+                changed: changed.min(u32::MAX as usize) as u32,
+                deltas: deltas.to_vec(),
+            }));
+        }
         // Wake the ALT rebuilder for this map: its landmark pack (if one
         // was ever requested) is now version-fenced stale. Best effort — a
         // full channel just means a rebuild order is already queued.
@@ -367,16 +421,29 @@ impl PlanServer {
         Some((version, changed))
     }
 
+    /// Records a refused submission (no-op when tracing is off).
+    fn trace_rejection(&self, map: &MapId, reason: trace::RejectReason) {
+        if let Some(rec) = &self.trace {
+            rec.record(TraceEvent::Rejected(RejectedRecord {
+                tenant: rec.tenant().to_string(),
+                map: map.as_str().to_string(),
+                reason,
+            }));
+        }
+    }
+
     /// Submits a request. Never blocks: over-capacity submissions return
     /// [`Rejected::QueueFull`] immediately.
     pub fn submit(&self, req: PlanRequest) -> Result<Ticket, Rejected> {
         let m = &self.metrics;
         m.submitted.fetch_add(1, Ordering::Relaxed);
         if self.shutdown.load(Ordering::Relaxed) {
+            self.trace_rejection(&req.map, trace::RejectReason::ShuttingDown);
             return Err(Rejected::ShuttingDown);
         }
         let Some(entry) = self.registry.get(&req.map) else {
             m.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            self.trace_rejection(&req.map, trace::RejectReason::UnknownMap);
             return Err(Rejected::UnknownMap(req.map));
         };
         let dim_ok = match req.workload {
@@ -386,6 +453,7 @@ impl PlanServer {
         };
         if !dim_ok {
             m.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            self.trace_rejection(&req.map, trace::RejectReason::DimensionMismatch);
             return Err(Rejected::DimensionMismatch);
         }
 
@@ -409,6 +477,7 @@ impl PlanServer {
                         m.service.mean() * backlog / (self.cfg.workers as u32).max(1);
                     if estimated_wait > deadline {
                         m.shed_infeasible.fetch_add(1, Ordering::Relaxed);
+                        self.trace_rejection(&req.map, trace::RejectReason::DeadlineInfeasible);
                         return Err(Rejected::DeadlineInfeasible { estimated_wait, deadline });
                     }
                 }
@@ -422,6 +491,7 @@ impl PlanServer {
             .is_err()
         {
             m.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+            self.trace_rejection(&req.map, trace::RejectReason::QueueFull);
             return Err(Rejected::QueueFull);
         }
 
@@ -431,6 +501,18 @@ impl PlanServer {
         let deadline_at = req.deadline.map(|d| submitted_at + d);
         let cancel = Arc::new(AtomicBool::new(false));
         let (tx, rx) = bounded::<PlanResponse>(1);
+        let mut reply = ReplySlot::new(id, tx, m.clone());
+        if let Some(rec) = &self.trace {
+            // Pin the map version fence now, at admission: replay applies
+            // every recorded delta up to (and including) this version
+            // before resubmitting the request.
+            reply.attach_trace(Box::new(trace::PendingTrace {
+                recorder: rec.clone(),
+                record: PlanRecord::pending(id, rec.tenant(), &req, entry.version2()),
+                entry: entry.clone(),
+                submitted_at,
+            }));
+        }
         let admitted = Admitted {
             id,
             key: urgency_key(req.priority, self.epoch, deadline_at, seq),
@@ -439,7 +521,7 @@ impl PlanServer {
             submitted_at,
             deadline_at,
             cancel: cancel.clone(),
-            reply: ReplySlot::new(id, tx, m.clone()),
+            reply,
         };
         let Some(ingress) = &self.ingress_tx else {
             return Err(Rejected::ShuttingDown); // slot released by ReplySlot drop
@@ -468,9 +550,16 @@ impl PlanServer {
         Ok(Ticket::new(id, rx, cancel))
     }
 
-    /// Plain-text metrics page.
+    /// Plain-text metrics page, plus the build-identifier info line (so a
+    /// scrape records exactly which build — git hash, SIMD level, config
+    /// switches — produced these numbers).
     pub fn render_metrics(&self) -> String {
-        self.metrics.render_text()
+        let mut out = self.metrics.render_text();
+        out.push_str(&format!(
+            "racod_server_build_info{{id=\"{}\"}} 1\n",
+            build_id(self.cfg.alt.enabled, self.cfg.speculation.enabled)
+        ));
+        out
     }
 }
 
@@ -495,6 +584,15 @@ impl Drop for PlanServer {
         }
         for r in self.rebuilders.drain(..) {
             let _ = r.join();
+        }
+        // Trace shutdown comes last: with every thread joined, all reply
+        // slots have resolved and released their recorder clones, so
+        // dropping ours disconnects the writer's channel; joining it then
+        // guarantees every recorded event is durable (the writer drains
+        // and fsyncs before exiting).
+        self.trace.take();
+        if let Some(w) = self.trace_writer.take() {
+            let _ = w.join();
         }
     }
 }

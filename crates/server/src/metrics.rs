@@ -271,6 +271,14 @@ pub struct ServerMetrics {
     /// Heuristic evaluations where the landmark bound strictly beat the
     /// configured base heuristic (the ALT subsystem's useful work).
     pub alt_expansions_saved: AtomicU64,
+    /// Trace records durably written by the trace-writer thread.
+    pub trace_records: AtomicU64,
+    /// Trace records dropped: the bounded record buffer was full (the
+    /// recorder never blocks the hot path) or a file write failed.
+    pub trace_dropped: AtomicU64,
+    /// Highest trace record-buffer depth observed after an enqueue — how
+    /// close the recorder came to dropping.
+    pub trace_buffer_high_water: AtomicU64,
     /// Time from submission to dispatch.
     pub queue_wait: LatencyHistogram,
     /// Time executing on a worker.
@@ -280,7 +288,7 @@ pub struct ServerMetrics {
 }
 
 /// Number of counters exposed by [`ServerMetrics::counters`].
-const COUNTERS: usize = 44;
+const COUNTERS: usize = 47;
 
 impl ServerMetrics {
     /// Fresh zeroed metrics.
@@ -338,6 +346,9 @@ impl ServerMetrics {
             ("alt_packs_built", &self.alt_packs_built),
             ("alt_pack_fallbacks", &self.alt_pack_fallbacks),
             ("alt_expansions_saved", &self.alt_expansions_saved),
+            ("trace_records", &self.trace_records),
+            ("trace_dropped", &self.trace_dropped),
+            ("trace_buffer_high_water", &self.trace_buffer_high_water),
         ]
     }
 
@@ -347,15 +358,15 @@ impl ServerMetrics {
     }
 
     /// Folds another metrics snapshot into this one: counters and
-    /// histograms add, except `peak_open` and `map_version` (per-shard
-    /// maxima, so the fleet value is the max over shards). `in_system`
-    /// sums — the fleet's in-flight population is the sum of its shards'.
-    /// The shard router uses this to aggregate per-shard `/metrics` pages
-    /// into one view.
+    /// histograms add, except `peak_open`, `map_version`, and
+    /// `trace_buffer_high_water` (per-shard maxima, so the fleet value is
+    /// the max over shards). `in_system` sums — the fleet's in-flight
+    /// population is the sum of its shards'. The shard router uses this
+    /// to aggregate per-shard `/metrics` pages into one view.
     pub fn merge(&self, other: &ServerMetrics) {
         for ((name, mine), (_, theirs)) in self.counters().iter().zip(other.counters().iter()) {
             let v = theirs.load(Ordering::Relaxed);
-            if *name == "peak_open" || *name == "map_version" {
+            if matches!(*name, "peak_open" | "map_version" | "trace_buffer_high_water") {
                 mine.fetch_max(v, Ordering::Relaxed);
             } else if v > 0 {
                 mine.fetch_add(v, Ordering::Relaxed);
@@ -692,6 +703,28 @@ mod tests {
         assert!(text.contains("racod_server_alt_packs_built 2"));
         assert!(text.contains("racod_server_alt_pack_fallbacks 5"));
         assert!(text.contains("racod_server_alt_expansions_saved 1234"));
+    }
+
+    #[test]
+    fn trace_keys_render_and_high_water_max_merges() {
+        let m = ServerMetrics::new();
+        m.trace_records.fetch_add(100, Ordering::Relaxed);
+        m.trace_dropped.fetch_add(3, Ordering::Relaxed);
+        m.trace_buffer_high_water.fetch_max(17, Ordering::Relaxed);
+        let text = m.render_text();
+        assert!(text.contains("racod_server_trace_records 100"));
+        assert!(text.contains("racod_server_trace_dropped 3"));
+        assert!(text.contains("racod_server_trace_buffer_high_water 17"));
+        let other = ServerMetrics::new();
+        other.trace_buffer_high_water.store(9, Ordering::Relaxed);
+        other.trace_records.store(50, Ordering::Relaxed);
+        m.merge(&other);
+        assert_eq!(m.trace_records.load(Ordering::Relaxed), 150, "records sum");
+        assert_eq!(
+            m.trace_buffer_high_water.load(Ordering::Relaxed),
+            17,
+            "high water is maxed, not summed"
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::metrics::ServerMetrics;
 use crate::registry::MapEntry;
 use crate::request::{MapId, Outcome, PlanRequest, PlanResponse, RequestId};
+use crate::trace::PendingTrace;
 use crossbeam::channel::Sender;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -80,21 +81,36 @@ pub struct ReplySlot {
     tx: Sender<PlanResponse>,
     metrics: Arc<ServerMetrics>,
     done: bool,
+    trace: Option<Box<PendingTrace>>,
 }
 
 impl ReplySlot {
     /// Creates a slot. `tx` must be a capacity-1 channel dedicated to this
     /// request.
     pub fn new(id: RequestId, tx: Sender<PlanResponse>, metrics: Arc<ServerMetrics>) -> Self {
-        ReplySlot { id, tx, metrics, done: false }
+        ReplySlot { id, tx, metrics, done: false, trace: None }
+    }
+
+    /// Arms trace recording: the pending record is finalized and emitted
+    /// alongside the terminal response, whichever path delivers it
+    /// (worker, dispatcher sweep, shutdown drain, or the drop guard).
+    pub fn attach_trace(&mut self, trace: Box<PendingTrace>) {
+        self.trace = Some(trace);
     }
 
     /// Sends the terminal response and settles the accounting.
     pub fn finish(mut self, outcome: Outcome, worker: usize) {
         self.done = true;
         self.settle(&outcome);
+        self.emit_trace(&outcome, worker);
         // A dropped ticket just means nobody is listening; ignore.
         let _ = self.tx.try_send(PlanResponse { id: self.id, outcome, worker });
+    }
+
+    fn emit_trace(&mut self, outcome: &Outcome, worker: usize) {
+        if let Some(trace) = self.trace.take() {
+            trace.emit(outcome, worker);
+        }
     }
 
     fn settle(&self, outcome: &Outcome) {
@@ -114,6 +130,7 @@ impl Drop for ReplySlot {
     fn drop(&mut self) {
         if !self.done {
             self.settle(&Outcome::Lost);
+            self.emit_trace(&Outcome::Lost, usize::MAX);
             let _ = self.tx.try_send(PlanResponse {
                 id: self.id,
                 outcome: Outcome::Lost,
